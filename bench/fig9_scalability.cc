@@ -1,0 +1,82 @@
+// Figure 9: monitoring overhead vs application thread count, Snorlax vs the
+// Gist baseline, on the scalable request-server workload (2 -> 32 workers).
+//
+// Snorlax's always-on PT tracing costs per-thread trace bandwidth and stays
+// near-flat; Gist's blocking-synchronization monitor serializes the sliced
+// accesses of every worker through one recorder, so its overhead explodes
+// with the thread count (paper: Snorlax 0.87% -> 1.98%; Gist 3.14% -> 38.9%).
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/slicer.h"
+#include "bench/bench_util.h"
+#include "gist/gist.h"
+#include "pt/driver.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+using namespace snorlax;
+
+namespace {
+
+double RunMs(const ir::Module& m, const rt::InterpOptions& base, uint64_t seed,
+             rt::ExecutionObserver* observer) {
+  rt::InterpOptions opts = base;
+  opts.seed = seed;
+  rt::Interpreter interp(&m, opts);
+  if (observer != nullptr) {
+    interp.AddObserver(observer);
+  }
+  const rt::RunResult r = interp.Run("main");
+  if (!r.Succeeded()) {
+    std::printf("unexpected failure in the scalability workload\n");
+  }
+  return r.virtual_ns / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 9: monitoring overhead vs application thread count\n"
+      "(paper: Snorlax 0.87% -> 1.98%; Gist 3.14% -> 38.9% at 32 threads)");
+  const std::vector<int> widths = {10, 12, 14, 12, 14};
+  bench::PrintRow({"threads", "base [ms]", "snorlax [ms]", "gist [ms]", "overheads"}, widths);
+
+  const int kSeeds = 6;
+  for (int threads : {2, 4, 8, 16, 32}) {
+    const workloads::Workload w = workloads::BuildScalable(threads);
+    // The slice Gist would instrument: backward from a shared-statistics
+    // access, over a whole-program points-to analysis.
+    analysis::PointsToOptions popts;
+    popts.scope = analysis::PointsToOptions::Scope::kWholeProgram;
+    const analysis::PointsToResult points_to = RunPointsTo(*w.module, popts);
+    const std::unordered_set<ir::InstId> slice =
+        analysis::BackwardSlice(*w.module, points_to, w.truth_events.front());
+
+    std::vector<double> base_ms, snorlax_ms, gist_ms;
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      base_ms.push_back(RunMs(*w.module, w.interp, seed, nullptr));
+      pt::PtDriver driver(w.module.get());
+      {
+        rt::InterpOptions opts = w.interp;
+        opts.seed = seed;
+        rt::Interpreter interp(w.module.get(), opts);
+        driver.Attach(&interp);
+        snorlax_ms.push_back(interp.Run("main").virtual_ns / 1e6);
+      }
+      gist::GistMonitor monitor(slice, gist::GistOptions{});
+      gist_ms.push_back(RunMs(*w.module, w.interp, seed, &monitor));
+    }
+    const double base = Mean(base_ms);
+    const double snorlax_oh = 100.0 * (Mean(snorlax_ms) - base) / base;
+    const double gist_oh = 100.0 * (Mean(gist_ms) - base) / base;
+    bench::PrintRow({StrFormat("%d", threads), FormatDouble(base, 2),
+                     FormatDouble(Mean(snorlax_ms), 2), FormatDouble(Mean(gist_ms), 2),
+                     StrFormat("snorlax %.2f%% | gist %.2f%%", snorlax_oh, gist_oh)},
+                    widths);
+  }
+  std::printf("\nSnorlax stays near-flat (per-thread buffers, no synchronization);\n"
+              "Gist's blocking monitor serializes all workers and collapses.\n");
+  return 0;
+}

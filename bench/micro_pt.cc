@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) for the PT substrate: packet codec,
+// ring buffer, encode and decode throughput on a real traced execution.
+#include <benchmark/benchmark.h>
+
+#include "ir/builder.h"
+#include "pt/decoder.h"
+#include "pt/encoder.h"
+#include "runtime/interpreter.h"
+
+using namespace snorlax;
+
+namespace {
+
+std::unique_ptr<ir::Module> BuildLoopProgram(int64_t iterations) {
+  auto m = std::make_unique<ir::Module>();
+  ir::IrBuilder b(m.get());
+  const ir::Type* i64 = m->types().IntType(64);
+  b.BeginFunction("main", m->types().VoidType(), {});
+  const ir::BlockId entry = b.CreateBlock("entry");
+  const ir::BlockId head = b.CreateBlock("head");
+  const ir::BlockId exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  const ir::Reg i = b.Alloca(i64);
+  b.Store(ir::Operand::MakeImm(0), i, i64);
+  b.Br(head);
+  b.SetInsertPoint(head);
+  b.Work(400);
+  const ir::Reg v = b.Load(i, i64);
+  const ir::Reg v2 = b.Add(v, 1, i64);
+  b.Store(v2, i, i64);
+  const ir::Reg more =
+      b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(v2), ir::Operand::MakeImm(iterations));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+  b.RetVoid();
+  b.EndFunction();
+  return m;
+}
+
+void BM_PacketEncode(benchmark::State& state) {
+  pt::Packet tnt;
+  tnt.kind = pt::PacketKind::kTnt;
+  tnt.tnt_bits = 0b101010;
+  tnt.tnt_count = 6;
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(pt::EncodePacket(tnt, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketEncode);
+
+void BM_PacketDecode(benchmark::State& state) {
+  pt::Packet tnt;
+  tnt.kind = pt::PacketKind::kTnt;
+  tnt.tnt_bits = 0b101010;
+  tnt.tnt_count = 6;
+  std::vector<uint8_t> bytes;
+  pt::EncodePacket(tnt, &bytes);
+  for (auto _ : state) {
+    size_t pos = 0;
+    benchmark::DoNotOptimize(pt::DecodePacket(bytes, &pos));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketDecode);
+
+void BM_RingBufferAppend(benchmark::State& state) {
+  pt::RingBuffer rb(64 * 1024);
+  const std::vector<uint8_t> chunk(16, 0xAB);
+  for (auto _ : state) {
+    rb.Append(chunk);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * chunk.size()));
+}
+BENCHMARK(BM_RingBufferAppend);
+
+void BM_EncodeTracedExecution(benchmark::State& state) {
+  auto m = BuildLoopProgram(state.range(0));
+  for (auto _ : state) {
+    rt::InterpOptions opts;
+    opts.work_jitter = 0.0;
+    rt::Interpreter interp(m.get(), opts);
+    pt::PtEncoder encoder(m.get());
+    interp.AddObserver(&encoder);
+    const rt::RunResult r = interp.Run("main");
+    benchmark::DoNotOptimize(r.instructions_retired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("branch events per iteration");
+}
+BENCHMARK(BM_EncodeTracedExecution)->Arg(1000)->Arg(10000);
+
+void BM_DecodeTrace(benchmark::State& state) {
+  auto m = BuildLoopProgram(state.range(0));
+  rt::InterpOptions opts;
+  opts.work_jitter = 0.0;
+  rt::Interpreter interp(m.get(), opts);
+  pt::PtEncoder encoder(m.get());
+  interp.AddObserver(&encoder);
+  const rt::RunResult r = interp.Run("main");
+  const pt::PtTraceBundle bundle = encoder.Snapshot(r.virtual_ns);
+  pt::PtDecoder decoder(m.get());
+  for (auto _ : state) {
+    const auto decoded = decoder.Decode(bundle);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeTrace)->Arg(1000)->Arg(10000);
+
+void BM_InterpreterBaseline(benchmark::State& state) {
+  auto m = BuildLoopProgram(state.range(0));
+  for (auto _ : state) {
+    rt::InterpOptions opts;
+    opts.work_jitter = 0.0;
+    rt::Interpreter interp(m.get(), opts);
+    const rt::RunResult r = interp.Run("main");
+    benchmark::DoNotOptimize(r.instructions_retired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InterpreterBaseline)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

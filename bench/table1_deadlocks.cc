@@ -1,0 +1,44 @@
+// Table 1: average time elapsed between the blocking lock-acquisition
+// attempts of each deadlock bug (delta-T of Figure 1.a), over 10 reproduced
+// failures, with standard deviations -- the deadlock rows of the coarse
+// interleaving hypothesis study (paper section 3.2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "support/stats.h"
+#include "support/str.h"
+
+using namespace snorlax;
+
+int main() {
+  bench::PrintHeader(
+      "Table 1: time elapsed between deadlock lock-acquisition attempts (us)\n"
+      "(paper: averages 154-3505us across bugs; shortest observed gap 91us)");
+  const std::vector<int> widths = {14, 10, 12, 12, 8, 10};
+  bench::PrintRow({"system", "bug id", "avg dT", "std", "runs", "min"}, widths);
+
+  double global_min = 1e18;
+  for (const workloads::WorkloadInfo& info : workloads::AllWorkloads()) {
+    if (info.kind != core::PatternKind::kDeadlock) {
+      continue;
+    }
+    const workloads::Workload w = workloads::Build(info.name);
+    const auto runs = bench::ReproduceFailures(w, /*wanted=*/10);
+    std::vector<double> gaps;
+    for (const bench::FailingRun& run : runs) {
+      for (double g : bench::GapsMicros(run)) {
+        gaps.push_back(g);
+        global_min = std::min(global_min, g);
+      }
+    }
+    bench::PrintRow({w.system, w.bug_id, FormatDouble(Mean(gaps), 1),
+                     FormatDouble(StdDev(gaps), 1), StrFormat("%zu", runs.size()),
+                     gaps.empty() ? "-" : FormatDouble(*std::min_element(gaps.begin(),
+                                                                         gaps.end()), 1)},
+                    widths);
+  }
+  std::printf("\nshortest gap across deadlock bugs: %.1f us "
+              "(>> the ~0.5us timing granularity -> hypothesis holds)\n",
+              global_min);
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "analysis/deref_chain.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace snorlax::analysis {
+
+namespace {
+
+constexpr size_t kMaxWalkDepth = 16;
+
+// The operand registers whose values could have carried the corruption.
+std::vector<ir::Reg> TaintSources(const ir::Instruction& inst) {
+  std::vector<ir::Reg> regs;
+  auto add = [&regs](const ir::Operand& op) {
+    if (op.IsReg()) {
+      regs.push_back(op.reg);
+    }
+  };
+  switch (inst.opcode()) {
+    case ir::Opcode::kLoad:
+    case ir::Opcode::kLockAcquire:
+    case ir::Opcode::kLockRelease:
+    case ir::Opcode::kFree:
+    case ir::Opcode::kGep:
+    case ir::Opcode::kCopy:
+    case ir::Opcode::kCast:
+      add(inst.operand(0));  // the pointer / forwarded value
+      break;
+    case ir::Opcode::kStore:
+      add(inst.operand(1));  // the pointer being stored through
+      break;
+    case ir::Opcode::kAssert:
+    case ir::Opcode::kCondBr:
+      add(inst.operand(0));  // the observed condition
+      break;
+    case ir::Opcode::kRet:
+      if (inst.num_operands() == 1) {
+        add(inst.operand(0));  // the returned (possibly corrupt) value
+      }
+      break;
+    case ir::Opcode::kCmp:
+    case ir::Opcode::kBinOp:
+      add(inst.operand(0));
+      add(inst.operand(1));
+      break;
+    default:
+      break;
+  }
+  return regs;
+}
+
+bool IsAccess(const ir::Instruction& inst) {
+  return inst.IsMemoryAccess() || inst.IsLockOp() || inst.opcode() == ir::Opcode::kFree;
+}
+
+}  // namespace
+
+FailureChainIndex::FailureChainIndex(const ir::Module& module) {
+  for (const auto& func : module.functions()) {
+    for (const auto& bb : func->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->HasResult()) {
+          defs[Key(func->id(), inst->result())].push_back(inst.get());
+        }
+        if (inst->opcode() == ir::Opcode::kCall ||
+            inst->opcode() == ir::Opcode::kThreadCreate) {
+          call_sites[inst->callee()].push_back(inst.get());
+        }
+        if (inst->opcode() == ir::Opcode::kRet) {
+          returns[func->id()].push_back(inst.get());
+        }
+      }
+    }
+  }
+}
+
+std::vector<const ir::Instruction*> FailureAccessChain(const FailureChainIndex& index,
+                                                       const ir::Module& module,
+                                                       ir::InstId failing,
+                                                       size_t max_accesses) {
+  std::vector<const ir::Instruction*> chain;
+  if (failing == ir::kInvalidInstId) {
+    return chain;
+  }
+  const ir::Instruction* start = module.instruction(failing);
+
+  std::unordered_set<ir::InstId> visited;
+  std::deque<std::pair<const ir::Instruction*, size_t>> worklist;
+  worklist.emplace_back(start, 0);
+
+  // Follows a register's defs inside `func`; crosses function boundaries
+  // through call results (to the callee's returns) and parameters (to every
+  // call site's matching argument).
+  auto enqueue_defs = [&](const ir::Function& func, ir::Reg reg, size_t depth) {
+    auto it = index.defs.find(FailureChainIndex::Key(func.id(), reg));
+    if (it != index.defs.end()) {
+      for (const ir::Instruction* def : it->second) {
+        if (def->opcode() == ir::Opcode::kCall) {
+          // The value came out of the callee: walk its return statements.
+          auto rit = index.returns.find(def->callee());
+          if (rit != index.returns.end()) {
+            for (const ir::Instruction* ret : rit->second) {
+              worklist.emplace_back(ret, depth + 1);
+            }
+          }
+        } else {
+          worklist.emplace_back(def, depth + 1);
+        }
+      }
+      return;
+    }
+    if (reg < func.num_params()) {
+      // The value arrived as an argument: walk every call site's operand.
+      auto cit = index.call_sites.find(func.id());
+      if (cit == index.call_sites.end()) {
+        return;
+      }
+      for (const ir::Instruction* call : cit->second) {
+        if (reg < call->num_operands() && call->operand(reg).IsReg()) {
+          const ir::Function* caller = call->parent()->parent();
+          auto dit =
+              index.defs.find(FailureChainIndex::Key(caller->id(), call->operand(reg).reg));
+          if (dit != index.defs.end()) {
+            for (const ir::Instruction* def : dit->second) {
+              worklist.emplace_back(def, depth + 1);
+            }
+          }
+        }
+      }
+    }
+  };
+
+  while (!worklist.empty() && chain.size() < max_accesses) {
+    auto [inst, depth] = worklist.front();
+    worklist.pop_front();
+    if (!visited.insert(inst->id()).second || depth > kMaxWalkDepth) {
+      continue;
+    }
+    if (IsAccess(*inst)) {
+      chain.push_back(inst);
+    }
+    const ir::Function& func = *inst->parent()->parent();
+    for (ir::Reg reg : TaintSources(*inst)) {
+      enqueue_defs(func, reg, depth);
+    }
+  }
+  return chain;
+}
+
+std::vector<const ir::Instruction*> FailureAccessChain(const ir::Module& module,
+                                                       ir::InstId failing,
+                                                       size_t max_accesses) {
+  const FailureChainIndex index(module);
+  return FailureAccessChain(index, module, failing, max_accesses);
+}
+
+}  // namespace snorlax::analysis

@@ -1,0 +1,55 @@
+// Failure access localization: the RETracer-style backward walk the paper
+// relies on to "retrieve the operand from the instruction where the failure
+// occurred" (sections 4.3 and 5).
+//
+// A crash fires at a dereference, but the *corrupt pointer* it dereferenced
+// was produced earlier -- typically by a load from the memory cell the racing
+// threads actually fight over (Figure 4: the failing load of a Queue* from
+// %fifo). Likewise, a failed assertion observed a corrupt value that some
+// load produced. This walk follows the static def chain of the faulting
+// value backwards through value-producing instructions (cmp/binop/copy/cast/
+// gep) and returns the memory accesses encountered, nearest first. MiniIR
+// registers have unique static definitions (the builder never reuses result
+// registers), so the walk is exact up to function boundaries.
+#ifndef SNORLAX_ANALYSIS_DEREF_CHAIN_H_
+#define SNORLAX_ANALYSIS_DEREF_CHAIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace snorlax::analysis {
+
+// One-time module pre-processing for the chain walk (def maps, call sites,
+// returns). Build once per module and reuse across failures: the paper
+// explicitly excludes binary pre-processing from the per-trace analysis cost.
+class FailureChainIndex {
+ public:
+  explicit FailureChainIndex(const ir::Module& module);
+
+  static uint64_t Key(ir::FuncId f, ir::Reg r) {
+    return (static_cast<uint64_t>(f) << 32) | r;
+  }
+
+  std::unordered_map<uint64_t, std::vector<const ir::Instruction*>> defs;
+  std::unordered_map<ir::FuncId, std::vector<const ir::Instruction*>> call_sites;
+  std::unordered_map<ir::FuncId, std::vector<const ir::Instruction*>> returns;
+};
+
+// Memory accesses (and lock operations) on the def chain of the failing
+// instruction's faulting operand; element 0 is the failing instruction itself
+// when it is an access. At most `max_accesses` entries.
+std::vector<const ir::Instruction*> FailureAccessChain(const FailureChainIndex& index,
+                                                       const ir::Module& module,
+                                                       ir::InstId failing,
+                                                       size_t max_accesses = 4);
+
+// Convenience: builds a throwaway index (tests, one-shot callers).
+std::vector<const ir::Instruction*> FailureAccessChain(const ir::Module& module,
+                                                       ir::InstId failing,
+                                                       size_t max_accesses = 4);
+
+}  // namespace snorlax::analysis
+
+#endif  // SNORLAX_ANALYSIS_DEREF_CHAIN_H_

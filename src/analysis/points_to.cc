@@ -1,0 +1,430 @@
+#include "analysis/points_to.h"
+
+#include <chrono>
+#include <deque>
+
+#include "support/check.h"
+#include "support/str.h"
+
+namespace snorlax::analysis {
+
+std::string AbstractObject::ToString(const ir::Module& module) const {
+  switch (kind) {
+    case Kind::kAllocaSite:
+      return StrFormat("alloca#%u", id);
+    case Kind::kGlobal:
+      return "@" + module.global(id).name;
+    case Kind::kFunction:
+      return "@" + module.function(id)->name();
+  }
+  return "?";
+}
+
+bool ObjectSet::UnionWith(const ObjectSet& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  bool changed = false;
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    const uint64_t merged = words_[i] | other.words_[i];
+    if (merged != words_[i]) {
+      words_[i] = merged;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool ObjectSet::Intersects(const ObjectSet& other) const {
+  const size_t n = words_.size() < other.words_.size() ? words_.size() : other.words_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ObjectSet::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) {
+    n += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+bool ObjectSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint32_t> ObjectSet::Elements() const {
+  std::vector<uint32_t> out;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t bits = words_[w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      out.push_back(static_cast<uint32_t>(w * 64 + static_cast<size_t>(b)));
+      bits &= bits - 1;
+    }
+  }
+  return out;
+}
+
+uint32_t PointsToResult::VarIndex(ir::FuncId func, ir::Reg reg) const {
+  return func_reg_base_[func] + reg;
+}
+
+const ObjectSet& PointsToResult::PointsTo(ir::FuncId func, ir::Reg reg) const {
+  return var_pts_[VarIndex(func, reg)];
+}
+
+const ObjectSet& PointsToResult::PointerOperandPointsTo(const ir::Instruction& inst) const {
+  size_t operand_index;
+  switch (inst.opcode()) {
+    case ir::Opcode::kLoad:
+    case ir::Opcode::kLockAcquire:
+    case ir::Opcode::kLockRelease:
+    case ir::Opcode::kFree:
+      operand_index = 0;
+      break;
+    case ir::Opcode::kStore:
+      operand_index = 1;
+      break;
+    default:
+      return empty_;
+  }
+  const ir::Operand& op = inst.operand(operand_index);
+  if (!op.IsReg()) {
+    return empty_;
+  }
+  return PointsTo(inst.parent()->parent()->id(), op.reg);
+}
+
+std::vector<const ir::Instruction*> PointsToResult::AccessorsOf(const ObjectSet& objs) const {
+  std::vector<const ir::Instruction*> out;
+  for (const auto& [inst, var] : accesses_) {
+    if (var_pts_[var].Intersects(objs)) {
+      out.push_back(inst);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+class AndersenSolver {
+ public:
+  AndersenSolver(const ir::Module& module, const PointsToOptions& options)
+      : module_(module), options_(options) {}
+
+  PointsToResult Run();
+
+ private:
+  bool InScope(const ir::Instruction& inst) const {
+    if (options_.scope == PointsToOptions::Scope::kWholeProgram) {
+      return true;
+    }
+    return options_.executed->find(inst.id()) != options_.executed->end();
+  }
+
+  uint32_t Var(ir::FuncId func, ir::Reg reg) const {
+    return result_.func_reg_base_[func] + reg;
+  }
+  uint32_t RetVar(ir::FuncId func) const { return ret_var_base_ + func; }
+  uint32_t ObjVar(uint32_t obj_index) const { return obj_var_base_ + obj_index; }
+
+  static uint64_t ObjectKey(const AbstractObject& obj) {
+    return (static_cast<uint64_t>(obj.kind) << 32) | obj.id;
+  }
+
+  uint32_t ObjectIndex(AbstractObject obj) const {
+    auto it = object_index_.find(ObjectKey(obj));
+    SNORLAX_CHECK_MSG(it != object_index_.end(), "unregistered abstract object");
+    return it->second;
+  }
+
+  void AddCopyEdge(uint32_t from, uint32_t to) {
+    copy_edges_[from].push_back(to);
+    ++result_.stats_.constraints;
+  }
+  void AddBaseConstraint(uint32_t var, uint32_t obj_index) {
+    if (pts_[var].Set(obj_index)) {
+      Enqueue(var);
+    }
+    ++result_.stats_.constraints;
+  }
+  void Enqueue(uint32_t var) {
+    if (!in_worklist_[var]) {
+      in_worklist_[var] = true;
+      worklist_.push_back(var);
+    }
+  }
+
+  void CollectObjects();
+  void GenerateConstraints();
+  void GenerateForInstruction(const ir::Function& func, const ir::Instruction& inst);
+  void BindCallArguments(const ir::Function& caller, const ir::Instruction& call,
+                         const ir::Function& callee, size_t first_arg_operand);
+  void Solve();
+
+  const ir::Module& module_;
+  const PointsToOptions& options_;
+  PointsToResult result_;
+
+  uint32_t ret_var_base_ = 0;
+  uint32_t obj_var_base_ = 0;
+  size_t num_vars_ = 0;
+
+  std::vector<ObjectSet> pts_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> copy_edges_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> load_edges_;   // p -> result var
+  std::unordered_map<uint32_t, std::vector<uint32_t>> store_edges_;  // p -> value var
+  // Indirect call sites keyed by target variable.
+  struct IndirectSite {
+    const ir::Instruction* call = nullptr;
+    const ir::Function* caller = nullptr;
+  };
+  std::unordered_map<uint32_t, std::vector<IndirectSite>> indirect_sites_;
+  std::unordered_map<uint64_t, uint32_t> object_index_;
+  // Objects already processed per variable (for incremental edge expansion).
+  std::vector<ObjectSet> processed_;
+  std::deque<uint32_t> worklist_;
+  std::vector<bool> in_worklist_;
+};
+
+void AndersenSolver::CollectObjects() {
+  auto add = [this](AbstractObject obj) {
+    object_index_[ObjectKey(obj)] = static_cast<uint32_t>(result_.objects_.size());
+    result_.objects_.push_back(obj);
+  };
+  // Globals and functions are always objects; alloca sites only when in scope.
+  for (const ir::GlobalVar& g : module_.globals()) {
+    add({AbstractObject::Kind::kGlobal, g.id});
+  }
+  for (const auto& func : module_.functions()) {
+    add({AbstractObject::Kind::kFunction, func->id()});
+  }
+  for (const ir::Instruction* inst : module_.AllInstructions()) {
+    if (inst->opcode() == ir::Opcode::kAlloca && InScope(*inst)) {
+      add({AbstractObject::Kind::kAllocaSite, inst->id()});
+    }
+  }
+}
+
+void AndersenSolver::BindCallArguments(const ir::Function& caller, const ir::Instruction& call,
+                                       const ir::Function& callee, size_t first_arg_operand) {
+  for (size_t i = first_arg_operand; i < call.num_operands(); ++i) {
+    const size_t param = i - first_arg_operand;
+    if (param >= callee.num_params()) {
+      break;
+    }
+    if (call.operand(i).IsReg()) {
+      AddCopyEdge(Var(caller.id(), call.operand(i).reg),
+                  Var(callee.id(), static_cast<ir::Reg>(param)));
+    }
+  }
+  if (call.HasResult()) {
+    AddCopyEdge(RetVar(callee.id()), Var(caller.id(), call.result()));
+  }
+}
+
+void AndersenSolver::GenerateForInstruction(const ir::Function& func,
+                                            const ir::Instruction& inst) {
+  const ir::FuncId f = func.id();
+  switch (inst.opcode()) {
+    case ir::Opcode::kAlloca:
+      AddBaseConstraint(Var(f, inst.result()),
+                        ObjectIndex({AbstractObject::Kind::kAllocaSite, inst.id()}));
+      break;
+    case ir::Opcode::kAddrOfGlobal:
+      AddBaseConstraint(Var(f, inst.result()),
+                        ObjectIndex({AbstractObject::Kind::kGlobal, inst.global()}));
+      break;
+    case ir::Opcode::kFuncAddr:
+      AddBaseConstraint(Var(f, inst.result()),
+                        ObjectIndex({AbstractObject::Kind::kFunction, inst.callee()}));
+      break;
+    case ir::Opcode::kCopy:
+    case ir::Opcode::kCast:
+    case ir::Opcode::kGep:  // field-insensitive: the field pointer aliases its base
+      if (inst.operand(0).IsReg()) {
+        AddCopyEdge(Var(f, inst.operand(0).reg), Var(f, inst.result()));
+      }
+      break;
+    case ir::Opcode::kLoad:
+      if (inst.operand(0).IsReg()) {
+        load_edges_[Var(f, inst.operand(0).reg)].push_back(Var(f, inst.result()));
+        ++result_.stats_.constraints;
+        result_.accesses_.emplace_back(&inst, Var(f, inst.operand(0).reg));
+      }
+      break;
+    case ir::Opcode::kStore:
+      if (inst.operand(1).IsReg()) {
+        if (inst.operand(0).IsReg()) {
+          store_edges_[Var(f, inst.operand(1).reg)].push_back(Var(f, inst.operand(0).reg));
+          ++result_.stats_.constraints;
+        }
+        result_.accesses_.emplace_back(&inst, Var(f, inst.operand(1).reg));
+      }
+      break;
+    case ir::Opcode::kLockAcquire:
+    case ir::Opcode::kLockRelease:
+      if (inst.operand(0).IsReg()) {
+        result_.accesses_.emplace_back(&inst, Var(f, inst.operand(0).reg));
+      }
+      break;
+    case ir::Opcode::kCall:
+    case ir::Opcode::kThreadCreate:
+      BindCallArguments(func, inst, *module_.function(inst.callee()), 0);
+      break;
+    case ir::Opcode::kCallIndirect:
+      if (inst.operand(0).IsReg()) {
+        indirect_sites_[Var(f, inst.operand(0).reg)].push_back(IndirectSite{&inst, &func});
+        ++result_.stats_.constraints;
+      }
+      break;
+    case ir::Opcode::kRet:
+      if (inst.num_operands() == 1 && inst.operand(0).IsReg()) {
+        AddCopyEdge(Var(f, inst.operand(0).reg), RetVar(f));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void AndersenSolver::GenerateConstraints() {
+  for (const auto& func : module_.functions()) {
+    for (const auto& bb : func->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (!InScope(*inst)) {
+          continue;
+        }
+        ++result_.stats_.instructions_analyzed;
+        GenerateForInstruction(*func, *inst);
+      }
+    }
+  }
+}
+
+void AndersenSolver::Solve() {
+  while (!worklist_.empty()) {
+    const uint32_t v = worklist_.front();
+    worklist_.pop_front();
+    in_worklist_[v] = false;
+    ++result_.stats_.solver_iterations;
+
+    // Expand complex constraints for objects newly seen at v.
+    for (uint32_t obj : pts_[v].Elements()) {
+      if (!processed_[v].Set(obj)) {
+        continue;
+      }
+      const uint32_t ov = ObjVar(obj);
+      auto lit = load_edges_.find(v);
+      if (lit != load_edges_.end()) {
+        for (uint32_t result_var : lit->second) {
+          AddCopyEdge(ov, result_var);
+          if (pts_[result_var].UnionWith(pts_[ov])) {
+            Enqueue(result_var);
+          }
+        }
+      }
+      auto sit = store_edges_.find(v);
+      if (sit != store_edges_.end()) {
+        for (uint32_t value_var : sit->second) {
+          AddCopyEdge(value_var, ov);
+          if (pts_[ov].UnionWith(pts_[value_var])) {
+            Enqueue(ov);
+          }
+        }
+      }
+      auto iit = indirect_sites_.find(v);
+      if (iit != indirect_sites_.end()) {
+        const AbstractObject& o = result_.objects_[obj];
+        if (o.kind == AbstractObject::Kind::kFunction) {
+          const ir::Function* callee = module_.function(o.id);
+          for (const IndirectSite& site : iit->second) {
+            BindCallArguments(*site.caller, *site.call, *callee, 1);
+            // Pull already-computed argument sets across the new edges.
+            for (size_t a = 1; a < site.call->num_operands(); ++a) {
+              const size_t param = a - 1;
+              if (param >= callee->num_params() || !site.call->operand(a).IsReg()) {
+                continue;
+              }
+              const uint32_t from = Var(site.caller->id(), site.call->operand(a).reg);
+              const uint32_t to = Var(callee->id(), static_cast<ir::Reg>(param));
+              if (pts_[to].UnionWith(pts_[from])) {
+                Enqueue(to);
+              }
+            }
+            if (site.call->HasResult()) {
+              const uint32_t to = Var(site.caller->id(), site.call->result());
+              if (pts_[to].UnionWith(pts_[RetVar(callee->id())])) {
+                Enqueue(to);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Propagate along copy edges.
+    auto cit = copy_edges_.find(v);
+    if (cit != copy_edges_.end()) {
+      for (uint32_t to : cit->second) {
+        if (pts_[to].UnionWith(pts_[v])) {
+          Enqueue(to);
+        }
+      }
+    }
+  }
+}
+
+PointsToResult AndersenSolver::Run() {
+  const auto start = std::chrono::steady_clock::now();
+  SNORLAX_CHECK(options_.scope == PointsToOptions::Scope::kWholeProgram ||
+                options_.executed != nullptr);
+  result_.module_ = &module_;
+
+  // Variable layout: register vars per function, then return vars, then
+  // object-content vars.
+  result_.func_reg_base_.resize(module_.functions().size());
+  uint32_t next = 0;
+  for (const auto& func : module_.functions()) {
+    result_.func_reg_base_[func->id()] = next;
+    next += func->num_regs();
+  }
+  ret_var_base_ = next;
+  next += static_cast<uint32_t>(module_.functions().size());
+
+  CollectObjects();
+  obj_var_base_ = next;
+  next += static_cast<uint32_t>(result_.objects_.size());
+  num_vars_ = next;
+
+  pts_.resize(num_vars_);
+  processed_.resize(num_vars_);
+  in_worklist_.assign(num_vars_, false);
+  result_.stats_.variables = num_vars_;
+  result_.stats_.objects = result_.objects_.size();
+
+  GenerateConstraints();
+  Solve();
+
+  result_.var_pts_ = std::move(pts_);
+  const auto end = std::chrono::steady_clock::now();
+  result_.stats_.solve_seconds = std::chrono::duration<double>(end - start).count();
+  return std::move(result_);
+}
+
+PointsToResult RunPointsTo(const ir::Module& module, const PointsToOptions& options) {
+  AndersenSolver solver(module, options);
+  return solver.Run();
+}
+
+}  // namespace snorlax::analysis

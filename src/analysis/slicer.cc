@@ -1,0 +1,141 @@
+#include "analysis/slicer.h"
+
+#include <deque>
+
+#include "ir/cfg.h"
+#include "support/check.h"
+
+namespace snorlax::analysis {
+
+namespace {
+
+// Pre-computed indexes so the slice walk is not quadratic.
+struct SliceIndex {
+  // (func, reg) -> defining instructions.
+  std::unordered_map<uint64_t, std::vector<const ir::Instruction*>> defs;
+  // All stores, for alias-based load dependences.
+  std::vector<const ir::Instruction*> stores;
+  // Callee func -> call sites.
+  std::unordered_map<ir::FuncId, std::vector<const ir::Instruction*>> call_sites;
+  // Func -> its return instructions.
+  std::unordered_map<ir::FuncId, std::vector<const ir::Instruction*>> returns;
+  // Block -> predecessor terminators (control dependences).
+  std::unordered_map<ir::BlockId, std::vector<const ir::Instruction*>> control_deps;
+
+  static uint64_t RegKey(ir::FuncId f, ir::Reg r) {
+    return (static_cast<uint64_t>(f) << 32) | r;
+  }
+};
+
+SliceIndex BuildIndex(const ir::Module& module) {
+  SliceIndex index;
+  for (const auto& func : module.functions()) {
+    const auto preds = ir::Predecessors(*func);
+    for (const auto& bb : func->blocks()) {
+      for (ir::BlockId pred : preds.at(bb->id())) {
+        index.control_deps[bb->id()].push_back(module.block(pred)->terminator());
+      }
+      for (const auto& inst : bb->instructions()) {
+        if (inst->HasResult()) {
+          index.defs[SliceIndex::RegKey(func->id(), inst->result())].push_back(inst.get());
+        }
+        switch (inst->opcode()) {
+          case ir::Opcode::kStore:
+            index.stores.push_back(inst.get());
+            break;
+          case ir::Opcode::kCall:
+          case ir::Opcode::kThreadCreate:
+            index.call_sites[inst->callee()].push_back(inst.get());
+            break;
+          case ir::Opcode::kRet:
+            index.returns[func->id()].push_back(inst.get());
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+std::unordered_set<ir::InstId> BackwardSlice(const ir::Module& module,
+                                             const PointsToResult& points_to,
+                                             ir::InstId criterion,
+                                             const SliceOptions& options) {
+  const SliceIndex index = BuildIndex(module);
+  std::unordered_set<ir::InstId> slice;
+  std::deque<const ir::Instruction*> worklist;
+
+  auto push = [&](const ir::Instruction* inst) {
+    if (slice.size() >= options.max_instructions) {
+      return;
+    }
+    if (slice.insert(inst->id()).second) {
+      worklist.push_back(inst);
+    }
+  };
+
+  push(module.instruction(criterion));
+
+  while (!worklist.empty()) {
+    const ir::Instruction* inst = worklist.front();
+    worklist.pop_front();
+    const ir::Function* func = inst->parent()->parent();
+
+    // Register data dependences.
+    for (const ir::Operand& op : inst->operands()) {
+      if (!op.IsReg()) {
+        continue;
+      }
+      auto it = index.defs.find(SliceIndex::RegKey(func->id(), op.reg));
+      if (it != index.defs.end()) {
+        for (const ir::Instruction* def : it->second) {
+          push(def);
+        }
+      }
+      // Parameters flow in from every call site of this function.
+      if (op.reg < func->num_params()) {
+        auto cit = index.call_sites.find(func->id());
+        if (cit != index.call_sites.end()) {
+          for (const ir::Instruction* call : cit->second) {
+            push(call);
+          }
+        }
+      }
+    }
+
+    // Memory data dependences: a load depends on aliasing stores.
+    if (inst->opcode() == ir::Opcode::kLoad) {
+      const ObjectSet& loaded = points_to.PointerOperandPointsTo(*inst);
+      for (const ir::Instruction* store : index.stores) {
+        if (points_to.PointerOperandPointsTo(*store).Intersects(loaded)) {
+          push(store);
+        }
+      }
+    }
+
+    // Call result dependences: the callee's returns.
+    if ((inst->opcode() == ir::Opcode::kCall) && inst->HasResult()) {
+      auto rit = index.returns.find(inst->callee());
+      if (rit != index.returns.end()) {
+        for (const ir::Instruction* ret : rit->second) {
+          push(ret);
+        }
+      }
+    }
+
+    // Control dependences: predecessors' terminators.
+    auto cdit = index.control_deps.find(inst->parent()->id());
+    if (cdit != index.control_deps.end()) {
+      for (const ir::Instruction* term : cdit->second) {
+        push(term);
+      }
+    }
+  }
+  return slice;
+}
+
+}  // namespace snorlax::analysis

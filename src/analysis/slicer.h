@@ -1,0 +1,40 @@
+// Static backward slicing, the analysis underlying the Gist baseline
+// (paper section 6.3: "Gist's static analysis computes a static backward
+// slice which includes all the program instructions that could affect the
+// failing instruction").
+//
+// The slice is conservative and interprocedural:
+//   - data dependences through registers (any instruction defining a register
+//     the current instruction reads, anywhere in the function -- the IR is not
+//     SSA, so all defs are included),
+//   - data dependences through memory (loads depend on every store that may
+//     alias, per a whole-program points-to analysis),
+//   - call dependences (arguments at every call site of the containing
+//     function; return instructions of callees whose result is read),
+//   - control dependences (the terminators of blocks that can branch to the
+//     instruction's block).
+#ifndef SNORLAX_ANALYSIS_SLICER_H_
+#define SNORLAX_ANALYSIS_SLICER_H_
+
+#include <unordered_set>
+
+#include "analysis/points_to.h"
+#include "ir/module.h"
+
+namespace snorlax::analysis {
+
+struct SliceOptions {
+  // Cap on slice growth; real slicers bound their work similarly.
+  size_t max_instructions = 1u << 20;
+};
+
+// Instructions that may affect `criterion` (the failing instruction).
+// `points_to` must be a whole-program analysis of `module`.
+std::unordered_set<ir::InstId> BackwardSlice(const ir::Module& module,
+                                             const PointsToResult& points_to,
+                                             ir::InstId criterion,
+                                             const SliceOptions& options = {});
+
+}  // namespace snorlax::analysis
+
+#endif  // SNORLAX_ANALYSIS_SLICER_H_

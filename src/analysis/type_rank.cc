@@ -1,0 +1,58 @@
+#include "analysis/type_rank.h"
+
+#include <algorithm>
+
+namespace snorlax::analysis {
+
+namespace {
+
+// Rank-2 compatibility: both are pointers (any cast between pointer types is
+// plausible), or both are integers of the same width.
+bool LooselyCompatible(const ir::Type* a, const ir::Type* b) {
+  if (a == nullptr || b == nullptr) {
+    return false;
+  }
+  if (a->IsPointer() && b->IsPointer()) {
+    return true;
+  }
+  if (a->IsInt() && b->IsInt()) {
+    return a->bit_width() == b->bit_width();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<RankedInstruction> RankByType(const ir::Type* failing_type,
+                                          const std::vector<const ir::Instruction*>& candidates,
+                                          TypeRankStats* stats) {
+  std::vector<RankedInstruction> out;
+  out.reserve(candidates.size());
+  for (const ir::Instruction* inst : candidates) {
+    int rank;
+    if (inst->type() == failing_type) {
+      rank = 1;  // types are interned: pointer equality is exact type identity
+    } else if (LooselyCompatible(inst->type(), failing_type)) {
+      rank = 2;
+    } else {
+      rank = 3;
+    }
+    out.push_back(RankedInstruction{inst, rank});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedInstruction& a, const RankedInstruction& b) {
+    if (a.rank != b.rank) {
+      return a.rank < b.rank;
+    }
+    return a.inst->id() < b.inst->id();
+  });
+  if (stats != nullptr) {
+    stats->candidates = out.size();
+    stats->rank1 = static_cast<size_t>(
+        std::count_if(out.begin(), out.end(), [](const RankedInstruction& r) {
+          return r.rank == 1;
+        }));
+  }
+  return out;
+}
+
+}  // namespace snorlax::analysis

@@ -1,0 +1,35 @@
+#include "core/client.h"
+
+#include "support/check.h"
+
+namespace snorlax::core {
+
+DiagnosisClient::DiagnosisClient(const ir::Module* module, ClientOptions options)
+    : module_(module), options_(std::move(options)) {
+  SNORLAX_CHECK(module != nullptr);
+}
+
+ClientRun DiagnosisClient::RunOnce(
+    uint64_t seed, const std::vector<std::pair<ir::InstId, int>>& dump_points) {
+  rt::InterpOptions interp_options = options_.interp;
+  interp_options.seed = seed;
+  rt::Interpreter interp(module_, interp_options);
+
+  ClientRun out;
+  if (!options_.tracing_enabled) {
+    out.result = interp.Run(options_.entry);
+    return out;
+  }
+
+  pt::PtDriver driver(module_, options_.pt);
+  for (const auto& [pc, rank] : dump_points) {
+    driver.AddDumpPoint(pc, rank);
+  }
+  driver.Attach(&interp);
+  out.result = interp.Run(options_.entry);
+  out.trace = driver.captured();
+  out.pt_stats = driver.encoder().stats();
+  return out;
+}
+
+}  // namespace snorlax::core

@@ -1,0 +1,48 @@
+// DiagnosisClient: the production machine running the monitored program
+// under always-on PT tracing (left half of Figure 2).
+//
+// Each RunOnce executes the program once under a fresh interpreter with the
+// PT driver attached. If the run fails, the driver's failure dump is
+// returned; otherwise, if the server requested dump points (step 8), the
+// best-ranked dump-point snapshot is returned.
+#ifndef SNORLAX_CORE_CLIENT_H_
+#define SNORLAX_CORE_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pt/driver.h"
+#include "runtime/interpreter.h"
+
+namespace snorlax::core {
+
+struct ClientOptions {
+  pt::PtConfig pt;
+  rt::InterpOptions interp;  // the seed field is overridden per run
+  std::string entry = "main";
+  bool tracing_enabled = true;  // off = bare production run (overhead baseline)
+};
+
+struct ClientRun {
+  rt::RunResult result;
+  // The captured trace: failure dump, or dump-point snapshot, or nullopt.
+  std::optional<pt::PtTraceBundle> trace;
+  pt::PtStats pt_stats;
+};
+
+class DiagnosisClient {
+ public:
+  DiagnosisClient(const ir::Module* module, ClientOptions options = {});
+
+  ClientRun RunOnce(uint64_t seed,
+                    const std::vector<std::pair<ir::InstId, int>>& dump_points = {});
+
+ private:
+  const ir::Module* module_;
+  ClientOptions options_;
+};
+
+}  // namespace snorlax::core
+
+#endif  // SNORLAX_CORE_CLIENT_H_

@@ -1,0 +1,216 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/str.h"
+
+namespace snorlax::core {
+
+const char* PatternKindName(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kDeadlock:
+      return "deadlock";
+    case PatternKind::kOrderViolationWR:
+      return "order-violation(WR)";
+    case PatternKind::kOrderViolationRW:
+      return "order-violation(RW)";
+    case PatternKind::kOrderViolationWW:
+      return "order-violation(WW)";
+    case PatternKind::kAtomicityRWR:
+      return "atomicity-violation(RWR)";
+    case PatternKind::kAtomicityWWR:
+      return "atomicity-violation(WWR)";
+    case PatternKind::kAtomicityRWW:
+      return "atomicity-violation(RWW)";
+    case PatternKind::kAtomicityWRW:
+      return "atomicity-violation(WRW)";
+  }
+  return "?";
+}
+
+bool IsAtomicityViolation(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kAtomicityRWR:
+    case PatternKind::kAtomicityWWR:
+    case PatternKind::kAtomicityRWW:
+    case PatternKind::kAtomicityWRW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsOrderViolation(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kOrderViolationWR:
+    case PatternKind::kOrderViolationRW:
+    case PatternKind::kOrderViolationWW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string BugPattern::Key() const {
+  std::string key = PatternKindName(kind);
+  for (const PatternEvent& e : events) {
+    key += StrFormat("|%u@%u%s", e.inst, e.thread_slot, e.thread_final ? "!" : "");
+  }
+  if (!ordered) {
+    key += "|unordered";
+  }
+  return key;
+}
+
+std::vector<uint64_t> BugPattern::InstIdsInOrder() const {
+  std::vector<uint64_t> out;
+  out.reserve(events.size());
+  for (const PatternEvent& e : events) {
+    out.push_back(e.inst);
+  }
+  return out;
+}
+
+namespace {
+
+// Cap on instances considered per event: keeps the embedding search bounded
+// on traces where a racing instruction executed thousands of times. The most
+// recent instances are the ones adjacent to a failure, so keep the tail.
+constexpr size_t kMaxInstancesPerEvent = 48;
+
+struct EmbedState {
+  const trace::ProcessedTrace* trace = nullptr;
+  const BugPattern* pattern = nullptr;
+  std::vector<std::vector<const trace::DynInst*>> candidates;  // per event
+  std::vector<const trace::DynInst*> chosen;
+  // thread_slot -> bound thread (kInvalidThread while unbound).
+  std::vector<rt::ThreadId> slot_binding;
+};
+
+// Atomicity patterns (slots 0,1,0) assert that the two same-thread accesses
+// were *meant* to be atomic: the embedding is only meaningful when they are
+// adjacent, i.e. no other instance of the pattern's instructions runs in that
+// thread between them. Without this rule, any long trace would "contain"
+// every atomicity pattern vacuously (first iteration read ... much later
+// read), destroying the discrimination statistical diagnosis depends on.
+bool AtomicityAdjacencyHolds(const EmbedState& s) {
+  const std::vector<PatternEvent>& events = s.pattern->events;
+  if (!IsAtomicityViolation(s.pattern->kind) || events.size() != 3) {
+    return true;
+  }
+  const trace::DynInst* first = s.chosen[0];
+  const trace::DynInst* last = s.chosen[2];
+  if (first->thread != last->thread) {
+    return true;  // malformed slots; let it pass
+  }
+  for (const PatternEvent& ev : events) {
+    for (const trace::DynInst* inst : s.trace->InstancesOf(ev.inst)) {
+      if (inst->thread != first->thread || inst == first || inst == last) {
+        continue;
+      }
+      if (inst->seq > first->seq && inst->seq < last->seq) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Embed(EmbedState& s, size_t event_index) {
+  if (event_index == s.pattern->events.size()) {
+    return AtomicityAdjacencyHolds(s);
+  }
+  const PatternEvent& ev = s.pattern->events[event_index];
+  for (const trace::DynInst* inst : s.candidates[event_index]) {
+    // Thread-slot consistency.
+    const rt::ThreadId bound = s.slot_binding[ev.thread_slot];
+    if (bound != rt::kInvalidThread && bound != inst->thread) {
+      continue;
+    }
+    if (bound == rt::kInvalidThread) {
+      // A fresh slot must not collide with a differently-numbered slot.
+      bool collides = false;
+      for (size_t slot = 0; slot < s.slot_binding.size(); ++slot) {
+        if (slot != ev.thread_slot && s.slot_binding[slot] == inst->thread) {
+          collides = true;
+          break;
+        }
+      }
+      if (collides) {
+        continue;
+      }
+    }
+    // Blocked-forever events must be their thread's final trace event.
+    if (ev.thread_final && inst->seq != s.trace->LastSeqOf(inst->thread)) {
+      continue;
+    }
+    // Order consistency with all previously chosen events. Deadlock patterns
+    // only constrain order within a thread slot (a lock cycle is symmetric
+    // across threads; what matters is each hold preceding its own attempt).
+    if (s.pattern->ordered) {
+      bool ok = true;
+      for (size_t prev = 0; prev < event_index; ++prev) {
+        if (s.pattern->kind == PatternKind::kDeadlock &&
+            s.pattern->events[prev].thread_slot != ev.thread_slot) {
+          continue;
+        }
+        if (!s.trace->ExecutesBefore(*s.chosen[prev], *inst)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        continue;
+      }
+    } else {
+      // Unordered pattern: only require distinct dynamic instances.
+      if (std::find(s.chosen.begin(), s.chosen.end(), inst) != s.chosen.end()) {
+        continue;
+      }
+    }
+
+    s.chosen[event_index] = inst;
+    const bool fresh_binding = (bound == rt::kInvalidThread);
+    if (fresh_binding) {
+      s.slot_binding[ev.thread_slot] = inst->thread;
+    }
+    if (Embed(s, event_index + 1)) {
+      return true;
+    }
+    if (fresh_binding) {
+      s.slot_binding[ev.thread_slot] = rt::kInvalidThread;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool TraceContainsPattern(const trace::ProcessedTrace& trace, const BugPattern& pattern) {
+  if (pattern.events.empty()) {
+    return false;
+  }
+  EmbedState s;
+  s.trace = &trace;
+  s.pattern = &pattern;
+  s.candidates.resize(pattern.events.size());
+  uint8_t max_slot = 0;
+  for (size_t i = 0; i < pattern.events.size(); ++i) {
+    std::vector<const trace::DynInst*> instances = trace.InstancesOf(pattern.events[i].inst);
+    if (instances.empty()) {
+      return false;
+    }
+    if (instances.size() > kMaxInstancesPerEvent) {
+      instances.erase(instances.begin(),
+                      instances.end() - static_cast<long>(kMaxInstancesPerEvent));
+    }
+    s.candidates[i] = std::move(instances);
+    max_slot = std::max(max_slot, pattern.events[i].thread_slot);
+  }
+  s.chosen.assign(pattern.events.size(), nullptr);
+  s.slot_binding.assign(static_cast<size_t>(max_slot) + 1, rt::kInvalidThread);
+  return Embed(s, 0);
+}
+
+}  // namespace snorlax::core

@@ -1,0 +1,67 @@
+// Concurrency bug patterns (paper Figure 1) and their presence test.
+//
+// A BugPattern is the paper's root-cause object: an ordered list of target
+// events (static instructions plus thread-identity constraints). Statistical
+// diagnosis asks, for every execution trace, "does this trace contain the
+// pattern?" -- an embedding of the pattern's events into the trace's dynamic
+// instances that respects the partial order and the thread constraints.
+#ifndef SNORLAX_CORE_PATTERN_H_
+#define SNORLAX_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/processed_trace.h"
+
+namespace snorlax::core {
+
+enum class PatternKind : uint8_t {
+  kDeadlock,
+  kOrderViolationWR,  // write then racing read
+  kOrderViolationRW,  // read then racing write
+  kOrderViolationWW,  // write then racing write
+  kAtomicityRWR,
+  kAtomicityWWR,
+  kAtomicityRWW,
+  kAtomicityWRW,
+};
+
+const char* PatternKindName(PatternKind kind);
+bool IsAtomicityViolation(PatternKind kind);
+bool IsOrderViolation(PatternKind kind);
+
+struct PatternEvent {
+  ir::InstId inst = ir::kInvalidInstId;
+  // Thread slot, not a concrete thread id: events with equal slots must bind
+  // to the same thread, different slots to different threads. Slot 0 is the
+  // failing thread by convention.
+  uint8_t thread_slot = 0;
+  // The matched instance must be the final event of its thread in the trace.
+  // Used for deadlock blocking attempts: "blocked forever" is observable as
+  // the thread never executing anything afterwards.
+  bool thread_final = false;
+};
+
+struct BugPattern {
+  PatternKind kind = PatternKind::kOrderViolationWR;
+  // Events in root-cause execution order (first-to-last).
+  std::vector<PatternEvent> events;
+  // Ordering established from the coarse timestamps? False when the coarse
+  // interleaving hypothesis did not hold for these events; the pattern is
+  // then an *unordered* event set (paper section 7's graceful degradation).
+  bool ordered = true;
+
+  // Canonical identity used for de-duplication and cross-trace counting.
+  std::string Key() const;
+  // The instruction ids in pattern order (for ordering-accuracy metrics).
+  std::vector<uint64_t> InstIdsInOrder() const;
+};
+
+// True iff `trace` contains an embedding of `pattern`: dynamic instances of
+// each event's instruction, bound to threads per the slot constraints, and
+// (when pattern.ordered) pairwise ordered by the trace's partial order.
+bool TraceContainsPattern(const trace::ProcessedTrace& trace, const BugPattern& pattern);
+
+}  // namespace snorlax::core
+
+#endif  // SNORLAX_CORE_PATTERN_H_

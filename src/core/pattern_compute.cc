@@ -1,0 +1,421 @@
+#include "core/pattern_compute.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace snorlax::core {
+
+namespace {
+
+bool IsWrite(const ir::Instruction& inst) { return inst.opcode() == ir::Opcode::kStore; }
+
+// Access roles of (first, second, third) -> atomicity kind, or nullopt for a
+// role combination outside the paper's four single-variable patterns.
+std::optional<PatternKind> AtomicityKind(bool w1, bool w2, bool w3) {
+  if (!w1 && w2 && !w3) {
+    return PatternKind::kAtomicityRWR;
+  }
+  if (w1 && w2 && !w3) {
+    return PatternKind::kAtomicityWWR;
+  }
+  if (!w1 && w2 && w3) {
+    return PatternKind::kAtomicityRWW;
+  }
+  if (w1 && !w2 && w3) {
+    return PatternKind::kAtomicityWRW;
+  }
+  return std::nullopt;
+}
+
+PatternKind OrderKind(bool first_is_write, bool second_is_write) {
+  if (first_is_write && !second_is_write) {
+    return PatternKind::kOrderViolationWR;
+  }
+  if (!first_is_write && second_is_write) {
+    return PatternKind::kOrderViolationRW;
+  }
+  return PatternKind::kOrderViolationWW;
+}
+
+class PatternBuilder {
+ public:
+  PatternBuilder(const PatternComputeOptions& options, PatternComputeResult* result)
+      : options_(options), result_(result) {}
+
+  bool Full() const { return result_->patterns.size() >= options_.max_patterns; }
+
+  void Add(BugPattern pattern) {
+    if (Full()) {
+      return;
+    }
+    const std::string key = pattern.Key();
+    if (seen_.insert(key).second) {
+      if (!pattern.ordered) {
+        result_->hypothesis_violated = true;
+      }
+      result_->patterns.push_back(std::move(pattern));
+    }
+  }
+
+  // Unordered fallbacks are only useful when the coarse interleaving
+  // hypothesis failed for the whole failure: stash them and flush only if no
+  // ordered pattern was found (paper section 7's graceful degradation).
+  void StashUnordered(BugPattern pattern) { unordered_.push_back(std::move(pattern)); }
+  void FlushUnorderedIfNoOrdered() {
+    if (!result_->patterns.empty()) {
+      return;
+    }
+    for (BugPattern& p : unordered_) {
+      Add(std::move(p));
+    }
+    unordered_.clear();
+  }
+
+ private:
+  const PatternComputeOptions& options_;
+  PatternComputeResult* result_;
+  std::unordered_set<std::string> seen_;
+  std::vector<BugPattern> unordered_;
+};
+
+// The pattern anchors: for each access on the failure chain, the latest
+// dynamic instance the failing thread executed before the failure. These are
+// the possible final events of crash patterns (the failing dereference, the
+// load that produced the corrupt pointer, ...).
+std::vector<const trace::DynInst*> FailingAnchors(
+    const trace::ProcessedTrace& trace, const rt::FailureInfo& failure,
+    const std::vector<const ir::Instruction*>& failure_chain) {
+  std::vector<const trace::DynInst*> anchors;
+  for (const ir::Instruction* access : failure_chain) {
+    if (!access->IsMemoryAccess()) {
+      continue;
+    }
+    const trace::DynInst* best = nullptr;
+    for (const trace::DynInst* d : trace.InstancesOf(access->id())) {
+      if (d->thread != failure.thread || d->ts_ns > failure.time_ns) {
+        continue;
+      }
+      if (best == nullptr || d->seq > best->seq) {
+        best = d;
+      }
+    }
+    if (best != nullptr) {
+      anchors.push_back(best);
+    }
+  }
+  return anchors;
+}
+
+void ComputeCrashPatternsForAnchor(const ir::Module& module,
+                                   const trace::ProcessedTrace& trace,
+                                   const std::vector<const ir::Instruction*>& candidates,
+                                   const trace::DynInst* f_dyn, PatternBuilder& builder) {
+  const ir::Instruction* f_inst = module.instruction(f_dyn->inst);
+  const bool f_is_write = IsWrite(*f_inst);
+
+  // --- Order violations: remote access a, then the failing access. ----------
+  for (const ir::Instruction* a_inst : candidates) {
+    if (builder.Full()) {
+      return;
+    }
+    const bool a_is_write = IsWrite(*a_inst);
+    if (!a_is_write && !f_is_write) {
+      continue;  // a race needs at least one write
+    }
+    // Latest remote instance before the failure.
+    const trace::DynInst* best_before = nullptr;
+    const trace::DynInst* best_unordered = nullptr;
+    for (const trace::DynInst* a : trace.InstancesOf(a_inst->id())) {
+      if (a->thread == f_dyn->thread) {
+        continue;
+      }
+      if (trace.ExecutesBefore(*a, *f_dyn)) {
+        if (best_before == nullptr || a->ts_ns > best_before->ts_ns) {
+          best_before = a;
+        }
+      } else if (trace.Unordered(*a, *f_dyn)) {
+        best_unordered = a;
+      }
+    }
+    if (best_before != nullptr) {
+      BugPattern p;
+      p.kind = OrderKind(a_is_write, f_is_write);
+      p.events = {PatternEvent{a_inst->id(), 1}, PatternEvent{f_inst->id(), 0}};
+      builder.Add(std::move(p));
+    } else if (best_unordered != nullptr) {
+      // Coarse interleaving hypothesis violated for this pair: remember the
+      // events without an order; they are reported only if no pattern at all
+      // can be ordered (paper section 7).
+      BugPattern p;
+      p.kind = OrderKind(a_is_write, f_is_write);
+      p.events = {PatternEvent{a_inst->id(), 1}, PatternEvent{f_inst->id(), 0}};
+      p.ordered = false;
+      builder.StashUnordered(std::move(p));
+    }
+  }
+
+  // --- Atomicity violations: local a, remote b, failing access. --------------
+  for (const ir::Instruction* a_inst : candidates) {
+    for (const ir::Instruction* b_inst : candidates) {
+      if (builder.Full()) {
+        return;
+      }
+      const std::optional<PatternKind> kind =
+          AtomicityKind(IsWrite(*a_inst), IsWrite(*b_inst), f_is_write);
+      if (!kind.has_value()) {
+        continue;
+      }
+      // Find a (failing thread) < b (other thread) < f, taking the latest
+      // instances that satisfy the chain.
+      const trace::DynInst* best_a = nullptr;
+      const trace::DynInst* best_b = nullptr;
+      for (const trace::DynInst* b : trace.InstancesOf(b_inst->id())) {
+        if (b->thread == f_dyn->thread || !trace.ExecutesBefore(*b, *f_dyn)) {
+          continue;
+        }
+        for (const trace::DynInst* a : trace.InstancesOf(a_inst->id())) {
+          if (a->thread != f_dyn->thread || a == f_dyn) {
+            continue;
+          }
+          if (!trace.ExecutesBefore(*a, *b)) {
+            continue;
+          }
+          if (best_b == nullptr || b->ts_ns > best_b->ts_ns ||
+              (b->ts_ns == best_b->ts_ns && a->ts_ns > best_a->ts_ns)) {
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a != nullptr) {
+        BugPattern p;
+        p.kind = *kind;
+        p.events = {PatternEvent{a_inst->id(), 0}, PatternEvent{b_inst->id(), 1},
+                    PatternEvent{f_inst->id(), 0}};
+        builder.Add(std::move(p));
+      }
+    }
+  }
+
+  // --- Atomicity violations, mid-anchored: remote b1, anchor, remote b2. -----
+  // The WRW shape of Figure 1.(c): the failing thread's access is the *middle*
+  // event, sandwiched between two remote accesses that were meant to be
+  // atomic (e.g. invalidate-then-restore). The crash itself follows later from
+  // the stale value, so the anchor is not the last event of the pattern.
+  for (const ir::Instruction* b1_inst : candidates) {
+    for (const ir::Instruction* b2_inst : candidates) {
+      if (builder.Full()) {
+        return;
+      }
+      const std::optional<PatternKind> kind =
+          AtomicityKind(IsWrite(*b1_inst), f_is_write, IsWrite(*b2_inst));
+      if (!kind.has_value()) {
+        continue;
+      }
+      const trace::DynInst* best_b1 = nullptr;
+      const trace::DynInst* best_b2 = nullptr;
+      for (const trace::DynInst* b2 : trace.InstancesOf(b2_inst->id())) {
+        if (b2->thread == f_dyn->thread || !trace.ExecutesBefore(*f_dyn, *b2)) {
+          continue;
+        }
+        for (const trace::DynInst* b1 : trace.InstancesOf(b1_inst->id())) {
+          if (b1->thread != b2->thread || b1 == b2) {
+            continue;
+          }
+          if (!trace.ExecutesBefore(*b1, *f_dyn)) {
+            continue;
+          }
+          if (best_b1 == nullptr || b1->ts_ns > best_b1->ts_ns ||
+              (b1->ts_ns == best_b1->ts_ns && b2->ts_ns < best_b2->ts_ns)) {
+            best_b1 = b1;
+            best_b2 = b2;
+          }
+        }
+      }
+      if (best_b1 != nullptr) {
+        BugPattern p;
+        p.kind = *kind;
+        p.events = {PatternEvent{b1_inst->id(), 1}, PatternEvent{f_inst->id(), 0},
+                    PatternEvent{b2_inst->id(), 1}};
+        builder.Add(std::move(p));
+      }
+    }
+  }
+}
+
+void ComputeCrashPatterns(const ir::Module& module, const trace::ProcessedTrace& trace,
+                          const std::vector<analysis::RankedInstruction>& ranked,
+                          const rt::FailureInfo& failure,
+                          const std::vector<const ir::Instruction*>& failure_chain,
+                          const PatternComputeOptions& options, PatternBuilder& builder,
+                          PatternComputeResult* result) {
+  // Memory-access candidates in rank order.
+  std::vector<const ir::Instruction*> candidates;
+  for (const analysis::RankedInstruction& r : ranked) {
+    if (candidates.size() >= options.max_candidates) {
+      break;
+    }
+    if (r.inst->IsMemoryAccess()) {
+      candidates.push_back(r.inst);
+    }
+  }
+  result->candidates_considered = candidates.size();
+  for (const trace::DynInst* anchor : FailingAnchors(trace, failure, failure_chain)) {
+    if (builder.Full()) {
+      break;
+    }
+    ComputeCrashPatternsForAnchor(module, trace, candidates, anchor, builder);
+  }
+  builder.FlushUnorderedIfNoOrdered();
+}
+
+void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
+                             const std::vector<analysis::RankedInstruction>& ranked,
+                             const rt::FailureInfo& failure, PatternBuilder& builder,
+                             PatternComputeResult* result) {
+  if (failure.deadlock_cycle.empty()) {
+    return;
+  }
+  result->candidates_considered = ranked.size();
+
+  // The blocking attempts come straight from the deadlock report. The held
+  // locks were taken by normal acquisitions earlier in the trace: for each
+  // cycle thread, its latest candidate lock-acquire before it blocked.
+  struct CycleEntry {
+    rt::ThreadId thread;
+    const trace::DynInst* attempt = nullptr;
+    const trace::DynInst* held = nullptr;
+  };
+  std::vector<CycleEntry> cycle;
+  std::unordered_set<ir::InstId> attempt_insts;
+  for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
+    attempt_insts.insert(w.inst);
+  }
+  for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
+    CycleEntry entry;
+    entry.thread = w.thread;
+    for (const trace::DynInst* inst : trace.InstancesOf(w.inst)) {
+      if (inst->thread == w.thread && inst->ts_ns == w.block_time_ns) {
+        entry.attempt = inst;
+        break;
+      }
+    }
+    if (entry.attempt == nullptr) {
+      continue;
+    }
+    // Latest lock-acquire by this thread before it blocked, other than the
+    // blocked attempt itself: that is the lock it holds into the cycle.
+    // Same-thread order is program order (seq), which stays exact even when
+    // the decoded timestamp windows are wide.
+    for (const analysis::RankedInstruction& r : ranked) {
+      if (r.inst->opcode() != ir::Opcode::kLockAcquire ||
+          attempt_insts.count(r.inst->id()) > 0) {
+        continue;
+      }
+      for (const trace::DynInst* inst : trace.InstancesOf(r.inst->id())) {
+        if (inst->thread != w.thread || inst->seq >= entry.attempt->seq) {
+          continue;
+        }
+        if (entry.held == nullptr || inst->seq > entry.held->seq) {
+          entry.held = inst;
+        }
+      }
+    }
+    cycle.push_back(entry);
+  }
+  if (cycle.size() < 2) {
+    return;
+  }
+
+  // Thread slots in cycle order. Every hold precedes every attempt (holds
+  // were all taken before any cycle member blocked); the decoded hold
+  // windows can be wide, so a pure timestamp sort could invert a thread's
+  // own hold/attempt pair -- order holds first, then attempts by block time.
+  struct TimedEvent {
+    const trace::DynInst* dyn;
+    uint8_t slot;
+  };
+  std::vector<TimedEvent> events;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (cycle[i].held != nullptr) {
+      events.push_back({cycle[i].held, static_cast<uint8_t>(i)});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const TimedEvent& a, const TimedEvent& b) {
+    return a.dyn->ts_ns < b.dyn->ts_ns;
+  });
+  std::vector<TimedEvent> attempts;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    attempts.push_back({cycle[i].attempt, static_cast<uint8_t>(i)});
+  }
+  std::sort(attempts.begin(), attempts.end(), [](const TimedEvent& a, const TimedEvent& b) {
+    return a.dyn->ts_ns < b.dyn->ts_ns;
+  });
+  events.insert(events.end(), attempts.begin(), attempts.end());
+
+  // The "ordered" claim for a deadlock is about the blocking attempts
+  // (Figure 1.a's delta-T): were their times separated enough to order them?
+  bool ordered = true;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    for (size_t j = i + 1; j < cycle.size(); ++j) {
+      if (trace.Unordered(*cycle[i].attempt, *cycle[j].attempt)) {
+        ordered = false;
+      }
+    }
+  }
+
+  BugPattern p;
+  p.kind = PatternKind::kDeadlock;
+  p.ordered = ordered;
+  std::unordered_set<ir::InstId> blocked;
+  for (const CycleEntry& entry : cycle) {
+    blocked.insert(entry.attempt->inst);
+  }
+  for (const TimedEvent& e : events) {
+    const bool is_attempt = blocked.count(e.dyn->inst) > 0 &&
+                            e.dyn->seq == trace.LastSeqOf(e.dyn->thread);
+    p.events.push_back(PatternEvent{e.dyn->inst, e.slot, is_attempt});
+  }
+  builder.Add(std::move(p));
+
+  // Competing hypothesis pattern (attempts only, no held-lock context); the
+  // statistical stage must defeat it with the 10x successful traces.
+  BugPattern attempts_only;
+  attempts_only.kind = PatternKind::kDeadlock;
+  attempts_only.ordered = ordered;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    attempts_only.events.push_back(
+        PatternEvent{cycle[i].attempt->inst, static_cast<uint8_t>(i), true});
+  }
+  builder.Add(std::move(attempts_only));
+}
+
+}  // namespace
+
+PatternComputeResult ComputePatterns(const ir::Module& module,
+                                     const trace::ProcessedTrace& failing_trace,
+                                     const std::vector<analysis::RankedInstruction>& ranked,
+                                     const rt::FailureInfo& failure,
+                                     const std::vector<const ir::Instruction*>& failure_chain,
+                                     const PatternComputeOptions& options) {
+  PatternComputeResult result;
+  PatternBuilder builder(options, &result);
+  switch (failure.kind) {
+    case rt::FailureKind::kDeadlock:
+      ComputeDeadlockPatterns(failing_trace, ranked, failure, builder, &result);
+      break;
+    case rt::FailureKind::kCrash:
+    case rt::FailureKind::kAssert:
+      ComputeCrashPatterns(module, failing_trace, ranked, failure, failure_chain, options,
+                           builder, &result);
+      break;
+    default:
+      break;
+  }
+  return result;
+}
+
+}  // namespace snorlax::core

@@ -1,0 +1,56 @@
+// Bug pattern computation (paper section 4.4, step 6 of Figure 2).
+//
+// Takes the type-ranked candidate target instructions and the partially
+// ordered dynamic trace of the failing execution, and generates the potential
+// deadlock / order-violation / atomicity-violation patterns that may explain
+// the failure. Partial flow sensitivity: "executes-before" edges between the
+// candidates' dynamic instances come from the coarse timestamps; thread
+// identity comes from the per-thread traces.
+//
+// The paper's assumption that the failing instruction is part of the pattern
+// (section 7) is implemented here: every generated crash pattern ends at the
+// failing access. When the coarse interleaving hypothesis does not hold (the
+// candidate events are closer than the timing granularity), patterns are
+// still emitted but flagged unordered -- Lazy Diagnosis degrades gracefully
+// instead of fabricating an order.
+#ifndef SNORLAX_CORE_PATTERN_COMPUTE_H_
+#define SNORLAX_CORE_PATTERN_COMPUTE_H_
+
+#include <vector>
+
+#include "analysis/type_rank.h"
+#include "core/pattern.h"
+#include "runtime/failure.h"
+
+namespace snorlax::core {
+
+struct PatternComputeOptions {
+  // Generation caps; candidates are consumed in rank order, so these bound
+  // diagnosis latency exactly the way the paper's ranking intends.
+  size_t max_patterns = 96;
+  size_t max_candidates = 512;
+};
+
+struct PatternComputeResult {
+  std::vector<BugPattern> patterns;
+  // True when at least one pattern had to be emitted unordered because the
+  // events were interleaved finer than the timing granularity.
+  bool hypothesis_violated = false;
+  // Candidates actually inspected (for the stage-contribution metrics).
+  size_t candidates_considered = 0;
+};
+
+// `failure_chain` is the RETracer-style access chain from
+// analysis::FailureAccessChain: the accesses that produced the faulting
+// value. Patterns are anchored at these accesses' dynamic instances in the
+// failing thread (the paper's "failing instruction is part of the pattern").
+PatternComputeResult ComputePatterns(const ir::Module& module,
+                                     const trace::ProcessedTrace& failing_trace,
+                                     const std::vector<analysis::RankedInstruction>& ranked,
+                                     const rt::FailureInfo& failure,
+                                     const std::vector<const ir::Instruction*>& failure_chain,
+                                     const PatternComputeOptions& options = {});
+
+}  // namespace snorlax::core
+
+#endif  // SNORLAX_CORE_PATTERN_COMPUTE_H_

@@ -1,0 +1,242 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "analysis/deref_chain.h"
+#include "analysis/slicer.h"
+#include "ir/cfg.h"
+#include "support/check.h"
+
+namespace snorlax::core {
+
+DiagnosisServer::DiagnosisServer(const ir::Module* module)
+    : DiagnosisServer(module, Options()) {}
+
+DiagnosisServer::DiagnosisServer(const ir::Module* module, Options options)
+    : module_(module), options_(options) {
+  SNORLAX_CHECK(module != nullptr);
+}
+
+void DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
+  SNORLAX_CHECK_MSG(bundle.failure.IsFailure(), "failing trace without a failure record");
+  const auto start = std::chrono::steady_clock::now();
+  auto processed = std::make_unique<trace::ProcessedTrace>(module_, bundle, options_.trace);
+  RunPipeline(*processed);
+  failing_traces_.push_back(std::move(processed));
+  last_analysis_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+void DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
+  if (HasFailure() && success_traces_.size() >= SuccessTraceCap()) {
+    return;  // the paper's empirically-sufficient 10x cap
+  }
+  success_traces_.push_back(
+      std::make_unique<trace::ProcessedTrace>(module_, bundle, options_.trace));
+}
+
+void DiagnosisServer::RunPipeline(const trace::ProcessedTrace& failing) {
+  const rt::FailureInfo& failure = failing.failure();
+  stages_.module_instructions = module_->NumInstructions();
+  stages_.executed_instructions = failing.executed().size();
+
+  // Step 4: hybrid points-to analysis, scoped to the executed set.
+  analysis::PointsToOptions pto;
+  if (options_.use_scope_restriction) {
+    pto.scope = analysis::PointsToOptions::Scope::kExecutedOnly;
+    pto.executed = &failing.executed();
+  } else {
+    pto.scope = analysis::PointsToOptions::Scope::kWholeProgram;
+  }
+  points_to_ = std::make_unique<analysis::PointsToResult>(RunPointsTo(*module_, pto));
+
+  // The failing operand's may-point-to set, seeded from the RETracer-style
+  // access chain (the faulting dereference plus the loads that produced the
+  // corrupt value). For a deadlock, union over every blocked acquisition in
+  // the cycle (each holds a different lock).
+  if (chain_index_ == nullptr) {
+    chain_index_ = std::make_unique<analysis::FailureChainIndex>(*module_);
+  }
+  failure_chain_ =
+      analysis::FailureAccessChain(*chain_index_, *module_, failure.failing_inst);
+  analysis::ObjectSet seed;
+  for (const ir::Instruction* access : failure_chain_) {
+    seed.UnionWith(points_to_->PointerOperandPointsTo(*access));
+  }
+  for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
+    if (w.inst != ir::kInvalidInstId) {
+      seed.UnionWith(points_to_->PointerOperandPointsTo(*module_->instruction(w.inst)));
+    }
+  }
+
+  // Candidate target events: executed instructions whose pointer operand may
+  // alias the failing operand.
+  std::vector<const ir::Instruction*> candidates = points_to_->AccessorsOf(seed);
+  // Restrict to instructions the trace proves executed (AccessorsOf already
+  // respects points-to scope, but whole-program mode needs the filter).
+  std::vector<const ir::Instruction*> executed_candidates;
+  executed_candidates.reserve(candidates.size());
+  for (const ir::Instruction* c : candidates) {
+    if (failing.WasExecuted(c->id())) {
+      executed_candidates.push_back(c);
+    }
+  }
+  stages_.candidate_instructions = executed_candidates.size();
+
+  // Step 5: type-based ranking. The reference type is the type of the value
+  // involved in the corruption: the type produced by the load that fed the
+  // faulting dereference (Figure 4's Queue*), falling back to the failing
+  // instruction's own operated type.
+  const ir::Type* rank_type = nullptr;
+  if (failure_chain_.size() >= 2) {
+    rank_type = failure_chain_[1]->type();
+  } else if (!failure_chain_.empty()) {
+    rank_type = failure_chain_[0]->type();
+  }
+  analysis::TypeRankStats rank_stats;
+  if (options_.use_type_ranking && rank_type != nullptr) {
+    ranked_ = analysis::RankByType(rank_type, executed_candidates, &rank_stats);
+  } else {
+    ranked_.clear();
+    for (const ir::Instruction* c : executed_candidates) {
+      ranked_.push_back(analysis::RankedInstruction{c, 1});
+    }
+    rank_stats.candidates = ranked_.size();
+    rank_stats.rank1 = ranked_.size();
+  }
+  stages_.rank1_candidates = rank_stats.rank1;
+
+  // Step 6: pattern computation under partial flow sensitivity.
+  PatternComputeResult computed =
+      ComputePatterns(*module_, failing, ranked_, failure, failure_chain_, options_.patterns);
+
+  // Fallback (paper section 7): if the alias-derived candidates yielded no
+  // pattern, widen to the instructions with control/data dependences to the
+  // failing instruction -- the backward slice -- and retry. This recovers
+  // bugs where the corrupt value flowed through memory the operand walk
+  // cannot follow (e.g. a stale pointer cached in a private cell).
+  if (computed.patterns.empty() && options_.use_slice_fallback &&
+      failure.failing_inst != ir::kInvalidInstId &&
+      failure.kind != rt::FailureKind::kDeadlock) {
+    used_slice_fallback_ = true;
+    const std::unordered_set<ir::InstId> slice =
+        analysis::BackwardSlice(*module_, *points_to_, failure.failing_inst);
+    analysis::ObjectSet widened = seed;
+    std::vector<const ir::Instruction*> slice_candidates;
+    for (ir::InstId id : slice) {
+      const ir::Instruction* inst = module_->instruction(id);
+      if (inst->IsMemoryAccess() && failing.WasExecuted(id)) {
+        slice_candidates.push_back(inst);
+        widened.UnionWith(points_to_->PointerOperandPointsTo(*inst));
+      }
+    }
+    // Also admit every executed access aliasing the widened set (the racing
+    // write shares cells with the sliced loads, not with the failing operand).
+    for (const ir::Instruction* inst : points_to_->AccessorsOf(widened)) {
+      if (failing.WasExecuted(inst->id())) {
+        slice_candidates.push_back(inst);
+      }
+    }
+    std::sort(slice_candidates.begin(), slice_candidates.end(),
+              [](const ir::Instruction* a, const ir::Instruction* b) {
+                return a->id() < b->id();
+              });
+    slice_candidates.erase(std::unique(slice_candidates.begin(), slice_candidates.end()),
+                           slice_candidates.end());
+    analysis::TypeRankStats fallback_stats;
+    ranked_ = options_.use_type_ranking && rank_type != nullptr
+                  ? analysis::RankByType(rank_type, slice_candidates, &fallback_stats)
+                  : [&] {
+                      std::vector<analysis::RankedInstruction> all;
+                      for (const ir::Instruction* c : slice_candidates) {
+                        all.push_back(analysis::RankedInstruction{c, 1});
+                      }
+                      return all;
+                    }();
+    stages_.candidate_instructions = slice_candidates.size();
+    stages_.rank1_candidates =
+        options_.use_type_ranking ? fallback_stats.rank1 : slice_candidates.size();
+    computed =
+        ComputePatterns(*module_, failing, ranked_, failure, failure_chain_, options_.patterns);
+  }
+  hypothesis_violated_ = hypothesis_violated_ || computed.hypothesis_violated;
+  // Merge with patterns from earlier failing traces (same bug recurring).
+  for (BugPattern& p : computed.patterns) {
+    bool duplicate = false;
+    for (const BugPattern& existing : patterns_) {
+      if (existing.Key() == p.Key()) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      patterns_.push_back(std::move(p));
+    }
+  }
+  stages_.patterns_generated = patterns_.size();
+}
+
+std::vector<std::pair<ir::InstId, int>> DiagnosisServer::RequestedDumpPoints() const {
+  std::vector<std::pair<ir::InstId, int>> out;
+  if (failing_traces_.empty()) {
+    return out;
+  }
+  const rt::FailureInfo& failure = failing_traces_.front()->failure();
+  if (failure.failing_inst == ir::kInvalidInstId) {
+    return out;
+  }
+  out.emplace_back(failure.failing_inst, 0);
+  // Fallbacks: the first instruction of each predecessor block, in case the
+  // failure PC sits in error-handling code successful runs never reach.
+  int rank = 1;
+  for (const ir::BasicBlock* pred :
+       ir::PredecessorBlocksOf(*module_, failure.failing_inst)) {
+    if (!pred->empty()) {
+      out.emplace_back(pred->instructions().front()->id(), rank++);
+    }
+  }
+  return out;
+}
+
+DiagnosisReport DiagnosisServer::Diagnose() const {
+  DiagnosisReport report;
+  if (failing_traces_.empty()) {
+    return report;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  report.failure = failing_traces_.front()->failure();
+  report.hypothesis_violated = hypothesis_violated_;
+  report.stages = stages_;
+  report.failing_traces = failing_traces_.size();
+  report.success_traces = success_traces_.size();
+
+  std::vector<const trace::ProcessedTrace*> failing;
+  failing.reserve(failing_traces_.size());
+  for (const auto& t : failing_traces_) {
+    failing.push_back(t.get());
+  }
+  std::vector<const trace::ProcessedTrace*> success;
+  success.reserve(success_traces_.size());
+  for (const auto& t : success_traces_) {
+    success.push_back(t.get());
+  }
+  report.patterns = ScorePatterns(patterns_, failing, success);
+
+  size_t top = 0;
+  if (!report.patterns.empty()) {
+    const double best = report.patterns.front().f1;
+    for (const DiagnosedPattern& p : report.patterns) {
+      if (p.f1 == best) {
+        ++top;
+      }
+    }
+  }
+  report.stages.top_f1_patterns = top;
+  report.analysis_seconds =
+      last_analysis_seconds_ +
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+}  // namespace snorlax::core

@@ -1,0 +1,135 @@
+// DiagnosisServer: the server side of Lazy Diagnosis (steps 2-7 of Figure 2).
+//
+// Lazy: the expensive interprocedural analysis runs only when a control-flow
+// trace arrives, and only over the code that trace proves executed. On the
+// first failing trace the server runs:
+//   step 2-3  trace processing,
+//   step 4    hybrid points-to analysis restricted to the executed set,
+//   step 5    type-based ranking against the failing operand's type,
+//   step 6    bug pattern computation under partial flow sensitivity,
+// and records the dump points (failing PC, then its predecessors) it wants
+// clients to trace successful executions at (step 8). Diagnose() finally runs
+// step 7, statistical diagnosis, over everything received.
+#ifndef SNORLAX_CORE_SERVER_H_
+#define SNORLAX_CORE_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "analysis/deref_chain.h"
+#include "analysis/points_to.h"
+#include "analysis/type_rank.h"
+#include "core/pattern_compute.h"
+#include "core/statistical.h"
+#include "trace/processed_trace.h"
+
+namespace snorlax::core {
+
+// Per-stage footprint of the pipeline, powering the Figure 7 reproduction.
+struct StageStats {
+  size_t module_instructions = 0;    // whole-program instruction count
+  size_t executed_instructions = 0;  // after trace processing (step 2)
+  size_t candidate_instructions = 0; // after hybrid points-to (step 4)
+  size_t rank1_candidates = 0;       // top band after type ranking (step 5)
+  size_t patterns_generated = 0;     // after pattern computation (step 6)
+  size_t top_f1_patterns = 0;        // patterns sharing the best F1 (step 7)
+
+  double TraceReduction() const {
+    return executed_instructions == 0
+               ? 1.0
+               : static_cast<double>(module_instructions) /
+                     static_cast<double>(executed_instructions);
+  }
+  double RankReduction() const {
+    return rank1_candidates == 0 ? 1.0
+                                 : static_cast<double>(candidate_instructions) /
+                                       static_cast<double>(rank1_candidates);
+  }
+};
+
+struct DiagnosisReport {
+  rt::FailureInfo failure;
+  // All scored patterns, best (highest F1) first.
+  std::vector<DiagnosedPattern> patterns;
+  // True when pattern computation had to emit unordered events (coarse
+  // interleaving hypothesis violated; paper section 7 degradation).
+  bool hypothesis_violated = false;
+  StageStats stages;
+  // Server-side analysis wall time for the most recent trace (steps 2-7).
+  double analysis_seconds = 0.0;
+  size_t failing_traces = 0;
+  size_t success_traces = 0;
+
+  const DiagnosedPattern* best() const { return patterns.empty() ? nullptr : &patterns[0]; }
+};
+
+class DiagnosisServer {
+ public:
+  struct Options {
+    trace::TraceOptions trace;
+    PatternComputeOptions patterns;
+    // Paper: at most 10x as many successful traces as failing ones.
+    size_t success_trace_multiplier = 10;
+    // Ablation knobs (all on = Lazy Diagnosis as published).
+    bool use_scope_restriction = true;  // off: whole-program points-to
+    bool use_type_ranking = true;       // off: all candidates rank 1 in id order
+    // Paper section 7 extension: when the failing operand's alias set yields
+    // no pattern (the corrupt value flowed through memory the pointer walk
+    // cannot follow, or the failing instruction is not part of the pattern),
+    // retry with candidates drawn from the backward slice of the failure.
+    bool use_slice_fallback = true;
+  };
+
+  explicit DiagnosisServer(const ir::Module* module);
+  DiagnosisServer(const ir::Module* module, Options options);
+
+  // A client hit a fail-stop event and shipped its trace. Runs steps 2-6.
+  void SubmitFailingTrace(const pt::PtTraceBundle& bundle);
+  // A client's dump point fired during a successful execution (step 8).
+  // Ignored beyond the 10x cap.
+  void SubmitSuccessTrace(const pt::PtTraceBundle& bundle);
+
+  // Where clients should dump successful-execution traces: (pc, rank) with
+  // rank 0 = the failing PC, 1+ = first instructions of predecessor blocks.
+  std::vector<std::pair<ir::InstId, int>> RequestedDumpPoints() const;
+
+  bool HasFailure() const { return !failing_traces_.empty(); }
+  size_t NumSuccessTraces() const { return success_traces_.size(); }
+  size_t SuccessTraceCap() const {
+    return options_.success_trace_multiplier * failing_traces_.size();
+  }
+
+  // Step 7: scores the computed patterns over all received traces.
+  DiagnosisReport Diagnose() const;
+
+  // Introspection for tests and benches.
+  const analysis::PointsToResult* points_to() const { return points_to_.get(); }
+  const std::vector<analysis::RankedInstruction>& ranked_candidates() const {
+    return ranked_;
+  }
+  const std::vector<const ir::Instruction*>& failure_chain() const { return failure_chain_; }
+  // True when the last pipeline run needed the backward-slice fallback.
+  bool used_slice_fallback() const { return used_slice_fallback_; }
+
+ private:
+  void RunPipeline(const trace::ProcessedTrace& failing);
+
+  const ir::Module* module_;
+  Options options_;
+  std::vector<std::unique_ptr<trace::ProcessedTrace>> failing_traces_;
+  std::vector<std::unique_ptr<trace::ProcessedTrace>> success_traces_;
+  std::unique_ptr<analysis::PointsToResult> points_to_;
+  // Module pre-processing shared across traces (built on first use).
+  std::unique_ptr<analysis::FailureChainIndex> chain_index_;
+  std::vector<const ir::Instruction*> failure_chain_;
+  std::vector<analysis::RankedInstruction> ranked_;
+  std::vector<BugPattern> patterns_;
+  bool hypothesis_violated_ = false;
+  bool used_slice_fallback_ = false;
+  StageStats stages_;
+  double last_analysis_seconds_ = 0.0;
+};
+
+}  // namespace snorlax::core
+
+#endif  // SNORLAX_CORE_SERVER_H_

@@ -1,0 +1,55 @@
+#include "core/snorlax.h"
+
+namespace snorlax::core {
+
+Snorlax::Snorlax(const ir::Module* module, SnorlaxOptions options)
+    : module_(module),
+      options_(options),
+      client_(module, options.client),
+      server_(module, options.server) {}
+
+std::optional<SnorlaxOutcome> Snorlax::DiagnoseFirstFailure(uint64_t first_seed) {
+  SnorlaxOutcome outcome;
+  uint64_t seed = first_seed;
+
+  // Phase 1: always-on tracing until enough fail-stop events were captured
+  // (one by default).
+  while (outcome.total_runs < options_.max_runs &&
+         outcome.failing_runs_used < options_.failing_traces) {
+    ++outcome.total_runs;
+    ClientRun run = client_.RunOnce(seed++);
+    if (run.result.failure.IsFailure()) {
+      if (outcome.failing_runs_used == 0) {
+        outcome.runs_until_failure = outcome.total_runs;
+        outcome.failing_run_pt_stats = run.pt_stats;
+      }
+      if (run.trace.has_value()) {
+        server_.SubmitFailingTrace(*run.trace);
+        ++outcome.failing_runs_used;
+      }
+    }
+  }
+  if (!server_.HasFailure()) {
+    return std::nullopt;
+  }
+
+  // Phase 2: gather successful traces at the server's dump points (step 8).
+  const auto dump_points = server_.RequestedDumpPoints();
+  while (server_.NumSuccessTraces() < server_.SuccessTraceCap() &&
+         outcome.total_runs < options_.max_runs) {
+    ++outcome.total_runs;
+    ClientRun run = client_.RunOnce(seed++, dump_points);
+    if (run.result.failure.IsFailure()) {
+      continue;  // Snorlax needs only the one failure; skip recurrences here
+    }
+    if (run.trace.has_value()) {
+      server_.SubmitSuccessTrace(*run.trace);
+      ++outcome.success_runs_used;
+    }
+  }
+
+  outcome.report = server_.Diagnose();
+  return outcome;
+}
+
+}  // namespace snorlax::core

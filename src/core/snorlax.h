@@ -1,0 +1,60 @@
+// Snorlax: the end-to-end orchestrator tying the client and the server
+// together, as deployed in the paper's evaluation:
+//
+//   1. run the program until a fail-stop event occurs (Snorlax needs exactly
+//      one failure -- it does not sample),
+//   2. ship the failure trace to the server (pipeline steps 2-6 run there),
+//   3. gather up to 10x successful-execution traces at the server-requested
+//      dump points,
+//   4. statistical diagnosis produces the ranked root-cause report.
+#ifndef SNORLAX_CORE_SNORLAX_H_
+#define SNORLAX_CORE_SNORLAX_H_
+
+#include <optional>
+
+#include "core/client.h"
+#include "core/server.h"
+
+namespace snorlax::core {
+
+struct SnorlaxOptions {
+  ClientOptions client;
+  DiagnosisServer::Options server;
+  // Reproduction budget (the paper needed < 5000 runs for the hardest bugs).
+  uint64_t max_runs = 20000;
+  // Failing traces to accumulate before diagnosing. Snorlax can diagnose from
+  // a single failure (the default and the paper's headline); additional
+  // failing traces merge their candidate patterns and sharpen the statistics
+  // when a single trace's coarse timestamps could not order every candidate.
+  size_t failing_traces = 1;
+};
+
+struct SnorlaxOutcome {
+  DiagnosisReport report;
+  uint64_t runs_until_failure = 0;   // executions before the first failure
+  uint64_t failing_runs_used = 0;    // failing executions traced
+  uint64_t success_runs_used = 0;    // successful executions traced
+  uint64_t total_runs = 0;
+  pt::PtStats failing_run_pt_stats;  // trace statistics of the failing run
+};
+
+class Snorlax {
+ public:
+  Snorlax(const ir::Module* module, SnorlaxOptions options = {});
+
+  // Runs the full workflow starting at `first_seed`, incrementing the seed
+  // per execution. Returns nullopt if no failure occurred within the budget.
+  std::optional<SnorlaxOutcome> DiagnoseFirstFailure(uint64_t first_seed = 1);
+
+  DiagnosisServer& server() { return server_; }
+
+ private:
+  const ir::Module* module_;
+  SnorlaxOptions options_;
+  DiagnosisClient client_;
+  DiagnosisServer server_;
+};
+
+}  // namespace snorlax::core
+
+#endif  // SNORLAX_CORE_SNORLAX_H_

@@ -1,0 +1,45 @@
+#include "core/statistical.h"
+
+#include <algorithm>
+
+namespace snorlax::core {
+
+std::vector<DiagnosedPattern> ScorePatterns(
+    const std::vector<BugPattern>& patterns,
+    const std::vector<const trace::ProcessedTrace*>& failing_traces,
+    const std::vector<const trace::ProcessedTrace*>& success_traces) {
+  std::vector<DiagnosedPattern> out;
+  out.reserve(patterns.size());
+  for (const BugPattern& pattern : patterns) {
+    DiagnosedPattern d;
+    d.pattern = pattern;
+    for (const trace::ProcessedTrace* t : failing_traces) {
+      if (TraceContainsPattern(*t, pattern)) {
+        ++d.counts.true_positive;
+      } else {
+        ++d.counts.false_negative;
+      }
+    }
+    for (const trace::ProcessedTrace* t : success_traces) {
+      if (TraceContainsPattern(*t, pattern)) {
+        ++d.counts.false_positive;
+      }
+    }
+    d.precision = d.counts.Precision();
+    d.recall = d.counts.Recall();
+    d.f1 = d.counts.F1();
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(), [](const DiagnosedPattern& a, const DiagnosedPattern& b) {
+    if (a.f1 != b.f1) {
+      return a.f1 > b.f1;
+    }
+    if (a.pattern.events.size() != b.pattern.events.size()) {
+      return a.pattern.events.size() > b.pattern.events.size();
+    }
+    return a.pattern.Key() < b.pattern.Key();
+  });
+  return out;
+}
+
+}  // namespace snorlax::core

@@ -1,0 +1,38 @@
+// Statistical diagnosis (paper section 4.5, step 7 of Figure 2).
+//
+// For every candidate pattern, computes precision, recall and the F1 score
+// over the available failing and successful traces:
+//   precision = P(fails | pattern present)  over traces predicted to fail,
+//   recall    = P(pattern present | fails)  over traces that failed.
+// The highest-F1 pattern is reported as the root cause. Snorlax caps the
+// successful traces at 10x the failing ones -- empirically sufficient for
+// full accuracy in the paper and reproduced by our integration tests.
+#ifndef SNORLAX_CORE_STATISTICAL_H_
+#define SNORLAX_CORE_STATISTICAL_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "support/stats.h"
+
+namespace snorlax::core {
+
+struct DiagnosedPattern {
+  BugPattern pattern;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  ConfusionCounts counts;
+};
+
+// Scores `patterns` against the traces; returns the list sorted by descending
+// F1 (ties broken by pattern size descending -- a more specific pattern with
+// equal evidence is the better root-cause statement -- then by key).
+std::vector<DiagnosedPattern> ScorePatterns(
+    const std::vector<BugPattern>& patterns,
+    const std::vector<const trace::ProcessedTrace*>& failing_traces,
+    const std::vector<const trace::ProcessedTrace*>& success_traces);
+
+}  // namespace snorlax::core
+
+#endif  // SNORLAX_CORE_STATISTICAL_H_

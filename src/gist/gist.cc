@@ -1,0 +1,74 @@
+#include "gist/gist.h"
+
+#include "support/check.h"
+
+namespace snorlax::gist {
+
+std::optional<GistOutcome> RunGistDiagnosis(const ir::Module& module,
+                                            const std::string& entry,
+                                            const rt::InterpOptions& interp_template,
+                                            const GistOptions& options, uint64_t max_runs,
+                                            uint64_t first_seed) {
+  SNORLAX_CHECK(options.open_bugs >= 1);
+  GistOutcome outcome;
+  uint64_t seed = first_seed;
+
+  // Phase 1: an initial failure report supplies the slicing criterion (Gist,
+  // like Snorlax, starts from a failure that already happened somewhere).
+  ir::InstId criterion = ir::kInvalidInstId;
+  while (outcome.total_executions < max_runs) {
+    ++outcome.total_executions;
+    rt::InterpOptions io = interp_template;
+    io.seed = seed++;
+    rt::Interpreter interp(&module, io);
+    const rt::RunResult run = interp.Run(entry);
+    if (run.failure.IsFailure()) {
+      ++outcome.failures_seen;
+      criterion = run.failure.failing_inst;
+      break;
+    }
+  }
+  if (criterion == ir::kInvalidInstId) {
+    return std::nullopt;
+  }
+
+  // Phase 2: static backward slice decides the instrumentation set.
+  analysis::PointsToOptions pto;
+  pto.scope = analysis::PointsToOptions::Scope::kWholeProgram;
+  const analysis::PointsToResult points_to = analysis::RunPointsTo(module, pto);
+  const std::unordered_set<ir::InstId> slice =
+      analysis::BackwardSlice(module, points_to, criterion);
+  outcome.slice_size = slice.size();
+
+  // Phase 3: monitored re-executions. The single monitoring slot cycles over
+  // the open bugs; our bug owns slot 0.
+  uint64_t slot = 0;
+  while (outcome.monitored_recurrences < options.recurrences_needed &&
+         outcome.total_executions < max_runs) {
+    ++outcome.total_executions;
+    const bool monitoring_us = (slot == 0);
+    slot = (slot + 1) % options.open_bugs;
+
+    rt::InterpOptions io = interp_template;
+    io.seed = seed++;
+    rt::Interpreter interp(&module, io);
+    GistMonitor monitor(slice, options);
+    if (monitoring_us) {
+      interp.AddObserver(&monitor);
+    }
+    const rt::RunResult run = interp.Run(entry);
+    if (run.failure.IsFailure()) {
+      ++outcome.failures_seen;
+      if (monitoring_us) {
+        ++outcome.monitored_recurrences;
+      }
+    }
+  }
+
+  if (outcome.monitored_recurrences < options.recurrences_needed) {
+    return std::nullopt;
+  }
+  return outcome;
+}
+
+}  // namespace snorlax::gist

@@ -1,0 +1,105 @@
+// Gist baseline (Kasikci et al., SOSP'15 "Failure Sketching"), reimplemented
+// to the fidelity the paper's section 6.3 comparison requires:
+//
+//   - Intrusiveness: Gist instruments the program -- every monitored memory
+//     access goes through instrumentation, unlike PT's transparent tracing.
+//   - Static analysis: a backward slice from the failing instruction decides
+//     what to monitor (src/analysis/slicer.*).
+//   - Blocking synchronization: monitored accesses serialize on a shared
+//     monitor so their global order can be recorded. This is the mechanism
+//     behind Gist's poor scalability in Figure 9: the monitor becomes a
+//     contended lock as the thread count grows.
+//   - Space sampling: Gist monitors ONE bug per execution. With B open bugs,
+//     the probability that the right bug is being monitored when a failure
+//     recurs is 1/B, and Gist needs several (paper: avg 3.7) monitored
+//     recurrences before its refinement converges -- the root of the up-to-
+//     2523x diagnosis-latency gap.
+#ifndef SNORLAX_GIST_GIST_H_
+#define SNORLAX_GIST_GIST_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/slicer.h"
+#include "runtime/interpreter.h"
+
+namespace snorlax::gist {
+
+struct GistOptions {
+  // Virtual-time cost of the blocking synchronization per monitored access.
+  uint64_t sync_cost_ns = 60;
+  // Virtual-time cost of writing the event record.
+  uint64_t log_cost_ns = 40;
+  // Monitored failure recurrences needed before refinement converges
+  // (the paper reports an average of 3.7; we round up).
+  uint64_t recurrences_needed = 4;
+  // Open bugs competing for the single monitoring slot (space sampling).
+  uint64_t open_bugs = 1;
+};
+
+// The instrumentation Gist injects: records every access to a sliced
+// instruction, serializing recorders on a shared monitor timeline.
+class GistMonitor : public rt::ExecutionObserver {
+ public:
+  struct Event {
+    ir::InstId inst = ir::kInvalidInstId;
+    rt::ThreadId thread = rt::kInvalidThread;
+    uint64_t time_ns = 0;
+    bool is_write = false;
+  };
+
+  GistMonitor(std::unordered_set<ir::InstId> slice, GistOptions options)
+      : slice_(std::move(slice)), options_(options) {}
+
+  uint64_t OnMemoryAccess(rt::ThreadId thread, const ir::Instruction* inst, rt::ObjectId,
+                          uint32_t, bool is_write, uint64_t now_ns) override {
+    if (slice_.find(inst->id()) == slice_.end()) {
+      return 0;
+    }
+    // Blocking synchronization: the recorder is a critical section; a thread
+    // arriving while it is busy waits until it frees up.
+    const uint64_t start = now_ns > monitor_free_ns_ ? now_ns : monitor_free_ns_;
+    const uint64_t wait = start - now_ns;
+    const uint64_t busy = options_.sync_cost_ns + options_.log_cost_ns;
+    monitor_free_ns_ = start + busy;
+    events_.push_back(Event{inst->id(), thread, now_ns, is_write});
+    return wait + busy;
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t monitored_instructions() const { return slice_.size(); }
+
+ private:
+  std::unordered_set<ir::InstId> slice_;
+  GistOptions options_;
+  uint64_t monitor_free_ns_ = 0;
+  std::vector<Event> events_;
+};
+
+// End-to-end latency model: executions needed until Gist can diagnose.
+struct GistOutcome {
+  uint64_t total_executions = 0;       // including the initial failure report
+  uint64_t monitored_recurrences = 0;  // failures observed while monitoring
+  uint64_t failures_seen = 0;          // all failures (monitored or not)
+  size_t slice_size = 0;
+};
+
+// Simulates Gist's workflow on `module`:
+//   1. run until the first failure (produces the slicing criterion),
+//   2. compute the backward slice,
+//   3. keep running; each execution monitors our bug only with probability
+//      1/open_bugs (round-robin slot assignment); a failure recurrence counts
+//      toward convergence only when monitored,
+//   4. done after `recurrences_needed` monitored recurrences.
+// Returns nullopt if the budget is exhausted first.
+std::optional<GistOutcome> RunGistDiagnosis(const ir::Module& module,
+                                            const std::string& entry,
+                                            const rt::InterpOptions& interp_template,
+                                            const GistOptions& options, uint64_t max_runs,
+                                            uint64_t first_seed = 1);
+
+}  // namespace snorlax::gist
+
+#endif  // SNORLAX_GIST_GIST_H_

@@ -1,0 +1,348 @@
+#include "ir/builder.h"
+
+#include "support/check.h"
+
+namespace snorlax::ir {
+
+IrBuilder::IrBuilder(Module* module) : module_(module) { SNORLAX_CHECK(module != nullptr); }
+
+GlobalId IrBuilder::CreateGlobal(const std::string& name, const Type* object_type) {
+  SNORLAX_CHECK_MSG(module_->global_names_.find(name) == module_->global_names_.end(),
+                    "duplicate global name");
+  GlobalId id = static_cast<GlobalId>(module_->globals_.size());
+  module_->globals_.push_back(GlobalVar{id, name, object_type});
+  module_->global_names_[name] = id;
+  return id;
+}
+
+GlobalId IrBuilder::CreateLockGlobal(const std::string& name) {
+  return CreateGlobal(name, module_->types().LockType());
+}
+
+FuncId IrBuilder::BeginFunction(const std::string& name, const Type* return_type,
+                                const std::vector<const Type*>& param_types) {
+  SNORLAX_CHECK_MSG(current_func_ == nullptr, "BeginFunction inside another function");
+  SNORLAX_CHECK_MSG(module_->function_names_.find(name) == module_->function_names_.end(),
+                    "duplicate function name");
+  auto func = std::unique_ptr<Function>(new Function());
+  func->id_ = static_cast<FuncId>(module_->functions_.size());
+  func->name_ = name;
+  func->parent_ = module_;
+  func->return_type_ = return_type;
+  func->param_types_ = param_types;
+  func->num_params_ = static_cast<uint32_t>(param_types.size());
+  func->next_reg_ = func->num_params_;
+  current_func_ = func.get();
+  module_->function_names_[name] = func->id_;
+  module_->functions_.push_back(std::move(func));
+  insert_block_ = nullptr;
+  current_block_ = kInvalidBlockId;
+  return current_func_->id_;
+}
+
+void IrBuilder::EndFunction() {
+  SNORLAX_CHECK_MSG(current_func_ != nullptr, "EndFunction outside function");
+  SNORLAX_CHECK_MSG(!current_func_->blocks_.empty(), "function has no blocks");
+  current_func_ = nullptr;
+  insert_block_ = nullptr;
+  current_block_ = kInvalidBlockId;
+}
+
+void IrBuilder::EndFunctionForParser() {
+  SNORLAX_CHECK_MSG(current_func_ != nullptr, "EndFunctionForParser outside function");
+  current_func_ = nullptr;
+  insert_block_ = nullptr;
+  current_block_ = kInvalidBlockId;
+}
+
+void IrBuilder::ReopenFunctionForParser(FuncId func) {
+  SNORLAX_CHECK_MSG(current_func_ == nullptr, "reopen inside another function");
+  SNORLAX_CHECK(func < module_->functions_.size());
+  current_func_ = module_->functions_[func].get();
+  SNORLAX_CHECK_MSG(current_func_->blocks_.empty(), "function already has a body");
+  insert_block_ = nullptr;
+  current_block_ = kInvalidBlockId;
+}
+
+Reg IrBuilder::Param(uint32_t i) const {
+  SNORLAX_CHECK(current_func_ != nullptr && i < current_func_->num_params_);
+  return i;
+}
+
+BlockId IrBuilder::CreateBlock(const std::string& label) {
+  SNORLAX_CHECK_MSG(current_func_ != nullptr, "CreateBlock outside function");
+  auto block = std::unique_ptr<BasicBlock>(new BasicBlock());
+  block->id_ = static_cast<BlockId>(module_->block_index_.size());
+  block->label_ = label;
+  block->parent_ = current_func_;
+  module_->block_index_.push_back(block.get());
+  current_func_->blocks_.push_back(std::move(block));
+  return current_func_->blocks_.back()->id_;
+}
+
+void IrBuilder::SetInsertPoint(BlockId block) {
+  SNORLAX_CHECK(current_func_ != nullptr);
+  for (auto& bb : current_func_->blocks_) {
+    if (bb->id_ == block) {
+      insert_block_ = bb.get();
+      current_block_ = block;
+      return;
+    }
+  }
+  SNORLAX_CHECK_MSG(false, "SetInsertPoint: block not in current function");
+}
+
+Instruction* IrBuilder::NewInst(Opcode op) {
+  SNORLAX_CHECK_MSG(insert_block_ != nullptr, "no insertion point");
+  SNORLAX_CHECK_MSG(insert_block_->instructions_.empty() ||
+                        !insert_block_->instructions_.back()->IsTerminator(),
+                    "appending after a terminator");
+  auto inst = std::unique_ptr<Instruction>(new Instruction());
+  inst->id_ = static_cast<InstId>(module_->inst_index_.size());
+  inst->opcode_ = op;
+  inst->parent_ = insert_block_;
+  inst->index_in_block_ = static_cast<uint32_t>(insert_block_->instructions_.size());
+  inst->debug_location_ = debug_location_;
+  module_->inst_index_.push_back(inst.get());
+  insert_block_->instructions_.push_back(std::move(inst));
+  Instruction* raw = insert_block_->instructions_.back().get();
+  last_inst_ = raw->id_;
+  return raw;
+}
+
+Reg IrBuilder::NewReg() {
+  SNORLAX_CHECK(current_func_ != nullptr);
+  return current_func_->next_reg_++;
+}
+
+Reg IrBuilder::Alloca(const Type* object_type) {
+  Instruction* inst = NewInst(Opcode::kAlloca);
+  inst->result_ = NewReg();
+  inst->type_ = module_->types().PointerTo(object_type);
+  inst->pointee_type_ = object_type;
+  return inst->result_;
+}
+
+Reg IrBuilder::AddrOfGlobal(GlobalId global) {
+  const GlobalVar& gv = module_->global(global);
+  Instruction* inst = NewInst(Opcode::kAddrOfGlobal);
+  inst->result_ = NewReg();
+  inst->type_ = module_->types().PointerTo(gv.type);
+  inst->pointee_type_ = gv.type;
+  inst->global_ = global;
+  return inst->result_;
+}
+
+Reg IrBuilder::AddrOfGlobal(const std::string& name) {
+  const GlobalVar* gv = module_->FindGlobal(name);
+  SNORLAX_CHECK_MSG(gv != nullptr, "unknown global");
+  return AddrOfGlobal(gv->id);
+}
+
+Reg IrBuilder::Copy(Reg src, const Type* type) {
+  Instruction* inst = NewInst(Opcode::kCopy);
+  inst->result_ = NewReg();
+  inst->type_ = type;
+  inst->operands_.push_back(Operand::MakeReg(src));
+  return inst->result_;
+}
+
+Reg IrBuilder::Cast(Reg src, const Type* to_type) {
+  Instruction* inst = NewInst(Opcode::kCast);
+  inst->result_ = NewReg();
+  inst->type_ = to_type;
+  inst->operands_.push_back(Operand::MakeReg(src));
+  return inst->result_;
+}
+
+Reg IrBuilder::Load(Reg ptr, const Type* value_type) {
+  Instruction* inst = NewInst(Opcode::kLoad);
+  inst->result_ = NewReg();
+  inst->type_ = value_type;
+  inst->operands_.push_back(Operand::MakeReg(ptr));
+  return inst->result_;
+}
+
+InstId IrBuilder::Store(Operand value, Reg ptr, const Type* value_type) {
+  Instruction* inst = NewInst(Opcode::kStore);
+  inst->type_ = value_type;
+  inst->operands_.push_back(value);
+  inst->operands_.push_back(Operand::MakeReg(ptr));
+  return inst->id_;
+}
+
+Reg IrBuilder::Gep(Reg ptr, const Type* base_struct, int field_index) {
+  SNORLAX_CHECK(base_struct->IsStruct());
+  SNORLAX_CHECK(field_index >= 0 &&
+                field_index < static_cast<int>(base_struct->fields().size()));
+  Instruction* inst = NewInst(Opcode::kGep);
+  inst->result_ = NewReg();
+  inst->type_ = module_->types().PointerTo(base_struct->fields()[field_index]);
+  inst->pointee_type_ = base_struct;
+  inst->imm_ = field_index;
+  inst->operands_.push_back(Operand::MakeReg(ptr));
+  return inst->result_;
+}
+
+void IrBuilder::Free(Reg ptr) {
+  Instruction* inst = NewInst(Opcode::kFree);
+  inst->type_ = module_->types().VoidType();
+  inst->operands_.push_back(Operand::MakeReg(ptr));
+}
+
+Reg IrBuilder::Const(const Type* int_type, int64_t value) {
+  Instruction* inst = NewInst(Opcode::kConst);
+  inst->result_ = NewReg();
+  inst->type_ = int_type;
+  inst->imm_ = value;
+  return inst->result_;
+}
+
+Reg IrBuilder::Random(const Type* int_type, int64_t lo, int64_t hi) {
+  SNORLAX_CHECK(lo <= hi);
+  Instruction* inst = NewInst(Opcode::kRandom);
+  inst->result_ = NewReg();
+  inst->type_ = int_type;
+  inst->operands_.push_back(Operand::MakeImm(lo));
+  inst->operands_.push_back(Operand::MakeImm(hi));
+  return inst->result_;
+}
+
+Reg IrBuilder::FuncAddr(FuncId callee) {
+  Instruction* inst = NewInst(Opcode::kFuncAddr);
+  inst->result_ = NewReg();
+  inst->type_ = module_->types().IntType(64);
+  inst->callee_ = callee;
+  return inst->result_;
+}
+
+Reg IrBuilder::CallIndirect(Reg target, const std::vector<Reg>& args,
+                            const Type* return_type) {
+  Instruction* inst = NewInst(Opcode::kCallIndirect);
+  inst->type_ = return_type;
+  inst->operands_.push_back(Operand::MakeReg(target));
+  for (Reg r : args) {
+    inst->operands_.push_back(Operand::MakeReg(r));
+  }
+  if (!return_type->IsVoid()) {
+    inst->result_ = NewReg();
+  }
+  return inst->result_;
+}
+
+Reg IrBuilder::BinOp(BinOpKind op, Operand lhs, Operand rhs, const Type* type) {
+  Instruction* inst = NewInst(Opcode::kBinOp);
+  inst->result_ = NewReg();
+  inst->type_ = type;
+  inst->binop_ = op;
+  inst->operands_.push_back(lhs);
+  inst->operands_.push_back(rhs);
+  return inst->result_;
+}
+
+Reg IrBuilder::Cmp(CmpKind op, Operand lhs, Operand rhs) {
+  Instruction* inst = NewInst(Opcode::kCmp);
+  inst->result_ = NewReg();
+  inst->type_ = module_->types().IntType(1);
+  inst->cmp_ = op;
+  inst->operands_.push_back(lhs);
+  inst->operands_.push_back(rhs);
+  return inst->result_;
+}
+
+void IrBuilder::Br(BlockId target) {
+  Instruction* inst = NewInst(Opcode::kBr);
+  inst->type_ = module_->types().VoidType();
+  inst->then_block_ = target;
+}
+
+void IrBuilder::CondBr(Reg cond, BlockId then_block, BlockId else_block) {
+  Instruction* inst = NewInst(Opcode::kCondBr);
+  inst->type_ = module_->types().VoidType();
+  inst->operands_.push_back(Operand::MakeReg(cond));
+  inst->then_block_ = then_block;
+  inst->else_block_ = else_block;
+}
+
+Reg IrBuilder::Call(FuncId callee, const std::vector<Operand>& args, const Type* return_type) {
+  Instruction* inst = NewInst(Opcode::kCall);
+  inst->type_ = return_type;
+  inst->callee_ = callee;
+  inst->operands_ = args;
+  if (!return_type->IsVoid()) {
+    inst->result_ = NewReg();
+  }
+  return inst->result_;
+}
+
+Reg IrBuilder::Call(FuncId callee, const std::vector<Reg>& args, const Type* return_type) {
+  std::vector<Operand> ops;
+  ops.reserve(args.size());
+  for (Reg r : args) {
+    ops.push_back(Operand::MakeReg(r));
+  }
+  return Call(callee, ops, return_type);
+}
+
+void IrBuilder::RetVoid() {
+  Instruction* inst = NewInst(Opcode::kRet);
+  inst->type_ = module_->types().VoidType();
+}
+
+void IrBuilder::Ret(Reg value) {
+  Instruction* inst = NewInst(Opcode::kRet);
+  inst->type_ = current_func_->return_type_;
+  inst->operands_.push_back(Operand::MakeReg(value));
+}
+
+void IrBuilder::LockAcquire(Reg lock_ptr) {
+  Instruction* inst = NewInst(Opcode::kLockAcquire);
+  inst->type_ = module_->types().PointerTo(module_->types().LockType());
+  inst->operands_.push_back(Operand::MakeReg(lock_ptr));
+}
+
+void IrBuilder::LockRelease(Reg lock_ptr) {
+  Instruction* inst = NewInst(Opcode::kLockRelease);
+  inst->type_ = module_->types().PointerTo(module_->types().LockType());
+  inst->operands_.push_back(Operand::MakeReg(lock_ptr));
+}
+
+Reg IrBuilder::ThreadCreate(FuncId callee, Operand arg) {
+  Instruction* inst = NewInst(Opcode::kThreadCreate);
+  inst->result_ = NewReg();
+  inst->type_ = module_->types().IntType(64);
+  inst->callee_ = callee;
+  inst->operands_.push_back(arg);
+  return inst->result_;
+}
+
+void IrBuilder::ThreadJoin(Reg handle) {
+  Instruction* inst = NewInst(Opcode::kThreadJoin);
+  inst->type_ = module_->types().VoidType();
+  inst->operands_.push_back(Operand::MakeReg(handle));
+}
+
+void IrBuilder::Yield() {
+  Instruction* inst = NewInst(Opcode::kYield);
+  inst->type_ = module_->types().VoidType();
+}
+
+void IrBuilder::Assert(Reg cond) {
+  Instruction* inst = NewInst(Opcode::kAssert);
+  inst->type_ = module_->types().VoidType();
+  inst->operands_.push_back(Operand::MakeReg(cond));
+}
+
+void IrBuilder::Work(int64_t nanos) {
+  SNORLAX_CHECK(nanos >= 0);
+  Instruction* inst = NewInst(Opcode::kWork);
+  inst->type_ = module_->types().VoidType();
+  inst->imm_ = nanos;
+}
+
+void IrBuilder::Nop() {
+  Instruction* inst = NewInst(Opcode::kNop);
+  inst->type_ = module_->types().VoidType();
+}
+
+}  // namespace snorlax::ir

@@ -1,0 +1,136 @@
+// IrBuilder: the construction API for MiniIR programs.
+//
+// Usage mirrors llvm::IRBuilder:
+//
+//   Module m;
+//   IrBuilder b(&m);
+//   const Type* i64 = m.types().IntType(64);
+//   FuncId f = b.BeginFunction("worker", m.types().VoidType(), {i64});
+//   BlockId entry = b.CreateBlock("entry");
+//   b.SetInsertPoint(entry);
+//   Reg q = b.Alloca(queue_ty);
+//   b.Store(b.Const(i64, 7), q, i64);
+//   b.RetVoid();
+//   b.EndFunction();
+#ifndef SNORLAX_IR_BUILDER_H_
+#define SNORLAX_IR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace snorlax::ir {
+
+class IrBuilder {
+ public:
+  explicit IrBuilder(Module* module);
+
+  Module* module() { return module_; }
+
+  // --- Globals -------------------------------------------------------------
+  GlobalId CreateGlobal(const std::string& name, const Type* object_type);
+  GlobalId CreateLockGlobal(const std::string& name);
+
+  // --- Functions and blocks -------------------------------------------------
+  FuncId BeginFunction(const std::string& name, const Type* return_type,
+                       const std::vector<const Type*>& param_types);
+  void EndFunction();
+  // Parser support: register a signature now, fill the body later. A
+  // signature-only function fails verification until reopened and completed.
+  void EndFunctionForParser();
+  void ReopenFunctionForParser(FuncId func);
+  // Register holding the i-th parameter of the current function.
+  Reg Param(uint32_t i) const;
+  BlockId CreateBlock(const std::string& label);
+  void SetInsertPoint(BlockId block);
+  BlockId current_block() const { return current_block_; }
+
+  // Source annotation applied to every instruction created until changed.
+  void SetDebugLocation(std::string loc) { debug_location_ = std::move(loc); }
+
+  // --- Memory / pointers ----------------------------------------------------
+  // r = alloca T; returns a register of type T*.
+  Reg Alloca(const Type* object_type);
+  // r = &global; returns a register of pointer-to-global-type.
+  Reg AddrOfGlobal(GlobalId global);
+  Reg AddrOfGlobal(const std::string& name);
+  // r = op (register copy).
+  Reg Copy(Reg src, const Type* type);
+  // r = (T)op (pointer cast; aliasing copy for the points-to analysis).
+  Reg Cast(Reg src, const Type* to_type);
+  // r = *ptr; `value_type` is the loaded value's type (the "operated type"
+  // compared by type-based ranking).
+  Reg Load(Reg ptr, const Type* value_type);
+  // *ptr = value.
+  InstId Store(Operand value, Reg ptr, const Type* value_type);
+  InstId Store(Reg value, Reg ptr, const Type* value_type) {
+    return Store(Operand::MakeReg(value), ptr, value_type);
+  }
+  // r = &ptr->field[index]; `base_struct` is the pointee struct type.
+  Reg Gep(Reg ptr, const Type* base_struct, int field_index);
+  void Free(Reg ptr);
+
+  // --- Arithmetic -----------------------------------------------------------
+  Reg Const(const Type* int_type, int64_t value);
+  // r = uniform random integer in [lo, hi] (models input-dependent values;
+  // drawn from the interpreter's seeded RNG, so runs stay reproducible).
+  Reg Random(const Type* int_type, int64_t lo, int64_t hi);
+  // r = @callee (a function pointer usable by CallIndirect).
+  Reg FuncAddr(FuncId callee);
+  // r = call op0(args) via function pointer.
+  Reg CallIndirect(Reg target, const std::vector<Reg>& args, const Type* return_type);
+  Reg BinOp(BinOpKind op, Operand lhs, Operand rhs, const Type* type);
+  Reg BinOp(BinOpKind op, Reg lhs, Reg rhs, const Type* type) {
+    return BinOp(op, Operand::MakeReg(lhs), Operand::MakeReg(rhs), type);
+  }
+  Reg Add(Reg lhs, int64_t imm, const Type* type) {
+    return BinOp(BinOpKind::kAdd, Operand::MakeReg(lhs), Operand::MakeImm(imm), type);
+  }
+  Reg Cmp(CmpKind op, Operand lhs, Operand rhs);
+  Reg Cmp(CmpKind op, Reg lhs, Reg rhs) {
+    return Cmp(op, Operand::MakeReg(lhs), Operand::MakeReg(rhs));
+  }
+
+  // --- Control flow ---------------------------------------------------------
+  void Br(BlockId target);
+  void CondBr(Reg cond, BlockId then_block, BlockId else_block);
+  // Direct call; returns result register (kInvalidReg for void callees).
+  Reg Call(FuncId callee, const std::vector<Operand>& args, const Type* return_type);
+  Reg Call(FuncId callee, const std::vector<Reg>& args, const Type* return_type);
+  void RetVoid();
+  void Ret(Reg value);
+
+  // --- Concurrency ----------------------------------------------------------
+  void LockAcquire(Reg lock_ptr);
+  void LockRelease(Reg lock_ptr);
+  // r = spawn callee(arg); returns a thread-handle register (i64).
+  Reg ThreadCreate(FuncId callee, Operand arg);
+  void ThreadJoin(Reg handle);
+  void Yield();
+
+  // --- Misc -----------------------------------------------------------------
+  void Assert(Reg cond);
+  // Burn `nanos` of virtual time (models computation between target events).
+  void Work(int64_t nanos);
+  void Nop();
+
+  // Id of the most recently created instruction (for ground-truth bookkeeping
+  // in workloads: "this store is target event W1").
+  InstId last_inst() const { return last_inst_; }
+
+ private:
+  Instruction* NewInst(Opcode op);
+  Reg NewReg();
+
+  Module* module_;
+  Function* current_func_ = nullptr;
+  BasicBlock* insert_block_ = nullptr;
+  BlockId current_block_ = kInvalidBlockId;
+  InstId last_inst_ = kInvalidInstId;
+  std::string debug_location_;
+};
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_BUILDER_H_

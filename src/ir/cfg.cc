@@ -1,0 +1,47 @@
+#include "ir/cfg.h"
+
+namespace snorlax::ir {
+
+std::vector<BlockId> Successors(const BasicBlock& block) {
+  const Instruction* term = block.terminator();
+  if (term == nullptr) {
+    return {};
+  }
+  switch (term->opcode()) {
+    case Opcode::kBr:
+      return {term->then_block()};
+    case Opcode::kCondBr:
+      if (term->then_block() == term->else_block()) {
+        return {term->then_block()};
+      }
+      return {term->then_block(), term->else_block()};
+    default:
+      return {};
+  }
+}
+
+std::unordered_map<BlockId, std::vector<BlockId>> Predecessors(const Function& func) {
+  std::unordered_map<BlockId, std::vector<BlockId>> preds;
+  for (const auto& bb : func.blocks()) {
+    preds.try_emplace(bb->id());
+  }
+  for (const auto& bb : func.blocks()) {
+    for (BlockId succ : Successors(*bb)) {
+      preds[succ].push_back(bb->id());
+    }
+  }
+  return preds;
+}
+
+std::vector<const BasicBlock*> PredecessorBlocksOf(const Module& module, InstId inst) {
+  const BasicBlock* block = module.instruction(inst)->parent();
+  const Function* func = block->parent();
+  auto preds = Predecessors(*func);
+  std::vector<const BasicBlock*> out;
+  for (BlockId id : preds[block->id()]) {
+    out.push_back(module.block(id));
+  }
+  return out;
+}
+
+}  // namespace snorlax::ir

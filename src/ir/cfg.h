@@ -1,0 +1,26 @@
+// Static CFG helpers over MiniIR.
+#ifndef SNORLAX_IR_CFG_H_
+#define SNORLAX_IR_CFG_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace snorlax::ir {
+
+// Successor block ids of `block` within its function (empty for blocks ending
+// in a return).
+std::vector<BlockId> Successors(const BasicBlock& block);
+
+// Predecessor map of one function: block id -> predecessor block ids.
+std::unordered_map<BlockId, std::vector<BlockId>> Predecessors(const Function& func);
+
+// Predecessor blocks of the block containing `inst` (used by the server to
+// pick fallback dump points when a failure PC is unreachable in successful
+// executions, paper section 4.1).
+std::vector<const BasicBlock*> PredecessorBlocksOf(const Module& module, InstId inst);
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_CFG_H_

@@ -1,0 +1,119 @@
+#include "ir/instruction.h"
+
+#include "support/str.h"
+
+namespace snorlax::ir {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kAlloca:
+      return "alloca";
+    case Opcode::kAddrOfGlobal:
+      return "addrof";
+    case Opcode::kCopy:
+      return "copy";
+    case Opcode::kCast:
+      return "cast";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kGep:
+      return "gep";
+    case Opcode::kFree:
+      return "free";
+    case Opcode::kConst:
+      return "const";
+    case Opcode::kRandom:
+      return "random";
+    case Opcode::kFuncAddr:
+      return "funcaddr";
+    case Opcode::kBinOp:
+      return "binop";
+    case Opcode::kCmp:
+      return "cmp";
+    case Opcode::kBr:
+      return "br";
+    case Opcode::kCondBr:
+      return "condbr";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kCallIndirect:
+      return "calli";
+    case Opcode::kRet:
+      return "ret";
+    case Opcode::kLockAcquire:
+      return "lock";
+    case Opcode::kLockRelease:
+      return "unlock";
+    case Opcode::kThreadCreate:
+      return "spawn";
+    case Opcode::kThreadJoin:
+      return "join";
+    case Opcode::kYield:
+      return "yield";
+    case Opcode::kAssert:
+      return "assert";
+    case Opcode::kWork:
+      return "work";
+    case Opcode::kNop:
+      return "nop";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string OperandToString(const Operand& op) {
+  if (op.IsReg()) {
+    return StrFormat("%%r%u", op.reg);
+  }
+  return StrFormat("%lld", static_cast<long long>(op.imm));
+}
+
+}  // namespace
+
+std::string Instruction::ToString() const {
+  std::string s = StrFormat("#%u ", id_);
+  if (HasResult()) {
+    s += StrFormat("%%r%u = ", result_);
+  }
+  s += OpcodeName(opcode_);
+  if (type_ != nullptr && !type_->IsVoid()) {
+    s += " " + type_->ToString();
+  }
+  for (size_t i = 0; i < operands_.size(); ++i) {
+    s += (i == 0 ? " " : ", ") + OperandToString(operands_[i]);
+  }
+  switch (opcode_) {
+    case Opcode::kBr:
+      s += StrFormat(" bb%u", then_block_);
+      break;
+    case Opcode::kCondBr:
+      s += StrFormat(" bb%u, bb%u", then_block_, else_block_);
+      break;
+    case Opcode::kCall:
+    case Opcode::kThreadCreate:
+    case Opcode::kFuncAddr:
+      s += StrFormat(" @f%u", callee_);
+      break;
+    case Opcode::kAddrOfGlobal:
+      s += StrFormat(" @g%u", global_);
+      break;
+    case Opcode::kGep:
+      s += StrFormat(" field %lld", static_cast<long long>(imm_));
+      break;
+    case Opcode::kConst:
+    case Opcode::kWork:
+      s += StrFormat(" %lld", static_cast<long long>(imm_));
+      break;
+    default:
+      break;
+  }
+  if (!debug_location_.empty()) {
+    s += "  ; " + debug_location_;
+  }
+  return s;
+}
+
+}  // namespace snorlax::ir

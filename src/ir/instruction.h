@@ -1,0 +1,182 @@
+// MiniIR instruction set.
+//
+// A non-SSA register machine: each function owns a register file; instructions
+// read operands (registers or immediates) and optionally write a result
+// register. The set covers exactly what Lazy Diagnosis needs:
+//   - the four Andersen constraint forms: AddressOf (alloca / addr-of-global),
+//     Copy, Load (p = *q), Store (*p = q), plus field addressing (Gep) and
+//     pointer casts,
+//   - control flow (Br / CondBr / Call / Ret) so a PT-style tracer has
+//     branches to record,
+//   - synchronization (LockAcquire / LockRelease) and thread management,
+//   - failure sources (Assert, invalid dereference via Load/Store, Free for
+//     use-after-free bugs),
+//   - Work, which burns virtual nanoseconds to model real computation between
+//     target events (this is what gives concurrency bugs their coarse
+//     inter-event gaps).
+#ifndef SNORLAX_IR_INSTRUCTION_H_
+#define SNORLAX_IR_INSTRUCTION_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace snorlax::ir {
+
+class BasicBlock;
+class Function;
+
+// Module-unique instruction id ("program counter" for the tracer/analyzer).
+using InstId = uint32_t;
+inline constexpr InstId kInvalidInstId = std::numeric_limits<InstId>::max();
+
+// Module-unique basic block id (the "address" PT TIP packets refer to).
+using BlockId = uint32_t;
+inline constexpr BlockId kInvalidBlockId = std::numeric_limits<BlockId>::max();
+
+// Per-function virtual register index.
+using Reg = uint32_t;
+inline constexpr Reg kInvalidReg = std::numeric_limits<Reg>::max();
+
+// Module-unique ids for functions and globals.
+using FuncId = uint32_t;
+using GlobalId = uint32_t;
+inline constexpr FuncId kInvalidFuncId = std::numeric_limits<FuncId>::max();
+
+enum class Opcode : uint8_t {
+  // Memory / pointers.
+  kAlloca,        // r = alloca T           (address-of: r points to a fresh object)
+  kAddrOfGlobal,  // r = &global            (address-of)
+  kCopy,          // r = op0                (p = q)
+  kCast,          // r = (T) op0            (pointer bitcast; copy for points-to)
+  kLoad,          // r = *op0               (p = *q)
+  kStore,         // *op1 = op0             (*p = q)
+  kGep,           // r = &op0->field[k]     (field address; k is imm)
+  kFree,          // free(op0)              (object becomes poisoned)
+  // Arithmetic / comparison.
+  kConst,  // r = imm
+  kRandom,  // r = uniform(op0, op1)  (input-dependent value; models run-to-run input variance)
+  kFuncAddr,  // r = @f              (function address; enables indirect calls)
+  kBinOp,  // r = op0 <binop> op1
+  kCmp,    // r = op0 <cmpop> op1  (i1 result)
+  // Control flow.
+  kBr,      // br label            (direct; no trace packet needed)
+  kCondBr,  // br op0, then, else  (conditional; traced via TNT)
+  kCall,    // r = call f(args)    (direct call)
+  kCallIndirect,  // r = call op0(args)  (indirect; traced via TIP)
+  kRet,     // ret [op0]
+  // Concurrency.
+  kLockAcquire,   // lock(op0)   op0: lock*
+  kLockRelease,   // unlock(op0)
+  kThreadCreate,  // r = spawn f(op0)
+  kThreadJoin,    // join(op0)
+  kYield,         // hint: reschedule
+  // Misc.
+  kAssert,  // assert(op0) -- fail-stop if zero
+  kWork,    // burn `imm` virtual nanoseconds (models real computation)
+  kNop,
+};
+
+const char* OpcodeName(Opcode op);
+
+enum class BinOpKind : uint8_t { kAdd, kSub, kMul, kAnd, kOr, kXor, kShl, kShr };
+enum class CmpKind : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// An instruction operand: either a register or an immediate integer.
+struct Operand {
+  enum class Kind : uint8_t { kReg, kImm } kind = Kind::kImm;
+  Reg reg = kInvalidReg;
+  int64_t imm = 0;
+
+  static Operand MakeReg(Reg r) { return Operand{Kind::kReg, r, 0}; }
+  static Operand MakeImm(int64_t v) { return Operand{Kind::kImm, kInvalidReg, v}; }
+  bool IsReg() const { return kind == Kind::kReg; }
+};
+
+class Instruction {
+ public:
+  InstId id() const { return id_; }
+  Opcode opcode() const { return opcode_; }
+  const BasicBlock* parent() const { return parent_; }
+  BasicBlock* parent() { return parent_; }
+  // Position within the parent block (tracers locate events by block+index).
+  uint32_t index_in_block() const { return index_in_block_; }
+
+  // Result register, or kInvalidReg when the instruction produces no value.
+  Reg result() const { return result_; }
+  bool HasResult() const { return result_ != kInvalidReg; }
+
+  // Result/value type. For kLoad this is the loaded value's type; for kStore
+  // the stored value's type; for kAlloca the pointer type to the new object.
+  // Type-based ranking compares these "operated-on" types.
+  const Type* type() const { return type_; }
+
+  const std::vector<Operand>& operands() const { return operands_; }
+  const Operand& operand(size_t i) const { return operands_[i]; }
+  size_t num_operands() const { return operands_.size(); }
+
+  // kAlloca: allocated object type. kGep: base struct type.
+  const Type* pointee_type() const { return pointee_type_; }
+  // kGep: field index. kWork: nanoseconds. kConst: value.
+  int64_t imm() const { return imm_; }
+  BinOpKind binop() const { return binop_; }
+  CmpKind cmp() const { return cmp_; }
+
+  // kBr: taken target. kCondBr: taken ("then") target.
+  BlockId then_block() const { return then_block_; }
+  // kCondBr: fall-through ("else") target.
+  BlockId else_block() const { return else_block_; }
+
+  // kCall / kThreadCreate: callee. kAddrOfGlobal: kInvalidFuncId.
+  FuncId callee() const { return callee_; }
+  // kAddrOfGlobal: the referenced global.
+  GlobalId global() const { return global_; }
+
+  bool IsTerminator() const {
+    return opcode_ == Opcode::kBr || opcode_ == Opcode::kCondBr || opcode_ == Opcode::kRet;
+  }
+  // True for instructions that access shared memory or locks -- the "target
+  // event" candidates of the paper (loads, stores, lock operations).
+  bool IsMemoryAccess() const {
+    return opcode_ == Opcode::kLoad || opcode_ == Opcode::kStore;
+  }
+  bool IsLockOp() const {
+    return opcode_ == Opcode::kLockAcquire || opcode_ == Opcode::kLockRelease;
+  }
+
+  // Optional source annotation carried through diagnosis reports, e.g.
+  // "buffer.c:142". Purely informational.
+  const std::string& debug_location() const { return debug_location_; }
+  void set_debug_location(std::string loc) { debug_location_ = std::move(loc); }
+
+  std::string ToString() const;
+
+ private:
+  friend class IrBuilder;
+  friend class Module;
+  Instruction() = default;
+
+  InstId id_ = kInvalidInstId;
+  Opcode opcode_ = Opcode::kNop;
+  BasicBlock* parent_ = nullptr;
+  uint32_t index_in_block_ = 0;
+  Reg result_ = kInvalidReg;
+  const Type* type_ = nullptr;
+  std::vector<Operand> operands_;
+  const Type* pointee_type_ = nullptr;
+  int64_t imm_ = 0;
+  BinOpKind binop_ = BinOpKind::kAdd;
+  CmpKind cmp_ = CmpKind::kEq;
+  BlockId then_block_ = kInvalidBlockId;
+  BlockId else_block_ = kInvalidBlockId;
+  FuncId callee_ = kInvalidFuncId;
+  GlobalId global_ = 0;
+  std::string debug_location_;
+};
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_INSTRUCTION_H_

@@ -1,0 +1,23 @@
+#include "ir/module.h"
+
+namespace snorlax::ir {
+
+size_t Function::NumInstructions() const {
+  size_t n = 0;
+  for (const auto& bb : blocks_) {
+    n += bb->instructions().size();
+  }
+  return n;
+}
+
+const Function* Module::FindFunction(const std::string& name) const {
+  auto it = function_names_.find(name);
+  return it == function_names_.end() ? nullptr : functions_[it->second].get();
+}
+
+const GlobalVar* Module::FindGlobal(const std::string& name) const {
+  auto it = global_names_.find(name);
+  return it == global_names_.end() ? nullptr : &globals_[it->second];
+}
+
+}  // namespace snorlax::ir

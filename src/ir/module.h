@@ -1,0 +1,128 @@
+// MiniIR containers: BasicBlock, Function, GlobalVar, Module.
+//
+// A Module owns everything (types, globals, functions, blocks, instructions)
+// and assigns module-unique ids so that a "program counter" in a control-flow
+// trace maps back to an instruction, exactly as Snorlax maps a stripped
+// binary's PC to LLVM IR on the server side (paper section 5).
+#ifndef SNORLAX_IR_MODULE_H_
+#define SNORLAX_IR_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "ir/type.h"
+
+namespace snorlax::ir {
+
+class Function;
+class Module;
+
+class BasicBlock {
+ public:
+  BlockId id() const { return id_; }
+  const std::string& label() const { return label_; }
+  const Function* parent() const { return parent_; }
+  Function* parent() { return parent_; }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+  bool empty() const { return instructions_.empty(); }
+  const Instruction* terminator() const {
+    return instructions_.empty() ? nullptr : instructions_.back().get();
+  }
+
+ private:
+  friend class IrBuilder;
+  friend class Module;
+  BasicBlock() = default;
+
+  BlockId id_ = kInvalidBlockId;
+  std::string label_;
+  Function* parent_ = nullptr;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+class Function {
+ public:
+  FuncId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Module* parent() const { return parent_; }
+
+  // Parameters occupy registers [0, num_params).
+  uint32_t num_params() const { return num_params_; }
+  const std::vector<const Type*>& param_types() const { return param_types_; }
+  const Type* return_type() const { return return_type_; }
+  uint32_t num_regs() const { return next_reg_; }
+
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const { return blocks_; }
+  const BasicBlock* entry() const { return blocks_.empty() ? nullptr : blocks_.front().get(); }
+
+  size_t NumInstructions() const;
+
+ private:
+  friend class IrBuilder;
+  friend class Module;
+  Function() = default;
+
+  FuncId id_ = kInvalidFuncId;
+  std::string name_;
+  Module* parent_ = nullptr;
+  uint32_t num_params_ = 0;
+  std::vector<const Type*> param_types_;
+  const Type* return_type_ = nullptr;
+  uint32_t next_reg_ = 0;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+// A module-level variable (shared state between threads) or a named lock.
+struct GlobalVar {
+  GlobalId id = 0;
+  std::string name;
+  const Type* type = nullptr;  // object type, not pointer type
+};
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  TypeTable& types() { return types_; }
+  const TypeTable& types() const { return types_; }
+
+  const std::vector<std::unique_ptr<Function>>& functions() const { return functions_; }
+  const Function* function(FuncId id) const { return functions_.at(id).get(); }
+  const Function* FindFunction(const std::string& name) const;
+
+  const std::vector<GlobalVar>& globals() const { return globals_; }
+  const GlobalVar& global(GlobalId id) const { return globals_.at(id); }
+  const GlobalVar* FindGlobal(const std::string& name) const;
+
+  // Lookup by module-unique ids (PC -> IR mapping).
+  const Instruction* instruction(InstId id) const { return inst_index_.at(id); }
+  const BasicBlock* block(BlockId id) const { return block_index_.at(id); }
+  size_t NumInstructions() const { return inst_index_.size(); }
+  size_t NumBlocks() const { return block_index_.size(); }
+
+  // All instructions in the module, in id order.
+  const std::vector<const Instruction*>& AllInstructions() const { return inst_index_; }
+
+ private:
+  friend class IrBuilder;
+
+  TypeTable types_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<GlobalVar> globals_;
+  std::vector<const Instruction*> inst_index_;   // indexed by InstId
+  std::vector<const BasicBlock*> block_index_;   // indexed by BlockId
+  std::unordered_map<std::string, FuncId> function_names_;
+  std::unordered_map<std::string, GlobalId> global_names_;
+};
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_MODULE_H_

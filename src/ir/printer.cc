@@ -1,0 +1,40 @@
+#include "ir/printer.h"
+
+#include "support/str.h"
+
+namespace snorlax::ir {
+
+std::string PrintFunction(const Function& func) {
+  std::vector<std::string> params;
+  for (const Type* t : func.param_types()) {
+    params.push_back(t->ToString());
+  }
+  std::string out = StrFormat("define %s @%s(%s) {\n", func.return_type()->ToString().c_str(),
+                              func.name().c_str(), StrJoin(params, ", ").c_str());
+  for (const auto& bb : func.blocks()) {
+    out += StrFormat("bb%u:  ; %s\n", bb->id(), bb->label().c_str());
+    for (const auto& inst : bb->instructions()) {
+      out += "  " + inst->ToString() + "\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PrintModule(const Module& module) {
+  std::string out;
+  for (const GlobalVar& g : module.globals()) {
+    out += StrFormat("@g%u = global %s  ; %s\n", g.id, g.type->ToString().c_str(),
+                     g.name.c_str());
+  }
+  if (!module.globals().empty()) {
+    out += "\n";
+  }
+  for (const auto& func : module.functions()) {
+    out += PrintFunction(*func);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace snorlax::ir

@@ -1,0 +1,16 @@
+// Textual dump of MiniIR modules, for debugging and documentation.
+#ifndef SNORLAX_IR_PRINTER_H_
+#define SNORLAX_IR_PRINTER_H_
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace snorlax::ir {
+
+std::string PrintFunction(const Function& func);
+std::string PrintModule(const Module& module);
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_PRINTER_H_

@@ -1,0 +1,858 @@
+#include "ir/text_format.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "ir/builder.h"
+#include "support/str.h"
+
+namespace snorlax::ir {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+// Emits struct definitions in dependency order (a struct's field types only
+// reference structs already emitted; the type table cannot express cycles).
+void CollectStructs(const Type* type, std::vector<const Type*>* out,
+                    std::set<const Type*>* seen) {
+  while (type->IsPointer()) {
+    type = type->pointee();
+  }
+  if (!type->IsStruct() || seen->count(type) > 0) {
+    return;
+  }
+  seen->insert(type);
+  for (const Type* field : type->fields()) {
+    CollectStructs(field, out, seen);
+  }
+  out->push_back(type);
+}
+
+// Canonical register numbering: registers are renamed to their textual
+// definition order, so writing a parsed module reproduces the text exactly
+// even when the original builder interleaved block construction.
+struct RegNames {
+  std::unordered_map<Reg, uint32_t> names;
+
+  std::string Of(Reg reg) const {
+    auto it = names.find(reg);
+    // Falls back to the raw number for (invalid) use-before-def programs.
+    return StrFormat("%%%u", it != names.end() ? it->second : reg);
+  }
+};
+
+RegNames NumberRegisters(const Function& func) {
+  RegNames out;
+  uint32_t next = 0;
+  for (uint32_t i = 0; i < func.num_params(); ++i) {
+    out.names[i] = next++;
+  }
+  for (const auto& bb : func.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->HasResult() && out.names.find(inst->result()) == out.names.end()) {
+        out.names[inst->result()] = next++;
+      }
+    }
+  }
+  return out;
+}
+
+std::string OperandText(const Operand& op, const RegNames& regs) {
+  if (op.IsReg()) {
+    return regs.Of(op.reg);
+  }
+  return StrFormat("%lld", static_cast<long long>(op.imm));
+}
+
+const char* BinOpName(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kAdd:
+      return "add";
+    case BinOpKind::kSub:
+      return "sub";
+    case BinOpKind::kMul:
+      return "mul";
+    case BinOpKind::kAnd:
+      return "and";
+    case BinOpKind::kOr:
+      return "or";
+    case BinOpKind::kXor:
+      return "xor";
+    case BinOpKind::kShl:
+      return "shl";
+    case BinOpKind::kShr:
+      return "shr";
+  }
+  return "?";
+}
+
+const char* CmpName(CmpKind op) {
+  switch (op) {
+    case CmpKind::kEq:
+      return "eq";
+    case CmpKind::kNe:
+      return "ne";
+    case CmpKind::kLt:
+      return "lt";
+    case CmpKind::kLe:
+      return "le";
+    case CmpKind::kGt:
+      return "gt";
+    case CmpKind::kGe:
+      return "ge";
+  }
+  return "?";
+}
+
+std::string InstructionText(const Module& m, const Instruction& inst,
+                            const std::unordered_map<BlockId, std::string>& labels,
+                            const RegNames& regs) {
+  std::string s;
+  if (inst.HasResult()) {
+    s += regs.Of(inst.result()) + " = ";
+  }
+  switch (inst.opcode()) {
+    case Opcode::kAlloca:
+      s += "alloca " + inst.pointee_type()->ToString();
+      break;
+    case Opcode::kAddrOfGlobal:
+      s += "addrof @" + m.global(inst.global()).name;
+      break;
+    case Opcode::kFuncAddr:
+      s += "funcaddr @" + m.function(inst.callee())->name();
+      break;
+    case Opcode::kCopy:
+      s += "copy " + inst.type()->ToString() + " " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kCast:
+      s += "cast " + inst.type()->ToString() + " " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kLoad:
+      s += "load " + inst.type()->ToString() + " " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kStore:
+      s += "store " + inst.type()->ToString() + " " + OperandText(inst.operand(0), regs) + ", " +
+           OperandText(inst.operand(1), regs);
+      break;
+    case Opcode::kGep:
+      s += "gep " + inst.pointee_type()->ToString() + " " + OperandText(inst.operand(0), regs) +
+           StrFormat(", %lld", static_cast<long long>(inst.imm()));
+      break;
+    case Opcode::kFree:
+      s += "free " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kConst:
+      s += "const " + inst.type()->ToString() +
+           StrFormat(" %lld", static_cast<long long>(inst.imm()));
+      break;
+    case Opcode::kRandom:
+      s += "random " + inst.type()->ToString() + " " + OperandText(inst.operand(0), regs) + ", " +
+           OperandText(inst.operand(1), regs);
+      break;
+    case Opcode::kBinOp:
+      s += std::string(BinOpName(inst.binop())) + " " + inst.type()->ToString() + " " +
+           OperandText(inst.operand(0), regs) + ", " + OperandText(inst.operand(1), regs);
+      break;
+    case Opcode::kCmp:
+      s += std::string("cmp ") + CmpName(inst.cmp()) + " " + OperandText(inst.operand(0), regs) +
+           ", " + OperandText(inst.operand(1), regs);
+      break;
+    case Opcode::kBr:
+      s += "br ^" + labels.at(inst.then_block());
+      break;
+    case Opcode::kCondBr:
+      s += "condbr " + OperandText(inst.operand(0), regs) + ", ^" + labels.at(inst.then_block()) +
+           ", ^" + labels.at(inst.else_block());
+      break;
+    case Opcode::kCall: {
+      s += "call @" + m.function(inst.callee())->name() + "(";
+      for (size_t i = 0; i < inst.num_operands(); ++i) {
+        s += (i == 0 ? "" : ", ") + OperandText(inst.operand(i), regs);
+      }
+      s += ")";
+      break;
+    }
+    case Opcode::kCallIndirect: {
+      s += "calli " + OperandText(inst.operand(0), regs) + "(";
+      for (size_t i = 1; i < inst.num_operands(); ++i) {
+        s += (i == 1 ? "" : ", ") + OperandText(inst.operand(i), regs);
+      }
+      s += ") -> " + inst.type()->ToString();
+      break;
+    }
+    case Opcode::kRet:
+      s += "ret";
+      if (inst.num_operands() == 1) {
+        s += " " + OperandText(inst.operand(0), regs);
+      }
+      break;
+    case Opcode::kLockAcquire:
+      s += "lock " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kLockRelease:
+      s += "unlock " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kThreadCreate:
+      s += "spawn @" + m.function(inst.callee())->name() + "(" +
+           OperandText(inst.operand(0), regs) + ")";
+      break;
+    case Opcode::kThreadJoin:
+      s += "join " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kYield:
+      s += "yield";
+      break;
+    case Opcode::kAssert:
+      s += "assert " + OperandText(inst.operand(0), regs);
+      break;
+    case Opcode::kWork:
+      s += StrFormat("work %lld", static_cast<long long>(inst.imm()));
+      break;
+    case Opcode::kNop:
+      s += "nop";
+      break;
+  }
+  if (!inst.debug_location().empty()) {
+    s += " !loc \"" + inst.debug_location() + "\"";
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+  std::vector<std::string> lines;
+  size_t line_no = 0;  // 0-based index of the current line
+  std::string error;
+  std::unique_ptr<Module> module;
+  std::unique_ptr<IrBuilder> builder;
+  // Function signatures from the pre-scan (name -> (param types, ret type)).
+  std::map<std::string, FuncId> func_ids;
+
+  bool Fail(const std::string& msg) {
+    if (error.empty()) {
+      error = StrFormat("line %zu: %s", line_no + 1, msg.c_str());
+    }
+    return false;
+  }
+
+  static std::string Strip(const std::string& s) {
+    size_t a = 0, b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+    return s.substr(a, b - a);
+  }
+
+  // Splits "head rest" at the first space.
+  static void SplitFirst(const std::string& s, std::string* head, std::string* rest) {
+    const size_t pos = s.find(' ');
+    if (pos == std::string::npos) {
+      *head = s;
+      rest->clear();
+    } else {
+      *head = s.substr(0, pos);
+      *rest = Strip(s.substr(pos + 1));
+    }
+  }
+
+  // Parses a type spelling: void | lock | iN | %struct.Name, with trailing *s.
+  const Type* ParseType(std::string text) {
+    text = Strip(text);
+    int stars = 0;
+    while (!text.empty() && text.back() == '*') {
+      ++stars;
+      text.pop_back();
+    }
+    const Type* base = nullptr;
+    if (text == "void") {
+      base = module->types().VoidType();
+    } else if (text == "lock") {
+      base = module->types().LockType();
+    } else if (text.size() > 1 && text[0] == 'i') {
+      const int width = std::atoi(text.c_str() + 1);
+      if (width <= 0 || width > 64) {
+        Fail("bad integer width in type '" + text + "'");
+        return nullptr;
+      }
+      base = module->types().IntType(width);
+    } else if (text.rfind("%struct.", 0) == 0) {
+      base = module->types().FindStruct(text.substr(8));
+      if (base == nullptr) {
+        Fail("unknown struct in type '" + text + "'");
+        return nullptr;
+      }
+    } else {
+      Fail("unparseable type '" + text + "'");
+      return nullptr;
+    }
+    for (int i = 0; i < stars; ++i) {
+      base = module->types().PointerTo(base);
+    }
+    return base;
+  }
+};
+
+// A function body parser: maps source registers/labels to builder ones.
+struct BodyParser {
+  Parser* p;
+  std::unordered_map<uint32_t, Reg> reg_map;       // source %N -> builder reg
+  std::unordered_map<std::string, BlockId> blocks;  // label -> block
+
+  bool Fail(const std::string& msg) { return p->Fail(msg); }
+
+  bool MapOperand(const std::string& text, Operand* out) {
+    const std::string t = Parser::Strip(text);
+    if (t.empty()) {
+      return Fail("empty operand");
+    }
+    if (t[0] == '%') {
+      const uint32_t src = static_cast<uint32_t>(std::atoi(t.c_str() + 1));
+      auto it = reg_map.find(src);
+      if (it == reg_map.end()) {
+        return Fail(StrFormat("use of undefined register %%%u", src));
+      }
+      *out = Operand::MakeReg(it->second);
+      return true;
+    }
+    *out = Operand::MakeImm(std::strtoll(t.c_str(), nullptr, 10));
+    return true;
+  }
+
+  bool MapReg(const std::string& text, Reg* out) {
+    Operand op;
+    if (!MapOperand(text, &op)) {
+      return false;
+    }
+    if (!op.IsReg()) {
+      return Fail("expected a register operand");
+    }
+    *out = op.reg;
+    return true;
+  }
+
+  BlockId Label(const std::string& text) {
+    std::string t = Parser::Strip(text);
+    if (t.empty() || t[0] != '^') {
+      Fail("expected a ^label");
+      return kInvalidBlockId;
+    }
+    t = t.substr(1);
+    auto it = blocks.find(t);
+    if (it != blocks.end()) {
+      return it->second;
+    }
+    const BlockId id = p->builder->CreateBlock(t);
+    blocks[t] = id;
+    return id;
+  }
+
+  static std::vector<std::string> SplitCommas(const std::string& s) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+      if (i == s.size() || s[i] == ',') {
+        out.push_back(Parser::Strip(s.substr(start, i - start)));
+        start = i + 1;
+      }
+    }
+    if (out.size() == 1 && out[0].empty()) {
+      out.clear();
+    }
+    return out;
+  }
+
+  // Parses one instruction line (already stripped, nonempty, no label).
+  bool ParseInstruction(std::string line);
+};
+
+bool BodyParser::ParseInstruction(std::string line) {
+  IrBuilder& b = *p->builder;
+
+  // Peel a trailing `!loc "..."`.
+  std::string loc;
+  const size_t loc_pos = line.rfind(" !loc \"");
+  if (loc_pos != std::string::npos && line.back() == '"') {
+    loc = line.substr(loc_pos + 7, line.size() - loc_pos - 8);
+    line = Parser::Strip(line.substr(0, loc_pos));
+  }
+  b.SetDebugLocation(loc);
+
+  // Peel `%N = `.
+  int64_t result_src = -1;
+  if (line[0] == '%') {
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Fail("register line without '='");
+    }
+    result_src = std::atoi(line.c_str() + 1);
+    line = Parser::Strip(line.substr(eq + 1));
+  }
+
+  std::string op, rest;
+  Parser::SplitFirst(line, &op, &rest);
+  Reg result = kInvalidReg;
+  bool has_result = false;
+
+  auto type_then_args = [&](const Type** type, std::string* args) -> bool {
+    // rest = "<type> <args...>"; the type spelling contains no spaces.
+    std::string head;
+    Parser::SplitFirst(rest, &head, args);
+    *type = p->ParseType(head);
+    return *type != nullptr;
+  };
+
+  if (op == "alloca") {
+    const Type* t = p->ParseType(rest);
+    if (t == nullptr) return false;
+    result = b.Alloca(t);
+    has_result = true;
+  } else if (op == "addrof") {
+    if (rest.empty() || rest[0] != '@') return Fail("addrof needs @global");
+    const GlobalVar* g = p->module->FindGlobal(rest.substr(1));
+    if (g == nullptr) return Fail("unknown global " + rest);
+    result = b.AddrOfGlobal(g->id);
+    has_result = true;
+  } else if (op == "funcaddr") {
+    if (rest.empty() || rest[0] != '@') return Fail("funcaddr needs @func");
+    auto it = p->func_ids.find(rest.substr(1));
+    if (it == p->func_ids.end()) return Fail("unknown function " + rest);
+    result = b.FuncAddr(it->second);
+    has_result = true;
+  } else if (op == "copy" || op == "cast" || op == "load") {
+    const Type* t;
+    std::string args;
+    if (!type_then_args(&t, &args)) return false;
+    Reg src;
+    if (!MapReg(args, &src)) return false;
+    result = op == "copy" ? b.Copy(src, t) : op == "cast" ? b.Cast(src, t) : b.Load(src, t);
+    has_result = true;
+  } else if (op == "store") {
+    const Type* t;
+    std::string args;
+    if (!type_then_args(&t, &args)) return false;
+    const auto parts = SplitCommas(args);
+    if (parts.size() != 2) return Fail("store needs value, pointer");
+    Operand value;
+    Reg ptr;
+    if (!MapOperand(parts[0], &value) || !MapReg(parts[1], &ptr)) return false;
+    b.Store(value, ptr, t);
+  } else if (op == "gep") {
+    const Type* t;
+    std::string args;
+    if (!type_then_args(&t, &args)) return false;
+    const auto parts = SplitCommas(args);
+    if (parts.size() != 2) return Fail("gep needs pointer, field");
+    Reg ptr;
+    if (!MapReg(parts[0], &ptr)) return false;
+    result = b.Gep(ptr, t, std::atoi(parts[1].c_str()));
+    has_result = true;
+  } else if (op == "free") {
+    Reg ptr;
+    if (!MapReg(rest, &ptr)) return false;
+    b.Free(ptr);
+  } else if (op == "const") {
+    const Type* t;
+    std::string args;
+    if (!type_then_args(&t, &args)) return false;
+    result = b.Const(t, std::strtoll(args.c_str(), nullptr, 10));
+    has_result = true;
+  } else if (op == "random") {
+    const Type* t;
+    std::string args;
+    if (!type_then_args(&t, &args)) return false;
+    const auto parts = SplitCommas(args);
+    if (parts.size() != 2) return Fail("random needs lo, hi");
+    result = b.Random(t, std::strtoll(parts[0].c_str(), nullptr, 10),
+                      std::strtoll(parts[1].c_str(), nullptr, 10));
+    has_result = true;
+  } else if (op == "add" || op == "sub" || op == "mul" || op == "and" || op == "or" ||
+             op == "xor" || op == "shl" || op == "shr") {
+    const Type* t;
+    std::string args;
+    if (!type_then_args(&t, &args)) return false;
+    const auto parts = SplitCommas(args);
+    if (parts.size() != 2) return Fail("binop needs two operands");
+    Operand lhs, rhs;
+    if (!MapOperand(parts[0], &lhs) || !MapOperand(parts[1], &rhs)) return false;
+    const BinOpKind kind = op == "add"   ? BinOpKind::kAdd
+                           : op == "sub" ? BinOpKind::kSub
+                           : op == "mul" ? BinOpKind::kMul
+                           : op == "and" ? BinOpKind::kAnd
+                           : op == "or"  ? BinOpKind::kOr
+                           : op == "xor" ? BinOpKind::kXor
+                           : op == "shl" ? BinOpKind::kShl
+                                         : BinOpKind::kShr;
+    result = b.BinOp(kind, lhs, rhs, t);
+    has_result = true;
+  } else if (op == "cmp") {
+    std::string kind_text, args;
+    Parser::SplitFirst(rest, &kind_text, &args);
+    const auto parts = SplitCommas(args);
+    if (parts.size() != 2) return Fail("cmp needs two operands");
+    Operand lhs, rhs;
+    if (!MapOperand(parts[0], &lhs) || !MapOperand(parts[1], &rhs)) return false;
+    CmpKind kind;
+    if (kind_text == "eq") kind = CmpKind::kEq;
+    else if (kind_text == "ne") kind = CmpKind::kNe;
+    else if (kind_text == "lt") kind = CmpKind::kLt;
+    else if (kind_text == "le") kind = CmpKind::kLe;
+    else if (kind_text == "gt") kind = CmpKind::kGt;
+    else if (kind_text == "ge") kind = CmpKind::kGe;
+    else return Fail("unknown cmp kind " + kind_text);
+    result = b.Cmp(kind, lhs, rhs);
+    has_result = true;
+  } else if (op == "br") {
+    const BlockId target = Label(rest);
+    if (target == kInvalidBlockId) return false;
+    b.Br(target);
+  } else if (op == "condbr") {
+    const auto parts = SplitCommas(rest);
+    if (parts.size() != 3) return Fail("condbr needs cond, ^then, ^else");
+    Reg cond;
+    if (!MapReg(parts[0], &cond)) return false;
+    const BlockId then_b = Label(parts[1]);
+    const BlockId else_b = Label(parts[2]);
+    if (then_b == kInvalidBlockId || else_b == kInvalidBlockId) return false;
+    b.CondBr(cond, then_b, else_b);
+  } else if (op == "call" || op == "spawn") {
+    if (rest.empty() || rest[0] != '@') return Fail(op + " needs @func(...)");
+    const size_t paren = rest.find('(');
+    if (paren == std::string::npos || rest.back() != ')') return Fail("malformed call");
+    const std::string callee_name = rest.substr(1, paren - 1);
+    auto it = p->func_ids.find(callee_name);
+    if (it == p->func_ids.end()) return Fail("unknown function @" + callee_name);
+    const auto parts = SplitCommas(rest.substr(paren + 1, rest.size() - paren - 2));
+    std::vector<Operand> args;
+    for (const std::string& part : parts) {
+      Operand arg;
+      if (!MapOperand(part, &arg)) return false;
+      args.push_back(arg);
+    }
+    if (op == "spawn") {
+      if (args.size() != 1) return Fail("spawn takes exactly one argument");
+      result = b.ThreadCreate(it->second, args[0]);
+      has_result = true;
+    } else {
+      const Type* ret = p->module->function(it->second)->return_type();
+      result = b.Call(it->second, args, ret);
+      has_result = !ret->IsVoid();
+    }
+  } else if (op == "calli") {
+    const size_t paren = rest.find('(');
+    const size_t arrow = rest.rfind(" -> ");
+    if (paren == std::string::npos || arrow == std::string::npos) {
+      return Fail("malformed calli");
+    }
+    Reg target;
+    if (!MapReg(rest.substr(0, paren), &target)) return false;
+    const size_t close = rest.rfind(')', arrow);
+    if (close == std::string::npos) return Fail("malformed calli");
+    const auto parts = SplitCommas(rest.substr(paren + 1, close - paren - 1));
+    std::vector<Reg> args;
+    for (const std::string& part : parts) {
+      Reg arg;
+      if (!MapReg(part, &arg)) return false;
+      args.push_back(arg);
+    }
+    const Type* ret = p->ParseType(rest.substr(arrow + 4));
+    if (ret == nullptr) return false;
+    result = b.CallIndirect(target, args, ret);
+    has_result = !ret->IsVoid();
+  } else if (op == "ret") {
+    if (rest.empty()) {
+      b.RetVoid();
+    } else {
+      Reg value;
+      if (!MapReg(rest, &value)) return false;
+      b.Ret(value);
+    }
+  } else if (op == "lock" || op == "unlock") {
+    Reg ptr;
+    if (!MapReg(rest, &ptr)) return false;
+    if (op == "lock") {
+      b.LockAcquire(ptr);
+    } else {
+      b.LockRelease(ptr);
+    }
+  } else if (op == "join") {
+    Reg handle;
+    if (!MapReg(rest, &handle)) return false;
+    b.ThreadJoin(handle);
+  } else if (op == "yield") {
+    b.Yield();
+  } else if (op == "assert") {
+    Reg cond;
+    if (!MapReg(rest, &cond)) return false;
+    b.Assert(cond);
+  } else if (op == "work") {
+    b.Work(std::strtoll(rest.c_str(), nullptr, 10));
+  } else if (op == "nop") {
+    b.Nop();
+  } else {
+    return Fail("unknown instruction '" + op + "'");
+  }
+
+  if (result_src >= 0) {
+    if (!has_result) {
+      return Fail("instruction does not produce a result");
+    }
+    reg_map[static_cast<uint32_t>(result_src)] = result;
+  } else if (has_result && result != kInvalidReg) {
+    // A discarded result is legal (e.g. an ignored call return value).
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WriteModuleText(const Module& module) {
+  std::string out;
+
+  // Structs in dependency order, discovered through globals and functions.
+  std::vector<const Type*> structs;
+  std::set<const Type*> seen;
+  for (const GlobalVar& g : module.globals()) {
+    CollectStructs(g.type, &structs, &seen);
+  }
+  for (const auto& func : module.functions()) {
+    CollectStructs(func->return_type(), &structs, &seen);
+    for (const Type* t : func->param_types()) {
+      CollectStructs(t, &structs, &seen);
+    }
+    for (const auto& bb : func->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->type() != nullptr) {
+          CollectStructs(inst->type(), &structs, &seen);
+        }
+        if (inst->pointee_type() != nullptr) {
+          CollectStructs(inst->pointee_type(), &structs, &seen);
+        }
+      }
+    }
+  }
+  for (const Type* s : structs) {
+    out += "struct " + s->name() + " { ";
+    for (size_t i = 0; i < s->fields().size(); ++i) {
+      out += (i == 0 ? "" : ", ") + s->fields()[i]->ToString();
+    }
+    out += " }\n";
+  }
+  if (!structs.empty()) {
+    out += "\n";
+  }
+
+  for (const GlobalVar& g : module.globals()) {
+    out += "global @" + g.name + " : " + g.type->ToString() + "\n";
+  }
+  if (!module.globals().empty()) {
+    out += "\n";
+  }
+
+  for (const auto& func : module.functions()) {
+    const RegNames regs = NumberRegisters(*func);
+    // Unique labels per function.
+    std::unordered_map<BlockId, std::string> labels;
+    std::set<std::string> used;
+    for (const auto& bb : func->blocks()) {
+      std::string label = bb->label().empty() ? "bb" : bb->label();
+      std::string candidate = label;
+      int n = 1;
+      while (used.count(candidate) > 0) {
+        candidate = StrFormat("%s_%d", label.c_str(), n++);
+      }
+      used.insert(candidate);
+      labels[bb->id()] = candidate;
+    }
+
+    out += "func @" + func->name() + "(";
+    for (size_t i = 0; i < func->param_types().size(); ++i) {
+      out += (i == 0 ? "" : ", ") + func->param_types()[i]->ToString();
+    }
+    out += ") -> " + func->return_type()->ToString() + " {\n";
+    for (const auto& bb : func->blocks()) {
+      out += labels[bb->id()] + ":\n";
+      for (const auto& inst : bb->instructions()) {
+        out += "  " + InstructionText(module, *inst, labels, regs) + "\n";
+      }
+    }
+    out += "}\n\n";
+  }
+  return out;
+}
+
+std::unique_ptr<Module> ParseModuleText(const std::string& text, std::string* error) {
+  Parser p;
+  p.module = std::make_unique<Module>();
+  p.builder = std::make_unique<IrBuilder>(p.module.get());
+
+  // Split lines.
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      p.lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+
+  // Pre-scan: register every function signature (forward references).
+  for (p.line_no = 0; p.line_no < p.lines.size(); ++p.line_no) {
+    const std::string line = Parser::Strip(p.lines[p.line_no]);
+    if (line.rfind("struct ", 0) == 0) {
+      // struct Name { t1, t2 } -- fields may reference earlier structs only.
+      const size_t open = line.find('{');
+      const size_t close = line.rfind('}');
+      if (open == std::string::npos || close == std::string::npos) {
+        p.Fail("malformed struct");
+        break;
+      }
+      const std::string name = Parser::Strip(line.substr(7, open - 7));
+      std::vector<const Type*> fields;
+      bool ok = true;
+      for (const std::string& f :
+           BodyParser::SplitCommas(Parser::Strip(line.substr(open + 1, close - open - 1)))) {
+        const Type* t = p.ParseType(f);
+        if (t == nullptr) {
+          ok = false;
+          break;
+        }
+        fields.push_back(t);
+      }
+      if (!ok) {
+        break;
+      }
+      p.module->types().StructType(name, fields);
+    } else if (line.rfind("func @", 0) == 0) {
+      const size_t open = line.find('(');
+      const size_t close = line.find(')');
+      const size_t arrow = line.find(" -> ");
+      if (open == std::string::npos || close == std::string::npos ||
+          arrow == std::string::npos) {
+        p.Fail("malformed func header");
+        break;
+      }
+      const std::string name = line.substr(6, open - 6);
+      std::vector<const Type*> params;
+      bool ok = true;
+      for (const std::string& t :
+           BodyParser::SplitCommas(line.substr(open + 1, close - open - 1))) {
+        const Type* pt = p.ParseType(t);
+        if (pt == nullptr) {
+          ok = false;
+          break;
+        }
+        params.push_back(pt);
+      }
+      if (!ok) {
+        break;
+      }
+      std::string ret_text = Parser::Strip(line.substr(arrow + 4));
+      if (!ret_text.empty() && ret_text.back() == '{') {
+        ret_text = Parser::Strip(ret_text.substr(0, ret_text.size() - 1));
+      }
+      const Type* ret = p.ParseType(ret_text);
+      if (ret == nullptr) {
+        break;
+      }
+      p.func_ids[name] = p.builder->BeginFunction(name, ret, params);
+      // Bodies are parsed in the main pass; close the function for now by
+      // giving it a placeholder entry that the body pass replaces... MiniIR
+      // functions cannot be reopened, so instead parse bodies inline below.
+      p.builder->EndFunctionForParser();
+    }
+  }
+  if (!p.error.empty()) {
+    *error = p.error;
+    return nullptr;
+  }
+
+  // Main pass: globals and function bodies.
+  std::string current_func;
+  std::unique_ptr<BodyParser> body;
+  for (p.line_no = 0; p.line_no < p.lines.size(); ++p.line_no) {
+    std::string line = Parser::Strip(p.lines[p.line_no]);
+    if (line.empty() || line[0] == '#' || line.rfind("struct ", 0) == 0) {
+      continue;
+    }
+    if (line.rfind("global @", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        p.Fail("malformed global");
+        break;
+      }
+      const std::string name = Parser::Strip(line.substr(8, colon - 8));
+      const Type* t = p.ParseType(line.substr(colon + 1));
+      if (t == nullptr) {
+        break;
+      }
+      p.builder->CreateGlobal(name, t);
+      continue;
+    }
+    if (line.rfind("func @", 0) == 0) {
+      const size_t open = line.find('(');
+      current_func = line.substr(6, open - 6);
+      p.builder->ReopenFunctionForParser(p.func_ids.at(current_func));
+      body = std::make_unique<BodyParser>();
+      body->p = &p;
+      const uint32_t arity = p.module->function(p.func_ids.at(current_func))->num_params();
+      for (uint32_t i = 0; i < arity; ++i) {
+        body->reg_map[i] = i;
+      }
+      // Create the blocks in their textual order (a branch may reference a
+      // label before its definition line; creating blocks lazily at first
+      // reference would permute the function's block order).
+      for (size_t ahead = p.line_no + 1; ahead < p.lines.size(); ++ahead) {
+        const std::string scan = Parser::Strip(p.lines[ahead]);
+        if (scan == "}") {
+          break;
+        }
+        if (!scan.empty() && scan.back() == ':' && scan.find(' ') == std::string::npos) {
+          body->Label("^" + scan.substr(0, scan.size() - 1));
+        }
+      }
+      continue;
+    }
+    if (line == "}") {
+      if (body == nullptr) {
+        p.Fail("unmatched '}'");
+        break;
+      }
+      p.builder->EndFunction();
+      body.reset();
+      continue;
+    }
+    if (body == nullptr) {
+      p.Fail("statement outside a function: '" + line + "'");
+      break;
+    }
+    if (line.back() == ':' && line.find(' ') == std::string::npos) {
+      const BlockId block = body->Label("^" + line.substr(0, line.size() - 1));
+      if (block == kInvalidBlockId) {
+        break;
+      }
+      p.builder->SetInsertPoint(block);
+      continue;
+    }
+    if (!body->ParseInstruction(line)) {
+      break;
+    }
+  }
+  if (!p.error.empty()) {
+    *error = p.error;
+    return nullptr;
+  }
+  if (body != nullptr) {
+    *error = "unterminated function body";
+    return nullptr;
+  }
+  error->clear();
+  return std::move(p.module);
+}
+
+}  // namespace snorlax::ir

@@ -1,0 +1,44 @@
+// Textual module format: a parseable, human-writable serialization of MiniIR
+// (the .ll of this toolchain). WriteModuleText and ParseModuleText round-trip
+// exactly: types, globals, functions, blocks, instructions, and debug
+// locations survive; module-unique ids are reassigned in file order.
+//
+//   struct Queue { i64, i64 }
+//   global @fifo : %struct.FifoBox
+//   global @mu : lock
+//
+//   func @consumer(i64) -> void {
+//   entry:
+//     %1 = addrof @fifo
+//     %2 = gep %struct.FifoBox %1, 0
+//     %3 = load %struct.Queue* %2            !loc "pbzip2.c:consumer"
+//     condbr %9, ^drain, ^done
+//   ...
+//   }
+//
+// Grammar notes:
+//   - registers are %N (function-local, defined before use except params,
+//     which are %0..%{arity-1}),
+//   - blocks are ^label (function-local labels),
+//   - types: void, lock, iN, %struct.Name, and any of those suffixed with *,
+//   - immediates are bare integers; `!loc "..."` attaches a debug location.
+#ifndef SNORLAX_IR_TEXT_FORMAT_H_
+#define SNORLAX_IR_TEXT_FORMAT_H_
+
+#include <memory>
+#include <string>
+
+#include "ir/module.h"
+
+namespace snorlax::ir {
+
+// Serializes the module in the parseable text format.
+std::string WriteModuleText(const Module& module);
+
+// Parses a module from text. On failure returns nullptr and fills *error
+// with "line N: message".
+std::unique_ptr<Module> ParseModuleText(const std::string& text, std::string* error);
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_TEXT_FORMAT_H_

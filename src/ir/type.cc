@@ -1,0 +1,100 @@
+#include "ir/type.h"
+
+#include "support/check.h"
+#include "support/str.h"
+
+namespace snorlax::ir {
+
+int Type::SizeInCells() const {
+  switch (kind_) {
+    case TypeKind::kVoid:
+      return 0;
+    case TypeKind::kInt:
+    case TypeKind::kPointer:
+    case TypeKind::kLock:
+      return 1;
+    case TypeKind::kStruct:
+      return static_cast<int>(fields_.size());
+  }
+  return 0;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kInt:
+      return StrFormat("i%d", bit_width_);
+    case TypeKind::kPointer:
+      return pointee_->ToString() + "*";
+    case TypeKind::kStruct:
+      return "%struct." + name_;
+    case TypeKind::kLock:
+      return "lock";
+  }
+  return "?";
+}
+
+TypeTable::TypeTable() {
+  Type* v = NewType();
+  v->kind_ = TypeKind::kVoid;
+  void_type_ = v;
+  Type* l = NewType();
+  l->kind_ = TypeKind::kLock;
+  lock_type_ = l;
+}
+
+Type* TypeTable::NewType() {
+  storage_.push_back(std::unique_ptr<Type>(new Type()));
+  return storage_.back().get();
+}
+
+const Type* TypeTable::IntType(int bit_width) {
+  SNORLAX_CHECK(bit_width > 0 && bit_width <= 64);
+  auto it = int_types_.find(bit_width);
+  if (it != int_types_.end()) {
+    return it->second;
+  }
+  Type* t = NewType();
+  t->kind_ = TypeKind::kInt;
+  t->bit_width_ = bit_width;
+  int_types_[bit_width] = t;
+  return t;
+}
+
+const Type* TypeTable::PointerTo(const Type* pointee) {
+  SNORLAX_CHECK(pointee != nullptr);
+  auto it = pointer_types_.find(pointee);
+  if (it != pointer_types_.end()) {
+    return it->second;
+  }
+  Type* t = NewType();
+  t->kind_ = TypeKind::kPointer;
+  t->pointee_ = pointee;
+  pointer_types_[pointee] = t;
+  return t;
+}
+
+const Type* TypeTable::StructType(const std::string& name,
+                                  const std::vector<const Type*>& fields) {
+  auto it = struct_types_.find(name);
+  if (it != struct_types_.end()) {
+    const Type* existing = it->second;
+    SNORLAX_CHECK_MSG(fields.empty() || fields == existing->fields(),
+                      "struct redefined with different fields");
+    return existing;
+  }
+  Type* t = NewType();
+  t->kind_ = TypeKind::kStruct;
+  t->name_ = name;
+  t->fields_ = fields;
+  struct_types_[name] = t;
+  return t;
+}
+
+const Type* TypeTable::FindStruct(const std::string& name) const {
+  auto it = struct_types_.find(name);
+  return it == struct_types_.end() ? nullptr : it->second;
+}
+
+}  // namespace snorlax::ir

@@ -1,0 +1,100 @@
+// Type system for MiniIR.
+//
+// MiniIR models the LLVM subset that Lazy Diagnosis consumes: integers,
+// pointers, named struct types, and an opaque lock type (pthread_mutex_t-like).
+// Types are interned: each distinct type exists exactly once per TypeTable, so
+// types can be compared by pointer. Type-based ranking (paper section 4.3)
+// depends on exact type identity, which interning gives us for free.
+#ifndef SNORLAX_IR_TYPE_H_
+#define SNORLAX_IR_TYPE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace snorlax::ir {
+
+enum class TypeKind : uint8_t {
+  kVoid,
+  kInt,      // iN
+  kPointer,  // T*
+  kStruct,   // named aggregate; fields occupy one memory cell each
+  kLock,     // opaque mutex object
+};
+
+class Type {
+ public:
+  TypeKind kind() const { return kind_; }
+  bool IsVoid() const { return kind_ == TypeKind::kVoid; }
+  bool IsInt() const { return kind_ == TypeKind::kInt; }
+  bool IsPointer() const { return kind_ == TypeKind::kPointer; }
+  bool IsStruct() const { return kind_ == TypeKind::kStruct; }
+  bool IsLock() const { return kind_ == TypeKind::kLock; }
+
+  // Int width in bits; only valid for kInt.
+  int bit_width() const { return bit_width_; }
+
+  // Pointee type; only valid for kPointer.
+  const Type* pointee() const { return pointee_; }
+
+  // Struct name; only valid for kStruct.
+  const std::string& name() const { return name_; }
+
+  // Struct field types; only valid for kStruct.
+  const std::vector<const Type*>& fields() const { return fields_; }
+
+  // Number of memory cells an object of this type occupies at runtime.
+  // Scalars and pointers take one cell; structs take one cell per field;
+  // locks take one cell (the owner word).
+  int SizeInCells() const;
+
+  // Human-readable spelling, e.g. "i32", "%struct.Queue*", "lock".
+  std::string ToString() const;
+
+ private:
+  friend class TypeTable;
+  Type() = default;
+
+  TypeKind kind_ = TypeKind::kVoid;
+  int bit_width_ = 0;
+  const Type* pointee_ = nullptr;
+  std::string name_;
+  std::vector<const Type*> fields_;
+};
+
+// Owns and interns all types of one Module.
+class TypeTable {
+ public:
+  TypeTable();
+  TypeTable(const TypeTable&) = delete;
+  TypeTable& operator=(const TypeTable&) = delete;
+
+  const Type* VoidType() const { return void_type_; }
+  const Type* LockType() const { return lock_type_; }
+  const Type* IntType(int bit_width);
+  const Type* PointerTo(const Type* pointee);
+
+  // Creates (or retrieves) a named struct type. On first creation, `fields`
+  // defines the layout; subsequent lookups with the same name must either pass
+  // matching fields or an empty field list (opaque reference).
+  const Type* StructType(const std::string& name, const std::vector<const Type*>& fields);
+
+  // Returns the struct type previously created under `name`, or nullptr.
+  const Type* FindStruct(const std::string& name) const;
+
+ private:
+  Type* NewType();
+
+  std::vector<std::unique_ptr<Type>> storage_;
+  const Type* void_type_ = nullptr;
+  const Type* lock_type_ = nullptr;
+  std::map<int, const Type*> int_types_;
+  std::map<const Type*, const Type*> pointer_types_;
+  std::map<std::string, const Type*> struct_types_;
+};
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_TYPE_H_

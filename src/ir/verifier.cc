@@ -1,0 +1,127 @@
+#include "ir/verifier.h"
+
+#include <unordered_set>
+
+#include "support/str.h"
+
+namespace snorlax::ir {
+
+namespace {
+
+void VerifyFunction(const Module& module, const Function& func,
+                    std::vector<std::string>* problems) {
+  auto report = [&](const std::string& msg) {
+    problems->push_back(StrFormat("@%s: %s", func.name().c_str(), msg.c_str()));
+  };
+
+  if (func.blocks().empty()) {
+    report("function has no blocks");
+    return;
+  }
+
+  std::unordered_set<BlockId> own_blocks;
+  for (const auto& bb : func.blocks()) {
+    own_blocks.insert(bb->id());
+  }
+
+  for (const auto& bb : func.blocks()) {
+    if (bb->empty()) {
+      report(StrFormat("bb%u is empty", bb->id()));
+      continue;
+    }
+    const Instruction* term = bb->terminator();
+    if (!term->IsTerminator()) {
+      report(StrFormat("bb%u does not end in a terminator", bb->id()));
+    }
+    for (size_t i = 0; i < bb->instructions().size(); ++i) {
+      const Instruction& inst = *bb->instructions()[i];
+      if (inst.IsTerminator() && i + 1 != bb->instructions().size()) {
+        report(StrFormat("bb%u has a terminator (#%u) before its last instruction",
+                         bb->id(), inst.id()));
+      }
+      if (inst.HasResult() && inst.result() >= func.num_regs()) {
+        report(StrFormat("#%u writes out-of-range register r%u", inst.id(), inst.result()));
+      }
+      for (const Operand& op : inst.operands()) {
+        if (op.IsReg() && op.reg >= func.num_regs()) {
+          report(StrFormat("#%u reads out-of-range register r%u", inst.id(), op.reg));
+        }
+      }
+      switch (inst.opcode()) {
+        case Opcode::kBr:
+          if (own_blocks.find(inst.then_block()) == own_blocks.end()) {
+            report(StrFormat("#%u branches to a block outside the function", inst.id()));
+          }
+          break;
+        case Opcode::kCondBr:
+          if (own_blocks.find(inst.then_block()) == own_blocks.end() ||
+              own_blocks.find(inst.else_block()) == own_blocks.end()) {
+            report(StrFormat("#%u branches to a block outside the function", inst.id()));
+          }
+          if (inst.num_operands() != 1) {
+            report(StrFormat("#%u condbr needs exactly one condition operand", inst.id()));
+          }
+          break;
+        case Opcode::kCall:
+        case Opcode::kThreadCreate: {
+          if (inst.callee() >= module.functions().size()) {
+            report(StrFormat("#%u calls unknown function", inst.id()));
+            break;
+          }
+          const Function* callee = module.function(inst.callee());
+          const size_t expected = callee->num_params();
+          if (inst.opcode() == Opcode::kCall && inst.num_operands() != expected) {
+            report(StrFormat("#%u call arity mismatch: got %zu, want %zu", inst.id(),
+                             inst.num_operands(), expected));
+          }
+          if (inst.opcode() == Opcode::kThreadCreate && expected > 1) {
+            report(StrFormat("#%u thread entry @%s must take at most one parameter",
+                             inst.id(), callee->name().c_str()));
+          }
+          break;
+        }
+        case Opcode::kLoad:
+          if (inst.num_operands() != 1 || !inst.operand(0).IsReg()) {
+            report(StrFormat("#%u load needs one register (pointer) operand", inst.id()));
+          }
+          break;
+        case Opcode::kStore:
+          if (inst.num_operands() != 2 || !inst.operand(1).IsReg()) {
+            report(StrFormat("#%u store needs (value, pointer-register) operands", inst.id()));
+          }
+          break;
+        case Opcode::kFuncAddr:
+          if (inst.callee() >= module.functions().size()) {
+            report(StrFormat("#%u takes the address of an unknown function", inst.id()));
+          }
+          break;
+        case Opcode::kAddrOfGlobal:
+          if (inst.global() >= module.globals().size()) {
+            report(StrFormat("#%u references unknown global", inst.id()));
+          }
+          break;
+        case Opcode::kRet:
+          if (!func.return_type()->IsVoid() && inst.num_operands() != 1) {
+            report(StrFormat("#%u non-void function must return a value", inst.id()));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> VerifyModule(const Module& module) {
+  std::vector<std::string> problems;
+  for (const auto& func : module.functions()) {
+    VerifyFunction(module, *func, &problems);
+  }
+  return problems;
+}
+
+bool IsValid(const Module& module) { return VerifyModule(module).empty(); }
+
+}  // namespace snorlax::ir

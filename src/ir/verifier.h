@@ -1,0 +1,24 @@
+// Structural verification of MiniIR modules.
+//
+// Catches malformed programs at construction time rather than as interpreter
+// crashes: missing terminators, branches to foreign blocks, register
+// out-of-range uses, call arity mismatches, etc.
+#ifndef SNORLAX_IR_VERIFIER_H_
+#define SNORLAX_IR_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace snorlax::ir {
+
+// Returns a list of human-readable problems; empty means the module is valid.
+std::vector<std::string> VerifyModule(const Module& module);
+
+// Convenience: true iff VerifyModule reports no problems.
+bool IsValid(const Module& module);
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_VERIFIER_H_

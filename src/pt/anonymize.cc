@@ -1,0 +1,95 @@
+#include "pt/anonymize.h"
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace snorlax::pt {
+
+namespace {
+
+// A keyed permutation of [0, n) and its inverse (Fisher-Yates under a seeded
+// generator, so client and server derive identical tables from the key).
+struct Permutation {
+  std::vector<uint32_t> forward;
+  std::vector<uint32_t> backward;
+
+  Permutation(size_t n, uint64_t seed) {
+    forward.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      forward[i] = static_cast<uint32_t>(i);
+    }
+    Rng rng(seed);
+    for (size_t i = n; i > 1; --i) {
+      std::swap(forward[i - 1], forward[rng.NextBelow(i)]);
+    }
+    backward.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      backward[forward[i]] = static_cast<uint32_t>(i);
+    }
+  }
+
+  uint32_t Map(uint32_t v, bool invert) const {
+    if (v >= forward.size()) {
+      return v;  // out-of-range ids (corrupt input) pass through
+    }
+    return invert ? backward[v] : forward[v];
+  }
+};
+
+PtTraceBundle Transform(const PtTraceBundle& bundle, const ir::Module& module,
+                        AnonymizeKey key, bool invert) {
+  const Permutation blocks(module.NumBlocks(), key.secret ^ 0x9e3779b97f4a7c15ull);
+  const Permutation insts(module.NumInstructions(), key.secret ^ 0xc2b2ae3d27d4eb4full);
+
+  PtTraceBundle out = bundle;
+  for (PtTraceBundle::PerThread& per : out.threads) {
+    // Re-encode the packet stream with mapped locations. The first packet in
+    // a (possibly wrapped) buffer can be a partial packet; bytes before the
+    // first PSB are copied verbatim, as are undecodable tails.
+    std::vector<uint8_t> rewritten;
+    const size_t first = FindPsb(per.bytes, 0);
+    rewritten.insert(rewritten.end(), per.bytes.begin(),
+                     per.bytes.begin() + static_cast<long>(first));
+    size_t pos = first;
+    while (pos < per.bytes.size()) {
+      const size_t packet_start = pos;
+      std::optional<Packet> packet = DecodePacket(per.bytes, &pos);
+      if (!packet.has_value()) {
+        rewritten.insert(rewritten.end(), per.bytes.begin() + static_cast<long>(packet_start),
+                         per.bytes.end());
+        break;
+      }
+      if (packet->kind == PacketKind::kPsb || packet->kind == PacketKind::kTip) {
+        packet->block = blocks.Map(packet->block, invert);
+      }
+      EncodePacket(*packet, &rewritten);
+    }
+    per.bytes = std::move(rewritten);
+    if (per.last_retired != ir::kInvalidInstId) {
+      per.last_retired = insts.Map(per.last_retired, invert);
+    }
+  }
+  if (out.failure.failing_inst != ir::kInvalidInstId) {
+    out.failure.failing_inst = insts.Map(out.failure.failing_inst, invert);
+  }
+  for (rt::FailureInfo::DeadlockWaiter& w : out.failure.deadlock_cycle) {
+    if (w.inst != ir::kInvalidInstId) {
+      w.inst = insts.Map(w.inst, invert);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PtTraceBundle AnonymizeBundle(const PtTraceBundle& bundle, const ir::Module& module,
+                              AnonymizeKey key) {
+  return Transform(bundle, module, key, /*invert=*/false);
+}
+
+PtTraceBundle DeanonymizeBundle(const PtTraceBundle& bundle, const ir::Module& module,
+                                AnonymizeKey key) {
+  return Transform(bundle, module, key, /*invert=*/true);
+}
+
+}  // namespace snorlax::pt

@@ -1,0 +1,34 @@
+// Trace anonymization (paper section 7, privacy implications).
+//
+// A control-flow trace leaks which code ran -- potentially private user
+// behavior -- to anything that transports or stores it. Following the
+// paper's suggestion (anonymizing control flow before it leaves the client),
+// AnonymizeBundle rewrites every location-bearing field through keyed
+// permutations of the module's block and instruction id spaces:
+//   - PSB and TIP packets' block/index targets,
+//   - the per-thread stop record (last retired instruction),
+//   - the failure report's instruction references.
+// Without the key, the trace decodes to garbage (or not at all); the server,
+// holding the key, inverts the permutation losslessly before analysis.
+#ifndef SNORLAX_PT_ANONYMIZE_H_
+#define SNORLAX_PT_ANONYMIZE_H_
+
+#include "pt/encoder.h"
+
+namespace snorlax::pt {
+
+struct AnonymizeKey {
+  uint64_t secret = 0;
+};
+
+// Applies the keyed permutation. Involution-free: apply Deanonymize to undo.
+PtTraceBundle AnonymizeBundle(const PtTraceBundle& bundle, const ir::Module& module,
+                              AnonymizeKey key);
+
+// Inverts AnonymizeBundle under the same module and key.
+PtTraceBundle DeanonymizeBundle(const PtTraceBundle& bundle, const ir::Module& module,
+                                AnonymizeKey key);
+
+}  // namespace snorlax::pt
+
+#endif  // SNORLAX_PT_ANONYMIZE_H_

@@ -1,0 +1,296 @@
+#include "pt/decoder.h"
+
+#include "support/check.h"
+#include "support/str.h"
+
+namespace snorlax::pt {
+
+namespace {
+
+// What a CFG walk stopped at.
+enum class StopKind : uint8_t {
+  kCondBranch,   // needs a TNT bit
+  kIndirect,     // indirect call: needs a TIP
+  kReturnNoFrame,  // return with no decoder frame: needs a TIP
+  kError,
+};
+
+struct WalkState {
+  const ir::Module* module = nullptr;
+  ir::BlockId block = ir::kInvalidBlockId;
+  uint32_t index = 0;
+  std::vector<std::pair<ir::BlockId, uint32_t>> stack;
+  uint64_t ts_lo_ns = 0;  // clock at the previous control packet
+  uint64_t ts_ns = 0;     // clock after the latest timing packet
+  // When the stream carries no timing packets, the clock never advances and
+  // ts_ns goes stale; the only honest upper bound is then the snapshot time.
+  uint64_t hi_override_ns = 0;  // 0 = none
+  std::vector<DecodedEvent>* events = nullptr;
+  std::string error;
+
+  const ir::Instruction* CurrentInst() const {
+    const ir::BasicBlock* bb = module->block(block);
+    if (index >= bb->instructions().size()) {
+      return nullptr;
+    }
+    return bb->instructions()[index].get();
+  }
+
+  void Record(const ir::Instruction* inst) {
+    const uint64_t hi = hi_override_ns > ts_ns ? hi_override_ns : ts_ns;
+    events->push_back(DecodedEvent{inst->id(), ts_lo_ns, hi});
+  }
+};
+
+// Safety valve: no sane walk between two packets covers this many
+// instructions (it would require a megabyte-scale branch-free region).
+constexpr size_t kMaxWalkInstructions = 1u << 22;
+
+// Walks forward from the current position, recording executed instructions,
+// until reaching an instruction that needs a packet to resolve. That
+// instruction is NOT consumed (the packet handler does it).
+StopKind WalkToNextEvent(WalkState& w) {
+  for (size_t guard = 0; guard < kMaxWalkInstructions; ++guard) {
+    const ir::Instruction* inst = w.CurrentInst();
+    if (inst == nullptr) {
+      w.error = StrFormat("walk ran past the end of bb%u", w.block);
+      return StopKind::kError;
+    }
+    switch (inst->opcode()) {
+      case ir::Opcode::kCondBr:
+        return StopKind::kCondBranch;
+      case ir::Opcode::kCallIndirect:
+        return StopKind::kIndirect;
+      case ir::Opcode::kBr:
+        w.Record(inst);
+        w.block = inst->then_block();
+        w.index = 0;
+        break;
+      case ir::Opcode::kCall: {
+        w.Record(inst);
+        const ir::Function* callee = w.module->function(inst->callee());
+        w.stack.emplace_back(w.block, w.index + 1);
+        w.block = callee->entry()->id();
+        w.index = 0;
+        break;
+      }
+      case ir::Opcode::kRet:
+        if (w.stack.empty()) {
+          return StopKind::kReturnNoFrame;
+        }
+        w.Record(inst);
+        w.block = w.stack.back().first;
+        w.index = w.stack.back().second;
+        w.stack.pop_back();
+        break;
+      default:
+        w.Record(inst);
+        ++w.index;
+        break;
+    }
+  }
+  w.error = "walk exceeded the instruction budget (branch-free loop?)";
+  return StopKind::kError;
+}
+
+}  // namespace
+
+PtDecoder::PtDecoder(const ir::Module* module) : module_(module) {
+  SNORLAX_CHECK(module != nullptr);
+}
+
+DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
+                                           const PtConfig& config,
+                                           uint64_t snapshot_time_ns) const {
+  DecodedThreadTrace out;
+  out.thread = raw.thread;
+  out.lost_prefix = raw.total_written > raw.bytes.size();
+
+  WalkState w;
+  w.module = module_;
+  w.events = &out.events;
+  if (!config.enable_timing) {
+    w.hi_override_ns = snapshot_time_ns;
+  }
+
+  // Re-sync at the first intact PSB (everything before it is lost).
+  size_t pos = FindPsb(raw.bytes, 0);
+  if (pos > 0) {
+    out.lost_prefix = true;
+  }
+  if (pos >= raw.bytes.size()) {
+    out.error = "no PSB sync point in the buffer";
+    return out;
+  }
+
+  bool synced = false;
+  const uint64_t period = config.mtc_period_ns;
+  while (pos < raw.bytes.size()) {
+    const size_t packet_start = pos;
+    std::optional<Packet> packet = DecodePacket(raw.bytes, &pos);
+    if (!packet.has_value()) {
+      // A truncated packet can only legitimately appear at the very end of a
+      // wrapped buffer (the write cursor cut it); elsewhere it is corruption.
+      if (packet_start + kPsbBytes < raw.bytes.size()) {
+        out.error = StrFormat("undecodable packet at offset %zu", packet_start);
+      }
+      break;
+    }
+    ++out.packets_decoded;
+    switch (packet->kind) {
+      case PacketKind::kPsb:
+        // A PSB is a checkpoint, not a jump. When decoding continuously, keep
+        // the current position and only resynchronize the clock and the
+        // RET-compression window (the encoder reset its visible call depth,
+        // so post-PSB returns of pre-PSB calls arrive as explicit TIPs).
+        // After data loss, it is the re-entry point: adopt its location.
+        if (!synced) {
+          w.block = packet->block;
+          w.index = packet->index;
+          // Only at the sync entry point is the PSB a lower bound: when
+          // decoding continuously, instructions reported by the next control
+          // packet may have retired (in flight) before the PSB was written.
+          w.ts_lo_ns = packet->tsc;
+        }
+        w.stack.clear();
+        w.ts_ns = packet->tsc;
+        synced = true;
+        break;
+      case PacketKind::kMtc: {
+        if (!synced) {
+          break;
+        }
+        const uint64_t cur_ctc = w.ts_ns / period;
+        const uint64_t delta = (packet->ctc - (cur_ctc & 0xff)) & 0xff;
+        w.ts_ns = (cur_ctc + delta) * period;
+        break;
+      }
+      case PacketKind::kCyc:
+        if (!synced) {
+          break;
+        }
+        w.ts_ns += static_cast<uint64_t>(packet->cyc_delta) * config.cyc_unit_ns;
+        break;
+      case PacketKind::kTnt: {
+        if (!synced) {
+          break;
+        }
+        for (uint8_t i = 0; i < packet->tnt_count; ++i) {
+          const StopKind stop = WalkToNextEvent(w);
+          if (stop != StopKind::kCondBranch) {
+            out.error = w.error.empty()
+                            ? StrFormat("TNT bit with no pending conditional branch (bb%u)",
+                                        w.block)
+                            : w.error;
+            return out;
+          }
+          const ir::Instruction* branch = w.CurrentInst();
+          w.Record(branch);
+          const bool taken = (packet->tnt_bits >> i) & 1;
+          w.block = taken ? branch->then_block() : branch->else_block();
+          w.index = 0;
+        }
+        w.ts_lo_ns = w.ts_ns;
+        break;
+      }
+      case PacketKind::kTip: {
+        if (!synced) {
+          break;
+        }
+        const StopKind stop = WalkToNextEvent(w);
+        if (stop == StopKind::kIndirect) {
+          const ir::Instruction* call = w.CurrentInst();
+          w.Record(call);
+          w.stack.emplace_back(w.block, w.index + 1);
+        } else if (stop == StopKind::kReturnNoFrame) {
+          const ir::Instruction* ret = w.CurrentInst();
+          w.Record(ret);
+        } else {
+          out.error = w.error.empty()
+                          ? StrFormat("TIP with no pending indirect transfer (bb%u)", w.block)
+                          : w.error;
+          return out;
+        }
+        w.block = packet->block;
+        w.index = packet->index;
+        w.ts_lo_ns = w.ts_ns;
+        break;
+      }
+    }
+  }
+
+  // Trailing suffix: walk from the last decoded position to the thread's
+  // final retired instruction (shipped by the driver, mirroring the stop
+  // record real PT emits when tracing is disabled at a crash). These events
+  // retired between the last packet and the snapshot.
+  if (synced && out.error.empty() && raw.last_retired != ir::kInvalidInstId) {
+    const bool already_there =
+        !out.events.empty() && out.events.back().inst == raw.last_retired;
+    if (!already_there) {
+      w.ts_lo_ns = w.ts_ns;
+      w.ts_ns = snapshot_time_ns > w.ts_ns ? snapshot_time_ns : w.ts_ns;
+      for (size_t guard = 0; guard < kMaxWalkInstructions; ++guard) {
+        const ir::Instruction* inst = w.CurrentInst();
+        if (inst == nullptr || inst->opcode() == ir::Opcode::kCondBr ||
+            inst->opcode() == ir::Opcode::kCallIndirect) {
+          break;  // would need a packet we do not have; inconsistent suffix
+        }
+        if (inst->opcode() == ir::Opcode::kBr) {
+          w.Record(inst);
+          if (inst->id() == raw.last_retired) {
+            break;
+          }
+          w.block = inst->then_block();
+          w.index = 0;
+          continue;
+        }
+        if (inst->opcode() == ir::Opcode::kCall) {
+          w.Record(inst);
+          if (inst->id() == raw.last_retired) {
+            break;
+          }
+          const ir::Function* callee = w.module->function(inst->callee());
+          w.stack.emplace_back(w.block, w.index + 1);
+          w.block = callee->entry()->id();
+          w.index = 0;
+          continue;
+        }
+        if (inst->opcode() == ir::Opcode::kRet) {
+          if (w.stack.empty()) {
+            // A frame-less return is decodable only as the thread's very last
+            // instruction (thread exit); anything else would need a TIP.
+            if (inst->id() == raw.last_retired) {
+              w.Record(inst);
+            }
+            break;
+          }
+          w.Record(inst);
+          if (inst->id() == raw.last_retired) {
+            break;
+          }
+          w.block = w.stack.back().first;
+          w.index = w.stack.back().second;
+          w.stack.pop_back();
+          continue;
+        }
+        w.Record(inst);
+        if (inst->id() == raw.last_retired) {
+          break;
+        }
+        ++w.index;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DecodedThreadTrace> PtDecoder::Decode(const PtTraceBundle& bundle) const {
+  std::vector<DecodedThreadTrace> out;
+  out.reserve(bundle.threads.size());
+  for (const PtTraceBundle::PerThread& per : bundle.threads) {
+    out.push_back(DecodeThread(per, bundle.config, bundle.snapshot_time_ns));
+  }
+  return out;
+}
+
+}  // namespace snorlax::pt

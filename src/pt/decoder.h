@@ -1,0 +1,61 @@
+// PtDecoder: reconstructs the executed instruction stream from a PT packet
+// snapshot plus the static IR (the server-side analog of Intel's reference
+// decoder working against the program binary, paper section 5).
+//
+// Decoding walks the static CFG from the last sync point: direct branches,
+// direct calls and compression-eligible returns are followed without any
+// packet; each TNT bit resolves the next conditional branch; each TIP resolves
+// the next statically-unresolvable transfer (indirect call, or return whose
+// call frame predates the sync point). Every walked instruction becomes a
+// DecodedEvent stamped with the current coarse timestamp -- the decoder's
+// clock only advances at MTC/CYC/PSB packets, which is precisely why the
+// result is *partially* ordered (paper step 3).
+#ifndef SNORLAX_PT_DECODER_H_
+#define SNORLAX_PT_DECODER_H_
+
+#include <string>
+#include <vector>
+
+#include "pt/encoder.h"
+
+namespace snorlax::pt {
+
+struct DecodedEvent {
+  ir::InstId inst = ir::kInvalidInstId;
+  // Retirement window: the instruction retired somewhere in [ts_lo_ns, ts_ns].
+  // The bounds are the decoded clocks at the previous and next timing packet;
+  // this is exactly what a PT decoder can know, and it is why the resulting
+  // trace is only *partially* ordered.
+  uint64_t ts_lo_ns = 0;
+  uint64_t ts_ns = 0;
+};
+
+struct DecodedThreadTrace {
+  rt::ThreadId thread = rt::kInvalidThread;
+  std::vector<DecodedEvent> events;
+  // True when the ring buffer wrapped: the oldest part of the execution was
+  // overwritten and decoding started at the first surviving PSB.
+  bool lost_prefix = false;
+  size_t packets_decoded = 0;
+  // Non-empty on a malformed stream; events up to the error are kept.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+class PtDecoder {
+ public:
+  explicit PtDecoder(const ir::Module* module);
+
+  // `snapshot_time_ns` upper-bounds the trailing (post-last-packet) events.
+  DecodedThreadTrace DecodeThread(const PtTraceBundle::PerThread& raw,
+                                  const PtConfig& config, uint64_t snapshot_time_ns) const;
+  std::vector<DecodedThreadTrace> Decode(const PtTraceBundle& bundle) const;
+
+ private:
+  const ir::Module* module_;
+};
+
+}  // namespace snorlax::pt
+
+#endif  // SNORLAX_PT_DECODER_H_

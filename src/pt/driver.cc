@@ -1,0 +1,42 @@
+#include "pt/driver.h"
+
+#include "support/check.h"
+
+namespace snorlax::pt {
+
+PtDriver::PtDriver(const ir::Module* module, PtConfig config) : encoder_(module, config) {}
+
+void PtDriver::AddDumpPoint(ir::InstId pc, int rank) {
+  dump_points_.push_back(DumpPoint{pc, rank, false});
+}
+
+void PtDriver::Attach(rt::Interpreter* interp) {
+  SNORLAX_CHECK(interp != nullptr);
+  interp->AddObserver(this);
+  for (size_t i = 0; i < dump_points_.size(); ++i) {
+    interp->SetWatchpoint(dump_points_[i].pc,
+                          [this, i](rt::ThreadId, uint64_t now) { HandleDumpPoint(i, now); });
+  }
+}
+
+void PtDriver::HandleDumpPoint(size_t dump_index, uint64_t now_ns) {
+  DumpPoint& dp = dump_points_[dump_index];
+  if (dp.triggered || have_failure_dump_) {
+    return;  // first trigger per dump point; failure dump always wins
+  }
+  dp.triggered = true;
+  if (captured_.has_value() && captured_rank_ <= dp.rank) {
+    return;  // an equal-or-better-ranked snapshot already exists
+  }
+  captured_ = encoder_.Snapshot(now_ns);
+  captured_rank_ = dp.rank;
+}
+
+void PtDriver::OnFailure(const rt::FailureInfo& failure) {
+  captured_ = encoder_.Snapshot(failure.time_ns);
+  captured_->failure = failure;
+  captured_rank_ = -1;
+  have_failure_dump_ = true;
+}
+
+}  // namespace snorlax::pt

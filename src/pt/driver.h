@@ -1,0 +1,89 @@
+// PtDriver: the client-side trace driver (the paper's 3773-LOC loadable
+// kernel module, section 5).
+//
+// Responsibilities, mirroring the paper's ioctl interface:
+//   - keep per-thread PT ring buffers via the encoder,
+//   - dump the trace when a fail-stop event occurs (crash/assert/deadlock),
+//   - dump the trace when execution reaches a configured program counter
+//     (implemented with a hardware breakpoint in the paper; with an
+//     interpreter watchpoint here). Dump points carry a rank: rank 0 is the
+//     failure PC itself, ranks 1+ are predecessor blocks the server asks for
+//     when the failure PC is unreachable in successful runs (paper step 8).
+#ifndef SNORLAX_PT_DRIVER_H_
+#define SNORLAX_PT_DRIVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "pt/encoder.h"
+#include "runtime/interpreter.h"
+
+namespace snorlax::pt {
+
+class PtDriver : public rt::ExecutionObserver {
+ public:
+  explicit PtDriver(const ir::Module* module, PtConfig config = {});
+
+  // Registers this driver (and its encoder) with the interpreter and installs
+  // any configured dump points. Call after all AddDumpPoint calls.
+  void Attach(rt::Interpreter* interp);
+
+  // Requests a trace dump the first time `pc` retires. Lower rank wins when
+  // several dump points trigger during one execution.
+  void AddDumpPoint(ir::InstId pc, int rank);
+
+  // The captured trace: the failure dump if the run failed, otherwise the
+  // best-ranked (lowest-rank) dump-point snapshot, otherwise nullopt.
+  const std::optional<PtTraceBundle>& captured() const { return captured_; }
+  int captured_rank() const { return captured_rank_; }
+
+  const PtEncoder& encoder() const { return encoder_; }
+  PtEncoder& encoder() { return encoder_; }
+
+  // --- ExecutionObserver (forwarded to the encoder) ---------------------------
+  void OnThreadStart(rt::ThreadId thread, const ir::Function* entry, uint64_t now) override {
+    encoder_.OnThreadStart(thread, entry, now);
+  }
+  void OnThreadExit(rt::ThreadId thread, uint64_t now) override {
+    encoder_.OnThreadExit(thread, now);
+  }
+  uint64_t OnCondBranch(rt::ThreadId thread, const ir::Instruction* branch, bool taken,
+                        uint64_t now) override {
+    return encoder_.OnCondBranch(thread, branch, taken, now);
+  }
+  uint64_t OnCall(rt::ThreadId thread, const ir::Instruction* call_inst,
+                  const ir::Function* callee, bool is_indirect, uint64_t now) override {
+    return encoder_.OnCall(thread, call_inst, callee, is_indirect, now);
+  }
+  uint64_t OnReturn(rt::ThreadId thread, const ir::Instruction* ret_inst,
+                    ir::BlockId resume_block, uint32_t resume_index, uint64_t now) override {
+    return encoder_.OnReturn(thread, ret_inst, resume_block, resume_index, now);
+  }
+  uint64_t OnInstructionRetired(rt::ThreadId thread, const ir::Instruction* inst,
+                                uint64_t now) override {
+    return encoder_.OnInstructionRetired(thread, inst, now);
+  }
+  uint64_t OnWork(rt::ThreadId thread, uint64_t duration_ns, uint64_t now) override {
+    return encoder_.OnWork(thread, duration_ns, now);
+  }
+  void OnFailure(const rt::FailureInfo& failure) override;
+
+ private:
+  struct DumpPoint {
+    ir::InstId pc = ir::kInvalidInstId;
+    int rank = 0;
+    bool triggered = false;
+  };
+
+  void HandleDumpPoint(size_t dump_index, uint64_t now_ns);
+
+  PtEncoder encoder_;
+  std::vector<DumpPoint> dump_points_;
+  std::optional<PtTraceBundle> captured_;
+  int captured_rank_ = -1;
+  bool have_failure_dump_ = false;
+};
+
+}  // namespace snorlax::pt
+
+#endif  // SNORLAX_PT_DRIVER_H_

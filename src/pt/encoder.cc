@@ -1,0 +1,267 @@
+#include "pt/encoder.h"
+
+#include "support/check.h"
+
+namespace snorlax::pt {
+
+namespace {
+// An MTC byte is 8 bits of the coarse counter, so gaps of 256+ periods are
+// ambiguous. Force a full-TSC PSB well before that.
+constexpr uint64_t kMaxMtcPeriodsWithoutPsb = 200;
+}  // namespace
+
+PtEncoder::PtEncoder(const ir::Module* module, PtConfig config)
+    : module_(module), config_(config) {
+  SNORLAX_CHECK(module != nullptr);
+  SNORLAX_CHECK(config_.buffer_bytes >= 256);
+  SNORLAX_CHECK(config_.mtc_period_ns > 0 && config_.cyc_unit_ns > 0);
+}
+
+PtEncoder::ThreadStream& PtEncoder::Stream(rt::ThreadId thread) {
+  auto it = streams_.find(thread);
+  if (it == streams_.end()) {
+    it = streams_.emplace(thread, std::make_unique<ThreadStream>(config_.buffer_bytes)).first;
+  }
+  return *it->second;
+}
+
+void PtEncoder::WritePacket(ThreadStream& s, const Packet& packet) {
+  std::vector<uint8_t> bytes;
+  const size_t n = EncodePacket(packet, &bytes);
+  if (config_.persist_to_storage && s.buffer.WouldOverwrite(n)) {
+    // Flush the resident trace to storage before it would be overwritten;
+    // the stall is charged to the thread with its next event cost.
+    const std::vector<uint8_t> resident = s.buffer.Snapshot();
+    s.storage.insert(s.storage.end(), resident.begin(), resident.end());
+    s.buffer.Clear();
+    s.stats.storage_bytes += resident.size();
+    ++s.stats.storage_flushes;
+    s.pending_flush_stall_ns +=
+        resident.size() * config_.storage_flush_ns_per_kb / 1024;
+  }
+  s.buffer.Append(bytes);
+  s.bytes_since_psb += n;
+  s.stats.total_bytes += n;
+  switch (packet.kind) {
+    case PacketKind::kPsb:
+      ++s.stats.psb_packets;
+      break;
+    case PacketKind::kTnt:
+    case PacketKind::kTip:
+      ++s.stats.control_packets;
+      break;
+    case PacketKind::kMtc:
+    case PacketKind::kCyc:
+      ++s.stats.timing_packets;
+      s.stats.timing_bytes += n;
+      break;
+  }
+}
+
+void PtEncoder::EmitTiming(ThreadStream& s, uint64_t now_ns) {
+  if (!config_.enable_timing || now_ns <= s.clock_ref_ns) {
+    return;
+  }
+  const uint64_t period = config_.mtc_period_ns;
+  const uint64_t ctc_now = now_ns / period;
+  const uint64_t ctc_ref = s.clock_ref_ns / period;
+  if (ctc_now != ctc_ref) {
+    Packet mtc;
+    mtc.kind = PacketKind::kMtc;
+    mtc.ctc = static_cast<uint8_t>(ctc_now & 0xff);
+    WritePacket(s, mtc);
+    s.clock_ref_ns = ctc_now * period;
+  }
+  const uint64_t delta_units = (now_ns - s.clock_ref_ns) / config_.cyc_unit_ns;
+  if (delta_units > 0) {
+    const uint16_t u = static_cast<uint16_t>(delta_units > 0xffff ? 0xffff : delta_units);
+    Packet cyc;
+    cyc.kind = PacketKind::kCyc;
+    cyc.cyc_delta = u;
+    WritePacket(s, cyc);
+    s.clock_ref_ns += static_cast<uint64_t>(u) * config_.cyc_unit_ns;
+  }
+}
+
+void PtEncoder::FlushTnt(ThreadStream& s) {
+  if (s.tnt_count == 0) {
+    return;
+  }
+  EmitTiming(s, s.last_event_ns);
+  Packet tnt;
+  tnt.kind = PacketKind::kTnt;
+  tnt.tnt_bits = s.tnt_bits;
+  tnt.tnt_count = s.tnt_count;
+  WritePacket(s, tnt);
+  s.tnt_bits = 0;
+  s.tnt_count = 0;
+}
+
+void PtEncoder::MaybePsb(ThreadStream& s, ir::BlockId block, uint32_t index,
+                         uint64_t now_ns) {
+  const bool mtc_would_wrap =
+      config_.enable_timing &&
+      now_ns > s.clock_ref_ns + kMaxMtcPeriodsWithoutPsb * config_.mtc_period_ns;
+  if (s.have_sync && s.bytes_since_psb < config_.psb_period_bytes && !mtc_would_wrap) {
+    return;
+  }
+  FlushTnt(s);
+  Packet psb;
+  psb.kind = PacketKind::kPsb;
+  psb.block = block;
+  psb.index = static_cast<uint16_t>(index);
+  psb.tsc = now_ns;
+  WritePacket(s, psb);
+  s.bytes_since_psb = 0;
+  s.clock_ref_ns = now_ns;
+  s.visible_call_depth = 0;
+  s.have_sync = true;
+}
+
+uint64_t PtEncoder::ChargeCost(ThreadStream& s, uint64_t bytes_before) {
+  const uint64_t written = s.stats.total_bytes - bytes_before;
+  s.cost_carry_bytes += written;
+  uint64_t cost = s.cost_carry_bytes / config_.bytes_per_ns;
+  s.cost_carry_bytes %= config_.bytes_per_ns;
+  cost += s.pending_flush_stall_ns;
+  s.pending_flush_stall_ns = 0;
+  return cost;
+}
+
+void PtEncoder::OnThreadStart(rt::ThreadId thread, const ir::Function* entry,
+                              uint64_t now_ns) {
+  ThreadStream& s = Stream(thread);
+  // Thread start is a sync point: PSB at the entry block.
+  s.have_sync = false;
+  MaybePsb(s, entry->entry()->id(), 0, now_ns);
+}
+
+void PtEncoder::OnThreadExit(rt::ThreadId thread, uint64_t now_ns) {
+  (void)now_ns;
+  // Flush pending bits with the timing of the last buffered branch -- NOT the
+  // exit time: instructions between that branch and the exit are reported by
+  // the stop record, and stamping the flush later than they retired would
+  // fabricate a too-late lower bound for them.
+  FlushTnt(Stream(thread));
+}
+
+uint64_t PtEncoder::OnCondBranch(rt::ThreadId thread, const ir::Instruction* branch,
+                                 bool taken, uint64_t now_ns) {
+  ThreadStream& s = Stream(thread);
+  const uint64_t bytes_before = s.stats.total_bytes;
+  MaybePsb(s, branch->parent()->id(), branch->index_in_block(), now_ns);
+  if (taken) {
+    s.tnt_bits = static_cast<uint8_t>(s.tnt_bits | (1u << s.tnt_count));
+  }
+  ++s.tnt_count;
+  ++s.stats.branch_events;
+  s.last_event_ns = now_ns;
+  if (s.tnt_count == 6) {
+    FlushTnt(s);
+  }
+  return ChargeCost(s, bytes_before);
+}
+
+uint64_t PtEncoder::OnCall(rt::ThreadId thread, const ir::Instruction* call_inst,
+                           const ir::Function* callee, bool is_indirect, uint64_t now_ns) {
+  ThreadStream& s = Stream(thread);
+  const uint64_t bytes_before = s.stats.total_bytes;
+  if (is_indirect) {
+    MaybePsb(s, call_inst->parent()->id(), call_inst->index_in_block(), now_ns);
+    FlushTnt(s);
+    EmitTiming(s, now_ns);
+    Packet tip;
+    tip.kind = PacketKind::kTip;
+    tip.block = callee->entry()->id();
+    tip.index = 0;
+    WritePacket(s, tip);
+  }
+  // Every call (direct or indirect) widens the RET-compression window.
+  ++s.visible_call_depth;
+  return ChargeCost(s, bytes_before);
+}
+
+uint64_t PtEncoder::OnReturn(rt::ThreadId thread, const ir::Instruction* ret_inst,
+                             ir::BlockId resume_block, uint32_t resume_index,
+                             uint64_t now_ns) {
+  ThreadStream& s = Stream(thread);
+  const uint64_t bytes_before = s.stats.total_bytes;
+  if (resume_block == ir::kInvalidBlockId) {
+    // Thread exit; OnThreadExit will flush.
+    return 0;
+  }
+  if (s.visible_call_depth > 0) {
+    // RET compression: the decoder saw the matching call since the last PSB
+    // and can pop its own stack.
+    --s.visible_call_depth;
+    return 0;
+  }
+  MaybePsb(s, ret_inst->parent()->id(), ret_inst->index_in_block(), now_ns);
+  FlushTnt(s);
+  EmitTiming(s, now_ns);
+  Packet tip;
+  tip.kind = PacketKind::kTip;
+  tip.block = resume_block;
+  tip.index = static_cast<uint16_t>(resume_index);
+  WritePacket(s, tip);
+  return ChargeCost(s, bytes_before);
+}
+
+uint64_t PtEncoder::OnWork(rt::ThreadId thread, uint64_t duration_ns, uint64_t now_ns) {
+  (void)now_ns;
+  if (config_.work_trace_bytes_per_us == 0) {
+    return 0;
+  }
+  ThreadStream& s = Stream(thread);
+  const uint64_t bytes = duration_ns * config_.work_trace_bytes_per_us / 1000;
+  s.stats.shadow_bytes += bytes;
+  s.cost_carry_bytes += bytes;
+  const uint64_t cost = s.cost_carry_bytes / config_.bytes_per_ns;
+  s.cost_carry_bytes %= config_.bytes_per_ns;
+  return cost;
+}
+
+uint64_t PtEncoder::OnInstructionRetired(rt::ThreadId thread, const ir::Instruction* inst,
+                                         uint64_t now_ns) {
+  (void)now_ns;
+  Stream(thread).last_retired = inst->id();
+  return 0;
+}
+
+PtTraceBundle PtEncoder::Snapshot(uint64_t now_ns) {
+  PtTraceBundle bundle;
+  bundle.config = config_;
+  bundle.snapshot_time_ns = now_ns;
+  for (auto& [tid, stream] : streams_) {
+    FlushTnt(*stream);
+    PtTraceBundle::PerThread per;
+    per.thread = tid;
+    per.bytes = stream->storage;  // empty unless persisting
+    const std::vector<uint8_t> resident = stream->buffer.Snapshot();
+    per.bytes.insert(per.bytes.end(), resident.begin(), resident.end());
+    per.total_written = stream->buffer.total_written();
+    per.last_retired = stream->last_retired;
+    bundle.threads.push_back(std::move(per));
+  }
+  bundle.stats = stats();
+  return bundle;
+}
+
+PtStats PtEncoder::stats() const {
+  PtStats total;
+  for (const auto& [tid, stream] : streams_) {
+    (void)tid;
+    total.total_bytes += stream->stats.total_bytes;
+    total.shadow_bytes += stream->stats.shadow_bytes;
+    total.timing_bytes += stream->stats.timing_bytes;
+    total.control_packets += stream->stats.control_packets;
+    total.timing_packets += stream->stats.timing_packets;
+    total.psb_packets += stream->stats.psb_packets;
+    total.branch_events += stream->stats.branch_events;
+    total.storage_bytes += stream->stats.storage_bytes;
+    total.storage_flushes += stream->stats.storage_flushes;
+  }
+  return total;
+}
+
+}  // namespace snorlax::pt

@@ -1,0 +1,157 @@
+// PtEncoder: the simulated Intel PT recording hardware.
+//
+// Attached to the interpreter as an ExecutionObserver, it converts the
+// control-flow event stream of each thread into a PT packet stream in a
+// per-thread ring buffer (the paper's driver keeps one buffer per thread).
+// Only control-flow events generate packets -- loads, stores and lock
+// operations are invisible to PT, which is exactly why its overhead is low.
+//
+// Recording cost: each event is charged `bytes_written / bytes_per_ns`
+// virtual nanoseconds (trace writes steal memory bandwidth). With the default
+// calibration this yields the sub-1% average overhead the paper reports.
+#ifndef SNORLAX_PT_ENCODER_H_
+#define SNORLAX_PT_ENCODER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "pt/packets.h"
+#include "pt/ring_buffer.h"
+#include "runtime/observer.h"
+
+namespace snorlax::pt {
+
+struct PtConfig {
+  // Per-thread ring buffer capacity (paper: 64 KB, configurable to 128 MB).
+  size_t buffer_bytes = 64 * 1024;
+  // Coarse-clock period of MTC packets.
+  uint64_t mtc_period_ns = 4096;
+  // Granularity of CYC fine-time deltas.
+  uint64_t cyc_unit_ns = 64;
+  // A PSB sync point is forced after this many bytes of packets.
+  uint64_t psb_period_bytes = 2048;
+  // Timing packets on/off (the paper's "highest possible frequency" mode).
+  bool enable_timing = true;
+  // Recording cost: bytes written per charged virtual nanosecond (the rate at
+  // which the memory subsystem absorbs trace writes).
+  uint64_t bytes_per_ns = 4;
+  // Trace volume of modeled computation (Work instructions), in bytes per
+  // microsecond. Real PT emits on the order of 100 MB/s of packets while a
+  // core computes; the ring buffer wraps over it, but the bandwidth cost is
+  // paid regardless. 40 B/us lands the paper's ~1% average overhead.
+  uint64_t work_trace_bytes_per_us = 40;
+  // Full-trace persistence (paper section 7): instead of overwriting, flush
+  // the ring buffer to storage whenever it fills. Nothing is ever lost, at
+  // the cost of runtime (flush stalls) and storage overhead.
+  bool persist_to_storage = false;
+  // Stall charged per byte flushed to storage (sequential-write cost).
+  uint64_t storage_flush_ns_per_kb = 300;
+};
+
+struct PtStats {
+  uint64_t total_bytes = 0;
+  // Modeled trace volume of Work computation (wrapped over in the ring
+  // buffer; accounted for bandwidth cost and statistics only).
+  uint64_t shadow_bytes = 0;
+  uint64_t timing_bytes = 0;
+  uint64_t control_packets = 0;  // TNT + TIP
+  uint64_t timing_packets = 0;   // MTC + CYC
+  uint64_t psb_packets = 0;
+  uint64_t branch_events = 0;    // conditional branches recorded
+  // Persist mode: bytes flushed to storage and flush operations performed.
+  uint64_t storage_bytes = 0;
+  uint64_t storage_flushes = 0;
+
+  double TimingByteFraction() const {
+    return total_bytes == 0 ? 0.0 : static_cast<double>(timing_bytes) /
+                                        static_cast<double>(total_bytes);
+  }
+};
+
+// A snapshot of all per-thread trace buffers, as shipped to the server.
+struct PtTraceBundle {
+  struct PerThread {
+    rt::ThreadId thread = rt::kInvalidThread;
+    std::vector<uint8_t> bytes;     // surviving ring-buffer contents
+    uint64_t total_written = 0;     // to detect data loss (wrap)
+    // The thread's final retired instruction at snapshot time (the stop
+    // record real PT emits when tracing is disabled); lets the decoder walk
+    // the packet-free suffix of the execution.
+    ir::InstId last_retired = ir::kInvalidInstId;
+  };
+  PtConfig config;
+  std::vector<PerThread> threads;
+  uint64_t snapshot_time_ns = 0;
+  PtStats stats;
+  // The fail-stop event that triggered this dump (kind == kNone for an
+  // on-demand dump of a successful execution).
+  rt::FailureInfo failure;
+};
+
+class PtEncoder : public rt::ExecutionObserver {
+ public:
+  explicit PtEncoder(const ir::Module* module, PtConfig config = {});
+
+  // --- ExecutionObserver ----------------------------------------------------
+  void OnThreadStart(rt::ThreadId thread, const ir::Function* entry, uint64_t now_ns) override;
+  void OnThreadExit(rt::ThreadId thread, uint64_t now_ns) override;
+  uint64_t OnCondBranch(rt::ThreadId thread, const ir::Instruction* branch, bool taken,
+                        uint64_t now_ns) override;
+  uint64_t OnCall(rt::ThreadId thread, const ir::Instruction* call_inst,
+                  const ir::Function* callee, bool is_indirect, uint64_t now_ns) override;
+  uint64_t OnReturn(rt::ThreadId thread, const ir::Instruction* ret_inst,
+                    ir::BlockId resume_block, uint32_t resume_index, uint64_t now_ns) override;
+  uint64_t OnWork(rt::ThreadId thread, uint64_t duration_ns, uint64_t now_ns) override;
+  // Bookkeeping only (tracks the stop position); charges no recording cost,
+  // since real PT follows retirement in hardware.
+  uint64_t OnInstructionRetired(rt::ThreadId thread, const ir::Instruction* inst,
+                                uint64_t now_ns) override;
+
+  // Copies every thread's surviving trace bytes (flushing pending TNT bits
+  // first, as a real driver does when it stops tracing to dump the buffer).
+  PtTraceBundle Snapshot(uint64_t now_ns);
+
+  const PtConfig& config() const { return config_; }
+  PtStats stats() const;
+
+ private:
+  struct ThreadStream {
+    explicit ThreadStream(size_t capacity) : buffer(capacity) {}
+    RingBuffer buffer;
+    uint8_t tnt_bits = 0;
+    uint8_t tnt_count = 0;
+    uint64_t last_event_ns = 0;       // time of the newest buffered TNT bit
+    uint64_t clock_ref_ns = 0;        // decoder-visible quantized clock
+    bool have_sync = false;
+    uint64_t bytes_since_psb = 0;
+    uint32_t visible_call_depth = 0;  // RET compression window since last PSB
+    uint64_t cost_carry_bytes = 0;
+    ir::InstId last_retired = ir::kInvalidInstId;
+    // Persist mode: flushed trace prefix, in write order.
+    std::vector<uint8_t> storage;
+    uint64_t pending_flush_stall_ns = 0;
+    PtStats stats;
+  };
+
+  ThreadStream& Stream(rt::ThreadId thread);
+  // Writes `packet` into the stream, updating stats and byte accounting.
+  void WritePacket(ThreadStream& s, const Packet& packet);
+  // Flushes pending TNT bits (if any) as one TNT packet with timing.
+  void FlushTnt(ThreadStream& s);
+  // Emits MTC/CYC packets advancing the decoder-visible clock toward `now`.
+  void EmitTiming(ThreadStream& s, uint64_t now_ns);
+  // Forces a PSB if the stream is unsynced, the PSB period elapsed, or the
+  // MTC counter would wrap. `block`/`index` locate the pending event.
+  void MaybePsb(ThreadStream& s, ir::BlockId block, uint32_t index, uint64_t now_ns);
+  // Converts bytes written during this event into a virtual-ns charge.
+  uint64_t ChargeCost(ThreadStream& s, uint64_t bytes_before);
+
+  const ir::Module* module_;
+  PtConfig config_;
+  std::map<rt::ThreadId, std::unique_ptr<ThreadStream>> streams_;
+};
+
+}  // namespace snorlax::pt
+
+#endif  // SNORLAX_PT_ENCODER_H_

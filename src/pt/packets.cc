@@ -1,0 +1,153 @@
+#include "pt/packets.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace snorlax::pt {
+
+namespace {
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+size_t EncodePacket(const Packet& p, std::vector<uint8_t>* out) {
+  const size_t before = out->size();
+  switch (p.kind) {
+    case PacketKind::kPsb:
+      out->insert(out->end(), kPsbMagic, kPsbMagic + kPsbMagicSize);
+      PutU32(p.block, out);
+      PutU16(p.index, out);
+      PutU64(p.tsc, out);
+      break;
+    case PacketKind::kTnt:
+      SNORLAX_CHECK(p.tnt_count >= 1 && p.tnt_count <= 6);
+      out->push_back(static_cast<uint8_t>(PacketKind::kTnt));
+      out->push_back(p.tnt_bits);
+      out->push_back(p.tnt_count);
+      break;
+    case PacketKind::kTip:
+      out->push_back(static_cast<uint8_t>(PacketKind::kTip));
+      PutU32(p.block, out);
+      PutU16(p.index, out);
+      break;
+    case PacketKind::kMtc:
+      out->push_back(static_cast<uint8_t>(PacketKind::kMtc));
+      out->push_back(p.ctc);
+      break;
+    case PacketKind::kCyc:
+      out->push_back(static_cast<uint8_t>(PacketKind::kCyc));
+      PutU16(p.cyc_delta, out);
+      break;
+  }
+  return out->size() - before;
+}
+
+std::optional<Packet> DecodePacket(const std::vector<uint8_t>& data, size_t* pos) {
+  const size_t n = data.size();
+  size_t i = *pos;
+  if (i >= n) {
+    return std::nullopt;
+  }
+  Packet p;
+  // PSB is recognized by its magic rather than a single opcode byte.
+  if (n - i >= kPsbBytes && std::memcmp(&data[i], kPsbMagic, kPsbMagicSize) == 0) {
+    p.kind = PacketKind::kPsb;
+    p.block = GetU32(&data[i + kPsbMagicSize]);
+    p.index = GetU16(&data[i + kPsbMagicSize + 4]);
+    p.tsc = GetU64(&data[i + kPsbMagicSize + 6]);
+    *pos = i + kPsbBytes;
+    return p;
+  }
+  switch (static_cast<PacketKind>(data[i])) {
+    case PacketKind::kTnt:
+      if (n - i < kTntBytes) {
+        return std::nullopt;
+      }
+      p.kind = PacketKind::kTnt;
+      p.tnt_bits = data[i + 1];
+      p.tnt_count = data[i + 2];
+      if (p.tnt_count < 1 || p.tnt_count > 6) {
+        return std::nullopt;
+      }
+      *pos = i + kTntBytes;
+      return p;
+    case PacketKind::kTip:
+      if (n - i < kTipBytes) {
+        return std::nullopt;
+      }
+      p.kind = PacketKind::kTip;
+      p.block = GetU32(&data[i + 1]);
+      p.index = GetU16(&data[i + 5]);
+      *pos = i + kTipBytes;
+      return p;
+    case PacketKind::kMtc:
+      if (n - i < kMtcBytes) {
+        return std::nullopt;
+      }
+      p.kind = PacketKind::kMtc;
+      p.ctc = data[i + 1];
+      *pos = i + kMtcBytes;
+      return p;
+    case PacketKind::kCyc:
+      if (n - i < kCycBytes) {
+        return std::nullopt;
+      }
+      p.kind = PacketKind::kCyc;
+      p.cyc_delta = GetU16(&data[i + 1]);
+      *pos = i + kCycBytes;
+      return p;
+    default:
+      return std::nullopt;
+  }
+}
+
+size_t FindPsb(const std::vector<uint8_t>& data, size_t from) {
+  if (data.size() < kPsbMagicSize) {
+    return data.size();
+  }
+  for (size_t i = from; i + kPsbMagicSize <= data.size(); ++i) {
+    if (std::memcmp(&data[i], kPsbMagic, kPsbMagicSize) == 0) {
+      return i;
+    }
+  }
+  return data.size();
+}
+
+}  // namespace snorlax::pt

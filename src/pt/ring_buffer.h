@@ -1,0 +1,79 @@
+// Fixed-capacity byte ring buffer, the in-memory trace store of the simulated
+// PT driver. Matches the paper's configuration: the buffer holds the most
+// recent `capacity` bytes (64 KB by default, configurable up to 128 MB); older
+// bytes are silently overwritten, so a decoder only ever sees the tail of the
+// execution and must re-synchronize at the first intact PSB.
+#ifndef SNORLAX_PT_RING_BUFFER_H_
+#define SNORLAX_PT_RING_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace snorlax::pt {
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : capacity_(capacity), data_(capacity, 0) {
+    SNORLAX_CHECK(capacity > 0);
+  }
+
+  void Append(const uint8_t* bytes, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      data_[(write_pos_ + i) % capacity_] = bytes[i];
+    }
+    write_pos_ = (write_pos_ + n) % capacity_;
+    total_written_ += n;
+  }
+
+  // Would appending `n` more bytes overwrite data written since the last
+  // Clear()? (Used by the persist mode to flush just in time.)
+  bool WouldOverwrite(size_t n) const {
+    return total_written_ - cleared_at_ + n > capacity_;
+  }
+
+  void Append(const std::vector<uint8_t>& bytes) { Append(bytes.data(), bytes.size()); }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t total_written() const { return total_written_; }
+  bool wrapped() const { return total_written_ > capacity_; }
+  // Bytes currently resident (<= capacity).
+  size_t resident() const {
+    return static_cast<size_t>(
+        total_written_ < capacity_ ? total_written_ : static_cast<uint64_t>(capacity_));
+  }
+
+  // Empties the buffer after its contents were flushed elsewhere (the
+  // persist-to-storage mode of the driver); total_written keeps counting.
+  void Clear() { write_pos_ = 0; cleared_at_ = total_written_; }
+
+  // The surviving bytes (the last min(total_written, capacity)) in write
+  // order. This is what the driver hands to the server on a failure.
+  std::vector<uint8_t> Snapshot() const {
+    const uint64_t since_clear = total_written_ - cleared_at_;
+    const size_t n = static_cast<size_t>(
+        since_clear < capacity_ ? since_clear : static_cast<uint64_t>(capacity_));
+    std::vector<uint8_t> out(n);
+    // Oldest surviving byte sits at write_pos_ when wrapped, else at the
+    // start of the region written since the last Clear().
+    const size_t start = since_clear > capacity_
+                             ? write_pos_
+                             : (write_pos_ + capacity_ - n % capacity_) % capacity_;
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = data_[(start + i) % capacity_];
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<uint8_t> data_;
+  size_t write_pos_ = 0;
+  uint64_t total_written_ = 0;
+  uint64_t cleared_at_ = 0;
+};
+
+}  // namespace snorlax::pt
+
+#endif  // SNORLAX_PT_RING_BUFFER_H_

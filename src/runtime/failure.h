@@ -1,0 +1,55 @@
+// Failure model: fail-stop events the runtime can detect, mirroring what
+// Snorlax clients retrieve from Ubuntu's ErrorTracker (paper section 5):
+// crashes (invalid pointer dereference), assertion failures, and deadlocks
+// (detected via the lock wait-for graph, as the JVM / OS deadlock detectors
+// the paper cites do).
+#ifndef SNORLAX_RUNTIME_FAILURE_H_
+#define SNORLAX_RUNTIME_FAILURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "runtime/value.h"
+
+namespace snorlax::rt {
+
+enum class FailureKind : uint8_t {
+  kNone,      // execution completed successfully
+  kCrash,     // invalid pointer dereference (null, freed, out of bounds, non-pointer)
+  kAssert,    // Assert instruction saw a zero condition
+  kDeadlock,  // cycle in the lock wait-for graph
+  kTimeout,   // execution exceeded the step/time budget (livelock guard)
+};
+
+const char* FailureKindName(FailureKind kind);
+
+struct FailureInfo {
+  FailureKind kind = FailureKind::kNone;
+  // The failing instruction ("failing PC"): the faulting load/store, the
+  // failed assert, or the lock acquisition that closed the deadlock cycle.
+  ir::InstId failing_inst = ir::kInvalidInstId;
+  ThreadId thread = kInvalidThread;
+  // The failing instruction's operand value: the corrupt pointer for a crash,
+  // the lock pointer for a deadlock. This is the input to type-based ranking.
+  Value operand;
+  // Virtual time of the failure.
+  uint64_t time_ns = 0;
+  // For deadlocks: every thread in the cycle, the lock-acquire instruction it
+  // was blocked on, and the time it blocked (the failing thread appears
+  // first). This mirrors the information an OS/JVM deadlock report provides.
+  struct DeadlockWaiter {
+    ThreadId thread = kInvalidThread;
+    ir::InstId inst = ir::kInvalidInstId;
+    uint64_t block_time_ns = 0;
+  };
+  std::vector<DeadlockWaiter> deadlock_cycle;
+  std::string description;
+
+  bool IsFailure() const { return kind != FailureKind::kNone; }
+};
+
+}  // namespace snorlax::rt
+
+#endif  // SNORLAX_RUNTIME_FAILURE_H_

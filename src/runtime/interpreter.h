@@ -1,0 +1,143 @@
+// MiniIR interpreter: a deterministic discrete-event simulator of a
+// multithreaded execution.
+//
+// Every simulated thread owns a local clock on a single shared virtual
+// timebase (the analog of the invariant TSC the paper relies on, section 3.2).
+// The interpreter always steps the runnable thread with the smallest local
+// clock, so threads genuinely overlap in virtual time and the interleaving of
+// two threads' events is decided by their clocks -- exactly the quantity the
+// coarse interleaving hypothesis is about.
+//
+// Two ingredients make runs differ so that a concurrency bug manifests in some
+// executions and not others (which statistical diagnosis requires):
+//   - a seed, and
+//   - work jitter: every Work(n) instruction burns n * (1 +/- jitter) ns,
+//     modeling input- and cache-dependent timing variation of real programs.
+#ifndef SNORLAX_RUNTIME_INTERPRETER_H_
+#define SNORLAX_RUNTIME_INTERPRETER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "runtime/failure.h"
+#include "runtime/memory.h"
+#include "runtime/observer.h"
+#include "support/rng.h"
+
+namespace snorlax::rt {
+
+// Virtual-time cost of instruction classes, loosely calibrated to a ~1 GHz
+// simple core so that workload Work() gaps dominate, as real computation does.
+struct CostModel {
+  uint64_t default_ns = 2;
+  uint64_t memory_ns = 4;
+  uint64_t lock_ns = 30;
+  uint64_t call_ns = 10;
+  uint64_t spawn_ns = 2000;
+};
+
+struct InterpOptions {
+  uint64_t seed = 1;
+  // Relative amplitude of per-Work timing jitter (0.05 = +/-5%).
+  double work_jitter = 0.05;
+  // Livelock guards.
+  uint64_t max_virtual_ns = 60ull * 1000 * 1000 * 1000;
+  uint64_t max_steps = 200ull * 1000 * 1000;
+  CostModel costs;
+};
+
+struct RunResult {
+  FailureInfo failure;                 // kind == kNone on success
+  uint64_t virtual_ns = 0;             // max thread clock at end of run
+  uint64_t instructions_retired = 0;
+  uint32_t threads_created = 0;
+
+  bool Succeeded() const { return !failure.IsFailure(); }
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ir::Module* module, InterpOptions options = {});
+
+  // Observers receive execution events; not owned. Add before Run().
+  void AddObserver(ExecutionObserver* observer);
+
+  // Invokes `callback(thread, now_ns)` when `pc` retires (the PT driver's
+  // hardware-breakpoint analog used to snapshot traces of successful runs).
+  void SetWatchpoint(ir::InstId pc, std::function<void(ThreadId, uint64_t)> callback);
+
+  // Executes `entry` to completion (or failure). One-shot per Interpreter.
+  RunResult Run(const std::string& entry = "main");
+
+  const MemoryManager& memory() const { return memory_; }
+  const ir::Module& module() const { return *module_; }
+
+ private:
+  struct Frame {
+    const ir::Function* func = nullptr;
+    std::vector<Value> regs;
+    const ir::BasicBlock* block = nullptr;
+    size_t next_index = 0;  // index of the next instruction within block
+    // Register in the *caller's* frame that receives this call's result.
+    ir::Reg result_reg = ir::kInvalidReg;
+  };
+
+  enum class ThreadState : uint8_t {
+    kRunnable,
+    kBlockedOnLock,
+    kBlockedOnJoin,
+    kFinished,
+  };
+
+  struct SimThread {
+    ThreadId id = kInvalidThread;
+    std::vector<Frame> stack;
+    ThreadState state = ThreadState::kRunnable;
+    uint64_t clock_ns = 0;
+    uint64_t finish_time_ns = 0;
+    ObjectId waiting_lock = kInvalidObject;
+    ir::InstId waiting_inst = ir::kInvalidInstId;  // acquire inst while blocked
+    ThreadId join_target = kInvalidThread;
+  };
+
+  struct LockState {
+    ThreadId owner = kInvalidThread;
+    std::vector<ThreadId> waiters;  // FIFO
+  };
+
+  ThreadId SpawnThread(const ir::Function* func, const Value& arg, uint64_t start_ns);
+  // Returns the index of the runnable thread with the smallest clock, or -1.
+  int PickNextThread() const;
+  // Executes one instruction of `thread`; returns false when the run ended.
+  bool Step(SimThread& thread);
+  Value ReadOperand(const Frame& frame, const ir::Operand& op) const;
+  void WriteReg(Frame& frame, ir::Reg reg, const Value& value);
+  void Fail(FailureKind kind, const ir::Instruction* inst, SimThread& thread,
+            const Value& operand, const std::string& description);
+  // Detects a wait-for cycle starting at `thread` (which just blocked).
+  bool CheckDeadlock(SimThread& thread, const ir::Instruction* acquire_inst,
+                     const Value& lock_ptr);
+  void NotifyRetired(SimThread& thread, const ir::Instruction* inst);
+
+  const ir::Module* module_;
+  InterpOptions options_;
+  Rng rng_;
+  MemoryManager memory_;
+  std::vector<ExecutionObserver*> observers_;
+  std::unordered_map<ir::InstId, std::function<void(ThreadId, uint64_t)>> watchpoints_;
+  // Deque, not vector: SpawnThread appends while Step() holds a reference to
+  // the running thread, so element references must survive growth.
+  std::deque<SimThread> threads_;
+  std::unordered_map<ObjectId, LockState> locks_;
+  RunResult result_;
+  bool finished_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace snorlax::rt
+
+#endif  // SNORLAX_RUNTIME_INTERPRETER_H_

@@ -1,0 +1,116 @@
+#include "runtime/memory.h"
+
+#include "support/check.h"
+#include "support/str.h"
+
+namespace snorlax::rt {
+
+std::string Value::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return StrFormat("%lld", static_cast<long long>(ival));
+    case Kind::kPtr:
+      return StrFormat("&obj%u+%u", obj, off);
+    case Kind::kFunc:
+      return StrFormat("@f%lld", static_cast<long long>(ival));
+  }
+  return "?";
+}
+
+const char* AccessErrorName(AccessError e) {
+  switch (e) {
+    case AccessError::kOk:
+      return "ok";
+    case AccessError::kNullDeref:
+      return "null pointer dereference";
+    case AccessError::kNotAPointer:
+      return "dereference of a non-pointer value";
+    case AccessError::kUseAfterFree:
+      return "use after free";
+    case AccessError::kOutOfBounds:
+      return "out-of-bounds access";
+    case AccessError::kInvalidObject:
+      return "dangling object reference";
+  }
+  return "?";
+}
+
+MemoryManager::MemoryManager(const ir::Module* module) : module_(module) {
+  SNORLAX_CHECK(module != nullptr);
+  global_objects_.reserve(module->globals().size());
+  for (const ir::GlobalVar& g : module->globals()) {
+    MemObject obj;
+    obj.type = g.type;
+    obj.cells.assign(static_cast<size_t>(g.type->SizeInCells()), Value::Int(0));
+    obj.global = g.id;
+    objects_.push_back(std::move(obj));
+    global_objects_.push_back(static_cast<ObjectId>(objects_.size() - 1));
+  }
+}
+
+ObjectId MemoryManager::Allocate(const ir::Type* type, ir::InstId site, ThreadId thread) {
+  MemObject obj;
+  obj.type = type;
+  obj.cells.assign(static_cast<size_t>(type->SizeInCells()), Value::Int(0));
+  obj.alloc_site = site;
+  obj.alloc_thread = thread;
+  objects_.push_back(std::move(obj));
+  return static_cast<ObjectId>(objects_.size() - 1);
+}
+
+AccessError MemoryManager::Free(const Value& ptr) {
+  ObjectId obj;
+  uint32_t off;
+  const AccessError err = CheckAccess(ptr, &obj, &off);
+  if (err != AccessError::kOk) {
+    return err;
+  }
+  objects_[obj].freed = true;
+  return AccessError::kOk;
+}
+
+AccessError MemoryManager::CheckAccess(const Value& ptr, ObjectId* obj, uint32_t* off) const {
+  if (ptr.IsNullLike()) {
+    return AccessError::kNullDeref;
+  }
+  if (!ptr.IsPtr()) {
+    return AccessError::kNotAPointer;
+  }
+  if (ptr.obj >= objects_.size()) {
+    return AccessError::kInvalidObject;
+  }
+  const MemObject& object = objects_[ptr.obj];
+  if (object.freed) {
+    return AccessError::kUseAfterFree;
+  }
+  if (ptr.off >= object.cells.size()) {
+    return AccessError::kOutOfBounds;
+  }
+  *obj = ptr.obj;
+  *off = ptr.off;
+  return AccessError::kOk;
+}
+
+AccessError MemoryManager::Load(const Value& ptr, Value* out) const {
+  ObjectId obj;
+  uint32_t off;
+  const AccessError err = CheckAccess(ptr, &obj, &off);
+  if (err != AccessError::kOk) {
+    return err;
+  }
+  *out = objects_[obj].cells[off];
+  return AccessError::kOk;
+}
+
+AccessError MemoryManager::Store(const Value& ptr, const Value& value) {
+  ObjectId obj;
+  uint32_t off;
+  const AccessError err = CheckAccess(ptr, &obj, &off);
+  if (err != AccessError::kOk) {
+    return err;
+  }
+  objects_[obj].cells[off] = value;
+  return AccessError::kOk;
+}
+
+}  // namespace snorlax::rt

@@ -1,0 +1,73 @@
+// Object-granular simulated memory.
+//
+// Every alloca site execution and every global creates an object of N cells
+// (one cell per scalar/pointer/struct-field). Pointers are (object, offset)
+// pairs, so invalid dereferences -- null, out-of-bounds, use-after-free,
+// non-pointer garbage -- are precisely detectable, which is what turns a racy
+// interleaving into a diagnosable fail-stop crash.
+#ifndef SNORLAX_RUNTIME_MEMORY_H_
+#define SNORLAX_RUNTIME_MEMORY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "runtime/value.h"
+
+namespace snorlax::rt {
+
+struct MemObject {
+  const ir::Type* type = nullptr;
+  std::vector<Value> cells;
+  bool freed = false;
+  // Allocation provenance: the alloca instruction, or kInvalidInstId for a
+  // global (then `global` identifies it).
+  ir::InstId alloc_site = ir::kInvalidInstId;
+  std::optional<ir::GlobalId> global;
+  ThreadId alloc_thread = kInvalidThread;
+};
+
+// Why a memory access failed (maps onto FailureKind::kCrash descriptions).
+enum class AccessError : uint8_t {
+  kOk,
+  kNullDeref,        // dereferenced integer 0 (null-like value)
+  kNotAPointer,      // dereferenced a non-pointer value (corruption)
+  kUseAfterFree,     // object was freed
+  kOutOfBounds,      // offset beyond the object's cells
+  kInvalidObject,    // dangling object id
+};
+
+const char* AccessErrorName(AccessError e);
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(const ir::Module* module);
+
+  // Creates all globals; returns nothing (globals have ids equal to their
+  // GlobalId order of creation because they are allocated first).
+  ObjectId GlobalObject(ir::GlobalId id) const { return global_objects_.at(id); }
+
+  ObjectId Allocate(const ir::Type* type, ir::InstId site, ThreadId thread);
+
+  AccessError Free(const Value& ptr);
+
+  // Validates `ptr` for access to one cell. On success sets *obj/*off.
+  AccessError CheckAccess(const Value& ptr, ObjectId* obj, uint32_t* off) const;
+
+  AccessError Load(const Value& ptr, Value* out) const;
+  AccessError Store(const Value& ptr, const Value& value);
+
+  const MemObject& object(ObjectId id) const { return objects_.at(id); }
+  MemObject& object(ObjectId id) { return objects_.at(id); }
+  size_t NumObjects() const { return objects_.size(); }
+
+ private:
+  const ir::Module* module_;
+  std::vector<MemObject> objects_;
+  std::vector<ObjectId> global_objects_;
+};
+
+}  // namespace snorlax::rt
+
+#endif  // SNORLAX_RUNTIME_MEMORY_H_

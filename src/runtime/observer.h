@@ -1,0 +1,132 @@
+// Execution observation hooks.
+//
+// The runtime reports control-flow and memory events through this interface.
+// The PT encoder (src/pt) consumes only the control-flow subset -- exactly the
+// information Intel PT hardware sees. The Gist baseline consumes per-access
+// events (that is precisely why it is expensive). The hypothesis-study
+// recorder consumes retired target instructions with timestamps (the paper's
+// clock_gettime() instrumentation).
+//
+// Every event method returns the number of extra virtual nanoseconds the
+// recording mechanism charges the observed thread for this event. This is how
+// recording overhead is modeled *inside* the simulation: the PT encoder
+// returns a small per-packet-byte cost (hardware trace writes steal memory
+// bandwidth), while the Gist monitor returns lock-contention delays that grow
+// with the thread count. The overhead benches (Figures 8 and 9) report the
+// resulting virtual-time inflation.
+#ifndef SNORLAX_RUNTIME_OBSERVER_H_
+#define SNORLAX_RUNTIME_OBSERVER_H_
+
+#include <cstdint>
+
+#include "ir/module.h"
+#include "runtime/failure.h"
+#include "runtime/value.h"
+
+namespace snorlax::rt {
+
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  // A thread began executing `entry` (its first block is entry->entry()).
+  virtual void OnThreadStart(ThreadId thread, const ir::Function* entry, uint64_t now_ns) {
+    (void)thread;
+    (void)entry;
+    (void)now_ns;
+  }
+  virtual void OnThreadExit(ThreadId thread, uint64_t now_ns) {
+    (void)thread;
+    (void)now_ns;
+  }
+
+  // A conditional branch retired; `taken` selects then_block vs else_block.
+  // (Direct branches and direct calls are NOT reported: like real PT, the
+  // decoder reconstructs them from the static CFG.)
+  virtual uint64_t OnCondBranch(ThreadId thread, const ir::Instruction* branch, bool taken,
+                                uint64_t now_ns) {
+    (void)thread;
+    (void)branch;
+    (void)taken;
+    (void)now_ns;
+    return 0;
+  }
+
+  // A call retired. Direct calls are statically reconstructable; indirect
+  // calls are not, so a tracer must record their target (PT's TIP packet).
+  virtual uint64_t OnCall(ThreadId thread, const ir::Instruction* call_inst,
+                          const ir::Function* callee, bool is_indirect, uint64_t now_ns) {
+    (void)thread;
+    (void)call_inst;
+    (void)callee;
+    (void)is_indirect;
+    (void)now_ns;
+    return 0;
+  }
+
+  // A return retired. `resume_block`/`resume_index` locate the instruction
+  // executed next in the caller (kInvalidBlockId when the thread exits). A
+  // PT-style tracer uses this to decide between RET compression (the decoder
+  // can pop its own call stack) and an explicit target packet.
+  virtual uint64_t OnReturn(ThreadId thread, const ir::Instruction* ret_inst,
+                            ir::BlockId resume_block, uint32_t resume_index,
+                            uint64_t now_ns) {
+    (void)thread;
+    (void)ret_inst;
+    (void)resume_block;
+    (void)resume_index;
+    (void)now_ns;
+    return 0;
+  }
+
+  // Any instruction retired. High-frequency; only observers that truly need
+  // per-instruction visibility should do work here.
+  virtual uint64_t OnInstructionRetired(ThreadId thread, const ir::Instruction* inst,
+                                        uint64_t now_ns) {
+    (void)thread;
+    (void)inst;
+    (void)now_ns;
+    return 0;
+  }
+
+  // A shared-memory access retired (after a successful load/store).
+  virtual uint64_t OnMemoryAccess(ThreadId thread, const ir::Instruction* inst, ObjectId obj,
+                                  uint32_t off, bool is_write, uint64_t now_ns) {
+    (void)thread;
+    (void)inst;
+    (void)obj;
+    (void)off;
+    (void)is_write;
+    (void)now_ns;
+    return 0;
+  }
+
+  // A lock operation retired (acquire reported when the lock is granted).
+  virtual uint64_t OnLockOp(ThreadId thread, const ir::Instruction* inst, ObjectId lock_obj,
+                            bool is_acquire, uint64_t now_ns) {
+    (void)thread;
+    (void)inst;
+    (void)lock_obj;
+    (void)is_acquire;
+    (void)now_ns;
+    return 0;
+  }
+
+  // A Work instruction retired: `duration_ns` of modeled computation. Real
+  // computation is dense with control flow, so a hardware tracer pays a
+  // bandwidth cost proportional to it even when the simulator does not
+  // expand it into explicit instructions.
+  virtual uint64_t OnWork(ThreadId thread, uint64_t duration_ns, uint64_t now_ns) {
+    (void)thread;
+    (void)duration_ns;
+    (void)now_ns;
+    return 0;
+  }
+
+  // The execution ended in a failure.
+  virtual void OnFailure(const FailureInfo& failure) { (void)failure; }
+};
+
+}  // namespace snorlax::rt
+
+#endif  // SNORLAX_RUNTIME_OBSERVER_H_

@@ -1,0 +1,74 @@
+// Runtime values: 64-bit integers, typed pointers (object id + cell offset),
+// and function pointers. Uninitialized memory reads as integer 0, so a racy
+// read of a not-yet-initialized pointer field naturally yields a null pointer
+// whose dereference is the crash -- the canonical order-violation failure mode.
+#ifndef SNORLAX_RUNTIME_VALUE_H_
+#define SNORLAX_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "ir/instruction.h"
+
+namespace snorlax::rt {
+
+using ObjectId = uint32_t;
+inline constexpr ObjectId kInvalidObject = std::numeric_limits<ObjectId>::max();
+
+using ThreadId = uint32_t;
+inline constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
+
+struct Value {
+  enum class Kind : uint8_t { kInt, kPtr, kFunc };
+
+  Kind kind = Kind::kInt;
+  int64_t ival = 0;       // kInt: value; kFunc: FuncId
+  ObjectId obj = kInvalidObject;  // kPtr
+  uint32_t off = 0;               // kPtr
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind = Kind::kInt;
+    out.ival = v;
+    return out;
+  }
+  static Value Ptr(ObjectId o, uint32_t offset) {
+    Value out;
+    out.kind = Kind::kPtr;
+    out.obj = o;
+    out.off = offset;
+    return out;
+  }
+  static Value Func(ir::FuncId f) {
+    Value out;
+    out.kind = Kind::kFunc;
+    out.ival = static_cast<int64_t>(f);
+    return out;
+  }
+
+  bool IsInt() const { return kind == Kind::kInt; }
+  bool IsPtr() const { return kind == Kind::kPtr; }
+  bool IsFunc() const { return kind == Kind::kFunc; }
+  // The null pointer is integer zero (C-style): a pointer-typed cell that was
+  // never written reads back as Int(0).
+  bool IsNullLike() const { return kind == Kind::kInt && ival == 0; }
+  // Truthiness for CondBr / Assert.
+  bool IsTruthy() const { return kind != Kind::kInt || ival != 0; }
+
+  bool operator==(const Value& other) const {
+    if (kind != other.kind) {
+      return false;
+    }
+    if (kind == Kind::kPtr) {
+      return obj == other.obj && off == other.off;
+    }
+    return ival == other.ival;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace snorlax::rt
+
+#endif  // SNORLAX_RUNTIME_VALUE_H_

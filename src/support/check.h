@@ -1,0 +1,27 @@
+// Internal invariant checking. A failed check indicates a bug in this library
+// (not a recoverable condition); it prints the condition and aborts.
+#ifndef SNORLAX_SUPPORT_CHECK_H_
+#define SNORLAX_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SNORLAX_CHECK(cond)                                                          \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "SNORLAX_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                           \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (0)
+
+#define SNORLAX_CHECK_MSG(cond, msg)                                                   \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "SNORLAX_CHECK failed at %s:%d: %s (%s)\n", __FILE__,       \
+                   __LINE__, #cond, (msg));                                            \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (0)
+
+#endif  // SNORLAX_SUPPORT_CHECK_H_

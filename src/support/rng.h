@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// The scheduler, workload generators, and property tests all need randomness
+// that is (a) fast, (b) seedable, and (c) identical across platforms, so we
+// implement xoshiro256** (public-domain algorithm by Blackman & Vigna) rather
+// than relying on implementation-defined std::default_random_engine behavior.
+#ifndef SNORLAX_SUPPORT_RNG_H_
+#define SNORLAX_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace snorlax {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors: expands a
+    // 64-bit seed into a full 256-bit state that is never all-zero.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    SNORLAX_CHECK(bound > 0);
+    // Debiased via rejection sampling on the top of the range.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    SNORLAX_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace snorlax
+
+#endif  // SNORLAX_SUPPORT_RNG_H_

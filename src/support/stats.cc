@@ -1,0 +1,111 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace snorlax {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    SNORLAX_CHECK_MSG(x > 0.0, "GeoMean requires positive inputs");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double F1Score(double precision, double recall) {
+  const double denom = precision + recall;
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return 2.0 * precision * recall / denom;
+}
+
+double ConfusionCounts::Precision() const {
+  const uint64_t denom = true_positive + false_positive;
+  if (denom == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::Recall() const {
+  const uint64_t denom = true_positive + false_negative;
+  if (denom == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionCounts::F1() const { return F1Score(Precision(), Recall()); }
+
+uint64_t KendallTauDistance(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  SNORLAX_CHECK(a.size() == b.size());
+  std::unordered_map<uint64_t, size_t> pos_in_b;
+  pos_in_b.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    const bool inserted = pos_in_b.emplace(b[i], i).second;
+    SNORLAX_CHECK_MSG(inserted, "duplicate id in ordering");
+  }
+  // Map `a` into b-positions; discordant pairs are inversions in the mapped
+  // sequence. O(n^2) is fine: orderings here are bug patterns (< 10 events).
+  std::vector<size_t> mapped;
+  mapped.reserve(a.size());
+  for (uint64_t id : a) {
+    auto it = pos_in_b.find(id);
+    SNORLAX_CHECK_MSG(it != pos_in_b.end(), "orderings are over different id sets");
+    mapped.push_back(it->second);
+  }
+  uint64_t inversions = 0;
+  for (size_t i = 0; i < mapped.size(); ++i) {
+    for (size_t j = i + 1; j < mapped.size(); ++j) {
+      if (mapped[i] > mapped[j]) {
+        ++inversions;
+      }
+    }
+  }
+  return inversions;
+}
+
+double OrderingAccuracy(const std::vector<uint64_t>& computed,
+                        const std::vector<uint64_t>& ground_truth) {
+  const size_t n = ground_truth.size();
+  if (n < 2) {
+    return 100.0;
+  }
+  const uint64_t pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  const uint64_t k = KendallTauDistance(computed, ground_truth);
+  return 100.0 * (1.0 - static_cast<double>(k) / static_cast<double>(pairs));
+}
+
+}  // namespace snorlax

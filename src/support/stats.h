@@ -1,0 +1,52 @@
+// Statistics used throughout the evaluation harness:
+//  - descriptive statistics (mean / stddev / geomean) for Tables 1-4,
+//  - precision / recall / F1 for statistical diagnosis (paper step 7),
+//  - normalized Kendall tau distance and the derived ordering accuracy A_O
+//    used by the paper's accuracy metric (section 6.1).
+#ifndef SNORLAX_SUPPORT_STATS_H_
+#define SNORLAX_SUPPORT_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace snorlax {
+
+double Mean(const std::vector<double>& xs);
+
+// Sample standard deviation (n-1 denominator); 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+// Geometric mean; all inputs must be > 0. Returns 0 for an empty input.
+double GeoMean(const std::vector<double>& xs);
+
+// Harmonic mean of precision and recall; 0 when both are 0.
+double F1Score(double precision, double recall);
+
+// Precision/recall/F1 from confusion counts.
+struct ConfusionCounts {
+  // Executions that contained the pattern and failed.
+  uint64_t true_positive = 0;
+  // Executions that contained the pattern but succeeded.
+  uint64_t false_positive = 0;
+  // Executions that failed but did not contain the pattern.
+  uint64_t false_negative = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+// Number of discordant pairs between two orderings of the same item set.
+//
+// `a` and `b` are permutations over the same set of ids (checked). Returns the
+// Kendall tau distance K, i.e. the number of item pairs ordered differently.
+uint64_t KendallTauDistance(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b);
+
+// The paper's ordering accuracy: A_O = 100 * (1 - K / #pairs). 100 when the
+// lists agree completely (or have fewer than two items).
+double OrderingAccuracy(const std::vector<uint64_t>& computed,
+                        const std::vector<uint64_t>& ground_truth);
+
+}  // namespace snorlax
+
+#endif  // SNORLAX_SUPPORT_STATS_H_

@@ -1,0 +1,26 @@
+// Small string/formatting helpers (GCC 12 lacks std::format).
+#ifndef SNORLAX_SUPPORT_STR_H_
+#define SNORLAX_SUPPORT_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snorlax {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+// Renders `x` with fixed `digits` decimal places.
+std::string FormatDouble(double x, int digits);
+
+// Left-pads or truncates to a column of `width` characters (for table output).
+std::string PadRight(const std::string& s, size_t width);
+std::string PadLeft(const std::string& s, size_t width);
+
+}  // namespace snorlax
+
+#endif  // SNORLAX_SUPPORT_STR_H_

@@ -1,0 +1,108 @@
+#include "trace/processed_trace.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace snorlax::trace {
+
+ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle& bundle,
+                               TraceOptions options)
+    : module_(module), options_(options), failure_(bundle.failure) {
+  SNORLAX_CHECK(module != nullptr);
+  pt::PtDecoder decoder(module);
+
+  for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
+    const pt::DecodedThreadTrace decoded = decoder.DecodeThread(per, bundle.config, bundle.snapshot_time_ns);
+    if (!decoded.ok()) {
+      decode_errors_.push_back(decoded.error);
+    }
+    lost_prefix_ = lost_prefix_ || decoded.lost_prefix;
+    if (!decoded.events.empty()) {
+      ++threads_in_trace_;
+    }
+    uint32_t seq = 0;
+    for (const pt::DecodedEvent& ev : decoded.events) {
+      executed_.insert(ev.inst);
+      instances_.push_back(DynInst{ev.inst, per.thread, seq++, ev.ts_lo_ns, ev.ts_ns, false});
+    }
+    // The decoded trace ends at the last packet; the failing instruction
+    // itself is known from the crash report, so append it (the paper maps the
+    // failure PC onto the IR the same way, section 5). For a deadlock, the
+    // report also locates every blocked thread's pending acquisition.
+    if (failure_.IsFailure() && failure_.thread == per.thread &&
+        failure_.failing_inst != ir::kInvalidInstId) {
+      executed_.insert(failure_.failing_inst);
+      instances_.push_back(DynInst{failure_.failing_inst, per.thread, seq++, failure_.time_ns,
+                                   failure_.time_ns, true});
+    }
+    for (const rt::FailureInfo::DeadlockWaiter& w : failure_.deadlock_cycle) {
+      if (w.thread == per.thread && w.inst != ir::kInvalidInstId &&
+          !(w.thread == failure_.thread && w.inst == failure_.failing_inst)) {
+        executed_.insert(w.inst);
+        instances_.push_back(DynInst{w.inst, per.thread, seq++, w.block_time_ns,
+                                     w.block_time_ns, false});
+      }
+    }
+  }
+
+  std::sort(instances_.begin(), instances_.end(), [](const DynInst& a, const DynInst& b) {
+    if (a.at_failure != b.at_failure) {
+      return b.at_failure;  // the failure point sorts last
+    }
+    if (a.ts_ns != b.ts_ns) {
+      return a.ts_ns < b.ts_ns;
+    }
+    if (a.thread != b.thread) {
+      return a.thread < b.thread;
+    }
+    return a.seq < b.seq;
+  });
+
+  for (uint32_t i = 0; i < instances_.size(); ++i) {
+    instances_by_inst_[instances_[i].inst].push_back(i);
+    uint32_t& last = last_seq_[instances_[i].thread];
+    if (instances_[i].seq > last) {
+      last = instances_[i].seq;
+    }
+    if (failure_.IsFailure() && instances_[i].inst == failure_.failing_inst &&
+        instances_[i].thread == failure_.thread && instances_[i].ts_ns == failure_.time_ns) {
+      failing_index_ = i;
+    }
+  }
+}
+
+std::vector<const DynInst*> ProcessedTrace::InstancesOf(ir::InstId inst) const {
+  std::vector<const DynInst*> out;
+  auto it = instances_by_inst_.find(inst);
+  if (it == instances_by_inst_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (uint32_t idx : it->second) {
+    out.push_back(&instances_[idx]);
+  }
+  return out;
+}
+
+bool ProcessedTrace::ExecutesBefore(const DynInst& a, const DynInst& b) const {
+  if (a.thread == b.thread) {
+    return a.seq < b.seq;
+  }
+  // Everything captured in a failure snapshot retired before the failure
+  // point (the snapshot is a causal cut of the execution).
+  if (b.at_failure && !a.at_failure) {
+    return true;
+  }
+  if (a.at_failure) {
+    return false;
+  }
+  // Interval rule: a's window must end before b's window begins.
+  return a.ts_ns + options_.order_granularity_ns <= b.ts_lo_ns;
+}
+
+bool ProcessedTrace::Unordered(const DynInst& a, const DynInst& b) const {
+  return !ExecutesBefore(a, b) && !ExecutesBefore(b, a);
+}
+
+}  // namespace snorlax::trace

@@ -1,0 +1,107 @@
+// Trace processing (paper steps 2 and 3, Figure 2).
+//
+// From a decoded PT bundle this builds:
+//   step 2: the executed instruction set -- the union, over all threads, of
+//           every instruction id that appears in the decoded trace. Hybrid
+//           points-to analysis restricts its scope to this set.
+//   step 3: the partially-ordered dynamic instruction trace -- every dynamic
+//           instruction instance with its thread, per-thread sequence number
+//           and coarse timestamp. Two instances from the same thread are
+//           totally ordered (program order); instances from different threads
+//           are ordered only when their coarse timestamps are separated by
+//           more than the timing granularity. Bug pattern computation uses
+//           this partial order ("partial flow sensitivity", paper 4.4).
+#ifndef SNORLAX_TRACE_PROCESSED_TRACE_H_
+#define SNORLAX_TRACE_PROCESSED_TRACE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pt/decoder.h"
+
+namespace snorlax::trace {
+
+struct DynInst {
+  ir::InstId inst = ir::kInvalidInstId;
+  rt::ThreadId thread = rt::kInvalidThread;
+  uint32_t seq = 0;        // per-thread program-order sequence number
+  // Retirement window recovered from the timing packets: the instruction
+  // retired somewhere in [ts_lo_ns, ts_ns]. Cross-thread ordering is only
+  // established when windows are separated by the granularity.
+  uint64_t ts_lo_ns = 0;
+  uint64_t ts_ns = 0;
+  // True for the failure point appended from the crash report. Everything in
+  // a failure snapshot retired before the snapshot was taken, so every other
+  // event executes-before this one.
+  bool at_failure = false;
+};
+
+struct TraceOptions {
+  // Cross-thread events are considered ordered only when their coarse
+  // timestamps differ by at least this much. Must exceed the timing packets'
+  // quantization error (cyc_unit plus packet batching); the coarse
+  // interleaving hypothesis says real bug events are separated by orders of
+  // magnitude more than this.
+  uint64_t order_granularity_ns = 512;
+};
+
+class ProcessedTrace {
+ public:
+  ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle& bundle,
+                 TraceOptions options = {});
+
+  // --- Step 2: executed instruction set --------------------------------------
+  const std::unordered_set<ir::InstId>& executed() const { return executed_; }
+  bool WasExecuted(ir::InstId inst) const { return executed_.find(inst) != executed_.end(); }
+
+  // --- Step 3: partially-ordered dynamic trace --------------------------------
+  // All dynamic instances, sorted by (timestamp, thread, seq).
+  const std::vector<DynInst>& instances() const { return instances_; }
+  // Dynamic instances of one static instruction.
+  std::vector<const DynInst*> InstancesOf(ir::InstId inst) const;
+
+  // The partial order: true iff `a` is known to execute before `b`.
+  bool ExecutesBefore(const DynInst& a, const DynInst& b) const;
+  // True iff the order of `a` and `b` cannot be established (cross-thread
+  // events closer than the granularity).
+  bool Unordered(const DynInst& a, const DynInst& b) const;
+
+  // Highest per-thread sequence number in the trace (the thread's final
+  // event); 0 if the thread has no events.
+  uint32_t LastSeqOf(rt::ThreadId thread) const {
+    auto it = last_seq_.find(thread);
+    return it == last_seq_.end() ? 0 : it->second;
+  }
+
+  // --- Provenance -------------------------------------------------------------
+  const rt::FailureInfo& failure() const { return failure_; }
+  // The failing instruction's dynamic instance (appended from the crash
+  // report, since the trace ends at the last packet before the failure).
+  const DynInst* failing_instance() const {
+    return failing_index_ < instances_.size() ? &instances_[failing_index_] : nullptr;
+  }
+
+  bool lost_prefix() const { return lost_prefix_; }
+  const std::vector<std::string>& decode_errors() const { return decode_errors_; }
+  size_t threads_in_trace() const { return threads_in_trace_; }
+  const TraceOptions& options() const { return options_; }
+
+ private:
+  const ir::Module* module_;
+  TraceOptions options_;
+  std::unordered_set<ir::InstId> executed_;
+  std::vector<DynInst> instances_;
+  std::unordered_map<ir::InstId, std::vector<uint32_t>> instances_by_inst_;
+  std::unordered_map<rt::ThreadId, uint32_t> last_seq_;
+  rt::FailureInfo failure_;
+  size_t failing_index_ = SIZE_MAX;
+  bool lost_prefix_ = false;
+  std::vector<std::string> decode_errors_;
+  size_t threads_in_trace_ = 0;
+};
+
+}  // namespace snorlax::trace
+
+#endif  // SNORLAX_TRACE_PROCESSED_TRACE_H_

@@ -1,0 +1,732 @@
+// Atomicity-violation workloads (Table 3 of the paper), covering the four
+// single-variable flavors of Figure 1.(c):
+//   RWR  check-then-use straddled by a remote invalidation,
+//   WWR  write-then-readback clobbered by a remote write,
+//   RWW  check-then-store-through faulting after a remote invalidation,
+//   WRW  a remote invalidate/restore window observed by a local racy read
+//        whose stale value faults after the window closes.
+// The racy sequence executes once per run at an input-dependent offset, so
+// each bug manifests intermittently; delta-T1/delta-T2 of the three target
+// events land in the paper's measured band.
+#include "support/check.h"
+#include "workloads/builders.h"
+#include "workloads/common.h"
+
+namespace snorlax::workloads {
+
+using ir::CmpKind;
+using ir::IrBuilder;
+using ir::Operand;
+
+// ---------------------------------------------------------------------------
+// MySQL #169 (RWR): a monitoring thread null-checks THD::proc_info, then
+// dereferences it; the session thread swaps the string in between (null out,
+// format new message, publish).
+// ---------------------------------------------------------------------------
+Workload BuildMysql169() {
+  Workload w;
+  w.name = "mysql_169";
+  w.system = "MySQL";
+  w.bug_id = "#169";
+  w.description = "proc_info checked non-null, then dereferenced after the owner nulled it";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kAtomicityRWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* info_ty = m.types().StructType("ProcInfo", {i64, i64});
+  const ir::Type* info_ptr = m.types().PointerTo(info_ty);
+  const ir::Type* thd_ty = m.types().StructType("THD", {info_ptr, i64});
+
+  const ir::GlobalId g_thd = b.CreateGlobal("thd", thd_ty);
+
+  // Session thread: owns proc_info; periodically swaps it (null -> rebuild ->
+  // publish). The un-published window is ~600us of formatting work.
+  const ir::FuncId session = b.BeginFunction("session_thread", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("sql_class.cc:session");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg thd = b.AddrOfGlobal(g_thd);
+    const ir::Reg slot = b.Gep(thd, thd_ty, 0);
+    const ir::Reg pre = b.Random(i64, 260, 910);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    EmitFieldBump(b, thd, thd_ty, 1);  // rows-examined counter
+    EmitFieldBump(b, thd, thd_ty, 1);
+    EmitFieldBump(b, thd, thd_ty, 1);
+    b.Store(Operand::MakeImm(0), slot, info_ptr);  // W: begin swap (invalidate)
+    w.truth_events.push_back(b.last_inst());
+    w.timing_targets.push_back(b.last_inst());
+    EmitBranchyWork(b, 190, 4'000);  // format the new message (~760us window)
+    const ir::Reg fresh = b.Alloca(info_ty);
+    const ir::Reg msg = b.Gep(fresh, info_ty, 0);
+    b.Store(Operand::MakeImm(1), msg, i64);
+    b.Store(fresh, slot, info_ptr);  // publish
+    EmitBranchyWork(b, 40, 11'000);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  // Monitor thread (SHOW PROCESSLIST): null-check then use, non-atomically.
+  const ir::FuncId monitor = b.BeginFunction("monitor_thread", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("sql_show.cc:monitor");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg thd = b.AddrOfGlobal(g_thd);
+    const ir::Reg slot = b.Gep(thd, thd_ty, 0);
+    const ir::Reg pre = b.Random(i64, 260, 910);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    EmitFieldBump(b, thd, thd_ty, 1);  // rows-examined counter
+    EmitFieldBump(b, thd, thd_ty, 1);
+    EmitFieldBump(b, thd, thd_ty, 1);
+    const ir::Reg r1 = b.Load(slot, info_ptr);  // R1: the check
+    const ir::InstId check = b.last_inst();
+    const ir::Reg nonnull = b.Cmp(CmpKind::kNe, Operand::MakeReg(r1), Operand::MakeImm(0));
+    const ir::BlockId use_block = b.CreateBlock("use");
+    const ir::BlockId skip = b.CreateBlock("skip");
+    b.CondBr(nonnull, use_block, skip);
+    b.SetInsertPoint(use_block);
+    EmitBranchyWork(b, 90, 4'000);  // row formatting between check and use (~360us)
+    const ir::Reg r2 = b.Load(slot, info_ptr);  // R2: the use re-reads
+    const ir::InstId use = b.last_inst();
+    const ir::Reg msg = b.Gep(r2, info_ty, 0);
+    const ir::Reg v = b.Load(msg, i64);  // crash when the swap hit the window
+    const ir::Reg sink = b.Alloca(i64);
+    b.Store(v, sink, i64);
+    b.Br(skip);
+    b.SetInsertPoint(skip);
+    EmitBranchyWork(b, 25, 11'000);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.insert(w.truth_events.begin(), check);  // R1 first
+    w.truth_events.push_back(use);                         // then W, then R2
+    w.timing_targets.insert(w.timing_targets.begin(), check);
+    w.timing_targets.push_back(use);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg thd = b.AddrOfGlobal(g_thd);
+    const ir::Reg slot = b.Gep(thd, thd_ty, 0);
+    const ir::Reg initial = b.Alloca(info_ty);
+    b.Store(initial, slot, info_ptr);
+    const ir::Reg t1 = b.ThreadCreate(session, Operand::MakeImm(0));
+    const ir::Reg t2 = b.ThreadCreate(monitor, Operand::MakeImm(0));
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// memcached #127 (RWR): an item's refcount is checked >0, but the LRU reaper
+// zeroes it and frees the item before the user dereferences the payload.
+// ---------------------------------------------------------------------------
+Workload BuildMemcached127() {
+  Workload w;
+  w.name = "memcached_127";
+  w.system = "memcached";
+  w.bug_id = "#127";
+  w.description = "refcount checked, then item used after the reaper freed it";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kAtomicityRWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* val_ty = m.types().StructType("ItemValue", {i64, i64});
+  const ir::Type* val_ptr = m.types().PointerTo(val_ty);
+  // {rc, key, value*}; the slab keeps item headers mapped, so reads of rc
+  // never fault -- only the value buffer is returned to the allocator.
+  const ir::Type* item_ty = m.types().StructType("Item", {i64, i64, val_ptr});
+  const ir::Type* item_ptr = m.types().PointerTo(item_ty);
+  const ir::Type* table_ty = m.types().StructType("HashTable", {item_ptr, i64});
+
+  const ir::GlobalId g_table = b.CreateGlobal("hash_table", table_ty);
+
+  const ir::FuncId user = b.BeginFunction("worker_get", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("items.c:do_item_get");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg table = b.AddrOfGlobal(g_table);
+    const ir::Reg slot = b.Gep(table, table_ty, 0);
+    const ir::Reg pre = b.Random(i64, 235, 890);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    EmitFieldBump(b, table, table_ty, 1);  // gets counter
+    EmitFieldBump(b, table, table_ty, 1);
+    EmitFieldBump(b, table, table_ty, 1);
+    const ir::Reg item = b.Load(slot, item_ptr);
+    const ir::Reg rc_slot = b.Gep(item, item_ty, 0);
+    const ir::Reg rc = b.Load(rc_slot, i64);  // R1: refcount check
+    const ir::InstId check = b.last_inst();
+    const ir::Reg alive = b.Cmp(CmpKind::kGt, Operand::MakeReg(rc), Operand::MakeImm(0));
+    const ir::BlockId use_block = b.CreateBlock("respond");
+    const ir::BlockId skip = b.CreateBlock("miss");
+    b.CondBr(alive, use_block, skip);
+    b.SetInsertPoint(use_block);
+    EmitBranchyWork(b, 85, 4'000);  // build the response (~340us)
+    const ir::Reg val_slot = b.Gep(item, item_ty, 2);
+    const ir::Reg val = b.Load(val_slot, val_ptr);  // R2: racy value fetch
+    const ir::InstId use = b.last_inst();
+    const ir::Reg payload_slot = b.Gep(val, val_ty, 0);
+    const ir::Reg payload = b.Load(payload_slot, i64);  // crash if reaped
+    const ir::Reg sink = b.Alloca(i64);
+    b.Store(payload, sink, i64);
+    b.Br(skip);
+    b.SetInsertPoint(skip);
+    EmitBranchyWork(b, 20, 12'000);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.push_back(check);
+    w.timing_targets.push_back(check);
+    w.truth_events.push_back(use);  // order fixed below once W is known
+    w.timing_targets.push_back(use);
+  }
+
+  const ir::FuncId reaper = b.BeginFunction("lru_reaper", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("items.c:item_unlink");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg table = b.AddrOfGlobal(g_table);
+    const ir::Reg slot = b.Gep(table, table_ty, 0);
+    const ir::Reg pre = b.Random(i64, 265, 900);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    const ir::Reg item = b.Load(slot, item_ptr);
+    const ir::Reg rc_slot = b.Gep(item, item_ty, 0);
+    b.Store(Operand::MakeImm(0), rc_slot, i64);  // drop the refcount...
+    const ir::Reg val_slot = b.Gep(item, item_ty, 2);
+    const ir::Reg victim_val = b.Load(val_slot, val_ptr);
+    b.Store(Operand::MakeImm(0), val_slot, val_ptr);  // W: reclaim the value
+    const ir::InstId kill = b.last_inst();
+    b.Free(victim_val);
+    EmitBranchyWork(b, 30, 12'000);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.insert(w.truth_events.begin() + 1, kill);  // R1, W, R2
+    w.timing_targets.insert(w.timing_targets.begin() + 1, kill);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg table = b.AddrOfGlobal(g_table);
+    const ir::Reg slot = b.Gep(table, table_ty, 0);
+    const ir::Reg item = b.Alloca(item_ty);
+    const ir::Reg rc = b.Gep(item, item_ty, 0);
+    b.Store(Operand::MakeImm(2), rc, i64);
+    const ir::Reg value = b.Alloca(val_ty);
+    const ir::Reg payload = b.Gep(value, val_ty, 0);
+    b.Store(Operand::MakeImm(99), payload, i64);
+    const ir::Reg val_slot = b.Gep(item, item_ty, 2);
+    b.Store(value, val_slot, val_ptr);
+    b.Store(item, slot, item_ptr);
+    const ir::Reg t1 = b.ThreadCreate(user, Operand::MakeImm(0));
+    const ir::Reg t2 = b.ThreadCreate(reaper, Operand::MakeImm(0));
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Apache httpd #25520 (WWR): concurrent workers log to a shared "current
+// request" slot; a worker writes its id, formats the entry, then reads the
+// slot back expecting its own id -- a remote write in between corrupts the
+// log record (detected by the readback assertion).
+// ---------------------------------------------------------------------------
+Workload BuildHttpd25520() {
+  Workload w;
+  w.name = "httpd_25520";
+  w.system = "httpd";
+  w.bug_id = "#25520";
+  w.description = "interleaved access-log writes corrupt a shared record slot";
+  w.expected_failure = rt::FailureKind::kAssert;
+  w.bug_kind = core::PatternKind::kAtomicityWWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* log_ty = m.types().StructType("AccessLog", {i64, i64});  // {current, written}
+
+  const ir::GlobalId g_log = b.CreateGlobal("access_log", log_ty);
+
+  const ir::FuncId worker = b.BeginFunction("log_worker", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("mod_log_config.c:worker");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg my_id = b.Add(b.Param(0), 100, i64);
+    const ir::Reg log = b.AddrOfGlobal(g_log);
+    const ir::Reg cur_slot = b.Gep(log, log_ty, 0);
+    // Handle an input-sized batch of requests, then log the expensive one.
+    const ir::Reg batch = b.Random(i64, 250, 990);
+    EmitBranchyWorkDyn(b, batch, 4'000);
+    b.Store(my_id, cur_slot, i64);   // W1: claim the record slot
+    const ir::InstId claim = b.last_inst();
+    EmitBranchyWork(b, 100, 4'000);  // format the entry (~400us window)
+    const ir::Reg back = b.Load(cur_slot, i64);  // R: read the slot back
+    const ir::InstId readback = b.last_inst();
+    const ir::Reg mine = b.Cmp(CmpKind::kEq, Operand::MakeReg(back), Operand::MakeReg(my_id));
+    b.Assert(mine);  // fails when another worker clobbered the slot
+    EmitBranchyWork(b, 25, 11'000);
+    b.RetVoid();
+    b.EndFunction();
+    // Both threads run this code: the same static claim-store serves as W1
+    // (victim) and the remote W2.
+    w.truth_events = {claim, claim, readback};
+    w.timing_targets = {claim, claim, readback};
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg t1 = b.ThreadCreate(worker, Operand::MakeImm(1));
+    const ir::Reg t2 = b.ThreadCreate(worker, Operand::MakeImm(2));
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Apache httpd #21287 (RWW): the cache janitor nulls an entry while a worker
+// is between its null-check and its store through the re-read handle -- the
+// failing access is the store (check-then-store atomicity violation).
+// ---------------------------------------------------------------------------
+Workload BuildHttpd21287() {
+  Workload w;
+  w.name = "httpd_21287";
+  w.system = "httpd";
+  w.bug_id = "#21287";
+  w.description = "mod_mem_cache entry nulled between a worker's check and its store";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kAtomicityRWW;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* entry_ty = m.types().StructType("CacheEntry", {i64, i64});  // {hits, bytes}
+  const ir::Type* entry_ptr = m.types().PointerTo(entry_ty);
+  const ir::Type* cache_ty = m.types().StructType("MemCache", {entry_ptr, i64});
+
+  const ir::GlobalId g_cache = b.CreateGlobal("mem_cache", cache_ty);
+
+  const ir::FuncId worker = b.BeginFunction("cache_worker", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("mod_mem_cache.c:worker");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg cache = b.AddrOfGlobal(g_cache);
+    const ir::Reg slot = b.Gep(cache, cache_ty, 0);
+    const ir::Reg pre = b.Random(i64, 210, 930);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    EmitFieldBump(b, cache, cache_ty, 1);  // lookups counter
+    EmitFieldBump(b, cache, cache_ty, 1);
+    EmitFieldBump(b, cache, cache_ty, 1);
+    const ir::Reg e1 = b.Load(slot, entry_ptr);  // R: the check
+    const ir::InstId check = b.last_inst();
+    const ir::Reg cached = b.Cmp(CmpKind::kNe, Operand::MakeReg(e1), Operand::MakeImm(0));
+    const ir::BlockId hit = b.CreateBlock("hit");
+    const ir::BlockId miss = b.CreateBlock("miss");
+    b.CondBr(cached, hit, miss);
+    b.SetInsertPoint(hit);
+    EmitBranchyWork(b, 85, 4'000);  // serve from cache (~340us)
+    const ir::Reg e2 = b.Load(slot, entry_ptr);
+    const ir::Reg hits_slot = b.Gep(e2, entry_ty, 0);
+    b.Store(Operand::MakeImm(1), hits_slot, i64);  // W: crash when janitor hit
+    const ir::InstId bump = b.last_inst();
+    b.Br(miss);
+    b.SetInsertPoint(miss);
+    EmitBranchyWork(b, 22, 12'000);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.push_back(check);
+    w.truth_events.push_back(bump);  // W (remote) inserted between below
+    w.timing_targets.push_back(check);
+    w.timing_targets.push_back(bump);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("mod_mem_cache.c:janitor");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg cache = b.AddrOfGlobal(g_cache);
+    const ir::Reg slot = b.Gep(cache, cache_ty, 0);
+    const ir::Reg entry = b.Alloca(entry_ty);
+    b.Store(entry, slot, entry_ptr);
+    const ir::Reg t = b.ThreadCreate(worker, Operand::MakeImm(0));
+    const ir::Reg pre = b.Random(i64, 225, 960);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    b.Store(Operand::MakeImm(0), slot, entry_ptr);  // W: janitor drops the entry
+    w.truth_events.insert(w.truth_events.begin() + 1, b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin() + 1, b.last_inst());
+    b.Free(entry);
+    EmitBranchyWork(b, 25, 12'000);
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MySQL #644 (WRW): the prepared-statement cache is rebuilt (pointer nulled,
+// rebuilt, republished); a session thread's lookup lands inside the window
+// and its stale null faults only after the rebuild finished -- the classic
+// remote-W, local-R, remote-W sandwich.
+// ---------------------------------------------------------------------------
+Workload BuildMysql644() {
+  Workload w;
+  w.name = "mysql_644";
+  w.recommended_failing_traces = 2;
+  w.system = "MySQL";
+  w.bug_id = "#644";
+  w.description = "statement cache lookup lands inside the rebuild window; stale handle faults";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kAtomicityWRW;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* stmt_ty = m.types().StructType("Stmt", {i64, i64});
+  const ir::Type* stmt_ptr = m.types().PointerTo(stmt_ty);
+  const ir::Type* cache_ty = m.types().StructType("StmtCache", {stmt_ptr, i64});
+
+  const ir::GlobalId g_cache = b.CreateGlobal("stmt_cache", cache_ty);
+
+  const ir::FuncId session = b.BeginFunction("session_exec", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("sql_prepare.cc:session");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg cache = b.AddrOfGlobal(g_cache);
+    const ir::Reg slot = b.Gep(cache, cache_ty, 0);
+    const ir::Reg pre = b.Random(i64, 255, 960);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    EmitFieldBump(b, cache, cache_ty, 1);  // lookup counter
+    EmitFieldBump(b, cache, cache_ty, 1);
+    EmitFieldBump(b, cache, cache_ty, 1);
+    const ir::Reg stmt = b.Load(slot, stmt_ptr);  // R: the racy lookup
+    const ir::InstId lookup = b.last_inst();
+    EmitBranchyWork(b, 115, 4'000);  // bind parameters (~460us, outlives the window)
+    const ir::Reg body = b.Gep(stmt, stmt_ty, 0);
+    const ir::Reg v = b.Load(body, i64);  // crash: stale null from the window
+    const ir::Reg sink = b.Alloca(i64);
+    b.Store(v, sink, i64);
+    EmitBranchyWork(b, 18, 12'000);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.push_back(lookup);  // W1 inserted before, W2 appended after
+    w.timing_targets.push_back(lookup);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("sql_prepare.cc:rebuild");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg cache = b.AddrOfGlobal(g_cache);
+    const ir::Reg slot = b.Gep(cache, cache_ty, 0);
+    const ir::Reg original = b.Alloca(stmt_ty);
+    b.Store(original, slot, stmt_ptr);
+    const ir::Reg t = b.ThreadCreate(session, Operand::MakeImm(0));
+    const ir::Reg pre = b.Random(i64, 270, 990);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    b.Store(Operand::MakeImm(0), slot, stmt_ptr);  // W1: begin rebuild
+    w.truth_events.insert(w.truth_events.begin(), b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin(), b.last_inst());
+    EmitBranchyWork(b, 80, 4'000);  // rebuild (~320us window)
+    const ir::Reg rebuilt = b.Alloca(stmt_ty);
+    b.Store(rebuilt, slot, stmt_ptr);  // W2: republish
+    w.truth_events.push_back(b.last_inst());
+    w.timing_targets.push_back(b.last_inst());
+    EmitBranchyWork(b, 30, 12'000);
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// aget (WRW): the SIGINT save path reads the download progress while a worker
+// is mid-update (chunk pointer cleared, recomputed, restored); the stale
+// handle faults when the resume file is written after the window closed.
+// ---------------------------------------------------------------------------
+Workload BuildAget() {
+  Workload w;
+  w.name = "aget_main";
+  w.system = "aget";
+  w.bug_id = "N/A";
+  w.description = "SIGINT save reads progress mid-update; stale chunk handle faults later";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kAtomicityWRW;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* chunk_ty = m.types().StructType("Chunk", {i64, i64});
+  const ir::Type* chunk_ptr = m.types().PointerTo(chunk_ty);
+  const ir::Type* prog_ty = m.types().StructType("Progress", {chunk_ptr, i64});
+
+  const ir::GlobalId g_progress = b.CreateGlobal("progress", prog_ty);
+
+  const ir::FuncId saver = b.BeginFunction("sigint_save", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("Signal.c:save");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg prog = b.AddrOfGlobal(g_progress);
+    const ir::Reg slot = b.Gep(prog, prog_ty, 0);
+    const ir::Reg pre = b.Random(i64, 245, 880);
+    EmitBranchyWorkDyn(b, pre, 4'000);  // the user hits ctrl-c at a random time
+    EmitFieldBump(b, prog, prog_ty, 1);  // bytes-downloaded counter
+    EmitFieldBump(b, prog, prog_ty, 1);
+    EmitFieldBump(b, prog, prog_ty, 1);
+    const ir::Reg chunk = b.Load(slot, chunk_ptr);  // R: the racy snapshot
+    const ir::InstId snap = b.last_inst();
+    EmitBranchyWork(b, 115, 4'000);  // serialize state (~460us, outlives window)
+    const ir::Reg off = b.Gep(chunk, chunk_ty, 0);
+    const ir::Reg v = b.Load(off, i64);  // crash: stale null snapshot
+    const ir::Reg sink = b.Alloca(i64);
+    b.Store(v, sink, i64);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.push_back(snap);
+    w.timing_targets.push_back(snap);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("Download.c:updater");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg prog = b.AddrOfGlobal(g_progress);
+    const ir::Reg slot = b.Gep(prog, prog_ty, 0);
+    const ir::Reg first = b.Alloca(chunk_ty);
+    b.Store(first, slot, chunk_ptr);
+    const ir::Reg t = b.ThreadCreate(saver, Operand::MakeImm(0));
+    const ir::Reg pre = b.Random(i64, 260, 910);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    b.Store(Operand::MakeImm(0), slot, chunk_ptr);  // W1: begin chunk switch
+    w.truth_events.insert(w.truth_events.begin(), b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin(), b.last_inst());
+    EmitBranchyWork(b, 70, 4'000);  // fetch next chunk metadata (~280us window)
+    const ir::Reg next = b.Alloca(chunk_ty);
+    b.Store(next, slot, chunk_ptr);  // W2: restore
+    w.truth_events.push_back(b.last_inst());
+    w.timing_targets.push_back(b.last_inst());
+    EmitBranchyWork(b, 35, 11'000);
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Apache Groovy #3557-style (RWR, Java subject): the metaclass registry entry
+// is checked, invalidated by a registry flush, and dereferenced. A third
+// (benign) thread exercises unrelated state for trace realism.
+// ---------------------------------------------------------------------------
+Workload BuildGroovy3557() {
+  Workload w;
+  w.name = "groovy_3557";
+  w.system = "Groovy";
+  w.bug_id = "#3557";
+  w.description = "metaclass entry checked, flushed by the registry, then dereferenced";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kAtomicityRWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* meta_ty = m.types().StructType("MetaClass", {i64, i64, i64});
+  const ir::Type* meta_ptr = m.types().PointerTo(meta_ty);
+  const ir::Type* registry_ty = m.types().StructType("Registry", {meta_ptr, i64});
+
+  const ir::GlobalId g_registry = b.CreateGlobal("metaclass_registry", registry_ty);
+  const ir::GlobalId g_stats = b.CreateGlobal("dispatch_stats", i64);
+
+  const ir::FuncId caller = b.BeginFunction("method_dispatch", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("MetaClassRegistry.java:dispatch");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg registry = b.AddrOfGlobal(g_registry);
+    const ir::Reg slot = b.Gep(registry, registry_ty, 0);
+    const ir::Reg pre = b.Random(i64, 190, 850);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    EmitFieldBump(b, registry, registry_ty, 1);  // dispatch counter
+    EmitFieldBump(b, registry, registry_ty, 1);
+    EmitFieldBump(b, registry, registry_ty, 1);
+    const ir::Reg mc1 = b.Load(slot, meta_ptr);  // R1
+    const ir::InstId check = b.last_inst();
+    const ir::Reg ok = b.Cmp(CmpKind::kNe, Operand::MakeReg(mc1), Operand::MakeImm(0));
+    const ir::BlockId invoke = b.CreateBlock("invoke");
+    const ir::BlockId bail = b.CreateBlock("bail");
+    b.CondBr(ok, invoke, bail);
+    b.SetInsertPoint(invoke);
+    EmitBranchyWork(b, 80, 4'000);  // pick the method (~320us)
+    const ir::Reg mc2 = b.Load(slot, meta_ptr);  // R2
+    const ir::InstId use = b.last_inst();
+    const ir::Reg impl = b.Gep(mc2, meta_ty, 1);
+    const ir::Reg v = b.Load(impl, i64);  // crash on flushed entry
+    const ir::Reg sink = b.Alloca(i64);
+    b.Store(v, sink, i64);
+    b.Br(bail);
+    b.SetInsertPoint(bail);
+    EmitBranchyWork(b, 20, 10'000);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.push_back(check);
+    w.truth_events.push_back(use);
+    w.timing_targets.push_back(check);
+    w.timing_targets.push_back(use);
+  }
+
+  const ir::FuncId bystander = b.BeginFunction("gc_logger", m.types().VoidType(), {i64});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg stats = b.AddrOfGlobal(g_stats);
+    const ir::Reg iters = b.Random(i64, 120, 260);
+    EmitBranchyWorkDyn(b, iters, 10'000);
+    const ir::Reg v = b.Load(stats, i64);
+    b.Store(b.Add(v, 1, i64), stats, i64);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("MetaClassRegistry.java:flush");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg registry = b.AddrOfGlobal(g_registry);
+    const ir::Reg slot = b.Gep(registry, registry_ty, 0);
+    const ir::Reg mc = b.Alloca(meta_ty);
+    b.Store(mc, slot, meta_ptr);
+    const ir::Reg t1 = b.ThreadCreate(caller, Operand::MakeImm(0));
+    const ir::Reg t2 = b.ThreadCreate(bystander, Operand::MakeImm(0));
+    const ir::Reg pre = b.Random(i64, 200, 880);
+    EmitBranchyWorkDyn(b, pre, 4'000);
+    b.Store(Operand::MakeImm(0), slot, meta_ptr);  // registry flush
+    w.truth_events.insert(w.truth_events.begin() + 1, b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin() + 1, b.last_inst());
+    EmitBranchyWork(b, 130, 4'000);
+    const ir::Reg fresh = b.Alloca(meta_ty);
+    b.Store(fresh, slot, meta_ptr);
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Apache Log4j #509-style (WWR, Java subject): two logger threads race on the
+// shared appender head slot (write, format, read back, verify). Same flavor
+// as httpd #25520 but through a nested configuration struct and with an extra
+// flusher thread.
+// ---------------------------------------------------------------------------
+Workload BuildLog4j509() {
+  Workload w;
+  w.name = "log4j_509";
+  w.system = "Log4j";
+  w.bug_id = "#509";
+  w.description = "two loggers race on the appender head slot; readback check fails";
+  w.expected_failure = rt::FailureKind::kAssert;
+  w.bug_kind = core::PatternKind::kAtomicityWWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* appender_ty = m.types().StructType("Appender", {i64, i64});
+  const ir::Type* appender_ptr = m.types().PointerTo(appender_ty);
+  const ir::Type* config_ty = m.types().StructType("LogConfig", {appender_ptr, i64});
+
+  const ir::GlobalId g_config = b.CreateGlobal("log_config", config_ty);
+  const ir::GlobalId g_flushed = b.CreateGlobal("flushed_bytes", i64);
+
+  const ir::FuncId logger = b.BeginFunction("logger_thread", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("AsyncAppender.java:append");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg my_id = b.Add(b.Param(0), 7000, i64);
+    const ir::Reg config = b.AddrOfGlobal(g_config);
+    const ir::Reg app_slot = b.Gep(config, config_ty, 0);
+    // Buffer an input-sized burst of events, then emit the big one.
+    const ir::Reg burst = b.Random(i64, 260, 1010);
+    EmitBranchyWorkDyn(b, burst, 4'000);
+    const ir::Reg app = b.Load(app_slot, appender_ptr);
+    const ir::Reg head = b.Gep(app, appender_ty, 0);
+    b.Store(my_id, head, i64);  // W1: claim the head slot
+    const ir::InstId claim = b.last_inst();
+    EmitBranchyWork(b, 110, 4'000);  // layout the event (~440us window)
+    const ir::Reg back = b.Load(head, i64);  // R: verify ownership
+    const ir::InstId readback = b.last_inst();
+    const ir::Reg mine = b.Cmp(CmpKind::kEq, Operand::MakeReg(back), Operand::MakeReg(my_id));
+    b.Assert(mine);
+    EmitBranchyWork(b, 28, 10'000);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events = {claim, claim, readback};
+    w.timing_targets = {claim, claim, readback};
+  }
+
+  const ir::FuncId flusher = b.BeginFunction("flusher_thread", m.types().VoidType(), {i64});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg flushed = b.AddrOfGlobal(g_flushed);
+    const ir::Reg iters = b.Random(i64, 100, 220);
+    EmitBranchyWorkDyn(b, iters, 10'000);
+    const ir::Reg v = b.Load(flushed, i64);
+    b.Store(b.Add(v, 4096, i64), flushed, i64);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg config = b.AddrOfGlobal(g_config);
+    const ir::Reg app_slot = b.Gep(config, config_ty, 0);
+    const ir::Reg app = b.Alloca(appender_ty);
+    b.Store(app, app_slot, appender_ptr);
+    const ir::Reg t1 = b.ThreadCreate(logger, Operand::MakeImm(1));
+    const ir::Reg t2 = b.ThreadCreate(logger, Operand::MakeImm(2));
+    const ir::Reg t3 = b.ThreadCreate(flusher, Operand::MakeImm(0));
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.ThreadJoin(t3);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+}  // namespace snorlax::workloads

@@ -1,0 +1,34 @@
+// Internal: per-bug workload builder declarations (implemented across the
+// dl_/ov_/av_ workload files, registered in registry.cc).
+#ifndef SNORLAX_WORKLOADS_BUILDERS_H_
+#define SNORLAX_WORKLOADS_BUILDERS_H_
+
+#include "workloads/workload.h"
+
+namespace snorlax::workloads {
+
+// Deadlocks (Table 1).
+Workload BuildSqlite1672();
+Workload BuildMysql3596();
+Workload BuildJdk8047218();
+
+// Order violations (Table 2).
+Workload BuildPbzip2();
+Workload BuildTransmission1818();
+Workload BuildMysql791();
+Workload BuildDbcp270();
+Workload BuildDerby2861();
+
+// Atomicity violations (Table 3).
+Workload BuildMysql169();
+Workload BuildMysql644();
+Workload BuildMemcached127();
+Workload BuildHttpd21287();
+Workload BuildHttpd25520();
+Workload BuildAget();
+Workload BuildGroovy3557();
+Workload BuildLog4j509();
+
+}  // namespace snorlax::workloads
+
+#endif  // SNORLAX_WORKLOADS_BUILDERS_H_

@@ -1,0 +1,83 @@
+#include "workloads/common.h"
+
+#include "support/str.h"
+
+namespace snorlax::workloads {
+
+void EmitBranchyWork(ir::IrBuilder& b, int64_t iterations, int64_t per_iter_ns) {
+  ir::Module& m = *b.module();
+  const ir::Type* i64 = m.types().IntType(64);
+  static int counter = 0;
+  const std::string tag = StrFormat("bw%d", counter++);
+
+  const ir::Reg cnt = b.Alloca(i64);
+  b.Store(ir::Operand::MakeImm(0), cnt, i64);
+  const ir::BlockId head = b.CreateBlock(tag + "_head");
+  const ir::BlockId exit = b.CreateBlock(tag + "_exit");
+  b.Br(head);
+  b.SetInsertPoint(head);
+  b.Work(per_iter_ns);
+  const ir::Reg v = b.Load(cnt, i64);
+  const ir::Reg v2 = b.Add(v, 1, i64);
+  b.Store(v2, cnt, i64);
+  const ir::Reg more = b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(v2),
+                             ir::Operand::MakeImm(iterations));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+}
+
+void EmitBranchyWorkDyn(ir::IrBuilder& b, ir::Reg iterations, int64_t per_iter_ns) {
+  ir::Module& m = *b.module();
+  const ir::Type* i64 = m.types().IntType(64);
+  static int counter = 0;
+  const std::string tag = StrFormat("bwd%d", counter++);
+
+  const ir::Reg cnt = b.Alloca(i64);
+  b.Store(ir::Operand::MakeImm(0), cnt, i64);
+  const ir::BlockId head = b.CreateBlock(tag + "_head");
+  const ir::BlockId exit = b.CreateBlock(tag + "_exit");
+  b.Br(head);
+  b.SetInsertPoint(head);
+  b.Work(per_iter_ns);
+  const ir::Reg v = b.Load(cnt, i64);
+  const ir::Reg v2 = b.Add(v, 1, i64);
+  b.Store(v2, cnt, i64);
+  const ir::Reg more = b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(v2),
+                             ir::Operand::MakeReg(iterations));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+}
+
+void EmitPhasedWork(ir::IrBuilder& b, int64_t phases, int64_t big_work_ns,
+                    int64_t small_iters, int64_t small_work_ns) {
+  ir::Module& m = *b.module();
+  const ir::Type* i64 = m.types().IntType(64);
+  static int counter = 0;
+  const std::string tag = StrFormat("ph%d", counter++);
+
+  const ir::Reg cnt = b.Alloca(i64);
+  b.Store(ir::Operand::MakeImm(0), cnt, i64);
+  const ir::BlockId head = b.CreateBlock(tag + "_head");
+  const ir::BlockId exit = b.CreateBlock(tag + "_exit");
+  b.Br(head);
+  b.SetInsertPoint(head);
+  b.Work(big_work_ns);
+  EmitBranchyWork(b, small_iters, small_work_ns);
+  const ir::Reg v = b.Load(cnt, i64);
+  const ir::Reg v2 = b.Add(v, 1, i64);
+  b.Store(v2, cnt, i64);
+  const ir::Reg more = b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(v2),
+                             ir::Operand::MakeImm(phases));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+}
+
+void EmitFieldBump(ir::IrBuilder& b, ir::Reg base_ptr, const ir::Type* struct_ty,
+                   int field) {
+  const ir::Type* i64 = b.module()->types().IntType(64);
+  const ir::Reg slot = b.Gep(base_ptr, struct_ty, field);
+  const ir::Reg v = b.Load(slot, i64);
+  b.Store(b.Add(v, 1, i64), slot, i64);
+}
+
+}  // namespace snorlax::workloads

@@ -1,0 +1,36 @@
+// Shared construction helpers for workload programs.
+#ifndef SNORLAX_WORKLOADS_COMMON_H_
+#define SNORLAX_WORKLOADS_COMMON_H_
+
+#include "ir/builder.h"
+
+namespace snorlax::workloads {
+
+// Emits a counted loop that burns `iterations * per_iter_ns` of virtual time
+// (plus jitter) while generating one conditional-branch trace event per
+// iteration -- the branchy compute kernel every real program has. The loop
+// counter lives in a private alloca, so the emitted loads/stores also give
+// the points-to analysis realistic private-memory noise.
+void EmitBranchyWork(ir::IrBuilder& b, int64_t iterations, int64_t per_iter_ns);
+
+// Like EmitBranchyWork but the iteration count comes from a register --
+// typically a Random() value, so total phase duration varies run to run the
+// way input-dependent work does in real programs.
+void EmitBranchyWorkDyn(ir::IrBuilder& b, ir::Reg iterations, int64_t per_iter_ns);
+
+// Emits `phases` phases, each being one big Work(big_work_ns) chunk followed
+// by a branchy loop of `small_iters` x small_work_ns. Big chunks dominate the
+// jitter budget (run-to-run timing variance); small iterations dominate the
+// branch-event count, mirroring real compute/IO phase structure.
+void EmitPhasedWork(ir::IrBuilder& b, int64_t phases, int64_t big_work_ns,
+                    int64_t small_iters, int64_t small_work_ns);
+
+// Emits shared-statistics traffic (load, increment, store) on `field` of the
+// struct at `base_ptr`. Real shared data structures carry mixed-type field
+// traffic; during diagnosis these integer accesses alias the racy object and
+// populate the lower type-ranking bands (the 4.6x narrowing of paper 4.3).
+void EmitFieldBump(ir::IrBuilder& b, ir::Reg base_ptr, const ir::Type* struct_ty, int field);
+
+}  // namespace snorlax::workloads
+
+#endif  // SNORLAX_WORKLOADS_COMMON_H_

@@ -1,0 +1,244 @@
+// Deadlock workloads (Table 1 of the paper).
+//
+// Each models a classic lock-order inversion from the cited system. The
+// threads do input-sized branchy prework, then enter critical sections whose
+// lock acquisition order is inverted between threads; a deadlock forms when
+// the outer critical sections overlap in time, which the prework jitter makes
+// an intermittent event. The gap between the two blocking acquisition
+// attempts (Figure 1.a's delta-T) is the inner-critical-section work.
+#include "support/check.h"
+#include "workloads/builders.h"
+#include "workloads/common.h"
+
+namespace snorlax::workloads {
+
+using ir::CmpKind;
+using ir::IrBuilder;
+using ir::Operand;
+
+// ---------------------------------------------------------------------------
+// SQLite #1672: nested B-tree/pager mutexes taken in opposite orders by the
+// checkpointer and a writer connection.
+// ---------------------------------------------------------------------------
+Workload BuildSqlite1672() {
+  Workload w;
+  w.name = "sqlite_1672";
+  w.system = "SQLite";
+  w.bug_id = "#1672";
+  w.description = "pager vs btree mutex order inversion between writer and checkpointer";
+  w.expected_failure = rt::FailureKind::kDeadlock;
+  w.bug_kind = core::PatternKind::kDeadlock;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::GlobalId g_pager = b.CreateLockGlobal("pager_mutex");
+  const ir::GlobalId g_btree = b.CreateLockGlobal("btree_mutex");
+  const ir::GlobalId g_pages = b.CreateGlobal("page_count", i64);
+
+  // Writer: random prework, then pager -> btree.
+  const ir::FuncId writer = b.BeginFunction("sqlite_writer", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("pager.c:writer");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg pre = b.Random(i64, 150, 560);
+    EmitBranchyWorkDyn(b, pre, 10'000);
+    const ir::Reg pager = b.AddrOfGlobal(g_pager);
+    b.LockAcquire(pager);
+    w.truth_events.push_back(b.last_inst());  // held: pager by writer
+    EmitBranchyWork(b, 30, 22'000);  // ~660us inside the pager section
+    const ir::Reg btree = b.AddrOfGlobal(g_btree);
+    b.LockAcquire(btree);
+    w.truth_events.push_back(b.last_inst());  // attempt: btree by writer
+    w.timing_targets.push_back(b.last_inst());  // Figure 1.a: first attempt
+    const ir::Reg pages = b.AddrOfGlobal(g_pages);
+    const ir::Reg n = b.Load(pages, i64);
+    b.Store(b.Add(n, 1, i64), pages, i64);
+    b.LockRelease(btree);
+    b.LockRelease(pager);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  // Checkpointer: random prework, then btree -> pager (the inversion).
+  const ir::FuncId checkpointer =
+      b.BeginFunction("sqlite_checkpointer", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("btree.c:checkpointer");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg pre = b.Random(i64, 150, 560);
+    EmitBranchyWorkDyn(b, pre, 10'000);
+    const ir::Reg btree = b.AddrOfGlobal(g_btree);
+    b.LockAcquire(btree);
+    w.truth_events.push_back(b.last_inst());  // held: btree by checkpointer
+    EmitBranchyWork(b, 30, 22'000);
+    const ir::Reg pager = b.AddrOfGlobal(g_pager);
+    b.LockAcquire(pager);
+    w.truth_events.push_back(b.last_inst());  // attempt: pager by checkpointer
+    w.timing_targets.push_back(b.last_inst());  // Figure 1.a: second attempt
+    const ir::Reg pages = b.AddrOfGlobal(g_pages);
+    const ir::Reg n = b.Load(pages, i64);
+    b.Store(n, pages, i64);
+    b.LockRelease(pager);
+    b.LockRelease(btree);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg t1 = b.ThreadCreate(writer, Operand::MakeImm(0));
+    const ir::Reg t2 = b.ThreadCreate(checkpointer, Operand::MakeImm(0));
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MySQL #3596: LOCK_open vs THR_LOCK_charset order inversion between a query
+// thread and the table-cache flusher; the locks live inside descriptor
+// structs reached through pointers (exercising field-based lock aliasing).
+// ---------------------------------------------------------------------------
+Workload BuildMysql3596() {
+  Workload w;
+  w.name = "mysql_3596";
+  w.system = "MySQL";
+  w.bug_id = "#3596";
+  w.description = "LOCK_open vs charset lock inversion; locks reached through struct fields";
+  w.expected_failure = rt::FailureKind::kDeadlock;
+  w.bug_kind = core::PatternKind::kDeadlock;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* lock_ty = m.types().LockType();
+  // Descriptor struct: {lock, generation counter}.
+  const ir::Type* desc_ty = m.types().StructType("TableDesc", {lock_ty, i64});
+  const ir::GlobalId g_open = b.CreateGlobal("lock_open_desc", desc_ty);
+  const ir::GlobalId g_charset = b.CreateGlobal("charset_desc", desc_ty);
+
+  auto emit_party = [&](const char* name, ir::GlobalId first, ir::GlobalId second) {
+    const ir::FuncId f = b.BeginFunction(name, m.types().VoidType(), {i64});
+    b.SetDebugLocation(std::string("sql_base.cc:") + name);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg pre = b.Random(i64, 110, 540);
+    EmitBranchyWorkDyn(b, pre, 9'000);
+    const ir::Reg d1 = b.AddrOfGlobal(first);
+    const ir::Reg l1 = b.Gep(d1, desc_ty, 0);
+    b.LockAcquire(l1);
+    const ir::InstId held = b.last_inst();
+    EmitBranchyWork(b, 26, 20'000);  // ~520us holding the first lock
+    const ir::Reg d2 = b.AddrOfGlobal(second);
+    const ir::Reg l2 = b.Gep(d2, desc_ty, 0);
+    b.LockAcquire(l2);
+    const ir::InstId attempt = b.last_inst();
+    const ir::Reg gen = b.Gep(d2, desc_ty, 1);
+    const ir::Reg g = b.Load(gen, i64);
+    b.Store(b.Add(g, 1, i64), gen, i64);
+    b.LockRelease(l2);
+    b.LockRelease(l1);
+    b.RetVoid();
+    b.EndFunction();
+    w.truth_events.push_back(held);
+    w.truth_events.push_back(attempt);
+    w.timing_targets.push_back(attempt);
+    return f;
+  };
+
+  const ir::FuncId query = emit_party("mysql_query_thread", g_open, g_charset);
+  const ir::FuncId flusher = emit_party("mysql_flush_thread", g_charset, g_open);
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg t1 = b.ThreadCreate(query, Operand::MakeImm(0));
+    const ir::Reg t2 = b.ThreadCreate(flusher, Operand::MakeImm(0));
+    b.ThreadJoin(t1);
+    b.ThreadJoin(t2);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// JDK-style three-party circular wait (modeled after the class-loading
+// deadlocks in the JaConTeBe suite): A takes L1 then L2, B takes L2 then L3,
+// C takes L3 then L1.
+// ---------------------------------------------------------------------------
+Workload BuildJdk8047218() {
+  Workload w;
+  w.name = "jdk_8047218";
+  w.system = "JDK";
+  w.bug_id = "8047218";
+  w.description = "three-thread circular wait across class-loader locks";
+  w.expected_failure = rt::FailureKind::kDeadlock;
+  w.bug_kind = core::PatternKind::kDeadlock;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::GlobalId locks[3] = {
+      b.CreateLockGlobal("loader_a_lock"),
+      b.CreateLockGlobal("loader_b_lock"),
+      b.CreateLockGlobal("loader_c_lock"),
+  };
+  const ir::GlobalId g_loaded = b.CreateGlobal("classes_loaded", i64);
+
+  ir::FuncId funcs[3];
+  const char* names[3] = {"loader_a", "loader_b", "loader_c"};
+  for (int i = 0; i < 3; ++i) {
+    funcs[i] = b.BeginFunction(names[i], m.types().VoidType(), {i64});
+    b.SetDebugLocation(std::string("ClassLoader.java:") + names[i]);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg pre = b.Random(i64, 90, 450);
+    EmitBranchyWorkDyn(b, pre, 9'000);
+    const ir::Reg own = b.AddrOfGlobal(locks[i]);
+    b.LockAcquire(own);
+    w.truth_events.push_back(b.last_inst());
+    EmitBranchyWork(b, 34, 20'000);  // ~680us resolving the class
+    const ir::Reg next = b.AddrOfGlobal(locks[(i + 1) % 3]);
+    b.LockAcquire(next);
+    w.truth_events.push_back(b.last_inst());
+    if (i < 2) {
+      w.timing_targets.push_back(b.last_inst());
+    }
+    const ir::Reg counter = b.AddrOfGlobal(g_loaded);
+    const ir::Reg n = b.Load(counter, i64);
+    b.Store(b.Add(n, 1, i64), counter, i64);
+    b.LockRelease(next);
+    b.LockRelease(own);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    ir::Reg handles[3];
+    for (int i = 0; i < 3; ++i) {
+      handles[i] = b.ThreadCreate(funcs[i], Operand::MakeImm(i));
+    }
+    for (int i = 0; i < 3; ++i) {
+      b.ThreadJoin(handles[i]);
+    }
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+}  // namespace snorlax::workloads

@@ -1,0 +1,405 @@
+#include "workloads/generator.h"
+
+#include <functional>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "workloads/common.h"
+
+namespace snorlax::workloads {
+
+namespace {
+
+using ir::CmpKind;
+using ir::IrBuilder;
+using ir::Operand;
+
+// Generation context: the shared-state shape all bug templates build on.
+struct Gen {
+  Rng rng;
+  Workload* w;
+  IrBuilder b;
+  const ir::Type* i64;
+  const ir::Type* payload_ty;   // randomized payload struct
+  const ir::Type* payload_ptr;
+  const ir::Type* box_ty;       // holder struct: {payload*, counters...}
+  ir::GlobalId g_box;
+  ir::GlobalId g_noise;
+  int payload_fields;
+  int box_counters;
+
+  Gen(const GeneratorOptions& options, Workload* workload)
+      : rng(options.seed), w(workload), b(workload->module.get()) {
+    ir::Module& m = *w->module;
+    i64 = m.types().IntType(64);
+    payload_fields = static_cast<int>(2 + rng.NextBelow(3));
+    std::vector<const ir::Type*> fields(static_cast<size_t>(payload_fields), i64);
+    payload_ty = m.types().StructType(StrFormat("Payload%llu",
+                                                (unsigned long long)options.seed),
+                                      fields);
+    payload_ptr = m.types().PointerTo(payload_ty);
+    box_counters = static_cast<int>(1 + rng.NextBelow(3));
+    std::vector<const ir::Type*> box_fields = {payload_ptr};
+    for (int i = 0; i < box_counters; ++i) {
+      box_fields.push_back(i64);
+    }
+    box_ty = m.types().StructType(StrFormat("Box%llu", (unsigned long long)options.seed),
+                                  box_fields);
+    g_box = b.CreateGlobal("shared_box", box_ty);
+    g_noise = b.CreateGlobal("noise_counter", i64);
+  }
+
+  // Random branchy phase: `span_us` of 4us iterations plus jitterable length.
+  void Prework(int64_t min_us, int64_t max_us) {
+    const ir::Reg iters = b.Random(i64, min_us / 4, max_us / 4);
+    EmitBranchyWorkDyn(b, iters, 4'000);
+  }
+
+  void FixedWork(int64_t span_us) { EmitBranchyWork(b, span_us / 4, 4'000); }
+
+  void CounterNoise(ir::Reg box) {
+    const int n = static_cast<int>(1 + rng.NextBelow(3));
+    for (int i = 0; i < n; ++i) {
+      EmitFieldBump(b, box, box_ty, 1 + static_cast<int>(rng.NextBelow(box_counters)));
+    }
+  }
+};
+
+// Wraps "load the payload pointer from the box" in `depth` helper functions,
+// returning the function to call; records the racy load instruction.
+ir::FuncId EmitLoadHelper(Gen& g, int depth, ir::InstId* racy_load) {
+  // Build inner levels first (candidates must be found interprocedurally).
+  ir::FuncId inner = ir::kInvalidFuncId;
+  if (depth > 1) {
+    inner = EmitLoadHelper(g, depth - 1, racy_load);
+  }
+  IrBuilder& b = g.b;
+  const std::string name = StrFormat("fetch_payload_d%d", depth);
+  const ir::Type* box_ptr = g.w->module->types().PointerTo(g.box_ty);
+  const ir::FuncId f = b.BeginFunction(name, g.payload_ptr, {box_ptr});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  if (inner != ir::kInvalidFuncId) {
+    const ir::Reg out = b.Call(inner, std::vector<ir::Reg>{b.Param(0)}, g.payload_ptr);
+    b.Ret(out);
+  } else {
+    const ir::Reg slot = b.Gep(b.Param(0), g.box_ty, 0);
+    const ir::Reg loaded = b.Load(slot, g.payload_ptr);
+    *racy_load = b.last_inst();
+    b.Ret(loaded);
+  }
+  b.EndFunction();
+  return f;
+}
+
+void EmitBenignThreads(Gen& g, int count, std::vector<ir::FuncId>* funcs) {
+  for (int i = 0; i < count; ++i) {
+    const ir::FuncId f = g.b.BeginFunction(StrFormat("benign_%d", i),
+                                           g.w->module->types().VoidType(), {g.i64});
+    g.b.SetInsertPoint(g.b.CreateBlock("entry"));
+    g.Prework(800, 4000);
+    const ir::Reg p = g.b.AddrOfGlobal(g.g_noise);
+    const ir::Reg v = g.b.Load(p, g.i64);
+    g.b.Store(g.b.Add(v, 1, g.i64), p, g.i64);
+    g.b.RetVoid();
+    g.b.EndFunction();
+    funcs->push_back(f);
+  }
+}
+
+void EmitMainSkeleton(Gen& g, const std::vector<ir::FuncId>& threads,
+                      const std::function<void(ir::Reg box, ir::Reg slot)>& before_spawn,
+                      const std::function<void(ir::Reg box, ir::Reg slot)>& after_spawn) {
+  IrBuilder& b = g.b;
+  b.BeginFunction("main", g.w->module->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const ir::Reg box = b.AddrOfGlobal(g.g_box);
+  const ir::Reg slot = b.Gep(box, g.box_ty, 0);
+  before_spawn(box, slot);
+  std::vector<ir::Reg> handles;
+  for (size_t i = 0; i < threads.size(); ++i) {
+    handles.push_back(b.ThreadCreate(threads[i], Operand::MakeImm(static_cast<int64_t>(i))));
+  }
+  after_spawn(box, slot);
+  for (ir::Reg h : handles) {
+    b.ThreadJoin(h);
+  }
+  b.RetVoid();
+  b.EndFunction();
+}
+
+// Publishes a fresh payload into the slot (main's setup).
+ir::Reg EmitPublish(Gen& g, ir::Reg slot) {
+  const ir::Reg payload = g.b.Alloca(g.payload_ty);
+  const ir::Reg field = g.b.Gep(payload, g.payload_ty, 0);
+  g.b.Store(Operand::MakeImm(static_cast<int64_t>(g.rng.NextBelow(100))), field, g.i64);
+  g.b.Store(payload, slot, g.payload_ptr);
+  return payload;
+}
+
+// --------------------------------------------------------------------------
+// kInvalidationRace: victim loops fetch+use; main tears the payload down at
+// an input-sized time near the victim's total runtime.
+// --------------------------------------------------------------------------
+void GenerateInvalidation(Gen& g, const GeneratorOptions& options) {
+  Workload& w = *g.w;
+  ir::InstId racy_load = ir::kInvalidInstId;
+  const ir::FuncId fetch = EmitLoadHelper(g, std::max(1, options.helper_depth), &racy_load);
+  const int64_t iters = static_cast<int64_t>(25 + g.rng.NextBelow(20));
+  const int64_t iter_us = static_cast<int64_t>(360 + g.rng.NextBelow(200));
+
+  IrBuilder& b = g.b;
+  const ir::FuncId victim = b.BeginFunction("victim", w.module->types().VoidType(), {g.i64});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg box = b.AddrOfGlobal(g.g_box);
+    const ir::Reg cnt = b.Alloca(g.i64);
+    const ir::Reg sink = b.Alloca(g.i64);
+    b.Store(Operand::MakeImm(0), cnt, g.i64);
+    const ir::BlockId loop = b.CreateBlock("serve");
+    const ir::BlockId done = b.CreateBlock("served");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    g.FixedWork(iter_us);
+    g.CounterNoise(box);
+    const ir::Reg payload = b.Call(fetch, std::vector<ir::Reg>{box}, g.payload_ptr);
+    const ir::Reg field = b.Gep(payload, g.payload_ty, 0);
+    const ir::Reg v = b.Load(field, g.i64);  // crash after the teardown
+    w.truth_events.push_back(b.last_inst());
+    const ir::InstId use = b.last_inst();
+    b.Store(v, sink, g.i64);
+    const ir::Reg c = b.Load(cnt, g.i64);
+    const ir::Reg c2 = b.Add(c, 1, g.i64);
+    b.Store(c2, cnt, g.i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(c2), Operand::MakeImm(iters));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+    (void)use;
+  }
+
+  std::vector<ir::FuncId> threads = {victim};
+  EmitBenignThreads(g, options.benign_threads, &threads);
+
+  const int64_t victim_total_us = iters * iter_us;
+  EmitMainSkeleton(
+      g, threads, [&](ir::Reg, ir::Reg slot) { EmitPublish(g, slot); },
+      [&](ir::Reg, ir::Reg slot) {
+        // Teardown lands in [93%, 108%] of the victim's runtime.
+        const int64_t lo = victim_total_us * 93 / 100;
+        const int64_t hi = victim_total_us * 108 / 100;
+        g.Prework(lo, hi);
+        g.b.Store(Operand::MakeImm(0), slot, g.payload_ptr);
+        w.truth_events.insert(w.truth_events.begin(), g.b.last_inst());
+      });
+  w.timing_targets = {w.truth_events[0], racy_load};
+  w.bug_kind = core::PatternKind::kOrderViolationWR;
+  w.expected_failure = rt::FailureKind::kCrash;
+}
+
+// --------------------------------------------------------------------------
+// kCheckThenUse: single-shot check/use straddled by a remote null-rebuild-
+// publish window.
+// --------------------------------------------------------------------------
+void GenerateCheckThenUse(Gen& g, const GeneratorOptions& options) {
+  Workload& w = *g.w;
+  ir::InstId racy_load = ir::kInvalidInstId;
+  const ir::FuncId fetch = EmitLoadHelper(g, std::max(1, options.helper_depth), &racy_load);
+  const int64_t gap_us = static_cast<int64_t>(180 + g.rng.NextBelow(160));
+  const int64_t window_us = gap_us + 260 + static_cast<int64_t>(g.rng.NextBelow(240));
+
+  IrBuilder& b = g.b;
+  const ir::FuncId victim = b.BeginFunction("victim", w.module->types().VoidType(), {g.i64});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg box = b.AddrOfGlobal(g.g_box);
+    g.Prework(900, 3600);
+    g.CounterNoise(box);
+    const ir::Reg p1 = b.Call(fetch, std::vector<ir::Reg>{box}, g.payload_ptr);
+    const ir::InstId check_site = racy_load;  // first dynamic instance = check
+    const ir::Reg ok = b.Cmp(CmpKind::kNe, Operand::MakeReg(p1), Operand::MakeImm(0));
+    const ir::BlockId use_b = b.CreateBlock("use");
+    const ir::BlockId skip = b.CreateBlock("skip");
+    b.CondBr(ok, use_b, skip);
+    b.SetInsertPoint(use_b);
+    g.FixedWork(gap_us);
+    const ir::Reg p2 = b.Call(fetch, std::vector<ir::Reg>{box}, g.payload_ptr);
+    const ir::Reg field = b.Gep(p2, g.payload_ty, 0);
+    const ir::Reg v = b.Load(field, g.i64);
+    const ir::Reg sink = b.Alloca(g.i64);
+    b.Store(v, sink, g.i64);
+    b.Br(skip);
+    b.SetInsertPoint(skip);
+    g.FixedWork(200);
+    b.RetVoid();
+    b.EndFunction();
+    // Truth: check (racy load), remote null store (below), re-read (same
+    // static load, second dynamic instance).
+    w.truth_events = {check_site, ir::kInvalidInstId, check_site};
+  }
+
+  std::vector<ir::FuncId> threads = {victim};
+  EmitBenignThreads(g, options.benign_threads, &threads);
+
+  EmitMainSkeleton(
+      g, threads, [&](ir::Reg, ir::Reg slot) { EmitPublish(g, slot); },
+      [&](ir::Reg, ir::Reg slot) {
+        g.Prework(900, 3600);
+        g.b.Store(Operand::MakeImm(0), slot, g.payload_ptr);  // begin swap
+        w.truth_events[1] = g.b.last_inst();
+        g.FixedWork(window_us);
+        EmitPublish(g, slot);  // publish the rebuilt payload
+      });
+  w.timing_targets = {racy_load, w.truth_events[1], racy_load};
+  w.bug_kind = core::PatternKind::kAtomicityRWR;
+  w.expected_failure = rt::FailureKind::kCrash;
+}
+
+// --------------------------------------------------------------------------
+// kStoreThroughStale: the victim stores through a re-fetched handle; the
+// remote eviction nulls it first (the failing access is a write).
+// --------------------------------------------------------------------------
+void GenerateStoreThroughStale(Gen& g, const GeneratorOptions& options) {
+  Workload& w = *g.w;
+  ir::InstId racy_load = ir::kInvalidInstId;
+  const ir::FuncId fetch = EmitLoadHelper(g, std::max(1, options.helper_depth), &racy_load);
+  const int64_t iters = static_cast<int64_t>(25 + g.rng.NextBelow(20));
+  const int64_t iter_us = static_cast<int64_t>(340 + g.rng.NextBelow(200));
+
+  IrBuilder& b = g.b;
+  const ir::FuncId victim = b.BeginFunction("victim", w.module->types().VoidType(), {g.i64});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg box = b.AddrOfGlobal(g.g_box);
+    const ir::Reg cnt = b.Alloca(g.i64);
+    b.Store(Operand::MakeImm(0), cnt, g.i64);
+    const ir::BlockId loop = b.CreateBlock("update");
+    const ir::BlockId done = b.CreateBlock("updated");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    g.FixedWork(iter_us);
+    g.CounterNoise(box);
+    const ir::Reg payload = b.Call(fetch, std::vector<ir::Reg>{box}, g.payload_ptr);
+    const ir::Reg field = b.Gep(payload, g.payload_ty, g.payload_fields - 1);
+    b.Store(Operand::MakeImm(1), field, g.i64);  // the failing write
+    w.truth_events.push_back(b.last_inst());
+    const ir::Reg c = b.Load(cnt, g.i64);
+    const ir::Reg c2 = b.Add(c, 1, g.i64);
+    b.Store(c2, cnt, g.i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(c2), Operand::MakeImm(iters));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  std::vector<ir::FuncId> threads = {victim};
+  EmitBenignThreads(g, options.benign_threads, &threads);
+
+  const int64_t victim_total_us = iters * iter_us;
+  EmitMainSkeleton(
+      g, threads, [&](ir::Reg, ir::Reg slot) { EmitPublish(g, slot); },
+      [&](ir::Reg, ir::Reg slot) {
+        const int64_t lo = victim_total_us * 93 / 100;
+        const int64_t hi = victim_total_us * 108 / 100;
+        g.Prework(lo, hi);
+        g.b.Store(Operand::MakeImm(0), slot, g.payload_ptr);  // evict
+        w.truth_events.insert(w.truth_events.begin(), g.b.last_inst());
+      });
+  w.timing_targets = {w.truth_events[0], racy_load};
+  w.bug_kind = core::PatternKind::kOrderViolationWW;
+  w.expected_failure = rt::FailureKind::kCrash;
+}
+
+// --------------------------------------------------------------------------
+// kLockInversion: two workers take two randomly shaped locks in opposite
+// orders after input-sized prework.
+// --------------------------------------------------------------------------
+void GenerateLockInversion(Gen& g, const GeneratorOptions& options) {
+  Workload& w = *g.w;
+  IrBuilder& b = g.b;
+  const ir::GlobalId la = b.CreateLockGlobal("gen_lock_a");
+  const ir::GlobalId lb = b.CreateLockGlobal("gen_lock_b");
+  const int64_t cs_us = static_cast<int64_t>(320 + g.rng.NextBelow(400));
+  const int64_t pre_lo = static_cast<int64_t>(900 + g.rng.NextBelow(400));
+  const int64_t pre_hi = pre_lo + 2600 + static_cast<int64_t>(g.rng.NextBelow(1800));
+
+  auto party = [&](const char* name, ir::GlobalId first, ir::GlobalId second) {
+    const ir::FuncId f = b.BeginFunction(name, w.module->types().VoidType(), {g.i64});
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    g.Prework(pre_lo, pre_hi);
+    const ir::Reg l1 = b.AddrOfGlobal(first);
+    b.LockAcquire(l1);
+    w.truth_events.push_back(b.last_inst());
+    g.FixedWork(cs_us);
+    const ir::Reg l2 = b.AddrOfGlobal(second);
+    b.LockAcquire(l2);
+    w.truth_events.push_back(b.last_inst());
+    w.timing_targets.push_back(b.last_inst());
+    const ir::Reg box = b.AddrOfGlobal(g.g_box);
+    g.CounterNoise(box);
+    b.LockRelease(l2);
+    b.LockRelease(l1);
+    b.RetVoid();
+    b.EndFunction();
+    return f;
+  };
+  std::vector<ir::FuncId> threads = {party("gen_worker_ab", la, lb),
+                                     party("gen_worker_ba", lb, la)};
+  EmitBenignThreads(g, options.benign_threads, &threads);
+  EmitMainSkeleton(
+      g, threads, [&](ir::Reg, ir::Reg slot) { EmitPublish(g, slot); },
+      [&](ir::Reg, ir::Reg) {});
+  w.bug_kind = core::PatternKind::kDeadlock;
+  w.expected_failure = rt::FailureKind::kDeadlock;
+}
+
+}  // namespace
+
+core::PatternKind ExpectedKind(GeneratedBug bug) {
+  switch (bug) {
+    case GeneratedBug::kInvalidationRace:
+      return core::PatternKind::kOrderViolationWR;
+    case GeneratedBug::kCheckThenUse:
+      return core::PatternKind::kAtomicityRWR;
+    case GeneratedBug::kStoreThroughStale:
+      return core::PatternKind::kOrderViolationWW;
+    case GeneratedBug::kLockInversion:
+      return core::PatternKind::kDeadlock;
+  }
+  return core::PatternKind::kOrderViolationWR;
+}
+
+Workload GenerateWorkload(const GeneratorOptions& options) {
+  Workload w;
+  w.name = StrFormat("generated_%llu", (unsigned long long)options.seed);
+  w.system = "generated";
+  w.bug_id = StrFormat("seed-%llu", (unsigned long long)options.seed);
+  w.module = std::make_unique<ir::Module>();
+  w.interp.work_jitter = 0.04;
+  w.recommended_failing_traces = 2;  // randomized windows: be conservative
+
+  Gen g(options, &w);
+  switch (options.bug) {
+    case GeneratedBug::kInvalidationRace:
+      w.description = "generated invalidation race";
+      GenerateInvalidation(g, options);
+      break;
+    case GeneratedBug::kCheckThenUse:
+      w.description = "generated check-then-use atomicity violation";
+      GenerateCheckThenUse(g, options);
+      break;
+    case GeneratedBug::kStoreThroughStale:
+      w.description = "generated store-through-stale-handle race";
+      GenerateStoreThroughStale(g, options);
+      break;
+    case GeneratedBug::kLockInversion:
+      w.description = "generated lock-order inversion";
+      GenerateLockInversion(g, options);
+      break;
+  }
+  return w;
+}
+
+}  // namespace snorlax::workloads

@@ -1,0 +1,467 @@
+// Order-violation workloads (Table 2 of the paper).
+//
+// Common shape: a victim thread repeatedly uses a shared resource through a
+// published pointer; another thread invalidates the resource (teardown,
+// shutdown, rotation) whose timing is input-dependent. The bug manifests when
+// the invalidating write lands before the victim's use -- the W-then-R (or
+// W-then-W) order the program's correctness forbids.
+#include "support/check.h"
+#include "workloads/builders.h"
+#include "workloads/common.h"
+
+namespace snorlax::workloads {
+
+using ir::CmpKind;
+using ir::IrBuilder;
+using ir::Operand;
+
+// ---------------------------------------------------------------------------
+// pbzip2: main tears down the shared FIFO while a consumer still drains it.
+// ---------------------------------------------------------------------------
+Workload BuildPbzip2() {
+  Workload w;
+  w.name = "pbzip2_main";
+  w.system = "pbzip2";
+  w.bug_id = "N/A";
+  w.description = "main frees the shared FIFO queue while the consumer still reads it";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kOrderViolationWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* queue_ty = m.types().StructType("Queue", {i64, i64});  // {head, size}
+  const ir::Type* queue_ptr = m.types().PointerTo(queue_ty);
+  const ir::Type* box_ty = m.types().StructType("FifoBox", {queue_ptr, i64, i64});
+
+  const ir::GlobalId g_fifo = b.CreateGlobal("fifo", box_ty);
+
+  const ir::FuncId consumer = b.BeginFunction("consumer", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("pbzip2.c:consumer");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg box = b.AddrOfGlobal(g_fifo);
+    const ir::Reg qslot = b.Gep(box, box_ty, 0);
+    const ir::Reg sink = b.Alloca(i64);
+    const ir::Reg cnt = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), cnt, i64);
+
+    const ir::BlockId loop = b.CreateBlock("drain");
+    const ir::BlockId done = b.CreateBlock("done");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    EmitBranchyWork(b, 24, 25'000);  // decompress one block (~600us)
+    EmitFieldBump(b, box, box_ty, 1);  // blocks_done counter
+    EmitFieldBump(b, box, box_ty, 1);
+    EmitFieldBump(b, box, box_ty, 1);
+    EmitFieldBump(b, box, box_ty, 2);  // bytes_out counter
+    EmitFieldBump(b, box, box_ty, 2);
+    EmitFieldBump(b, box, box_ty, 2);
+    const ir::Reg q = b.Load(qslot, queue_ptr);
+    const ir::InstId racy_read = b.last_inst();
+    const ir::Reg head_slot = b.Gep(q, queue_ty, 0);
+    const ir::Reg head = b.Load(head_slot, i64);
+    w.truth_events.push_back(b.last_inst());  // R: use of the freed/nulled queue
+    b.Store(head, sink, i64);
+    const ir::Reg v = b.Load(cnt, i64);
+    const ir::Reg v2 = b.Add(v, 1, i64);
+    b.Store(v2, cnt, i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(v2), Operand::MakeImm(40));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+    w.timing_targets.push_back(racy_read);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("pbzip2.c:main");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg box = b.AddrOfGlobal(g_fifo);
+    const ir::Reg qslot = b.Gep(box, box_ty, 0);
+    const ir::Reg q = b.Alloca(queue_ty);
+    const ir::Reg head_slot = b.Gep(q, queue_ty, 0);
+    b.Store(Operand::MakeImm(7), head_slot, i64);
+    const ir::Reg size_slot = b.Gep(q, queue_ty, 1);
+    b.Store(Operand::MakeImm(40), size_slot, i64);
+    b.Store(q, qslot, queue_ptr);  // publish the queue
+    const ir::Reg t = b.ThreadCreate(consumer, Operand::MakeImm(0));
+    // Compression of an input-sized number of chunks; calibrated to usually
+    // outlast the consumer, so the early teardown races only for some inputs.
+    const ir::Reg chunks = b.Random(i64, 955, 1045);
+    EmitBranchyWorkDyn(b, chunks, 25'000);
+    b.Store(Operand::MakeImm(0), qslot, queue_ptr);  // premature teardown
+    w.truth_events.insert(w.truth_events.begin(), b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin(), b.last_inst());
+    b.Free(q);
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Transmission #1818: session shutdown closes the announcer handle while the
+// tracker thread is still mid-announce. Three threads: downloader (benign),
+// tracker (victim), main (closes the session).
+// ---------------------------------------------------------------------------
+Workload BuildTransmission1818() {
+  Workload w;
+  w.name = "transmission_1818";
+  w.system = "Transmission";
+  w.bug_id = "#1818";
+  w.description = "session close nulls the announcer handle during an in-flight announce";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kOrderViolationWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* ann_ty = m.types().StructType("Announcer", {i64, i64, i64});
+  const ir::Type* ann_ptr = m.types().PointerTo(ann_ty);
+  const ir::Type* session_ty = m.types().StructType("Session", {ann_ptr, i64});
+
+  const ir::GlobalId g_session = b.CreateGlobal("session", session_ty);
+  const ir::GlobalId g_bytes = b.CreateGlobal("bytes_down", i64);
+
+  const ir::FuncId downloader = b.BeginFunction("downloader", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("peer-io.c:downloader");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg bytes = b.AddrOfGlobal(g_bytes);
+    const ir::Reg cnt = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), cnt, i64);
+    const ir::BlockId loop = b.CreateBlock("dl");
+    const ir::BlockId done = b.CreateBlock("dl_done");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    EmitBranchyWork(b, 18, 18'000);  // receive a piece
+    const ir::Reg cur = b.Load(bytes, i64);
+    b.Store(b.Add(cur, 16384, i64), bytes, i64);
+    const ir::Reg v = b.Load(cnt, i64);
+    const ir::Reg v2 = b.Add(v, 1, i64);
+    b.Store(v2, cnt, i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(v2), Operand::MakeImm(45));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  const ir::FuncId tracker = b.BeginFunction("tracker_announce", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("announcer.c:tracker");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg session = b.AddrOfGlobal(g_session);
+    const ir::Reg ann_slot = b.Gep(session, session_ty, 0);
+    const ir::Reg cnt = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), cnt, i64);
+    const ir::BlockId loop = b.CreateBlock("announce");
+    const ir::BlockId done = b.CreateBlock("announce_done");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    EmitBranchyWork(b, 31, 22'000);  // wait for the announce interval (~680us)
+    EmitFieldBump(b, session, session_ty, 1);  // announce counter
+    EmitFieldBump(b, session, session_ty, 1);
+    EmitFieldBump(b, session, session_ty, 1);
+    const ir::Reg ann = b.Load(ann_slot, ann_ptr);
+    const ir::InstId racy_read = b.last_inst();
+    const ir::Reg seq_slot = b.Gep(ann, ann_ty, 1);
+    const ir::Reg seq = b.Load(seq_slot, i64);
+    w.truth_events.push_back(b.last_inst());  // R: use of the closed announcer
+    b.Store(b.Add(seq, 1, i64), seq_slot, i64);
+    const ir::Reg v = b.Load(cnt, i64);
+    const ir::Reg v2 = b.Add(v, 1, i64);
+    b.Store(v2, cnt, i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(v2), Operand::MakeImm(32));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+    w.timing_targets.push_back(racy_read);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("session.c:main");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg session = b.AddrOfGlobal(g_session);
+    const ir::Reg ann_slot = b.Gep(session, session_ty, 0);
+    const ir::Reg ann = b.Alloca(ann_ty);
+    const ir::Reg url = b.Gep(ann, ann_ty, 0);
+    b.Store(Operand::MakeImm(443), url, i64);
+    b.Store(ann, ann_slot, ann_ptr);  // session ready
+    const ir::Reg t_dl = b.ThreadCreate(downloader, Operand::MakeImm(0));
+    const ir::Reg t_tr = b.ThreadCreate(tracker, Operand::MakeImm(0));
+    // The user quits after an input-dependent amount of UI activity.
+    const ir::Reg ui = b.Random(i64, 1080, 1200);
+    EmitBranchyWorkDyn(b, ui, 20'000);
+    b.Store(Operand::MakeImm(0), ann_slot, ann_ptr);  // close the announcer
+    w.truth_events.insert(w.truth_events.begin(), b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin(), b.last_inst());
+    b.Free(ann);
+    b.ThreadJoin(t_tr);
+    b.ThreadJoin(t_dl);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MySQL #791: the binlog is rotated (old log object retired) while a session
+// thread still appends to it through its cached pointer re-read.
+// ---------------------------------------------------------------------------
+Workload BuildMysql791() {
+  Workload w;
+  w.name = "mysql_791";
+  w.system = "MySQL";
+  w.bug_id = "#791";
+  w.description = "binlog rotation retires the log object mid-append";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kOrderViolationWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* log_ty = m.types().StructType("BinLog", {i64, i64});  // {pos, fd}
+  const ir::Type* log_ptr = m.types().PointerTo(log_ty);
+  const ir::Type* reg_ty = m.types().StructType("LogRegistry", {log_ptr, i64});
+
+  const ir::GlobalId g_registry = b.CreateGlobal("log_registry", reg_ty);
+
+  const ir::FuncId session = b.BeginFunction("session_thread", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("log.cc:session");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg registry = b.AddrOfGlobal(g_registry);
+    const ir::Reg log_slot = b.Gep(registry, reg_ty, 0);
+    const ir::Reg cnt = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), cnt, i64);
+    const ir::BlockId loop = b.CreateBlock("stmt");
+    const ir::BlockId done = b.CreateBlock("stmt_done");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    EmitBranchyWork(b, 22, 27'000);  // execute one statement (~600us)
+    EmitFieldBump(b, registry, reg_ty, 1);  // statements-served counter
+    EmitFieldBump(b, registry, reg_ty, 1);
+    EmitFieldBump(b, registry, reg_ty, 1);
+    const ir::Reg log = b.Load(log_slot, log_ptr);
+    const ir::InstId racy_read = b.last_inst();
+    const ir::Reg pos_slot = b.Gep(log, log_ty, 0);
+    const ir::Reg pos = b.Load(pos_slot, i64);
+    w.truth_events.push_back(b.last_inst());  // R: append to the retired log
+    b.Store(b.Add(pos, 128, i64), pos_slot, i64);
+    const ir::Reg v = b.Load(cnt, i64);
+    const ir::Reg v2 = b.Add(v, 1, i64);
+    b.Store(v2, cnt, i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(v2), Operand::MakeImm(38));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+    w.timing_targets.push_back(racy_read);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("log.cc:rotate");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg registry = b.AddrOfGlobal(g_registry);
+    const ir::Reg log_slot = b.Gep(registry, reg_ty, 0);
+    const ir::Reg log = b.Alloca(log_ty);
+    const ir::Reg fd = b.Gep(log, log_ty, 1);
+    b.Store(Operand::MakeImm(3), fd, i64);
+    b.Store(log, log_slot, log_ptr);
+    const ir::Reg t = b.ThreadCreate(session, Operand::MakeImm(0));
+    // FLUSH LOGS arrives after an input-sized amount of serving.
+    const ir::Reg serve = b.Random(i64, 830, 925);
+    EmitBranchyWorkDyn(b, serve, 27'000);
+    b.Store(Operand::MakeImm(0), log_slot, log_ptr);  // rotate: retire old log
+    w.truth_events.insert(w.truth_events.begin(), b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin(), b.last_inst());
+    b.Free(log);
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Apache Commons DBCP #270-style: the evictor invalidates a pooled connection
+// while a borrower is writing its status through a re-read handle -- the
+// failing access is itself a write (a W-after-W order violation).
+// ---------------------------------------------------------------------------
+Workload BuildDbcp270() {
+  Workload w;
+  w.name = "dbcp_270";
+  w.system = "DBCP";
+  w.bug_id = "#270";
+  w.description = "pool evictor nulls a connection handle mid-checkout; borrower store faults";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kOrderViolationWW;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* conn_ty = m.types().StructType("PooledConn", {i64, i64});  // {status, uses}
+  const ir::Type* conn_ptr = m.types().PointerTo(conn_ty);
+  const ir::Type* pool_ty = m.types().StructType("Pool", {conn_ptr, i64});
+
+  const ir::GlobalId g_pool = b.CreateGlobal("pool", pool_ty);
+
+  const ir::FuncId borrower = b.BeginFunction("borrower", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("PoolableConnection.java:borrower");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg pool = b.AddrOfGlobal(g_pool);
+    const ir::Reg conn_slot = b.Gep(pool, pool_ty, 0);
+    const ir::Reg cnt = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), cnt, i64);
+    const ir::BlockId loop = b.CreateBlock("use");
+    const ir::BlockId done = b.CreateBlock("use_done");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    EmitBranchyWork(b, 26, 20'000);  // run one query (~520us)
+    EmitFieldBump(b, pool, pool_ty, 1);  // checkout counter
+    EmitFieldBump(b, pool, pool_ty, 1);
+    EmitFieldBump(b, pool, pool_ty, 1);
+    const ir::Reg conn = b.Load(conn_slot, conn_ptr);
+    const ir::InstId racy_read = b.last_inst();
+    const ir::Reg status_slot = b.Gep(conn, conn_ty, 0);
+    b.Store(Operand::MakeImm(1), status_slot, i64);  // mark busy (faults when evicted)
+    w.truth_events.push_back(b.last_inst());  // the failing write
+    const ir::Reg v = b.Load(cnt, i64);
+    const ir::Reg v2 = b.Add(v, 1, i64);
+    b.Store(v2, cnt, i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(v2), Operand::MakeImm(42));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+    w.timing_targets.push_back(racy_read);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("GenericObjectPool.java:evictor");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg pool = b.AddrOfGlobal(g_pool);
+    const ir::Reg conn_slot = b.Gep(pool, pool_ty, 0);
+    const ir::Reg conn = b.Alloca(conn_ty);
+    b.Store(conn, conn_slot, conn_ptr);
+    const ir::Reg t = b.ThreadCreate(borrower, Operand::MakeImm(0));
+    // The idle-eviction timer fires after an input-dependent interval.
+    const ir::Reg idle = b.Random(i64, 1075, 1195);
+    EmitBranchyWorkDyn(b, idle, 20'000);
+    b.Store(Operand::MakeImm(0), conn_slot, conn_ptr);  // evict: null the handle
+    w.truth_events.insert(w.truth_events.begin(), b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin(), b.last_inst());
+    b.Free(conn);
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Apache Derby #2861: the index-rebuild thread swaps out the conglomerate
+// descriptor while a scanner dereferences it (Java subject; hypothesis study
+// row in the paper, but fully diagnosable in our substrate).
+// ---------------------------------------------------------------------------
+Workload BuildDerby2861() {
+  Workload w;
+  w.name = "apache_derby_2861";
+  w.system = "Derby";
+  w.bug_id = "#2861";
+  w.description = "index rebuild retires the conglomerate descriptor under a scanner";
+  w.expected_failure = rt::FailureKind::kCrash;
+  w.bug_kind = core::PatternKind::kOrderViolationWR;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* cong_ty = m.types().StructType("Conglomerate", {i64, i64, i64});
+  const ir::Type* cong_ptr = m.types().PointerTo(cong_ty);
+  const ir::Type* cat_ty = m.types().StructType("Catalog", {cong_ptr, i64});
+
+  const ir::GlobalId g_catalog = b.CreateGlobal("catalog", cat_ty);
+
+  const ir::FuncId scanner = b.BeginFunction("index_scanner", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("BTreeScan.java:scanner");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg catalog = b.AddrOfGlobal(g_catalog);
+    const ir::Reg slot = b.Gep(catalog, cat_ty, 0);
+    const ir::Reg rows = b.Alloca(i64);
+    const ir::Reg cnt = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), cnt, i64);
+    const ir::BlockId loop = b.CreateBlock("scan");
+    const ir::BlockId done = b.CreateBlock("scan_done");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    EmitBranchyWork(b, 20, 28'000);  // scan a page (~560us)
+    EmitFieldBump(b, catalog, cat_ty, 1);  // pages-scanned counter
+    EmitFieldBump(b, catalog, cat_ty, 1);
+    EmitFieldBump(b, catalog, cat_ty, 1);
+    const ir::Reg cong = b.Load(slot, cong_ptr);
+    const ir::InstId racy_read = b.last_inst();
+    const ir::Reg height_slot = b.Gep(cong, cong_ty, 2);
+    const ir::Reg h = b.Load(height_slot, i64);
+    w.truth_events.push_back(b.last_inst());
+    b.Store(h, rows, i64);
+    const ir::Reg v = b.Load(cnt, i64);
+    const ir::Reg v2 = b.Add(v, 1, i64);
+    b.Store(v2, cnt, i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(v2), Operand::MakeImm(36));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+    w.timing_targets.push_back(racy_read);
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetDebugLocation("DataDictionary.java:rebuild");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg catalog = b.AddrOfGlobal(g_catalog);
+    const ir::Reg slot = b.Gep(catalog, cat_ty, 0);
+    const ir::Reg cong = b.Alloca(cong_ty);
+    const ir::Reg height = b.Gep(cong, cong_ty, 2);
+    b.Store(Operand::MakeImm(4), height, i64);
+    b.Store(cong, slot, cong_ptr);
+    const ir::Reg t = b.ThreadCreate(scanner, Operand::MakeImm(0));
+    const ir::Reg load_phase = b.Random(i64, 700, 790);
+    EmitBranchyWorkDyn(b, load_phase, 28'000);
+    b.Store(Operand::MakeImm(0), slot, cong_ptr);  // retire for rebuild
+    w.truth_events.insert(w.truth_events.begin(), b.last_inst());
+    w.timing_targets.insert(w.timing_targets.begin(), b.last_inst());
+    b.Free(cong);
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+}  // namespace snorlax::workloads

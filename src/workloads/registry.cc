@@ -1,0 +1,145 @@
+// Workload registry and the thread-scalable server workload.
+#include <functional>
+#include <map>
+
+#include "support/check.h"
+#include "workloads/builders.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace snorlax::workloads {
+
+namespace {
+
+struct Entry {
+  WorkloadInfo info;
+  Workload (*build)();
+};
+
+const std::vector<Entry>& Registry() {
+  static const std::vector<Entry>* kEntries = new std::vector<Entry>{
+      // Table 1: deadlocks.
+      {{"sqlite_1672", "SQLite", "#1672", core::PatternKind::kDeadlock}, &BuildSqlite1672},
+      {{"mysql_3596", "MySQL", "#3596", core::PatternKind::kDeadlock}, &BuildMysql3596},
+      {{"jdk_8047218", "JDK", "8047218", core::PatternKind::kDeadlock}, &BuildJdk8047218},
+      // Table 2: order violations.
+      {{"pbzip2_main", "pbzip2", "N/A", core::PatternKind::kOrderViolationWR}, &BuildPbzip2},
+      {{"transmission_1818", "Transmission", "#1818", core::PatternKind::kOrderViolationWR},
+       &BuildTransmission1818},
+      {{"mysql_791", "MySQL", "#791", core::PatternKind::kOrderViolationWR}, &BuildMysql791},
+      {{"dbcp_270", "DBCP", "#270", core::PatternKind::kOrderViolationWW}, &BuildDbcp270},
+      {{"apache_derby_2861", "Derby", "#2861", core::PatternKind::kOrderViolationWR},
+       &BuildDerby2861},
+      // Table 3: atomicity violations.
+      {{"mysql_169", "MySQL", "#169", core::PatternKind::kAtomicityRWR}, &BuildMysql169},
+      {{"mysql_644", "MySQL", "#644", core::PatternKind::kAtomicityWRW}, &BuildMysql644},
+      {{"memcached_127", "memcached", "#127", core::PatternKind::kAtomicityRWR},
+       &BuildMemcached127},
+      {{"httpd_21287", "httpd", "#21287", core::PatternKind::kAtomicityRWW}, &BuildHttpd21287},
+      {{"httpd_25520", "httpd", "#25520", core::PatternKind::kAtomicityWWR}, &BuildHttpd25520},
+      {{"aget_main", "aget", "N/A", core::PatternKind::kAtomicityWRW}, &BuildAget},
+      {{"groovy_3557", "Groovy", "#3557", core::PatternKind::kAtomicityRWR}, &BuildGroovy3557},
+      {{"log4j_509", "Log4j", "#509", core::PatternKind::kAtomicityWWR}, &BuildLog4j509},
+  };
+  return *kEntries;
+}
+
+}  // namespace
+
+std::vector<WorkloadInfo> AllWorkloads() {
+  std::vector<WorkloadInfo> out;
+  out.reserve(Registry().size());
+  for (const Entry& e : Registry()) {
+    out.push_back(e.info);
+  }
+  return out;
+}
+
+Workload Build(const std::string& name) {
+  for (const Entry& e : Registry()) {
+    if (e.info.name == name) {
+      return e.build();
+    }
+  }
+  SNORLAX_CHECK_MSG(false, "unknown workload");
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Scalable server for the Figure 9 comparison: N workers pull simulated
+// requests, update shared statistics under a lock, and do branchy per-request
+// work. There is no bug; the bench measures monitoring overhead while the
+// shared-statistics accesses are what a Gist slice would instrument.
+// ---------------------------------------------------------------------------
+Workload BuildScalable(int worker_threads) {
+  SNORLAX_CHECK(worker_threads >= 1);
+  Workload w;
+  w.name = "scalable_server";
+  w.system = "synthetic";
+  w.bug_id = "N/A";
+  w.description = "N-worker request server used by the scalability comparison";
+  w.expected_failure = rt::FailureKind::kNone;
+
+  w.module = std::make_unique<ir::Module>();
+  ir::Module& m = *w.module;
+  ir::IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* stats_ty = m.types().StructType("ServerStats", {i64, i64});
+
+  const ir::GlobalId g_stats = b.CreateGlobal("server_stats", stats_ty);
+  const ir::GlobalId g_lock = b.CreateLockGlobal("stats_lock");
+
+  const ir::FuncId worker = b.BeginFunction("request_worker", m.types().VoidType(), {i64});
+  {
+    b.SetDebugLocation("server.c:worker");
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg stats = b.AddrOfGlobal(g_stats);
+    const ir::Reg lock = b.AddrOfGlobal(g_lock);
+    const ir::Reg requests_slot = b.Gep(stats, stats_ty, 0);
+    const ir::Reg bytes_slot = b.Gep(stats, stats_ty, 1);
+    const ir::Reg cnt = b.Alloca(i64);
+    b.Store(ir::Operand::MakeImm(0), cnt, i64);
+    const ir::BlockId loop = b.CreateBlock("serve");
+    const ir::BlockId done = b.CreateBlock("serve_done");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    const ir::Reg parse = b.Random(i64, 8, 20);
+    EmitBranchyWorkDyn(b, parse, 6'000);  // parse + handle the request
+    b.LockAcquire(lock);
+    const ir::Reg r = b.Load(requests_slot, i64);
+    w.truth_events.push_back(b.last_inst());  // shared accesses (slice seeds)
+    b.Store(b.Add(r, 1, i64), requests_slot, i64);
+    w.truth_events.push_back(b.last_inst());
+    const ir::Reg bytes = b.Load(bytes_slot, i64);
+    b.Store(b.Add(bytes, 512, i64), bytes_slot, i64);
+    b.LockRelease(lock);
+    const ir::Reg v = b.Load(cnt, i64);
+    const ir::Reg v2 = b.Add(v, 1, i64);
+    b.Store(v2, cnt, i64);
+    const ir::Reg more =
+        b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(v2), ir::Operand::MakeImm(60));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    std::vector<ir::Reg> handles;
+    for (int i = 0; i < worker_threads; ++i) {
+      handles.push_back(b.ThreadCreate(worker, ir::Operand::MakeImm(i)));
+    }
+    for (ir::Reg h : handles) {
+      b.ThreadJoin(h);
+    }
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  w.interp.work_jitter = 0.04;
+  return w;
+}
+
+}  // namespace snorlax::workloads

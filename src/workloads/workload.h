@@ -1,0 +1,67 @@
+// Workload catalogue: synthetic MiniIR programs whose bug structure mirrors
+// the real concurrency bugs the paper evaluates on (MySQL, Apache httpd,
+// memcached, SQLite, Transmission, pbzip2, aget, and the Java subjects of the
+// hypothesis study). See DESIGN.md section 5 for the substitution argument.
+//
+// Every workload carries its ground truth: the root-cause events in expected
+// order (for the accuracy evaluation) and the target instructions to
+// timestamp for the coarse-interleaving-hypothesis study (Tables 1-3).
+#ifndef SNORLAX_WORKLOADS_WORKLOAD_H_
+#define SNORLAX_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "ir/module.h"
+#include "runtime/interpreter.h"
+
+namespace snorlax::workloads {
+
+struct Workload {
+  std::string name;         // registry key, e.g. "pbzip2_main"
+  std::string system;       // "pbzip2"
+  std::string bug_id;       // upstream tracker id, or "N/A"
+  std::string description;  // one-line summary of the modeled bug
+  rt::FailureKind expected_failure = rt::FailureKind::kCrash;
+  core::PatternKind bug_kind = core::PatternKind::kOrderViolationWR;
+
+  std::unique_ptr<ir::Module> module;
+  std::string entry = "main";
+
+  // Root-cause target events, in the execution order that causes the failure.
+  std::vector<ir::InstId> truth_events;
+  // Instructions to timestamp for the hypothesis study; for atomicity bugs
+  // these are the three accesses of Figure 1.(c), otherwise the two events.
+  std::vector<ir::InstId> timing_targets;
+
+  // Interpreter options under which the bug reproduces intermittently.
+  rt::InterpOptions interp;
+
+  // Failing traces Snorlax should accumulate for a confident diagnosis of
+  // this bug (1 for all but the tightest-window WRW bug, where a single
+  // trace's coarse timestamps occasionally cannot order the window edges).
+  size_t recommended_failing_traces = 1;
+};
+
+struct WorkloadInfo {
+  std::string name;
+  std::string system;
+  std::string bug_id;
+  core::PatternKind kind;
+};
+
+// Every registered workload, in table order.
+std::vector<WorkloadInfo> AllWorkloads();
+
+// Builds a workload by name (aborts on unknown names; use AllWorkloads()).
+Workload Build(const std::string& name);
+
+// The thread-scalable server workload used by the Figure 9 scalability
+// comparison: `worker_threads` workers hammer a shared request queue.
+Workload BuildScalable(int worker_threads);
+
+}  // namespace snorlax::workloads
+
+#endif  // SNORLAX_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,164 @@
+// Tests for the Gist baseline: the blocking monitor's contention model, the
+// slice-driven instrumentation, and the recurrence/space-sampling latency
+// model behind the paper's section 6.3 comparison.
+#include <gtest/gtest.h>
+
+#include "gist/gist.h"
+#include "ir/builder.h"
+#include "workloads/workload.h"
+
+namespace snorlax::gist {
+namespace {
+
+using ir::BlockId;
+using ir::CmpKind;
+using ir::FuncId;
+using ir::GlobalId;
+using ir::IrBuilder;
+using ir::Operand;
+using ir::Reg;
+
+// N threads hammer a shared (monitored) cell with branchy pauses.
+std::unique_ptr<ir::Module> BuildHammer(int threads, int iters,
+                                        std::unordered_set<ir::InstId>* monitored) {
+  auto m = std::make_unique<ir::Module>();
+  IrBuilder b(m.get());
+  const ir::Type* i64 = m->types().IntType(64);
+  const GlobalId g = b.CreateGlobal("hot", i64);
+
+  const FuncId worker = b.BeginFunction("worker", m->types().VoidType(), {i64});
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId head = b.CreateBlock("head");
+  const BlockId exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  const Reg i = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), i, i64);
+  b.Br(head);
+  b.SetInsertPoint(head);
+  b.Work(150);
+  const Reg p = b.AddrOfGlobal(g);
+  const Reg v = b.Load(p, i64);
+  monitored->insert(b.last_inst());
+  b.Store(b.Add(v, 1, i64), p, i64);
+  monitored->insert(b.last_inst());
+  const Reg iv = b.Load(i, i64);
+  const Reg iv2 = b.Add(iv, 1, i64);
+  b.Store(iv2, i, i64);
+  const Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(iv2), Operand::MakeImm(iters));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+  b.RetVoid();
+  b.EndFunction();
+
+  b.BeginFunction("main", m->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  std::vector<Reg> handles;
+  for (int t = 0; t < threads; ++t) {
+    handles.push_back(b.ThreadCreate(worker, Operand::MakeImm(t)));
+  }
+  for (Reg h : handles) {
+    b.ThreadJoin(h);
+  }
+  b.RetVoid();
+  b.EndFunction();
+  return m;
+}
+
+uint64_t RunDuration(const ir::Module& m, GistMonitor* monitor) {
+  rt::InterpOptions opts;
+  opts.work_jitter = 0.0;
+  rt::Interpreter interp(&m, opts);
+  if (monitor != nullptr) {
+    interp.AddObserver(monitor);
+  }
+  const rt::RunResult r = interp.Run("main");
+  EXPECT_TRUE(r.Succeeded());
+  return r.virtual_ns;
+}
+
+TEST(GistMonitor, RecordsOnlySlicedAccesses) {
+  std::unordered_set<ir::InstId> monitored;
+  auto m = BuildHammer(1, 20, &monitored);
+  GistMonitor monitor(monitored, GistOptions{});
+  RunDuration(*m, &monitor);
+  EXPECT_EQ(monitor.events().size(), 40u);  // 20 loads + 20 stores
+  for (const auto& e : monitor.events()) {
+    EXPECT_TRUE(monitored.count(e.inst));
+  }
+  EXPECT_EQ(monitor.monitored_instructions(), 2u);
+}
+
+TEST(GistMonitor, ChargesInstrumentationCost) {
+  std::unordered_set<ir::InstId> monitored;
+  auto m = BuildHammer(1, 50, &monitored);
+  const uint64_t bare = RunDuration(*m, nullptr);
+  GistMonitor monitor(monitored, GistOptions{});
+  const uint64_t traced = RunDuration(*m, &monitor);
+  EXPECT_GT(traced, bare);
+  // Single thread: no contention, so the overhead is sync+log per access.
+  const GistOptions defaults;
+  const uint64_t expected =
+      (defaults.sync_cost_ns + defaults.log_cost_ns) * monitor.events().size();
+  EXPECT_NEAR(static_cast<double>(traced - bare), static_cast<double>(expected),
+              static_cast<double>(expected) * 0.2);
+}
+
+TEST(GistMonitor, ContentionGrowsWithThreads) {
+  // Relative overhead of the blocking monitor must grow with thread count --
+  // the mechanism behind Gist's poor scalability (Figure 9).
+  double overhead[2] = {0, 0};
+  int idx = 0;
+  for (int threads : {2, 8}) {
+    std::unordered_set<ir::InstId> monitored;
+    auto m = BuildHammer(threads, 60, &monitored);
+    const uint64_t bare = RunDuration(*m, nullptr);
+    GistMonitor monitor(monitored, GistOptions{});
+    const uint64_t traced = RunDuration(*m, &monitor);
+    overhead[idx++] =
+        100.0 * static_cast<double>(traced - bare) / static_cast<double>(bare);
+  }
+  EXPECT_GT(overhead[1], overhead[0] * 1.5);
+}
+
+TEST(GistDiagnosis, ConvergesAfterMonitoredRecurrences) {
+  workloads::Workload w = workloads::Build("pbzip2_main");
+  GistOptions options;
+  options.recurrences_needed = 2;
+  options.open_bugs = 1;
+  const auto outcome =
+      RunGistDiagnosis(*w.module, w.entry, w.interp, options, /*max_runs=*/5000);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->monitored_recurrences, 2u);
+  EXPECT_GE(outcome->failures_seen, 3u);  // initial + 2 monitored
+  EXPECT_GT(outcome->slice_size, 0u);
+}
+
+TEST(GistDiagnosis, SpaceSamplingMultipliesLatency) {
+  workloads::Workload w = workloads::Build("pbzip2_main");
+  GistOptions base;
+  base.recurrences_needed = 2;
+  base.open_bugs = 1;
+  const auto focused =
+      RunGistDiagnosis(*w.module, w.entry, w.interp, base, /*max_runs=*/20000);
+  ASSERT_TRUE(focused.has_value());
+
+  GistOptions crowded = base;
+  crowded.open_bugs = 6;  // the monitoring slot visits our bug 1/6 of the time
+  const auto sampled =
+      RunGistDiagnosis(*w.module, w.entry, w.interp, crowded, /*max_runs=*/200000);
+  ASSERT_TRUE(sampled.has_value());
+  // Expected blow-up is ~6x; accept anything clearly above 2x to keep the
+  // test robust against reproduction randomness.
+  EXPECT_GT(sampled->total_executions, focused->total_executions * 2);
+}
+
+TEST(GistDiagnosis, BudgetExhaustionReturnsNullopt) {
+  workloads::Workload w = workloads::Build("pbzip2_main");
+  GistOptions options;
+  options.recurrences_needed = 3;
+  const auto outcome = RunGistDiagnosis(*w.module, w.entry, w.interp, options, /*max_runs=*/2);
+  EXPECT_FALSE(outcome.has_value());
+}
+
+}  // namespace
+}  // namespace snorlax::gist

@@ -1,0 +1,253 @@
+// Unit tests for MiniIR: type interning, builder invariants, verifier
+// diagnostics, printing, and static CFG helpers.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/cfg.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace snorlax::ir {
+namespace {
+
+TEST(TypeTable, InterningGivesPointerIdentity) {
+  Module m;
+  TypeTable& t = m.types();
+  EXPECT_EQ(t.IntType(64), t.IntType(64));
+  EXPECT_NE(t.IntType(64), t.IntType(32));
+  EXPECT_EQ(t.PointerTo(t.IntType(8)), t.PointerTo(t.IntType(8)));
+  EXPECT_NE(t.PointerTo(t.IntType(8)), t.PointerTo(t.IntType(16)));
+  const Type* s1 = t.StructType("Queue", {t.IntType(64)});
+  const Type* s2 = t.StructType("Queue", {});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(t.FindStruct("Queue"), s1);
+  EXPECT_EQ(t.FindStruct("Missing"), nullptr);
+}
+
+TEST(TypeTable, ToStringSpellings) {
+  Module m;
+  TypeTable& t = m.types();
+  EXPECT_EQ(t.IntType(32)->ToString(), "i32");
+  EXPECT_EQ(t.VoidType()->ToString(), "void");
+  EXPECT_EQ(t.LockType()->ToString(), "lock");
+  const Type* q = t.StructType("Queue", {t.IntType(64)});
+  EXPECT_EQ(t.PointerTo(q)->ToString(), "%struct.Queue*");
+}
+
+TEST(TypeTable, SizeInCells) {
+  Module m;
+  TypeTable& t = m.types();
+  EXPECT_EQ(t.IntType(64)->SizeInCells(), 1);
+  EXPECT_EQ(t.LockType()->SizeInCells(), 1);
+  EXPECT_EQ(t.PointerTo(t.IntType(8))->SizeInCells(), 1);
+  const Type* s = t.StructType("S3", {t.IntType(64), t.IntType(64), t.IntType(1)});
+  EXPECT_EQ(s->SizeInCells(), 3);
+  EXPECT_EQ(t.VoidType()->SizeInCells(), 0);
+}
+
+// Builds a small valid module: main calls add(3,4), asserts result == 7.
+std::unique_ptr<Module> BuildAddModule() {
+  auto m = std::make_unique<Module>();
+  IrBuilder b(m.get());
+  const Type* i64 = m->types().IntType(64);
+  const FuncId add = b.BeginFunction("add", i64, {i64, i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg sum = b.BinOp(BinOpKind::kAdd, b.Param(0), b.Param(1), i64);
+  b.Ret(sum);
+  b.EndFunction();
+
+  b.BeginFunction("main", m->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg three = b.Const(i64, 3);
+  const Reg four = b.Const(i64, 4);
+  const Reg r = b.Call(add, std::vector<Reg>{three, four}, i64);
+  const Reg ok = b.Cmp(CmpKind::kEq, Operand::MakeReg(r), Operand::MakeImm(7));
+  b.Assert(ok);
+  b.RetVoid();
+  b.EndFunction();
+  return m;
+}
+
+TEST(Builder, ProducesValidModule) {
+  auto m = BuildAddModule();
+  const auto problems = VerifyModule(*m);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems[0]);
+  EXPECT_EQ(m->functions().size(), 2u);
+  EXPECT_NE(m->FindFunction("add"), nullptr);
+  EXPECT_NE(m->FindFunction("main"), nullptr);
+  EXPECT_EQ(m->FindFunction("nope"), nullptr);
+}
+
+TEST(Builder, ModuleUniqueIds) {
+  auto m = BuildAddModule();
+  // Every instruction id maps back to itself through the module index.
+  for (const Instruction* inst : m->AllInstructions()) {
+    EXPECT_EQ(m->instruction(inst->id()), inst);
+  }
+  // Block ids too.
+  for (const auto& func : m->functions()) {
+    for (const auto& bb : func->blocks()) {
+      EXPECT_EQ(m->block(bb->id()), bb.get());
+    }
+  }
+}
+
+TEST(Builder, IndexInBlockMatchesPosition) {
+  auto m = BuildAddModule();
+  for (const auto& func : m->functions()) {
+    for (const auto& bb : func->blocks()) {
+      for (size_t i = 0; i < bb->instructions().size(); ++i) {
+        EXPECT_EQ(bb->instructions()[i]->index_in_block(), i);
+      }
+    }
+  }
+}
+
+TEST(Builder, GlobalsAndLocks) {
+  Module m;
+  IrBuilder b(&m);
+  const GlobalId g = b.CreateGlobal("counter", m.types().IntType(64));
+  const GlobalId l = b.CreateLockGlobal("mu");
+  EXPECT_EQ(m.global(g).name, "counter");
+  EXPECT_TRUE(m.global(l).type->IsLock());
+  EXPECT_EQ(m.FindGlobal("counter")->id, g);
+  EXPECT_EQ(m.FindGlobal("nope"), nullptr);
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module m;
+  IrBuilder b(&m);
+  b.BeginFunction("broken", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Nop();  // no terminator
+  b.EndFunction();
+  const auto problems = VerifyModule(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesCrossFunctionBranch) {
+  Module m;
+  IrBuilder b(&m);
+  b.BeginFunction("one", m.types().VoidType(), {});
+  const BlockId foreign = b.CreateBlock("entry");
+  b.SetInsertPoint(foreign);
+  b.RetVoid();
+  b.EndFunction();
+  b.BeginFunction("two", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Br(foreign);  // branches into function "one"
+  b.EndFunction();
+  const auto problems = VerifyModule(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("outside the function"), std::string::npos);
+}
+
+TEST(Verifier, CatchesCallArityMismatch) {
+  Module m;
+  IrBuilder b(&m);
+  const Type* i64 = m.types().IntType(64);
+  const FuncId two_args = b.BeginFunction("two_args", m.types().VoidType(), {i64, i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.RetVoid();
+  b.EndFunction();
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Call(two_args, std::vector<Operand>{Operand::MakeImm(1)}, m.types().VoidType());
+  b.RetVoid();
+  b.EndFunction();
+  const auto problems = VerifyModule(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("arity"), std::string::npos);
+}
+
+TEST(Verifier, ValidModuleIsValid) { EXPECT_TRUE(IsValid(*BuildAddModule())); }
+
+TEST(Printer, ContainsFunctionsAndOpcodes) {
+  auto m = BuildAddModule();
+  const std::string text = PrintModule(*m);
+  EXPECT_NE(text.find("@add"), std::string::npos);
+  EXPECT_NE(text.find("@main"), std::string::npos);
+  EXPECT_NE(text.find("binop"), std::string::npos);
+  EXPECT_NE(text.find("assert"), std::string::npos);
+}
+
+TEST(Cfg, SuccessorsAndPredecessors) {
+  Module m;
+  IrBuilder b(&m);
+  b.BeginFunction("f", m.types().VoidType(), {});
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId then_b = b.CreateBlock("then");
+  const BlockId else_b = b.CreateBlock("else");
+  const BlockId exit_b = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  const Reg c = b.Const(m.types().IntType(1), 1);
+  b.CondBr(c, then_b, else_b);
+  b.SetInsertPoint(then_b);
+  b.Br(exit_b);
+  b.SetInsertPoint(else_b);
+  b.Br(exit_b);
+  b.SetInsertPoint(exit_b);
+  b.RetVoid();
+  b.EndFunction();
+
+  const Function* f = m.FindFunction("f");
+  const auto succ_entry = Successors(*m.block(entry));
+  EXPECT_EQ(succ_entry.size(), 2u);
+  EXPECT_TRUE(Successors(*m.block(exit_b)).empty());
+
+  const auto preds = Predecessors(*f);
+  EXPECT_TRUE(preds.at(entry).empty());
+  EXPECT_EQ(preds.at(exit_b).size(), 2u);
+  EXPECT_EQ(preds.at(then_b).size(), 1u);
+
+  // Predecessors of the exit block's first instruction.
+  const InstId ret_id = m.block(exit_b)->instructions().front()->id();
+  const auto pred_blocks = PredecessorBlocksOf(m, ret_id);
+  EXPECT_EQ(pred_blocks.size(), 2u);
+}
+
+TEST(Cfg, CondBrWithIdenticalTargetsHasOneSuccessor) {
+  Module m;
+  IrBuilder b(&m);
+  b.BeginFunction("f", m.types().VoidType(), {});
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId next = b.CreateBlock("next");
+  b.SetInsertPoint(entry);
+  const Reg c = b.Const(m.types().IntType(1), 0);
+  b.CondBr(c, next, next);
+  b.SetInsertPoint(next);
+  b.RetVoid();
+  b.EndFunction();
+  EXPECT_EQ(Successors(*m.block(entry)).size(), 1u);
+}
+
+TEST(Instruction, Classification) {
+  auto m = BuildAddModule();
+  int terminators = 0, accesses = 0;
+  for (const Instruction* inst : m->AllInstructions()) {
+    terminators += inst->IsTerminator();
+    accesses += inst->IsMemoryAccess();
+  }
+  EXPECT_EQ(terminators, 2);  // two rets
+  EXPECT_EQ(accesses, 0);     // pure register code
+}
+
+TEST(Instruction, DebugLocationSticky) {
+  Module m;
+  IrBuilder b(&m);
+  b.BeginFunction("f", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.SetDebugLocation("file.c:1");
+  b.Nop();
+  const Instruction* first = m.instruction(b.last_inst());
+  b.Nop();
+  const Instruction* second = m.instruction(b.last_inst());
+  b.RetVoid();
+  b.EndFunction();
+  EXPECT_EQ(first->debug_location(), "file.c:1");
+  EXPECT_EQ(second->debug_location(), "file.c:1");
+}
+
+}  // namespace
+}  // namespace snorlax::ir

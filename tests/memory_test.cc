@@ -1,0 +1,108 @@
+// Direct unit tests for the MemoryManager: object lifecycle, access
+// validation, and the precise error taxonomy the failure model depends on.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "runtime/memory.h"
+
+namespace snorlax::rt {
+namespace {
+
+struct Fixture {
+  ir::Module module;
+  std::unique_ptr<MemoryManager> memory;
+  const ir::Type* i64 = nullptr;
+  const ir::Type* trio = nullptr;
+
+  Fixture() {
+    ir::IrBuilder b(&module);
+    i64 = module.types().IntType(64);
+    trio = module.types().StructType("Trio", {i64, i64, i64});
+    b.CreateGlobal("g_int", i64);
+    b.CreateGlobal("g_trio", trio);
+    b.CreateLockGlobal("g_lock");
+    memory = std::make_unique<MemoryManager>(&module);
+  }
+};
+
+TEST(MemoryManager, GlobalsPreallocatedAndZeroed) {
+  Fixture fx;
+  EXPECT_EQ(fx.memory->NumObjects(), 3u);
+  const ObjectId g0 = fx.memory->GlobalObject(0);
+  const MemObject& obj = fx.memory->object(g0);
+  EXPECT_TRUE(obj.global.has_value());
+  EXPECT_EQ(*obj.global, 0u);
+  Value out;
+  EXPECT_EQ(fx.memory->Load(Value::Ptr(g0, 0), &out), AccessError::kOk);
+  EXPECT_TRUE(out.IsNullLike());
+  // The struct global has one cell per field.
+  EXPECT_EQ(fx.memory->object(fx.memory->GlobalObject(1)).cells.size(), 3u);
+}
+
+TEST(MemoryManager, AllocateStoreLoad) {
+  Fixture fx;
+  const ObjectId obj = fx.memory->Allocate(fx.trio, /*site=*/7, /*thread=*/2);
+  EXPECT_EQ(fx.memory->object(obj).alloc_site, 7u);
+  EXPECT_EQ(fx.memory->object(obj).alloc_thread, 2u);
+  EXPECT_EQ(fx.memory->Store(Value::Ptr(obj, 1), Value::Int(55)), AccessError::kOk);
+  Value out;
+  EXPECT_EQ(fx.memory->Load(Value::Ptr(obj, 1), &out), AccessError::kOk);
+  EXPECT_EQ(out, Value::Int(55));
+  // Neighboring cells untouched.
+  EXPECT_EQ(fx.memory->Load(Value::Ptr(obj, 0), &out), AccessError::kOk);
+  EXPECT_EQ(out, Value::Int(0));
+}
+
+TEST(MemoryManager, ErrorTaxonomy) {
+  Fixture fx;
+  const ObjectId obj = fx.memory->Allocate(fx.i64, 1, 0);
+  Value out;
+  // Null-like (integer zero).
+  EXPECT_EQ(fx.memory->Load(Value::Int(0), &out), AccessError::kNullDeref);
+  // Arbitrary integer garbage.
+  EXPECT_EQ(fx.memory->Load(Value::Int(1234), &out), AccessError::kNotAPointer);
+  // Function values are not data pointers.
+  EXPECT_EQ(fx.memory->Load(Value::Func(0), &out), AccessError::kNotAPointer);
+  // Out of bounds.
+  EXPECT_EQ(fx.memory->Load(Value::Ptr(obj, 9), &out), AccessError::kOutOfBounds);
+  // Dangling object id.
+  EXPECT_EQ(fx.memory->Load(Value::Ptr(12345, 0), &out), AccessError::kInvalidObject);
+  // Use after free.
+  EXPECT_EQ(fx.memory->Free(Value::Ptr(obj, 0)), AccessError::kOk);
+  EXPECT_EQ(fx.memory->Load(Value::Ptr(obj, 0), &out), AccessError::kUseAfterFree);
+  EXPECT_EQ(fx.memory->Store(Value::Ptr(obj, 0), Value::Int(1)), AccessError::kUseAfterFree);
+  // Double free is a use-after-free of the object.
+  EXPECT_EQ(fx.memory->Free(Value::Ptr(obj, 0)), AccessError::kUseAfterFree);
+  // Freeing garbage fails like dereferencing it.
+  EXPECT_EQ(fx.memory->Free(Value::Int(0)), AccessError::kNullDeref);
+}
+
+TEST(MemoryManager, ErrorNamesAreHuman) {
+  EXPECT_STREQ(AccessErrorName(AccessError::kOk), "ok");
+  EXPECT_STREQ(AccessErrorName(AccessError::kNullDeref), "null pointer dereference");
+  EXPECT_STREQ(AccessErrorName(AccessError::kUseAfterFree), "use after free");
+  EXPECT_STREQ(AccessErrorName(AccessError::kOutOfBounds), "out-of-bounds access");
+}
+
+TEST(MemoryManager, CheckAccessReportsLocation) {
+  Fixture fx;
+  const ObjectId obj = fx.memory->Allocate(fx.trio, 1, 0);
+  ObjectId got_obj = 0;
+  uint32_t got_off = 0;
+  EXPECT_EQ(fx.memory->CheckAccess(Value::Ptr(obj, 2), &got_obj, &got_off), AccessError::kOk);
+  EXPECT_EQ(got_obj, obj);
+  EXPECT_EQ(got_off, 2u);
+}
+
+TEST(Values, EqualityAcrossKinds) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Int(4));
+  EXPECT_EQ(Value::Ptr(1, 2), Value::Ptr(1, 2));
+  EXPECT_FALSE(Value::Ptr(1, 2) == Value::Ptr(1, 3));
+  EXPECT_FALSE(Value::Int(0) == Value::Ptr(0, 0));  // null != live pointer
+  EXPECT_EQ(Value::Func(5), Value::Func(5));
+  EXPECT_FALSE(Value::Func(5) == Value::Int(5));
+}
+
+}  // namespace
+}  // namespace snorlax::rt

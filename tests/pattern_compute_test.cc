@@ -1,0 +1,155 @@
+// Direct unit tests for bug pattern computation (paper step 6), driving
+// ComputePatterns with controlled traces and candidate lists.
+#include <gtest/gtest.h>
+
+#include "analysis/deref_chain.h"
+#include "core/pattern_compute.h"
+#include "ir/builder.h"
+#include "pt/driver.h"
+#include "runtime/interpreter.h"
+
+namespace snorlax::core {
+namespace {
+
+using ir::GlobalId;
+using ir::IrBuilder;
+using ir::Operand;
+using ir::Reg;
+
+// Deterministic ABBA deadlock (forced by fixed Work windows).
+struct DeadlockCapture {
+  std::unique_ptr<ir::Module> module;
+  ir::InstId hold_a = 0, hold_b = 0;      // the first acquisitions
+  ir::InstId attempt_b = 0, attempt_a = 0;  // the blocking acquisitions
+  std::unique_ptr<trace::ProcessedTrace> trace;
+  rt::FailureInfo failure;
+};
+
+DeadlockCapture CaptureDeadlock() {
+  DeadlockCapture cap;
+  cap.module = std::make_unique<ir::Module>();
+  ir::Module& m = *cap.module;
+  IrBuilder b(&m);
+  const GlobalId la = b.CreateLockGlobal("A");
+  const GlobalId lb = b.CreateLockGlobal("B");
+
+  auto party = [&](const char* name, GlobalId first, GlobalId second, ir::InstId* held,
+                   ir::InstId* attempt) {
+    const ir::FuncId f = b.BeginFunction(name, m.types().VoidType(), {m.types().IntType(64)});
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const Reg l1 = b.AddrOfGlobal(first);
+    b.LockAcquire(l1);
+    *held = b.last_inst();
+    b.Work(200'000);
+    const Reg l2 = b.AddrOfGlobal(second);
+    b.LockAcquire(l2);
+    *attempt = b.last_inst();
+    b.LockRelease(l2);
+    b.LockRelease(l1);
+    b.RetVoid();
+    b.EndFunction();
+    return f;
+  };
+  const ir::FuncId p1 = party("p1", la, lb, &cap.hold_a, &cap.attempt_b);
+  const ir::FuncId p2 = party("p2", lb, la, &cap.hold_b, &cap.attempt_a);
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg t1 = b.ThreadCreate(p1, Operand::MakeImm(0));
+  const Reg t2 = b.ThreadCreate(p2, Operand::MakeImm(1));
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  b.RetVoid();
+  b.EndFunction();
+
+  rt::InterpOptions opts;
+  opts.work_jitter = 0.0;
+  rt::Interpreter interp(cap.module.get(), opts);
+  pt::PtDriver driver(cap.module.get());
+  driver.Attach(&interp);
+  const rt::RunResult r = interp.Run("main");
+  EXPECT_EQ(r.failure.kind, rt::FailureKind::kDeadlock);
+  cap.failure = r.failure;
+  cap.trace = std::make_unique<trace::ProcessedTrace>(cap.module.get(), *driver.captured());
+  return cap;
+}
+
+std::vector<analysis::RankedInstruction> RankAll(const ir::Module& m,
+                                                 std::initializer_list<ir::InstId> ids) {
+  std::vector<analysis::RankedInstruction> out;
+  for (ir::InstId id : ids) {
+    out.push_back(analysis::RankedInstruction{m.instruction(id), 1});
+  }
+  return out;
+}
+
+TEST(PatternCompute, DeadlockPatternsCarryHoldsAndFinalAttempts) {
+  DeadlockCapture cap = CaptureDeadlock();
+  const auto ranked =
+      RankAll(*cap.module, {cap.hold_a, cap.hold_b, cap.attempt_a, cap.attempt_b});
+  const PatternComputeResult result =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, {});
+  ASSERT_FALSE(result.patterns.empty());
+  EXPECT_FALSE(result.hypothesis_violated);
+
+  // The richest pattern has four events: two holds, two (thread-final)
+  // blocking attempts; attempts are flagged thread_final.
+  const BugPattern* full = nullptr;
+  for (const BugPattern& p : result.patterns) {
+    EXPECT_EQ(p.kind, PatternKind::kDeadlock);
+    if (p.events.size() == 4) {
+      full = &p;
+    }
+  }
+  ASSERT_NE(full, nullptr);
+  int finals = 0, holds = 0;
+  for (const PatternEvent& e : full->events) {
+    if (e.thread_final) {
+      ++finals;
+      EXPECT_TRUE(e.inst == cap.attempt_a || e.inst == cap.attempt_b);
+    } else {
+      ++holds;
+      EXPECT_TRUE(e.inst == cap.hold_a || e.inst == cap.hold_b);
+    }
+  }
+  EXPECT_EQ(finals, 2);
+  EXPECT_EQ(holds, 2);
+  // Both patterns (full + attempts-only competitor) embed in the failing
+  // trace itself.
+  for (const BugPattern& p : result.patterns) {
+    EXPECT_TRUE(TraceContainsPattern(*cap.trace, p)) << p.Key();
+  }
+}
+
+TEST(PatternCompute, DeadlockWithoutCycleInfoYieldsNothing) {
+  DeadlockCapture cap = CaptureDeadlock();
+  rt::FailureInfo stripped = cap.failure;
+  stripped.deadlock_cycle.clear();
+  const auto ranked = RankAll(*cap.module, {cap.hold_a, cap.hold_b});
+  const PatternComputeResult result =
+      ComputePatterns(*cap.module, *cap.trace, ranked, stripped, {});
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(PatternCompute, MaxPatternsCapIsHonored) {
+  DeadlockCapture cap = CaptureDeadlock();
+  PatternComputeOptions options;
+  options.max_patterns = 1;
+  const auto ranked =
+      RankAll(*cap.module, {cap.hold_a, cap.hold_b, cap.attempt_a, cap.attempt_b});
+  const PatternComputeResult result =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, {}, options);
+  EXPECT_EQ(result.patterns.size(), 1u);
+}
+
+TEST(PatternCompute, TimeoutFailuresProduceNoPatterns) {
+  DeadlockCapture cap = CaptureDeadlock();
+  rt::FailureInfo timeout = cap.failure;
+  timeout.kind = rt::FailureKind::kTimeout;
+  const auto ranked = RankAll(*cap.module, {cap.hold_a});
+  const PatternComputeResult result =
+      ComputePatterns(*cap.module, *cap.trace, ranked, timeout, {});
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+}  // namespace
+}  // namespace snorlax::core

@@ -1,0 +1,210 @@
+// Unit tests for the PT packet wire format and the ring buffer.
+#include <gtest/gtest.h>
+
+#include "pt/packets.h"
+#include "pt/ring_buffer.h"
+#include "support/rng.h"
+
+namespace snorlax::pt {
+namespace {
+
+Packet Psb(ir::BlockId block, uint16_t index, uint64_t tsc) {
+  Packet p;
+  p.kind = PacketKind::kPsb;
+  p.block = block;
+  p.index = index;
+  p.tsc = tsc;
+  return p;
+}
+
+Packet Tnt(uint8_t bits, uint8_t count) {
+  Packet p;
+  p.kind = PacketKind::kTnt;
+  p.tnt_bits = bits;
+  p.tnt_count = count;
+  return p;
+}
+
+Packet Tip(ir::BlockId block, uint16_t index) {
+  Packet p;
+  p.kind = PacketKind::kTip;
+  p.block = block;
+  p.index = index;
+  return p;
+}
+
+Packet Mtc(uint8_t ctc) {
+  Packet p;
+  p.kind = PacketKind::kMtc;
+  p.ctc = ctc;
+  return p;
+}
+
+Packet Cyc(uint16_t delta) {
+  Packet p;
+  p.kind = PacketKind::kCyc;
+  p.cyc_delta = delta;
+  return p;
+}
+
+void ExpectEqual(const Packet& a, const Packet& b) {
+  ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
+  EXPECT_EQ(a.block, b.block);
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.tsc, b.tsc);
+  EXPECT_EQ(a.tnt_bits, b.tnt_bits);
+  EXPECT_EQ(a.tnt_count, b.tnt_count);
+  EXPECT_EQ(a.ctc, b.ctc);
+  EXPECT_EQ(a.cyc_delta, b.cyc_delta);
+}
+
+TEST(Packets, RoundTripEachKind) {
+  const Packet cases[] = {
+      Psb(42, 7, 0x1122334455667788ull), Tnt(0b101101, 6), Tnt(1, 1),
+      Tip(99, 12),                       Mtc(0xAB),        Cyc(65535),
+      Cyc(1),
+  };
+  for (const Packet& p : cases) {
+    std::vector<uint8_t> bytes;
+    const size_t n = EncodePacket(p, &bytes);
+    EXPECT_EQ(n, bytes.size());
+    size_t pos = 0;
+    const auto decoded = DecodePacket(bytes, &pos);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(pos, bytes.size());
+    ExpectEqual(*decoded, p);
+  }
+}
+
+TEST(Packets, WireSizesMatchConstants) {
+  std::vector<uint8_t> bytes;
+  EXPECT_EQ(EncodePacket(Psb(1, 2, 3), &bytes), kPsbBytes);
+  bytes.clear();
+  EXPECT_EQ(EncodePacket(Tnt(0, 3), &bytes), kTntBytes);
+  bytes.clear();
+  EXPECT_EQ(EncodePacket(Tip(1, 2), &bytes), kTipBytes);
+  bytes.clear();
+  EXPECT_EQ(EncodePacket(Mtc(1), &bytes), kMtcBytes);
+  bytes.clear();
+  EXPECT_EQ(EncodePacket(Cyc(1), &bytes), kCycBytes);
+}
+
+TEST(Packets, TruncatedPacketRejected) {
+  std::vector<uint8_t> bytes;
+  EncodePacket(Tip(12345, 6), &bytes);
+  bytes.pop_back();
+  size_t pos = 0;
+  EXPECT_FALSE(DecodePacket(bytes, &pos).has_value());
+  EXPECT_EQ(pos, 0u);  // pos is not advanced on failure
+}
+
+TEST(Packets, GarbageOpcodeRejected) {
+  std::vector<uint8_t> bytes = {0x7f, 0x00, 0x00};
+  size_t pos = 0;
+  EXPECT_FALSE(DecodePacket(bytes, &pos).has_value());
+}
+
+TEST(Packets, InvalidTntCountRejected) {
+  std::vector<uint8_t> bytes = {static_cast<uint8_t>(PacketKind::kTnt), 0x00, 7};
+  size_t pos = 0;
+  EXPECT_FALSE(DecodePacket(bytes, &pos).has_value());
+}
+
+TEST(Packets, FindPsbLocatesMagicAfterGarbage) {
+  std::vector<uint8_t> bytes = {0xde, 0xad, 0xbe, 0xef};
+  const size_t garbage = bytes.size();
+  EncodePacket(Psb(5, 0, 100), &bytes);
+  EXPECT_EQ(FindPsb(bytes, 0), garbage);
+  EXPECT_EQ(FindPsb(bytes, garbage + 1), bytes.size());  // none later
+}
+
+TEST(Packets, StreamRoundTripProperty) {
+  // Encode a random packet sequence; decode must reproduce it exactly.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Packet> stream;
+    stream.push_back(Psb(rng.NextBelow(1000), 0, rng.NextU64() >> 16));
+    const size_t n = 5 + rng.NextBelow(60);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.NextBelow(4)) {
+        case 0:
+          stream.push_back(Tnt(static_cast<uint8_t>(rng.NextBelow(64)),
+                               static_cast<uint8_t>(1 + rng.NextBelow(6))));
+          break;
+        case 1:
+          stream.push_back(Tip(static_cast<ir::BlockId>(rng.NextBelow(100000)),
+                               static_cast<uint16_t>(rng.NextBelow(500))));
+          break;
+        case 2:
+          stream.push_back(Mtc(static_cast<uint8_t>(rng.NextBelow(256))));
+          break;
+        default:
+          stream.push_back(Cyc(static_cast<uint16_t>(rng.NextBelow(65536))));
+          break;
+      }
+    }
+    std::vector<uint8_t> bytes;
+    for (const Packet& p : stream) {
+      EncodePacket(p, &bytes);
+    }
+    size_t pos = 0;
+    for (const Packet& expected : stream) {
+      const auto decoded = DecodePacket(bytes, &pos);
+      ASSERT_TRUE(decoded.has_value());
+      ExpectEqual(*decoded, expected);
+    }
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(RingBuffer, NoWrapKeepsEverything) {
+  RingBuffer rb(64);
+  const std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  rb.Append(data);
+  EXPECT_FALSE(rb.wrapped());
+  EXPECT_EQ(rb.total_written(), 5u);
+  EXPECT_EQ(rb.Snapshot(), data);
+}
+
+TEST(RingBuffer, WrapKeepsNewestBytes) {
+  RingBuffer rb(8);
+  std::vector<uint8_t> data;
+  for (uint8_t i = 0; i < 20; ++i) {
+    data.push_back(i);
+  }
+  rb.Append(data);
+  EXPECT_TRUE(rb.wrapped());
+  EXPECT_EQ(rb.total_written(), 20u);
+  const std::vector<uint8_t> expected = {12, 13, 14, 15, 16, 17, 18, 19};
+  EXPECT_EQ(rb.Snapshot(), expected);
+}
+
+TEST(RingBuffer, ManySmallAppendsMatchOneBigAppend) {
+  RingBuffer a(33), b(33);
+  Rng rng(9);
+  std::vector<uint8_t> all;
+  for (int i = 0; i < 200; ++i) {
+    all.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+  }
+  a.Append(all);
+  for (uint8_t byte : all) {
+    b.Append(&byte, 1);
+  }
+  EXPECT_EQ(a.Snapshot(), b.Snapshot());
+  EXPECT_EQ(a.total_written(), b.total_written());
+}
+
+TEST(RingBuffer, ExactCapacityBoundary) {
+  RingBuffer rb(4);
+  const std::vector<uint8_t> data = {10, 11, 12, 13};
+  rb.Append(data);
+  EXPECT_FALSE(rb.wrapped());
+  EXPECT_EQ(rb.Snapshot(), data);
+  rb.Append(data.data(), 1);  // now 5 total
+  EXPECT_TRUE(rb.wrapped());
+  const std::vector<uint8_t> expected = {11, 12, 13, 10};
+  EXPECT_EQ(rb.Snapshot(), expected);
+}
+
+}  // namespace
+}  // namespace snorlax::pt

@@ -1,0 +1,421 @@
+// Integration tests for the PT encode/decode path: run real programs under
+// the encoder, decode the buffers, and compare against the exact execution.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "pt/decoder.h"
+#include "pt/driver.h"
+#include "runtime/interpreter.h"
+
+namespace snorlax::pt {
+namespace {
+
+using ir::BlockId;
+using ir::CmpKind;
+using ir::FuncId;
+using ir::GlobalId;
+using ir::IrBuilder;
+using ir::Operand;
+using ir::Reg;
+
+// Records the exact retired-instruction sequence per thread (ground truth the
+// decoder must reproduce).
+class ExactRecorder : public rt::ExecutionObserver {
+ public:
+  struct Retired {
+    ir::InstId inst;
+    uint64_t time_ns;
+  };
+
+  uint64_t OnInstructionRetired(rt::ThreadId thread, const ir::Instruction* inst,
+                                uint64_t now_ns) override {
+    by_thread_[thread].push_back(Retired{inst->id(), now_ns});
+    return 0;
+  }
+
+  const std::map<rt::ThreadId, std::vector<Retired>>& by_thread() const { return by_thread_; }
+
+ private:
+  std::map<rt::ThreadId, std::vector<Retired>> by_thread_;
+};
+
+struct TraceRun {
+  rt::RunResult result;
+  PtTraceBundle bundle;
+  std::map<rt::ThreadId, std::vector<ExactRecorder::Retired>> exact;
+  PtStats stats;
+};
+
+TraceRun RunWithTracing(const ir::Module& m, PtConfig config = {}, uint64_t seed = 1) {
+  EXPECT_TRUE(ir::IsValid(m));
+  rt::InterpOptions opts;
+  opts.seed = seed;
+  opts.work_jitter = 0.03;
+  rt::Interpreter interp(&m, opts);
+  PtEncoder encoder(&m, config);
+  ExactRecorder exact;
+  interp.AddObserver(&encoder);
+  interp.AddObserver(&exact);
+  TraceRun out;
+  out.result = interp.Run("main");
+  uint64_t end_time = out.result.failure.IsFailure() ? out.result.failure.time_ns
+                                                     : out.result.virtual_ns;
+  out.bundle = encoder.Snapshot(end_time);
+  out.bundle.failure = out.result.failure;
+  out.exact = exact.by_thread();
+  out.stats = encoder.stats();
+  return out;
+}
+
+// A branchy single-threaded program with nested calls and a loop.
+std::unique_ptr<ir::Module> BuildBranchyProgram(int64_t iterations) {
+  auto m = std::make_unique<ir::Module>();
+  IrBuilder b(m.get());
+  const ir::Type* i64 = m->types().IntType(64);
+
+  const FuncId leaf = b.BeginFunction("leaf", i64, {i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Work(700);
+  b.Ret(b.Add(b.Param(0), 3, i64));
+  b.EndFunction();
+
+  const FuncId helper = b.BeginFunction("helper", i64, {i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg x = b.Call(leaf, std::vector<Reg>{b.Param(0)}, i64);
+  const Reg y = b.Call(leaf, std::vector<Reg>{x}, i64);
+  b.Ret(y);
+  b.EndFunction();
+
+  b.BeginFunction("main", m->types().VoidType(), {});
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId head = b.CreateBlock("head");
+  const BlockId odd = b.CreateBlock("odd");
+  const BlockId even = b.CreateBlock("even");
+  const BlockId next = b.CreateBlock("next");
+  const BlockId exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  const Reg i = b.Alloca(i64);
+  const Reg acc = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), i, i64);
+  b.Store(Operand::MakeImm(0), acc, i64);
+  b.Br(head);
+  b.SetInsertPoint(head);
+  const Reg iv = b.Load(i, i64);
+  const Reg bit = b.BinOp(ir::BinOpKind::kAnd, Operand::MakeReg(iv), Operand::MakeImm(1), i64);
+  b.CondBr(bit, odd, even);
+  b.SetInsertPoint(odd);
+  const Reg r1 = b.Call(helper, std::vector<Reg>{iv}, i64);
+  const Reg a1 = b.Load(acc, i64);
+  b.Store(b.BinOp(ir::BinOpKind::kAdd, Operand::MakeReg(a1), Operand::MakeReg(r1), i64), acc,
+          i64);
+  b.Br(next);
+  b.SetInsertPoint(even);
+  b.Work(1500);
+  b.Br(next);
+  b.SetInsertPoint(next);
+  const Reg iv2 = b.Add(iv, 1, i64);
+  b.Store(iv2, i, i64);
+  const Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(iv2), Operand::MakeImm(iterations));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+  b.RetVoid();
+  b.EndFunction();
+  return m;
+}
+
+void ExpectDecodedMatchesExact(const ir::Module& m, const TraceRun& run,
+                               bool allow_lost_prefix) {
+  PtDecoder decoder(&m);
+  const auto decoded = decoder.Decode(run.bundle);
+  ASSERT_EQ(decoded.size(), run.exact.size());
+  for (const DecodedThreadTrace& t : decoded) {
+    SCOPED_TRACE("thread " + std::to_string(t.thread));
+    ASSERT_TRUE(t.ok()) << t.error;
+    const auto& exact = run.exact.at(t.thread);
+    if (!allow_lost_prefix) {
+      EXPECT_FALSE(t.lost_prefix);
+      ASSERT_EQ(t.events.size(), exact.size());
+    } else {
+      ASSERT_LE(t.events.size(), exact.size());
+    }
+    // The decoded trace must equal a contiguous tail of the exact retirement
+    // sequence (re-sync after a wrap may land mid-block, so find the
+    // alignment by matching backwards from the end), with timestamps
+    // bracketing the truth.
+    const size_t offset = exact.size() - t.events.size();
+    for (size_t k = 0; k < t.events.size(); ++k) {
+      ASSERT_EQ(t.events[k].inst, exact[offset + k].inst)
+          << "position " << k << " of " << t.events.size();
+      EXPECT_LE(t.events[k].ts_lo_ns, exact[offset + k].time_ns + 1);
+      EXPECT_GE(t.events[k].ts_ns + 5000, exact[offset + k].time_ns);
+    }
+  }
+}
+
+TEST(PtTrace, SingleThreadedExactReconstruction) {
+  auto m = BuildBranchyProgram(40);
+  const TraceRun run = RunWithTracing(*m);
+  EXPECT_TRUE(run.result.Succeeded());
+  ExpectDecodedMatchesExact(*m, run, /*allow_lost_prefix=*/false);
+}
+
+TEST(PtTrace, RetCompressionAcrossNestedCalls) {
+  // Force frequent PSBs so returns often cross sync points (uncompressed TIP
+  // path) as well as staying within them (compressed path).
+  auto m = BuildBranchyProgram(60);
+  PtConfig config;
+  config.psb_period_bytes = 64;
+  const TraceRun run = RunWithTracing(*m, config);
+  EXPECT_TRUE(run.result.Succeeded());
+  ExpectDecodedMatchesExact(*m, run, /*allow_lost_prefix=*/false);
+}
+
+TEST(PtTrace, RingBufferWrapLosesOnlyPrefix) {
+  auto m = BuildBranchyProgram(3000);
+  PtConfig config;
+  config.buffer_bytes = 4096;  // tiny: guaranteed wrap
+  const TraceRun run = RunWithTracing(*m, config);
+  EXPECT_TRUE(run.result.Succeeded());
+  const auto decoded = PtDecoder(m.get()).Decode(run.bundle);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(decoded[0].lost_prefix);
+  ExpectDecodedMatchesExact(*m, run, /*allow_lost_prefix=*/true);
+  // A meaningful portion survives.
+  EXPECT_GT(decoded[0].events.size(), 100u);
+}
+
+TEST(PtTrace, PersistModeLosesNothing) {
+  // Section 7: persisting the ring buffer to storage on every fill keeps the
+  // full trace at a runtime and storage cost. A tiny buffer plus persistence
+  // must reconstruct the entire execution exactly.
+  auto m = BuildBranchyProgram(6000);
+  PtConfig config;
+  config.buffer_bytes = 1024;
+  config.persist_to_storage = true;
+  const TraceRun run = RunWithTracing(*m, config);
+  EXPECT_TRUE(run.result.Succeeded());
+  EXPECT_GT(run.stats.storage_flushes, 5u);
+  EXPECT_GT(run.stats.storage_bytes, 5000u);
+  const auto decoded = PtDecoder(m.get()).Decode(run.bundle);
+  ASSERT_EQ(decoded.size(), 1u);
+  ExpectDecodedMatchesExact(*m, run, /*allow_lost_prefix=*/false);
+}
+
+TEST(PtTrace, PersistModeCostsRuntimeAndStorage) {
+  auto m = BuildBranchyProgram(6000);
+  PtConfig ring;
+  ring.buffer_bytes = 1024;
+  PtConfig persist = ring;
+  persist.persist_to_storage = true;
+
+  const TraceRun ring_run = RunWithTracing(*m, ring);
+  const TraceRun persist_run = RunWithTracing(*m, persist);
+  // Same program, same seed: persistence stalls make the run slower.
+  EXPECT_GT(persist_run.result.virtual_ns, ring_run.result.virtual_ns);
+  EXPECT_EQ(ring_run.stats.storage_bytes, 0u);
+  // Ring mode loses the prefix; persist mode does not.
+  const auto ring_decoded = PtDecoder(m.get()).Decode(ring_run.bundle);
+  const auto persist_decoded = PtDecoder(m.get()).Decode(persist_run.bundle);
+  EXPECT_TRUE(ring_decoded[0].lost_prefix);
+  EXPECT_FALSE(persist_decoded[0].lost_prefix);
+  EXPECT_GT(persist_decoded[0].events.size(), ring_decoded[0].events.size());
+}
+
+TEST(PtTrace, IndirectCallsViaTip) {
+  auto m = std::make_unique<ir::Module>();
+  IrBuilder b(m.get());
+  const ir::Type* i64 = m->types().IntType(64);
+  const FuncId f1 = b.BeginFunction("cb_one", i64, {i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Ret(b.Add(b.Param(0), 1, i64));
+  b.EndFunction();
+  const FuncId f2 = b.BeginFunction("cb_two", i64, {i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Ret(b.Add(b.Param(0), 2, i64));
+  b.EndFunction();
+  b.BeginFunction("main", m->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg p1 = b.FuncAddr(f1);
+  const Reg p2 = b.FuncAddr(f2);
+  const Reg ten = b.Const(i64, 10);
+  const Reg a = b.CallIndirect(p1, {ten}, i64);
+  const Reg c = b.CallIndirect(p2, {a}, i64);
+  const Reg ok = b.Cmp(CmpKind::kEq, Operand::MakeReg(c), Operand::MakeImm(13));
+  b.Assert(ok);
+  b.RetVoid();
+  b.EndFunction();
+
+  const TraceRun run = RunWithTracing(*m);
+  EXPECT_TRUE(run.result.Succeeded());
+  ExpectDecodedMatchesExact(*m, run, /*allow_lost_prefix=*/false);
+}
+
+// A two-thread program (producer bumps a shared counter; main loops).
+std::unique_ptr<ir::Module> BuildTwoThreadProgram() {
+  auto m = std::make_unique<ir::Module>();
+  IrBuilder b(m.get());
+  const ir::Type* i64 = m->types().IntType(64);
+  const GlobalId g = b.CreateGlobal("shared", i64);
+
+  const FuncId worker = b.BeginFunction("worker", m->types().VoidType(), {i64});
+  const BlockId wentry = b.CreateBlock("entry");
+  const BlockId whead = b.CreateBlock("head");
+  const BlockId wexit = b.CreateBlock("exit");
+  b.SetInsertPoint(wentry);
+  const Reg i = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), i, i64);
+  b.Br(whead);
+  b.SetInsertPoint(whead);
+  b.Work(900);
+  const Reg c = b.AddrOfGlobal(g);
+  const Reg v = b.Load(c, i64);
+  b.Store(b.Add(v, 1, i64), c, i64);
+  const Reg iv = b.Load(i, i64);
+  const Reg iv2 = b.Add(iv, 1, i64);
+  b.Store(iv2, i, i64);
+  const Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(iv2), Operand::MakeImm(30));
+  b.CondBr(more, whead, wexit);
+  b.SetInsertPoint(wexit);
+  b.RetVoid();
+  b.EndFunction();
+
+  b.BeginFunction("main", m->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg t1 = b.ThreadCreate(worker, Operand::MakeImm(0));
+  const Reg t2 = b.ThreadCreate(worker, Operand::MakeImm(1));
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  b.RetVoid();
+  b.EndFunction();
+  return m;
+}
+
+TEST(PtTrace, PerThreadStreamsDecodeIndependently) {
+  auto m = BuildTwoThreadProgram();
+  const TraceRun run = RunWithTracing(*m);
+  EXPECT_TRUE(run.result.Succeeded());
+  EXPECT_EQ(run.exact.size(), 3u);  // main + two workers
+  ExpectDecodedMatchesExact(*m, run, /*allow_lost_prefix=*/false);
+}
+
+TEST(PtTrace, TimingPacketsRoughlyHalfTheBuffer) {
+  // The paper reports timing packets at ~49% of trace bytes with the
+  // highest-frequency configuration; our encoder should land in that band.
+  auto m = BuildBranchyProgram(400);
+  const TraceRun run = RunWithTracing(*m);
+  EXPECT_GT(run.stats.timing_packets, 100u);
+  EXPECT_GT(run.stats.TimingByteFraction(), 0.20);
+  EXPECT_LT(run.stats.TimingByteFraction(), 0.70);
+}
+
+TEST(PtTrace, DisabledTimingProducesNoTimingPackets) {
+  auto m = BuildBranchyProgram(50);
+  PtConfig config;
+  config.enable_timing = false;
+  const TraceRun run = RunWithTracing(*m, config);
+  EXPECT_EQ(run.stats.timing_packets, 0u);
+  // Control flow still decodes (timestamps all collapse to the PSB time).
+  PtDecoder decoder(m.get());
+  const auto decoded = decoder.Decode(run.bundle);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(decoded[0].ok()) << decoded[0].error;
+  const auto& exact = run.exact.at(0);
+  ASSERT_EQ(decoded[0].events.size(), exact.size());
+}
+
+TEST(PtTrace, DecoderTimestampsAreCoarse) {
+  // Decoded timestamps are quantized: distinct retirements share window
+  // bounds, which is exactly why the dynamic trace is only partially ordered.
+  auto m = BuildBranchyProgram(100);
+  const TraceRun run = RunWithTracing(*m);
+  PtDecoder decoder(m.get());
+  const auto decoded = decoder.Decode(run.bundle);
+  ASSERT_EQ(decoded.size(), 1u);
+  size_t shared_hi = 0;
+  for (size_t k = 1; k < decoded[0].events.size(); ++k) {
+    shared_hi += decoded[0].events[k].ts_ns == decoded[0].events[k - 1].ts_ns;
+  }
+  // Many consecutive events share an upper bound (batched under one packet).
+  EXPECT_GT(shared_hi, decoded[0].events.size() / 2);
+}
+
+TEST(PtDriver, FailureDumpCapturesTrace) {
+  // A program that crashes: the driver must capture a failure-tagged bundle.
+  auto m = std::make_unique<ir::Module>();
+  IrBuilder b(m.get());
+  const ir::Type* i64 = m->types().IntType(64);
+  const ir::Type* ptr = m->types().PointerTo(i64);
+  const GlobalId g = b.CreateGlobal("slot", ptr);
+  b.BeginFunction("main", m->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Work(5000);
+  const Reg slot = b.AddrOfGlobal(g);
+  const Reg p = b.Load(slot, ptr);
+  b.Load(p, i64);  // null deref
+  b.RetVoid();
+  b.EndFunction();
+
+  rt::Interpreter interp(m.get(), rt::InterpOptions{});
+  PtDriver driver(m.get());
+  driver.Attach(&interp);
+  const rt::RunResult r = interp.Run("main");
+  EXPECT_EQ(r.failure.kind, rt::FailureKind::kCrash);
+  ASSERT_TRUE(driver.captured().has_value());
+  EXPECT_TRUE(driver.captured()->failure.IsFailure());
+  EXPECT_EQ(driver.captured()->failure.failing_inst, r.failure.failing_inst);
+  EXPECT_EQ(driver.captured_rank(), -1);
+}
+
+TEST(PtDriver, DumpPointSnapshotsOnWatchpoint) {
+  auto m = BuildBranchyProgram(30);
+  const ir::Instruction* some_mid_inst = nullptr;
+  for (const ir::Instruction* inst : m->AllInstructions()) {
+    if (inst->opcode() == ir::Opcode::kWork && inst->imm() == 1500) {
+      some_mid_inst = inst;
+      break;
+    }
+  }
+  ASSERT_NE(some_mid_inst, nullptr);
+
+  rt::Interpreter interp(m.get(), rt::InterpOptions{});
+  PtDriver driver(m.get());
+  driver.AddDumpPoint(some_mid_inst->id(), 0);
+  driver.Attach(&interp);
+  EXPECT_TRUE(interp.Run("main").Succeeded());
+  ASSERT_TRUE(driver.captured().has_value());
+  EXPECT_FALSE(driver.captured()->failure.IsFailure());
+  EXPECT_EQ(driver.captured_rank(), 0);
+  // The snapshot decodes cleanly.
+  PtDecoder decoder(m.get());
+  const auto decoded = decoder.Decode(*driver.captured());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(decoded[0].ok()) << decoded[0].error;
+  EXPECT_GT(decoded[0].events.size(), 5u);
+}
+
+TEST(PtDriver, LowerRankDumpWins) {
+  auto m = BuildBranchyProgram(30);
+  // Find two distinct Work instructions as watch PCs.
+  std::vector<const ir::Instruction*> works;
+  for (const ir::Instruction* inst : m->AllInstructions()) {
+    if (inst->opcode() == ir::Opcode::kWork) {
+      works.push_back(inst);
+    }
+  }
+  ASSERT_GE(works.size(), 2u);
+
+  rt::Interpreter interp(m.get(), rt::InterpOptions{});
+  PtDriver driver(m.get());
+  driver.AddDumpPoint(works[0]->id(), 1);  // fallback rank
+  driver.AddDumpPoint(works[1]->id(), 0);  // primary
+  driver.Attach(&interp);
+  EXPECT_TRUE(interp.Run("main").Succeeded());
+  ASSERT_TRUE(driver.captured().has_value());
+  EXPECT_EQ(driver.captured_rank(), 0);
+}
+
+}  // namespace
+}  // namespace snorlax::pt

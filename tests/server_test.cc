@@ -1,0 +1,352 @@
+// Tests for the DiagnosisServer pipeline (steps 2-7), its ablation knobs,
+// dump-point selection, and the client/server orchestration plumbing.
+#include <gtest/gtest.h>
+
+#include "core/snorlax.h"
+#include "ir/builder.h"
+#include "ir/cfg.h"
+#include "workloads/workload.h"
+
+namespace snorlax::core {
+namespace {
+
+// Captures a failing bundle from a workload (first failing seed).
+struct Captured {
+  workloads::Workload workload;
+  pt::PtTraceBundle bundle;
+  uint64_t failing_seed = 0;
+};
+
+Captured CaptureFailingTrace(const std::string& name) {
+  Captured out{workloads::Build(name), {}, 0};
+  ClientOptions copts;
+  copts.interp = out.workload.interp;
+  DiagnosisClient client(out.workload.module.get(), copts);
+  for (uint64_t seed = 1; seed <= 2000; ++seed) {
+    ClientRun run = client.RunOnce(seed);
+    if (run.result.failure.IsFailure()) {
+      EXPECT_TRUE(run.trace.has_value());
+      out.bundle = *run.trace;
+      out.failing_seed = seed;
+      return out;
+    }
+  }
+  ADD_FAILURE() << "no failure reproduced for " << name;
+  return out;
+}
+
+TEST(DiagnosisServer, PipelineStagesPopulate) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer server(cap.workload.module.get());
+  server.SubmitFailingTrace(cap.bundle);
+  ASSERT_TRUE(server.HasFailure());
+
+  const DiagnosisReport report = server.Diagnose();
+  EXPECT_EQ(report.failure.kind, rt::FailureKind::kCrash);
+  EXPECT_GT(report.stages.module_instructions, 0u);
+  EXPECT_GT(report.stages.executed_instructions, 0u);
+  EXPECT_LE(report.stages.executed_instructions, report.stages.module_instructions);
+  EXPECT_GT(report.stages.candidate_instructions, 0u);
+  EXPECT_LE(report.stages.candidate_instructions, report.stages.executed_instructions);
+  EXPECT_GT(report.stages.rank1_candidates, 0u);
+  EXPECT_LE(report.stages.rank1_candidates, report.stages.candidate_instructions);
+  EXPECT_GT(report.stages.patterns_generated, 0u);
+  EXPECT_FALSE(report.patterns.empty());
+  EXPECT_GT(report.analysis_seconds, 0.0);
+  // The failure chain walked back to the pointer load.
+  EXPECT_GE(server.failure_chain().size(), 2u);
+}
+
+TEST(DiagnosisServer, DumpPointsStartAtFailurePc) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer server(cap.workload.module.get());
+  server.SubmitFailingTrace(cap.bundle);
+  const auto points = server.RequestedDumpPoints();
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points[0].first, cap.bundle.failure.failing_inst);
+  EXPECT_EQ(points[0].second, 0);
+  // Fallbacks cover predecessor blocks of the failing block.
+  const auto preds = ir::PredecessorBlocksOf(*cap.workload.module,
+                                             cap.bundle.failure.failing_inst);
+  EXPECT_EQ(points.size(), 1 + preds.size());
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].second, static_cast<int>(i));
+  }
+}
+
+TEST(DiagnosisServer, NoFailureMeansEmptyReport) {
+  workloads::Workload w = workloads::Build("pbzip2_main");
+  DiagnosisServer server(w.module.get());
+  EXPECT_FALSE(server.HasFailure());
+  EXPECT_TRUE(server.RequestedDumpPoints().empty());
+  const DiagnosisReport report = server.Diagnose();
+  EXPECT_TRUE(report.patterns.empty());
+  EXPECT_EQ(report.failing_traces, 0u);
+}
+
+TEST(DiagnosisServer, SuccessTraceCapEnforced) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer server(cap.workload.module.get());
+  server.SubmitFailingTrace(cap.bundle);
+  // Feed 15 "success" traces (reuse shape: a non-failing run's snapshot).
+  ClientOptions copts;
+  copts.interp = cap.workload.interp;
+  DiagnosisClient client(cap.workload.module.get(), copts);
+  const auto dump_points = server.RequestedDumpPoints();
+  uint64_t seed = cap.failing_seed + 1;
+  int fed = 0;
+  while (fed < 15 && seed < cap.failing_seed + 400) {
+    ClientRun run = client.RunOnce(seed++, dump_points);
+    if (!run.result.failure.IsFailure() && run.trace.has_value()) {
+      server.SubmitSuccessTrace(*run.trace);
+      ++fed;
+    }
+  }
+  ASSERT_EQ(fed, 15);
+  EXPECT_EQ(server.NumSuccessTraces(), server.SuccessTraceCap());
+  EXPECT_EQ(server.NumSuccessTraces(), 10u);  // 10x one failing trace
+}
+
+TEST(DiagnosisServer, AblationScopeRestrictionOff) {
+  // Whole-program points-to must reach the same diagnosis (slower, same
+  // accuracy) -- the paper's claim that scope restriction costs no accuracy.
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer::Options options;
+  options.use_scope_restriction = false;
+  DiagnosisServer server(cap.workload.module.get(), options);
+  server.SubmitFailingTrace(cap.bundle);
+  const DiagnosisReport report = server.Diagnose();
+  ASSERT_FALSE(report.patterns.empty());
+  EXPECT_GT(server.points_to()->stats().instructions_analyzed,
+            report.stages.executed_instructions);
+}
+
+TEST(DiagnosisServer, AblationTypeRankingOff) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer::Options options;
+  options.use_type_ranking = false;
+  DiagnosisServer server(cap.workload.module.get(), options);
+  server.SubmitFailingTrace(cap.bundle);
+  const DiagnosisReport report = server.Diagnose();
+  // Without ranking every candidate lands in the first band.
+  EXPECT_EQ(report.stages.rank1_candidates, report.stages.candidate_instructions);
+  EXPECT_FALSE(report.patterns.empty());
+}
+
+TEST(DiagnosisClient, TracingCanBeDisabled) {
+  workloads::Workload w = workloads::Build("pbzip2_main");
+  ClientOptions copts;
+  copts.interp = w.interp;
+  copts.tracing_enabled = false;
+  DiagnosisClient client(w.module.get(), copts);
+  const ClientRun run = client.RunOnce(1);
+  EXPECT_FALSE(run.trace.has_value());
+  EXPECT_EQ(run.pt_stats.total_bytes, 0u);
+}
+
+TEST(Snorlax, EndToEndOutcomeBookkeeping) {
+  workloads::Workload w = workloads::Build("pbzip2_main");
+  SnorlaxOptions opts;
+  opts.client.interp = w.interp;
+  Snorlax snorlax(w.module.get(), opts);
+  const auto outcome = snorlax.DiagnoseFirstFailure(1);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_GE(outcome->runs_until_failure, 1u);
+  EXPECT_EQ(outcome->failing_runs_used, 1u);
+  EXPECT_EQ(outcome->success_runs_used, 10u);
+  EXPECT_GE(outcome->total_runs, outcome->runs_until_failure + 10);
+  EXPECT_EQ(outcome->report.failing_traces, 1u);
+  EXPECT_EQ(outcome->report.success_traces, 10u);
+  // The failing run produced a meaningfully sized PT trace.
+  EXPECT_GT(outcome->failing_run_pt_stats.branch_events, 1000u);
+  EXPECT_GT(outcome->failing_run_pt_stats.timing_packets, 100u);
+}
+
+TEST(Snorlax, NoFailureWithinBudgetReturnsNullopt) {
+  workloads::Workload w = workloads::Build("pbzip2_main");
+  SnorlaxOptions opts;
+  opts.client.interp = w.interp;
+  opts.max_runs = 1;  // seed 1 succeeds for this workload
+  Snorlax snorlax(w.module.get(), opts);
+  EXPECT_FALSE(snorlax.DiagnoseFirstFailure(1).has_value());
+}
+
+// A bug the plain operand walk cannot reach: the victim caches the shared
+// pointer in a private cell early, the killer nulls the shared slot, and the
+// victim crashes much later dereferencing a *re-read through its private
+// cell*. The corrupt value flowed through memory, so the RETracer-style
+// register walk dead-ends at the private cell -- only the backward-slice
+// fallback (paper section 7 future work) finds the racing store.
+std::unique_ptr<ir::Module> BuildStaleCopyProgram(ir::InstId* racing_store) {
+  auto m = std::make_unique<ir::Module>();
+  ir::IrBuilder b(m.get());
+  const ir::Type* i64 = m->types().IntType(64);
+  const ir::Type* obj_ty = m->types().StructType("Resource", {i64, i64});
+  const ir::Type* obj_ptr = m->types().PointerTo(obj_ty);
+  const ir::GlobalId g_slot = b.CreateGlobal("resource_slot", obj_ptr);
+
+  const ir::FuncId victim = b.BeginFunction("victim", m->types().VoidType(), {i64});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg slot = b.AddrOfGlobal(g_slot);
+    const ir::Reg cache = b.Alloca(obj_ptr);  // private cache cell
+    // Branchy warmup, then cache the shared pointer privately.
+    const ir::Reg warm = b.Alloca(i64);
+    b.Store(ir::Operand::MakeImm(0), warm, i64);
+    const ir::BlockId wh = b.CreateBlock("warm");
+    const ir::BlockId wx = b.CreateBlock("warm_done");
+    b.Br(wh);
+    b.SetInsertPoint(wh);
+    b.Work(4'000);
+    const ir::Reg wv = b.Load(warm, i64);
+    const ir::Reg wv2 = b.Add(wv, 1, i64);
+    b.Store(wv2, warm, i64);
+    const ir::Reg more = b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(wv2),
+                               ir::Operand::MakeImm(20));
+    b.CondBr(more, wh, wx);
+    b.SetInsertPoint(wx);
+    const ir::Reg fresh = b.Load(slot, obj_ptr);
+    b.Store(fresh, cache, obj_ptr);
+    // Long second phase, then use the STALE private copy... re-read through
+    // the private cell, whose content the killer indirectly corrupted via a
+    // republish of null through a helper the walk cannot follow.
+    const ir::Reg busy = b.Alloca(i64);
+    b.Store(ir::Operand::MakeImm(0), busy, i64);
+    const ir::BlockId bh = b.CreateBlock("busy");
+    const ir::BlockId bx = b.CreateBlock("busy_done");
+    b.Br(bh);
+    b.SetInsertPoint(bh);
+    b.Work(6'000);
+    const ir::Reg bv = b.Load(busy, i64);
+    const ir::Reg bv2 = b.Add(bv, 1, i64);
+    b.Store(bv2, busy, i64);
+    // Refresh the private cache from the shared slot each round (so the
+    // null lands in the private cell through memory, not a register).
+    const ir::Reg refreshed = b.Load(slot, obj_ptr);
+    b.Store(refreshed, cache, obj_ptr);
+    const ir::Reg bmore = b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(bv2),
+                                ir::Operand::MakeImm(120));
+    b.CondBr(bmore, bh, bx);
+    b.SetInsertPoint(bx);
+    const ir::Reg stale = b.Load(cache, obj_ptr);
+    const ir::Reg field = b.Gep(stale, obj_ty, 0);
+    b.Load(field, i64);  // crash: the cached copy is null
+    b.RetVoid();
+    b.EndFunction();
+  }
+
+  b.BeginFunction("main", m->types().VoidType(), {});
+  {
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const ir::Reg slot = b.AddrOfGlobal(g_slot);
+    const ir::Reg obj = b.Alloca(obj_ty);
+    b.Store(obj, slot, obj_ptr);
+    const ir::Reg t = b.ThreadCreate(victim, ir::Operand::MakeImm(0));
+    const ir::Reg spin = b.Alloca(i64);
+    b.Store(ir::Operand::MakeImm(0), spin, i64);
+    const ir::BlockId sh = b.CreateBlock("serve");
+    const ir::BlockId sx = b.CreateBlock("serve_done");
+    b.Br(sh);
+    b.SetInsertPoint(sh);
+    b.Work(5'500);
+    const ir::Reg sv = b.Load(spin, i64);
+    const ir::Reg sv2 = b.Add(sv, 1, i64);
+    b.Store(sv2, spin, i64);
+    const ir::Reg smore = b.Cmp(ir::CmpKind::kLt, ir::Operand::MakeReg(sv2),
+                                ir::Operand::MakeImm(80));
+    b.CondBr(smore, sh, sx);
+    b.SetInsertPoint(sx);
+    b.Store(ir::Operand::MakeImm(0), slot, obj_ptr);  // the racing null store
+    *racing_store = b.last_inst();
+    b.ThreadJoin(t);
+    b.RetVoid();
+    b.EndFunction();
+  }
+  return m;
+}
+
+TEST(DiagnosisServer, SliceFallbackRecoversStaleCopyBug) {
+  ir::InstId racing_store = ir::kInvalidInstId;
+  auto m = BuildStaleCopyProgram(&racing_store);
+
+  // Reproduce the crash.
+  ClientOptions copts;
+  copts.interp.work_jitter = 0.04;
+  DiagnosisClient client(m.get(), copts);
+  std::optional<pt::PtTraceBundle> bundle;
+  for (uint64_t seed = 1; seed <= 500 && !bundle.has_value(); ++seed) {
+    ClientRun run = client.RunOnce(seed);
+    if (run.result.failure.IsFailure()) {
+      ASSERT_EQ(run.result.failure.kind, rt::FailureKind::kCrash);
+      bundle = run.trace;
+    }
+  }
+  ASSERT_TRUE(bundle.has_value()) << "stale-copy crash did not reproduce";
+
+  // Without the fallback the operand walk dead-ends at the private cell and
+  // no remote candidate exists: no pattern.
+  DiagnosisServer::Options off;
+  off.use_slice_fallback = false;
+  DiagnosisServer plain(m.get(), off);
+  plain.SubmitFailingTrace(*bundle);
+  EXPECT_TRUE(plain.Diagnose().patterns.empty());
+  EXPECT_FALSE(plain.used_slice_fallback());
+
+  // With the fallback, the backward slice reaches the shared slot and the
+  // racing store becomes a candidate.
+  DiagnosisServer server(m.get());
+  server.SubmitFailingTrace(*bundle);
+  EXPECT_TRUE(server.used_slice_fallback());
+  const DiagnosisReport report = server.Diagnose();
+  ASSERT_FALSE(report.patterns.empty());
+  bool racing_store_in_top = false;
+  const double best = report.patterns[0].f1;
+  for (const DiagnosedPattern& p : report.patterns) {
+    if (p.f1 != best) {
+      break;
+    }
+    for (const PatternEvent& e : p.pattern.events) {
+      racing_store_in_top |= e.inst == racing_store;
+    }
+  }
+  EXPECT_TRUE(racing_store_in_top);
+}
+
+TEST(Snorlax, TimingPacketsDriveAtomicityOrdering) {
+  // Ablation of the coarse timestamps: with timing packets disabled the
+  // atomicity triple of mysql_169 cannot be ordered; with them it can.
+  workloads::Workload w = workloads::Build("mysql_169");
+  SnorlaxOptions with_timing;
+  with_timing.client.interp = w.interp;
+  Snorlax s1(w.module.get(), with_timing);
+  const auto good = s1.DiagnoseFirstFailure(1);
+  ASSERT_TRUE(good.has_value());
+  bool found_rwr = false;
+  const double best = good->report.patterns.empty() ? 0 : good->report.patterns[0].f1;
+  for (const auto& p : good->report.patterns) {
+    if (p.f1 == best && p.pattern.kind == PatternKind::kAtomicityRWR) {
+      found_rwr = true;
+    }
+  }
+  EXPECT_TRUE(found_rwr);
+
+  workloads::Workload w2 = workloads::Build("mysql_169");
+  SnorlaxOptions no_timing;
+  no_timing.client.interp = w2.interp;
+  no_timing.client.pt.enable_timing = false;
+  Snorlax s2(w2.module.get(), no_timing);
+  const auto degraded = s2.DiagnoseFirstFailure(1);
+  ASSERT_TRUE(degraded.has_value());
+  bool rwr_on_top = false;
+  const double best2 = degraded->report.patterns.empty() ? 0 : degraded->report.patterns[0].f1;
+  for (const auto& p : degraded->report.patterns) {
+    if (p.f1 == best2 && p.pattern.kind == PatternKind::kAtomicityRWR && p.pattern.ordered) {
+      rwr_on_top = true;
+    }
+  }
+  // Without timestamps the ordered RWR triple is not derivable.
+  EXPECT_FALSE(rwr_on_top);
+}
+
+}  // namespace
+}  // namespace snorlax::core

@@ -1,0 +1,173 @@
+// Unit tests for the static backward slicer (the Gist baseline's analysis).
+#include <gtest/gtest.h>
+
+#include "analysis/slicer.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+
+namespace snorlax::analysis {
+namespace {
+
+using ir::BlockId;
+using ir::CmpKind;
+using ir::FuncId;
+using ir::GlobalId;
+using ir::IrBuilder;
+using ir::Operand;
+using ir::Reg;
+
+PointsToResult WholeProgram(const ir::Module& m) {
+  PointsToOptions opts;
+  opts.scope = PointsToOptions::Scope::kWholeProgram;
+  return RunPointsTo(m, opts);
+}
+
+TEST(Slicer, RegisterDataDependences) {
+  // crash depends on v = a + b; a and b's defs must be in the slice.
+  ir::Module m;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg a = b.Const(i64, 1);
+  const ir::InstId def_a = b.last_inst();
+  const Reg bb = b.Const(i64, 2);
+  const ir::InstId def_b = b.last_inst();
+  const Reg unrelated = b.Const(i64, 3);
+  const ir::InstId def_unrelated = b.last_inst();
+  (void)unrelated;
+  const Reg v = b.BinOp(ir::BinOpKind::kAdd, a, bb, i64);
+  const ir::InstId def_v = b.last_inst();
+  const Reg ok = b.Cmp(CmpKind::kGt, Operand::MakeReg(v), Operand::MakeImm(0));
+  b.Assert(ok);
+  const ir::InstId criterion = b.last_inst();
+  b.RetVoid();
+  b.EndFunction();
+
+  const PointsToResult pts = WholeProgram(m);
+  const auto slice = BackwardSlice(m, pts, criterion);
+  EXPECT_TRUE(slice.count(criterion));
+  EXPECT_TRUE(slice.count(def_v));
+  EXPECT_TRUE(slice.count(def_a));
+  EXPECT_TRUE(slice.count(def_b));
+  EXPECT_FALSE(slice.count(def_unrelated));
+}
+
+TEST(Slicer, MemoryDependencesThroughAliases) {
+  // load of a global depends on stores that may alias it, and not on stores
+  // to unrelated memory.
+  ir::Module m;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const GlobalId g = b.CreateGlobal("x", i64);
+  const GlobalId other = b.CreateGlobal("y", i64);
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg p = b.AddrOfGlobal(g);
+  b.Store(Operand::MakeImm(1), p, i64);
+  const ir::InstId aliased_store = b.last_inst();
+  const Reg q = b.AddrOfGlobal(other);
+  b.Store(Operand::MakeImm(2), q, i64);
+  const ir::InstId unrelated_store = b.last_inst();
+  const Reg v = b.Load(p, i64);
+  (void)v;
+  const ir::InstId criterion = b.last_inst();
+  b.RetVoid();
+  b.EndFunction();
+
+  const PointsToResult pts = WholeProgram(m);
+  const auto slice = BackwardSlice(m, pts, criterion);
+  EXPECT_TRUE(slice.count(aliased_store));
+  EXPECT_FALSE(slice.count(unrelated_store));
+}
+
+TEST(Slicer, InterproceduralThroughCallsAndReturns) {
+  ir::Module m;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const FuncId producer = b.BeginFunction("producer", i64, {i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg doubled = b.BinOp(ir::BinOpKind::kAdd, b.Param(0), b.Param(0), i64);
+  const ir::InstId producer_add = b.last_inst();
+  b.Ret(doubled);
+  const ir::InstId producer_ret = b.last_inst();
+  b.EndFunction();
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg seed = b.Const(i64, 5);
+  const ir::InstId def_seed = b.last_inst();
+  const Reg out = b.Call(producer, std::vector<Reg>{seed}, i64);
+  const ir::InstId call = b.last_inst();
+  const Reg ok = b.Cmp(CmpKind::kEq, Operand::MakeReg(out), Operand::MakeImm(10));
+  b.Assert(ok);
+  const ir::InstId criterion = b.last_inst();
+  b.RetVoid();
+  b.EndFunction();
+
+  const PointsToResult pts = WholeProgram(m);
+  const auto slice = BackwardSlice(m, pts, criterion);
+  EXPECT_TRUE(slice.count(call));
+  EXPECT_TRUE(slice.count(producer_ret));
+  EXPECT_TRUE(slice.count(producer_add));
+  // The argument flows into the parameter, pulling in the call site + seed.
+  EXPECT_TRUE(slice.count(def_seed));
+}
+
+TEST(Slicer, ControlDependences) {
+  // The criterion sits in a branch target; the branch (and its condition's
+  // def) belongs to the slice.
+  ir::Module m;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  b.BeginFunction("main", m.types().VoidType(), {});
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId guarded = b.CreateBlock("guarded");
+  const BlockId done = b.CreateBlock("done");
+  b.SetInsertPoint(entry);
+  const Reg c = b.Const(i64, 1);
+  const ir::InstId def_c = b.last_inst();
+  const Reg cond = b.Cmp(CmpKind::kGt, Operand::MakeReg(c), Operand::MakeImm(0));
+  b.CondBr(cond, guarded, done);
+  const ir::InstId branch = b.last_inst();
+  b.SetInsertPoint(guarded);
+  b.Nop();
+  const ir::InstId criterion = b.last_inst();
+  b.Br(done);
+  b.SetInsertPoint(done);
+  b.RetVoid();
+  b.EndFunction();
+
+  const PointsToResult pts = WholeProgram(m);
+  const auto slice = BackwardSlice(m, pts, criterion);
+  EXPECT_TRUE(slice.count(branch));
+  EXPECT_TRUE(slice.count(def_c));
+}
+
+TEST(Slicer, GrowthCapRespected) {
+  ir::Module m;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  Reg v = b.Const(i64, 0);
+  for (int i = 0; i < 100; ++i) {
+    v = b.Add(v, 1, i64);
+  }
+  const Reg ok = b.Cmp(CmpKind::kGe, Operand::MakeReg(v), Operand::MakeImm(0));
+  b.Assert(ok);
+  const ir::InstId criterion = b.last_inst();
+  b.RetVoid();
+  b.EndFunction();
+
+  const PointsToResult pts = WholeProgram(m);
+  SliceOptions opts;
+  opts.max_instructions = 10;
+  const auto slice = BackwardSlice(m, pts, criterion, opts);
+  EXPECT_LE(slice.size(), 10u);
+  // Without the cap the chain pulls in all 100 adds.
+  const auto full = BackwardSlice(m, pts, criterion);
+  EXPECT_GT(full.size(), 100u);
+}
+
+}  // namespace
+}  // namespace snorlax::analysis

@@ -1,0 +1,257 @@
+// Unit tests for trace processing (paper steps 2-3): the executed set, the
+// partially-ordered dynamic trace, failure-point handling.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "pt/driver.h"
+#include "runtime/interpreter.h"
+#include "trace/processed_trace.h"
+
+namespace snorlax::trace {
+namespace {
+
+using ir::BlockId;
+using ir::CmpKind;
+using ir::FuncId;
+using ir::GlobalId;
+using ir::IrBuilder;
+using ir::Operand;
+using ir::Reg;
+
+// A crashing two-thread program: worker dereferences a slot main nulls.
+struct CrashProgram {
+  std::unique_ptr<ir::Module> module;
+  ir::InstId null_store = ir::kInvalidInstId;
+  ir::InstId racy_load = ir::kInvalidInstId;
+};
+
+CrashProgram BuildCrashProgram() {
+  CrashProgram out;
+  out.module = std::make_unique<ir::Module>();
+  ir::Module& m = *out.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* ptr = m.types().PointerTo(i64);
+  const GlobalId g = b.CreateGlobal("slot", ptr);
+
+  const FuncId worker = b.BeginFunction("worker", m.types().VoidType(), {i64});
+  const BlockId entry = b.CreateBlock("entry");
+  const BlockId head = b.CreateBlock("head");
+  const BlockId exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  const Reg i = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), i, i64);
+  b.Br(head);
+  b.SetInsertPoint(head);
+  b.Work(40'000);
+  const Reg slot = b.AddrOfGlobal(g);
+  const Reg p = b.Load(slot, ptr);
+  out.racy_load = b.last_inst();
+  b.Load(p, i64);  // crashes once main nulls the slot
+  const Reg iv = b.Load(i, i64);
+  const Reg iv2 = b.Add(iv, 1, i64);
+  b.Store(iv2, i, i64);
+  const Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(iv2), Operand::MakeImm(200));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+  b.RetVoid();
+  b.EndFunction();
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg mslot = b.AddrOfGlobal(g);
+  const Reg value = b.Alloca(i64);
+  b.Store(Operand::MakeImm(5), value, i64);
+  b.Store(value, mslot, ptr);
+  const Reg t = b.ThreadCreate(worker, Operand::MakeImm(0));
+  // Branchy waiting loop: without branches a thread's trace has no timing
+  // packets and its events cannot be ordered against other threads at all.
+  const BlockId mhead = b.CreateBlock("mhead");
+  const BlockId mexit = b.CreateBlock("mexit");
+  const Reg mi = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), mi, i64);
+  b.Br(mhead);
+  b.SetInsertPoint(mhead);
+  b.Work(40'000);
+  const Reg miv = b.Load(mi, i64);
+  const Reg miv2 = b.Add(miv, 1, i64);
+  b.Store(miv2, mi, i64);
+  const Reg mmore = b.Cmp(CmpKind::kLt, Operand::MakeReg(miv2), Operand::MakeImm(50));
+  b.CondBr(mmore, mhead, mexit);
+  b.SetInsertPoint(mexit);
+  b.Store(Operand::MakeImm(0), mslot, ptr);
+  out.null_store = b.last_inst();
+  b.ThreadJoin(t);
+  b.RetVoid();
+  b.EndFunction();
+  return out;
+}
+
+pt::PtTraceBundle CaptureFailure(const CrashProgram& prog) {
+  rt::InterpOptions opts;
+  opts.work_jitter = 0.0;
+  rt::Interpreter interp(prog.module.get(), opts);
+  pt::PtDriver driver(prog.module.get());
+  driver.Attach(&interp);
+  const rt::RunResult r = interp.Run("main");
+  EXPECT_EQ(r.failure.kind, rt::FailureKind::kCrash);
+  EXPECT_TRUE(driver.captured().has_value());
+  return *driver.captured();
+}
+
+TEST(ProcessedTrace, ExecutedSetCoversBothThreads) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  EXPECT_TRUE(trace.decode_errors().empty());
+  EXPECT_EQ(trace.threads_in_trace(), 2u);
+  EXPECT_TRUE(trace.WasExecuted(prog.null_store));
+  EXPECT_TRUE(trace.WasExecuted(prog.racy_load));
+  EXPECT_TRUE(trace.WasExecuted(bundle.failure.failing_inst));
+  // The executed set is a subset of module instructions.
+  EXPECT_LE(trace.executed().size(), prog.module->NumInstructions());
+}
+
+TEST(ProcessedTrace, FailingInstanceAppendedAsFailurePoint) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  const DynInst* failing = trace.failing_instance();
+  ASSERT_NE(failing, nullptr);
+  EXPECT_EQ(failing->inst, bundle.failure.failing_inst);
+  EXPECT_TRUE(failing->at_failure);
+  EXPECT_EQ(failing->thread, bundle.failure.thread);
+  // Everything else executes-before the failure point.
+  int checked = 0;
+  for (const DynInst& d : trace.instances()) {
+    if (&d == failing) {
+      continue;
+    }
+    if (d.thread != failing->thread) {
+      EXPECT_TRUE(trace.ExecutesBefore(d, *failing));
+      EXPECT_FALSE(trace.ExecutesBefore(*failing, d));
+      if (++checked > 200) {
+        break;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ProcessedTrace, SameThreadUsesProgramOrder) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  // Two instances of the racy load in the worker: earlier seq before later.
+  const auto loads = trace.InstancesOf(prog.racy_load);
+  ASSERT_GE(loads.size(), 2u);
+  EXPECT_TRUE(trace.ExecutesBefore(*loads.front(), *loads.back()));
+  EXPECT_FALSE(trace.ExecutesBefore(*loads.back(), *loads.front()));
+}
+
+TEST(ProcessedTrace, CrossThreadNeedsSeparatedWindows) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  // The null store (main, ~2ms) is well separated from the worker's early
+  // loads (<1ms) -> ordered; and from the final crash via the failure rule.
+  const auto stores = trace.InstancesOf(prog.null_store);
+  ASSERT_EQ(stores.size(), 1u);
+  const auto loads = trace.InstancesOf(prog.racy_load);
+  ASSERT_GE(loads.size(), 2u);
+  EXPECT_TRUE(trace.ExecutesBefore(*loads.front(), *stores.front()));
+  EXPECT_FALSE(trace.ExecutesBefore(*stores.front(), *loads.front()));
+}
+
+TEST(ProcessedTrace, UnorderedWhenWindowsOverlap) {
+  DynInst a{1, 0, 0, 1000, 2000, false};
+  DynInst b{2, 1, 0, 1500, 2500, false};
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  EXPECT_TRUE(trace.Unordered(a, b));
+  // Disjoint windows separated by more than the granularity: ordered.
+  DynInst c{3, 1, 1, 3000, 3100, false};
+  EXPECT_TRUE(trace.ExecutesBefore(a, c));
+  EXPECT_FALSE(trace.ExecutesBefore(c, a));
+}
+
+TEST(ProcessedTrace, GranularityOptionControlsOrdering) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  TraceOptions coarse;
+  coarse.order_granularity_ns = 100ull * 1000 * 1000;  // 100ms: nothing orders
+  ProcessedTrace trace(prog.module.get(), bundle, coarse);
+  const auto stores = trace.InstancesOf(prog.null_store);
+  const auto loads = trace.InstancesOf(prog.racy_load);
+  ASSERT_FALSE(stores.empty());
+  ASSERT_FALSE(loads.empty());
+  EXPECT_TRUE(trace.Unordered(*loads.front(), *stores.front()));
+}
+
+TEST(ProcessedTrace, LastSeqOfTracksThreadFinals) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  const DynInst* failing = trace.failing_instance();
+  ASSERT_NE(failing, nullptr);
+  EXPECT_EQ(trace.LastSeqOf(failing->thread), failing->seq);
+  EXPECT_EQ(trace.LastSeqOf(9999), 0u);  // unknown thread
+}
+
+TEST(ProcessedTrace, DeadlockWaitersAppended) {
+  // Deterministic ABBA deadlock; both blocked acquisitions must appear.
+  auto m = std::make_unique<ir::Module>();
+  IrBuilder b(m.get());
+  const GlobalId la = b.CreateLockGlobal("A");
+  const GlobalId lb = b.CreateLockGlobal("B");
+  auto party = [&](const char* name, GlobalId first, GlobalId second) {
+    const FuncId f = b.BeginFunction(name, m->types().VoidType(), {m->types().IntType(64)});
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    const Reg l1 = b.AddrOfGlobal(first);
+    b.LockAcquire(l1);
+    b.Work(50'000);
+    const Reg l2 = b.AddrOfGlobal(second);
+    b.LockAcquire(l2);
+    b.LockRelease(l2);
+    b.LockRelease(l1);
+    b.RetVoid();
+    b.EndFunction();
+    return f;
+  };
+  const FuncId f1 = party("p1", la, lb);
+  const FuncId f2 = party("p2", lb, la);
+  b.BeginFunction("main", m->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg t1 = b.ThreadCreate(f1, Operand::MakeImm(0));
+  const Reg t2 = b.ThreadCreate(f2, Operand::MakeImm(1));
+  b.ThreadJoin(t1);
+  b.ThreadJoin(t2);
+  b.RetVoid();
+  b.EndFunction();
+
+  rt::Interpreter interp(m.get(), rt::InterpOptions{});
+  pt::PtDriver driver(m.get());
+  driver.Attach(&interp);
+  const rt::RunResult r = interp.Run("main");
+  ASSERT_EQ(r.failure.kind, rt::FailureKind::kDeadlock);
+  ProcessedTrace trace(m.get(), *driver.captured());
+  ASSERT_EQ(r.failure.deadlock_cycle.size(), 2u);
+  for (const auto& waiter : r.failure.deadlock_cycle) {
+    const auto instances = trace.InstancesOf(waiter.inst);
+    bool found = false;
+    for (const DynInst* d : instances) {
+      found |= (d->thread == waiter.thread && d->ts_ns == waiter.block_time_ns);
+    }
+    EXPECT_TRUE(found) << "waiter attempt missing from trace";
+    // The blocked attempt is its thread's final event.
+    bool is_final = false;
+    for (const DynInst* d : instances) {
+      is_final |= (d->thread == waiter.thread && d->seq == trace.LastSeqOf(waiter.thread));
+    }
+    EXPECT_TRUE(is_final);
+  }
+}
+
+}  // namespace
+}  // namespace snorlax::trace

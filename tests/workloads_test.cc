@@ -1,0 +1,162 @@
+// Parameterized tests over the workload catalogue: structural validity,
+// reproducibility of each bug with the expected failure kind, and the
+// hypothesis-study instrumentation points.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pattern.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "runtime/interpreter.h"
+#include "workloads/workload.h"
+
+namespace snorlax::workloads {
+namespace {
+
+std::vector<std::string> AllNames() {
+  std::vector<std::string> names;
+  for (const WorkloadInfo& info : AllWorkloads()) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadSuite, ModuleIsValid) {
+  const Workload w = Build(GetParam());
+  const auto problems = ir::VerifyModule(*w.module);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems[0]);
+  EXPECT_NE(w.module->FindFunction(w.entry), nullptr);
+  EXPECT_FALSE(w.description.empty());
+  EXPECT_FALSE(w.system.empty());
+}
+
+TEST_P(WorkloadSuite, GroundTruthReferencesRealInstructions) {
+  const Workload w = Build(GetParam());
+  ASSERT_FALSE(w.truth_events.empty());
+  for (ir::InstId id : w.truth_events) {
+    ASSERT_LT(id, w.module->NumInstructions());
+    const ir::Instruction* inst = w.module->instruction(id);
+    EXPECT_TRUE(inst->IsMemoryAccess() || inst->IsLockOp())
+        << "truth event #" << id << " is not a target-event instruction";
+  }
+  // Timing targets: two events for deadlocks/order violations, three for
+  // atomicity violations (Figure 1).
+  if (core::IsAtomicityViolation(w.bug_kind)) {
+    EXPECT_EQ(w.timing_targets.size(), 3u);
+  } else {
+    EXPECT_EQ(w.timing_targets.size(), 2u);
+  }
+}
+
+TEST_P(WorkloadSuite, BugReproducesWithExpectedKind) {
+  const Workload w = Build(GetParam());
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 300 && failures < 3; ++seed) {
+    rt::InterpOptions opts = w.interp;
+    opts.seed = seed;
+    rt::Interpreter interp(w.module.get(), opts);
+    const rt::RunResult r = interp.Run(w.entry);
+    if (r.failure.IsFailure()) {
+      ++failures;
+      EXPECT_EQ(r.failure.kind, w.expected_failure)
+          << "seed " << seed << ": " << r.failure.description;
+      EXPECT_NE(r.failure.failing_inst, ir::kInvalidInstId);
+    }
+  }
+  EXPECT_GE(failures, 1) << "bug did not reproduce in 300 runs";
+}
+
+TEST_P(WorkloadSuite, MostRunsSucceed) {
+  // These are in-production bugs: the common case must be a clean run.
+  const Workload w = Build(GetParam());
+  int failures = 0;
+  const int kRuns = 60;
+  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    rt::InterpOptions opts = w.interp;
+    opts.seed = seed;
+    rt::Interpreter interp(w.module.get(), opts);
+    failures += interp.Run(w.entry).failure.IsFailure();
+  }
+  EXPECT_LT(failures, kRuns / 2);
+}
+
+TEST_P(WorkloadSuite, FailureIsSeedDeterministic) {
+  const Workload w = Build(GetParam());
+  // Find one failing seed, then re-run it: identical failure.
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    rt::InterpOptions opts = w.interp;
+    opts.seed = seed;
+    rt::Interpreter a(w.module.get(), opts);
+    const rt::RunResult ra = a.Run(w.entry);
+    if (!ra.failure.IsFailure()) {
+      continue;
+    }
+    rt::Interpreter b(w.module.get(), opts);
+    const rt::RunResult rb = b.Run(w.entry);
+    ASSERT_TRUE(rb.failure.IsFailure());
+    EXPECT_EQ(ra.failure.failing_inst, rb.failure.failing_inst);
+    EXPECT_EQ(ra.failure.time_ns, rb.failure.time_ns);
+    return;
+  }
+  FAIL() << "no failing seed found";
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, WorkloadSuite, ::testing::ValuesIn(AllNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadRegistry, SixteenWorkloadsWithUniqueNames) {
+  const auto all = AllWorkloads();
+  EXPECT_EQ(all.size(), 16u);
+  std::set<std::string> names;
+  for (const WorkloadInfo& info : all) {
+    EXPECT_TRUE(names.insert(info.name).second) << "duplicate " << info.name;
+  }
+  // All three bug classes represented.
+  int deadlocks = 0, order = 0, atomicity = 0;
+  for (const WorkloadInfo& info : all) {
+    deadlocks += info.kind == core::PatternKind::kDeadlock;
+    order += core::IsOrderViolation(info.kind);
+    atomicity += core::IsAtomicityViolation(info.kind);
+  }
+  EXPECT_EQ(deadlocks, 3);
+  EXPECT_EQ(order, 5);
+  EXPECT_EQ(atomicity, 8);
+}
+
+TEST(WorkloadRegistry, PrintableModules) {
+  // The textual dump works for every workload (smoke for the printer on all
+  // real instruction shapes).
+  for (const WorkloadInfo& info : AllWorkloads()) {
+    const Workload w = Build(info.name);
+    const std::string text = ir::PrintModule(*w.module);
+    EXPECT_GT(text.size(), 500u);
+    EXPECT_NE(text.find("define"), std::string::npos);
+  }
+}
+
+TEST(ScalableWorkload, RunsCleanlyAtVariousWidths) {
+  for (int threads : {1, 2, 8}) {
+    const Workload w = BuildScalable(threads);
+    EXPECT_TRUE(ir::IsValid(*w.module));
+    rt::InterpOptions opts = w.interp;
+    opts.seed = 3;
+    rt::Interpreter interp(w.module.get(), opts);
+    const rt::RunResult r = interp.Run(w.entry);
+    EXPECT_TRUE(r.Succeeded());
+    EXPECT_EQ(r.threads_created, static_cast<uint32_t>(threads + 1));
+  }
+}
+
+TEST(ScalableWorkload, SharedAccessSeedsProvided) {
+  const Workload w = BuildScalable(2);
+  EXPECT_GE(w.truth_events.size(), 2u);
+  for (ir::InstId id : w.truth_events) {
+    EXPECT_TRUE(w.module->instruction(id)->IsMemoryAccess());
+  }
+}
+
+}  // namespace
+}  // namespace snorlax::workloads

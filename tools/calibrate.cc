@@ -1,0 +1,126 @@
+// Calibration sweep over every workload: failure probability, failure kind,
+// end-to-end diagnosis outcome, and hypothesis-study delta-T stats.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "core/snorlax.h"
+#include "ir/verifier.h"
+#include "runtime/recorders.h"
+#include "support/stats.h"
+#include "workloads/workload.h"
+
+using namespace snorlax;
+
+int main(int argc, char** argv) {
+  const char* only = argc > 1 ? argv[1] : nullptr;
+  for (const auto& info : workloads::AllWorkloads()) {
+    if (only && info.name != only) continue;
+    workloads::Workload w = workloads::Build(info.name);
+    auto problems = ir::VerifyModule(*w.module);
+    if (!problems.empty()) {
+      std::printf("%-18s VERIFY FAILED: %s\n", info.name.c_str(), problems[0].c_str());
+      continue;
+    }
+    int fails = 0, wrong_kind = 0;
+    uint64_t first_fail = 0;
+    const int kRuns = 150;
+    std::vector<double> dt1s, dt2s;
+    for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+      rt::InterpOptions io = w.interp;
+      io.seed = seed;
+      rt::Interpreter interp(w.module.get(), io);
+      std::unordered_set<ir::InstId> targets(w.timing_targets.begin(), w.timing_targets.end());
+      rt::TargetEventRecorder rec(targets);
+      interp.AddObserver(&rec);
+      auto r = interp.Run(w.entry);
+      if (r.failure.IsFailure()) {
+        ++fails;
+        if (!first_fail) first_fail = seed;
+        if (r.failure.kind != w.expected_failure) {
+          ++wrong_kind;
+          if (wrong_kind <= 2)
+            std::printf("  [%s] seed %llu unexpected %s: %s (#%u)\n", info.name.c_str(),
+                        (unsigned long long)seed, rt::FailureKindName(r.failure.kind),
+                        r.failure.description.c_str(), r.failure.failing_inst);
+        } else if (r.failure.kind == rt::FailureKind::kDeadlock &&
+                   r.failure.deadlock_cycle.size() >= 2) {
+          const auto& c = r.failure.deadlock_cycle;
+          uint64_t lo = c[0].block_time_ns, hi = c[0].block_time_ns;
+          for (auto& wtr : c) {
+            lo = std::min(lo, wtr.block_time_ns);
+            hi = std::max(hi, wtr.block_time_ns);
+          }
+          dt1s.push_back((hi - lo) / 1000.0);
+        } else if (w.timing_targets.size() >= 2) {
+          // delta-T between consecutive target events nearest the failure.
+          std::vector<int64_t> times;
+          std::set<uint64_t> used;
+          for (ir::InstId t : w.timing_targets) {
+            // Latest unused instance of the target before the failure (allows
+            // duplicated target instructions, e.g. both threads' claim store).
+            int64_t best = -1;
+            size_t best_idx = SIZE_MAX;
+            for (size_t i = 0; i < rec.events().size(); ++i) {
+              const auto& e = rec.events()[i];
+              if (e.inst == t && (int64_t)e.time_ns > best &&
+                  e.time_ns <= r.failure.time_ns + 1 && !used.count(i))
+                { best = (int64_t)e.time_ns; best_idx = i; }
+            }
+            if (best_idx != SIZE_MAX) used.insert(best_idx);
+            times.push_back(best);
+          }
+          std::sort(times.begin(), times.end());
+          bool all = true;
+          for (int64_t t : times) all = all && t >= 0;
+          if (all && times.size() >= 2 && times[1] >= times[0]) {
+            dt1s.push_back((times[1] - times[0]) / 1000.0);
+            if (times.size() >= 3 && times[2] >= times[1])
+              dt2s.push_back((times[2] - times[1]) / 1000.0);
+          }
+        }
+      }
+    }
+    std::printf("%-18s fails=%3d/%d wrongkind=%d first=%llu dT1=%.0f+-%.0fus(n=%zu) dT2=%.0f+-%.0fus(n=%zu)\n",
+                info.name.c_str(), fails, kRuns, wrong_kind, (unsigned long long)first_fail,
+                Mean(dt1s), StdDev(dt1s), dt1s.size(), Mean(dt2s), StdDev(dt2s), dt2s.size());
+
+    if (fails == 0) continue;
+    // End-to-end diagnosis.
+    core::SnorlaxOptions opts;
+    opts.client.interp = w.interp;
+    opts.failing_traces = w.recommended_failing_traces;
+    core::Snorlax sn(w.module.get(), opts);
+    auto outcome = sn.DiagnoseFirstFailure(1);
+    if (!outcome) { std::printf("  DIAGNOSIS: none\n"); continue; }
+    auto& rep = outcome->report;
+    // Does a top-F1 pattern match the expected kind with truth events in order?
+    bool kind_ok = false, events_ok = false;
+    const double best = rep.patterns.empty() ? 0 : rep.patterns[0].f1;
+    for (auto& p : rep.patterns) {
+      if (p.f1 != best) break;
+      if (p.pattern.kind == w.bug_kind) {
+        kind_ok = true;
+        // Truth events must appear as an ordered subsequence.
+        size_t ti = 0;
+        for (auto& e : p.pattern.events)
+          if (ti < w.truth_events.size() && e.inst == w.truth_events[ti]) ++ti;
+        if (ti == w.truth_events.size()) events_ok = true;
+        // For deadlocks, accept any ordering of the truth set (verified vs
+        // re-execution separately).
+        if (p.pattern.kind == core::PatternKind::kDeadlock) {
+          size_t found = 0;
+          for (ir::InstId t : w.truth_events)
+            for (auto& e : p.pattern.events)
+              if (e.inst == t) { ++found; break; }
+          if (found == w.truth_events.size()) events_ok = true;
+        }
+      }
+    }
+    std::printf("  DIAGNOSIS: patterns=%zu topf1=%zu best=%.3f kind_ok=%d events_ok=%d hyp_viol=%d succ=%llu\n",
+                rep.patterns.size(), rep.stages.top_f1_patterns, best, kind_ok, events_ok,
+                rep.hypothesis_violated, (unsigned long long)outcome->success_runs_used);
+  }
+  return 0;
+}

@@ -1,0 +1,238 @@
+// snorlax_cli: drive the toolchain on textual MiniIR programs (.sir files).
+//
+//   snorlax_cli parse    prog.sir              verify + summarize a module
+//   snorlax_cli run      prog.sir [seed]       execute once, report outcome
+//   snorlax_cli trace    prog.sir [seed]       execute under PT, show stats
+//   snorlax_cli diagnose prog.sir [failing]    full Snorlax workflow
+//
+// Sample programs live in examples/programs/.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/snorlax.h"
+#include "ir/printer.h"
+#include "ir/text_format.h"
+#include "ir/verifier.h"
+#include "pt/driver.h"
+#include "runtime/interpreter.h"
+#include "workloads/generator.h"
+
+using namespace snorlax;
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage: snorlax_cli <parse|run|trace|diagnose> <program.sir> [arg]\n"
+      "       snorlax_cli generate <invalidation|check-use|stale-store|deadlock>"
+      " <out.sir> [seed]\n"
+      "  parse    verify the module and print a summary\n"
+      "  run      execute once (arg = seed, default 1)\n"
+      "  trace    execute under simulated Intel PT (arg = seed)\n"
+      "  diagnose run the Lazy Diagnosis workflow (arg = failing traces, default 1)\n"
+      "  generate emit a randomized bug-injected program as text\n");
+  return 2;
+}
+
+std::unique_ptr<ir::Module> LoadModule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("error: cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto module = ir::ParseModuleText(buffer.str(), &error);
+  if (module == nullptr) {
+    std::printf("parse error in %s: %s\n", path.c_str(), error.c_str());
+    return nullptr;
+  }
+  const auto problems = ir::VerifyModule(*module);
+  if (!problems.empty()) {
+    std::printf("invalid module %s:\n", path.c_str());
+    for (const std::string& p : problems) {
+      std::printf("  %s\n", p.c_str());
+    }
+    return nullptr;
+  }
+  return module;
+}
+
+int CmdParse(const std::string& path) {
+  auto module = LoadModule(path);
+  if (module == nullptr) {
+    return 1;
+  }
+  std::printf("%s: OK\n", path.c_str());
+  std::printf("  %zu functions, %zu globals, %zu blocks, %zu instructions\n",
+              module->functions().size(), module->globals().size(), module->NumBlocks(),
+              module->NumInstructions());
+  for (const auto& func : module->functions()) {
+    std::printf("  @%-24s %zu blocks, %zu instructions\n", func->name().c_str(),
+                func->blocks().size(), func->NumInstructions());
+  }
+  return 0;
+}
+
+int CmdRun(const std::string& path, uint64_t seed) {
+  auto module = LoadModule(path);
+  if (module == nullptr) {
+    return 1;
+  }
+  rt::InterpOptions opts;
+  opts.seed = seed;
+  opts.work_jitter = 0.04;
+  rt::Interpreter interp(module.get(), opts);
+  const rt::RunResult r = interp.Run("main");
+  std::printf("seed %llu: %s in %.3f ms virtual time (%llu instructions, %u threads)\n",
+              static_cast<unsigned long long>(seed),
+              r.Succeeded() ? "success" : rt::FailureKindName(r.failure.kind),
+              r.virtual_ns / 1e6, static_cast<unsigned long long>(r.instructions_retired),
+              r.threads_created);
+  if (r.failure.IsFailure()) {
+    const ir::Instruction* inst = r.failure.failing_inst != ir::kInvalidInstId
+                                      ? module->instruction(r.failure.failing_inst)
+                                      : nullptr;
+    std::printf("  %s at #%u%s%s (thread %u)\n", r.failure.description.c_str(),
+                r.failure.failing_inst,
+                inst != nullptr && !inst->debug_location().empty() ? " " : "",
+                inst != nullptr ? inst->debug_location().c_str() : "", r.failure.thread);
+    return 1;
+  }
+  return 0;
+}
+
+int CmdTrace(const std::string& path, uint64_t seed) {
+  auto module = LoadModule(path);
+  if (module == nullptr) {
+    return 1;
+  }
+  rt::InterpOptions opts;
+  opts.seed = seed;
+  opts.work_jitter = 0.04;
+  rt::Interpreter interp(module.get(), opts);
+  pt::PtDriver driver(module.get());
+  driver.Attach(&interp);
+  const rt::RunResult r = interp.Run("main");
+  const pt::PtStats stats = driver.encoder().stats();
+  std::printf("seed %llu: %s; PT recorded %llu branch events\n",
+              static_cast<unsigned long long>(seed),
+              r.Succeeded() ? "success" : rt::FailureKindName(r.failure.kind),
+              static_cast<unsigned long long>(stats.branch_events));
+  std::printf("  packets: %llu control, %llu timing (%.0f%% of bytes), %llu PSB\n",
+              static_cast<unsigned long long>(stats.control_packets),
+              static_cast<unsigned long long>(stats.timing_packets),
+              100.0 * stats.TimingByteFraction(),
+              static_cast<unsigned long long>(stats.psb_packets));
+  std::printf("  trace bytes: %llu in ring buffers (+%llu KB modeled compute volume)\n",
+              static_cast<unsigned long long>(stats.total_bytes),
+              static_cast<unsigned long long>(stats.shadow_bytes / 1024));
+  if (driver.captured().has_value()) {
+    std::printf("  failure dump captured at #%u\n",
+                driver.captured()->failure.failing_inst);
+  }
+  return 0;
+}
+
+int CmdDiagnose(const std::string& path, size_t failing_traces) {
+  auto module = LoadModule(path);
+  if (module == nullptr) {
+    return 1;
+  }
+  core::SnorlaxOptions opts;
+  opts.client.interp.work_jitter = 0.04;
+  opts.failing_traces = failing_traces;
+  core::Snorlax snorlax(module.get(), opts);
+  std::printf("running until %zu failure(s)...\n", failing_traces);
+  const auto outcome = snorlax.DiagnoseFirstFailure(1);
+  if (!outcome.has_value()) {
+    std::printf("no failure within the run budget; nothing to diagnose\n");
+    return 1;
+  }
+  const core::DiagnosisReport& report = outcome->report;
+  std::printf("failure after %llu executions: %s at #%u\n",
+              static_cast<unsigned long long>(outcome->runs_until_failure),
+              rt::FailureKindName(report.failure.kind), report.failure.failing_inst);
+  std::printf("evidence: %zu failing + %zu successful traces; analysis %.1f ms\n\n",
+              report.failing_traces, report.success_traces,
+              report.analysis_seconds * 1000.0);
+  int shown = 0;
+  for (const core::DiagnosedPattern& p : report.patterns) {
+    if (shown++ == 6) {
+      break;
+    }
+    std::printf("F1=%.2f  %s\n", p.f1, core::PatternKindName(p.pattern.kind));
+    for (const core::PatternEvent& e : p.pattern.events) {
+      const ir::Instruction* inst = module->instruction(e.inst);
+      std::printf("    slot %u  %s%s%s\n", e.thread_slot, inst->ToString().c_str(),
+                  e.thread_final ? "  [blocked]" : "",
+                  p.pattern.ordered ? "" : "  (order unknown)");
+    }
+  }
+  return 0;
+}
+
+int CmdGenerate(const std::string& kind, const std::string& out_path, uint64_t seed) {
+  workloads::GeneratorOptions options;
+  options.seed = seed;
+  if (kind == "invalidation") {
+    options.bug = workloads::GeneratedBug::kInvalidationRace;
+  } else if (kind == "check-use") {
+    options.bug = workloads::GeneratedBug::kCheckThenUse;
+  } else if (kind == "stale-store") {
+    options.bug = workloads::GeneratedBug::kStoreThroughStale;
+  } else if (kind == "deadlock") {
+    options.bug = workloads::GeneratedBug::kLockInversion;
+  } else {
+    std::printf("unknown bug kind '%s'\n", kind.c_str());
+    return 2;
+  }
+  options.helper_depth = 1 + static_cast<int>(seed % 3);
+  const workloads::Workload w = workloads::GenerateWorkload(options);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::printf("error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "# " << w.description << " (seed " << seed << ").\n"
+      << "# Ground-truth root-cause instructions:";
+  for (ir::InstId id : w.truth_events) {
+    out << " #" << id;
+  }
+  out << "\n" << ir::WriteModuleText(*w.module);
+  std::printf("wrote %s (%zu instructions; expected top pattern: %s)\n", out_path.c_str(),
+              w.module->NumInstructions(), core::PatternKindName(w.bug_kind));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+  const uint64_t arg = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  if (cmd == "parse") {
+    return CmdParse(path);
+  }
+  if (cmd == "run") {
+    return CmdRun(path, arg);
+  }
+  if (cmd == "trace") {
+    return CmdTrace(path, arg);
+  }
+  if (cmd == "diagnose") {
+    return CmdDiagnose(path, arg == 0 ? 1 : static_cast<size_t>(arg));
+  }
+  if (cmd == "generate" && argc >= 4) {
+    const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    return CmdGenerate(path, argv[3], seed);
+  }
+  return Usage();
+}
