@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_cli.dir/tools/snorlax_cli.cc.o"
+  "CMakeFiles/snorlax_cli.dir/tools/snorlax_cli.cc.o.d"
+  "snorlax_cli"
+  "snorlax_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accuracy_stages.dir/fig7_accuracy_stages.cc.o"
+  "CMakeFiles/fig7_accuracy_stages.dir/fig7_accuracy_stages.cc.o.d"
+  "fig7_accuracy_stages"
+  "fig7_accuracy_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accuracy_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pt.dir/micro_pt.cc.o"
+  "CMakeFiles/micro_pt.dir/micro_pt.cc.o.d"
+  "micro_pt"
+  "micro_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_deadlocks.cc" "bench/CMakeFiles/table1_deadlocks.dir/table1_deadlocks.cc.o" "gcc" "bench/CMakeFiles/table1_deadlocks.dir/table1_deadlocks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/snorlax_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/snorlax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gist/CMakeFiles/snorlax_gist.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/snorlax_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/snorlax_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/snorlax_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/snorlax_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/snorlax_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/snorlax_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_deadlocks.dir/table1_deadlocks.cc.o"
+  "CMakeFiles/table1_deadlocks.dir/table1_deadlocks.cc.o.d"
+  "table1_deadlocks"
+  "table1_deadlocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_deadlocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

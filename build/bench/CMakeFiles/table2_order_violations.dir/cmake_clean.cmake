@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_order_violations.dir/table2_order_violations.cc.o"
+  "CMakeFiles/table2_order_violations.dir/table2_order_violations.cc.o.d"
+  "table2_order_violations"
+  "table2_order_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_order_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

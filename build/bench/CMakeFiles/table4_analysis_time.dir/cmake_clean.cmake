@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_analysis_time.dir/table4_analysis_time.cc.o"
+  "CMakeFiles/table4_analysis_time.dir/table4_analysis_time.cc.o.d"
+  "table4_analysis_time"
+  "table4_analysis_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_analysis_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hypothesis_generated.dir/table_hypothesis_generated.cc.o"
+  "CMakeFiles/table_hypothesis_generated.dir/table_hypothesis_generated.cc.o.d"
+  "table_hypothesis_generated"
+  "table_hypothesis_generated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hypothesis_generated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_gist.dir/compare_gist.cpp.o"
+  "CMakeFiles/compare_gist.dir/compare_gist.cpp.o.d"
+  "compare_gist"
+  "compare_gist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_gist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_catalog.dir/diagnose_catalog.cpp.o"
+  "CMakeFiles/diagnose_catalog.dir/diagnose_catalog.cpp.o.d"
+  "diagnose_catalog"
+  "diagnose_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/deref_chain.cc" "src/analysis/CMakeFiles/snorlax_analysis.dir/deref_chain.cc.o" "gcc" "src/analysis/CMakeFiles/snorlax_analysis.dir/deref_chain.cc.o.d"
+  "/root/repo/src/analysis/points_to.cc" "src/analysis/CMakeFiles/snorlax_analysis.dir/points_to.cc.o" "gcc" "src/analysis/CMakeFiles/snorlax_analysis.dir/points_to.cc.o.d"
+  "/root/repo/src/analysis/slicer.cc" "src/analysis/CMakeFiles/snorlax_analysis.dir/slicer.cc.o" "gcc" "src/analysis/CMakeFiles/snorlax_analysis.dir/slicer.cc.o.d"
+  "/root/repo/src/analysis/type_rank.cc" "src/analysis/CMakeFiles/snorlax_analysis.dir/type_rank.cc.o" "gcc" "src/analysis/CMakeFiles/snorlax_analysis.dir/type_rank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/snorlax_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/snorlax_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_analysis.dir/deref_chain.cc.o"
+  "CMakeFiles/snorlax_analysis.dir/deref_chain.cc.o.d"
+  "CMakeFiles/snorlax_analysis.dir/points_to.cc.o"
+  "CMakeFiles/snorlax_analysis.dir/points_to.cc.o.d"
+  "CMakeFiles/snorlax_analysis.dir/slicer.cc.o"
+  "CMakeFiles/snorlax_analysis.dir/slicer.cc.o.d"
+  "CMakeFiles/snorlax_analysis.dir/type_rank.cc.o"
+  "CMakeFiles/snorlax_analysis.dir/type_rank.cc.o.d"
+  "libsnorlax_analysis.a"
+  "libsnorlax_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

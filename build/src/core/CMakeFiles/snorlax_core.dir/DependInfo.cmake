@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/snorlax_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/snorlax_core.dir/client.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/snorlax_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/snorlax_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/pattern_compute.cc" "src/core/CMakeFiles/snorlax_core.dir/pattern_compute.cc.o" "gcc" "src/core/CMakeFiles/snorlax_core.dir/pattern_compute.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/snorlax_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/snorlax_core.dir/server.cc.o.d"
+  "/root/repo/src/core/snorlax.cc" "src/core/CMakeFiles/snorlax_core.dir/snorlax.cc.o" "gcc" "src/core/CMakeFiles/snorlax_core.dir/snorlax.cc.o.d"
+  "/root/repo/src/core/statistical.cc" "src/core/CMakeFiles/snorlax_core.dir/statistical.cc.o" "gcc" "src/core/CMakeFiles/snorlax_core.dir/statistical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/snorlax_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/snorlax_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/snorlax_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/snorlax_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/snorlax_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/snorlax_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

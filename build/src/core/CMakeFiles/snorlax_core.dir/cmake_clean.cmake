@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_core.dir/client.cc.o"
+  "CMakeFiles/snorlax_core.dir/client.cc.o.d"
+  "CMakeFiles/snorlax_core.dir/pattern.cc.o"
+  "CMakeFiles/snorlax_core.dir/pattern.cc.o.d"
+  "CMakeFiles/snorlax_core.dir/pattern_compute.cc.o"
+  "CMakeFiles/snorlax_core.dir/pattern_compute.cc.o.d"
+  "CMakeFiles/snorlax_core.dir/server.cc.o"
+  "CMakeFiles/snorlax_core.dir/server.cc.o.d"
+  "CMakeFiles/snorlax_core.dir/snorlax.cc.o"
+  "CMakeFiles/snorlax_core.dir/snorlax.cc.o.d"
+  "CMakeFiles/snorlax_core.dir/statistical.cc.o"
+  "CMakeFiles/snorlax_core.dir/statistical.cc.o.d"
+  "libsnorlax_core.a"
+  "libsnorlax_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_gist.dir/gist.cc.o"
+  "CMakeFiles/snorlax_gist.dir/gist.cc.o.d"
+  "libsnorlax_gist.a"
+  "libsnorlax_gist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_gist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

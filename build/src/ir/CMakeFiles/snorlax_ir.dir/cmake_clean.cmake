@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_ir.dir/builder.cc.o"
+  "CMakeFiles/snorlax_ir.dir/builder.cc.o.d"
+  "CMakeFiles/snorlax_ir.dir/cfg.cc.o"
+  "CMakeFiles/snorlax_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/snorlax_ir.dir/instruction.cc.o"
+  "CMakeFiles/snorlax_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/snorlax_ir.dir/module.cc.o"
+  "CMakeFiles/snorlax_ir.dir/module.cc.o.d"
+  "CMakeFiles/snorlax_ir.dir/printer.cc.o"
+  "CMakeFiles/snorlax_ir.dir/printer.cc.o.d"
+  "CMakeFiles/snorlax_ir.dir/text_format.cc.o"
+  "CMakeFiles/snorlax_ir.dir/text_format.cc.o.d"
+  "CMakeFiles/snorlax_ir.dir/type.cc.o"
+  "CMakeFiles/snorlax_ir.dir/type.cc.o.d"
+  "CMakeFiles/snorlax_ir.dir/verifier.cc.o"
+  "CMakeFiles/snorlax_ir.dir/verifier.cc.o.d"
+  "libsnorlax_ir.a"
+  "libsnorlax_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnorlax_ir.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/anonymize.cc" "src/pt/CMakeFiles/snorlax_pt.dir/anonymize.cc.o" "gcc" "src/pt/CMakeFiles/snorlax_pt.dir/anonymize.cc.o.d"
+  "/root/repo/src/pt/decoder.cc" "src/pt/CMakeFiles/snorlax_pt.dir/decoder.cc.o" "gcc" "src/pt/CMakeFiles/snorlax_pt.dir/decoder.cc.o.d"
+  "/root/repo/src/pt/driver.cc" "src/pt/CMakeFiles/snorlax_pt.dir/driver.cc.o" "gcc" "src/pt/CMakeFiles/snorlax_pt.dir/driver.cc.o.d"
+  "/root/repo/src/pt/encoder.cc" "src/pt/CMakeFiles/snorlax_pt.dir/encoder.cc.o" "gcc" "src/pt/CMakeFiles/snorlax_pt.dir/encoder.cc.o.d"
+  "/root/repo/src/pt/packets.cc" "src/pt/CMakeFiles/snorlax_pt.dir/packets.cc.o" "gcc" "src/pt/CMakeFiles/snorlax_pt.dir/packets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/snorlax_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/snorlax_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/snorlax_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_pt.dir/anonymize.cc.o"
+  "CMakeFiles/snorlax_pt.dir/anonymize.cc.o.d"
+  "CMakeFiles/snorlax_pt.dir/decoder.cc.o"
+  "CMakeFiles/snorlax_pt.dir/decoder.cc.o.d"
+  "CMakeFiles/snorlax_pt.dir/driver.cc.o"
+  "CMakeFiles/snorlax_pt.dir/driver.cc.o.d"
+  "CMakeFiles/snorlax_pt.dir/encoder.cc.o"
+  "CMakeFiles/snorlax_pt.dir/encoder.cc.o.d"
+  "CMakeFiles/snorlax_pt.dir/packets.cc.o"
+  "CMakeFiles/snorlax_pt.dir/packets.cc.o.d"
+  "libsnorlax_pt.a"
+  "libsnorlax_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/snorlax_runtime.dir/interpreter.cc.o.d"
+  "CMakeFiles/snorlax_runtime.dir/memory.cc.o"
+  "CMakeFiles/snorlax_runtime.dir/memory.cc.o.d"
+  "libsnorlax_runtime.a"
+  "libsnorlax_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

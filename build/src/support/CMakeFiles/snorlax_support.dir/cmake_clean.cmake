@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_support.dir/stats.cc.o"
+  "CMakeFiles/snorlax_support.dir/stats.cc.o.d"
+  "CMakeFiles/snorlax_support.dir/str.cc.o"
+  "CMakeFiles/snorlax_support.dir/str.cc.o.d"
+  "libsnorlax_support.a"
+  "libsnorlax_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

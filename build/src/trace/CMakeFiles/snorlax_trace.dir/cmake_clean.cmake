@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_trace.dir/processed_trace.cc.o"
+  "CMakeFiles/snorlax_trace.dir/processed_trace.cc.o.d"
+  "libsnorlax_trace.a"
+  "libsnorlax_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

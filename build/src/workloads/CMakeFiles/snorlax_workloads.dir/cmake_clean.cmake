@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snorlax_workloads.dir/av_workloads.cc.o"
+  "CMakeFiles/snorlax_workloads.dir/av_workloads.cc.o.d"
+  "CMakeFiles/snorlax_workloads.dir/common.cc.o"
+  "CMakeFiles/snorlax_workloads.dir/common.cc.o.d"
+  "CMakeFiles/snorlax_workloads.dir/dl_workloads.cc.o"
+  "CMakeFiles/snorlax_workloads.dir/dl_workloads.cc.o.d"
+  "CMakeFiles/snorlax_workloads.dir/generator.cc.o"
+  "CMakeFiles/snorlax_workloads.dir/generator.cc.o.d"
+  "CMakeFiles/snorlax_workloads.dir/ov_workloads.cc.o"
+  "CMakeFiles/snorlax_workloads.dir/ov_workloads.cc.o.d"
+  "CMakeFiles/snorlax_workloads.dir/registry.cc.o"
+  "CMakeFiles/snorlax_workloads.dir/registry.cc.o.d"
+  "libsnorlax_workloads.a"
+  "libsnorlax_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snorlax_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gist_test.dir/gist_test.cc.o"
+  "CMakeFiles/gist_test.dir/gist_test.cc.o.d"
+  "gist_test"
+  "gist_test.pdb"
+  "gist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_compute_test.dir/pattern_compute_test.cc.o"
+  "CMakeFiles/pattern_compute_test.dir/pattern_compute_test.cc.o.d"
+  "pattern_compute_test"
+  "pattern_compute_test.pdb"
+  "pattern_compute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_compute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_packets_test.dir/pt_packets_test.cc.o"
+  "CMakeFiles/pt_packets_test.dir/pt_packets_test.cc.o.d"
+  "pt_packets_test"
+  "pt_packets_test.pdb"
+  "pt_packets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_packets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
