@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 #include "analysis/deref_chain.h"
 #include "analysis/slicer.h"
 #include "ir/cfg.h"
 #include "support/check.h"
+#include "support/str.h"
 
 namespace snorlax::core {
+
+using support::Status;
+using support::StatusCode;
 
 DiagnosisServer::DiagnosisServer(const ir::Module* module)
     : DiagnosisServer(module, Options()) {}
@@ -16,24 +21,99 @@ DiagnosisServer::DiagnosisServer(const ir::Module* module)
 DiagnosisServer::DiagnosisServer(const ir::Module* module, Options options)
     : module_(module), options_(options) {
   SNORLAX_CHECK(module != nullptr);
+  module_fingerprint_ = pt::ModuleFingerprint(*module);
 }
 
-void DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
-  SNORLAX_CHECK_MSG(bundle.failure.IsFailure(), "failing trace without a failure record");
+Status DiagnosisServer::ValidateBundle(const pt::PtTraceBundle& bundle,
+                                       bool failing) const {
+  if (bundle.trace_version != pt::kPtTraceVersion) {
+    return Status::Error(StatusCode::kVersionMismatch,
+                         StrFormat("trace version %u, server speaks %u",
+                                   bundle.trace_version, pt::kPtTraceVersion));
+  }
+  // Fingerprint 0 means unstamped (hand-built test bundles); anything else
+  // must match the module this server analyzes, or every PC in the trace
+  // would silently map to the wrong instruction.
+  if (bundle.module_fingerprint != 0 && bundle.module_fingerprint != module_fingerprint_) {
+    return Status::Error(StatusCode::kVersionMismatch,
+                         "module fingerprint mismatch (client traced a different binary)");
+  }
+  if (failing && !bundle.failure.IsFailure()) {
+    return Status::Error(StatusCode::kInvalidArgument,
+                         "failing trace without a failure record");
+  }
+  if (bundle.threads.empty()) {
+    return Status::Error(StatusCode::kCorruptData, "bundle carries no thread buffers");
+  }
+  return Status::Ok();
+}
+
+support::Result<std::unique_ptr<trace::ProcessedTrace>> DiagnosisServer::IngestBundle(
+    const pt::PtTraceBundle& bundle) {
+  try {
+    auto processed =
+        std::make_unique<trace::ProcessedTrace>(module_, bundle, options_.trace);
+    degradation_.MergeFrom(processed->degradation());
+    if (!processed->HasEvidence()) {
+      return Status::Error(StatusCode::kCorruptData,
+                           "no usable events survived decoding");
+    }
+    return processed;
+  } catch (const std::exception& e) {
+    // Crash barrier: a corruption pattern the hardened paths above did not
+    // anticipate must cost one bundle, not the whole diagnosis service.
+    return Status::Error(StatusCode::kInternal,
+                         StrFormat("ingest failed: %s", e.what()));
+  }
+}
+
+Status DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
+  Status valid = ValidateBundle(bundle, /*failing=*/true);
+  if (!valid.ok()) {
+    ++degradation_.rejected_bundles;
+    degradation_.notes.push_back("failing bundle rejected: " + valid.ToString());
+    return valid;
+  }
   const auto start = std::chrono::steady_clock::now();
-  auto processed = std::make_unique<trace::ProcessedTrace>(module_, bundle, options_.trace);
-  RunPipeline(*processed);
+  auto ingested = IngestBundle(bundle);
+  if (!ingested.ok()) {
+    ++degradation_.rejected_bundles;
+    degradation_.notes.push_back("failing bundle rejected: " + ingested.status().ToString());
+    return ingested.status();
+  }
+  std::unique_ptr<trace::ProcessedTrace> processed = ingested.take();
+  try {
+    RunPipeline(*processed);
+  } catch (const std::exception& e) {
+    ++degradation_.rejected_bundles;
+    degradation_.notes.push_back(StrFormat("pipeline crash barrier: %s", e.what()));
+    return Status::Error(StatusCode::kInternal,
+                         StrFormat("analysis failed: %s", e.what()));
+  }
   failing_traces_.push_back(std::move(processed));
   last_analysis_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return Status::Ok();
 }
 
-void DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
+Status DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
   if (HasFailure() && success_traces_.size() >= SuccessTraceCap()) {
-    return;  // the paper's empirically-sufficient 10x cap
+    return Status::Ok();  // the paper's empirically-sufficient 10x cap
   }
-  success_traces_.push_back(
-      std::make_unique<trace::ProcessedTrace>(module_, bundle, options_.trace));
+  Status valid = ValidateBundle(bundle, /*failing=*/false);
+  if (!valid.ok()) {
+    ++degradation_.rejected_bundles;
+    degradation_.notes.push_back("success bundle rejected: " + valid.ToString());
+    return valid;
+  }
+  auto ingested = IngestBundle(bundle);
+  if (!ingested.ok()) {
+    ++degradation_.rejected_bundles;
+    degradation_.notes.push_back("success bundle rejected: " + ingested.status().ToString());
+    return ingested.status();
+  }
+  success_traces_.push_back(ingested.take());
+  return Status::Ok();
 }
 
 void DiagnosisServer::RunPipeline(const trace::ProcessedTrace& failing) {
@@ -161,6 +241,8 @@ void DiagnosisServer::RunPipeline(const trace::ProcessedTrace& failing) {
         ComputePatterns(*module_, failing, ranked_, failure, failure_chain_, options_.patterns);
   }
   hypothesis_violated_ = hypothesis_violated_ || computed.hypothesis_violated;
+  degradation_.hypothesis_fallback = degradation_.hypothesis_fallback || hypothesis_violated_;
+  degradation_.slice_fallback = degradation_.slice_fallback || used_slice_fallback_;
   // Merge with patterns from earlier failing traces (same bug recurring).
   for (BugPattern& p : computed.patterns) {
     bool duplicate = false;
@@ -202,11 +284,18 @@ std::vector<std::pair<ir::InstId, int>> DiagnosisServer::RequestedDumpPoints() c
 DiagnosisReport DiagnosisServer::Diagnose() const {
   DiagnosisReport report;
   if (failing_traces_.empty()) {
+    // Nothing was diagnosable -- but if bundles were rejected on the way
+    // here, the operator should see why instead of a silent empty report.
+    report.degradation = degradation_;
+    report.confidence = degradation_.degraded() ? trace::ConfidenceTier::kLow
+                                                : trace::ConfidenceTier::kFull;
     return report;
   }
   const auto start = std::chrono::steady_clock::now();
   report.failure = failing_traces_.front()->failure();
   report.hypothesis_violated = hypothesis_violated_;
+  report.degradation = degradation_;
+  report.confidence = degradation_.tier();
   report.stages = stages_;
   report.failing_traces = failing_traces_.size();
   report.success_traces = success_traces_.size();

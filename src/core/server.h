@@ -21,6 +21,8 @@
 #include "analysis/type_rank.h"
 #include "core/pattern_compute.h"
 #include "core/statistical.h"
+#include "support/status.h"
+#include "trace/degradation.h"
 #include "trace/processed_trace.h"
 
 namespace snorlax::core {
@@ -54,6 +56,12 @@ struct DiagnosisReport {
   // True when pattern computation had to emit unordered events (coarse
   // interleaving hypothesis violated; paper section 7 degradation).
   bool hypothesis_violated = false;
+  // Everything the ingest path lost to corruption plus the fallbacks that
+  // fired, accumulated over every submitted bundle. `confidence` is its tier:
+  // full (clean evidence), degraded (lossy but localized), low (diagnosis is
+  // a guess -- e.g. the failure record itself was unusable).
+  trace::DegradationReport degradation;
+  trace::ConfidenceTier confidence = trace::ConfidenceTier::kFull;
   StageStats stages;
   // Server-side analysis wall time for the most recent trace (steps 2-7).
   double analysis_seconds = 0.0;
@@ -84,10 +92,13 @@ class DiagnosisServer {
   DiagnosisServer(const ir::Module* module, Options options);
 
   // A client hit a fail-stop event and shipped its trace. Runs steps 2-6.
-  void SubmitFailingTrace(const pt::PtTraceBundle& bundle);
+  // Field bundles are hostile input: malformed ones are rejected with an
+  // error (version skew, no failure record, nothing decodable) or accepted
+  // with degradation recorded -- the server never aborts on bad data.
+  support::Status SubmitFailingTrace(const pt::PtTraceBundle& bundle);
   // A client's dump point fired during a successful execution (step 8).
-  // Ignored beyond the 10x cap.
-  void SubmitSuccessTrace(const pt::PtTraceBundle& bundle);
+  // Ignored beyond the 10x cap (returns OK); corrupt bundles are rejected.
+  support::Status SubmitSuccessTrace(const pt::PtTraceBundle& bundle);
 
   // Where clients should dump successful-execution traces: (pc, rank) with
   // rank 0 = the failing PC, 1+ = first instructions of predecessor blocks.
@@ -110,11 +121,20 @@ class DiagnosisServer {
   const std::vector<const ir::Instruction*>& failure_chain() const { return failure_chain_; }
   // True when the last pipeline run needed the backward-slice fallback.
   bool used_slice_fallback() const { return used_slice_fallback_; }
+  // Degradation accumulated across every submitted bundle so far.
+  const trace::DegradationReport& degradation() const { return degradation_; }
 
  private:
+  // Structural screening before any decoding work is spent on a bundle.
+  support::Status ValidateBundle(const pt::PtTraceBundle& bundle, bool failing) const;
+  // Decodes `bundle` behind a crash barrier: any exception a hardening gap
+  // lets through becomes a rejected bundle, never a server crash.
+  support::Result<std::unique_ptr<trace::ProcessedTrace>> IngestBundle(
+      const pt::PtTraceBundle& bundle);
   void RunPipeline(const trace::ProcessedTrace& failing);
 
   const ir::Module* module_;
+  uint64_t module_fingerprint_ = 0;
   Options options_;
   std::vector<std::unique_ptr<trace::ProcessedTrace>> failing_traces_;
   std::vector<std::unique_ptr<trace::ProcessedTrace>> success_traces_;
@@ -127,6 +147,7 @@ class DiagnosisServer {
   bool hypothesis_violated_ = false;
   bool used_slice_fallback_ = false;
   StageStats stages_;
+  trace::DegradationReport degradation_;
   double last_analysis_seconds_ = 0.0;
 };
 

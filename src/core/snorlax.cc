@@ -23,8 +23,9 @@ std::optional<SnorlaxOutcome> Snorlax::DiagnoseFirstFailure(uint64_t first_seed)
         outcome.runs_until_failure = outcome.total_runs;
         outcome.failing_run_pt_stats = run.pt_stats;
       }
-      if (run.trace.has_value()) {
-        server_.SubmitFailingTrace(*run.trace);
+      // A rejected bundle (corrupt, version skew) does not count as evidence;
+      // keep running until a usable failure arrives or the budget is spent.
+      if (run.trace.has_value() && server_.SubmitFailingTrace(*run.trace).ok()) {
         ++outcome.failing_runs_used;
       }
     }
@@ -42,8 +43,7 @@ std::optional<SnorlaxOutcome> Snorlax::DiagnoseFirstFailure(uint64_t first_seed)
     if (run.result.failure.IsFailure()) {
       continue;  // Snorlax needs only the one failure; skip recurrences here
     }
-    if (run.trace.has_value()) {
-      server_.SubmitSuccessTrace(*run.trace);
+    if (run.trace.has_value() && server_.SubmitSuccessTrace(*run.trace).ok()) {
       ++outcome.success_runs_used;
     }
   }

@@ -13,7 +13,12 @@ std::vector<DiagnosedPattern> ScorePatterns(
   for (const BugPattern& pattern : patterns) {
     DiagnosedPattern d;
     d.pattern = pattern;
+    // Degraded ingests can leave gaps in the trace lists; score over the
+    // survivors rather than trusting the caller to have filtered.
     for (const trace::ProcessedTrace* t : failing_traces) {
+      if (t == nullptr) {
+        continue;
+      }
       if (TraceContainsPattern(*t, pattern)) {
         ++d.counts.true_positive;
       } else {
@@ -21,7 +26,7 @@ std::vector<DiagnosedPattern> ScorePatterns(
       }
     }
     for (const trace::ProcessedTrace* t : success_traces) {
-      if (TraceContainsPattern(*t, pattern)) {
+      if (t != nullptr && TraceContainsPattern(*t, pattern)) {
         ++d.counts.false_positive;
       }
     }
@@ -33,6 +38,11 @@ std::vector<DiagnosedPattern> ScorePatterns(
   std::sort(out.begin(), out.end(), [](const DiagnosedPattern& a, const DiagnosedPattern& b) {
     if (a.f1 != b.f1) {
       return a.f1 > b.f1;
+    }
+    // At equal F1, an order-confirmed pattern is stronger evidence than an
+    // unordered event set salvaged from degraded clocks.
+    if (a.pattern.ordered != b.pattern.ordered) {
+      return a.pattern.ordered;
     }
     if (a.pattern.events.size() != b.pattern.events.size()) {
       return a.pattern.events.size() > b.pattern.events.size();

@@ -1,0 +1,46 @@
+// FaultInjector: applies a FaultPlan to a captured PtTraceBundle, mutating
+// raw PT bytes and bundle metadata the way field corruption does. All
+// mutations are driven by one seeded Rng, so a (plan, bundle) pair is fully
+// reproducible -- the chaos bench and the CLI `fuzz-trace` subcommand rely on
+// replaying the exact same corruption.
+#ifndef SNORLAX_FAULTS_INJECTOR_H_
+#define SNORLAX_FAULTS_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "pt/encoder.h"
+#include "support/rng.h"
+
+namespace snorlax::faults {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Applies every fault of the plan, in order, to `bundle`. Returns a log of
+  // the mutations performed (one line each), for diagnostics and tests.
+  std::vector<std::string> Apply(pt::PtTraceBundle* bundle);
+
+ private:
+  void ApplyOne(const FaultSpec& fault, pt::PtTraceBundle* bundle,
+                std::vector<std::string>* log);
+
+  void BitFlip(double rate, pt::PtTraceBundle* bundle, std::vector<std::string>* log);
+  void Truncate(double rate, pt::PtTraceBundle* bundle, std::vector<std::string>* log);
+  void DropOrDup(FaultKind kind, double rate, pt::PtTraceBundle* bundle,
+                 std::vector<std::string>* log);
+  void ClockRegression(double rate, pt::PtTraceBundle* bundle,
+                       std::vector<std::string>* log);
+  void ThreadLoss(double rate, pt::PtTraceBundle* bundle, std::vector<std::string>* log);
+  void ForgeFailure(double rate, pt::PtTraceBundle* bundle, std::vector<std::string>* log);
+  void VersionSkew(double rate, pt::PtTraceBundle* bundle, std::vector<std::string>* log);
+
+  FaultPlan plan_;
+  Rng rng_;
+};
+
+}  // namespace snorlax::faults
+
+#endif  // SNORLAX_FAULTS_INJECTOR_H_

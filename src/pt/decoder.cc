@@ -106,6 +106,13 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
   out.thread = raw.thread;
   out.lost_prefix = raw.total_written > raw.bytes.size();
 
+  // Field bundles arrive with hostile metadata: a zero clock period would
+  // divide by zero below, so reject the config up front instead of trusting it.
+  if (config.mtc_period_ns == 0 || config.cyc_unit_ns == 0) {
+    out.error = "corrupt trace config (zero clock period)";
+    return out;
+  }
+
   WalkState w;
   w.module = module_;
   w.events = &out.events;
@@ -113,18 +120,39 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
     w.hi_override_ns = snapshot_time_ns;
   }
 
-  // Re-sync at the first intact PSB (everything before it is lost).
+  // Sync at the first intact PSB (everything before it is lost). When
+  // corruption destroyed every PSB magic, scan from the top instead: an
+  // absolute-location TIP can still re-enter the stream (below), which beats
+  // discarding the whole thread.
   size_t pos = FindPsb(raw.bytes, 0);
   if (pos > 0) {
     out.lost_prefix = true;
   }
   if (pos >= raw.bytes.size()) {
-    out.error = "no PSB sync point in the buffer";
-    return out;
+    if (raw.bytes.empty()) {
+      out.error = "no PSB sync point in the buffer";
+      return out;
+    }
+    pos = 0;
   }
 
   bool synced = false;
   const uint64_t period = config.mtc_period_ns;
+  // Mid-stream corruption recovery: drop to the unsynced state and scan
+  // byte-by-byte for the next sync point. A PSB re-enters with a fresh clock;
+  // a TIP re-enters at its absolute target location with a stale clock (the
+  // events between corruption and the sync point are lost, which the resync
+  // counter reports). The scan restarts one byte past the bad packet's start:
+  // a corrupt header can masquerade as a longer packet kind and swallow good
+  // bytes, so nothing past the first bad byte is trusted.
+  const auto desync = [&](size_t bad_packet_start) {
+    if (synced) {
+      ++out.resyncs;
+      synced = false;
+    }
+    w.error.clear();
+    pos = bad_packet_start + 1;
+  };
   while (pos < raw.bytes.size()) {
     const size_t packet_start = pos;
     std::optional<Packet> packet = DecodePacket(raw.bytes, &pos);
@@ -132,9 +160,18 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
       // A truncated packet can only legitimately appear at the very end of a
       // wrapped buffer (the write cursor cut it); elsewhere it is corruption.
       if (packet_start + kPsbBytes < raw.bytes.size()) {
-        out.error = StrFormat("undecodable packet at offset %zu", packet_start);
+        desync(packet_start);
+        continue;
       }
       break;
+    }
+    if (!synced && packet->kind != PacketKind::kPsb && packet->kind != PacketKind::kTip) {
+      // Scanning for a re-entry point: only a PSB or TIP can re-anchor the
+      // walk. Anything else decodable at this offset is likely a misaligned
+      // read of packet innards -- consuming it whole could swallow the start
+      // of a real sync packet, so advance one byte and keep scanning.
+      pos = packet_start + 1;
+      continue;
     }
     ++out.packets_decoded;
     switch (packet->kind) {
@@ -145,15 +182,27 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
         // so post-PSB returns of pre-PSB calls arrive as explicit TIPs).
         // After data loss, it is the re-entry point: adopt its location.
         if (!synced) {
+          if (packet->block >= module_->NumBlocks()) {
+            desync(packet_start);
+            continue;
+          }
           w.block = packet->block;
           w.index = packet->index;
           // Only at the sync entry point is the PSB a lower bound: when
           // decoding continuously, instructions reported by the next control
           // packet may have retired (in flight) before the PSB was written.
           w.ts_lo_ns = packet->tsc;
+        } else if (packet->tsc < w.ts_ns) {
+          // The encoder's clock is monotonic; a rewound PSB means corruption.
+          // Keep decoding (control flow is still intact) but flag every
+          // timestamp as untrustworthy.
+          ++out.clock_anomalies;
         }
         w.stack.clear();
         w.ts_ns = packet->tsc;
+        if (w.ts_lo_ns > w.ts_ns) {
+          w.ts_lo_ns = w.ts_ns;
+        }
         synced = true;
         break;
       case PacketKind::kMtc: {
@@ -162,6 +211,13 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
         }
         const uint64_t cur_ctc = w.ts_ns / period;
         const uint64_t delta = (packet->ctc - (cur_ctc & 0xff)) & 0xff;
+        // The encoder forces a PSB before this many MTC periods can elapse
+        // without one, so a larger single-step delta is provably a corrupt
+        // counter byte: the step is real modulo 256 periods, but the clock it
+        // yields cannot be trusted for cross-thread ordering.
+        if (delta > kMaxMtcPeriodsWithoutPsb) {
+          ++out.clock_anomalies;
+        }
         w.ts_ns = (cur_ctc + delta) * period;
         break;
       }
@@ -169,20 +225,27 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
         if (!synced) {
           break;
         }
+        // Same bound as MTC: fine-grained cycle deltas bigger than the forced
+        // PSB period are corrupt, not fast.
+        if (static_cast<uint64_t>(packet->cyc_delta) * config.cyc_unit_ns >
+            kMaxMtcPeriodsWithoutPsb * period) {
+          ++out.clock_anomalies;
+        }
         w.ts_ns += static_cast<uint64_t>(packet->cyc_delta) * config.cyc_unit_ns;
         break;
       case PacketKind::kTnt: {
         if (!synced) {
           break;
         }
+        bool resynced = false;
         for (uint8_t i = 0; i < packet->tnt_count; ++i) {
           const StopKind stop = WalkToNextEvent(w);
           if (stop != StopKind::kCondBranch) {
-            out.error = w.error.empty()
-                            ? StrFormat("TNT bit with no pending conditional branch (bb%u)",
-                                        w.block)
-                            : w.error;
-            return out;
+            // No conditional branch pending: the stream is lying (corruption
+            // or an earlier silent desync). Scan for the next sync point.
+            desync(packet_start);
+            resynced = true;
+            break;
           }
           const ir::Instruction* branch = w.CurrentInst();
           w.Record(branch);
@@ -190,12 +253,31 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
           w.block = taken ? branch->then_block() : branch->else_block();
           w.index = 0;
         }
+        if (resynced) {
+          continue;
+        }
         w.ts_lo_ns = w.ts_ns;
         break;
       }
       case PacketKind::kTip: {
         if (!synced) {
+          // A TIP names an absolute target location, so it is a legal
+          // re-entry point after data loss -- but unlike a PSB it carries no
+          // clock, and the MTC delta chain was severed by the gap, so every
+          // timestamp from here on is suspect.
+          if (packet->block < module_->NumBlocks()) {
+            w.block = packet->block;
+            w.index = packet->index;
+            w.stack.clear();
+            w.ts_lo_ns = w.ts_ns;
+            ++out.clock_anomalies;
+            synced = true;
+          }
           break;
+        }
+        if (packet->block >= module_->NumBlocks()) {
+          desync(packet_start);
+          continue;
         }
         const StopKind stop = WalkToNextEvent(w);
         if (stop == StopKind::kIndirect) {
@@ -206,10 +288,15 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
           const ir::Instruction* ret = w.CurrentInst();
           w.Record(ret);
         } else {
-          out.error = w.error.empty()
-                          ? StrFormat("TIP with no pending indirect transfer (bb%u)", w.block)
-                          : w.error;
-          return out;
+          // The walk did not reach an indirect transfer: an earlier corrupt
+          // packet sent it down a divergent path. The TIP names an absolute
+          // target, so re-anchor there directly instead of dropping sync and
+          // byte-scanning -- everything after this packet decodes cleanly.
+          // The clock chain was never severed, but events recorded along the
+          // divergent path are fabrications, so count a resync to flag it.
+          w.error.clear();
+          w.stack.clear();
+          ++out.resyncs;
         }
         w.block = packet->block;
         w.index = packet->index;
@@ -223,6 +310,29 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
   // final retired instruction (shipped by the driver, mirroring the stop
   // record real PT emits when tracing is disabled at a crash). These events
   // retired between the last packet and the snapshot.
+  if (synced && out.error.empty() && raw.last_retired != ir::kInvalidInstId &&
+      raw.last_retired >= module_->NumInstructions()) {
+    // A forged stop record would send the suffix walk chasing an instruction
+    // that does not exist; surface it instead of walking.
+    out.error = StrFormat("stop record names unknown instruction #%u", raw.last_retired);
+  }
+  if (!synced && out.error.empty() && raw.last_retired != ir::kInvalidInstId &&
+      raw.last_retired < module_->NumInstructions()) {
+    // The stream tail was lost to corruption and no sync point survived, but
+    // the stop record still names the thread's final retired instruction.
+    // Keep that one event with a maximally wide retirement window: for a
+    // failure-window access this is the difference between a degraded
+    // diagnosis and none at all.
+    const bool already_there =
+        !out.events.empty() && out.events.back().inst == raw.last_retired;
+    if (!already_there) {
+      DecodedEvent ev;
+      ev.inst = raw.last_retired;
+      ev.ts_lo_ns = w.ts_ns;
+      ev.ts_ns = snapshot_time_ns > w.ts_ns ? snapshot_time_ns : w.ts_ns;
+      out.events.push_back(ev);
+    }
+  }
   if (synced && out.error.empty() && raw.last_retired != ir::kInvalidInstId) {
     const bool already_there =
         !out.events.empty() && out.events.back().inst == raw.last_retired;

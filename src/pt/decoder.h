@@ -37,7 +37,16 @@ struct DecodedThreadTrace {
   // overwritten and decoding started at the first surviving PSB.
   bool lost_prefix = false;
   size_t packets_decoded = 0;
-  // Non-empty on a malformed stream; events up to the error are kept.
+  // Timestamps that ran backwards mid-stream (a corrupted or rewound clock).
+  // The events are kept, but their retirement windows cannot be trusted;
+  // trace processing falls back to unordered cross-thread sets.
+  size_t clock_anomalies = 0;
+  // Mid-stream corruption recovered by scanning to the next sync point (a
+  // PSB checkpoint or an absolute-location TIP). Each resync loses the
+  // events between the corruption and the sync point.
+  size_t resyncs = 0;
+  // Non-empty on a malformed stream with no further sync point; events up to
+  // the error are kept.
   std::string error;
 
   bool ok() const { return error.empty(); }

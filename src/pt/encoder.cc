@@ -1,14 +1,35 @@
 #include "pt/encoder.h"
 
+#include "ir/module.h"
 #include "support/check.h"
 
 namespace snorlax::pt {
 
-namespace {
-// An MTC byte is 8 bits of the coarse counter, so gaps of 256+ periods are
-// ambiguous. Force a full-TSC PSB well before that.
-constexpr uint64_t kMaxMtcPeriodsWithoutPsb = 200;
-}  // namespace
+uint64_t ModuleFingerprint(const ir::Module& module) {
+  // FNV-1a over the structural shape: function names, block and instruction
+  // counts, and every opcode in id order. Cheap (one linear pass), stable
+  // across processes, and any recompile that moves a PC changes it.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(module.NumInstructions());
+  mix(module.NumBlocks());
+  for (const auto& func : module.functions()) {
+    for (char c : func->name()) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    mix(func->blocks().size());
+  }
+  for (const ir::Instruction* inst : module.AllInstructions()) {
+    mix(static_cast<uint64_t>(inst->opcode()));
+  }
+  return h;
+}
 
 PtEncoder::PtEncoder(const ir::Module* module, PtConfig config)
     : module_(module), config_(config) {
@@ -230,6 +251,8 @@ uint64_t PtEncoder::OnInstructionRetired(rt::ThreadId thread, const ir::Instruct
 
 PtTraceBundle PtEncoder::Snapshot(uint64_t now_ns) {
   PtTraceBundle bundle;
+  bundle.trace_version = kPtTraceVersion;
+  bundle.module_fingerprint = ModuleFingerprint(*module_);
   bundle.config = config_;
   bundle.snapshot_time_ns = now_ns;
   for (auto& [tid, stream] : streams_) {

@@ -20,6 +20,10 @@
 #include "pt/ring_buffer.h"
 #include "runtime/observer.h"
 
+namespace snorlax::ir {
+class Module;
+}  // namespace snorlax::ir
+
 namespace snorlax::pt {
 
 struct PtConfig {
@@ -69,6 +73,23 @@ struct PtStats {
   }
 };
 
+// Wire-format version stamped into every bundle. Bump on incompatible packet
+// or bundle layout changes; the server refuses versions it does not speak
+// (traces in flight across a rollout must not be misdecoded).
+inline constexpr uint32_t kPtTraceVersion = 1;
+
+// An MTC byte is 8 bits of the coarse counter, so gaps of 256+ periods are
+// ambiguous. The encoder forces a full-TSC PSB well before that, which also
+// makes this a decode-side sanity bound: a single-step clock jump past it can
+// only come from a corrupt timing packet.
+inline constexpr uint64_t kMaxMtcPeriodsWithoutPsb = 200;
+
+// Cheap structural fingerprint of a module. Client and server must analyze
+// the same binary: under module skew the PC->IR mapping silently points at
+// the wrong instructions, so bundles carry the client's fingerprint and the
+// server rejects mismatches.
+uint64_t ModuleFingerprint(const ir::Module& module);
+
 // A snapshot of all per-thread trace buffers, as shipped to the server.
 struct PtTraceBundle {
   struct PerThread {
@@ -80,6 +101,8 @@ struct PtTraceBundle {
     // the packet-free suffix of the execution.
     ir::InstId last_retired = ir::kInvalidInstId;
   };
+  uint32_t trace_version = kPtTraceVersion;
+  uint64_t module_fingerprint = 0;  // 0 = unstamped (hand-built test bundles)
   PtConfig config;
   std::vector<PerThread> threads;
   uint64_t snapshot_time_ns = 0;

@@ -1,0 +1,93 @@
+#include "trace/degradation.h"
+
+#include "support/str.h"
+
+namespace snorlax::trace {
+
+const char* ConfidenceTierName(ConfidenceTier tier) {
+  switch (tier) {
+    case ConfidenceTier::kFull:
+      return "full";
+    case ConfidenceTier::kDegraded:
+      return "degraded";
+    case ConfidenceTier::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
+bool DegradationReport::degraded() const {
+  return threads_dropped > 0 || decode_errors > 0 || stream_resyncs > 0 ||
+         clock_anomalies > 0 ||
+         sanitized_failure_fields > 0 || rejected_bundles > 0 || lost_prefix ||
+         timestamps_unreliable || hypothesis_fallback || slice_fallback ||
+         failure_record_unusable;
+}
+
+ConfidenceTier DegradationReport::tier() const {
+  if (failure_record_unusable ||
+      (threads_total > 0 && threads_dropped >= threads_total)) {
+    return ConfidenceTier::kLow;
+  }
+  return degraded() ? ConfidenceTier::kDegraded : ConfidenceTier::kFull;
+}
+
+void DegradationReport::MergeFrom(const DegradationReport& other) {
+  threads_total += other.threads_total;
+  threads_dropped += other.threads_dropped;
+  decode_errors += other.decode_errors;
+  stream_resyncs += other.stream_resyncs;
+  clock_anomalies += other.clock_anomalies;
+  sanitized_failure_fields += other.sanitized_failure_fields;
+  rejected_bundles += other.rejected_bundles;
+  lost_prefix = lost_prefix || other.lost_prefix;
+  timestamps_unreliable = timestamps_unreliable || other.timestamps_unreliable;
+  hypothesis_fallback = hypothesis_fallback || other.hypothesis_fallback;
+  slice_fallback = slice_fallback || other.slice_fallback;
+  failure_record_unusable = failure_record_unusable || other.failure_record_unusable;
+  notes.insert(notes.end(), other.notes.begin(), other.notes.end());
+}
+
+std::string DegradationReport::Summary() const {
+  std::string out = StrFormat("tier=%s", ConfidenceTierName(tier()));
+  if (threads_total > 0) {
+    out += StrFormat(" threads=%zu/%zu", threads_total - threads_dropped, threads_total);
+  }
+  if (decode_errors > 0) {
+    out += StrFormat(" decode_errors=%zu", decode_errors);
+  }
+  if (stream_resyncs > 0) {
+    out += StrFormat(" resyncs=%zu", stream_resyncs);
+  }
+  if (clock_anomalies > 0) {
+    out += StrFormat(" clock_anomalies=%zu", clock_anomalies);
+  }
+  if (sanitized_failure_fields > 0) {
+    out += StrFormat(" sanitized_fields=%zu", sanitized_failure_fields);
+  }
+  if (rejected_bundles > 0) {
+    out += StrFormat(" rejected_bundles=%zu", rejected_bundles);
+  }
+  if (lost_prefix) {
+    out += " lost_prefix";
+  }
+  std::vector<std::string> fallbacks;
+  if (timestamps_unreliable) {
+    fallbacks.push_back("unordered");
+  }
+  if (hypothesis_fallback) {
+    fallbacks.push_back("hypothesis");
+  }
+  if (slice_fallback) {
+    fallbacks.push_back("slice");
+  }
+  if (failure_record_unusable) {
+    fallbacks.push_back("no-failure-pc");
+  }
+  if (!fallbacks.empty()) {
+    out += " fallbacks=[" + StrJoin(fallbacks, ",") + "]";
+  }
+  return out;
+}
+
+}  // namespace snorlax::trace

@@ -1,0 +1,68 @@
+// Degradation accounting for lossy in-production evidence.
+//
+// Every stage that absorbs a fault instead of aborting records what it lost
+// here: the decoder's salvage of malformed streams, trace processing's
+// unordered-set fallback under clock anomalies, the server's sanitization of
+// forged failure records and its pattern-stage fallbacks. The aggregate rides
+// on every DiagnosisReport so an operator can tell a first-class diagnosis
+// from one reconstructed out of partial evidence.
+#ifndef SNORLAX_TRACE_DEGRADATION_H_
+#define SNORLAX_TRACE_DEGRADATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace snorlax::trace {
+
+// How much the reported diagnosis should be trusted.
+//   kFull:     clean evidence, no fallbacks fired.
+//   kDegraded: evidence was lost (dropped buffers, salvaged streams, coarse
+//              fallbacks) but the pipeline still localized candidate events.
+//   kLow:      the failure record itself was unusable or the surviving trace
+//              carries no events; any ranking is a guess.
+enum class ConfidenceTier : uint8_t { kFull = 0, kDegraded = 1, kLow = 2 };
+
+const char* ConfidenceTierName(ConfidenceTier tier);
+
+struct DegradationReport {
+  // --- evidence inventory ----------------------------------------------------
+  size_t threads_total = 0;    // per-thread buffers received
+  size_t threads_dropped = 0;  // buffers that yielded no usable events
+  size_t decode_errors = 0;    // malformed streams (decoded prefix salvaged)
+  size_t stream_resyncs = 0;   // mid-stream corruption skipped to the next PSB
+  size_t clock_anomalies = 0;  // timestamps that ran backwards mid-stream
+  size_t sanitized_failure_fields = 0;  // forged failure-record fields dropped
+  size_t rejected_bundles = 0;          // whole bundles refused at ingest
+  bool lost_prefix = false;             // ring-buffer wrap ate the oldest events
+
+  // --- fallbacks fired -------------------------------------------------------
+  // Clock anomalies made retirement windows untrustworthy: cross-thread
+  // ordering collapsed to unordered event sets (paper section 7 degradation,
+  // extended to corrupt clocks).
+  bool timestamps_unreliable = false;
+  // Pattern computation emitted unordered patterns (coarse interleaving
+  // hypothesis violated).
+  bool hypothesis_fallback = false;
+  // The alias-derived candidates yielded nothing; backward slice retried.
+  bool slice_fallback = false;
+  // The failure record was unusable; diagnosis ran without a failing PC.
+  bool failure_record_unusable = false;
+
+  // One line per absorbed fault, for logs and the CLI.
+  std::vector<std::string> notes;
+
+  bool degraded() const;
+  ConfidenceTier tier() const;
+
+  // Folds a per-trace report into this aggregate.
+  void MergeFrom(const DegradationReport& other);
+
+  // Compact single-line rendering, e.g.
+  // "tier=degraded threads=3/4 decode_errors=1 fallbacks=[unordered]".
+  std::string Summary() const;
+};
+
+}  // namespace snorlax::trace
+
+#endif  // SNORLAX_TRACE_DEGRADATION_H_

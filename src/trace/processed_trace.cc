@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.h"
+#include "support/str.h"
 
 namespace snorlax::trace {
 
@@ -12,18 +13,69 @@ ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle
   SNORLAX_CHECK(module != nullptr);
   pt::PtDecoder decoder(module);
 
+  // The failure record travels beside the trace bytes and is just as
+  // corruptible. Sanitize before anchoring anything on it: a forged failing
+  // PC would crash every module lookup downstream, so it degrades to "no
+  // failing PC" and the diagnosis proceeds from the surviving candidates.
+  if (failure_.failing_inst != ir::kInvalidInstId &&
+      failure_.failing_inst >= module->NumInstructions()) {
+    degradation_.notes.push_back(
+        StrFormat("failure record names unknown instruction #%u; dropped",
+                  failure_.failing_inst));
+    failure_.failing_inst = ir::kInvalidInstId;
+    ++degradation_.sanitized_failure_fields;
+    if (failure_.IsFailure()) {
+      degradation_.failure_record_unusable = true;
+    }
+  }
+  for (size_t i = failure_.deadlock_cycle.size(); i-- > 0;) {
+    const rt::FailureInfo::DeadlockWaiter& w = failure_.deadlock_cycle[i];
+    if (w.inst != ir::kInvalidInstId && w.inst >= module->NumInstructions()) {
+      degradation_.notes.push_back(
+          StrFormat("deadlock waiter names unknown instruction #%u; dropped", w.inst));
+      failure_.deadlock_cycle.erase(failure_.deadlock_cycle.begin() + i);
+      ++degradation_.sanitized_failure_fields;
+    }
+  }
+
   for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
     const pt::DecodedThreadTrace decoded = decoder.DecodeThread(per, bundle.config, bundle.snapshot_time_ns);
+    ++degradation_.threads_total;
     if (!decoded.ok()) {
       decode_errors_.push_back(decoded.error);
+      ++degradation_.decode_errors;
+      degradation_.notes.push_back(
+          StrFormat("thread %u: %s (%zu events salvaged)", per.thread,
+                    decoded.error.c_str(), decoded.events.size()));
+    }
+    degradation_.clock_anomalies += decoded.clock_anomalies;
+    if (decoded.clock_anomalies > 0 || decoded.resyncs > 0) {
+      clock_suspect_threads_.insert(per.thread);
+    }
+    if (decoded.resyncs > 0) {
+      degradation_.stream_resyncs += decoded.resyncs;
+      degradation_.notes.push_back(StrFormat(
+          "thread %u: %zu mid-stream resyncs (events between corruption and "
+          "the next sync point lost)",
+          per.thread, decoded.resyncs));
     }
     lost_prefix_ = lost_prefix_ || decoded.lost_prefix;
     if (!decoded.events.empty()) {
       ++threads_in_trace_;
+    } else {
+      ++degradation_.threads_dropped;
     }
     uint32_t seq = 0;
+    uint64_t prev_ts = 0;
     for (const pt::DecodedEvent& ev : decoded.events) {
       executed_.insert(ev.inst);
+      // Per-thread retirement must be monotonic (the encoder's clock only
+      // moves forward); a regression here is decoder-salvaged corruption.
+      if (ev.ts_ns < prev_ts) {
+        ++degradation_.clock_anomalies;
+        clock_suspect_threads_.insert(per.thread);
+      }
+      prev_ts = ev.ts_ns;
       instances_.push_back(DynInst{ev.inst, per.thread, seq++, ev.ts_lo_ns, ev.ts_ns, false});
     }
     // The decoded trace ends at the last packet; the failing instruction
@@ -44,6 +96,22 @@ ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle
                                      w.block_time_ns, false});
       }
     }
+  }
+
+  degradation_.lost_prefix = lost_prefix_;
+  if (!clock_suspect_threads_.empty()) {
+    // A corrupt clock or a salvaged stream (whose resync points restart the
+    // MTC delta chain) leaves that thread's retirement windows untrustworthy.
+    // Damage is quarantined per thread: cross-thread pairs touching a suspect
+    // thread degrade to unordered event sets (paper section 7 fallback), but
+    // pairs between clean threads keep the full interval rule -- one mangled
+    // buffer must not erase the ordering evidence of the other N-1 threads.
+    degradation_.timestamps_unreliable = true;
+    degradation_.notes.push_back(StrFormat(
+        "%zu clock anomalies, %zu resyncs across %zu threads: their "
+        "cross-thread ordering degraded to unordered sets",
+        degradation_.clock_anomalies, degradation_.stream_resyncs,
+        clock_suspect_threads_.size()));
   }
 
   std::sort(instances_.begin(), instances_.end(), [](const DynInst& a, const DynInst& b) {
@@ -95,6 +163,16 @@ bool ProcessedTrace::ExecutesBefore(const DynInst& a, const DynInst& b) const {
     return true;
   }
   if (a.at_failure) {
+    return false;
+  }
+  // A corrupt clock voids the interval rule for the thread it damaged:
+  // claiming an order from garbage timestamps is worse than admitting
+  // ignorance, so pairs touching a suspect thread degrade to unordered (the
+  // same ladder rung as a coarse-interleaving-hypothesis violation). Pairs
+  // between clean threads keep the interval rule.
+  if (!clock_suspect_threads_.empty() &&
+      (clock_suspect_threads_.count(a.thread) > 0 ||
+       clock_suspect_threads_.count(b.thread) > 0)) {
     return false;
   }
   // Interval rule: a's window must end before b's window begins.

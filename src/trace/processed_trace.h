@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "pt/decoder.h"
+#include "trace/degradation.h"
 
 namespace snorlax::trace {
 
@@ -88,6 +89,24 @@ class ProcessedTrace {
   size_t threads_in_trace() const { return threads_in_trace_; }
   const TraceOptions& options() const { return options_; }
 
+  // --- Degradation ------------------------------------------------------------
+  // Everything this trace lost to corruption, plus which fallbacks fired.
+  const DegradationReport& degradation() const { return degradation_; }
+  // True when clock anomalies made some retirement windows untrustworthy.
+  // Clock damage is quarantined per thread: only pairs touching a suspect
+  // thread degrade to unordered event sets (the paper's section 7 fallback
+  // extended to corrupt clocks); pairs between clean threads keep the full
+  // interval rule.
+  bool timestamps_unreliable() const { return degradation_.timestamps_unreliable; }
+  // True when `thread`'s decoded clock cannot be trusted (a corrupt timing
+  // packet, a mid-stream resync restarting the delta chain, or a timestamp
+  // regression surfaced while building the trace).
+  bool ClockSuspect(rt::ThreadId thread) const {
+    return clock_suspect_threads_.count(thread) > 0;
+  }
+  // True when the surviving buffers yielded at least one event to analyze.
+  bool HasEvidence() const { return !instances_.empty(); }
+
  private:
   const ir::Module* module_;
   TraceOptions options_;
@@ -100,6 +119,8 @@ class ProcessedTrace {
   bool lost_prefix_ = false;
   std::vector<std::string> decode_errors_;
   size_t threads_in_trace_ = 0;
+  std::unordered_set<rt::ThreadId> clock_suspect_threads_;
+  DegradationReport degradation_;
 };
 
 }  // namespace snorlax::trace

@@ -1,0 +1,122 @@
+// Chaos sweep: every catalogue workload x every fault kind x corruption
+// rates {1%, 5%, 25%}. The server must never crash: each corrupt bundle
+// either comes back as a Status error or is absorbed with the loss recorded
+// in the DegradationReport. Runs under the `chaos` ctest label.
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "faults/injector.h"
+#include "workloads/workload.h"
+
+namespace snorlax::core {
+namespace {
+
+struct CapturedRuns {
+  workloads::Workload workload;
+  pt::PtTraceBundle failing;
+  std::vector<pt::PtTraceBundle> successes;
+};
+
+// One failing bundle plus a few clean success bundles per workload; reused
+// (copied, then corrupted) across the whole kind x rate sweep.
+CapturedRuns Capture(const std::string& name) {
+  CapturedRuns out{workloads::Build(name), {}, {}};
+  ClientOptions copts;
+  copts.interp = out.workload.interp;
+  DiagnosisClient client(out.workload.module.get(), copts);
+  uint64_t seed = 1;
+  for (; seed <= 3000; ++seed) {
+    ClientRun run = client.RunOnce(seed);
+    if (run.result.failure.IsFailure()) {
+      EXPECT_TRUE(run.trace.has_value());
+      out.failing = *run.trace;
+      break;
+    }
+  }
+  EXPECT_TRUE(out.failing.failure.IsFailure()) << "no failure reproduced for " << name;
+  // Success traces at the failure PC (a fresh server just to get dump points).
+  DiagnosisServer scout(out.workload.module.get());
+  (void)scout.SubmitFailingTrace(out.failing);
+  const auto dump_points = scout.RequestedDumpPoints();
+  for (uint64_t s = seed + 1; s <= seed + 400 && out.successes.size() < 4; ++s) {
+    ClientRun run = client.RunOnce(s, dump_points);
+    if (!run.result.failure.IsFailure() && run.trace.has_value()) {
+      out.successes.push_back(*run.trace);
+    }
+  }
+  return out;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<workloads::WorkloadInfo> {};
+
+TEST_P(ChaosSweep, ServerAbsorbsEveryFaultKindAndRate) {
+  const CapturedRuns cap = Capture(GetParam().name);
+  ASSERT_TRUE(cap.failing.failure.IsFailure());
+
+  for (const faults::FaultKind kind : faults::kAllFaultKinds) {
+    for (const double rate : {0.01, 0.05, 0.25}) {
+      pt::PtTraceBundle bundle = cap.failing;
+      faults::FaultPlan plan;
+      plan.seed = 1000 * static_cast<uint64_t>(kind) + static_cast<uint64_t>(rate * 100);
+      plan.faults.push_back(faults::FaultSpec{kind, rate});
+      faults::FaultInjector injector(plan);
+      const auto mutations = injector.Apply(&bundle);
+
+      DiagnosisServer server(cap.workload.module.get());
+      const support::Status status = server.SubmitFailingTrace(bundle);
+      if (!status.ok()) {
+        // Rejected outright is a legal outcome -- but it must be accounted.
+        EXPECT_GT(server.degradation().rejected_bundles, 0u)
+            << faults::FaultKindName(kind) << "@" << rate;
+        continue;
+      }
+      for (const pt::PtTraceBundle& s : cap.successes) {
+        (void)server.SubmitSuccessTrace(s);
+      }
+      const DiagnosisReport report = server.Diagnose();
+      EXPECT_EQ(report.failing_traces, 1u);
+      // Any applied mutation that still got through must either be invisible
+      // to the decoded evidence or show up as degradation; a clean-confidence
+      // report is only legal when nothing claims to have been lost.
+      if (report.degradation.degraded()) {
+        EXPECT_NE(report.confidence, trace::ConfidenceTier::kFull);
+      } else {
+        EXPECT_EQ(report.confidence, trace::ConfidenceTier::kFull);
+      }
+    }
+  }
+}
+
+// Corrupting the success-trace side as well: the statistics must score over
+// whatever survives, never crash.
+TEST_P(ChaosSweep, CorruptSuccessTracesAreAbsorbedToo) {
+  const CapturedRuns cap = Capture(GetParam().name);
+  ASSERT_TRUE(cap.failing.failure.IsFailure());
+  if (cap.successes.empty()) {
+    GTEST_SKIP() << "no success traces captured";
+  }
+  DiagnosisServer server(cap.workload.module.get());
+  ASSERT_TRUE(server.SubmitFailingTrace(cap.failing).ok());
+  uint64_t seed = 1;
+  for (const faults::FaultKind kind : faults::kAllFaultKinds) {
+    pt::PtTraceBundle bundle = cap.successes[seed % cap.successes.size()];
+    faults::FaultPlan plan;
+    plan.seed = seed++;
+    plan.faults.push_back(faults::FaultSpec{kind, 0.25});
+    faults::FaultInjector injector(plan);
+    injector.Apply(&bundle);
+    (void)server.SubmitSuccessTrace(bundle);  // ok or rejected, never a crash
+  }
+  const DiagnosisReport report = server.Diagnose();
+  EXPECT_EQ(report.failing_traces, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalogue, ChaosSweep,
+                         ::testing::ValuesIn(workloads::AllWorkloads()),
+                         [](const ::testing::TestParamInfo<workloads::WorkloadInfo>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace snorlax::core

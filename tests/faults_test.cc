@@ -1,0 +1,181 @@
+// Tests for the fault-injection library and the hardened decode path:
+// plan parsing, injection determinism, and encoder->corrupt->decoder
+// round-trips for every fault kind (the decoder must re-sync at the next PSB
+// or report a clean error -- never UB, never an abort).
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "faults/injector.h"
+#include "pt/decoder.h"
+#include "pt/packets.h"
+#include "trace/processed_trace.h"
+#include "workloads/workload.h"
+
+namespace snorlax::faults {
+namespace {
+
+pt::PtTraceBundle CaptureFailingBundle(const workloads::Workload& w) {
+  core::ClientOptions copts;
+  copts.interp = w.interp;
+  core::DiagnosisClient client(w.module.get(), copts);
+  for (uint64_t seed = 1; seed <= 2000; ++seed) {
+    core::ClientRun run = client.RunOnce(seed);
+    if (run.result.failure.IsFailure()) {
+      EXPECT_TRUE(run.trace.has_value());
+      return *run.trace;
+    }
+  }
+  ADD_FAILURE() << "no failure reproduced for " << w.name;
+  return {};
+}
+
+TEST(FaultPlan, ParsesCompositeSpecs) {
+  auto plan = FaultPlan::Parse("bitflip@0.05,threadloss@0.25,versionskew@1", 7);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().seed, 7u);
+  ASSERT_EQ(plan.value().faults.size(), 3u);
+  EXPECT_EQ(plan.value().faults[0].kind, FaultKind::kBitFlip);
+  EXPECT_DOUBLE_EQ(plan.value().faults[0].rate, 0.05);
+  EXPECT_EQ(plan.value().faults[1].kind, FaultKind::kThreadLoss);
+  EXPECT_EQ(plan.value().faults[2].kind, FaultKind::kVersionSkew);
+  EXPECT_DOUBLE_EQ(plan.value().faults[2].rate, 1.0);
+  EXPECT_EQ(plan.value().ToString(), "bitflip@0.05,threadloss@0.25,versionskew@1");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("").ok());
+  EXPECT_FALSE(FaultPlan::Parse("bitflip").ok());
+  EXPECT_FALSE(FaultPlan::Parse("bitflip@").ok());
+  EXPECT_FALSE(FaultPlan::Parse("@0.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("warp@0.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("bitflip@-0.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("bitflip@x").ok());
+  EXPECT_EQ(FaultPlan::Parse("warp@0.5").status().code(),
+            support::StatusCode::kInvalidArgument);
+}
+
+TEST(FaultPlan, EveryKindHasAParseableName) {
+  for (FaultKind kind : kAllFaultKinds) {
+    const std::string spec = std::string(FaultKindName(kind)) + "@0.5";
+    auto plan = FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << spec;
+    EXPECT_EQ(plan.value().faults[0].kind, kind);
+  }
+}
+
+TEST(FaultInjector, DeterministicForSamePlanAndBundle) {
+  const workloads::Workload w = workloads::Build("pbzip2_main");
+  const pt::PtTraceBundle clean = CaptureFailingBundle(w);
+
+  auto corrupt_once = [&clean]() {
+    pt::PtTraceBundle b = clean;
+    FaultInjector injector(FaultPlan::Parse("bitflip@0.02,drop@0.05", 42).value());
+    injector.Apply(&b);
+    return b;
+  };
+  const pt::PtTraceBundle a = corrupt_once();
+  const pt::PtTraceBundle b = corrupt_once();
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (size_t i = 0; i < a.threads.size(); ++i) {
+    EXPECT_EQ(a.threads[i].bytes, b.threads[i].bytes);
+  }
+}
+
+TEST(FaultInjector, ThreadLossKeepsAtLeastOneBuffer) {
+  const workloads::Workload w = workloads::Build("pbzip2_main");
+  pt::PtTraceBundle bundle = CaptureFailingBundle(w);
+  ASSERT_GT(bundle.threads.size(), 1u);
+  FaultInjector injector(FaultPlan::Parse("threadloss@1", 3).value());
+  injector.Apply(&bundle);
+  EXPECT_EQ(bundle.threads.size(), 1u);
+}
+
+TEST(FaultInjector, VersionSkewPerturbsBundleMetadata) {
+  const workloads::Workload w = workloads::Build("pbzip2_main");
+  pt::PtTraceBundle bundle = CaptureFailingBundle(w);
+  const uint32_t version = bundle.trace_version;
+  const uint64_t fingerprint = bundle.module_fingerprint;
+  FaultInjector injector(FaultPlan::Parse("versionskew@1", 11).value());
+  const auto log = injector.Apply(&bundle);
+  EXPECT_FALSE(log.empty());
+  EXPECT_TRUE(bundle.trace_version != version || bundle.module_fingerprint != fingerprint);
+}
+
+// The satellite guarantee: for each fault kind, the decoder either re-syncs
+// (keeps decoding valid instruction ids) or reports a clean error with the
+// salvageable prefix -- never UB, never an abort, never a bogus InstId.
+class FaultRoundTrip : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(FaultRoundTrip, DecoderSurvivesEveryRateAndSeed) {
+  const workloads::Workload w = workloads::Build("pbzip2_main");
+  const pt::PtTraceBundle clean = CaptureFailingBundle(w);
+  pt::PtDecoder decoder(w.module.get());
+
+  for (const double rate : {0.01, 0.05, 0.25}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      pt::PtTraceBundle bundle = clean;
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.faults.push_back(FaultSpec{GetParam(), rate});
+      FaultInjector injector(plan);
+      injector.Apply(&bundle);
+
+      for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
+        const pt::DecodedThreadTrace decoded =
+            decoder.DecodeThread(per, bundle.config, bundle.snapshot_time_ns);
+        // Either a clean decode or a clean error; both keep only valid ids.
+        if (!decoded.ok()) {
+          EXPECT_FALSE(decoded.error.empty());
+        }
+        for (const pt::DecodedEvent& ev : decoded.events) {
+          ASSERT_LT(ev.inst, w.module->NumInstructions());
+          ASSERT_LE(ev.ts_lo_ns, ev.ts_ns);
+        }
+      }
+
+      // Trace processing over the same corrupt bundle must also hold up and
+      // account for what it lost.
+      trace::ProcessedTrace processed(w.module.get(), bundle, {});
+      for (const trace::DynInst& inst : processed.instances()) {
+        ASSERT_TRUE(inst.inst < w.module->NumInstructions() ||
+                    inst.inst == ir::kInvalidInstId);
+      }
+      const trace::DegradationReport& deg = processed.degradation();
+      EXPECT_EQ(deg.threads_total, bundle.threads.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FaultRoundTrip, ::testing::ValuesIn(kAllFaultKinds),
+                         [](const ::testing::TestParamInfo<FaultKind>& info) {
+                           return std::string(FaultKindName(info.param));
+                         });
+
+// A stream with leading garbage must re-sync at the first intact PSB and
+// decode everything after it (re-sync guarantee, not just error-out).
+TEST(FaultRoundTrip, ResyncsAtNextPsbAfterLeadingGarbage) {
+  const workloads::Workload w = workloads::Build("pbzip2_main");
+  pt::PtTraceBundle bundle = CaptureFailingBundle(w);
+  pt::PtDecoder decoder(w.module.get());
+  bool checked_any = false;
+  for (pt::PtTraceBundle::PerThread& per : bundle.threads) {
+    if (per.bytes.size() < 64) {
+      continue;
+    }
+    const pt::DecodedThreadTrace clean =
+        decoder.DecodeThread(per, bundle.config, bundle.snapshot_time_ns);
+    // Shove garbage in front of the stream (a torn wrap that destroyed the
+    // old tail); the PSB that used to open the stream is now mid-buffer.
+    per.bytes.insert(per.bytes.begin(), {0xff, 0xfe, 0xff, 0xfe, 0xff, 0xfe, 0xff, 0xfe});
+    const pt::DecodedThreadTrace decoded =
+        decoder.DecodeThread(per, bundle.config, bundle.snapshot_time_ns);
+    EXPECT_TRUE(decoded.lost_prefix);
+    EXPECT_EQ(decoded.packets_decoded, clean.packets_decoded);
+    EXPECT_EQ(decoded.events.size(), clean.events.size());
+    checked_any = true;
+  }
+  EXPECT_TRUE(checked_any);
+}
+
+}  // namespace
+}  // namespace snorlax::faults

@@ -84,6 +84,82 @@ TEST(DiagnosisServer, NoFailureMeansEmptyReport) {
   EXPECT_EQ(report.failing_traces, 0u);
 }
 
+// Regression: a bundle without a failure record used to trip a CHECK and
+// abort the server; it must now come back as a recoverable Status error.
+TEST(DiagnosisServer, NonFailingBundleRejectedNotAborted) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  ClientOptions copts;
+  copts.interp = cap.workload.interp;
+  DiagnosisClient client(cap.workload.module.get(), copts);
+  // Success runs snapshot only at requested dump points; borrow them from a
+  // scout server that saw the real failure.
+  DiagnosisServer scout(cap.workload.module.get());
+  ASSERT_TRUE(scout.SubmitFailingTrace(cap.bundle).ok());
+  const auto dump_points = scout.RequestedDumpPoints();
+  std::optional<pt::PtTraceBundle> clean;
+  for (uint64_t seed = cap.failing_seed + 1; seed < cap.failing_seed + 400; ++seed) {
+    ClientRun run = client.RunOnce(seed, dump_points);
+    if (!run.result.failure.IsFailure() && run.trace.has_value()) {
+      clean = run.trace;
+      break;
+    }
+  }
+  ASSERT_TRUE(clean.has_value());
+
+  DiagnosisServer server(cap.workload.module.get());
+  const support::Status status = server.SubmitFailingTrace(*clean);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), support::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server.HasFailure());
+  EXPECT_GT(server.degradation().rejected_bundles, 0u);
+
+  // The real failing bundle still works afterwards.
+  EXPECT_TRUE(server.SubmitFailingTrace(cap.bundle).ok());
+  EXPECT_TRUE(server.HasFailure());
+}
+
+TEST(DiagnosisServer, VersionSkewedBundleRejected) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer server(cap.workload.module.get());
+
+  pt::PtTraceBundle skewed = cap.bundle;
+  skewed.trace_version = pt::kPtTraceVersion + 1;
+  EXPECT_EQ(server.SubmitFailingTrace(skewed).code(),
+            support::StatusCode::kVersionMismatch);
+
+  skewed = cap.bundle;
+  skewed.module_fingerprint ^= 0x1;
+  EXPECT_EQ(server.SubmitFailingTrace(skewed).code(),
+            support::StatusCode::kVersionMismatch);
+  EXPECT_FALSE(server.HasFailure());
+}
+
+TEST(DiagnosisServer, EmptyBundleRejectedAsCorrupt) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer server(cap.workload.module.get());
+  pt::PtTraceBundle empty = cap.bundle;
+  empty.threads.clear();
+  EXPECT_EQ(server.SubmitFailingTrace(empty).code(),
+            support::StatusCode::kCorruptData);
+}
+
+TEST(DiagnosisServer, DegradedReportCarriesConfidenceTier) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer server(cap.workload.module.get());
+  // Forge the failure record to point at a non-existent instruction: the
+  // server must sanitize it, keep running, and downgrade its confidence.
+  pt::PtTraceBundle forged = cap.bundle;
+  forged.failure.failing_inst = cap.workload.module->NumInstructions() + 7;
+  const support::Status status = server.SubmitFailingTrace(forged);
+  if (status.ok()) {
+    const DiagnosisReport report = server.Diagnose();
+    EXPECT_TRUE(report.degradation.degraded());
+    EXPECT_NE(report.confidence, trace::ConfidenceTier::kFull);
+  } else {
+    EXPECT_GT(server.degradation().rejected_bundles, 0u);
+  }
+}
+
 TEST(DiagnosisServer, SuccessTraceCapEnforced) {
   Captured cap = CaptureFailingTrace("pbzip2_main");
   DiagnosisServer server(cap.workload.module.get());

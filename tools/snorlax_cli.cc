@@ -4,6 +4,9 @@
 //   snorlax_cli run      prog.sir [seed]       execute once, report outcome
 //   snorlax_cli trace    prog.sir [seed]       execute under PT, show stats
 //   snorlax_cli diagnose prog.sir [failing]    full Snorlax workflow
+//   snorlax_cli fuzz-trace prog.sir --faults=kind@rate[,...] [--seed=N]
+//                                              corrupt a captured trace, then
+//                                              diagnose from the wreckage
 //
 // Sample programs live in examples/programs/.
 #include <cstdio>
@@ -13,6 +16,7 @@
 #include <string>
 
 #include "core/snorlax.h"
+#include "faults/injector.h"
 #include "ir/printer.h"
 #include "ir/text_format.h"
 #include "ir/verifier.h"
@@ -33,7 +37,11 @@ int Usage() {
       "  run      execute once (arg = seed, default 1)\n"
       "  trace    execute under simulated Intel PT (arg = seed)\n"
       "  diagnose run the Lazy Diagnosis workflow (arg = failing traces, default 1)\n"
-      "  generate emit a randomized bug-injected program as text\n");
+      "  generate emit a randomized bug-injected program as text\n"
+      "  fuzz-trace corrupt a captured failing trace (--faults=kind@rate[,...],\n"
+      "           --seed=N) and diagnose from the wreckage; kinds: bitflip,\n"
+      "           truncate, drop, dup, clockregress, threadloss, forgefailure,\n"
+      "           versionskew\n");
   return 2;
 }
 
@@ -176,6 +184,81 @@ int CmdDiagnose(const std::string& path, size_t failing_traces) {
   return 0;
 }
 
+int CmdFuzzTrace(const std::string& path, const faults::FaultPlan& plan) {
+  auto module = LoadModule(path);
+  if (module == nullptr) {
+    return 1;
+  }
+  core::ClientOptions copts;
+  copts.interp.work_jitter = 0.04;
+  core::DiagnosisClient client(module.get(), copts);
+  std::optional<pt::PtTraceBundle> failing;
+  uint64_t seed = 1;
+  for (; seed <= 5000; ++seed) {
+    core::ClientRun run = client.RunOnce(seed);
+    if (run.result.failure.IsFailure() && run.trace.has_value()) {
+      failing = run.trace;
+      break;
+    }
+  }
+  if (!failing.has_value()) {
+    std::printf("no failure within 5000 runs; nothing to fuzz\n");
+    return 1;
+  }
+  std::printf("captured failing trace at seed %llu (%zu thread buffers)\n",
+              static_cast<unsigned long long>(seed), failing->threads.size());
+
+  faults::FaultInjector injector(plan);
+  const std::vector<std::string> mutations = injector.Apply(&*failing);
+  std::printf("fault plan %s (seed %llu): %zu mutations\n", plan.ToString().c_str(),
+              static_cast<unsigned long long>(plan.seed), mutations.size());
+  for (const std::string& m : mutations) {
+    std::printf("  %s\n", m.c_str());
+  }
+
+  core::DiagnosisServer server(module.get());
+  const support::Status status = server.SubmitFailingTrace(*failing);
+  if (!status.ok()) {
+    std::printf("\nbundle rejected: %s\n", status.ToString().c_str());
+    std::printf("degradation: %s\n", server.degradation().Summary().c_str());
+    return 0;
+  }
+  const auto dump_points = server.RequestedDumpPoints();
+  for (uint64_t s = seed + 1; s <= seed + 600; ++s) {
+    if (server.NumSuccessTraces() >= server.SuccessTraceCap()) {
+      break;
+    }
+    core::ClientRun run = client.RunOnce(s, dump_points);
+    if (!run.result.failure.IsFailure() && run.trace.has_value()) {
+      (void)server.SubmitSuccessTrace(*run.trace);
+    }
+  }
+
+  const core::DiagnosisReport report = server.Diagnose();
+  std::printf("\ndiagnosis from %zu failing + %zu successful traces\n",
+              report.failing_traces, report.success_traces);
+  std::printf("degradation: %s\n", report.degradation.Summary().c_str());
+  for (const std::string& note : report.degradation.notes) {
+    std::printf("  %s\n", note.c_str());
+  }
+  int shown = 0;
+  for (const core::DiagnosedPattern& p : report.patterns) {
+    if (shown++ == 4) {
+      break;
+    }
+    std::printf("F1=%.2f  %s\n", p.f1, core::PatternKindName(p.pattern.kind));
+    for (const core::PatternEvent& e : p.pattern.events) {
+      const ir::Instruction* inst = module->instruction(e.inst);
+      std::printf("    slot %u  %s\n", e.thread_slot, inst->ToString().c_str());
+    }
+  }
+  if (report.patterns.empty()) {
+    std::printf("no patterns survived (confidence: %s)\n",
+                trace::ConfidenceTierName(report.confidence));
+  }
+  return 0;
+}
+
 int CmdGenerate(const std::string& kind, const std::string& out_path, uint64_t seed) {
   workloads::GeneratorOptions options;
   options.seed = seed;
@@ -233,6 +316,27 @@ int main(int argc, char** argv) {
   if (cmd == "generate" && argc >= 4) {
     const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
     return CmdGenerate(path, argv[3], seed);
+  }
+  if (cmd == "fuzz-trace") {
+    std::string spec;
+    uint64_t fault_seed = 1;
+    for (int i = 3; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag.rfind("--faults=", 0) == 0) {
+        spec = flag.substr(9);
+      } else if (flag.rfind("--seed=", 0) == 0) {
+        fault_seed = std::strtoull(flag.c_str() + 7, nullptr, 10);
+      } else {
+        std::printf("unknown flag '%s'\n", flag.c_str());
+        return Usage();
+      }
+    }
+    auto plan = faults::FaultPlan::Parse(spec, fault_seed);
+    if (!plan.ok()) {
+      std::printf("bad --faults spec: %s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    return CmdFuzzTrace(path, plan.value());
   }
   return Usage();
 }
