@@ -1,0 +1,81 @@
+// Ingest throughput: bundles/sec and failing-submit latency of the sharded
+// diagnosis service, serial baseline vs concurrent ingest. Acceptance bar for
+// the parallel front-end: >= 4x bundles/sec at 8 client threads on the
+// chaos-free workload mix, with bit-identical diagnoses.
+//
+// Flags: --clients=N --threads=M --pool-threads=P --rounds=R --json
+// (--json restricts stdout to the single-line JSON object).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/throughput_harness.h"
+#include "support/str.h"
+
+using namespace snorlax;
+
+int main(int argc, char** argv) {
+  bench::ThroughputConfig config;
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--clients=", 0) == 0) {
+      config.clients = std::strtoull(flag.c_str() + 10, nullptr, 10);
+      config.threads = config.clients;
+    } else if (flag.rfind("--threads=", 0) == 0) {
+      config.threads = std::strtoull(flag.c_str() + 10, nullptr, 10);
+    } else if (flag.rfind("--pool-threads=", 0) == 0) {
+      config.pool_threads = std::strtoull(flag.c_str() + 15, nullptr, 10);
+    } else if (flag.rfind("--rounds=", 0) == 0) {
+      config.rounds = std::strtoull(flag.c_str() + 9, nullptr, 10);
+    } else if (flag == "--json") {
+      json_only = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  // Chaos-free mix spanning the catalogue's failure kinds and module sizes.
+  const std::vector<std::string> mix = {"pbzip2_main", "sqlite_1672", "mysql_169",
+                                        "dbcp_270", "httpd_25520", "memcached_127"};
+  const std::vector<bench::CapturedSite> sites = bench::CaptureSites(mix);
+  if (sites.empty()) {
+    std::fprintf(stderr, "no workload reproduced a failure; nothing to measure\n");
+    return 1;
+  }
+
+  bench::ThroughputConfig serial_config = config;
+  serial_config.threads = 1;
+  serial_config.pool_threads = 0;
+  const bench::ThroughputResult serial = bench::RunThroughput(sites, serial_config);
+  const bench::ThroughputResult parallel = bench::RunThroughput(sites, config);
+  const std::string json = bench::ThroughputJson(config, sites.size(), serial, parallel);
+
+  if (json_only) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    bench::PrintHeader(StrFormat(
+        "Ingest throughput: %zu sites, %zu client streams x %zu rounds\n"
+        "(serial = 1 thread, no pool; concurrent = %zu threads + %zu pool workers)",
+        sites.size(), config.clients, config.rounds, config.threads, config.pool_threads));
+    const std::vector<int> widths = {12, 10, 12, 10, 10};
+    bench::PrintRow({"mode", "bundles", "bundles/s", "p50[ms]", "p99[ms]"}, widths);
+    bench::PrintRow({"serial", StrFormat("%zu", serial.bundles_submitted),
+                     FormatDouble(serial.bundles_per_sec, 1), FormatDouble(serial.p50_ms, 3),
+                     FormatDouble(serial.p99_ms, 3)},
+                    widths);
+    bench::PrintRow({"concurrent", StrFormat("%zu", parallel.bundles_submitted),
+                     FormatDouble(parallel.bundles_per_sec, 1),
+                     FormatDouble(parallel.p50_ms, 3), FormatDouble(parallel.p99_ms, 3)},
+                    widths);
+    std::printf("\nspeedup: %.2fx; diagnoses identical: %s\n",
+                serial.bundles_per_sec > 0 ? parallel.bundles_per_sec / serial.bundles_per_sec
+                                           : 0.0,
+                serial.report_digest == parallel.report_digest ? "yes" : "NO");
+    std::printf("%s\n", json.c_str());
+  }
+  return serial.report_digest == parallel.report_digest ? 0 : 1;
+}

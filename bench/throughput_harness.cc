@@ -1,0 +1,197 @@
+#include "bench/throughput_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "core/client.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+
+namespace snorlax::bench {
+
+namespace {
+
+double PercentileMs(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) {
+    return 0.0;
+  }
+  const size_t idx = std::min(sorted_ms.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[idx];
+}
+
+std::string DigestReports(const std::vector<core::ServerPool::ShardReport>& reports) {
+  // Everything order-stable and content-derived; no wall times, no
+  // degradation notes (their order depends on thread interleaving even
+  // though their counts do not).
+  std::string digest;
+  for (const core::ServerPool::ShardReport& sr : reports) {
+    digest += StrFormat("site=%llx/%u failing=%zu success=%zu conf=%d rej=%zu hyp=%d\n",
+                        (unsigned long long)sr.key.module_fingerprint, sr.key.failing_inst,
+                        sr.report.failing_traces, sr.report.success_traces,
+                        static_cast<int>(sr.report.confidence),
+                        sr.report.degradation.rejected_bundles,
+                        sr.report.hypothesis_violated ? 1 : 0);
+    for (const core::DiagnosedPattern& p : sr.report.patterns) {
+      digest += StrFormat("  %s f1=%.9f tp=%zu fp=%zu fn=%zu\n", p.pattern.Key().c_str(),
+                          p.f1, p.counts.true_positive, p.counts.false_positive,
+                          p.counts.false_negative);
+    }
+  }
+  return digest;
+}
+
+}  // namespace
+
+std::vector<CapturedSite> CaptureSites(const std::vector<std::string>& workload_names,
+                                       size_t successes_per_site) {
+  std::vector<CapturedSite> sites;
+  for (const std::string& name : workload_names) {
+    CapturedSite site{workloads::Build(name), {}, {}};
+    core::ClientOptions copts;
+    copts.interp = site.workload.interp;
+    core::DiagnosisClient client(site.workload.module.get(), copts);
+
+    uint64_t seed = 1;
+    bool captured = false;
+    for (; seed <= 3000; ++seed) {
+      core::ClientRun run = client.RunOnce(seed);
+      if (run.result.failure.IsFailure() && run.trace.has_value()) {
+        site.failing = *run.trace;
+        captured = true;
+        ++seed;
+        break;
+      }
+    }
+    if (!captured) {
+      continue;  // irreproducible within budget; keep the mix chaos-free
+    }
+
+    // A scout server computes the dump points the real runs will be asked to
+    // trace successful executions at.
+    core::DiagnosisServer scout(site.workload.module.get());
+    if (!scout.SubmitFailingTrace(site.failing).ok()) {
+      continue;
+    }
+    const auto dump_points = scout.RequestedDumpPoints();
+    for (; seed <= 6000 && site.successes.size() < successes_per_site; ++seed) {
+      core::ClientRun run = client.RunOnce(seed, dump_points);
+      if (!run.result.failure.IsFailure() && run.trace.has_value()) {
+        site.successes.push_back(*run.trace);
+      }
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+ThroughputResult RunThroughput(const std::vector<CapturedSite>& sites,
+                               const ThroughputConfig& config) {
+  ThroughputResult result;
+  if (sites.empty() || config.clients == 0) {
+    return result;
+  }
+
+  std::unique_ptr<support::ThreadPool> analysis_pool;
+  core::ServerPoolOptions popts;
+  if (config.pool_threads > 0) {
+    analysis_pool = std::make_unique<support::ThreadPool>(config.pool_threads);
+    popts.server.pool = analysis_pool.get();
+  }
+  core::ServerPool pool(popts);
+  for (const CapturedSite& site : sites) {
+    pool.RegisterModule(site.workload.module.get());
+  }
+
+  // Client t's script per round: every site's failing bundle (timed), then --
+  // first round only -- the successes assigned to t. Each distinct success
+  // bundle is submitted exactly once across all clients, keeping the total
+  // per site at or under the 10x cap, so no bundle is ever dropped and the
+  // final state cannot depend on submission interleaving.
+  std::vector<std::vector<double>> latencies(config.clients);
+  auto client_script = [&](size_t t) {
+    std::vector<double>& lat = latencies[t];
+    for (size_t round = 0; round < config.rounds; ++round) {
+      for (const CapturedSite& site : sites) {
+        const auto start = std::chrono::steady_clock::now();
+        pool.SubmitFailingTrace(site.failing);
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+                .count());
+        if (round == 0) {
+          for (size_t i = t; i < site.successes.size(); i += config.clients) {
+            pool.SubmitSuccessTrace(site.failing.failure.failing_inst, site.successes[i]);
+          }
+        }
+      }
+    }
+  };
+
+  // Streams are dealt round-robin to the OS threads; with threads == 1 every
+  // stream runs on the caller, giving the serial baseline the identical
+  // submission multiset.
+  const size_t threads = std::max<size_t>(1, std::min(config.threads, config.clients));
+  auto drive_streams = [&](size_t worker) {
+    for (size_t t = worker; t < config.clients; t += threads) {
+      client_script(t);
+    }
+  };
+  const auto start = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    drive_streams(0);
+  } else {
+    std::vector<std::thread> drivers;
+    drivers.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) {
+      drivers.emplace_back(drive_streams, w);
+    }
+    for (std::thread& d : drivers) {
+      d.join();
+    }
+  }
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  size_t total_successes = 0;
+  for (const CapturedSite& site : sites) {
+    total_successes += site.successes.size();
+  }
+  result.bundles_submitted = config.clients * config.rounds * sites.size() + total_successes;
+  result.bundles_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.bundles_submitted) / result.seconds : 0.0;
+
+  std::vector<double> all_lat;
+  for (const auto& lat : latencies) {
+    all_lat.insert(all_lat.end(), lat.begin(), lat.end());
+  }
+  std::sort(all_lat.begin(), all_lat.end());
+  result.p50_ms = PercentileMs(all_lat, 0.50);
+  result.p99_ms = PercentileMs(all_lat, 0.99);
+
+  result.shards = pool.num_shards();
+  result.report_digest = DigestReports(pool.DiagnoseAll());
+  return result;
+}
+
+std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
+                           const ThroughputResult& serial, const ThroughputResult& parallel) {
+  const double speedup =
+      serial.bundles_per_sec > 0 ? parallel.bundles_per_sec / serial.bundles_per_sec : 0.0;
+  return StrFormat(
+      "{\"clients\": %zu, \"threads\": %zu, \"pool_threads\": %zu, \"rounds\": %zu, "
+      "\"sites\": %zu, "
+      "\"serial\": {\"bundles\": %zu, \"seconds\": %.4f, \"bundles_per_sec\": %.1f, "
+      "\"p50_ms\": %.3f, \"p99_ms\": %.3f}, "
+      "\"parallel\": {\"bundles\": %zu, \"seconds\": %.4f, \"bundles_per_sec\": %.1f, "
+      "\"p50_ms\": %.3f, \"p99_ms\": %.3f}, "
+      "\"speedup\": %.2f, \"identical_reports\": %s}",
+      config.clients, config.threads, config.pool_threads, config.rounds, sites,
+      serial.bundles_submitted,
+      serial.seconds, serial.bundles_per_sec, serial.p50_ms, serial.p99_ms,
+      parallel.bundles_submitted, parallel.seconds, parallel.bundles_per_sec, parallel.p50_ms,
+      parallel.p99_ms, speedup,
+      serial.report_digest == parallel.report_digest ? "true" : "false");
+}
+
+}  // namespace snorlax::bench

@@ -1,0 +1,81 @@
+// Ingest-throughput harness: replays pre-captured trace bundles against a
+// ServerPool from N synthetic client threads and measures bundles/sec plus
+// failing-submit latency percentiles.
+//
+// Capture is separated from measurement on purpose: reproducing a failure
+// means running the interpreter thousands of times, which would swamp the
+// number under test (server-side ingest + analysis). The harness captures
+// each workload's failing bundle and up to 10 distinct success bundles once,
+// then replays copies of them, so serial and concurrent runs submit the exact
+// same multiset of bundles and must produce bit-identical diagnoses.
+#ifndef SNORLAX_BENCH_THROUGHPUT_HARNESS_H_
+#define SNORLAX_BENCH_THROUGHPUT_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/server_pool.h"
+#include "workloads/workload.h"
+
+namespace snorlax::bench {
+
+// One workload's replayable traffic: the module, one failing bundle, and the
+// distinct success bundles captured at the server-requested dump points.
+struct CapturedSite {
+  workloads::Workload workload;
+  pt::PtTraceBundle failing;
+  std::vector<pt::PtTraceBundle> successes;  // <= 10, all distinct seeds
+};
+
+// Captures the sites for `workload_names` (chaos-free: no fault injection).
+// Workloads that fail to reproduce within the seed budget are skipped.
+std::vector<CapturedSite> CaptureSites(const std::vector<std::string>& workload_names,
+                                       size_t successes_per_site = 10);
+
+struct ThroughputConfig {
+  // Logical submission streams. Each stream replays the same script shape, so
+  // the multiset of submitted bundles depends only on this count -- never on
+  // `threads` -- and a 1-thread run is a true serial baseline for an 8-thread
+  // run of the same config.
+  size_t clients = 8;
+  // OS threads driving the streams (streams are dealt round-robin). 1 = the
+  // serial baseline.
+  size_t threads = 8;
+  // Worker threads for the analysis pool handed to the shards; 0 = none.
+  size_t pool_threads = 8;
+  // Times each stream replays its per-site script (1 failing bundle followed
+  // by that stream's share of the success bundles).
+  size_t rounds = 4;
+};
+
+struct ThroughputResult {
+  size_t bundles_submitted = 0;
+  double seconds = 0.0;
+  double bundles_per_sec = 0.0;
+  // Failing-submit wall-time percentiles (the latency a reporting client
+  // observes), milliseconds.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t shards = 0;
+  // Order-insensitive digest of every shard's diagnosis (pattern keys, F1,
+  // confusion counts, confidence, trace counts): equal digests mean the
+  // concurrent run diagnosed bit-for-bit identically to the serial one.
+  std::string report_digest;
+};
+
+// Replays the sites' traffic through a fresh ServerPool under `config` and
+// diagnoses everything at the end. Thread t submits its site's failing bundle
+// before any success bundle, so the 10x intake cap never drops differently
+// between serial and concurrent runs.
+ThroughputResult RunThroughput(const std::vector<CapturedSite>& sites,
+                               const ThroughputConfig& config);
+
+// Machine-readable summary of a serial-vs-concurrent comparison, one JSON
+// object on a single line (the CLI and the bench binary emit the same shape).
+std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
+                           const ThroughputResult& serial, const ThroughputResult& parallel);
+
+}  // namespace snorlax::bench
+
+#endif  // SNORLAX_BENCH_THROUGHPUT_HARNESS_H_

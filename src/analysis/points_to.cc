@@ -1,5 +1,6 @@
 #include "analysis/points_to.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 
@@ -35,6 +36,25 @@ bool ObjectSet::UnionWith(const ObjectSet& other) {
   return changed;
 }
 
+bool ObjectSet::UnionWithDelta(const ObjectSet& other, ObjectSet* delta) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  if (other.words_.size() > delta->words_.size()) {
+    delta->words_.resize(other.words_.size(), 0);
+  }
+  bool changed = false;
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    const uint64_t added = other.words_[i] & ~words_[i];
+    if (added != 0) {
+      words_[i] |= added;
+      delta->words_[i] |= added;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
 bool ObjectSet::Intersects(const ObjectSet& other) const {
   const size_t n = words_.size() < other.words_.size() ? words_.size() : other.words_.size();
   for (size_t i = 0; i < n; ++i) {
@@ -64,14 +84,8 @@ bool ObjectSet::Empty() const {
 
 std::vector<uint32_t> ObjectSet::Elements() const {
   std::vector<uint32_t> out;
-  for (size_t w = 0; w < words_.size(); ++w) {
-    uint64_t bits = words_[w];
-    while (bits != 0) {
-      const int b = __builtin_ctzll(bits);
-      out.push_back(static_cast<uint32_t>(w * 64 + static_cast<size_t>(b)));
-      bits &= bits - 1;
-    }
-  }
+  out.reserve(Count());
+  ForEach([&out](uint32_t i) { out.push_back(i); });
   return out;
 }
 
@@ -80,7 +94,7 @@ uint32_t PointsToResult::VarIndex(ir::FuncId func, ir::Reg reg) const {
 }
 
 const ObjectSet& PointsToResult::PointsTo(ir::FuncId func, ir::Reg reg) const {
-  return var_pts_[VarIndex(func, reg)];
+  return VarSet(VarIndex(func, reg));
 }
 
 const ObjectSet& PointsToResult::PointerOperandPointsTo(const ir::Instruction& inst) const {
@@ -108,13 +122,32 @@ const ObjectSet& PointsToResult::PointerOperandPointsTo(const ir::Instruction& i
 std::vector<const ir::Instruction*> PointsToResult::AccessorsOf(const ObjectSet& objs) const {
   std::vector<const ir::Instruction*> out;
   for (const auto& [inst, var] : accesses_) {
-    if (var_pts_[var].Intersects(objs)) {
+    if (VarSet(var).Intersects(objs)) {
       out.push_back(inst);
     }
   }
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// The solver. Inclusion-based (Andersen) with the three standard scalability
+// techniques, all behavior-preserving:
+//
+//   1. Difference propagation: each variable keeps, next to its points-to
+//      set, the *delta* of objects that arrived since it was last processed.
+//      Only the delta flows along copy edges and triggers complex-constraint
+//      expansion, so an edge never re-propagates the whole set. This also
+//      subsumes the old per-variable `processed_` bookkeeping: an object is
+//      expanded exactly when it first appears in a delta.
+//   2. SCC collapsing: variables in a copy-edge cycle provably converge to
+//      the same points-to set, so cycles are folded onto one union-find
+//      representative (Tarjan over the copy graph after constraint
+//      generation, re-run when load/store expansion has added enough new
+//      edges to plausibly close new cycles).
+//   3. Allocation-free set iteration: deltas are walked with
+//      ObjectSet::ForEach; the old hot loop materialized an Elements()
+//      vector per worklist pop, which dominated the profile on large
+//      executed sets.
 // ---------------------------------------------------------------------------
 
 class AndersenSolver {
@@ -125,6 +158,11 @@ class AndersenSolver {
   PointsToResult Run();
 
  private:
+  struct IndirectSite {
+    const ir::Instruction* call = nullptr;
+    const ir::Function* caller = nullptr;
+  };
+
   bool InScope(const ir::Instruction& inst) const {
     if (options_.scope == PointsToOptions::Scope::kWholeProgram) {
       return true;
@@ -148,20 +186,64 @@ class AndersenSolver {
     return it->second;
   }
 
+  // --- union-find ------------------------------------------------------------
+  uint32_t Find(uint32_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+  // Folds representative `b` into representative `a` (a != b), merging all
+  // per-variable solver state.
+  void Unite(uint32_t a, uint32_t b);
+
+  // --- constraint recording --------------------------------------------------
+  // Generation-time copy edge: recorded only. No propagation is needed
+  // because nothing has been drained yet -- every variable's full points-to
+  // set still sits in its delta, so the first Solve() drain flows it.
   void AddCopyEdge(uint32_t from, uint32_t to) {
-    copy_edges_[from].push_back(to);
+    copy_out_[from].push_back(to);
     ++result_.stats_.constraints;
+  }
+  // Solve-time copy edge (from load/store/indirect-call expansion): the
+  // source may already have drained its delta, so pull its full set across.
+  void AddCopyEdgeDynamic(uint32_t from, uint32_t to) {
+    from = Find(from);
+    to = Find(to);
+    if (from == to) {
+      return;
+    }
+    const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+    if (!dynamic_edge_seen_.insert(key).second) {
+      return;
+    }
+    copy_out_[from].push_back(to);
+    ++result_.stats_.constraints;
+    ++dynamic_edges_since_collapse_;
+    AddSetToVar(to, pts_[from]);
   }
   void AddBaseConstraint(uint32_t var, uint32_t obj_index) {
-    if (pts_[var].Set(obj_index)) {
-      Enqueue(var);
-    }
+    AddObjToVar(Find(var), obj_index);
     ++result_.stats_.constraints;
   }
-  void Enqueue(uint32_t var) {
-    if (!in_worklist_[var]) {
-      in_worklist_[var] = true;
-      worklist_.push_back(var);
+
+  // --- propagation primitives (v must be a representative) -------------------
+  void AddObjToVar(uint32_t v, uint32_t obj) {
+    if (pts_[v].Set(obj)) {
+      delta_[v].Set(obj);
+      Enqueue(v);
+    }
+  }
+  void AddSetToVar(uint32_t v, const ObjectSet& s) {
+    if (pts_[v].UnionWithDelta(s, &delta_[v])) {
+      Enqueue(v);
+    }
+  }
+  void Enqueue(uint32_t v) {
+    if (!in_worklist_[v]) {
+      in_worklist_[v] = true;
+      worklist_.push_back(v);
     }
   }
 
@@ -169,8 +251,11 @@ class AndersenSolver {
   void GenerateConstraints();
   void GenerateForInstruction(const ir::Function& func, const ir::Instruction& inst);
   void BindCallArguments(const ir::Function& caller, const ir::Instruction& call,
-                         const ir::Function& callee, size_t first_arg_operand);
+                         const ir::Function& callee, size_t first_arg_operand,
+                         bool dynamic);
+  void CollapseCycles();
   void Solve();
+  void SolveLegacy();
 
   const ir::Module& module_;
   const PointsToOptions& options_;
@@ -180,21 +265,21 @@ class AndersenSolver {
   uint32_t obj_var_base_ = 0;
   size_t num_vars_ = 0;
 
+  // Per-variable solver state; meaningful only at union-find representatives
+  // once collapsing has run (merged members' storage is released).
+  std::vector<uint32_t> parent_;
   std::vector<ObjectSet> pts_;
-  std::unordered_map<uint32_t, std::vector<uint32_t>> copy_edges_;
+  std::vector<ObjectSet> delta_;
+  std::vector<std::vector<uint32_t>> copy_out_;
   std::unordered_map<uint32_t, std::vector<uint32_t>> load_edges_;   // p -> result var
   std::unordered_map<uint32_t, std::vector<uint32_t>> store_edges_;  // p -> value var
-  // Indirect call sites keyed by target variable.
-  struct IndirectSite {
-    const ir::Instruction* call = nullptr;
-    const ir::Function* caller = nullptr;
-  };
   std::unordered_map<uint32_t, std::vector<IndirectSite>> indirect_sites_;
   std::unordered_map<uint64_t, uint32_t> object_index_;
-  // Objects already processed per variable (for incremental edge expansion).
-  std::vector<ObjectSet> processed_;
+  std::unordered_set<uint64_t> dynamic_edge_seen_;
   std::deque<uint32_t> worklist_;
   std::vector<bool> in_worklist_;
+  size_t dynamic_edges_since_collapse_ = 0;
+  size_t recollapse_threshold_ = 0;
 };
 
 void AndersenSolver::CollectObjects() {
@@ -217,19 +302,23 @@ void AndersenSolver::CollectObjects() {
 }
 
 void AndersenSolver::BindCallArguments(const ir::Function& caller, const ir::Instruction& call,
-                                       const ir::Function& callee, size_t first_arg_operand) {
+                                       const ir::Function& callee, size_t first_arg_operand,
+                                       bool dynamic) {
   for (size_t i = first_arg_operand; i < call.num_operands(); ++i) {
     const size_t param = i - first_arg_operand;
     if (param >= callee.num_params()) {
       break;
     }
     if (call.operand(i).IsReg()) {
-      AddCopyEdge(Var(caller.id(), call.operand(i).reg),
-                  Var(callee.id(), static_cast<ir::Reg>(param)));
+      const uint32_t from = Var(caller.id(), call.operand(i).reg);
+      const uint32_t to = Var(callee.id(), static_cast<ir::Reg>(param));
+      dynamic ? AddCopyEdgeDynamic(from, to) : AddCopyEdge(from, to);
     }
   }
   if (call.HasResult()) {
-    AddCopyEdge(RetVar(callee.id()), Var(caller.id(), call.result()));
+    const uint32_t from = RetVar(callee.id());
+    const uint32_t to = Var(caller.id(), call.result());
+    dynamic ? AddCopyEdgeDynamic(from, to) : AddCopyEdge(from, to);
   }
 }
 
@@ -280,7 +369,7 @@ void AndersenSolver::GenerateForInstruction(const ir::Function& func,
       break;
     case ir::Opcode::kCall:
     case ir::Opcode::kThreadCreate:
-      BindCallArguments(func, inst, *module_.function(inst.callee()), 0);
+      BindCallArguments(func, inst, *module_.function(inst.callee()), 0, /*dynamic=*/false);
       break;
     case ir::Opcode::kCallIndirect:
       if (inst.operand(0).IsReg()) {
@@ -312,7 +401,154 @@ void AndersenSolver::GenerateConstraints() {
   }
 }
 
-void AndersenSolver::Solve() {
+void AndersenSolver::Unite(uint32_t a, uint32_t b) {
+  parent_[b] = a;
+  pts_[a].UnionWith(pts_[b]);
+  pts_[b] = ObjectSet();
+  delta_[b] = ObjectSet();
+  if (copy_out_[a].empty()) {
+    copy_out_[a] = std::move(copy_out_[b]);
+  } else {
+    copy_out_[a].insert(copy_out_[a].end(), copy_out_[b].begin(), copy_out_[b].end());
+  }
+  copy_out_[b].clear();
+  copy_out_[b].shrink_to_fit();
+  auto merge_map = [a, b](auto& map) {
+    auto bit = map.find(b);
+    if (bit == map.end()) {
+      return;
+    }
+    auto& dst = map[a];
+    dst.insert(dst.end(), bit->second.begin(), bit->second.end());
+    map.erase(b);
+  };
+  merge_map(load_edges_);
+  merge_map(store_edges_);
+  merge_map(indirect_sites_);
+  // The merged complex-edge lists have not all seen every object already in
+  // the merged set (each side only expanded its own objects against its own
+  // edges), so schedule a full re-expansion of the union.
+  delta_[a] = pts_[a];
+  Enqueue(a);
+  ++result_.stats_.scc_vars_collapsed;
+}
+
+void AndersenSolver::CollapseCycles() {
+  dynamic_edges_since_collapse_ = 0;
+  const size_t folded_before = result_.stats_.scc_vars_collapsed;
+  // Iterative Tarjan over the representative copy graph. SCCs are collected
+  // first and united afterwards, so the traversal never observes a mutating
+  // graph. Deterministic: roots ascend, edges kept in insertion order.
+  constexpr uint32_t kNone = UINT32_MAX;
+  std::vector<uint32_t> index(num_vars_, kNone);
+  std::vector<uint32_t> lowlink(num_vars_, 0);
+  std::vector<bool> on_stack(num_vars_, false);
+  std::vector<uint32_t> stack;
+  struct Frame {
+    uint32_t v;
+    size_t edge;
+  };
+  std::vector<Frame> dfs;
+  std::vector<std::vector<uint32_t>> sccs;
+  uint32_t next_index = 0;
+
+  for (uint32_t root = 0; root < num_vars_; ++root) {
+    if (Find(root) != root || index[root] != kNone || copy_out_[root].empty()) {
+      continue;
+    }
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      if (f.edge < copy_out_[f.v].size()) {
+        const uint32_t w = Find(copy_out_[f.v][f.edge++]);
+        if (w == f.v) {
+          continue;
+        }
+        if (index[w] == kNone) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+        continue;
+      }
+      const uint32_t v = f.v;
+      if (lowlink[v] == index[v]) {
+        std::vector<uint32_t> scc;
+        for (;;) {
+          const uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        if (scc.size() > 1) {
+          sccs.push_back(std::move(scc));
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+      }
+    }
+  }
+
+  for (std::vector<uint32_t>& scc : sccs) {
+    // Lowest variable id becomes the representative (deterministic).
+    const uint32_t rep = *std::min_element(scc.begin(), scc.end());
+    for (const uint32_t v : scc) {
+      if (v != rep) {
+        Unite(rep, v);
+      }
+    }
+  }
+
+  // Fruitless passes double the re-collapse threshold: on acyclic copy
+  // graphs (common for tight executed scopes) this caps wasted Tarjan work
+  // at O(log) passes instead of one per threshold's worth of dynamic edges.
+  if (result_.stats_.scc_vars_collapsed == folded_before) {
+    recollapse_threshold_ *= 2;
+  }
+
+  // Re-point, dedupe and drop self edges so collapsed cycles stop costing
+  // propagation work.
+  for (uint32_t v = 0; v < num_vars_; ++v) {
+    if (Find(v) != v || copy_out_[v].empty()) {
+      continue;
+    }
+    std::vector<uint32_t>& edges = copy_out_[v];
+    for (uint32_t& to : edges) {
+      to = Find(to);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edges.erase(std::remove(edges.begin(), edges.end(), v), edges.end());
+  }
+}
+
+void AndersenSolver::SolveLegacy() {
+  // The pre-overhaul algorithm, preserved as the benchmark baseline (see
+  // PointsToOptions::legacy_solver): every worklist pop materializes an
+  // Elements() vector, complex-constraint expansion is gated on per-variable
+  // `processed` bitsets, and copy edges re-propagate the FULL points-to set
+  // of the source each time. Computes the same least fixed point.
+  std::vector<ObjectSet> processed(num_vars_);
+  auto add_edge = [this](uint32_t from, uint32_t to) {
+    copy_out_[from].push_back(to);
+    ++result_.stats_.constraints;
+  };
+  auto pull = [this](uint32_t from, uint32_t to) {
+    if (pts_[to].UnionWith(pts_[from])) {
+      Enqueue(to);
+    }
+  };
   while (!worklist_.empty()) {
     const uint32_t v = worklist_.front();
     worklist_.pop_front();
@@ -321,26 +557,22 @@ void AndersenSolver::Solve() {
 
     // Expand complex constraints for objects newly seen at v.
     for (uint32_t obj : pts_[v].Elements()) {
-      if (!processed_[v].Set(obj)) {
+      if (!processed[v].Set(obj)) {
         continue;
       }
       const uint32_t ov = ObjVar(obj);
       auto lit = load_edges_.find(v);
       if (lit != load_edges_.end()) {
         for (uint32_t result_var : lit->second) {
-          AddCopyEdge(ov, result_var);
-          if (pts_[result_var].UnionWith(pts_[ov])) {
-            Enqueue(result_var);
-          }
+          add_edge(ov, result_var);
+          pull(ov, result_var);
         }
       }
       auto sit = store_edges_.find(v);
       if (sit != store_edges_.end()) {
         for (uint32_t value_var : sit->second) {
-          AddCopyEdge(value_var, ov);
-          if (pts_[ov].UnionWith(pts_[value_var])) {
-            Enqueue(ov);
-          }
+          add_edge(value_var, ov);
+          pull(value_var, ov);
         }
       }
       auto iit = indirect_sites_.find(v);
@@ -349,38 +581,93 @@ void AndersenSolver::Solve() {
         if (o.kind == AbstractObject::Kind::kFunction) {
           const ir::Function* callee = module_.function(o.id);
           for (const IndirectSite& site : iit->second) {
-            BindCallArguments(*site.caller, *site.call, *callee, 1);
+            BindCallArguments(*site.caller, *site.call, *callee, 1, /*dynamic=*/false);
             // Pull already-computed argument sets across the new edges.
             for (size_t a = 1; a < site.call->num_operands(); ++a) {
               const size_t param = a - 1;
               if (param >= callee->num_params() || !site.call->operand(a).IsReg()) {
                 continue;
               }
-              const uint32_t from = Var(site.caller->id(), site.call->operand(a).reg);
-              const uint32_t to = Var(callee->id(), static_cast<ir::Reg>(param));
-              if (pts_[to].UnionWith(pts_[from])) {
-                Enqueue(to);
-              }
+              pull(Var(site.caller->id(), site.call->operand(a).reg),
+                   Var(callee->id(), static_cast<ir::Reg>(param)));
             }
             if (site.call->HasResult()) {
-              const uint32_t to = Var(site.caller->id(), site.call->result());
-              if (pts_[to].UnionWith(pts_[RetVar(callee->id())])) {
-                Enqueue(to);
-              }
+              pull(RetVar(callee->id()), Var(site.caller->id(), site.call->result()));
             }
           }
         }
       }
     }
 
-    // Propagate along copy edges.
-    auto cit = copy_edges_.find(v);
-    if (cit != copy_edges_.end()) {
-      for (uint32_t to : cit->second) {
-        if (pts_[to].UnionWith(pts_[v])) {
-          Enqueue(to);
+    // Propagate the full set along copy edges (no appends happen here).
+    for (const uint32_t to : copy_out_[v]) {
+      pull(v, to);
+    }
+  }
+}
+
+void AndersenSolver::Solve() {
+  if (options_.legacy_solver) {
+    SolveLegacy();
+    return;
+  }
+  if (options_.collapse_sccs) {
+    CollapseCycles();
+  }
+  while (!worklist_.empty()) {
+    if (options_.collapse_sccs && dynamic_edges_since_collapse_ > recollapse_threshold_) {
+      CollapseCycles();
+    }
+    const uint32_t v = Find(worklist_.front());
+    worklist_.pop_front();
+    in_worklist_[v] = false;
+    if (delta_[v].Empty()) {
+      continue;  // stale entry (drained via a merge or a duplicate enqueue)
+    }
+    ObjectSet d = std::move(delta_[v]);
+    delta_[v] = ObjectSet();
+    ++result_.stats_.solver_iterations;
+
+    // Expand complex constraints for the newly-arrived objects only.
+    const auto lit = load_edges_.find(v);
+    const auto sit = store_edges_.find(v);
+    const auto iit = indirect_sites_.find(v);
+    if (lit != load_edges_.end() || sit != store_edges_.end() ||
+        iit != indirect_sites_.end()) {
+      d.ForEach([&](uint32_t obj) {
+        const uint32_t ov = Find(ObjVar(obj));
+        if (lit != load_edges_.end()) {
+          for (const uint32_t result_var : lit->second) {
+            AddCopyEdgeDynamic(ov, result_var);
+          }
         }
+        if (sit != store_edges_.end()) {
+          for (const uint32_t value_var : sit->second) {
+            AddCopyEdgeDynamic(value_var, ov);
+          }
+        }
+        if (iit != indirect_sites_.end()) {
+          const AbstractObject& o = result_.objects_[obj];
+          if (o.kind == AbstractObject::Kind::kFunction) {
+            const ir::Function* callee = module_.function(o.id);
+            for (const IndirectSite& site : iit->second) {
+              BindCallArguments(*site.caller, *site.call, *callee, 1, /*dynamic=*/true);
+            }
+          }
+        }
+      });
+    }
+
+    // Propagate the delta along copy edges. Indexed loop: expansion above may
+    // have appended edges (each already carries the full set, so propagating
+    // d across them too is merely idempotent).
+    for (size_t i = 0; i < copy_out_[v].size(); ++i) {
+      const uint32_t to = Find(copy_out_[v][i]);
+      if (to == v) {
+        continue;
       }
+      AddSetToVar(to, d);
+      ++result_.stats_.delta_propagations;
     }
   }
 }
@@ -407,15 +694,25 @@ PointsToResult AndersenSolver::Run() {
   next += static_cast<uint32_t>(result_.objects_.size());
   num_vars_ = next;
 
+  parent_.resize(num_vars_);
+  for (uint32_t v = 0; v < num_vars_; ++v) {
+    parent_[v] = v;
+  }
   pts_.resize(num_vars_);
-  processed_.resize(num_vars_);
+  delta_.resize(num_vars_);
+  copy_out_.resize(num_vars_);
   in_worklist_.assign(num_vars_, false);
+  recollapse_threshold_ = std::max<size_t>(512, num_vars_ / 8);
   result_.stats_.variables = num_vars_;
   result_.stats_.objects = result_.objects_.size();
 
   GenerateConstraints();
   Solve();
 
+  result_.rep_.resize(num_vars_);
+  for (uint32_t v = 0; v < num_vars_; ++v) {
+    result_.rep_[v] = Find(v);
+  }
   result_.var_pts_ = std::move(pts_);
   const auto end = std::chrono::steady_clock::now();
   result_.stats_.solve_seconds = std::chrono::duration<double>(end - start).count();

@@ -59,10 +59,29 @@ class ObjectSet {
   }
   // *this |= other; returns true when any bit was added.
   bool UnionWith(const ObjectSet& other);
+  // *this |= other, also recording every newly-added bit into *delta. The
+  // difference-propagating solver uses this to track exactly which objects
+  // still need to flow along outgoing edges.
+  bool UnionWithDelta(const ObjectSet& other, ObjectSet* delta);
   bool Intersects(const ObjectSet& other) const;
   size_t Count() const;
   std::vector<uint32_t> Elements() const;
   bool Empty() const;
+
+  // Calls fn(index) for every set bit, ascending, without allocating. The
+  // solver's hot loop (and every other solver-side iteration) uses this
+  // instead of materializing Elements() vectors.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<uint32_t>(w * 64 + static_cast<size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
 
  private:
   std::vector<uint64_t> words_;
@@ -73,6 +92,16 @@ struct PointsToOptions {
   Scope scope = Scope::kWholeProgram;
   // Required (non-null) when scope == kExecutedOnly.
   const std::unordered_set<ir::InstId>* executed = nullptr;
+  // Collapse strongly-connected components of the copy-edge graph onto one
+  // union-find representative (variables in a copy cycle provably share a
+  // points-to set). Off = ablation baseline: the plain difference-propagating
+  // worklist, for before/after solver benchmarks. Results are identical.
+  bool collapse_sccs = true;
+  // Benchmark baseline only: solve with the pre-overhaul algorithm --
+  // full-set re-propagation along copy edges, per-variable processed bitsets,
+  // and a materialized element vector per worklist pop. Identical results;
+  // micro_analysis uses it for the solver before/after table.
+  bool legacy_solver = false;
 };
 
 struct PointsToStats {
@@ -81,6 +110,10 @@ struct PointsToStats {
   size_t variables = 0;
   size_t objects = 0;
   size_t solver_iterations = 0;
+  // Variables folded into a cycle representative (0 when collapse_sccs off).
+  size_t scc_vars_collapsed = 0;
+  // Delta-set propagations along copy edges (the hot-loop work unit).
+  size_t delta_propagations = 0;
   double solve_seconds = 0.0;
 };
 
@@ -104,8 +137,12 @@ class PointsToResult {
   friend class AndersenSolver;
   const ir::Module* module_ = nullptr;
   std::vector<AbstractObject> objects_;
-  // Variable points-to sets; variable index = func_reg_base_[func] + reg.
+  // Variable points-to sets, stored once per union-find representative;
+  // rep_[var] maps a variable to its representative (identity when the
+  // variable was not collapsed into a copy cycle). Variable index =
+  // func_reg_base_[func] + reg.
   std::vector<ObjectSet> var_pts_;
+  std::vector<uint32_t> rep_;
   std::vector<uint32_t> func_reg_base_;
   // Memory-access instructions in scope, with their pointer-operand variable.
   std::vector<std::pair<const ir::Instruction*, uint32_t>> accesses_;
@@ -113,6 +150,7 @@ class PointsToResult {
   PointsToStats stats_;
 
   uint32_t VarIndex(ir::FuncId func, ir::Reg reg) const;
+  const ObjectSet& VarSet(uint32_t var) const { return var_pts_[rep_[var]]; }
 };
 
 // Runs the analysis. `executed` must outlive the call (not the result).

@@ -10,10 +10,20 @@
 // and records the dump points (failing PC, then its predecessors) it wants
 // clients to trace successful executions at (step 8). Diagnose() finally runs
 // step 7, statistical diagnosis, over everything received.
+//
+// Concurrency: Submit*/Diagnose are safe to call from any thread. The
+// expensive part of ingest -- decoding the bundle into a ProcessedTrace --
+// runs outside the server lock, so N client threads decode concurrently;
+// only state mutation (trace append, degradation merge, pipeline trigger)
+// serializes. Results are bit-for-bit identical to a serial submission
+// order-independent pipeline (scoring counts commute; patterns dedupe by
+// key) except for the ordering of degradation notes.
 #ifndef SNORLAX_CORE_SERVER_H_
 #define SNORLAX_CORE_SERVER_H_
 
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/deref_chain.h"
@@ -22,6 +32,7 @@
 #include "core/pattern_compute.h"
 #include "core/statistical.h"
 #include "support/status.h"
+#include "support/thread_pool.h"
 #include "trace/degradation.h"
 #include "trace/processed_trace.h"
 
@@ -35,6 +46,16 @@ struct StageStats {
   size_t rank1_candidates = 0;       // top band after type ranking (step 5)
   size_t patterns_generated = 0;     // after pattern computation (step 6)
   size_t top_f1_patterns = 0;        // patterns sharing the best F1 (step 7)
+
+  // Cumulative wall time per stage, summed over every accepted bundle (the
+  // old per-trace analysis_seconds under-reported once a server ingested more
+  // than one trace). score_seconds covers the Diagnose() call that produced
+  // the report carrying these stats.
+  double trace_seconds = 0.0;      // steps 2-3: decode + trace processing
+  double points_to_seconds = 0.0;  // step 4 (solver runs only; cache hits add 0)
+  double rank_seconds = 0.0;       // step 5: chain walk + candidates + ranking
+  double pattern_seconds = 0.0;    // step 6 (including the slice fallback retry)
+  double score_seconds = 0.0;      // step 7
 
   double TraceReduction() const {
     return executed_instructions == 0
@@ -65,6 +86,9 @@ struct DiagnosisReport {
   StageStats stages;
   // Server-side analysis wall time for the most recent trace (steps 2-7).
   double analysis_seconds = 0.0;
+  // Cumulative server-side analysis wall time over every accepted bundle plus
+  // this report's scoring -- the number the latency benches should charge.
+  double total_analysis_seconds = 0.0;
   size_t failing_traces = 0;
   size_t success_traces = 0;
 
@@ -86,6 +110,15 @@ class DiagnosisServer {
     // cannot follow, or the failing instruction is not part of the pattern),
     // retry with candidates drawn from the backward slice of the failure.
     bool use_slice_fallback = true;
+    // Reuse analysis results across repeated failures at the same site
+    // (keyed by failing PC + failure shape + executed set): a cache hit skips
+    // the points-to solve and ranking, and -- when the dynamic trace content
+    // also matches -- pattern computation. Off for benches that time the
+    // analysis itself by resubmitting one bundle.
+    bool use_analysis_cache = true;
+    // When set, Diagnose() scores patterns in parallel on this pool (results
+    // identical to serial scoring). Not owned; must outlive the server.
+    support::ThreadPool* pool = nullptr;
   };
 
   explicit DiagnosisServer(const ir::Module* module);
@@ -104,16 +137,24 @@ class DiagnosisServer {
   // rank 0 = the failing PC, 1+ = first instructions of predecessor blocks.
   std::vector<std::pair<ir::InstId, int>> RequestedDumpPoints() const;
 
-  bool HasFailure() const { return !failing_traces_.empty(); }
-  size_t NumSuccessTraces() const { return success_traces_.size(); }
+  bool HasFailure() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !failing_traces_.empty();
+  }
+  size_t NumSuccessTraces() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return success_traces_.size();
+  }
   size_t SuccessTraceCap() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return options_.success_trace_multiplier * failing_traces_.size();
   }
 
   // Step 7: scores the computed patterns over all received traces.
   DiagnosisReport Diagnose() const;
 
-  // Introspection for tests and benches.
+  // Introspection for tests and benches. Not synchronized against concurrent
+  // Submit* calls -- quiesce first.
   const analysis::PointsToResult* points_to() const { return points_to_.get(); }
   const std::vector<analysis::RankedInstruction>& ranked_candidates() const {
     return ranked_;
@@ -123,22 +164,59 @@ class DiagnosisServer {
   bool used_slice_fallback() const { return used_slice_fallback_; }
   // Degradation accumulated across every submitted bundle so far.
   const trace::DegradationReport& degradation() const { return degradation_; }
+  // Times the points-to solver actually ran (a cache hit does not count) --
+  // the observable the analysis-cache tests assert on.
+  size_t solver_runs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return solver_runs_;
+  }
 
  private:
+  // Step-6 output for one exact dynamic trace at a cached site.
+  struct PatternCacheEntry {
+    std::vector<BugPattern> patterns;
+    std::vector<analysis::RankedInstruction> ranked;
+    bool hypothesis_violated = false;
+    bool used_slice_fallback = false;
+    size_t candidate_instructions = 0;
+    size_t rank1_candidates = 0;
+  };
+  // Steps 4-5 output for one failure site + executed set. Pattern computation
+  // cannot key on the executed set alone -- it reads the dynamic interleaving
+  // -- so step 6 results nest under a trace-content sub-key.
+  struct SiteCacheEntry {
+    std::shared_ptr<const analysis::PointsToResult> points_to;
+    std::vector<const ir::Instruction*> failure_chain;
+    analysis::ObjectSet seed;
+    std::vector<analysis::RankedInstruction> ranked;
+    size_t candidate_instructions = 0;
+    size_t rank1_candidates = 0;
+    std::unordered_map<uint64_t, PatternCacheEntry> by_trace;
+  };
+
   // Structural screening before any decoding work is spent on a bundle.
   support::Status ValidateBundle(const pt::PtTraceBundle& bundle, bool failing) const;
   // Decodes `bundle` behind a crash barrier: any exception a hardening gap
-  // lets through becomes a rejected bundle, never a server crash.
+  // lets through becomes a rejected bundle, never a server crash. Runs
+  // lock-free; the caller merges the trace's degradation under the lock.
   support::Result<std::unique_ptr<trace::ProcessedTrace>> IngestBundle(
-      const pt::PtTraceBundle& bundle);
+      const pt::PtTraceBundle& bundle) const;
   void RunPipeline(const trace::ProcessedTrace& failing);
+  void RecordRejectionLocked(const char* what, const support::Status& status);
+  uint64_t SiteKey(const trace::ProcessedTrace& failing) const;
+  static uint64_t TraceContentKey(const trace::ProcessedTrace& failing);
 
   const ir::Module* module_;
   uint64_t module_fingerprint_ = 0;
   Options options_;
+
+  // Everything below mu_ is guarded by it (Submit*/Diagnose); the lock-free
+  // introspection accessors above are documented as post-quiesce only.
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<trace::ProcessedTrace>> failing_traces_;
   std::vector<std::unique_ptr<trace::ProcessedTrace>> success_traces_;
-  std::unique_ptr<analysis::PointsToResult> points_to_;
+  // Shared with the analysis cache, which can outlive the current pipeline.
+  std::shared_ptr<const analysis::PointsToResult> points_to_;
   // Module pre-processing shared across traces (built on first use).
   std::unique_ptr<analysis::FailureChainIndex> chain_index_;
   std::vector<const ir::Instruction*> failure_chain_;
@@ -149,6 +227,9 @@ class DiagnosisServer {
   StageStats stages_;
   trace::DegradationReport degradation_;
   double last_analysis_seconds_ = 0.0;
+  double total_analysis_seconds_ = 0.0;
+  size_t solver_runs_ = 0;
+  std::unordered_map<uint64_t, SiteCacheEntry> site_cache_;
 };
 
 }  // namespace snorlax::core

@@ -1,0 +1,170 @@
+#include "core/server_pool.h"
+
+#include <algorithm>
+
+#include "pt/encoder.h"
+#include "support/str.h"
+
+namespace snorlax::core {
+
+using support::Status;
+using support::StatusCode;
+
+ServerPool::ServerPool(ServerPoolOptions options) : options_(options) {}
+
+void ServerPool::RegisterModule(const ir::Module* module) {
+  const uint64_t fp = pt::ModuleFingerprint(*module);
+  std::lock_guard<std::mutex> lock(mu_);
+  modules_.emplace(fp, module);
+}
+
+const ir::Module* ServerPool::ResolveModule(const pt::PtTraceBundle& bundle,
+                                            Status* status) const {
+  // Caller holds mu_.
+  if (bundle.module_fingerprint == 0) {
+    if (modules_.size() == 1) {
+      return modules_.begin()->second;
+    }
+    *status = Status::Error(
+        StatusCode::kFailedPrecondition,
+        StrFormat("unstamped bundle is ambiguous: %zu modules registered",
+                  modules_.size()));
+    return nullptr;
+  }
+  auto it = modules_.find(bundle.module_fingerprint);
+  if (it == modules_.end()) {
+    *status = Status::Error(StatusCode::kFailedPrecondition,
+                            "bundle fingerprint matches no registered module");
+    return nullptr;
+  }
+  return it->second;
+}
+
+DiagnosisServer* ServerPool::ShardFor(const ir::Module* module, ir::InstId failing_inst) {
+  // Caller holds mu_.
+  const uint64_t fp = pt::ModuleFingerprint(*module);
+  const uint64_t key = Key(fp, failing_inst);
+  auto it = shards_.find(key);
+  if (it == shards_.end()) {
+    Shard shard;
+    shard.key = ShardKey{fp, failing_inst};
+    shard.server = std::make_unique<DiagnosisServer>(module, options_.server);
+    it = shards_.emplace(key, std::move(shard)).first;
+  }
+  return it->second.server.get();
+}
+
+Status ServerPool::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
+  DiagnosisServer* shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status status = Status::Ok();
+    const ir::Module* module = ResolveModule(bundle, &status);
+    if (module == nullptr) {
+      ++routing_rejects_;
+      return status;
+    }
+    if (!bundle.failure.IsFailure()) {
+      // Let the shard-level validation produce the canonical error? No shard
+      // exists to charge it to -- a failing bundle without a failure record
+      // has no site. Reject at the router.
+      ++routing_rejects_;
+      return Status::Error(StatusCode::kInvalidArgument,
+                           "failing trace without a failure record");
+    }
+    shard = ShardFor(module, bundle.failure.failing_inst);
+  }
+  // The map lock is released before the expensive work: concurrent bundles
+  // for different sites proceed fully in parallel, and bundles for the same
+  // site serialize inside the shard, not here.
+  return shard->SubmitFailingTrace(bundle);
+}
+
+Status ServerPool::SubmitSuccessTrace(ir::InstId failing_inst,
+                                      const pt::PtTraceBundle& bundle) {
+  DiagnosisServer* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status status = Status::Ok();
+    const ir::Module* module = ResolveModule(bundle, &status);
+    if (module == nullptr) {
+      ++routing_rejects_;
+      return status;
+    }
+    const uint64_t key = Key(pt::ModuleFingerprint(*module), failing_inst);
+    auto it = shards_.find(key);
+    if (it == shards_.end()) {
+      // No failure was ever reported at this site; a success trace for it
+      // cannot contribute to any diagnosis.
+      ++routing_rejects_;
+      return Status::Error(StatusCode::kFailedPrecondition,
+                           "success trace for a site with no reported failure");
+    }
+    shard = it->second.server.get();
+  }
+  return shard->SubmitSuccessTrace(bundle);
+}
+
+std::vector<std::pair<ir::InstId, int>> ServerPool::RequestedDumpPoints(
+    uint64_t module_fingerprint, ir::InstId failing_inst) const {
+  const DiagnosisServer* s = shard(module_fingerprint, failing_inst);
+  return s == nullptr ? std::vector<std::pair<ir::InstId, int>>{} : s->RequestedDumpPoints();
+}
+
+std::vector<ServerPool::ShardReport> ServerPool::DiagnoseAll() const {
+  struct Entry {
+    ShardKey key;
+    const DiagnosisServer* server;
+  };
+  std::vector<Entry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(shards_.size());
+    for (const auto& [key, shard] : shards_) {
+      entries.push_back(Entry{shard.key, shard.server.get()});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.key.module_fingerprint != b.key.module_fingerprint) {
+      return a.key.module_fingerprint < b.key.module_fingerprint;
+    }
+    return a.key.failing_inst < b.key.failing_inst;
+  });
+  std::vector<ShardReport> out(entries.size());
+  auto diagnose_one = [&](size_t i) {
+    out[i].key = entries[i].key;
+    out[i].report = entries[i].server->Diagnose();
+  };
+  if (options_.server.pool != nullptr && entries.size() > 1) {
+    options_.server.pool->ParallelFor(entries.size(), diagnose_one);
+  } else {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      diagnose_one(i);
+    }
+  }
+  return out;
+}
+
+const DiagnosisServer* ServerPool::shard(uint64_t module_fingerprint,
+                                         ir::InstId failing_inst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(Key(module_fingerprint, failing_inst));
+  return it == shards_.end() ? nullptr : it->second.server.get();
+}
+
+size_t ServerPool::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+size_t ServerPool::num_modules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return modules_.size();
+}
+
+size_t ServerPool::routing_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routing_rejects_;
+}
+
+}  // namespace snorlax::core

@@ -1,0 +1,103 @@
+// ServerPool: a multi-application diagnosis service sharded by failure site.
+//
+// One DiagnosisServer diagnoses one failure site of one binary. A production
+// deployment receives traces from many applications failing at many sites
+// concurrently, so the pool:
+//   - keeps a registry of modules keyed by fingerprint (the stamp clients
+//     embed in every bundle), and
+//   - routes each bundle to a shard keyed by (module fingerprint, failing
+//     PC), creating shards on demand.
+// Shards are independent DiagnosisServers, so bundles for different sites
+// never contend on a lock, never pollute each other's statistics, and their
+// analysis caches stay site-local. All entry points are thread-safe.
+#ifndef SNORLAX_CORE_SERVER_POOL_H_
+#define SNORLAX_CORE_SERVER_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/server.h"
+
+namespace snorlax::core {
+
+struct ServerPoolOptions {
+  // Applied to every shard the pool creates. The embedded `pool` pointer (if
+  // any) is shared by all shards for parallel scoring, and also drives
+  // DiagnoseAll's fan-out.
+  DiagnosisServer::Options server;
+};
+
+class ServerPool {
+ public:
+  // Identifies one shard: a failure site within one registered binary.
+  struct ShardKey {
+    uint64_t module_fingerprint = 0;
+    ir::InstId failing_inst = ir::kInvalidInstId;
+  };
+  struct ShardReport {
+    ShardKey key;
+    DiagnosisReport report;
+  };
+
+  explicit ServerPool(ServerPoolOptions options = {});
+
+  // Makes `module` routable. Bundles stamped with an unregistered fingerprint
+  // are rejected -- the pool cannot map their PCs to instructions. The module
+  // is not owned and must outlive the pool. Registering the same module again
+  // is a no-op.
+  void RegisterModule(const ir::Module* module);
+
+  // Routes to the (fingerprint, failing PC) shard, creating it on first use.
+  // Unstamped bundles (fingerprint 0) route to the sole registered module,
+  // and are ambiguous -- rejected -- when several are registered.
+  support::Status SubmitFailingTrace(const pt::PtTraceBundle& bundle);
+  // Success bundles carry no failure record, so the target site is explicit:
+  // clients learned it alongside the dump-point request. Unknown sites are
+  // rejected (no shard ever saw that failure).
+  support::Status SubmitSuccessTrace(ir::InstId failing_inst,
+                                     const pt::PtTraceBundle& bundle);
+
+  // Dump points requested by the shard diagnosing `failing_inst`; empty when
+  // no such shard exists yet.
+  std::vector<std::pair<ir::InstId, int>> RequestedDumpPoints(
+      uint64_t module_fingerprint, ir::InstId failing_inst) const;
+
+  // Diagnoses every shard (in parallel when the server options carry a thread
+  // pool) and returns the reports sorted by (fingerprint, failing PC) so the
+  // output is deterministic regardless of shard-creation order.
+  std::vector<ShardReport> DiagnoseAll() const;
+
+  // The shard for a site, or nullptr. For tests and benches.
+  const DiagnosisServer* shard(uint64_t module_fingerprint, ir::InstId failing_inst) const;
+  size_t num_shards() const;
+  size_t num_modules() const;
+  // Bundles the router itself refused (unknown fingerprint / ambiguous
+  // unstamped bundle / unknown success site); per-shard rejections live in
+  // the shards' degradation reports.
+  size_t routing_rejects() const;
+
+ private:
+  static uint64_t Key(uint64_t fingerprint, ir::InstId inst) {
+    return fingerprint * 0x9e3779b97f4a7c15ull ^ inst;
+  }
+  // Resolves the module for a bundle; null + error status when unroutable.
+  const ir::Module* ResolveModule(const pt::PtTraceBundle& bundle,
+                                  support::Status* status) const;
+  DiagnosisServer* ShardFor(const ir::Module* module, ir::InstId failing_inst);
+
+  ServerPoolOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, const ir::Module*> modules_;  // by fingerprint
+  struct Shard {
+    ShardKey key;
+    std::unique_ptr<DiagnosisServer> server;
+  };
+  std::unordered_map<uint64_t, Shard> shards_;
+  size_t routing_rejects_ = 0;
+};
+
+}  // namespace snorlax::core
+
+#endif  // SNORLAX_CORE_SERVER_POOL_H_

@@ -4,36 +4,52 @@
 
 namespace snorlax::core {
 
+namespace {
+
+DiagnosedPattern ScoreOne(const BugPattern& pattern,
+                          const std::vector<const trace::ProcessedTrace*>& failing_traces,
+                          const std::vector<const trace::ProcessedTrace*>& success_traces) {
+  DiagnosedPattern d;
+  d.pattern = pattern;
+  // Degraded ingests can leave gaps in the trace lists; score over the
+  // survivors rather than trusting the caller to have filtered.
+  for (const trace::ProcessedTrace* t : failing_traces) {
+    if (t == nullptr) {
+      continue;
+    }
+    if (TraceContainsPattern(*t, pattern)) {
+      ++d.counts.true_positive;
+    } else {
+      ++d.counts.false_negative;
+    }
+  }
+  for (const trace::ProcessedTrace* t : success_traces) {
+    if (t != nullptr && TraceContainsPattern(*t, pattern)) {
+      ++d.counts.false_positive;
+    }
+  }
+  d.precision = d.counts.Precision();
+  d.recall = d.counts.Recall();
+  d.f1 = d.counts.F1();
+  return d;
+}
+
+}  // namespace
+
 std::vector<DiagnosedPattern> ScorePatterns(
     const std::vector<BugPattern>& patterns,
     const std::vector<const trace::ProcessedTrace*>& failing_traces,
-    const std::vector<const trace::ProcessedTrace*>& success_traces) {
-  std::vector<DiagnosedPattern> out;
-  out.reserve(patterns.size());
-  for (const BugPattern& pattern : patterns) {
-    DiagnosedPattern d;
-    d.pattern = pattern;
-    // Degraded ingests can leave gaps in the trace lists; score over the
-    // survivors rather than trusting the caller to have filtered.
-    for (const trace::ProcessedTrace* t : failing_traces) {
-      if (t == nullptr) {
-        continue;
-      }
-      if (TraceContainsPattern(*t, pattern)) {
-        ++d.counts.true_positive;
-      } else {
-        ++d.counts.false_negative;
-      }
+    const std::vector<const trace::ProcessedTrace*>& success_traces,
+    support::ThreadPool* pool) {
+  std::vector<DiagnosedPattern> out(patterns.size());
+  if (pool != nullptr && patterns.size() > 1) {
+    pool->ParallelFor(patterns.size(), [&](size_t i) {
+      out[i] = ScoreOne(patterns[i], failing_traces, success_traces);
+    });
+  } else {
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      out[i] = ScoreOne(patterns[i], failing_traces, success_traces);
     }
-    for (const trace::ProcessedTrace* t : success_traces) {
-      if (t != nullptr && TraceContainsPattern(*t, pattern)) {
-        ++d.counts.false_positive;
-      }
-    }
-    d.precision = d.counts.Precision();
-    d.recall = d.counts.Recall();
-    d.f1 = d.counts.F1();
-    out.push_back(std::move(d));
   }
   std::sort(out.begin(), out.end(), [](const DiagnosedPattern& a, const DiagnosedPattern& b) {
     if (a.f1 != b.f1) {

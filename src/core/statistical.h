@@ -14,6 +14,7 @@
 
 #include "core/pattern.h"
 #include "support/stats.h"
+#include "support/thread_pool.h"
 
 namespace snorlax::core {
 
@@ -28,10 +29,16 @@ struct DiagnosedPattern {
 // Scores `patterns` against the traces; returns the list sorted by descending
 // F1 (ties broken by pattern size descending -- a more specific pattern with
 // equal evidence is the better root-cause statement -- then by key).
+//
+// Patterns score independently, so when `pool` is non-null each one is scored
+// as a parallel task; the result (including tie-break order) is identical to
+// the serial run because each slot is written in place and sorted after the
+// barrier with a total-order comparator.
 std::vector<DiagnosedPattern> ScorePatterns(
     const std::vector<BugPattern>& patterns,
     const std::vector<const trace::ProcessedTrace*>& failing_traces,
-    const std::vector<const trace::ProcessedTrace*>& success_traces);
+    const std::vector<const trace::ProcessedTrace*>& success_traces,
+    support::ThreadPool* pool = nullptr);
 
 }  // namespace snorlax::core
 

@@ -1,0 +1,174 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "support/check.h"
+
+namespace snorlax::support {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  SNORLAX_CHECK(fn != nullptr);
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SNORLAX_CHECK_MSG(!stop_, "Submit after ThreadPool destruction began");
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::TryTake(size_t self, std::function<void()>* out) {
+  // Own queue: LIFO pop keeps the cache-warm task local.
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal from the victims' opposite end (FIFO), oldest task first.
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (TryTake(self, &task)) {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    // Re-check under the lock: a Submit may have raced with the failed scan.
+    lock.unlock();
+    if (TryTake(self, &task)) {
+      task();
+      std::lock_guard<std::mutex> relock(mu_);
+      if (--pending_ == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    lock.lock();
+    if (stop_) {
+      return;
+    }
+    work_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<SharedState>();
+  auto drain = [state, n, &fn] {
+    size_t completed = 0;
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        break;
+      }
+      fn(i);
+      ++completed;
+    }
+    if (completed > 0 && state->done.fetch_add(completed) + completed == n) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  };
+  // Helpers are best-effort: the caller drains the same counter, so the loop
+  // finishes even if no helper ever gets scheduled. fn stays alive because
+  // the caller blocks until done == n; helpers running after that see the
+  // counter exhausted and never touch fn.
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, n, task = std::function<void(size_t)>(fn)] {
+      size_t completed = 0;
+      for (;;) {
+        const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          break;
+        }
+        task(i);
+        ++completed;
+      }
+      if (completed > 0 && state->done.fetch_add(completed) + completed == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() >= n; });
+}
+
+}  // namespace snorlax::support

@@ -1,0 +1,79 @@
+// Work-stealing thread pool for the diagnosis service's throughput paths.
+//
+// The pool exists for embarrassingly-parallel server work: decoding trace
+// bundles, scoring patterns across the ~10x success traces, and diagnosing
+// distinct failure sites concurrently. Design:
+//
+//   - one deque of tasks per worker; Submit distributes round-robin,
+//   - a worker pops from its own deque front, steals from other workers'
+//     backs when its deque runs dry (classic work stealing, mutex-guarded --
+//     task granularity here is a whole bundle decode, so lock cost is noise),
+//   - ParallelFor never deadlocks when called from a worker thread: the
+//     calling thread claims iterations itself alongside the helper tasks, so
+//     progress never depends on a helper being scheduled.
+//
+// Determinism note: the pool only runs tasks; anything order-sensitive must
+// serialize in the caller (see DiagnosisServer's ingest mutex). Diagnosis
+// output is bit-for-bit identical no matter how tasks interleave.
+#ifndef SNORLAX_SUPPORT_THREAD_POOL_H_
+#define SNORLAX_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snorlax::support {
+
+class ThreadPool {
+ public:
+  // 0 = one worker per hardware thread (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues `fn` for execution on some worker. Safe from any thread,
+  // including workers (nested submission).
+  void Submit(std::function<void()> fn);
+
+  // Blocks until every task submitted so far has finished. Must not be
+  // called from a worker thread (it would wait on itself).
+  void WaitIdle();
+
+  // Runs fn(0..n-1), blocking until all iterations complete. The calling
+  // thread participates, so this is safe (and still parallel) when invoked
+  // from inside a pool task. Iterations must be independent.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops a task: own queue first, then steals. Returns false when none found.
+  bool TryTake(size_t self, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards sleep/wake + pending accounting
+  std::condition_variable work_cv_;  // workers wait here for tasks
+  std::condition_variable idle_cv_;  // WaitIdle waits here
+  size_t pending_ = 0;             // submitted but not yet finished
+  size_t next_queue_ = 0;          // round-robin Submit target
+  bool stop_ = false;
+};
+
+}  // namespace snorlax::support
+
+#endif  // SNORLAX_SUPPORT_THREAD_POOL_H_

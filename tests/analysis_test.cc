@@ -11,6 +11,7 @@
 #include "ir/verifier.h"
 #include "runtime/interpreter.h"
 #include "support/rng.h"
+#include "workloads/workload.h"
 
 namespace snorlax::analysis {
 namespace {
@@ -61,6 +62,109 @@ TEST(ObjectSet, BasicOperations) {
   EXPECT_TRUE(c.UnionWith(a));
   EXPECT_FALSE(c.UnionWith(a));  // no change the second time
   EXPECT_EQ(c.Count(), 2u);
+}
+
+TEST(ObjectSet, ForEachMatchesElements) {
+  ObjectSet a;
+  ObjectSet empty;
+  for (uint32_t bit : {0u, 1u, 63u, 64u, 65u, 200u, 4095u}) {
+    a.Set(bit);
+  }
+  std::vector<uint32_t> seen;
+  a.ForEach([&](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, a.Elements());
+  empty.ForEach([&](uint32_t) { ADD_FAILURE() << "callback on empty set"; });
+}
+
+TEST(ObjectSet, UnionWithDeltaRecordsOnlyNewBits) {
+  ObjectSet dst;
+  dst.Set(3);
+  dst.Set(100);
+  ObjectSet src;
+  src.Set(3);    // already present: must not land in delta
+  src.Set(64);   // new
+  src.Set(200);  // new (grows dst's word array)
+  ObjectSet delta;
+  delta.Set(7);  // pre-existing delta content must survive
+  EXPECT_TRUE(dst.UnionWithDelta(src, &delta));
+  EXPECT_EQ(dst.Elements(), (std::vector<uint32_t>{3, 64, 100, 200}));
+  EXPECT_EQ(delta.Elements(), (std::vector<uint32_t>{7, 64, 200}));
+  // No change the second time, and the delta stays untouched.
+  EXPECT_FALSE(dst.UnionWithDelta(src, &delta));
+  EXPECT_EQ(delta.Elements(), (std::vector<uint32_t>{7, 64, 200}));
+}
+
+// Mutually-recursive parameter binding makes a static copy cycle
+// (f.p -> g.q -> f.p); the collapse must fold it, and every solver variant
+// (legacy baseline, difference propagation with and without SCC collapsing)
+// must compute the same sets.
+TEST(PointsTo, CopyCycleCollapsesAndVariantsAgree) {
+  ir::Module m;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* ptr = m.types().PointerTo(i64);
+
+  const FuncId g = b.BeginFunction("g", ptr, {ptr});
+  b.EndFunctionForParser();
+  const FuncId f = b.BeginFunction("f", ptr, {ptr});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Ret(b.Call(g, std::vector<Reg>{b.Param(0)}, ptr));
+  b.EndFunction();
+  b.ReopenFunctionForParser(g);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Ret(b.Call(f, std::vector<Reg>{b.Param(0)}, ptr));
+  b.EndFunction();
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg a = b.Alloca(i64);
+  const ir::InstId site = b.last_inst();
+  b.Call(f, std::vector<Reg>{a}, ptr);
+  b.RetVoid();
+  b.EndFunction();
+
+  PointsToOptions collapse;
+  collapse.scope = PointsToOptions::Scope::kWholeProgram;
+  const PointsToResult with_scc = RunPointsTo(m, collapse);
+  EXPECT_GE(with_scc.stats().scc_vars_collapsed, 1u);
+
+  PointsToOptions no_collapse = collapse;
+  no_collapse.collapse_sccs = false;
+  const PointsToResult without_scc = RunPointsTo(m, no_collapse);
+  EXPECT_EQ(without_scc.stats().scc_vars_collapsed, 0u);
+
+  PointsToOptions legacy = collapse;
+  legacy.legacy_solver = true;
+  const PointsToResult old_solver = RunPointsTo(m, legacy);
+
+  for (const PointsToResult* r : {&with_scc, &without_scc, &old_solver}) {
+    // Parameters occupy registers [0, num_params).
+    const ObjectSet& fp = r->PointsTo(f, static_cast<Reg>(0));
+    const ObjectSet& gq = r->PointsTo(g, static_cast<Reg>(0));
+    EXPECT_TRUE(PointsToObject(*r, fp, AbstractObject::Kind::kAllocaSite, site));
+    EXPECT_EQ(fp.Elements(), gq.Elements());
+  }
+}
+
+// Every solver variant must agree on the full result surface the pipeline
+// consumes, on a real workload module (loads, stores, locks, indirect calls).
+TEST(PointsTo, SolverVariantsAgreeOnWorkload) {
+  const auto w = workloads::Build("mysql_169");
+  PointsToOptions base;
+  base.scope = PointsToOptions::Scope::kWholeProgram;
+  PointsToOptions no_scc = base;
+  no_scc.collapse_sccs = false;
+  PointsToOptions legacy = base;
+  legacy.legacy_solver = true;
+  const PointsToResult a = RunPointsTo(*w.module, base);
+  const PointsToResult b2 = RunPointsTo(*w.module, no_scc);
+  const PointsToResult c = RunPointsTo(*w.module, legacy);
+  ASSERT_EQ(a.num_objects(), b2.num_objects());
+  ASSERT_EQ(a.num_objects(), c.num_objects());
+  for (const ir::Instruction* inst : w.module->AllInstructions()) {
+    const auto ea = a.PointerOperandPointsTo(*inst).Elements();
+    EXPECT_EQ(ea, b2.PointerOperandPointsTo(*inst).Elements());
+    EXPECT_EQ(ea, c.PointerOperandPointsTo(*inst).Elements());
+  }
 }
 
 TEST(PointsTo, AddressOfRule) {

@@ -1,0 +1,127 @@
+// Tests for ServerPool: routing bundles to (module fingerprint, failing PC)
+// shards, rejecting unroutable input, and shard diagnosis matching a
+// standalone DiagnosisServer.
+#include <gtest/gtest.h>
+
+#include "core/server_pool.h"
+#include "core/snorlax.h"
+#include "pt/encoder.h"
+#include "workloads/workload.h"
+
+namespace snorlax::core {
+namespace {
+
+struct Captured {
+  workloads::Workload workload;
+  pt::PtTraceBundle bundle;
+  uint64_t failing_seed = 0;
+};
+
+Captured CaptureFailingTrace(const std::string& name) {
+  Captured out{workloads::Build(name), {}, 0};
+  ClientOptions copts;
+  copts.interp = out.workload.interp;
+  DiagnosisClient client(out.workload.module.get(), copts);
+  for (uint64_t seed = 1; seed <= 2000; ++seed) {
+    ClientRun run = client.RunOnce(seed);
+    if (run.result.failure.IsFailure()) {
+      EXPECT_TRUE(run.trace.has_value());
+      out.bundle = *run.trace;
+      out.failing_seed = seed;
+      return out;
+    }
+  }
+  ADD_FAILURE() << "no failure reproduced for " << name;
+  return out;
+}
+
+TEST(ServerPool, RoutesBySiteAndModule) {
+  Captured pb = CaptureFailingTrace("pbzip2_main");
+  Captured sq = CaptureFailingTrace("sqlite_1672");
+
+  ServerPool pool;
+  pool.RegisterModule(pb.workload.module.get());
+  pool.RegisterModule(sq.workload.module.get());
+  pool.RegisterModule(pb.workload.module.get());  // re-registration: no-op
+  EXPECT_EQ(pool.num_modules(), 2u);
+
+  ASSERT_TRUE(pool.SubmitFailingTrace(pb.bundle).ok());
+  ASSERT_TRUE(pool.SubmitFailingTrace(sq.bundle).ok());
+  // Same site again lands in the existing shard.
+  ASSERT_TRUE(pool.SubmitFailingTrace(pb.bundle).ok());
+  EXPECT_EQ(pool.num_shards(), 2u);
+  EXPECT_EQ(pool.routing_rejects(), 0u);
+
+  const uint64_t pb_fp = pt::ModuleFingerprint(*pb.workload.module);
+  const DiagnosisServer* shard = pool.shard(pb_fp, pb.bundle.failure.failing_inst);
+  ASSERT_NE(shard, nullptr);
+  EXPECT_TRUE(shard->HasFailure());
+  EXPECT_FALSE(pool.RequestedDumpPoints(pb_fp, pb.bundle.failure.failing_inst).empty());
+
+  const std::vector<ServerPool::ShardReport> reports = pool.DiagnoseAll();
+  ASSERT_EQ(reports.size(), 2u);
+  // Deterministic output order: sorted by (fingerprint, failing PC).
+  EXPECT_LE(reports[0].key.module_fingerprint, reports[1].key.module_fingerprint);
+  for (const ServerPool::ShardReport& r : reports) {
+    EXPECT_FALSE(r.report.patterns.empty());
+  }
+}
+
+TEST(ServerPool, UnregisteredModuleRejected) {
+  Captured pb = CaptureFailingTrace("pbzip2_main");
+  ServerPool pool;
+  const support::Status status = pool.SubmitFailingTrace(pb.bundle);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(pool.routing_rejects(), 1u);
+  EXPECT_EQ(pool.num_shards(), 0u);
+}
+
+TEST(ServerPool, BundleWithoutFailureRecordRejected) {
+  Captured pb = CaptureFailingTrace("pbzip2_main");
+  ServerPool pool;
+  pool.RegisterModule(pb.workload.module.get());
+  pt::PtTraceBundle no_failure = pb.bundle;
+  no_failure.failure = rt::FailureInfo{};
+  const support::Status status = pool.SubmitFailingTrace(no_failure);
+  EXPECT_EQ(status.code(), support::StatusCode::kInvalidArgument);
+  EXPECT_EQ(pool.num_shards(), 0u);
+  EXPECT_EQ(pool.routing_rejects(), 1u);
+}
+
+TEST(ServerPool, SuccessTraceForUnknownSiteRejected) {
+  Captured pb = CaptureFailingTrace("pbzip2_main");
+  ServerPool pool;
+  pool.RegisterModule(pb.workload.module.get());
+  // No failing trace ever arrived at this site: the success bundle has no
+  // shard to join.
+  const support::Status status =
+      pool.SubmitSuccessTrace(pb.bundle.failure.failing_inst, pb.bundle);
+  EXPECT_EQ(status.code(), support::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pool.routing_rejects(), 1u);
+}
+
+TEST(ServerPool, ShardReportMatchesStandaloneServer) {
+  Captured pb = CaptureFailingTrace("pbzip2_main");
+
+  DiagnosisServer standalone(pb.workload.module.get());
+  ASSERT_TRUE(standalone.SubmitFailingTrace(pb.bundle).ok());
+  const DiagnosisReport want = standalone.Diagnose();
+
+  ServerPool pool;
+  pool.RegisterModule(pb.workload.module.get());
+  ASSERT_TRUE(pool.SubmitFailingTrace(pb.bundle).ok());
+  const std::vector<ServerPool::ShardReport> reports = pool.DiagnoseAll();
+  ASSERT_EQ(reports.size(), 1u);
+  const DiagnosisReport& got = reports[0].report;
+
+  ASSERT_EQ(got.patterns.size(), want.patterns.size());
+  for (size_t i = 0; i < want.patterns.size(); ++i) {
+    EXPECT_EQ(got.patterns[i].pattern.Key(), want.patterns[i].pattern.Key());
+    EXPECT_DOUBLE_EQ(got.patterns[i].f1, want.patterns[i].f1);
+  }
+  EXPECT_EQ(got.failing_traces, want.failing_traces);
+  EXPECT_EQ(got.confidence, want.confidence);
+}
+
+}  // namespace
+}  // namespace snorlax::core

@@ -183,6 +183,55 @@ TEST(DiagnosisServer, SuccessTraceCapEnforced) {
   EXPECT_EQ(server.NumSuccessTraces(), 10u);  // 10x one failing trace
 }
 
+TEST(DiagnosisServer, AnalysisCacheSkipsSolverOnRepeatedSite) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  DiagnosisServer server(cap.workload.module.get());
+  ASSERT_TRUE(server.SubmitFailingTrace(cap.bundle).ok());
+  EXPECT_EQ(server.solver_runs(), 1u);
+  const DiagnosisReport first = server.Diagnose();
+
+  // Same site, same executed set, same trace content: steps 4-6 are served
+  // from the analysis cache, so the solver must not run again.
+  ASSERT_TRUE(server.SubmitFailingTrace(cap.bundle).ok());
+  EXPECT_EQ(server.solver_runs(), 1u);
+  const DiagnosisReport second = server.Diagnose();
+  EXPECT_EQ(second.failing_traces, 2u);
+  ASSERT_EQ(second.patterns.size(), first.patterns.size());
+  for (size_t i = 0; i < first.patterns.size(); ++i) {
+    EXPECT_EQ(second.patterns[i].pattern.Key(), first.patterns[i].pattern.Key());
+  }
+
+  // With the cache off, every submission pays for its own solve.
+  DiagnosisServer::Options options;
+  options.use_analysis_cache = false;
+  DiagnosisServer uncached(cap.workload.module.get(), options);
+  ASSERT_TRUE(uncached.SubmitFailingTrace(cap.bundle).ok());
+  ASSERT_TRUE(uncached.SubmitFailingTrace(cap.bundle).ok());
+  EXPECT_EQ(uncached.solver_runs(), 2u);
+}
+
+TEST(DiagnosisServer, AnalysisCacheMissesOnDifferentExecutedSet) {
+  Captured cap = CaptureFailingTrace("pbzip2_main");
+  ASSERT_GE(cap.bundle.threads.size(), 2u);
+  // Drop a non-failing thread's buffer: same failing PC, but the recovered
+  // executed set differs, so the cache key must differ too.
+  pt::PtTraceBundle reduced = cap.bundle;
+  for (size_t i = 0; i < reduced.threads.size(); ++i) {
+    if (reduced.threads[i].thread != reduced.failure.thread) {
+      reduced.threads.erase(reduced.threads.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  ASSERT_EQ(reduced.threads.size(), cap.bundle.threads.size() - 1);
+
+  DiagnosisServer server(cap.workload.module.get());
+  ASSERT_TRUE(server.SubmitFailingTrace(cap.bundle).ok());
+  EXPECT_EQ(server.solver_runs(), 1u);
+  ASSERT_TRUE(server.SubmitFailingTrace(reduced).ok());
+  EXPECT_EQ(server.solver_runs(), 2u);
+}
+
 TEST(DiagnosisServer, AblationScopeRestrictionOff) {
   // Whole-program points-to must reach the same diagnosis (slower, same
   // accuracy) -- the paper's claim that scope restriction costs no accuracy.

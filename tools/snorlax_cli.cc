@@ -7,6 +7,9 @@
 //   snorlax_cli fuzz-trace prog.sir --faults=kind@rate[,...] [--seed=N]
 //                                              corrupt a captured trace, then
 //                                              diagnose from the wreckage
+//   snorlax_cli bench-throughput [--clients=N] [--threads=M] [--json]
+//                                              concurrent-ingest throughput on
+//                                              the built-in workload mix
 //
 // Sample programs live in examples/programs/.
 #include <cstdio>
@@ -15,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench/throughput_harness.h"
 #include "core/snorlax.h"
 #include "faults/injector.h"
 #include "ir/printer.h"
@@ -41,7 +45,9 @@ int Usage() {
       "  fuzz-trace corrupt a captured failing trace (--faults=kind@rate[,...],\n"
       "           --seed=N) and diagnose from the wreckage; kinds: bitflip,\n"
       "           truncate, drop, dup, clockregress, threadloss, forgefailure,\n"
-      "           versionskew\n");
+      "           versionskew\n"
+      "  bench-throughput measure concurrent vs serial ingest on the built-in\n"
+      "           workload mix (--clients=N, --threads=M, --rounds=R, --json)\n");
   return 2;
 }
 
@@ -292,9 +298,61 @@ int CmdGenerate(const std::string& kind, const std::string& out_path, uint64_t s
   return 0;
 }
 
+int CmdBenchThroughput(int argc, char** argv) {
+  bench::ThroughputConfig config;
+  config.clients = 8;
+  config.threads = 8;
+  config.pool_threads = 8;
+  config.rounds = 2;
+  bool json_only = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--clients=", 0) == 0) {
+      config.clients = std::strtoull(flag.c_str() + 10, nullptr, 10);
+      config.threads = config.clients;
+    } else if (flag.rfind("--threads=", 0) == 0) {
+      config.threads = std::strtoull(flag.c_str() + 10, nullptr, 10);
+      config.pool_threads = config.threads;
+    } else if (flag.rfind("--rounds=", 0) == 0) {
+      config.rounds = std::strtoull(flag.c_str() + 9, nullptr, 10);
+    } else if (flag == "--json") {
+      json_only = true;
+    } else {
+      std::printf("unknown flag '%s'\n", flag.c_str());
+      return Usage();
+    }
+  }
+  const std::vector<std::string> mix = {"pbzip2_main", "sqlite_1672", "memcached_127"};
+  if (!json_only) {
+    std::printf("capturing failure + success traces for %zu workloads...\n", mix.size());
+  }
+  const std::vector<bench::CapturedSite> sites = bench::CaptureSites(mix);
+  if (sites.empty()) {
+    std::printf("no workload reproduced a failure; nothing to measure\n");
+    return 1;
+  }
+  bench::ThroughputConfig serial = config;
+  serial.threads = 1;
+  serial.pool_threads = 0;
+  const bench::ThroughputResult s = bench::RunThroughput(sites, serial);
+  const bench::ThroughputResult p = bench::RunThroughput(sites, config);
+  std::printf("%s\n", bench::ThroughputJson(config, sites.size(), s, p).c_str());
+  if (!json_only) {
+    std::printf("speedup scales with available cores; diagnoses identical: %s\n",
+                s.report_digest == p.report_digest ? "yes" : "NO");
+  }
+  return s.report_digest == p.report_digest ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::string(argv[1]) == "bench-throughput") {
+    return CmdBenchThroughput(argc, argv);
+  }
   if (argc < 3) {
     return Usage();
   }
