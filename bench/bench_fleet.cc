@@ -1,0 +1,79 @@
+// Fleet-ingestion throughput: M agents ship captured bundles over loopback
+// TCP to the diagnosis daemon, K flush rounds each. Reports bundles/sec and
+// end-to-end ack latency percentiles, and checks the acceptance property:
+// reports streamed back over the wire are digest-identical to feeding the
+// same bundle multiset to an in-process ServerPool.
+//
+// Flags: --agents=M --rounds=K --pool-threads=P --faults=kind@rate[,...]
+// --fault-seed=N --json (--faults adds wire chaos; digest identity must
+// survive it -- retransmission and dedup recover every corrupted frame).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fleet_harness.h"
+#include "bench/throughput_harness.h"
+#include "support/str.h"
+
+using namespace snorlax;
+
+int main(int argc, char** argv) {
+  bench::HarnessFlags flags;
+  flags.agents = 4;
+  flags.config.rounds = 2;
+  flags.config.pool_threads = 0;
+  const support::Status parsed = bench::ParseHarnessFlags(argc, argv, 1, &flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  bench::FleetConfig config;
+  config.agents = flags.agents;
+  config.rounds = flags.config.rounds;
+  config.pool_threads = flags.config.pool_threads;
+  if (!flags.faults.empty()) {
+    auto plan = faults::FaultPlan::Parse(flags.faults, flags.fault_seed);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    config.chaos = plan.value();
+    // Chaos stalls are bounded by the ack timeout; keep retransmits cheap.
+    config.io_timeout_ms = 1000;
+  }
+
+  const std::vector<std::string> mix = {"pbzip2_main", "sqlite_1672", "memcached_127"};
+  const std::vector<bench::CapturedSite> sites = bench::CaptureSites(mix);
+  if (sites.empty()) {
+    std::fprintf(stderr, "no workload reproduced a failure; nothing to measure\n");
+    return 1;
+  }
+
+  const bench::FleetResult result = bench::RunFleet(sites, config);
+  const std::string json = bench::FleetJson(config, sites.size(), result);
+  if (flags.json_only) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    bench::PrintHeader(StrFormat(
+        "Fleet ingestion over loopback TCP: %zu sites, %zu agents x %zu rounds%s",
+        sites.size(), config.agents, config.rounds,
+        config.chaos.faults.empty()
+            ? ""
+            : StrFormat(" (chaos %s)", config.chaos.ToString().c_str()).c_str()));
+    const std::vector<int> widths = {10, 10, 12, 10, 10};
+    bench::PrintRow({"bundles", "acked", "bundles/s", "p50[ms]", "p99[ms]"}, widths);
+    bench::PrintRow({StrFormat("%zu", result.bundles_sent),
+                     StrFormat("%zu", result.bundles_acked),
+                     FormatDouble(result.bundles_per_sec, 1),
+                     FormatDouble(result.p50_ms, 3), FormatDouble(result.p99_ms, 3)},
+                    widths);
+    std::printf("\nreports streamed: %zu; wire == in-process digests: %s\n",
+                result.reports_received, result.digests_match ? "yes" : "NO");
+    if (!result.status.ok()) {
+      std::printf("fleet status: %s\n", result.status.ToString().c_str());
+    }
+    std::printf("%s\n", json.c_str());
+  }
+  return result.digests_match && result.status.ok() ? 0 : 1;
+}

@@ -1,0 +1,198 @@
+#include "bench/fleet_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "net/agent.h"
+#include "net/daemon.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+
+namespace snorlax::bench {
+
+namespace {
+
+double PercentileMs(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) {
+    return 0.0;
+  }
+  const size_t idx = std::min(sorted_ms.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[idx];
+}
+
+// The in-process reference: the same multiset the fleet ships, submitted
+// directly (failing bundles first per site, successes once each), serially.
+std::string InProcessDigest(const std::vector<CapturedSite>& sites,
+                            const FleetConfig& config) {
+  core::ServerPool pool;
+  for (const CapturedSite& site : sites) {
+    pool.RegisterModule(site.workload.module.get());
+  }
+  for (const CapturedSite& site : sites) {
+    for (size_t i = 0; i < config.agents * config.rounds; ++i) {
+      pool.SubmitFailingTrace(site.failing);
+    }
+    for (const pt::PtTraceBundle& success : site.successes) {
+      pool.SubmitSuccessTrace(site.failing.failure.failing_inst, success);
+    }
+  }
+  return DigestReports(pool.DiagnoseAll());
+}
+
+}  // namespace
+
+FleetResult RunFleet(const std::vector<CapturedSite>& sites, const FleetConfig& config) {
+  FleetResult result;
+  if (sites.empty() || config.agents == 0) {
+    result.status = support::Status::Error(support::StatusCode::kInvalidArgument,
+                                           "no sites or no agents");
+    return result;
+  }
+
+  std::unique_ptr<support::ThreadPool> analysis_pool;
+  net::DaemonOptions dopts;
+  if (config.pool_threads > 0) {
+    analysis_pool = std::make_unique<support::ThreadPool>(config.pool_threads);
+    dopts.pool.server.pool = analysis_pool.get();
+  }
+  net::DiagnosisDaemon daemon(dopts);
+  for (const CapturedSite& site : sites) {
+    daemon.RegisterModule(site.workload.module.get());
+  }
+  result.status = daemon.Start();
+  if (!result.status.ok()) {
+    return result;
+  }
+
+  // Agent t's script mirrors throughput stream t: per round, every site's
+  // failing bundle; first round also deals the successes round-robin, so each
+  // distinct success bundle crosses the wire exactly once fleet-wide.
+  std::vector<std::unique_ptr<net::DiagnosisAgent>> agents;
+  for (size_t t = 0; t < config.agents; ++t) {
+    net::AgentOptions aopts;
+    aopts.port = daemon.port();
+    aopts.agent_id = t + 1;
+    aopts.io_timeout_ms = config.io_timeout_ms;
+    aopts.max_attempts = config.max_attempts;
+    aopts.jitter_seed = t + 1;
+    aopts.chaos = config.chaos;
+    aopts.chaos.seed = config.chaos.seed + t;
+    agents.push_back(std::make_unique<net::DiagnosisAgent>(aopts));
+  }
+
+  std::vector<support::Status> statuses(config.agents);
+  auto agent_script = [&](size_t t) {
+    net::DiagnosisAgent& agent = *agents[t];
+    for (size_t round = 0; round < config.rounds; ++round) {
+      for (const CapturedSite& site : sites) {
+        // The failing bundle is flushed -- acked, hence ingested -- before any
+        // success bundle is even enqueued: the pool rejects successes for a
+        // site no shard has seen, and under chaos a corrupted failing frame
+        // would otherwise let this agent's successes overtake it.
+        agent.EnqueueFailing(site.failing);
+        support::Status status = agent.Flush();
+        if (status.ok() && round == 0) {
+          for (size_t i = t; i < site.successes.size(); i += config.agents) {
+            agent.EnqueueSuccess(site.failing.failure.failing_inst, site.successes[i]);
+          }
+          status = agent.Flush();
+        }
+        if (!status.ok()) {
+          statuses[t] = status;
+          return;
+        }
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(config.agents);
+  for (size_t t = 0; t < config.agents; ++t) {
+    drivers.emplace_back(agent_script, t);
+  }
+  for (std::thread& d : drivers) {
+    d.join();
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  std::vector<double> all_lat;
+  for (size_t t = 0; t < config.agents; ++t) {
+    const net::AgentStats& stats = agents[t]->stats();
+    result.bundles_sent += stats.bundles_enqueued;
+    result.bundles_acked += stats.bundles_acked;
+    result.bundles_duplicate += stats.bundles_duplicate;
+    result.frames_chaos_corrupted += stats.frames_chaos_corrupted;
+    result.reconnects += stats.reconnects;
+    const std::vector<double>& lat = agents[t]->ack_latencies_ms();
+    all_lat.insert(all_lat.end(), lat.begin(), lat.end());
+    if (!statuses[t].ok() && result.status.ok()) {
+      result.status = statuses[t];
+    }
+  }
+  result.bundles_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.bundles_sent) / result.seconds : 0.0;
+  std::sort(all_lat.begin(), all_lat.end());
+  result.p50_ms = PercentileMs(all_lat, 0.50);
+  result.p99_ms = PercentileMs(all_lat, 0.99);
+  result.daemon_frames_corrupt = daemon.stats().frames_corrupt;
+
+  // Diagnosis is requested over the wire too -- on a clean connection, so a
+  // chaos plan cannot shed the reports whose digest we are about to compare.
+  net::AgentOptions ropts;
+  ropts.port = daemon.port();
+  ropts.agent_id = config.agents + 1;
+  ropts.io_timeout_ms = std::max(config.io_timeout_ms, 30000);
+  auto reports = net::DiagnosisAgent(ropts).Diagnose();
+  if (!reports.ok()) {
+    if (result.status.ok()) {
+      result.status = reports.status();
+    }
+  } else {
+    std::vector<core::ServerPool::ShardReport> shards;
+    shards.reserve(reports.value().size());
+    for (net::RemoteReport& remote : reports.value()) {
+      core::ServerPool::ShardReport sr;
+      sr.key.module_fingerprint = remote.module_fingerprint;
+      sr.key.failing_inst = remote.failing_inst;
+      sr.report = std::move(remote.report);
+      shards.push_back(std::move(sr));
+    }
+    std::sort(shards.begin(), shards.end(), [](const auto& a, const auto& b) {
+      return a.key.module_fingerprint != b.key.module_fingerprint
+                 ? a.key.module_fingerprint < b.key.module_fingerprint
+                 : a.key.failing_inst < b.key.failing_inst;
+    });
+    result.reports_received = shards.size();
+    result.wire_digest = DigestReports(shards);
+  }
+  daemon.Stop();
+
+  result.inprocess_digest = InProcessDigest(sites, config);
+  result.digests_match =
+      !result.wire_digest.empty() && result.wire_digest == result.inprocess_digest;
+  return result;
+}
+
+std::string FleetJson(const FleetConfig& config, size_t sites, const FleetResult& result) {
+  return StrFormat(
+      "{\"agents\": %zu, \"rounds\": %zu, \"pool_threads\": %zu, \"sites\": %zu, "
+      "\"chaos\": \"%s\", "
+      "\"bundles\": %zu, \"acked\": %zu, \"duplicates\": %zu, "
+      "\"chaos_frames\": %zu, \"daemon_corrupt_frames\": %zu, \"reconnects\": %zu, "
+      "\"seconds\": %.4f, \"bundles_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"reports\": %zu, \"identical_reports\": %s, \"status\": \"%s\"}",
+      config.agents, config.rounds, config.pool_threads, sites,
+      config.chaos.faults.empty() ? "" : config.chaos.ToString().c_str(),
+      result.bundles_sent, result.bundles_acked, result.bundles_duplicate,
+      result.frames_chaos_corrupted, result.daemon_frames_corrupt, result.reconnects,
+      result.seconds, result.bundles_per_sec, result.p50_ms, result.p99_ms,
+      result.reports_received, result.digests_match ? "true" : "false",
+      result.status.ok() ? "ok" : result.status.ToString().c_str());
+}
+
+}  // namespace snorlax::bench

@@ -1,0 +1,74 @@
+// Fleet-ingestion harness: replays captured trace bundles through the wire
+// path -- M DiagnosisAgents over loopback TCP into one DiagnosisDaemon -- and
+// measures bundles/sec plus end-to-end ack latency percentiles.
+//
+// The acceptance property is digest identity: the daemon ingests into the
+// same ServerPool the in-process benches use, so shipping the identical
+// bundle multiset over the wire must produce bit-identical diagnoses. The
+// harness computes both digests (reports streamed back over TCP, and a fresh
+// in-process pool fed directly) and compares them. Because agents retransmit
+// unacknowledged bundles and the daemon dedups by sequence number, the
+// property holds even under a chaos plan corrupting frames in flight -- the
+// wire may lose frames, but never evidence.
+#ifndef SNORLAX_BENCH_FLEET_HARNESS_H_
+#define SNORLAX_BENCH_FLEET_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/throughput_harness.h"
+#include "faults/fault_plan.h"
+
+namespace snorlax::bench {
+
+struct FleetConfig {
+  // Concurrent TCP agents; agent t replays the same per-site script shape as
+  // throughput stream t, so the submitted multiset depends only on this
+  // count and `rounds`.
+  size_t agents = 4;
+  // Times each agent replays its per-site script (1 failing bundle per site,
+  // plus -- first round only -- that agent's share of the success bundles).
+  size_t rounds = 2;
+  // Worker threads for the daemon's analysis pool; 0 = none.
+  size_t pool_threads = 0;
+  // Chaos plan applied by every agent to its outgoing frames (kFrameCorrupt
+  // specs; empty = clean wire). Each agent derives its own seed from
+  // plan.seed + agent index so the fleet does not corrupt in lockstep.
+  faults::FaultPlan chaos;
+  // Agent-side knobs: small timeouts keep chaos-induced retransmits cheap.
+  int io_timeout_ms = 5000;
+  size_t max_attempts = 10;
+};
+
+struct FleetResult {
+  size_t bundles_sent = 0;      // enqueued across all agents
+  size_t bundles_acked = 0;
+  size_t bundles_duplicate = 0;     // absorbed by daemon dedup
+  size_t frames_chaos_corrupted = 0;  // injected by the agents' chaos plans
+  size_t daemon_frames_corrupt = 0;   // corruption events the daemon detected
+  size_t reconnects = 0;
+  double seconds = 0.0;
+  double bundles_per_sec = 0.0;
+  // End-to-end (first transmit -> ack) latency percentiles, milliseconds.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t reports_received = 0;  // shard reports streamed back over the wire
+  std::string wire_digest;       // digest of the streamed reports
+  std::string inprocess_digest;  // same multiset fed directly to a fresh pool
+  bool digests_match = false;
+  // First agent-side failure (kOk when the whole fleet flushed cleanly).
+  support::Status status;
+};
+
+// Ships the sites' traffic through a daemon on an ephemeral loopback port
+// under `config`, requests diagnosis over the wire, and replays the same
+// multiset in-process for the digest comparison.
+FleetResult RunFleet(const std::vector<CapturedSite>& sites, const FleetConfig& config);
+
+// One-line JSON summary (the CLI subcommand and bench binary emit the same
+// shape).
+std::string FleetJson(const FleetConfig& config, size_t sites, const FleetResult& result);
+
+}  // namespace snorlax::bench
+
+#endif  // SNORLAX_BENCH_FLEET_HARNESS_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -21,6 +22,8 @@ double PercentileMs(std::vector<double>& sorted_ms, double p) {
                               static_cast<size_t>(p * static_cast<double>(sorted_ms.size())));
   return sorted_ms[idx];
 }
+
+}  // namespace
 
 std::string DigestReports(const std::vector<core::ServerPool::ShardReport>& reports) {
   // Everything order-stable and content-derived; no wall times, no
@@ -43,7 +46,33 @@ std::string DigestReports(const std::vector<core::ServerPool::ShardReport>& repo
   return digest;
 }
 
-}  // namespace
+support::Status ParseHarnessFlags(int argc, char** argv, int first, HarnessFlags* flags) {
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--clients=", 0) == 0) {
+      flags->config.clients = std::strtoull(flag.c_str() + 10, nullptr, 10);
+      flags->config.threads = flags->config.clients;
+    } else if (flag.rfind("--threads=", 0) == 0) {
+      flags->config.threads = std::strtoull(flag.c_str() + 10, nullptr, 10);
+    } else if (flag.rfind("--pool-threads=", 0) == 0) {
+      flags->config.pool_threads = std::strtoull(flag.c_str() + 15, nullptr, 10);
+    } else if (flag.rfind("--rounds=", 0) == 0) {
+      flags->config.rounds = std::strtoull(flag.c_str() + 9, nullptr, 10);
+    } else if (flag.rfind("--agents=", 0) == 0) {
+      flags->agents = std::strtoull(flag.c_str() + 9, nullptr, 10);
+    } else if (flag.rfind("--faults=", 0) == 0) {
+      flags->faults = flag.substr(9);
+    } else if (flag.rfind("--fault-seed=", 0) == 0) {
+      flags->fault_seed = std::strtoull(flag.c_str() + 13, nullptr, 10);
+    } else if (flag == "--json") {
+      flags->json_only = true;
+    } else {
+      return support::Status::Error(support::StatusCode::kInvalidArgument,
+                                    StrFormat("unknown flag '%s'", flag.c_str()));
+    }
+  }
+  return support::Status::Ok();
+}
 
 std::vector<CapturedSite> CaptureSites(const std::vector<std::string>& workload_names,
                                        size_t successes_per_site) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/server_pool.h"
+#include "support/status.h"
 #include "workloads/workload.h"
 
 namespace snorlax::bench {
@@ -75,6 +76,30 @@ ThroughputResult RunThroughput(const std::vector<CapturedSite>& sites,
 // object on a single line (the CLI and the bench binary emit the same shape).
 std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
                            const ThroughputResult& serial, const ThroughputResult& parallel);
+
+// Order-insensitive content digest of a DiagnoseAll() result (pattern keys,
+// F1, confusion counts, confidence, trace counts; no wall times). Equal
+// digests mean two ingest paths diagnosed bit-for-bit identically -- shared
+// by the throughput bench (serial vs concurrent) and the fleet bench
+// (loopback TCP vs in-process).
+std::string DigestReports(const std::vector<core::ServerPool::ShardReport>& reports);
+
+// Flags shared by every throughput-style front-end (bench_throughput,
+// bench_fleet, and the matching snorlax_cli subcommands), parsed in one
+// place so the binaries and the CLI cannot drift apart.
+struct HarnessFlags {
+  ThroughputConfig config;
+  // Fleet front-ends only; ignored by bench-throughput.
+  size_t agents = 4;          // --agents=M: concurrent TCP agents
+  std::string faults;         // --faults=kind@rate[,...]: chaos plan spec
+  uint64_t fault_seed = 1;    // --fault-seed=N
+  bool json_only = false;     // --json
+};
+
+// Parses argv[first..argc) into `flags` (whose fields are the defaults).
+// --clients=N also sets threads=N (a stream per thread unless --threads says
+// otherwise). Unknown flags yield kInvalidArgument naming the flag.
+support::Status ParseHarnessFlags(int argc, char** argv, int first, HarnessFlags* flags);
 
 }  // namespace snorlax::bench
 

@@ -27,6 +27,8 @@ const char* FaultKindName(FaultKind kind) {
       return "forgefailure";
     case FaultKind::kVersionSkew:
       return "versionskew";
+    case FaultKind::kFrameCorrupt:
+      return "frame";
   }
   return "unknown";
 }

@@ -27,6 +27,9 @@ enum class FaultKind : uint8_t {
   kThreadLoss,       // lose entire per-thread buffers
   kForgeFailure,     // corrupt the failure record (bogus or cleared fields)
   kVersionSkew,      // trace version / module fingerprint mismatch
+  kFrameCorrupt,     // wire-layer fault: truncate / bit-flip / duplicate a
+                     // protocol frame in flight (applied to encoded frames by
+                     // FrameFaultInjector, not to in-memory bundles)
 };
 
 inline constexpr FaultKind kAllFaultKinds[] = {
@@ -34,6 +37,7 @@ inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kDropPacket,     FaultKind::kDuplicatePacket,
     FaultKind::kClockRegression, FaultKind::kThreadLoss,
     FaultKind::kForgeFailure,   FaultKind::kVersionSkew,
+    FaultKind::kFrameCorrupt,
 };
 
 // Stable spelling used by plan specs, the CLI, and bench tables.

@@ -66,6 +66,10 @@ void FaultInjector::ApplyOne(const FaultSpec& fault, pt::PtTraceBundle* bundle,
     case FaultKind::kVersionSkew:
       VersionSkew(fault.rate, bundle, log);
       break;
+    case FaultKind::kFrameCorrupt:
+      // Wire-layer fault: meaningless against an in-memory bundle. Applied by
+      // FrameFaultInjector to encoded frames instead.
+      break;
   }
 }
 
@@ -246,6 +250,51 @@ void FaultInjector::VersionSkew(double rate, pt::PtTraceBundle* bundle,
     bundle->module_fingerprint ^= 0x5a5a5a5a5a5a5a5aULL;
     log->push_back("versionskew: module fingerprint perturbed");
   }
+}
+
+FrameFaultInjector::FrameFaultInjector(const FaultPlan& plan) : rng_(plan.seed) {
+  // Several kFrameCorrupt specs compose by probability: a frame is hit when
+  // any of them fires, so 0.01 + 0.01 composes to 1-(0.99^2).
+  double miss = 1.0;
+  for (const FaultSpec& fault : plan.faults) {
+    if (fault.kind == FaultKind::kFrameCorrupt) {
+      miss *= 1.0 - fault.rate;
+    }
+  }
+  rate_ = 1.0 - miss;
+}
+
+std::vector<std::string> FrameFaultInjector::Apply(std::vector<uint8_t>* frame,
+                                                   bool* send_twice) {
+  *send_twice = false;
+  std::vector<std::string> log;
+  if (frame->empty() || !rng_.NextBool(rate_)) {
+    return log;
+  }
+  switch (rng_.NextBelow(3)) {
+    case 0: {
+      // Truncation: the tail never makes it onto the wire (connection died
+      // mid-send, or a proxy cut the stream). Keep at least one byte so the
+      // reassembler sees garbage rather than nothing.
+      const size_t keep = 1 + rng_.NextBelow(frame->size());
+      if (keep < frame->size()) {
+        frame->resize(keep);
+        log.push_back(StrFormat("frame: truncated to %zu bytes", keep));
+      }
+      break;
+    }
+    case 1: {
+      const size_t at = rng_.NextBelow(frame->size());
+      (*frame)[at] ^= static_cast<uint8_t>(1u << rng_.NextBelow(8));
+      log.push_back(StrFormat("frame: bit flipped at byte %zu", at));
+      break;
+    }
+    default:
+      *send_twice = true;
+      log.push_back("frame: duplicated");
+      break;
+  }
+  return log;
 }
 
 }  // namespace snorlax::faults

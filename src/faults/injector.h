@@ -41,6 +41,28 @@ class FaultInjector {
   Rng rng_;
 };
 
+// FrameFaultInjector: the wire-layer sibling of FaultInjector. Applies the
+// plan's kFrameCorrupt specs to encoded protocol frames on their way onto the
+// socket: a hit frame is truncated mid-byte, gets one bit flipped, or is
+// transmitted twice (link-level retransmit duplicating an already-delivered
+// frame). The same seeded-Rng determinism contract holds: a (plan, frame
+// sequence) pair always produces the same corruption.
+class FrameFaultInjector {
+ public:
+  explicit FrameFaultInjector(const FaultPlan& plan);
+
+  // True when the plan carries at least one kFrameCorrupt spec.
+  bool enabled() const { return rate_ > 0.0; }
+
+  // Mutates `frame` (one encoded wire frame) in place. Sets *send_twice when
+  // the duplicate-frame fault fired. Returns a log line per mutation.
+  std::vector<std::string> Apply(std::vector<uint8_t>* frame, bool* send_twice);
+
+ private:
+  double rate_ = 0.0;
+  Rng rng_;
+};
+
 }  // namespace snorlax::faults
 
 #endif  // SNORLAX_FAULTS_INJECTOR_H_

@@ -1,0 +1,406 @@
+#include "net/daemon.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "support/str.h"
+#include "wire/serialize.h"
+
+namespace snorlax::net {
+
+using support::Status;
+using support::StatusCode;
+
+DiagnosisDaemon::DiagnosisDaemon(DaemonOptions options)
+    : options_(options), pool_(options.pool) {}
+
+DiagnosisDaemon::~DiagnosisDaemon() { Stop(); }
+
+void DiagnosisDaemon::RegisterModule(const ir::Module* module) {
+  pool_.RegisterModule(module);
+}
+
+support::Status DiagnosisDaemon::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Error(StatusCode::kFailedPrecondition, "daemon already running");
+  }
+  auto listener = Socket::Listen(options_.port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = listener.take();
+  Status status = listener_.SetNonBlocking(true);
+  if (!status.ok()) {
+    return status;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Error(StatusCode::kInternal, "pipe() failed");
+  }
+  port_ = listener_.local_port();
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void DiagnosisDaemon::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  const uint8_t byte = 1;
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  connections_.clear();
+  listener_.Close();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+DaemonStats DiagnosisDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+trace::DegradationReport DiagnosisDaemon::transport_degradation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transport_degradation_;
+}
+
+void DiagnosisDaemon::NoteTransportLoss(const std::string& note, size_t decode_errors) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transport_degradation_.decode_errors += decode_errors;
+  transport_degradation_.notes.push_back(note);
+}
+
+void DiagnosisDaemon::Loop() {
+  std::vector<pollfd> fds;
+  while (running_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& c : connections_) {
+      short events = POLLIN;
+      if (c->outbound_pending() > 0) {
+        events |= POLLOUT;
+      }
+      fds.push_back({c->sock.fd(), events, 0});
+    }
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/500) < 0) {
+      continue;  // EINTR
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      AcceptPending();
+    }
+    // Walk connections back-to-front so erasure keeps indices valid. Only
+    // the polled prefix: AcceptPending() above may have appended connections
+    // that have no pollfd entry yet (they get served next iteration), and
+    // indexing fds by the new size would run off the end of the array.
+    const size_t polled = fds.size() - 2;
+    for (size_t i = polled; i-- > 0;) {
+      Connection& c = *connections_[i];
+      const short revents = fds[2 + i].revents;
+      bool alive = true;
+      if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        alive = ReadFrom(c);
+      }
+      if (alive && c.outbound_pending() > 0 && (revents & POLLOUT) != 0) {
+        alive = WriteTo(c);
+      }
+      if (alive && c.closing && c.outbound_pending() == 0) {
+        alive = false;  // reject/goodbye fully flushed
+      }
+      if (!alive) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.connections_closed;
+        connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+  }
+}
+
+void DiagnosisDaemon::AcceptPending() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      return;  // no pending connection (or transient error); poll again
+    }
+    Socket sock = accepted.take();
+    if (connections_.size() >= options_.max_connections) {
+      // Over capacity: a Reject frame is the polite form of backpressure.
+      Connection tmp(std::move(sock), options_.max_inflight_bytes);
+      RejectAndClose(tmp, Status::Error(StatusCode::kResourceExhausted,
+                                        "daemon connection limit reached"));
+      (void)WriteTo(tmp);
+      continue;
+    }
+    if (!sock.SetNonBlocking(true).ok()) {
+      continue;
+    }
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
+    connections_.push_back(
+        std::make_unique<Connection>(std::move(sock), options_.max_inflight_bytes));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+bool DiagnosisDaemon::ReadFrom(Connection& c) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    bool would_block = false;
+    const ssize_t n = c.sock.Read(buf, sizeof(buf), &would_block);
+    if (n < 0) {
+      if (would_block) {
+        break;
+      }
+      return false;  // hard error
+    }
+    if (n == 0) {
+      // Peer closed. Process what is buffered, then drop the connection.
+      wire::Frame frame;
+      while (c.assembler.Next(&frame)) {
+        HandleFrame(c, frame);
+      }
+      return false;
+    }
+    if (!c.assembler.Feed(buf, static_cast<size_t>(n))) {
+      // Reassembly bound exceeded: the peer is streaming faster than it
+      // frames (or is hostile). Backpressure by disconnect.
+      NoteTransportLoss(
+          StrFormat("net: agent %llu exceeded %zu inflight bytes; disconnected",
+                    static_cast<unsigned long long>(c.agent_id),
+                    options_.max_inflight_bytes),
+          /*decode_errors=*/0);
+      RejectAndClose(c, Status::Error(StatusCode::kResourceExhausted,
+                                      "per-connection inflight byte bound exceeded"));
+      return true;  // keep alive to flush the reject
+    }
+  }
+  wire::Frame frame;
+  while (c.assembler.Next(&frame)) {
+    HandleFrame(c, frame);
+  }
+  // Surface assembler-detected corruption as transport degradation.
+  const std::vector<std::string> log = c.assembler.DrainCorruptionLog();
+  if (!log.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.frames_corrupt += log.size();
+    transport_degradation_.decode_errors += log.size();
+    transport_degradation_.stream_resyncs += log.size();
+    for (const std::string& line : log) {
+      transport_degradation_.notes.push_back(
+          StrFormat("net: agent %llu: %s", static_cast<unsigned long long>(c.agent_id),
+                    line.c_str()));
+    }
+  }
+  return true;
+}
+
+bool DiagnosisDaemon::WriteTo(Connection& c) {
+  while (c.outbound_pending() > 0) {
+    bool would_block = false;
+    const ssize_t n = c.sock.Write(c.outbound.data() + c.outbound_start,
+                                   c.outbound_pending(), &would_block);
+    if (n < 0) {
+      return would_block;  // would_block: retry on next POLLOUT; else dead
+    }
+    c.outbound_start += static_cast<size_t>(n);
+  }
+  c.outbound.clear();
+  c.outbound_start = 0;
+  return true;
+}
+
+void DiagnosisDaemon::QueueFrame(Connection& c, wire::FrameType type,
+                                 std::vector<uint8_t> payload, bool sheddable) {
+  if (sheddable && c.outbound_pending() > options_.max_outbound_bytes) {
+    ++c.sheds_this_stream;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.report_frames_shed;
+    return;
+  }
+  wire::Frame frame;
+  frame.type = type;
+  frame.seq = c.out_seq++;
+  frame.payload = std::move(payload);
+  wire::EncodeFrame(frame, &c.outbound);
+  // Opportunistic write: most frames fit the socket buffer, and draining now
+  // keeps the backlog (and the shed policy) honest.
+  (void)WriteTo(c);
+}
+
+void DiagnosisDaemon::RejectAndClose(Connection& c, const support::Status& status) {
+  std::vector<uint8_t> payload;
+  wire::EncodeStatusPayload(status, &payload);
+  QueueFrame(c, wire::FrameType::kReject, std::move(payload), /*sheddable=*/false);
+  c.closing = true;
+}
+
+void DiagnosisDaemon::HandleFrame(Connection& c, const wire::Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames_received;
+  }
+  if (c.closing) {
+    return;  // connection is already condemned; ignore further input
+  }
+  if (!c.handshaken && frame.type != wire::FrameType::kHello) {
+    RejectAndClose(c, Status::Error(StatusCode::kFailedPrecondition,
+                                    StrFormat("frame '%s' before handshake",
+                                              wire::FrameTypeName(frame.type))));
+    return;
+  }
+  switch (frame.type) {
+    case wire::FrameType::kHello:
+      HandleHello(c, frame);
+      break;
+    case wire::FrameType::kBundle:
+      HandleBundle(c, frame);
+      break;
+    case wire::FrameType::kDiagnose:
+      HandleDiagnose(c);
+      break;
+    default:
+      // Server-to-client frame types arriving at the server: protocol abuse.
+      RejectAndClose(c, Status::Error(StatusCode::kInvalidArgument,
+                                      StrFormat("unexpected frame '%s'",
+                                                wire::FrameTypeName(frame.type))));
+      break;
+  }
+}
+
+void DiagnosisDaemon::HandleHello(Connection& c, const wire::Frame& frame) {
+  wire::HelloPayload hello;
+  const Status status = wire::DecodeHello(frame.payload, &hello);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.handshakes_rejected;
+    RejectAndClose(c, status);
+    return;
+  }
+  if (hello.protocol_version != wire::kProtocolVersion) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.handshakes_rejected;
+    }
+    RejectAndClose(
+        c, Status::Error(StatusCode::kVersionMismatch,
+                         StrFormat("agent speaks protocol %u, this daemon speaks %u",
+                                   hello.protocol_version, wire::kProtocolVersion)));
+    return;
+  }
+  c.handshaken = true;
+  c.agent_id = hello.agent_id;
+  wire::HelloAckPayload ack;
+  ack.last_acked_seq = agents_[hello.agent_id].max_contiguous;
+  std::vector<uint8_t> payload;
+  wire::EncodeHelloAck(ack, &payload);
+  QueueFrame(c, wire::FrameType::kHelloAck, std::move(payload), /*sheddable=*/false);
+}
+
+void DiagnosisDaemon::HandleBundle(Connection& c, const wire::Frame& frame) {
+  wire::BundleAckPayload ack;
+  ack.bundle_seq = frame.seq;
+  AgentHistory& history = agents_[c.agent_id];
+  if (history.seen_seqs.count(frame.seq) > 0) {
+    // Retransmission after a reconnect: acknowledge, never double-ingest.
+    ack.duplicate = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.bundles_duplicate;
+  } else {
+    wire::BundlePayload payload;
+    Status status = wire::DecodeBundlePayload(frame.payload, &payload);
+    if (status.ok()) {
+      auto bundle = wire::DecodeBundle(payload.bundle_bytes);
+      if (bundle.ok()) {
+        status = payload.kind == wire::BundleKind::kFailing
+                     ? pool_.SubmitFailingTrace(bundle.value())
+                     : pool_.SubmitSuccessTrace(payload.target_site, bundle.value());
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.bundles_ingested;
+        if (!status.ok()) {
+          ++stats_.bundles_rejected;
+        }
+      } else {
+        status = bundle.status();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.bundles_rejected;
+        transport_degradation_.rejected_bundles += 1;
+        transport_degradation_.notes.push_back(
+            StrFormat("net: agent %llu bundle seq %llu undecodable: %s",
+                      static_cast<unsigned long long>(c.agent_id),
+                      static_cast<unsigned long long>(frame.seq),
+                      status.message().c_str()));
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.bundles_rejected;
+    }
+    ack.status = status;
+    // A processed sequence number is consumed even when rejected: the verdict
+    // is deterministic, so a retransmission would only repeat it.
+    history.seen_seqs.insert(frame.seq);
+    while (history.seen_seqs.count(history.max_contiguous + 1) > 0) {
+      ++history.max_contiguous;
+    }
+  }
+  std::vector<uint8_t> payload;
+  wire::EncodeBundleAck(ack, &payload);
+  QueueFrame(c, wire::FrameType::kBundleAck, std::move(payload), /*sheddable=*/false);
+}
+
+void DiagnosisDaemon::HandleDiagnose(Connection& c) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.diagnose_requests;
+  }
+  c.sheds_this_stream = 0;
+  const std::vector<core::ServerPool::ShardReport> reports = pool_.DiagnoseAll();
+  for (const core::ServerPool::ShardReport& sr : reports) {
+    wire::ReportPayload rp;
+    rp.module_fingerprint = sr.key.module_fingerprint;
+    rp.failing_inst = sr.key.failing_inst;
+    wire::EncodeReport(sr.report, &rp.report_bytes);
+    std::vector<uint8_t> payload;
+    wire::EncodeReportPayload(rp, &payload);
+    const size_t sheds_before = c.sheds_this_stream;
+    QueueFrame(c, wire::FrameType::kReport, std::move(payload), /*sheddable=*/true);
+    if (c.sheds_this_stream == sheds_before) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.reports_streamed;
+    }
+  }
+  if (c.sheds_this_stream > 0) {
+    wire::ShedPayload shed;
+    shed.dropped_frames = c.sheds_this_stream;
+    shed.note = StrFormat("%zu report frame(s) shed: outbound backlog over %zu bytes",
+                          c.sheds_this_stream, options_.max_outbound_bytes);
+    NoteTransportLoss(StrFormat("net: agent %llu slow reader: %s",
+                                static_cast<unsigned long long>(c.agent_id),
+                                shed.note.c_str()),
+                      /*decode_errors=*/0);
+    std::vector<uint8_t> payload;
+    wire::EncodeShed(shed, &payload);
+    QueueFrame(c, wire::FrameType::kShed, std::move(payload), /*sheddable=*/false);
+  }
+  std::vector<uint8_t> end_payload;
+  wire::AppendU32(&end_payload, static_cast<uint32_t>(reports.size()));
+  QueueFrame(c, wire::FrameType::kReportEnd, std::move(end_payload),
+             /*sheddable=*/false);
+}
+
+}  // namespace snorlax::net

@@ -1,0 +1,155 @@
+// DiagnosisDaemon: the fleet-facing TCP front door of the diagnosis service.
+//
+// One poll(2)-driven thread owns every socket: it accepts agent connections,
+// runs the version handshake, reassembles frames (wire::FrameAssembler),
+// decodes bundle payloads, and feeds them into the thread-safe ServerPool --
+// the same ingest the in-process benches use, so a bundle multiset shipped
+// over loopback must diagnose digest-identically to direct submission.
+//
+// Robustness policy (the daemon is the trust boundary of the fleet):
+//   - corrupt frames are skipped via magic-scan resync and recorded in the
+//     transport DegradationReport; the connection survives,
+//   - a client whose reassembly buffer exceeds the per-connection inflight
+//     bound is rejected and disconnected (backpressure),
+//   - report frames for a reader that is not draining its socket are shed
+//     once the outbound backlog exceeds its bound; the loss is recorded as a
+//     DegradationReport note and announced to the peer in a Shed frame,
+//   - version-skewed handshakes get a clean kVersionMismatch Reject; every
+//     other connection stays healthy,
+//   - duplicate bundle sequence numbers (agent retransmissions after a
+//     reconnect) are acknowledged but not re-ingested.
+#ifndef SNORLAX_NET_DAEMON_H_
+#define SNORLAX_NET_DAEMON_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/server_pool.h"
+#include "net/socket.h"
+#include "trace/degradation.h"
+#include "wire/frame.h"
+
+namespace snorlax::net {
+
+struct DaemonOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+  size_t max_connections = 64;
+  // Per-connection reassembly bound: bytes buffered awaiting a complete
+  // frame. A peer exceeding it is rejected and dropped (backpressure).
+  size_t max_inflight_bytes = 8u << 20;
+  // Per-connection outbound backlog above which report frames are shed.
+  size_t max_outbound_bytes = 4u << 20;
+  // SO_SNDBUF clamp for accepted sockets; 0 keeps the kernel default. The
+  // kernel auto-tunes send buffers into the megabytes, which hides a
+  // non-draining reader behind kernel memory -- clamping makes the shed
+  // policy bite at a bounded backlog (and makes it testable).
+  int sndbuf_bytes = 0;
+  // Options for the shared ServerPool the daemon ingests into.
+  core::ServerPoolOptions pool;
+};
+
+struct DaemonStats {
+  size_t connections_accepted = 0;
+  size_t connections_closed = 0;
+  size_t handshakes_rejected = 0;  // version skew or malformed hello
+  size_t frames_received = 0;      // valid frames, any type
+  size_t frames_corrupt = 0;       // assembler-detected corruption events
+  size_t bundles_ingested = 0;     // handed to the pool (ok or pool-rejected)
+  size_t bundles_duplicate = 0;    // seqs already seen; not re-ingested
+  size_t bundles_rejected = 0;     // undecodable payload or pool rejection
+  size_t diagnose_requests = 0;
+  size_t reports_streamed = 0;
+  size_t report_frames_shed = 0;  // dropped on slow readers
+};
+
+class DiagnosisDaemon {
+ public:
+  explicit DiagnosisDaemon(DaemonOptions options = {});
+  ~DiagnosisDaemon();
+
+  // Makes a module routable (forwards to the pool; callable any time).
+  void RegisterModule(const ir::Module* module);
+
+  // Binds the listen socket and spawns the poll thread.
+  support::Status Start();
+  // Stops the poll thread and closes every connection. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Valid after Start() succeeded.
+  uint16_t port() const { return port_; }
+
+  // The shared ingest target. Thread-safe itself; also used by tests to
+  // compare against direct in-process submission.
+  core::ServerPool& pool() { return pool_; }
+  const core::ServerPool& pool() const { return pool_; }
+
+  DaemonStats stats() const;
+  // Transport-level losses (corrupt frames, shed reports, dropped peers),
+  // kept separate from the per-shard analysis degradation: a lossy wire must
+  // not masquerade as lossy evidence.
+  trace::DegradationReport transport_degradation() const;
+
+ private:
+  struct Connection {
+    Socket sock;
+    wire::FrameAssembler assembler;
+    bool handshaken = false;
+    bool closing = false;  // flush outbound, then close
+    uint64_t agent_id = 0;
+    uint64_t out_seq = 0;
+    std::vector<uint8_t> outbound;
+    size_t outbound_start = 0;
+    size_t sheds_this_stream = 0;
+
+    explicit Connection(Socket s, size_t max_inflight)
+        : sock(std::move(s)), assembler(max_inflight) {}
+    size_t outbound_pending() const { return outbound.size() - outbound_start; }
+  };
+
+  void Loop();
+  void AcceptPending();
+  // Reads everything available; returns false when the connection should die.
+  bool ReadFrom(Connection& c);
+  bool WriteTo(Connection& c);
+  void HandleFrame(Connection& c, const wire::Frame& frame);
+  void HandleHello(Connection& c, const wire::Frame& frame);
+  void HandleBundle(Connection& c, const wire::Frame& frame);
+  void HandleDiagnose(Connection& c);
+  // Queues a frame for writing. Sheddable frames are dropped (and counted)
+  // when the peer's backlog exceeds max_outbound_bytes.
+  void QueueFrame(Connection& c, wire::FrameType type, std::vector<uint8_t> payload,
+                  bool sheddable);
+  void RejectAndClose(Connection& c, const support::Status& status);
+  void NoteTransportLoss(const std::string& note, size_t decode_errors);
+
+  DaemonOptions options_;
+  core::ServerPool pool_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+
+  // Poll-thread-only state (no lock needed).
+  std::vector<std::unique_ptr<Connection>> connections_;
+  struct AgentHistory {
+    std::unordered_set<uint64_t> seen_seqs;
+    uint64_t max_contiguous = 0;  // highest N with 1..N all seen
+  };
+  std::unordered_map<uint64_t, AgentHistory> agents_;
+
+  // Shared with accessor threads.
+  mutable std::mutex mu_;
+  DaemonStats stats_;
+  trace::DegradationReport transport_degradation_;
+};
+
+}  // namespace snorlax::net
+
+#endif  // SNORLAX_NET_DAEMON_H_

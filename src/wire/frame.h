@@ -1,0 +1,175 @@
+// Versioned, CRC-checked, length-prefixed framing for the fleet protocol.
+//
+// Byte-level frame layout (all integers little-endian; full table in
+// DESIGN.md section 12):
+//
+//   offset  size  field
+//   0       4     magic "SNLX" (0x53 0x4e 0x4c 0x58)
+//   4       1     frame type (FrameType)
+//   5       1     reserved, must be 0
+//   6       8     sequence number (bundle frames: per-agent bundle sequence,
+//                 stable across reconnects -- the dedup key; other frames:
+//                 sender-local counter, informational)
+//   14      4     payload length N (bounded by kMaxFramePayload)
+//   18      4     CRC-32 over header (with this field zeroed) + payload
+//   22      N     payload
+//
+// The CRC covers the *header as well as* the payload: a single flipped bit
+// anywhere in a frame -- including the sequence number or the length field --
+// is either a CRC mismatch or an unparseable header, never a silently
+// accepted frame. After a corrupt frame the assembler resynchronizes by
+// scanning for the next magic, mirroring the PT decoder's PSB resync: one bad
+// frame costs itself, not the connection.
+//
+// The protocol version rides in the Hello/HelloAck payloads (the handshake),
+// not in every header: version skew is detected once per connection, before
+// any bundle payload is trusted.
+#ifndef SNORLAX_WIRE_FRAME_H_
+#define SNORLAX_WIRE_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "wire/serialize.h"
+
+namespace snorlax::wire {
+
+// Protocol version exchanged in the handshake. Bump on any frame-level or
+// message-flow change; payload layout changes bump kPayloadFormatVersion.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+inline constexpr uint8_t kFrameMagic[4] = {0x53, 0x4e, 0x4c, 0x58};  // "SNLX"
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 8 + 4 + 4;
+inline constexpr size_t kMaxFramePayload = 32u << 20;  // 32 MB
+
+enum class FrameType : uint8_t {
+  kHello = 1,      // client->server: protocol version + agent id
+  kHelloAck = 2,   // server->client: accepted; carries last acked bundle seq
+  kReject = 3,     // server->client: handshake refused; connection closes
+  kBundle = 4,     // client->server: one serialized trace bundle
+  kBundleAck = 5,  // server->client: per-bundle ingest outcome
+  kDiagnose = 6,   // client->server: diagnose-everything request
+  kReport = 7,     // server->client: one shard's serialized DiagnosisReport
+  kReportEnd = 8,  // server->client: report stream complete
+  kShed = 9,       // server->client: backpressure dropped report frames
+};
+
+const char* FrameTypeName(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  uint64_t seq = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Appends the complete wire encoding of one frame to `out`.
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+// --- typed payloads ----------------------------------------------------------
+
+struct HelloPayload {
+  uint32_t protocol_version = kProtocolVersion;
+  uint64_t agent_id = 0;
+};
+void EncodeHello(const HelloPayload& hello, std::vector<uint8_t>* out);
+support::Status DecodeHello(const std::vector<uint8_t>& payload, HelloPayload* out);
+
+struct HelloAckPayload {
+  uint32_t protocol_version = kProtocolVersion;
+  // Highest bundle sequence the server has already ingested for this agent;
+  // the agent drops pending retransmissions at or below it.
+  uint64_t last_acked_seq = 0;
+};
+void EncodeHelloAck(const HelloAckPayload& ack, std::vector<uint8_t>* out);
+support::Status DecodeHelloAck(const std::vector<uint8_t>& payload, HelloAckPayload* out);
+
+// Reject and BundleAck both carry a Status verbatim.
+void EncodeStatusPayload(const support::Status& status, std::vector<uint8_t>* out);
+support::Status DecodeStatusPayload(const std::vector<uint8_t>& payload,
+                                    support::Status* out);
+
+enum class BundleKind : uint8_t { kFailing = 0, kSuccess = 1 };
+
+struct BundlePayload {
+  BundleKind kind = BundleKind::kFailing;
+  // Success bundles name the failure site they evidence (the shard router
+  // needs it; the bundle itself carries no failure record).
+  uint32_t target_site = 0;
+  std::vector<uint8_t> bundle_bytes;  // EncodeBundle output
+};
+void EncodeBundlePayload(const BundlePayload& payload, std::vector<uint8_t>* out);
+support::Status DecodeBundlePayload(const std::vector<uint8_t>& payload,
+                                    BundlePayload* out);
+
+struct BundleAckPayload {
+  uint64_t bundle_seq = 0;
+  bool duplicate = false;  // already ingested on a previous connection
+  support::Status status;  // the pool's ingest verdict
+};
+void EncodeBundleAck(const BundleAckPayload& ack, std::vector<uint8_t>* out);
+support::Status DecodeBundleAck(const std::vector<uint8_t>& payload,
+                                BundleAckPayload* out);
+
+struct ReportPayload {
+  uint64_t module_fingerprint = 0;
+  uint32_t failing_inst = 0;
+  std::vector<uint8_t> report_bytes;  // EncodeReport output
+};
+void EncodeReportPayload(const ReportPayload& payload, std::vector<uint8_t>* out);
+support::Status DecodeReportPayload(const std::vector<uint8_t>& payload,
+                                    ReportPayload* out);
+
+struct ShedPayload {
+  uint64_t dropped_frames = 0;
+  std::string note;
+};
+void EncodeShed(const ShedPayload& shed, std::vector<uint8_t>* out);
+support::Status DecodeShed(const std::vector<uint8_t>& payload, ShedPayload* out);
+
+// --- reassembly --------------------------------------------------------------
+
+// Incremental frame reassembly over an arbitrary-chunked byte stream (TCP
+// reads). Feed() buffers bytes; Next() pops complete frames in order. Corrupt
+// input (bad magic, nonzero reserved byte, oversized length, CRC mismatch,
+// unknown type) is counted, logged, and skipped via magic-scan resync --
+// the assembler itself never fails.
+class FrameAssembler {
+ public:
+  // `max_buffered_bytes` bounds reassembly memory per connection (the
+  // backpressure knob): Feed() returns false -- and drops the input -- once
+  // the buffer would exceed it, which callers surface as a protocol error.
+  explicit FrameAssembler(size_t max_buffered_bytes = kMaxFramePayload * 2);
+
+  bool Feed(const uint8_t* data, size_t size);
+  // Returns true and fills `out` when a complete valid frame is available.
+  bool Next(Frame* out);
+
+  size_t buffered_bytes() const { return buffer_.size() - start_; }
+  size_t frames_ok() const { return frames_ok_; }
+  size_t frames_corrupt() const { return frames_corrupt_; }
+  size_t bytes_discarded() const { return bytes_discarded_; }
+  // One line per corruption event, oldest first; Drain clears.
+  std::vector<std::string> DrainCorruptionLog();
+
+ private:
+  // Scans past garbage to the next possible frame start; returns whether a
+  // full header+payload is buffered at the front.
+  bool AlignToFrame();
+  void Discard(size_t n, const char* why);
+
+  size_t max_buffered_bytes_;
+  // Flat buffer with a consumed-prefix offset (compacted as frames pop):
+  // frame validation needs contiguous bytes for the CRC pass.
+  std::vector<uint8_t> buffer_;
+  size_t start_ = 0;
+  size_t frames_ok_ = 0;
+  size_t frames_corrupt_ = 0;
+  size_t bytes_discarded_ = 0;
+  std::vector<std::string> corruption_log_;
+};
+
+}  // namespace snorlax::wire
+
+#endif  // SNORLAX_WIRE_FRAME_H_

@@ -1,0 +1,565 @@
+#include "wire/serialize.h"
+
+#include <cstring>
+
+#include "support/str.h"
+
+namespace snorlax::wire {
+
+using support::Status;
+using support::StatusCode;
+
+// --- CRC32 -------------------------------------------------------------------
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  const Crc32Table& table = Table();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table.entries[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// --- primitive writers -------------------------------------------------------
+
+void AppendU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void AppendU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendI64(std::vector<uint8_t>* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+void AppendF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::vector<uint8_t>* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void AppendBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b) {
+  AppendU32(out, static_cast<uint32_t>(b.size()));
+  out->insert(out->end(), b.begin(), b.end());
+}
+
+// --- ByteReader --------------------------------------------------------------
+
+bool ByteReader::Take(size_t n, const uint8_t** at) {
+  if (!status_.ok()) {
+    return false;
+  }
+  if (n > size_ - pos_) {
+    Fail("truncated record");
+    return false;
+  }
+  *at = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+void ByteReader::Fail(const char* what) {
+  if (status_.ok()) {
+    status_ = Status::Error(StatusCode::kCorruptData,
+                            StrFormat("%s at byte %zu of %zu", what, pos_, size_));
+  }
+}
+
+uint8_t ByteReader::U8() {
+  const uint8_t* at = nullptr;
+  return Take(1, &at) ? at[0] : 0;
+}
+
+uint16_t ByteReader::U16() {
+  const uint8_t* at = nullptr;
+  if (!Take(2, &at)) {
+    return 0;
+  }
+  return static_cast<uint16_t>(at[0] | (at[1] << 8));
+}
+
+uint32_t ByteReader::U32() {
+  const uint8_t* at = nullptr;
+  if (!Take(4, &at)) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | at[i];
+  }
+  return v;
+}
+
+uint64_t ByteReader::U64() {
+  const uint8_t* at = nullptr;
+  if (!Take(8, &at)) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | at[i];
+  }
+  return v;
+}
+
+int64_t ByteReader::I64() { return static_cast<int64_t>(U64()); }
+
+double ByteReader::F64() {
+  const uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::String() {
+  const uint32_t len = U32();
+  if (!status_.ok()) {
+    return {};
+  }
+  if (len > kMaxStringBytes) {
+    Fail("string length over cap");
+    return {};
+  }
+  const uint8_t* at = nullptr;
+  if (!Take(len, &at)) {
+    return {};
+  }
+  return std::string(reinterpret_cast<const char*>(at), len);
+}
+
+std::vector<uint8_t> ByteReader::Bytes() {
+  const uint32_t len = U32();
+  if (!status_.ok()) {
+    return {};
+  }
+  if (len > kMaxByteBlob) {
+    Fail("byte blob over cap");
+    return {};
+  }
+  const uint8_t* at = nullptr;
+  if (!Take(len, &at)) {
+    return {};
+  }
+  return std::vector<uint8_t>(at, at + len);
+}
+
+size_t ByteReader::Count(size_t max) {
+  const uint32_t n = U32();
+  if (!status_.ok()) {
+    return 0;
+  }
+  if (n > max) {
+    Fail("element count over cap");
+    return 0;
+  }
+  // A count can never promise more elements than bytes remain: rejecting here
+  // keeps a forged count from driving a long loop of doomed reads.
+  if (n > remaining()) {
+    Fail("element count exceeds remaining bytes");
+    return 0;
+  }
+  return n;
+}
+
+support::Status ByteReader::ExpectExhausted() {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (pos_ != size_) {
+    return Status::Error(StatusCode::kCorruptData,
+                         StrFormat("%zu trailing bytes after record", size_ - pos_));
+  }
+  return Status::Ok();
+}
+
+// --- shared sub-records ------------------------------------------------------
+
+namespace {
+
+void EncodeValue(const rt::Value& v, std::vector<uint8_t>* out) {
+  AppendU8(out, static_cast<uint8_t>(v.kind));
+  AppendI64(out, v.ival);
+  AppendU32(out, v.obj);
+  AppendU32(out, v.off);
+}
+
+Status DecodeValue(ByteReader* r, rt::Value* out) {
+  const uint8_t kind = r->U8();
+  out->ival = r->I64();
+  out->obj = r->U32();
+  out->off = r->U32();
+  if (!r->ok()) {
+    return r->status();
+  }
+  if (kind > static_cast<uint8_t>(rt::Value::Kind::kFunc)) {
+    return Status::Error(StatusCode::kCorruptData, "value kind out of range");
+  }
+  out->kind = static_cast<rt::Value::Kind>(kind);
+  return Status::Ok();
+}
+
+void EncodePtConfig(const pt::PtConfig& c, std::vector<uint8_t>* out) {
+  AppendU64(out, c.buffer_bytes);
+  AppendU64(out, c.mtc_period_ns);
+  AppendU64(out, c.cyc_unit_ns);
+  AppendU64(out, c.psb_period_bytes);
+  AppendU8(out, c.enable_timing ? 1 : 0);
+  AppendU64(out, c.bytes_per_ns);
+  AppendU64(out, c.work_trace_bytes_per_us);
+  AppendU8(out, c.persist_to_storage ? 1 : 0);
+  AppendU64(out, c.storage_flush_ns_per_kb);
+}
+
+void DecodePtConfig(ByteReader* r, pt::PtConfig* c) {
+  c->buffer_bytes = r->U64();
+  c->mtc_period_ns = r->U64();
+  c->cyc_unit_ns = r->U64();
+  c->psb_period_bytes = r->U64();
+  c->enable_timing = r->U8() != 0;
+  c->bytes_per_ns = r->U64();
+  c->work_trace_bytes_per_us = r->U64();
+  c->persist_to_storage = r->U8() != 0;
+  c->storage_flush_ns_per_kb = r->U64();
+}
+
+void EncodePtStats(const pt::PtStats& s, std::vector<uint8_t>* out) {
+  AppendU64(out, s.total_bytes);
+  AppendU64(out, s.shadow_bytes);
+  AppendU64(out, s.timing_bytes);
+  AppendU64(out, s.control_packets);
+  AppendU64(out, s.timing_packets);
+  AppendU64(out, s.psb_packets);
+  AppendU64(out, s.branch_events);
+  AppendU64(out, s.storage_bytes);
+  AppendU64(out, s.storage_flushes);
+}
+
+void DecodePtStats(ByteReader* r, pt::PtStats* s) {
+  s->total_bytes = r->U64();
+  s->shadow_bytes = r->U64();
+  s->timing_bytes = r->U64();
+  s->control_packets = r->U64();
+  s->timing_packets = r->U64();
+  s->psb_packets = r->U64();
+  s->branch_events = r->U64();
+  s->storage_bytes = r->U64();
+  s->storage_flushes = r->U64();
+}
+
+void EncodeDegradation(const trace::DegradationReport& d, std::vector<uint8_t>* out) {
+  AppendU64(out, d.threads_total);
+  AppendU64(out, d.threads_dropped);
+  AppendU64(out, d.decode_errors);
+  AppendU64(out, d.stream_resyncs);
+  AppendU64(out, d.clock_anomalies);
+  AppendU64(out, d.sanitized_failure_fields);
+  AppendU64(out, d.rejected_bundles);
+  AppendU8(out, d.lost_prefix ? 1 : 0);
+  AppendU8(out, d.timestamps_unreliable ? 1 : 0);
+  AppendU8(out, d.hypothesis_fallback ? 1 : 0);
+  AppendU8(out, d.slice_fallback ? 1 : 0);
+  AppendU8(out, d.failure_record_unusable ? 1 : 0);
+  AppendU32(out, static_cast<uint32_t>(d.notes.size()));
+  for (const std::string& note : d.notes) {
+    AppendString(out, note);
+  }
+}
+
+void DecodeDegradation(ByteReader* r, trace::DegradationReport* d) {
+  d->threads_total = r->U64();
+  d->threads_dropped = r->U64();
+  d->decode_errors = r->U64();
+  d->stream_resyncs = r->U64();
+  d->clock_anomalies = r->U64();
+  d->sanitized_failure_fields = r->U64();
+  d->rejected_bundles = r->U64();
+  d->lost_prefix = r->U8() != 0;
+  d->timestamps_unreliable = r->U8() != 0;
+  d->hypothesis_fallback = r->U8() != 0;
+  d->slice_fallback = r->U8() != 0;
+  d->failure_record_unusable = r->U8() != 0;
+  const size_t notes = r->Count();
+  d->notes.clear();
+  d->notes.reserve(notes);
+  for (size_t i = 0; i < notes && r->ok(); ++i) {
+    d->notes.push_back(r->String());
+  }
+}
+
+}  // namespace
+
+// --- FailureInfo -------------------------------------------------------------
+
+void EncodeFailureInfo(const rt::FailureInfo& failure, std::vector<uint8_t>* out) {
+  AppendU8(out, static_cast<uint8_t>(failure.kind));
+  AppendU32(out, failure.failing_inst);
+  AppendU32(out, failure.thread);
+  EncodeValue(failure.operand, out);
+  AppendU64(out, failure.time_ns);
+  AppendU32(out, static_cast<uint32_t>(failure.deadlock_cycle.size()));
+  for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
+    AppendU32(out, w.thread);
+    AppendU32(out, w.inst);
+    AppendU64(out, w.block_time_ns);
+  }
+  AppendString(out, failure.description);
+}
+
+support::Status DecodeFailureInfo(ByteReader* r, rt::FailureInfo* out) {
+  const uint8_t kind = r->U8();
+  out->failing_inst = r->U32();
+  out->thread = r->U32();
+  Status status = DecodeValue(r, &out->operand);
+  if (!status.ok()) {
+    return status;
+  }
+  out->time_ns = r->U64();
+  const size_t waiters = r->Count();
+  out->deadlock_cycle.clear();
+  out->deadlock_cycle.reserve(waiters);
+  for (size_t i = 0; i < waiters && r->ok(); ++i) {
+    rt::FailureInfo::DeadlockWaiter w;
+    w.thread = r->U32();
+    w.inst = r->U32();
+    w.block_time_ns = r->U64();
+    out->deadlock_cycle.push_back(w);
+  }
+  out->description = r->String();
+  if (!r->ok()) {
+    return r->status();
+  }
+  if (kind > static_cast<uint8_t>(rt::FailureKind::kTimeout)) {
+    return Status::Error(StatusCode::kCorruptData, "failure kind out of range");
+  }
+  out->kind = static_cast<rt::FailureKind>(kind);
+  return Status::Ok();
+}
+
+// --- PtTraceBundle -----------------------------------------------------------
+
+void EncodeBundle(const pt::PtTraceBundle& bundle, std::vector<uint8_t>* out) {
+  AppendU8(out, kPayloadFormatVersion);
+  AppendU32(out, bundle.trace_version);
+  AppendU64(out, bundle.module_fingerprint);
+  EncodePtConfig(bundle.config, out);
+  AppendU32(out, static_cast<uint32_t>(bundle.threads.size()));
+  for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
+    AppendU32(out, per.thread);
+    AppendBytes(out, per.bytes);
+    AppendU64(out, per.total_written);
+    AppendU32(out, per.last_retired);
+  }
+  AppendU64(out, bundle.snapshot_time_ns);
+  EncodePtStats(bundle.stats, out);
+  EncodeFailureInfo(bundle.failure, out);
+}
+
+support::Result<pt::PtTraceBundle> DecodeBundle(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const uint8_t format = r.U8();
+  if (r.ok() && format != kPayloadFormatVersion) {
+    return Status::Error(StatusCode::kVersionMismatch,
+                         StrFormat("bundle payload format %u, this build speaks %u",
+                                   format, kPayloadFormatVersion));
+  }
+  pt::PtTraceBundle bundle;
+  bundle.trace_version = r.U32();
+  bundle.module_fingerprint = r.U64();
+  DecodePtConfig(&r, &bundle.config);
+  const size_t threads = r.Count(4096);
+  bundle.threads.clear();
+  bundle.threads.reserve(threads);
+  for (size_t i = 0; i < threads && r.ok(); ++i) {
+    pt::PtTraceBundle::PerThread per;
+    per.thread = r.U32();
+    per.bytes = r.Bytes();
+    per.total_written = r.U64();
+    per.last_retired = r.U32();
+    bundle.threads.push_back(std::move(per));
+  }
+  bundle.snapshot_time_ns = r.U64();
+  DecodePtStats(&r, &bundle.stats);
+  Status status = DecodeFailureInfo(&r, &bundle.failure);
+  if (!status.ok()) {
+    return status;
+  }
+  status = r.ExpectExhausted();
+  if (!status.ok()) {
+    return status;
+  }
+  return bundle;
+}
+
+// --- DiagnosisReport ---------------------------------------------------------
+
+namespace {
+
+void EncodePattern(const core::DiagnosedPattern& p, std::vector<uint8_t>* out) {
+  AppendU8(out, static_cast<uint8_t>(p.pattern.kind));
+  AppendU8(out, p.pattern.ordered ? 1 : 0);
+  AppendU32(out, static_cast<uint32_t>(p.pattern.events.size()));
+  for (const core::PatternEvent& e : p.pattern.events) {
+    AppendU32(out, e.inst);
+    AppendU8(out, e.thread_slot);
+    AppendU8(out, e.thread_final ? 1 : 0);
+  }
+  AppendF64(out, p.precision);
+  AppendF64(out, p.recall);
+  AppendF64(out, p.f1);
+  AppendU64(out, p.counts.true_positive);
+  AppendU64(out, p.counts.false_positive);
+  AppendU64(out, p.counts.false_negative);
+}
+
+Status DecodePattern(ByteReader* r, core::DiagnosedPattern* p) {
+  const uint8_t kind = r->U8();
+  p->pattern.ordered = r->U8() != 0;
+  const size_t events = r->Count();
+  p->pattern.events.clear();
+  p->pattern.events.reserve(events);
+  for (size_t i = 0; i < events && r->ok(); ++i) {
+    core::PatternEvent e;
+    e.inst = r->U32();
+    e.thread_slot = r->U8();
+    e.thread_final = r->U8() != 0;
+    p->pattern.events.push_back(e);
+  }
+  p->precision = r->F64();
+  p->recall = r->F64();
+  p->f1 = r->F64();
+  p->counts.true_positive = r->U64();
+  p->counts.false_positive = r->U64();
+  p->counts.false_negative = r->U64();
+  if (!r->ok()) {
+    return r->status();
+  }
+  if (kind > static_cast<uint8_t>(core::PatternKind::kAtomicityWRW)) {
+    return Status::Error(StatusCode::kCorruptData, "pattern kind out of range");
+  }
+  p->pattern.kind = static_cast<core::PatternKind>(kind);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out) {
+  AppendU8(out, kPayloadFormatVersion);
+  EncodeFailureInfo(report.failure, out);
+  AppendU32(out, static_cast<uint32_t>(report.patterns.size()));
+  for (const core::DiagnosedPattern& p : report.patterns) {
+    EncodePattern(p, out);
+  }
+  AppendU8(out, report.hypothesis_violated ? 1 : 0);
+  EncodeDegradation(report.degradation, out);
+  AppendU8(out, static_cast<uint8_t>(report.confidence));
+  AppendU64(out, report.stages.module_instructions);
+  AppendU64(out, report.stages.executed_instructions);
+  AppendU64(out, report.stages.candidate_instructions);
+  AppendU64(out, report.stages.rank1_candidates);
+  AppendU64(out, report.stages.patterns_generated);
+  AppendU64(out, report.stages.top_f1_patterns);
+  AppendF64(out, report.stages.trace_seconds);
+  AppendF64(out, report.stages.points_to_seconds);
+  AppendF64(out, report.stages.rank_seconds);
+  AppendF64(out, report.stages.pattern_seconds);
+  AppendF64(out, report.stages.score_seconds);
+  AppendF64(out, report.analysis_seconds);
+  AppendF64(out, report.total_analysis_seconds);
+  AppendU64(out, report.failing_traces);
+  AppendU64(out, report.success_traces);
+}
+
+support::Result<core::DiagnosisReport> DecodeReport(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const uint8_t format = r.U8();
+  if (r.ok() && format != kPayloadFormatVersion) {
+    return Status::Error(StatusCode::kVersionMismatch,
+                         StrFormat("report payload format %u, this build speaks %u",
+                                   format, kPayloadFormatVersion));
+  }
+  core::DiagnosisReport report;
+  Status status = DecodeFailureInfo(&r, &report.failure);
+  if (!status.ok()) {
+    return status;
+  }
+  const size_t patterns = r.Count();
+  report.patterns.reserve(patterns);
+  for (size_t i = 0; i < patterns && r.ok(); ++i) {
+    core::DiagnosedPattern p;
+    status = DecodePattern(&r, &p);
+    if (!status.ok()) {
+      return status;
+    }
+    report.patterns.push_back(std::move(p));
+  }
+  report.hypothesis_violated = r.U8() != 0;
+  DecodeDegradation(&r, &report.degradation);
+  const uint8_t confidence = r.U8();
+  report.stages.module_instructions = r.U64();
+  report.stages.executed_instructions = r.U64();
+  report.stages.candidate_instructions = r.U64();
+  report.stages.rank1_candidates = r.U64();
+  report.stages.patterns_generated = r.U64();
+  report.stages.top_f1_patterns = r.U64();
+  report.stages.trace_seconds = r.F64();
+  report.stages.points_to_seconds = r.F64();
+  report.stages.rank_seconds = r.F64();
+  report.stages.pattern_seconds = r.F64();
+  report.stages.score_seconds = r.F64();
+  report.analysis_seconds = r.F64();
+  report.total_analysis_seconds = r.F64();
+  report.failing_traces = r.U64();
+  report.success_traces = r.U64();
+  status = r.ExpectExhausted();
+  if (!status.ok()) {
+    return status;
+  }
+  if (confidence > static_cast<uint8_t>(trace::ConfidenceTier::kLow)) {
+    return Status::Error(StatusCode::kCorruptData, "confidence tier out of range");
+  }
+  report.confidence = static_cast<trace::ConfidenceTier>(confidence);
+  return report;
+}
+
+}  // namespace snorlax::wire

@@ -1,0 +1,110 @@
+// Wire serialization of the diagnosis payloads (explicit little-endian).
+//
+// The in-process structs (PtTraceBundle, FailureInfo, DiagnosisReport) never
+// cross a trust boundary today; over the fleet protocol they do, so every
+// field is written byte-by-byte in little-endian order (no memcpy of structs:
+// layout, padding and endianness must not leak into the format) and every
+// decode path is bounds-checked through a sticky-error ByteReader. Hostile
+// length fields are capped before any allocation, so a forged 4 GB count is a
+// clean kCorruptData rejection, never an OOM. Doubles travel as their IEEE-754
+// bit pattern, so encode->decode round-trips are bit-exact -- the fleet bench
+// relies on remote ingest producing digest-identical reports.
+//
+// Each payload codec leads with its own format version byte, independent of
+// the frame-level protocol version: a frame can be perfectly framed yet carry
+// a payload encoded by a newer build, and that skew must be a kVersionMismatch
+// rejection, not a misdecode.
+#ifndef SNORLAX_WIRE_SERIALIZE_H_
+#define SNORLAX_WIRE_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+#include "pt/encoder.h"
+#include "runtime/failure.h"
+#include "support/status.h"
+
+namespace snorlax::wire {
+
+// Format version of the payload encodings below. Bump on any layout change.
+inline constexpr uint8_t kPayloadFormatVersion = 1;
+
+// Decode-side sanity caps (hostile length fields are clamped against these
+// before any allocation).
+inline constexpr size_t kMaxStringBytes = 1 << 20;        // 1 MB
+inline constexpr size_t kMaxByteBlob = 256u << 20;        // 256 MB per blob
+inline constexpr size_t kMaxVectorElements = 1 << 20;     // any element count
+
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the per-frame checksum. `seed`
+// chains incremental computations: pass a previous return value to continue.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+// --- primitive writers -------------------------------------------------------
+
+void AppendU8(std::vector<uint8_t>* out, uint8_t v);
+void AppendU16(std::vector<uint8_t>* out, uint16_t v);
+void AppendU32(std::vector<uint8_t>* out, uint32_t v);
+void AppendU64(std::vector<uint8_t>* out, uint64_t v);
+void AppendI64(std::vector<uint8_t>* out, int64_t v);
+void AppendF64(std::vector<uint8_t>* out, double v);  // IEEE-754 bits, LE
+void AppendString(std::vector<uint8_t>* out, const std::string& s);  // u32 len
+void AppendBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b);
+
+// --- bounds-checked reader ---------------------------------------------------
+
+// Reads primitives off a byte span. The first overrun (or cap violation) sets
+// a sticky kCorruptData status; every later read returns a zero value, so
+// decoders can read a whole record unconditionally and test status() once.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64();
+  double F64();
+  std::string String();
+  std::vector<uint8_t> Bytes();
+  // Element count for a vector about to be decoded; fails the reader when it
+  // exceeds `max` (default kMaxVectorElements).
+  size_t Count(size_t max = kMaxVectorElements);
+
+  bool ok() const { return status_.ok(); }
+  const support::Status& status() const { return status_; }
+  size_t remaining() const { return size_ - pos_; }
+  // Decoders call this last: trailing bytes mean the sender wrote a layout
+  // this build does not fully understand.
+  support::Status ExpectExhausted();
+
+ private:
+  bool Take(size_t n, const uint8_t** at);
+  void Fail(const char* what);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  support::Status status_;
+};
+
+// --- payload codecs ----------------------------------------------------------
+
+void EncodeFailureInfo(const rt::FailureInfo& failure, std::vector<uint8_t>* out);
+support::Status DecodeFailureInfo(ByteReader* r, rt::FailureInfo* out);
+
+// The full client->server evidence payload.
+void EncodeBundle(const pt::PtTraceBundle& bundle, std::vector<uint8_t>* out);
+support::Result<pt::PtTraceBundle> DecodeBundle(const std::vector<uint8_t>& bytes);
+
+// The server->client diagnosis payload.
+void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out);
+support::Result<core::DiagnosisReport> DecodeReport(const std::vector<uint8_t>& bytes);
+
+}  // namespace snorlax::wire
+
+#endif  // SNORLAX_WIRE_SERIALIZE_H_

@@ -1,0 +1,137 @@
+// Chaos tests for the fleet protocol: a client whose link corrupts frames
+// (truncation, bit flips, duplication -- FaultKind::kFrameCorrupt) must not
+// be able to take the daemon down, lose evidence, or skew diagnosis.
+//
+// The acceptance bar from the issue: the daemon survives a corrupting client
+// at a 1% frame-fault rate, recording the damage as transport degradation
+// rather than crashing -- and because the agent retransmits unacked sequences
+// and the daemon deduplicates them, the ingested multiset (and hence the
+// diagnosis digest) is identical to a clean in-process run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/throughput_harness.h"
+#include "core/server_pool.h"
+#include "faults/fault_plan.h"
+#include "net/agent.h"
+#include "net/daemon.h"
+#include "support/str.h"
+
+namespace snorlax {
+namespace {
+
+const bench::CapturedSite& Site() {
+  static const bench::CapturedSite site = [] {
+    std::vector<bench::CapturedSite> sites = bench::CaptureSites({"pbzip2_main"});
+    if (sites.empty()) {
+      ADD_FAILURE() << "pbzip2_main did not reproduce a failure";
+      std::abort();
+    }
+    return std::move(sites.front());
+  }();
+  return site;
+}
+
+std::vector<core::ServerPool::ShardReport> ToShardReports(
+    std::vector<net::RemoteReport> remotes) {
+  std::vector<core::ServerPool::ShardReport> shards;
+  shards.reserve(remotes.size());
+  for (net::RemoteReport& remote : remotes) {
+    core::ServerPool::ShardReport sr;
+    sr.key.module_fingerprint = remote.module_fingerprint;
+    sr.key.failing_inst = remote.failing_inst;
+    sr.report = std::move(remote.report);
+    shards.push_back(std::move(sr));
+  }
+  std::sort(shards.begin(), shards.end(), [](const auto& a, const auto& b) {
+    return a.key.module_fingerprint != b.key.module_fingerprint
+               ? a.key.module_fingerprint < b.key.module_fingerprint
+               : a.key.failing_inst < b.key.failing_inst;
+  });
+  return shards;
+}
+
+// Ships `sends` copies of the site's failing bundle through an agent whose
+// outgoing frames are corrupted at `rate`, then checks the daemon survived
+// and diagnosis matches a clean in-process run of the same multiset.
+void RunChaosClient(double rate, uint64_t seed, size_t sends,
+                    size_t* chaos_frames_out) {
+  const bench::CapturedSite& site = Site();
+  net::DiagnosisDaemon daemon;
+  daemon.RegisterModule(site.workload.module.get());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::AgentOptions aopts;
+  aopts.port = daemon.port();
+  aopts.agent_id = 1;
+  auto plan = faults::FaultPlan::Parse(StrFormat("frame@%g", rate), seed);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  aopts.chaos = plan.value();
+  // A corrupted frame costs one ack timeout before the reconnect-and-
+  // retransmit path kicks in; keep that cheap so the test stays fast.
+  aopts.io_timeout_ms = 300;
+  aopts.max_attempts = 30;
+  aopts.backoff_initial_ms = 2;
+  aopts.backoff_max_ms = 50;
+  net::DiagnosisAgent agent(aopts);
+
+  for (size_t i = 0; i < sends; ++i) {
+    const support::Status status = agent.SendFailing(site.failing);
+    ASSERT_TRUE(status.ok()) << "send " << i << ": " << status.ToString();
+  }
+  // Every send settled exactly once (duplicates from retransmission are a
+  // subset of the acks, not extra ingests).
+  EXPECT_EQ(agent.stats().bundles_acked, sends);
+  EXPECT_TRUE(daemon.running());
+  if (chaos_frames_out != nullptr) {
+    *chaos_frames_out = agent.stats().frames_chaos_corrupted;
+  }
+
+  // Degradation is recorded on the transport side exactly when frames were
+  // actually damaged in flight (truncations and bit flips; pure duplicates
+  // are absorbed silently by dedup).
+  const trace::DegradationReport degradation = daemon.transport_degradation();
+  EXPECT_EQ(degradation.decode_errors > 0, daemon.stats().frames_corrupt > 0);
+
+  // A healthy reader still gets the diagnosis, and it is digest-identical to
+  // submitting the same `sends` failing bundles in-process: the lossy wire
+  // lost nothing.
+  net::AgentOptions hopts;
+  hopts.port = daemon.port();
+  hopts.agent_id = 2;
+  net::DiagnosisAgent healthy(hopts);
+  auto remote = healthy.Diagnose();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_EQ(remote.value().size(), 1u);
+  const std::string wire_digest = bench::DigestReports(ToShardReports(remote.take()));
+
+  core::ServerPool pool;
+  pool.RegisterModule(site.workload.module.get());
+  for (size_t i = 0; i < sends; ++i) {
+    ASSERT_TRUE(pool.SubmitFailingTrace(site.failing).ok());
+  }
+  EXPECT_EQ(wire_digest, bench::DigestReports(pool.DiagnoseAll()));
+}
+
+// The issue's acceptance criterion: 1% frame-fault rate, daemon survives,
+// degradation recorded (when a fault lands), zero evidence lost.
+TEST(NetChaosTest, DaemonSurvivesCorruptingClientAtOnePercent) {
+  size_t chaos_frames = 0;
+  RunChaosClient(0.01, /*seed=*/7, /*sends=*/40, &chaos_frames);
+}
+
+// A hostile-grade rate: half of all frames damaged. Retransmission plus
+// dedup must still deliver every bundle exactly once, and the damage must
+// show up in the transport degradation report.
+TEST(NetChaosTest, HighCorruptionRateIsDegradationNotFailure) {
+  size_t chaos_frames = 0;
+  RunChaosClient(0.5, /*seed=*/11, /*sends=*/20, &chaos_frames);
+  // At 50% over 20+ frames the seeded injector certainly fired; assert the
+  // plumbing end-to-end (injector -> stats) actually engaged.
+  EXPECT_GT(chaos_frames, 0u);
+}
+
+}  // namespace
+}  // namespace snorlax

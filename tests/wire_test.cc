@@ -1,0 +1,390 @@
+// Wire-format properties the fleet protocol depends on:
+//   - encode -> decode -> re-encode is bit-for-bit stable for random bundles
+//     and reports (doubles travel as IEEE-754 bits, so no precision drift),
+//   - any single flipped bit or byte anywhere in a frame is caught by the
+//     frame CRC (which covers the header too) or rejected by the decoder --
+//     never silently accepted,
+//   - the assembler resynchronizes after garbage and truncated frames, losing
+//     only the corrupt frame,
+//   - hostile length fields are clean rejections, not allocations.
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "wire/frame.h"
+#include "wire/serialize.h"
+
+namespace snorlax {
+namespace {
+
+rt::FailureInfo RandomFailure(Rng& rng) {
+  rt::FailureInfo failure;
+  failure.kind = static_cast<rt::FailureKind>(
+      rng.NextBelow(static_cast<uint64_t>(rt::FailureKind::kTimeout) + 1));
+  failure.failing_inst = static_cast<ir::InstId>(rng.NextU64());
+  failure.thread = static_cast<rt::ThreadId>(rng.NextU64());
+  failure.operand.kind =
+      static_cast<rt::Value::Kind>(rng.NextBelow(static_cast<uint64_t>(rt::Value::Kind::kFunc) + 1));
+  failure.operand.ival = static_cast<int64_t>(rng.NextU64());
+  failure.operand.obj = static_cast<uint32_t>(rng.NextU64());
+  failure.operand.off = static_cast<uint32_t>(rng.NextU64());
+  failure.time_ns = rng.NextU64();
+  const size_t waiters = rng.NextBelow(4);
+  for (size_t i = 0; i < waiters; ++i) {
+    failure.deadlock_cycle.push_back({static_cast<rt::ThreadId>(rng.NextU64()),
+                                      static_cast<ir::InstId>(rng.NextU64()),
+                                      rng.NextU64()});
+  }
+  const size_t desc = rng.NextBelow(32);
+  for (size_t i = 0; i < desc; ++i) {
+    failure.description.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  return failure;
+}
+
+pt::PtTraceBundle RandomBundle(Rng& rng) {
+  pt::PtTraceBundle bundle;
+  bundle.trace_version = static_cast<uint32_t>(rng.NextU64());
+  bundle.module_fingerprint = rng.NextU64();
+  bundle.config.buffer_bytes = rng.NextU64();
+  bundle.config.mtc_period_ns = rng.NextU64();
+  bundle.config.cyc_unit_ns = rng.NextU64();
+  bundle.config.psb_period_bytes = rng.NextU64();
+  bundle.config.enable_timing = rng.NextBool();
+  bundle.config.bytes_per_ns = rng.NextU64();
+  bundle.config.work_trace_bytes_per_us = rng.NextU64();
+  bundle.config.persist_to_storage = rng.NextBool();
+  bundle.config.storage_flush_ns_per_kb = rng.NextU64();
+  const size_t threads = rng.NextBelow(5);
+  for (size_t t = 0; t < threads; ++t) {
+    pt::PtTraceBundle::PerThread per;
+    per.thread = static_cast<rt::ThreadId>(rng.NextU64());
+    const size_t bytes = rng.NextBelow(256);
+    for (size_t i = 0; i < bytes; ++i) {
+      per.bytes.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+    }
+    per.total_written = rng.NextU64();
+    per.last_retired = static_cast<ir::InstId>(rng.NextU64());
+    bundle.threads.push_back(std::move(per));
+  }
+  bundle.snapshot_time_ns = rng.NextU64();
+  bundle.stats.total_bytes = rng.NextU64();
+  bundle.stats.shadow_bytes = rng.NextU64();
+  bundle.stats.timing_bytes = rng.NextU64();
+  bundle.stats.control_packets = rng.NextU64();
+  bundle.stats.timing_packets = rng.NextU64();
+  bundle.stats.psb_packets = rng.NextU64();
+  bundle.stats.branch_events = rng.NextU64();
+  bundle.stats.storage_bytes = rng.NextU64();
+  bundle.stats.storage_flushes = rng.NextU64();
+  bundle.failure = RandomFailure(rng);
+  return bundle;
+}
+
+core::DiagnosisReport RandomReport(Rng& rng) {
+  core::DiagnosisReport report;
+  report.failure = RandomFailure(rng);
+  const size_t patterns = rng.NextBelow(4);
+  for (size_t i = 0; i < patterns; ++i) {
+    core::DiagnosedPattern p;
+    p.pattern.kind = static_cast<core::PatternKind>(
+        rng.NextBelow(static_cast<uint64_t>(core::PatternKind::kAtomicityWRW) + 1));
+    p.pattern.ordered = rng.NextBool();
+    const size_t events = rng.NextBelow(4);
+    for (size_t e = 0; e < events; ++e) {
+      core::PatternEvent event;
+      event.inst = static_cast<ir::InstId>(rng.NextU64());
+      event.thread_slot = static_cast<uint8_t>(rng.NextBelow(256));
+      event.thread_final = rng.NextBool();
+      p.pattern.events.push_back(event);
+    }
+    p.precision = rng.NextDouble();
+    p.recall = rng.NextDouble();
+    p.f1 = rng.NextDouble();
+    p.counts.true_positive = rng.NextU64();
+    p.counts.false_positive = rng.NextU64();
+    p.counts.false_negative = rng.NextU64();
+    report.patterns.push_back(std::move(p));
+  }
+  report.hypothesis_violated = rng.NextBool();
+  report.degradation.threads_total = rng.NextU64();
+  report.degradation.decode_errors = rng.NextU64();
+  report.degradation.lost_prefix = rng.NextBool();
+  const size_t notes = rng.NextBelow(3);
+  for (size_t i = 0; i < notes; ++i) {
+    report.degradation.notes.push_back("note " + std::to_string(rng.NextU64()));
+  }
+  report.confidence = static_cast<trace::ConfidenceTier>(rng.NextBelow(3));
+  report.stages.module_instructions = rng.NextU64();
+  report.stages.trace_seconds = rng.NextDouble() * 100.0;
+  report.stages.points_to_seconds = rng.NextDouble();
+  report.analysis_seconds = rng.NextDouble();
+  report.total_analysis_seconds = rng.NextDouble();
+  report.failing_traces = rng.NextU64();
+  report.success_traces = rng.NextU64();
+  return report;
+}
+
+TEST(WireSerializeTest, BundleRoundTripIsBitStable) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const pt::PtTraceBundle bundle = RandomBundle(rng);
+    std::vector<uint8_t> encoded;
+    wire::EncodeBundle(bundle, &encoded);
+    auto decoded = wire::DecodeBundle(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    std::vector<uint8_t> re;
+    wire::EncodeBundle(decoded.value(), &re);
+    ASSERT_EQ(encoded, re) << "round trip not bit-stable at iteration " << i;
+  }
+}
+
+TEST(WireSerializeTest, ReportRoundTripIsBitStable) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const core::DiagnosisReport report = RandomReport(rng);
+    std::vector<uint8_t> encoded;
+    wire::EncodeReport(report, &encoded);
+    auto decoded = wire::DecodeReport(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    std::vector<uint8_t> re;
+    wire::EncodeReport(decoded.value(), &re);
+    ASSERT_EQ(encoded, re) << "round trip not bit-stable at iteration " << i;
+  }
+}
+
+TEST(WireSerializeTest, PayloadFormatSkewIsVersionMismatch) {
+  Rng rng(3);
+  std::vector<uint8_t> encoded;
+  wire::EncodeBundle(RandomBundle(rng), &encoded);
+  encoded[0] = wire::kPayloadFormatVersion + 1;
+  auto decoded = wire::DecodeBundle(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), support::StatusCode::kVersionMismatch);
+}
+
+TEST(WireSerializeTest, TruncatedBundleNeverDecodes) {
+  Rng rng(5);
+  std::vector<uint8_t> encoded;
+  wire::EncodeBundle(RandomBundle(rng), &encoded);
+  for (size_t keep = 0; keep < encoded.size(); ++keep) {
+    const std::vector<uint8_t> cut(encoded.begin(),
+                                   encoded.begin() + static_cast<ptrdiff_t>(keep));
+    EXPECT_FALSE(wire::DecodeBundle(cut).ok()) << "decoded a " << keep << "-byte prefix";
+  }
+}
+
+TEST(WireSerializeTest, ForgedCountIsCleanRejection) {
+  // A bundle whose thread count claims 4 billion entries must be rejected
+  // before any allocation happens (count > remaining bytes).
+  std::vector<uint8_t> bytes;
+  wire::AppendU8(&bytes, wire::kPayloadFormatVersion);
+  wire::AppendU32(&bytes, 1);        // trace_version
+  wire::AppendU64(&bytes, 42);       // fingerprint
+  for (int i = 0; i < 7; ++i) {
+    wire::AppendU64(&bytes, 0);      // config u64 fields
+  }
+  wire::AppendU8(&bytes, 0);
+  wire::AppendU8(&bytes, 0);         // config bools
+  wire::AppendU32(&bytes, 0xfffffff0u);  // forged thread count
+  auto decoded = wire::DecodeBundle(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), support::StatusCode::kCorruptData);
+}
+
+TEST(WireFrameTest, FrameRoundTripThroughAssembler) {
+  Rng rng(13);
+  wire::FrameAssembler assembler;
+  std::vector<wire::Frame> sent;
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 20; ++i) {
+    wire::Frame frame;
+    frame.type = wire::FrameType::kBundle;
+    frame.seq = rng.NextU64();
+    const size_t n = rng.NextBelow(300);
+    for (size_t b = 0; b < n; ++b) {
+      frame.payload.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+    }
+    wire::EncodeFrame(frame, &stream);
+    sent.push_back(std::move(frame));
+  }
+  // Feed in arbitrary chunk sizes to exercise reassembly.
+  size_t pos = 0;
+  while (pos < stream.size()) {
+    const size_t chunk = std::min<size_t>(1 + rng.NextBelow(97), stream.size() - pos);
+    ASSERT_TRUE(assembler.Feed(stream.data() + pos, chunk));
+    pos += chunk;
+  }
+  for (const wire::Frame& expected : sent) {
+    wire::Frame got;
+    ASSERT_TRUE(assembler.Next(&got));
+    EXPECT_EQ(got.type, expected.type);
+    EXPECT_EQ(got.seq, expected.seq);
+    EXPECT_EQ(got.payload, expected.payload);
+  }
+  wire::Frame extra;
+  EXPECT_FALSE(assembler.Next(&extra));
+  EXPECT_EQ(assembler.frames_corrupt(), 0u);
+}
+
+TEST(WireFrameTest, EverySingleByteFlipIsDetected) {
+  // The CRC covers header and payload alike: flip one random bit of every
+  // byte position in turn, and the corrupted frame must never surface. The
+  // pristine sentinel appended after it must always survive the resync.
+  Rng rng(17);
+  wire::Frame frame;
+  frame.type = wire::FrameType::kBundle;
+  frame.seq = 0x1122334455667788ull;
+  for (int i = 0; i < 64; ++i) {
+    frame.payload.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+  }
+  std::vector<uint8_t> clean;
+  wire::EncodeFrame(frame, &clean);
+
+  wire::Frame sentinel;
+  sentinel.type = wire::FrameType::kHello;
+  sentinel.seq = 0xdeadbeef;
+  sentinel.payload = {1, 2, 3};
+  std::vector<uint8_t> sentinel_bytes;
+  wire::EncodeFrame(sentinel, &sentinel_bytes);
+
+  for (size_t at = 0; at < clean.size(); ++at) {
+    wire::FrameAssembler assembler;
+    std::vector<uint8_t> corrupted = clean;
+    corrupted[at] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    ASSERT_TRUE(assembler.Feed(corrupted.data(), corrupted.size()));
+    ASSERT_TRUE(assembler.Feed(sentinel_bytes.data(), sentinel_bytes.size()));
+    wire::Frame got;
+    size_t delivered = 0;
+    while (assembler.Next(&got)) {
+      ++delivered;
+      // Whatever survives must be the sentinel, bit for bit: the corrupted
+      // frame is never silently accepted.
+      EXPECT_EQ(got.type, sentinel.type) << "flip at byte " << at;
+      EXPECT_EQ(got.seq, sentinel.seq) << "flip at byte " << at;
+      EXPECT_EQ(got.payload, sentinel.payload) << "flip at byte " << at;
+    }
+    // A flip that enlarges the length field leaves the assembler waiting for
+    // bytes that never arrive (the daemon recovers via timeout + reconnect),
+    // so the sentinel may be swallowed -- but the corrupted frame itself must
+    // never be delivered.
+    EXPECT_LE(delivered, 1u) << "flip at byte " << at;
+  }
+}
+
+TEST(WireFrameTest, ResyncAfterGarbageAndTruncation) {
+  wire::Frame a;
+  a.type = wire::FrameType::kBundle;
+  a.seq = 1;
+  a.payload = {10, 20, 30, 40, 50};
+  wire::Frame b = a;
+  b.seq = 2;
+
+  std::vector<uint8_t> a_bytes, b_bytes;
+  wire::EncodeFrame(a, &a_bytes);
+  wire::EncodeFrame(b, &b_bytes);
+
+  std::vector<uint8_t> stream = {0x00, 0x53, 0x4e, 0xff};  // garbage w/ fake magic start
+  const size_t half = a_bytes.size() / 2;
+  stream.insert(stream.end(), a_bytes.begin(), a_bytes.begin() + static_cast<ptrdiff_t>(half));
+  stream.insert(stream.end(), b_bytes.begin(), b_bytes.end());
+
+  wire::FrameAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(stream.data(), stream.size()));
+  wire::Frame got;
+  ASSERT_TRUE(assembler.Next(&got));
+  EXPECT_EQ(got.seq, 2u);  // the truncated frame is lost; the next survives
+  EXPECT_FALSE(assembler.Next(&got));
+  EXPECT_GT(assembler.bytes_discarded(), 0u);
+  EXPECT_FALSE(assembler.DrainCorruptionLog().empty());
+}
+
+TEST(WireFrameTest, OversizedLengthFieldIsRejectedNotBuffered) {
+  // Forge a header claiming a payload over kMaxFramePayload; the assembler
+  // must reject it during header validation instead of waiting for 33 MB.
+  wire::Frame frame;
+  frame.type = wire::FrameType::kBundle;
+  frame.seq = 9;
+  frame.payload = {1, 2, 3};
+  std::vector<uint8_t> bytes;
+  wire::EncodeFrame(frame, &bytes);
+  // Patch payload_len (offset 14) to an absurd value; CRC now mismatches too,
+  // but length validation must fire first -- no buffering for a frame that
+  // can never complete.
+  const uint32_t huge = static_cast<uint32_t>(wire::kMaxFramePayload + 1);
+  for (int i = 0; i < 4; ++i) {
+    bytes[14 + i] = static_cast<uint8_t>((huge >> (8 * i)) & 0xff);
+  }
+  wire::Frame sentinel;
+  sentinel.type = wire::FrameType::kHello;
+  sentinel.seq = 77;
+  std::vector<uint8_t> sentinel_bytes;
+  wire::EncodeFrame(sentinel, &sentinel_bytes);
+
+  wire::FrameAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(bytes.data(), bytes.size()));
+  ASSERT_TRUE(assembler.Feed(sentinel_bytes.data(), sentinel_bytes.size()));
+  wire::Frame got;
+  ASSERT_TRUE(assembler.Next(&got));
+  EXPECT_EQ(got.seq, 77u);
+  EXPECT_GT(assembler.frames_corrupt(), 0u);
+}
+
+TEST(WireFrameTest, TypedPayloadsRoundTrip) {
+  {
+    wire::HelloPayload hello;
+    hello.protocol_version = 3;
+    hello.agent_id = 0xabcdef;
+    std::vector<uint8_t> bytes;
+    wire::EncodeHello(hello, &bytes);
+    wire::HelloPayload out;
+    ASSERT_TRUE(wire::DecodeHello(bytes, &out).ok());
+    EXPECT_EQ(out.protocol_version, 3u);
+    EXPECT_EQ(out.agent_id, 0xabcdefull);
+  }
+  {
+    support::Status in =
+        support::Status::Error(support::StatusCode::kVersionMismatch, "speak v2");
+    std::vector<uint8_t> bytes;
+    wire::EncodeStatusPayload(in, &bytes);
+    support::Status out;
+    ASSERT_TRUE(wire::DecodeStatusPayload(bytes, &out).ok());
+    EXPECT_EQ(out.code(), support::StatusCode::kVersionMismatch);
+    EXPECT_EQ(out.message(), "speak v2");
+  }
+  {
+    wire::BundleAckPayload ack;
+    ack.bundle_seq = 41;
+    ack.duplicate = true;
+    ack.status = support::Status::Error(support::StatusCode::kCorruptData, "nope");
+    std::vector<uint8_t> bytes;
+    wire::EncodeBundleAck(ack, &bytes);
+    wire::BundleAckPayload out;
+    ASSERT_TRUE(wire::DecodeBundleAck(bytes, &out).ok());
+    EXPECT_EQ(out.bundle_seq, 41u);
+    EXPECT_TRUE(out.duplicate);
+    EXPECT_EQ(out.status.code(), support::StatusCode::kCorruptData);
+  }
+  {
+    wire::ShedPayload shed;
+    shed.dropped_frames = 12;
+    shed.note = "slow reader";
+    std::vector<uint8_t> bytes;
+    wire::EncodeShed(shed, &bytes);
+    wire::ShedPayload out;
+    ASSERT_TRUE(wire::DecodeShed(bytes, &out).ok());
+    EXPECT_EQ(out.dropped_frames, 12u);
+    EXPECT_EQ(out.note, "slow reader");
+  }
+}
+
+TEST(WireFrameTest, Crc32MatchesKnownVector) {
+  // "123456789" -> 0xcbf43926 is the canonical IEEE CRC-32 check value.
+  const uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(wire::Crc32(check, sizeof(check)), 0xcbf43926u);
+  // Chained computation must equal one-shot.
+  const uint32_t head = wire::Crc32(check, 4);
+  EXPECT_EQ(wire::Crc32(check + 4, 5, head), 0xcbf43926u);
+}
+
+}  // namespace
+}  // namespace snorlax

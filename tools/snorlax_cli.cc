@@ -10,6 +10,13 @@
 //   snorlax_cli bench-throughput [--clients=N] [--threads=M] [--json]
 //                                              concurrent-ingest throughput on
 //                                              the built-in workload mix
+//   snorlax_cli serve [--port=P] [--workloads=a,b,c]
+//                                              run the TCP diagnosis daemon
+//   snorlax_cli send <workload> [--port=P] [--diagnose]
+//                                              capture traces and ship them to
+//                                              a running daemon as an agent
+//   snorlax_cli bench-fleet [--agents=M] [--rounds=K] [--faults=...] [--json]
+//                                              loopback-TCP ingest throughput
 //
 // Sample programs live in examples/programs/.
 #include <cstdio>
@@ -17,8 +24,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "bench/fleet_harness.h"
 #include "bench/throughput_harness.h"
+#include "net/agent.h"
+#include "net/daemon.h"
 #include "core/snorlax.h"
 #include "faults/injector.h"
 #include "ir/printer.h"
@@ -47,7 +58,13 @@ int Usage() {
       "           truncate, drop, dup, clockregress, threadloss, forgefailure,\n"
       "           versionskew\n"
       "  bench-throughput measure concurrent vs serial ingest on the built-in\n"
-      "           workload mix (--clients=N, --threads=M, --rounds=R, --json)\n");
+      "           workload mix (--clients=N, --threads=M, --rounds=R, --json)\n"
+      "  serve    run the TCP diagnosis daemon (--port=P, --pool-threads=N,\n"
+      "           --workloads=a,b,c; default port 7433, Ctrl-C to stop)\n"
+      "  send     capture a workload's failing + success traces and ship them\n"
+      "           to a daemon (<workload>, --port=P, --agent-id=N, --diagnose)\n"
+      "  bench-fleet measure loopback-TCP fleet ingest (--agents=M, --rounds=K,\n"
+      "           --pool-threads=P, --faults=kind@rate[,...], --json)\n");
   return 2;
 }
 
@@ -299,29 +316,18 @@ int CmdGenerate(const std::string& kind, const std::string& out_path, uint64_t s
 }
 
 int CmdBenchThroughput(int argc, char** argv) {
-  bench::ThroughputConfig config;
-  config.clients = 8;
-  config.threads = 8;
-  config.pool_threads = 8;
-  config.rounds = 2;
-  bool json_only = false;
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag.rfind("--clients=", 0) == 0) {
-      config.clients = std::strtoull(flag.c_str() + 10, nullptr, 10);
-      config.threads = config.clients;
-    } else if (flag.rfind("--threads=", 0) == 0) {
-      config.threads = std::strtoull(flag.c_str() + 10, nullptr, 10);
-      config.pool_threads = config.threads;
-    } else if (flag.rfind("--rounds=", 0) == 0) {
-      config.rounds = std::strtoull(flag.c_str() + 9, nullptr, 10);
-    } else if (flag == "--json") {
-      json_only = true;
-    } else {
-      std::printf("unknown flag '%s'\n", flag.c_str());
-      return Usage();
-    }
+  bench::HarnessFlags flags;
+  flags.config.clients = 8;
+  flags.config.threads = 8;
+  flags.config.pool_threads = 8;
+  flags.config.rounds = 2;
+  const support::Status parsed = bench::ParseHarnessFlags(argc, argv, 2, &flags);
+  if (!parsed.ok()) {
+    std::printf("%s\n", parsed.ToString().c_str());
+    return Usage();
   }
+  const bench::ThroughputConfig& config = flags.config;
+  const bool json_only = flags.json_only;
   const std::vector<std::string> mix = {"pbzip2_main", "sqlite_1672", "memcached_127"};
   if (!json_only) {
     std::printf("capturing failure + success traces for %zu workloads...\n", mix.size());
@@ -344,6 +350,188 @@ int CmdBenchThroughput(int argc, char** argv) {
   return s.report_digest == p.report_digest ? 0 : 1;
 }
 
+std::vector<std::string> SplitCommas(const std::string& spec) {
+  std::vector<std::string> parts;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    if (comma > pos) {
+      parts.push_back(spec.substr(pos, comma - pos));
+    }
+    pos = comma + 1;
+  }
+  return parts;
+}
+
+int CmdServe(int argc, char** argv) {
+  net::DaemonOptions dopts;
+  dopts.port = 7433;
+  size_t pool_threads = 0;
+  std::vector<std::string> names = {"pbzip2_main", "sqlite_1672", "memcached_127"};
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--port=", 0) == 0) {
+      dopts.port = static_cast<uint16_t>(std::strtoul(flag.c_str() + 7, nullptr, 10));
+    } else if (flag.rfind("--pool-threads=", 0) == 0) {
+      pool_threads = std::strtoull(flag.c_str() + 15, nullptr, 10);
+    } else if (flag.rfind("--workloads=", 0) == 0) {
+      names = SplitCommas(flag.substr(12));
+    } else {
+      std::printf("unknown flag '%s'\n", flag.c_str());
+      return Usage();
+    }
+  }
+
+  // The daemon routes bundles by module fingerprint, so it must hold the
+  // modules agents will report against; build them from the catalogue.
+  std::vector<workloads::Workload> catalogue;
+  catalogue.reserve(names.size());
+  for (const std::string& name : names) {
+    catalogue.push_back(workloads::Build(name));
+  }
+  std::unique_ptr<support::ThreadPool> analysis_pool;
+  if (pool_threads > 0) {
+    analysis_pool = std::make_unique<support::ThreadPool>(pool_threads);
+    dopts.pool.server.pool = analysis_pool.get();
+  }
+  net::DiagnosisDaemon daemon(dopts);
+  for (const workloads::Workload& w : catalogue) {
+    daemon.RegisterModule(w.module.get());
+  }
+  const support::Status status = daemon.Start();
+  if (!status.ok()) {
+    std::printf("cannot start daemon: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("diagnosis daemon listening on 127.0.0.1:%u\n", daemon.port());
+  for (size_t i = 0; i < catalogue.size(); ++i) {
+    std::printf("  module %-16s fingerprint %016llx\n", names[i].c_str(),
+                static_cast<unsigned long long>(
+                    pt::ModuleFingerprint(*catalogue[i].module)));
+  }
+  std::printf("Ctrl-C to stop\n");
+  while (daemon.running()) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  return 0;
+}
+
+int CmdSend(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') {
+    std::printf("send needs a workload name\n");
+    return Usage();
+  }
+  const std::string name = argv[2];
+  net::AgentOptions aopts;
+  aopts.port = 7433;
+  bool diagnose = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--port=", 0) == 0) {
+      aopts.port = static_cast<uint16_t>(std::strtoul(flag.c_str() + 7, nullptr, 10));
+    } else if (flag.rfind("--agent-id=", 0) == 0) {
+      aopts.agent_id = std::strtoull(flag.c_str() + 11, nullptr, 10);
+    } else if (flag == "--diagnose") {
+      diagnose = true;
+    } else {
+      std::printf("unknown flag '%s'\n", flag.c_str());
+      return Usage();
+    }
+  }
+
+  std::printf("capturing failing + success traces for %s...\n", name.c_str());
+  const std::vector<bench::CapturedSite> sites = bench::CaptureSites({name});
+  if (sites.empty()) {
+    std::printf("workload did not reproduce a failure; nothing to send\n");
+    return 1;
+  }
+  const bench::CapturedSite& site = sites.front();
+
+  net::DiagnosisAgent agent(aopts);
+  agent.EnqueueFailing(site.failing);
+  support::Status status = agent.Flush();
+  if (status.ok()) {
+    for (const pt::PtTraceBundle& success : site.successes) {
+      agent.EnqueueSuccess(site.failing.failure.failing_inst, success);
+    }
+    status = agent.Flush();
+  }
+  if (!status.ok()) {
+    std::printf("send failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const net::AgentStats& stats = agent.stats();
+  std::printf("shipped %zu bundles (%zu acked, %zu duplicate, %zu reconnects)\n",
+              stats.bundles_enqueued, stats.bundles_acked, stats.bundles_duplicate,
+              stats.reconnects);
+  if (!diagnose) {
+    return 0;
+  }
+  auto reports = agent.Diagnose();
+  if (!reports.ok()) {
+    std::printf("diagnose failed: %s\n", reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const net::RemoteReport& remote : reports.value()) {
+    std::printf("site %016llx/#%u: %zu failing + %zu success traces, confidence %s\n",
+                static_cast<unsigned long long>(remote.module_fingerprint),
+                remote.failing_inst, remote.report.failing_traces,
+                remote.report.success_traces,
+                trace::ConfidenceTierName(remote.report.confidence));
+    int shown = 0;
+    for (const core::DiagnosedPattern& p : remote.report.patterns) {
+      if (shown++ == 3) {
+        break;
+      }
+      std::printf("  F1=%.2f  %s\n", p.f1, core::PatternKindName(p.pattern.kind));
+    }
+  }
+  return 0;
+}
+
+int CmdBenchFleet(int argc, char** argv) {
+  bench::HarnessFlags flags;
+  flags.agents = 4;
+  flags.config.rounds = 2;
+  flags.config.pool_threads = 0;
+  const support::Status parsed = bench::ParseHarnessFlags(argc, argv, 2, &flags);
+  if (!parsed.ok()) {
+    std::printf("%s\n", parsed.ToString().c_str());
+    return Usage();
+  }
+  bench::FleetConfig config;
+  config.agents = flags.agents;
+  config.rounds = flags.config.rounds;
+  config.pool_threads = flags.config.pool_threads;
+  if (!flags.faults.empty()) {
+    auto plan = faults::FaultPlan::Parse(flags.faults, flags.fault_seed);
+    if (!plan.ok()) {
+      std::printf("bad --faults spec: %s\n", plan.status().ToString().c_str());
+      return 2;
+    }
+    config.chaos = plan.value();
+    config.io_timeout_ms = 1000;
+  }
+  const std::vector<std::string> mix = {"pbzip2_main", "sqlite_1672", "memcached_127"};
+  if (!flags.json_only) {
+    std::printf("capturing failure + success traces for %zu workloads...\n", mix.size());
+  }
+  const std::vector<bench::CapturedSite> sites = bench::CaptureSites(mix);
+  if (sites.empty()) {
+    std::printf("no workload reproduced a failure; nothing to measure\n");
+    return 1;
+  }
+  const bench::FleetResult result = bench::RunFleet(sites, config);
+  std::printf("%s\n", bench::FleetJson(config, sites.size(), result).c_str());
+  if (!flags.json_only) {
+    std::printf("wire == in-process digests: %s\n", result.digests_match ? "yes" : "NO");
+  }
+  return result.digests_match && result.status.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,6 +540,15 @@ int main(int argc, char** argv) {
   }
   if (std::string(argv[1]) == "bench-throughput") {
     return CmdBenchThroughput(argc, argv);
+  }
+  if (std::string(argv[1]) == "bench-fleet") {
+    return CmdBenchFleet(argc, argv);
+  }
+  if (std::string(argv[1]) == "serve") {
+    return CmdServe(argc, argv);
+  }
+  if (std::string(argv[1]) == "send") {
+    return CmdSend(argc, argv);
   }
   if (argc < 3) {
     return Usage();
