@@ -5,8 +5,9 @@
 // same bundle multiset to an in-process ServerPool.
 //
 // Flags: --agents=M --rounds=K --pool-threads=P --faults=kind@rate[,...]
-// --fault-seed=N --json (--faults adds wire chaos; digest identity must
-// survive it -- retransmission and dedup recover every corrupted frame).
+// --fault-seed=N --json --json=<path> (--faults adds wire chaos; digest
+// identity must survive it -- retransmission and dedup recover every
+// corrupted frame; --json=<path> writes the JSON line to <path>).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -52,6 +53,13 @@ int main(int argc, char** argv) {
 
   const bench::FleetResult result = bench::RunFleet(sites, config);
   const std::string json = bench::FleetJson(config, sites.size(), result);
+  if (!flags.json_path.empty()) {
+    const support::Status written = bench::WriteJsonFile(flags.json_path, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 2;
+    }
+  }
   if (flags.json_only) {
     std::printf("%s\n", json.c_str());
   } else {
@@ -70,6 +78,8 @@ int main(int argc, char** argv) {
                     widths);
     std::printf("\nreports streamed: %zu; wire == in-process digests: %s\n",
                 result.reports_received, result.digests_match ? "yes" : "NO");
+    std::printf("wire: %zu bytes total, %.0f B/bundle at protocol v%u\n",
+                result.wire_bytes_sent, result.bytes_per_bundle, result.negotiated_version);
     if (!result.status.ok()) {
       std::printf("fleet status: %s\n", result.status.ToString().c_str());
     }

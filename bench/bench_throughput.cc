@@ -4,7 +4,8 @@
 // chaos-free workload mix, with bit-identical diagnoses.
 //
 // Flags: --clients=N --threads=M --pool-threads=P --rounds=R --json
-// (--json restricts stdout to the single-line JSON object).
+// --json=<path> (--json restricts stdout to the single-line JSON object;
+// --json=<path> additionally writes it to <path>, e.g. BENCH_ingest.json).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,7 @@ using namespace snorlax;
 int main(int argc, char** argv) {
   bench::ThroughputConfig config;
   bool json_only = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag.rfind("--clients=", 0) == 0) {
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
       config.pool_threads = std::strtoull(flag.c_str() + 15, nullptr, 10);
     } else if (flag.rfind("--rounds=", 0) == 0) {
       config.rounds = std::strtoull(flag.c_str() + 9, nullptr, 10);
+    } else if (flag.rfind("--json=", 0) == 0) {
+      json_path = flag.substr(7);
     } else if (flag == "--json") {
       json_only = true;
     } else {
@@ -52,7 +56,15 @@ int main(int argc, char** argv) {
   serial_config.pool_threads = 0;
   const bench::ThroughputResult serial = bench::RunThroughput(sites, serial_config);
   const bench::ThroughputResult parallel = bench::RunThroughput(sites, config);
-  const std::string json = bench::ThroughputJson(config, sites.size(), serial, parallel);
+  const bench::IngestProfile profile = bench::ProfileIngest(sites);
+  const std::string json = bench::ThroughputJson(config, sites.size(), serial, parallel, profile);
+  if (!json_path.empty()) {
+    const support::Status written = bench::WriteJsonFile(json_path, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 2;
+    }
+  }
 
   if (json_only) {
     std::printf("%s\n", json.c_str());
@@ -75,6 +87,11 @@ int main(int argc, char** argv) {
                 serial.bundles_per_sec > 0 ? parallel.bundles_per_sec / serial.bundles_per_sec
                                            : 0.0,
                 serial.report_digest == parallel.report_digest ? "yes" : "NO");
+    std::printf(
+        "wire: %.0f B/bundle (v1 fixed-width) -> %.0f B/bundle (v2 compressed), "
+        "%.2fx smaller; decode %.0f events/s\n",
+        profile.v1_bytes_per_bundle, profile.v2_bytes_per_bundle,
+        profile.compression_ratio, profile.decode_events_per_sec);
     std::printf("%s\n", json.c_str());
   }
   return serial.report_digest == parallel.report_digest ? 0 : 1;

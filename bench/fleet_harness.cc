@@ -128,6 +128,9 @@ FleetResult RunFleet(const std::vector<CapturedSite>& sites, const FleetConfig& 
     result.bundles_duplicate += stats.bundles_duplicate;
     result.frames_chaos_corrupted += stats.frames_chaos_corrupted;
     result.reconnects += stats.reconnects;
+    result.wire_bytes_sent += stats.bundle_bytes_sent;
+    result.negotiated_version =
+        std::max(result.negotiated_version, agents[t]->negotiated_version());
     const std::vector<double>& lat = agents[t]->ack_latencies_ms();
     all_lat.insert(all_lat.end(), lat.begin(), lat.end());
     if (!statuses[t].ok() && result.status.ok()) {
@@ -136,6 +139,10 @@ FleetResult RunFleet(const std::vector<CapturedSite>& sites, const FleetConfig& 
   }
   result.bundles_per_sec =
       result.seconds > 0 ? static_cast<double>(result.bundles_sent) / result.seconds : 0.0;
+  result.bytes_per_bundle =
+      result.bundles_acked > 0
+          ? static_cast<double>(result.wire_bytes_sent) / static_cast<double>(result.bundles_acked)
+          : 0.0;
   std::sort(all_lat.begin(), all_lat.end());
   result.p50_ms = PercentileMs(all_lat, 0.50);
   result.p99_ms = PercentileMs(all_lat, 0.99);
@@ -185,12 +192,14 @@ std::string FleetJson(const FleetConfig& config, size_t sites, const FleetResult
       "\"bundles\": %zu, \"acked\": %zu, \"duplicates\": %zu, "
       "\"chaos_frames\": %zu, \"daemon_corrupt_frames\": %zu, \"reconnects\": %zu, "
       "\"seconds\": %.4f, \"bundles_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"wire_bytes\": %zu, \"bytes_per_bundle\": %.1f, \"negotiated_version\": %u, "
       "\"reports\": %zu, \"identical_reports\": %s, \"status\": \"%s\"}",
       config.agents, config.rounds, config.pool_threads, sites,
       config.chaos.faults.empty() ? "" : config.chaos.ToString().c_str(),
       result.bundles_sent, result.bundles_acked, result.bundles_duplicate,
       result.frames_chaos_corrupted, result.daemon_frames_corrupt, result.reconnects,
       result.seconds, result.bundles_per_sec, result.p50_ms, result.p99_ms,
+      result.wire_bytes_sent, result.bytes_per_bundle, result.negotiated_version,
       result.reports_received, result.digests_match ? "true" : "false",
       result.status.ok() ? "ok" : result.status.ToString().c_str());
 }

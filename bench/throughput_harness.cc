@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 
 #include "core/client.h"
+#include "pt/decoder.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
+#include "wire/serialize.h"
 
 namespace snorlax::bench {
 
@@ -64,6 +67,8 @@ support::Status ParseHarnessFlags(int argc, char** argv, int first, HarnessFlags
       flags->faults = flag.substr(9);
     } else if (flag.rfind("--fault-seed=", 0) == 0) {
       flags->fault_seed = std::strtoull(flag.c_str() + 13, nullptr, 10);
+    } else if (flag.rfind("--json=", 0) == 0) {
+      flags->json_path = flag.substr(7);
     } else if (flag == "--json") {
       flags->json_only = true;
     } else {
@@ -203,8 +208,79 @@ ThroughputResult RunThroughput(const std::vector<CapturedSite>& sites,
   return result;
 }
 
+IngestProfile ProfileIngest(const std::vector<CapturedSite>& sites) {
+  IngestProfile profile;
+  size_t v1_total = 0;
+  size_t v2_total = 0;
+  for (const CapturedSite& site : sites) {
+    std::vector<const pt::PtTraceBundle*> bundles;
+    bundles.push_back(&site.failing);
+    for (const pt::PtTraceBundle& success : site.successes) {
+      bundles.push_back(&success);
+    }
+    for (const pt::PtTraceBundle* bundle : bundles) {
+      std::vector<uint8_t> bytes;
+      wire::EncodeBundle(*bundle, &bytes, wire::kPayloadFormatV1);
+      v1_total += bytes.size();
+      bytes.clear();
+      wire::EncodeBundle(*bundle, &bytes, wire::kPayloadFormatV2);
+      v2_total += bytes.size();
+      ++profile.bundles;
+    }
+  }
+  if (profile.bundles > 0) {
+    profile.v1_bytes_per_bundle =
+        static_cast<double>(v1_total) / static_cast<double>(profile.bundles);
+    profile.v2_bytes_per_bundle =
+        static_cast<double>(v2_total) / static_cast<double>(profile.bundles);
+  }
+  profile.compression_ratio =
+      v2_total > 0 ? static_cast<double>(v1_total) / static_cast<double>(v2_total) : 0.0;
+
+  // Decode rate over the same bundles, a handful of repetitions so the number
+  // is not dominated by one cold pass. The per-site decoder and the reused
+  // output trace are the production shape (arena reuse across bundles).
+  constexpr int kReps = 3;
+  size_t events = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const CapturedSite& site : sites) {
+      pt::PtDecoder decoder(site.workload.module.get());
+      pt::DecodedThreadTrace scratch;
+      const auto decode_all = [&](const pt::PtTraceBundle& bundle) {
+        for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
+          decoder.DecodeThreadInto(per, bundle.config, bundle.snapshot_time_ns, &scratch);
+          events += scratch.events.size();
+        }
+      };
+      decode_all(site.failing);
+      for (const pt::PtTraceBundle& success : site.successes) {
+        decode_all(success);
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  profile.decoded_events = events;
+  profile.decode_events_per_sec =
+      seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+  return profile;
+}
+
+support::Status WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return support::Status::Error(support::StatusCode::kInternal,
+                                  StrFormat("cannot write '%s'", path.c_str()));
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  return support::Status::Ok();
+}
+
 std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
-                           const ThroughputResult& serial, const ThroughputResult& parallel) {
+                           const ThroughputResult& serial, const ThroughputResult& parallel,
+                           const IngestProfile& profile) {
   const double speedup =
       serial.bundles_per_sec > 0 ? parallel.bundles_per_sec / serial.bundles_per_sec : 0.0;
   return StrFormat(
@@ -214,13 +290,18 @@ std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
       "\"p50_ms\": %.3f, \"p99_ms\": %.3f}, "
       "\"parallel\": {\"bundles\": %zu, \"seconds\": %.4f, \"bundles_per_sec\": %.1f, "
       "\"p50_ms\": %.3f, \"p99_ms\": %.3f}, "
-      "\"speedup\": %.2f, \"identical_reports\": %s}",
+      "\"speedup\": %.2f, \"identical_reports\": %s, "
+      "\"wire\": {\"bundles\": %zu, \"v1_bytes_per_bundle\": %.1f, "
+      "\"v2_bytes_per_bundle\": %.1f, \"compression_ratio\": %.2f, "
+      "\"decode_events_per_sec\": %.0f}}",
       config.clients, config.threads, config.pool_threads, config.rounds, sites,
       serial.bundles_submitted,
       serial.seconds, serial.bundles_per_sec, serial.p50_ms, serial.p99_ms,
       parallel.bundles_submitted, parallel.seconds, parallel.bundles_per_sec, parallel.p50_ms,
       parallel.p99_ms, speedup,
-      serial.report_digest == parallel.report_digest ? "true" : "false");
+      serial.report_digest == parallel.report_digest ? "true" : "false",
+      profile.bundles, profile.v1_bytes_per_bundle, profile.v2_bytes_per_bundle,
+      profile.compression_ratio, profile.decode_events_per_sec);
 }
 
 }  // namespace snorlax::bench

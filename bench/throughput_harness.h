@@ -72,10 +72,29 @@ struct ThroughputResult {
 ThroughputResult RunThroughput(const std::vector<CapturedSite>& sites,
                                const ThroughputConfig& config);
 
+// Wire-size and decode-rate profile of a captured bundle set: bytes per
+// bundle in the v1 (fixed-width) and v2 (varint/delta-compressed) payload
+// formats -- the compression claim, measured on real workload traffic -- plus
+// raw PT decode throughput in events/sec over the same bundles.
+struct IngestProfile {
+  size_t bundles = 0;
+  double v1_bytes_per_bundle = 0.0;
+  double v2_bytes_per_bundle = 0.0;
+  double compression_ratio = 0.0;  // v1 / v2
+  size_t decoded_events = 0;
+  double decode_events_per_sec = 0.0;
+};
+IngestProfile ProfileIngest(const std::vector<CapturedSite>& sites);
+
+// Writes `json` plus a trailing newline to `path` (the BENCH_ingest.json
+// trajectory files emitted by --json=<path>).
+support::Status WriteJsonFile(const std::string& path, const std::string& json);
+
 // Machine-readable summary of a serial-vs-concurrent comparison, one JSON
 // object on a single line (the CLI and the bench binary emit the same shape).
 std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
-                           const ThroughputResult& serial, const ThroughputResult& parallel);
+                           const ThroughputResult& serial, const ThroughputResult& parallel,
+                           const IngestProfile& profile);
 
 // Order-insensitive content digest of a DiagnoseAll() result (pattern keys,
 // F1, confusion counts, confidence, trace counts; no wall times). Equal
@@ -93,7 +112,8 @@ struct HarnessFlags {
   size_t agents = 4;          // --agents=M: concurrent TCP agents
   std::string faults;         // --faults=kind@rate[,...]: chaos plan spec
   uint64_t fault_seed = 1;    // --fault-seed=N
-  bool json_only = false;     // --json
+  bool json_only = false;     // --json: restrict stdout to the JSON line
+  std::string json_path;      // --json=<path>: also write the JSON line there
 };
 
 // Parses argv[first..argc) into `flags` (whose fields are the defaults).

@@ -1,6 +1,7 @@
 #include "core/pattern.h"
 
 #include <algorithm>
+#include <span>
 
 #include "support/check.h"
 #include "support/str.h"
@@ -82,8 +83,10 @@ constexpr size_t kMaxInstancesPerEvent = 48;
 struct EmbedState {
   const trace::ProcessedTrace* trace = nullptr;
   const BugPattern* pattern = nullptr;
-  std::vector<std::vector<const trace::DynInst*>> candidates;  // per event
-  std::vector<const trace::DynInst*> chosen;
+  // Candidate / chosen dynamic instances, as positions into the trace's
+  // columnar storage (trace::ProcessedTrace::kNoInstance while unchosen).
+  std::vector<std::vector<uint32_t>> candidates;  // per event
+  std::vector<uint32_t> chosen;
   // thread_slot -> bound thread (kInvalidThread while unbound).
   std::vector<rt::ThreadId> slot_binding;
 };
@@ -99,17 +102,18 @@ bool AtomicityAdjacencyHolds(const EmbedState& s) {
   if (!IsAtomicityViolation(s.pattern->kind) || events.size() != 3) {
     return true;
   }
-  const trace::DynInst* first = s.chosen[0];
-  const trace::DynInst* last = s.chosen[2];
-  if (first->thread != last->thread) {
+  const uint32_t first = s.chosen[0];
+  const uint32_t last = s.chosen[2];
+  const trace::ProcessedTrace& t = *s.trace;
+  if (t.thread(first) != t.thread(last)) {
     return true;  // malformed slots; let it pass
   }
   for (const PatternEvent& ev : events) {
-    for (const trace::DynInst* inst : s.trace->InstancesOf(ev.inst)) {
-      if (inst->thread != first->thread || inst == first || inst == last) {
+    for (uint32_t inst : t.InstancesOf(ev.inst)) {
+      if (t.thread(inst) != t.thread(first) || inst == first || inst == last) {
         continue;
       }
-      if (inst->seq > first->seq && inst->seq < last->seq) {
+      if (t.seq(inst) > t.seq(first) && t.seq(inst) < t.seq(last)) {
         return false;
       }
     }
@@ -122,17 +126,18 @@ bool Embed(EmbedState& s, size_t event_index) {
     return AtomicityAdjacencyHolds(s);
   }
   const PatternEvent& ev = s.pattern->events[event_index];
-  for (const trace::DynInst* inst : s.candidates[event_index]) {
+  const trace::ProcessedTrace& t = *s.trace;
+  for (uint32_t inst : s.candidates[event_index]) {
     // Thread-slot consistency.
     const rt::ThreadId bound = s.slot_binding[ev.thread_slot];
-    if (bound != rt::kInvalidThread && bound != inst->thread) {
+    if (bound != rt::kInvalidThread && bound != t.thread(inst)) {
       continue;
     }
     if (bound == rt::kInvalidThread) {
       // A fresh slot must not collide with a differently-numbered slot.
       bool collides = false;
       for (size_t slot = 0; slot < s.slot_binding.size(); ++slot) {
-        if (slot != ev.thread_slot && s.slot_binding[slot] == inst->thread) {
+        if (slot != ev.thread_slot && s.slot_binding[slot] == t.thread(inst)) {
           collides = true;
           break;
         }
@@ -142,7 +147,7 @@ bool Embed(EmbedState& s, size_t event_index) {
       }
     }
     // Blocked-forever events must be their thread's final trace event.
-    if (ev.thread_final && inst->seq != s.trace->LastSeqOf(inst->thread)) {
+    if (ev.thread_final && t.seq(inst) != t.LastSeqOf(t.thread(inst))) {
       continue;
     }
     // Order consistency with all previously chosen events. Deadlock patterns
@@ -155,7 +160,7 @@ bool Embed(EmbedState& s, size_t event_index) {
             s.pattern->events[prev].thread_slot != ev.thread_slot) {
           continue;
         }
-        if (!s.trace->ExecutesBefore(*s.chosen[prev], *inst)) {
+        if (!t.ExecutesBefore(s.chosen[prev], inst)) {
           ok = false;
           break;
         }
@@ -173,7 +178,7 @@ bool Embed(EmbedState& s, size_t event_index) {
     s.chosen[event_index] = inst;
     const bool fresh_binding = (bound == rt::kInvalidThread);
     if (fresh_binding) {
-      s.slot_binding[ev.thread_slot] = inst->thread;
+      s.slot_binding[ev.thread_slot] = t.thread(inst);
     }
     if (Embed(s, event_index + 1)) {
       return true;
@@ -197,18 +202,19 @@ bool TraceContainsPattern(const trace::ProcessedTrace& trace, const BugPattern& 
   s.candidates.resize(pattern.events.size());
   uint8_t max_slot = 0;
   for (size_t i = 0; i < pattern.events.size(); ++i) {
-    std::vector<const trace::DynInst*> instances = trace.InstancesOf(pattern.events[i].inst);
+    std::span<const uint32_t> instances = trace.InstancesOf(pattern.events[i].inst);
     if (instances.empty()) {
       return false;
     }
     if (instances.size() > kMaxInstancesPerEvent) {
-      instances.erase(instances.begin(),
-                      instances.end() - static_cast<long>(kMaxInstancesPerEvent));
+      // The most recent instances are the ones adjacent to a failure: keep
+      // the tail of the view.
+      instances = instances.subspan(instances.size() - kMaxInstancesPerEvent);
     }
-    s.candidates[i] = std::move(instances);
+    s.candidates[i].assign(instances.begin(), instances.end());
     max_slot = std::max(max_slot, pattern.events[i].thread_slot);
   }
-  s.chosen.assign(pattern.events.size(), nullptr);
+  s.chosen.assign(pattern.events.size(), trace::ProcessedTrace::kNoInstance);
   s.slot_binding.assign(static_cast<size_t>(max_slot) + 1, rt::kInvalidThread);
   return Embed(s, 0);
 }

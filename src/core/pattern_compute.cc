@@ -85,24 +85,26 @@ class PatternBuilder {
 // dynamic instance the failing thread executed before the failure. These are
 // the possible final events of crash patterns (the failing dereference, the
 // load that produced the corrupt pointer, ...).
-std::vector<const trace::DynInst*> FailingAnchors(
-    const trace::ProcessedTrace& trace, const rt::FailureInfo& failure,
-    const std::vector<const ir::Instruction*>& failure_chain) {
-  std::vector<const trace::DynInst*> anchors;
+constexpr uint32_t kNone = trace::ProcessedTrace::kNoInstance;
+
+std::vector<uint32_t> FailingAnchors(const trace::ProcessedTrace& trace,
+                                     const rt::FailureInfo& failure,
+                                     const std::vector<const ir::Instruction*>& failure_chain) {
+  std::vector<uint32_t> anchors;
   for (const ir::Instruction* access : failure_chain) {
     if (!access->IsMemoryAccess()) {
       continue;
     }
-    const trace::DynInst* best = nullptr;
-    for (const trace::DynInst* d : trace.InstancesOf(access->id())) {
-      if (d->thread != failure.thread || d->ts_ns > failure.time_ns) {
+    uint32_t best = kNone;
+    for (uint32_t d : trace.InstancesOf(access->id())) {
+      if (trace.thread(d) != failure.thread || trace.ts_ns(d) > failure.time_ns) {
         continue;
       }
-      if (best == nullptr || d->seq > best->seq) {
+      if (best == kNone || trace.seq(d) > trace.seq(best)) {
         best = d;
       }
     }
-    if (best != nullptr) {
+    if (best != kNone) {
       anchors.push_back(best);
     }
   }
@@ -112,9 +114,12 @@ std::vector<const trace::DynInst*> FailingAnchors(
 void ComputeCrashPatternsForAnchor(const ir::Module& module,
                                    const trace::ProcessedTrace& trace,
                                    const std::vector<const ir::Instruction*>& candidates,
-                                   const trace::DynInst* f_dyn, PatternBuilder& builder) {
-  const ir::Instruction* f_inst = module.instruction(f_dyn->inst);
-  const bool f_is_write = IsWrite(*f_inst);
+                                   uint32_t f_dyn, PatternBuilder& builder) {
+  const ir::Instruction* f_inst = module.instruction(trace.inst(f_dyn));
+  const rt::ThreadId f_thread = trace.thread(f_dyn);
+  // The packed access-kind column answers read-vs-write without a module
+  // round trip per dynamic instance.
+  const bool f_is_write = trace.access_kind(f_dyn) == trace::AccessKind::kStore;
 
   // --- Order violations: remote access a, then the failing access. ----------
   for (const ir::Instruction* a_inst : candidates) {
@@ -126,26 +131,26 @@ void ComputeCrashPatternsForAnchor(const ir::Module& module,
       continue;  // a race needs at least one write
     }
     // Latest remote instance before the failure.
-    const trace::DynInst* best_before = nullptr;
-    const trace::DynInst* best_unordered = nullptr;
-    for (const trace::DynInst* a : trace.InstancesOf(a_inst->id())) {
-      if (a->thread == f_dyn->thread) {
+    uint32_t best_before = kNone;
+    uint32_t best_unordered = kNone;
+    for (uint32_t a : trace.InstancesOf(a_inst->id())) {
+      if (trace.thread(a) == f_thread) {
         continue;
       }
-      if (trace.ExecutesBefore(*a, *f_dyn)) {
-        if (best_before == nullptr || a->ts_ns > best_before->ts_ns) {
+      if (trace.ExecutesBefore(a, f_dyn)) {
+        if (best_before == kNone || trace.ts_ns(a) > trace.ts_ns(best_before)) {
           best_before = a;
         }
-      } else if (trace.Unordered(*a, *f_dyn)) {
+      } else if (trace.Unordered(a, f_dyn)) {
         best_unordered = a;
       }
     }
-    if (best_before != nullptr) {
+    if (best_before != kNone) {
       BugPattern p;
       p.kind = OrderKind(a_is_write, f_is_write);
       p.events = {PatternEvent{a_inst->id(), 1}, PatternEvent{f_inst->id(), 0}};
       builder.Add(std::move(p));
-    } else if (best_unordered != nullptr) {
+    } else if (best_unordered != kNone) {
       // Coarse interleaving hypothesis violated for this pair: remember the
       // events without an order; they are reported only if no pattern at all
       // can be ordered (paper section 7).
@@ -170,27 +175,27 @@ void ComputeCrashPatternsForAnchor(const ir::Module& module,
       }
       // Find a (failing thread) < b (other thread) < f, taking the latest
       // instances that satisfy the chain.
-      const trace::DynInst* best_a = nullptr;
-      const trace::DynInst* best_b = nullptr;
-      for (const trace::DynInst* b : trace.InstancesOf(b_inst->id())) {
-        if (b->thread == f_dyn->thread || !trace.ExecutesBefore(*b, *f_dyn)) {
+      uint32_t best_a = kNone;
+      uint32_t best_b = kNone;
+      for (uint32_t b : trace.InstancesOf(b_inst->id())) {
+        if (trace.thread(b) == f_thread || !trace.ExecutesBefore(b, f_dyn)) {
           continue;
         }
-        for (const trace::DynInst* a : trace.InstancesOf(a_inst->id())) {
-          if (a->thread != f_dyn->thread || a == f_dyn) {
+        for (uint32_t a : trace.InstancesOf(a_inst->id())) {
+          if (trace.thread(a) != f_thread || a == f_dyn) {
             continue;
           }
-          if (!trace.ExecutesBefore(*a, *b)) {
+          if (!trace.ExecutesBefore(a, b)) {
             continue;
           }
-          if (best_b == nullptr || b->ts_ns > best_b->ts_ns ||
-              (b->ts_ns == best_b->ts_ns && a->ts_ns > best_a->ts_ns)) {
+          if (best_b == kNone || trace.ts_ns(b) > trace.ts_ns(best_b) ||
+              (trace.ts_ns(b) == trace.ts_ns(best_b) && trace.ts_ns(a) > trace.ts_ns(best_a))) {
             best_a = a;
             best_b = b;
           }
         }
       }
-      if (best_a != nullptr) {
+      if (best_a != kNone) {
         BugPattern p;
         p.kind = *kind;
         p.events = {PatternEvent{a_inst->id(), 0}, PatternEvent{b_inst->id(), 1},
@@ -215,27 +220,28 @@ void ComputeCrashPatternsForAnchor(const ir::Module& module,
       if (!kind.has_value()) {
         continue;
       }
-      const trace::DynInst* best_b1 = nullptr;
-      const trace::DynInst* best_b2 = nullptr;
-      for (const trace::DynInst* b2 : trace.InstancesOf(b2_inst->id())) {
-        if (b2->thread == f_dyn->thread || !trace.ExecutesBefore(*f_dyn, *b2)) {
+      uint32_t best_b1 = kNone;
+      uint32_t best_b2 = kNone;
+      for (uint32_t b2 : trace.InstancesOf(b2_inst->id())) {
+        if (trace.thread(b2) == f_thread || !trace.ExecutesBefore(f_dyn, b2)) {
           continue;
         }
-        for (const trace::DynInst* b1 : trace.InstancesOf(b1_inst->id())) {
-          if (b1->thread != b2->thread || b1 == b2) {
+        for (uint32_t b1 : trace.InstancesOf(b1_inst->id())) {
+          if (trace.thread(b1) != trace.thread(b2) || b1 == b2) {
             continue;
           }
-          if (!trace.ExecutesBefore(*b1, *f_dyn)) {
+          if (!trace.ExecutesBefore(b1, f_dyn)) {
             continue;
           }
-          if (best_b1 == nullptr || b1->ts_ns > best_b1->ts_ns ||
-              (b1->ts_ns == best_b1->ts_ns && b2->ts_ns < best_b2->ts_ns)) {
+          if (best_b1 == kNone || trace.ts_ns(b1) > trace.ts_ns(best_b1) ||
+              (trace.ts_ns(b1) == trace.ts_ns(best_b1) &&
+               trace.ts_ns(b2) < trace.ts_ns(best_b2))) {
             best_b1 = b1;
             best_b2 = b2;
           }
         }
       }
-      if (best_b1 != nullptr) {
+      if (best_b1 != kNone) {
         BugPattern p;
         p.kind = *kind;
         p.events = {PatternEvent{b1_inst->id(), 1}, PatternEvent{f_inst->id(), 0},
@@ -263,7 +269,7 @@ void ComputeCrashPatterns(const ir::Module& module, const trace::ProcessedTrace&
     }
   }
   result->candidates_considered = candidates.size();
-  for (const trace::DynInst* anchor : FailingAnchors(trace, failure, failure_chain)) {
+  for (uint32_t anchor : FailingAnchors(trace, failure, failure_chain)) {
     if (builder.Full()) {
       break;
     }
@@ -286,8 +292,8 @@ void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
   // cycle thread, its latest candidate lock-acquire before it blocked.
   struct CycleEntry {
     rt::ThreadId thread;
-    const trace::DynInst* attempt = nullptr;
-    const trace::DynInst* held = nullptr;
+    uint32_t attempt = kNone;
+    uint32_t held = kNone;
   };
   std::vector<CycleEntry> cycle;
   std::unordered_set<ir::InstId> attempt_insts;
@@ -297,13 +303,13 @@ void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
   for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
     CycleEntry entry;
     entry.thread = w.thread;
-    for (const trace::DynInst* inst : trace.InstancesOf(w.inst)) {
-      if (inst->thread == w.thread && inst->ts_ns == w.block_time_ns) {
+    for (uint32_t inst : trace.InstancesOf(w.inst)) {
+      if (trace.thread(inst) == w.thread && trace.ts_ns(inst) == w.block_time_ns) {
         entry.attempt = inst;
         break;
       }
     }
-    if (entry.attempt == nullptr) {
+    if (entry.attempt == kNone) {
       continue;
     }
     // Latest lock-acquire by this thread before it blocked, other than the
@@ -315,11 +321,11 @@ void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
           attempt_insts.count(r.inst->id()) > 0) {
         continue;
       }
-      for (const trace::DynInst* inst : trace.InstancesOf(r.inst->id())) {
-        if (inst->thread != w.thread || inst->seq >= entry.attempt->seq) {
+      for (uint32_t inst : trace.InstancesOf(r.inst->id())) {
+        if (trace.thread(inst) != w.thread || trace.seq(inst) >= trace.seq(entry.attempt)) {
           continue;
         }
-        if (entry.held == nullptr || inst->seq > entry.held->seq) {
+        if (entry.held == kNone || trace.seq(inst) > trace.seq(entry.held)) {
           entry.held = inst;
         }
       }
@@ -335,24 +341,24 @@ void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
   // windows can be wide, so a pure timestamp sort could invert a thread's
   // own hold/attempt pair -- order holds first, then attempts by block time.
   struct TimedEvent {
-    const trace::DynInst* dyn;
+    uint32_t dyn;
     uint8_t slot;
   };
   std::vector<TimedEvent> events;
   for (size_t i = 0; i < cycle.size(); ++i) {
-    if (cycle[i].held != nullptr) {
+    if (cycle[i].held != kNone) {
       events.push_back({cycle[i].held, static_cast<uint8_t>(i)});
     }
   }
-  std::sort(events.begin(), events.end(), [](const TimedEvent& a, const TimedEvent& b) {
-    return a.dyn->ts_ns < b.dyn->ts_ns;
+  std::sort(events.begin(), events.end(), [&](const TimedEvent& a, const TimedEvent& b) {
+    return trace.ts_ns(a.dyn) < trace.ts_ns(b.dyn);
   });
   std::vector<TimedEvent> attempts;
   for (size_t i = 0; i < cycle.size(); ++i) {
     attempts.push_back({cycle[i].attempt, static_cast<uint8_t>(i)});
   }
-  std::sort(attempts.begin(), attempts.end(), [](const TimedEvent& a, const TimedEvent& b) {
-    return a.dyn->ts_ns < b.dyn->ts_ns;
+  std::sort(attempts.begin(), attempts.end(), [&](const TimedEvent& a, const TimedEvent& b) {
+    return trace.ts_ns(a.dyn) < trace.ts_ns(b.dyn);
   });
   events.insert(events.end(), attempts.begin(), attempts.end());
 
@@ -361,7 +367,7 @@ void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
   bool ordered = true;
   for (size_t i = 0; i < cycle.size(); ++i) {
     for (size_t j = i + 1; j < cycle.size(); ++j) {
-      if (trace.Unordered(*cycle[i].attempt, *cycle[j].attempt)) {
+      if (trace.Unordered(cycle[i].attempt, cycle[j].attempt)) {
         ordered = false;
       }
     }
@@ -372,12 +378,12 @@ void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
   p.ordered = ordered;
   std::unordered_set<ir::InstId> blocked;
   for (const CycleEntry& entry : cycle) {
-    blocked.insert(entry.attempt->inst);
+    blocked.insert(trace.inst(entry.attempt));
   }
   for (const TimedEvent& e : events) {
-    const bool is_attempt = blocked.count(e.dyn->inst) > 0 &&
-                            e.dyn->seq == trace.LastSeqOf(e.dyn->thread);
-    p.events.push_back(PatternEvent{e.dyn->inst, e.slot, is_attempt});
+    const bool is_attempt = blocked.count(trace.inst(e.dyn)) > 0 &&
+                            trace.seq(e.dyn) == trace.LastSeqOf(trace.thread(e.dyn));
+    p.events.push_back(PatternEvent{trace.inst(e.dyn), e.slot, is_attempt});
   }
   builder.Add(std::move(p));
 
@@ -388,7 +394,7 @@ void ComputeDeadlockPatterns(const trace::ProcessedTrace& trace,
   attempts_only.ordered = ordered;
   for (size_t i = 0; i < cycle.size(); ++i) {
     attempts_only.events.push_back(
-        PatternEvent{cycle[i].attempt->inst, static_cast<uint8_t>(i), true});
+        PatternEvent{trace.inst(cycle[i].attempt), static_cast<uint8_t>(i), true});
   }
   builder.Add(std::move(attempts_only));
 }

@@ -196,18 +196,19 @@ uint64_t DiagnosisServer::TraceContentKey(const trace::ProcessedTrace& failing) 
   // Pattern computation consumes the partially-ordered dynamic trace, so the
   // sub-key must cover the exact instance sequence and every per-thread clock
   // verdict that alters the partial order.
-  uint64_t h = Mix64(failing.instances().size());
-  for (const trace::DynInst& di : failing.instances()) {
-    h = HashCombine(h, (static_cast<uint64_t>(di.inst) << 32) | di.thread);
-    h = HashCombine(h, (static_cast<uint64_t>(di.seq) << 1) | (di.at_failure ? 1 : 0));
-    h = HashCombine(h, di.ts_lo_ns);
-    h = HashCombine(h, di.ts_ns);
+  uint64_t h = Mix64(failing.size());
+  for (uint32_t i = 0; i < failing.size(); ++i) {
+    h = HashCombine(h, (static_cast<uint64_t>(failing.inst(i)) << 32) | failing.thread(i));
+    h = HashCombine(h,
+                    (static_cast<uint64_t>(failing.seq(i)) << 1) | (failing.at_failure(i) ? 1 : 0));
+    h = HashCombine(h, failing.ts_lo_ns(i));
+    h = HashCombine(h, failing.ts_ns(i));
   }
   uint64_t suspects = 0;
   std::unordered_set<rt::ThreadId> threads_seen;
-  for (const trace::DynInst& di : failing.instances()) {
-    if (threads_seen.insert(di.thread).second && failing.ClockSuspect(di.thread)) {
-      suspects += Mix64(di.thread);
+  for (uint32_t i = 0; i < failing.size(); ++i) {
+    if (threads_seen.insert(failing.thread(i)).second && failing.ClockSuspect(failing.thread(i))) {
+      suspects += Mix64(failing.thread(i));
     }
   }
   h = HashCombine(h, suspects);

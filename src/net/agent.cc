@@ -25,23 +25,20 @@ bool Retryable(const Status& status) {
 
 DiagnosisAgent::DiagnosisAgent(AgentOptions options)
     : options_(options),
+      hello_version_(options.protocol_version),
       chaos_(options.chaos),
       jitter_rng_(options.jitter_seed) {}
 
 void DiagnosisAgent::Enqueue(wire::BundleKind kind, ir::InstId site,
                              const pt::PtTraceBundle& bundle) {
-  wire::BundlePayload payload;
-  payload.kind = kind;
-  payload.target_site = site;
-  wire::EncodeBundle(bundle, &payload.bundle_bytes);
-
+  // No encoding here: the payload format is a property of the connection
+  // (negotiated at handshake), and this bundle may be flushed over a
+  // different connection than the current one.
   PendingBundle pending;
   pending.seq = next_seq_++;
-  wire::Frame frame;
-  frame.type = wire::FrameType::kBundle;
-  frame.seq = pending.seq;
-  wire::EncodeBundlePayload(payload, &frame.payload);
-  wire::EncodeFrame(frame, &pending.frame_bytes);
+  pending.kind = kind;
+  pending.site = site;
+  pending.bundle = bundle;
   pending_.push_back(std::move(pending));
   ++stats_.bundles_enqueued;
 }
@@ -97,7 +94,7 @@ support::Status DiagnosisAgent::ConnectOnce() {
   hello.type = wire::FrameType::kHello;
   hello.seq = out_frame_seq_++;
   wire::HelloPayload payload;
-  payload.protocol_version = options_.protocol_version;
+  payload.protocol_version = hello_version_;
   payload.agent_id = options_.agent_id;
   wire::EncodeHello(payload, &hello.payload);
   std::vector<uint8_t> bytes;
@@ -132,6 +129,9 @@ support::Status DiagnosisAgent::ConnectOnce() {
     Disconnect();
     return status;
   }
+  // The connection speaks the lower of the two advertisements (never below
+  // 1, even against a daemon that acks nonsense).
+  negotiated_version_ = std::max(1u, std::min(ack.protocol_version, hello_version_));
   // Everything the daemon already ingested needs no retransmission.
   while (!pending_.empty() && pending_.front().seq <= ack.last_acked_seq) {
     ++stats_.bundles_acked;
@@ -145,7 +145,19 @@ support::Status DiagnosisAgent::ConnectOnce() {
 support::Status DiagnosisAgent::EnsureConnected() {
   // Single attempt: Flush()'s backoff loop owns the retry policy, so a
   // connect failure costs one attempt there rather than multiplying budgets.
-  return connected_ ? Status::Ok() : ConnectOnce();
+  if (connected_) {
+    return Status::Ok();
+  }
+  Status status = ConnectOnce();
+  if (status.code() == StatusCode::kVersionMismatch &&
+      hello_version_ == wire::kProtocolVersion && hello_version_ > 1) {
+    // An older daemon cannot accept our default advertisement; fall back to
+    // the floor version for the life of this agent. Explicitly overridden
+    // versions never downgrade (skew tests depend on the hard reject).
+    hello_version_ = 1;
+    status = ConnectOnce();
+  }
+  return status;
 }
 
 support::Status DiagnosisAgent::WriteAll(const std::vector<uint8_t>& bytes) {
@@ -210,12 +222,29 @@ support::Status DiagnosisAgent::FlushOnce() {
   // individually chaos-mutated (the fault model corrupts frames, and a
   // duplicated frame is sent back to back, as a retransmitting link would).
   std::vector<uint8_t> batch;
+  const uint8_t format = negotiated_version_ >= 2 ? wire::kPayloadFormatV2
+                                                  : wire::kPayloadFormatV1;
   const auto now = std::chrono::steady_clock::now();
   for (PendingBundle& pending : pending_) {
     if (!pending.sent) {
       pending.first_sent = now;
       pending.sent = true;
     }
+    if (pending.encoded_format != format) {
+      // First send, or a reconnect negotiated a different payload format.
+      pending.frame_bytes.clear();
+      wire::BundlePayload payload;
+      payload.kind = pending.kind;
+      payload.target_site = pending.site;
+      wire::EncodeBundle(pending.bundle, &payload.bundle_bytes, format);
+      wire::Frame frame;
+      frame.type = wire::FrameType::kBundle;
+      frame.seq = pending.seq;
+      wire::EncodeBundlePayload(payload, &frame.payload);
+      wire::EncodeFrame(frame, &pending.frame_bytes);
+      pending.encoded_format = format;
+    }
+    stats_.bundle_bytes_sent += pending.frame_bytes.size();
     std::vector<uint8_t> frame_bytes = pending.frame_bytes;
     bool send_twice = false;
     if (chaos_.enabled()) {

@@ -55,6 +55,9 @@ struct AgentStats {
   size_t reconnects = 0;         // connects after the first
   size_t retries = 0;            // backoff sleeps taken
   size_t frames_chaos_corrupted = 0;
+  // Encoded bundle-frame bytes handed to the socket (retransmissions count
+  // again): the bench's bytes-per-bundle numerator.
+  size_t bundle_bytes_sent = 0;
 };
 
 // One shard's diagnosis as received over the wire.
@@ -97,10 +100,21 @@ class DiagnosisAgent {
   // Shed notices received from the daemon (slow-reader backpressure).
   const std::vector<std::string>& shed_notices() const { return shed_notices_; }
 
+  // Protocol version this connection settled on (min of both sides'
+  // advertisements); meaningful after the first successful handshake.
+  uint32_t negotiated_version() const { return negotiated_version_; }
+
  private:
+  // A queued bundle keeps its structured form; the wire encoding is produced
+  // lazily at flush time in the *negotiated* payload format and re-encoded if
+  // a reconnect lands on a daemon speaking a different version.
   struct PendingBundle {
     uint64_t seq = 0;
-    std::vector<uint8_t> frame_bytes;  // fully encoded kBundle frame
+    wire::BundleKind kind = wire::BundleKind::kFailing;
+    ir::InstId site = ir::kInvalidInstId;
+    pt::PtTraceBundle bundle;
+    std::vector<uint8_t> frame_bytes;  // encoded kBundle frame, or empty
+    uint8_t encoded_format = 0;        // payload format of frame_bytes; 0 = stale
     std::chrono::steady_clock::time_point first_sent{};
     bool sent = false;
   };
@@ -121,6 +135,12 @@ class DiagnosisAgent {
   AgentOptions options_;
   Socket sock_;
   bool connected_ = false;
+  // Version advertised in the next Hello. Starts at options_.protocol_version
+  // and drops to 1 after a version-mismatch reject when the default was
+  // advertised (talking to an older daemon); explicit overrides are sent
+  // verbatim so tests can force unresolvable skew.
+  uint32_t hello_version_ = wire::kProtocolVersion;
+  uint32_t negotiated_version_ = 1;
   uint64_t next_seq_ = 1;
   uint64_t out_frame_seq_ = 1;  // non-bundle frames' header sequence
   std::deque<PendingBundle> pending_;

@@ -171,7 +171,7 @@ bool DiagnosisDaemon::ReadFrom(Connection& c) {
     }
     if (n == 0) {
       // Peer closed. Process what is buffered, then drop the connection.
-      wire::Frame frame;
+      wire::FrameView frame;
       while (c.assembler.Next(&frame)) {
         HandleFrame(c, frame);
       }
@@ -190,7 +190,7 @@ bool DiagnosisDaemon::ReadFrom(Connection& c) {
       return true;  // keep alive to flush the reject
     }
   }
-  wire::Frame frame;
+  wire::FrameView frame;
   while (c.assembler.Next(&frame)) {
     HandleFrame(c, frame);
   }
@@ -250,7 +250,7 @@ void DiagnosisDaemon::RejectAndClose(Connection& c, const support::Status& statu
   c.closing = true;
 }
 
-void DiagnosisDaemon::HandleFrame(Connection& c, const wire::Frame& frame) {
+void DiagnosisDaemon::HandleFrame(Connection& c, const wire::FrameView& frame) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.frames_received;
@@ -283,7 +283,7 @@ void DiagnosisDaemon::HandleFrame(Connection& c, const wire::Frame& frame) {
   }
 }
 
-void DiagnosisDaemon::HandleHello(Connection& c, const wire::Frame& frame) {
+void DiagnosisDaemon::HandleHello(Connection& c, const wire::FrameView& frame) {
   wire::HelloPayload hello;
   const Status status = wire::DecodeHello(frame.payload, &hello);
   if (!status.ok()) {
@@ -292,7 +292,10 @@ void DiagnosisDaemon::HandleHello(Connection& c, const wire::Frame& frame) {
     RejectAndClose(c, status);
     return;
   }
-  if (hello.protocol_version != wire::kProtocolVersion) {
+  // Any version in [1, ours] is negotiable: the connection runs at the
+  // agent's version and the ack says so. Only a version from the future is a
+  // rejection -- this daemon cannot know how to speak it.
+  if (hello.protocol_version < 1 || hello.protocol_version > options_.protocol_version) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.handshakes_rejected;
@@ -300,19 +303,21 @@ void DiagnosisDaemon::HandleHello(Connection& c, const wire::Frame& frame) {
     RejectAndClose(
         c, Status::Error(StatusCode::kVersionMismatch,
                          StrFormat("agent speaks protocol %u, this daemon speaks %u",
-                                   hello.protocol_version, wire::kProtocolVersion)));
+                                   hello.protocol_version, options_.protocol_version)));
     return;
   }
   c.handshaken = true;
   c.agent_id = hello.agent_id;
+  c.negotiated_version = std::min(hello.protocol_version, options_.protocol_version);
   wire::HelloAckPayload ack;
+  ack.protocol_version = c.negotiated_version;
   ack.last_acked_seq = agents_[hello.agent_id].max_contiguous;
   std::vector<uint8_t> payload;
   wire::EncodeHelloAck(ack, &payload);
   QueueFrame(c, wire::FrameType::kHelloAck, std::move(payload), /*sheddable=*/false);
 }
 
-void DiagnosisDaemon::HandleBundle(Connection& c, const wire::Frame& frame) {
+void DiagnosisDaemon::HandleBundle(Connection& c, const wire::FrameView& frame) {
   wire::BundleAckPayload ack;
   ack.bundle_seq = frame.seq;
   AgentHistory& history = agents_[c.agent_id];
@@ -322,7 +327,7 @@ void DiagnosisDaemon::HandleBundle(Connection& c, const wire::Frame& frame) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.bundles_duplicate;
   } else {
-    wire::BundlePayload payload;
+    wire::BundlePayloadView payload;
     Status status = wire::DecodeBundlePayload(frame.payload, &payload);
     if (status.ok()) {
       auto bundle = wire::DecodeBundle(payload.bundle_bytes);
@@ -374,7 +379,9 @@ void DiagnosisDaemon::HandleDiagnose(Connection& c) {
     wire::ReportPayload rp;
     rp.module_fingerprint = sr.key.module_fingerprint;
     rp.failing_inst = sr.key.failing_inst;
-    wire::EncodeReport(sr.report, &rp.report_bytes);
+    const uint8_t format = c.negotiated_version >= 2 ? wire::kPayloadFormatV2
+                                                     : wire::kPayloadFormatV1;
+    wire::EncodeReport(sr.report, &rp.report_bytes, format);
     std::vector<uint8_t> payload;
     wire::EncodeReportPayload(rp, &payload);
     const size_t sheds_before = c.sheds_this_stream;

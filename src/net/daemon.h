@@ -49,6 +49,10 @@ struct DaemonOptions {
   // non-draining reader behind kernel memory -- clamping makes the shed
   // policy bite at a bounded backlog (and makes it testable).
   int sndbuf_bytes = 0;
+  // Newest protocol version this daemon speaks; each connection runs at
+  // min(agent, daemon). Lowering it simulates an older daemon (tests exercise
+  // both directions of the v1<->v2 skew this way).
+  uint32_t protocol_version = wire::kProtocolVersion;
   // Options for the shared ServerPool the daemon ingests into.
   core::ServerPoolOptions pool;
 };
@@ -102,6 +106,9 @@ class DiagnosisDaemon {
     bool handshaken = false;
     bool closing = false;  // flush outbound, then close
     uint64_t agent_id = 0;
+    // min(agent's hello, our protocol_version); fixes the payload format the
+    // daemon writes back (>= 2 means compressed v2 reports).
+    uint32_t negotiated_version = 1;
     uint64_t out_seq = 0;
     std::vector<uint8_t> outbound;
     size_t outbound_start = 0;
@@ -117,9 +124,12 @@ class DiagnosisDaemon {
   // Reads everything available; returns false when the connection should die.
   bool ReadFrom(Connection& c);
   bool WriteTo(Connection& c);
-  void HandleFrame(Connection& c, const wire::Frame& frame);
-  void HandleHello(Connection& c, const wire::Frame& frame);
-  void HandleBundle(Connection& c, const wire::Frame& frame);
+  // Frame handlers run on views into the assembler buffer (valid for the
+  // duration of the call): bundle payloads decode straight from the socket
+  // buffer with no intermediate copy.
+  void HandleFrame(Connection& c, const wire::FrameView& frame);
+  void HandleHello(Connection& c, const wire::FrameView& frame);
+  void HandleBundle(Connection& c, const wire::FrameView& frame);
   void HandleDiagnose(Connection& c);
   // Queues a frame for writing. Sheddable frames are dropped (and counted)
   // when the peer's backlog exceeds max_outbound_bytes.

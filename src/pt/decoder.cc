@@ -103,14 +103,33 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
                                            const PtConfig& config,
                                            uint64_t snapshot_time_ns) const {
   DecodedThreadTrace out;
+  DecodeThreadInto(raw, config, snapshot_time_ns, &out);
+  return out;
+}
+
+void PtDecoder::DecodeThreadInto(const PtTraceBundle::PerThread& raw, const PtConfig& config,
+                                 uint64_t snapshot_time_ns, DecodedThreadTrace* out_ptr) const {
+  DecodedThreadTrace& out = *out_ptr;
+  out.events.clear();  // keeps capacity: the reuse contract of this variant
+  out.packets_decoded = 0;
+  out.clock_anomalies = 0;
+  out.resyncs = 0;
+  out.error.clear();
   out.thread = raw.thread;
   out.lost_prefix = raw.total_written > raw.bytes.size();
+  // Every decoded event costs at least a fraction of a packet byte; a TNT
+  // packet (3 bytes) resolves up to 6 branches, each preceded by a short
+  // straight-line run. 4 events/byte absorbs typical streams in one up-front
+  // grow; pathological branch-free regions still append past it.
+  if (out.events.capacity() < raw.bytes.size() * 4) {
+    out.events.reserve(raw.bytes.size() * 4);
+  }
 
   // Field bundles arrive with hostile metadata: a zero clock period would
   // divide by zero below, so reject the config up front instead of trusting it.
   if (config.mtc_period_ns == 0 || config.cyc_unit_ns == 0) {
     out.error = "corrupt trace config (zero clock period)";
-    return out;
+    return;
   }
 
   WalkState w;
@@ -131,7 +150,7 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
   if (pos >= raw.bytes.size()) {
     if (raw.bytes.empty()) {
       out.error = "no PSB sync point in the buffer";
-      return out;
+      return;
     }
     pos = 0;
   }
@@ -391,7 +410,6 @@ DecodedThreadTrace PtDecoder::DecodeThread(const PtTraceBundle::PerThread& raw,
       }
     }
   }
-  return out;
 }
 
 std::vector<DecodedThreadTrace> PtDecoder::Decode(const PtTraceBundle& bundle) const {

@@ -59,6 +59,11 @@ class PtDecoder {
   // `snapshot_time_ns` upper-bounds the trailing (post-last-packet) events.
   DecodedThreadTrace DecodeThread(const PtTraceBundle::PerThread& raw,
                                   const PtConfig& config, uint64_t snapshot_time_ns) const;
+  // Allocation-reusing variant: resets `*out` but keeps its event capacity,
+  // so a caller decoding many buffers through one scratch trace pays the
+  // vector growth once (O(1) steady-state allocations per 64 KB ring).
+  void DecodeThreadInto(const PtTraceBundle::PerThread& raw, const PtConfig& config,
+                        uint64_t snapshot_time_ns, DecodedThreadTrace* out) const;
   std::vector<DecodedThreadTrace> Decode(const PtTraceBundle& bundle) const;
 
  private:

@@ -1,11 +1,38 @@
 #include "trace/processed_trace.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "support/check.h"
 #include "support/str.h"
 
 namespace snorlax::trace {
+
+namespace {
+
+AccessKind KindOf(const ir::Module* module, ir::InstId inst) {
+  switch (module->instruction(inst)->opcode()) {
+    case ir::Opcode::kLoad:
+      return AccessKind::kLoad;
+    case ir::Opcode::kStore:
+      return AccessKind::kStore;
+    default:
+      return AccessKind::kOther;
+  }
+}
+
+}  // namespace
+
+void ProcessedTrace::AppendInstance(ir::InstId inst, rt::ThreadId thread, uint32_t seq,
+                                    uint64_t ts_lo_ns, uint64_t ts_ns, bool at_failure) {
+  col_inst_.push_back(inst);
+  col_thread_.push_back(thread);
+  col_seq_.push_back(seq);
+  col_ts_lo_.push_back(ts_lo_ns);
+  col_ts_.push_back(ts_ns);
+  const uint8_t kind = static_cast<uint8_t>(KindOf(module_, inst)) << kAccessShift;
+  col_flags_.push_back(kind | (at_failure ? kAtFailureBit : 0));
+}
 
 ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle& bundle,
                                TraceOptions options)
@@ -38,8 +65,11 @@ ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle
     }
   }
 
+  // One scratch buffer reused across every thread: decode capacity is paid
+  // once for the largest thread instead of re-grown per thread.
+  pt::DecodedThreadTrace decoded;
   for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
-    const pt::DecodedThreadTrace decoded = decoder.DecodeThread(per, bundle.config, bundle.snapshot_time_ns);
+    decoder.DecodeThreadInto(per, bundle.config, bundle.snapshot_time_ns, &decoded);
     ++degradation_.threads_total;
     if (!decoded.ok()) {
       decode_errors_.push_back(decoded.error);
@@ -65,6 +95,16 @@ ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle
     } else {
       ++degradation_.threads_dropped;
     }
+    // One reservation covers the whole thread (plus the appended failure
+    // point and deadlock waiters): column growth is O(threads), not
+    // O(events).
+    const size_t add = decoded.events.size() + 1 + failure_.deadlock_cycle.size();
+    col_inst_.reserve(col_inst_.size() + add);
+    col_thread_.reserve(col_thread_.size() + add);
+    col_seq_.reserve(col_seq_.size() + add);
+    col_ts_lo_.reserve(col_ts_lo_.size() + add);
+    col_ts_.reserve(col_ts_.size() + add);
+    col_flags_.reserve(col_flags_.size() + add);
     uint32_t seq = 0;
     uint64_t prev_ts = 0;
     for (const pt::DecodedEvent& ev : decoded.events) {
@@ -76,7 +116,7 @@ ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle
         clock_suspect_threads_.insert(per.thread);
       }
       prev_ts = ev.ts_ns;
-      instances_.push_back(DynInst{ev.inst, per.thread, seq++, ev.ts_lo_ns, ev.ts_ns, false});
+      AppendInstance(ev.inst, per.thread, seq++, ev.ts_lo_ns, ev.ts_ns, false);
     }
     // The decoded trace ends at the last packet; the failing instruction
     // itself is known from the crash report, so append it (the paper maps the
@@ -85,15 +125,14 @@ ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle
     if (failure_.IsFailure() && failure_.thread == per.thread &&
         failure_.failing_inst != ir::kInvalidInstId) {
       executed_.insert(failure_.failing_inst);
-      instances_.push_back(DynInst{failure_.failing_inst, per.thread, seq++, failure_.time_ns,
-                                   failure_.time_ns, true});
+      AppendInstance(failure_.failing_inst, per.thread, seq++, failure_.time_ns,
+                     failure_.time_ns, true);
     }
     for (const rt::FailureInfo::DeadlockWaiter& w : failure_.deadlock_cycle) {
       if (w.thread == per.thread && w.inst != ir::kInvalidInstId &&
           !(w.thread == failure_.thread && w.inst == failure_.failing_inst)) {
         executed_.insert(w.inst);
-        instances_.push_back(DynInst{w.inst, per.thread, seq++, w.block_time_ns,
-                                     w.block_time_ns, false});
+        AppendInstance(w.inst, per.thread, seq++, w.block_time_ns, w.block_time_ns, false);
       }
     }
   }
@@ -114,55 +153,95 @@ ProcessedTrace::ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle
         clock_suspect_threads_.size()));
   }
 
-  std::sort(instances_.begin(), instances_.end(), [](const DynInst& a, const DynInst& b) {
-    if (a.at_failure != b.at_failure) {
-      return b.at_failure;  // the failure point sorts last
-    }
-    if (a.ts_ns != b.ts_ns) {
-      return a.ts_ns < b.ts_ns;
-    }
-    if (a.thread != b.thread) {
-      return a.thread < b.thread;
-    }
-    return a.seq < b.seq;
-  });
+  SortAndIndex();
+}
 
-  for (uint32_t i = 0; i < instances_.size(); ++i) {
-    instances_by_inst_[instances_[i].inst].push_back(i);
-    uint32_t& last = last_seq_[instances_[i].thread];
-    if (instances_[i].seq > last) {
-      last = instances_[i].seq;
+void ProcessedTrace::SortAndIndex() {
+  const uint32_t n = static_cast<uint32_t>(col_inst_.size());
+  // Sort a permutation, then gather each column through it: one comparator
+  // pass touching four columns, six cache-friendly linear applies.
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    const bool fa = (col_flags_[a] & kAtFailureBit) != 0;
+    const bool fb = (col_flags_[b] & kAtFailureBit) != 0;
+    if (fa != fb) {
+      return fb;  // the failure point sorts last
     }
-    if (failure_.IsFailure() && instances_[i].inst == failure_.failing_inst &&
-        instances_[i].thread == failure_.thread && instances_[i].ts_ns == failure_.time_ns) {
+    if (col_ts_[a] != col_ts_[b]) {
+      return col_ts_[a] < col_ts_[b];
+    }
+    if (col_thread_[a] != col_thread_[b]) {
+      return col_thread_[a] < col_thread_[b];
+    }
+    return col_seq_[a] < col_seq_[b];
+  });
+  const auto gather = [&](auto& col) {
+    auto tmp = col;
+    for (uint32_t i = 0; i < n; ++i) {
+      tmp[i] = col[perm[i]];
+    }
+    col.swap(tmp);
+  };
+  gather(col_inst_);
+  gather(col_thread_);
+  gather(col_seq_);
+  gather(col_ts_lo_);
+  gather(col_ts_);
+  gather(col_flags_);
+
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t& last = last_seq_[col_thread_[i]];
+    if (col_seq_[i] > last) {
+      last = col_seq_[i];
+    }
+    if (failure_.IsFailure() && col_inst_[i] == failure_.failing_inst &&
+        col_thread_[i] == failure_.thread && col_ts_[i] == failure_.time_ns) {
       failing_index_ = i;
     }
   }
+
+  // Flat instance index: the postings array is the positions 0..n-1 grouped
+  // by instruction id (stable, so positions ascend within a group -- the
+  // same order the old map of vectors produced).
+  postings_.resize(n);
+  std::iota(postings_.begin(), postings_.end(), 0u);
+  std::stable_sort(postings_.begin(), postings_.end(),
+                   [&](uint32_t a, uint32_t b) { return col_inst_[a] < col_inst_[b]; });
+  index_inst_.clear();
+  index_offset_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    const ir::InstId id = col_inst_[postings_[i]];
+    if (index_inst_.empty() || index_inst_.back() != id) {
+      index_inst_.push_back(id);
+      index_offset_.push_back(i);
+    }
+  }
+  index_offset_.push_back(n);
 }
 
-std::vector<const DynInst*> ProcessedTrace::InstancesOf(ir::InstId inst) const {
-  std::vector<const DynInst*> out;
-  auto it = instances_by_inst_.find(inst);
-  if (it == instances_by_inst_.end()) {
-    return out;
+std::span<const uint32_t> ProcessedTrace::InstancesOf(ir::InstId inst) const {
+  auto it = std::lower_bound(index_inst_.begin(), index_inst_.end(), inst);
+  if (it == index_inst_.end() || *it != inst) {
+    return {};
   }
-  out.reserve(it->second.size());
-  for (uint32_t idx : it->second) {
-    out.push_back(&instances_[idx]);
-  }
-  return out;
+  const size_t k = static_cast<size_t>(it - index_inst_.begin());
+  return std::span<const uint32_t>(postings_.data() + index_offset_[k],
+                                   index_offset_[k + 1] - index_offset_[k]);
 }
 
-bool ProcessedTrace::ExecutesBefore(const DynInst& a, const DynInst& b) const {
-  if (a.thread == b.thread) {
-    return a.seq < b.seq;
+bool ProcessedTrace::ExecutesBefore(uint32_t a, uint32_t b) const {
+  if (col_thread_[a] == col_thread_[b]) {
+    return col_seq_[a] < col_seq_[b];
   }
   // Everything captured in a failure snapshot retired before the failure
   // point (the snapshot is a causal cut of the execution).
-  if (b.at_failure && !a.at_failure) {
+  const bool a_failure = (col_flags_[a] & kAtFailureBit) != 0;
+  const bool b_failure = (col_flags_[b] & kAtFailureBit) != 0;
+  if (b_failure && !a_failure) {
     return true;
   }
-  if (a.at_failure) {
+  if (a_failure) {
     return false;
   }
   // A corrupt clock voids the interval rule for the thread it damaged:
@@ -171,16 +250,12 @@ bool ProcessedTrace::ExecutesBefore(const DynInst& a, const DynInst& b) const {
   // same ladder rung as a coarse-interleaving-hypothesis violation). Pairs
   // between clean threads keep the interval rule.
   if (!clock_suspect_threads_.empty() &&
-      (clock_suspect_threads_.count(a.thread) > 0 ||
-       clock_suspect_threads_.count(b.thread) > 0)) {
+      (clock_suspect_threads_.count(col_thread_[a]) > 0 ||
+       clock_suspect_threads_.count(col_thread_[b]) > 0)) {
     return false;
   }
   // Interval rule: a's window must end before b's window begins.
-  return a.ts_ns + options_.order_granularity_ns <= b.ts_lo_ns;
-}
-
-bool ProcessedTrace::Unordered(const DynInst& a, const DynInst& b) const {
-  return !ExecutesBefore(a, b) && !ExecutesBefore(b, a);
+  return col_ts_[a] + options_.order_granularity_ns <= col_ts_lo_[b];
 }
 
 }  // namespace snorlax::trace

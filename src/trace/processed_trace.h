@@ -11,9 +11,17 @@
 //           are ordered only when their coarse timestamps are separated by
 //           more than the timing granularity. Bug pattern computation uses
 //           this partial order ("partial flow sensitivity", paper 4.4).
+//
+// Storage is columnar (structure-of-arrays): one tightly-packed column per
+// field, indexed by instance position in the sorted trace order. Pattern
+// search touches one or two columns per comparison, so this keeps the hot
+// loops in cache and makes the per-instruction instance index a pair of
+// offsets into a shared postings array instead of a map of vectors.
 #ifndef SNORLAX_TRACE_PROCESSED_TRACE_H_
 #define SNORLAX_TRACE_PROCESSED_TRACE_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,19 +32,13 @@
 
 namespace snorlax::trace {
 
-struct DynInst {
-  ir::InstId inst = ir::kInvalidInstId;
-  rt::ThreadId thread = rt::kInvalidThread;
-  uint32_t seq = 0;        // per-thread program-order sequence number
-  // Retirement window recovered from the timing packets: the instruction
-  // retired somewhere in [ts_lo_ns, ts_ns]. Cross-thread ordering is only
-  // established when windows are separated by the granularity.
-  uint64_t ts_lo_ns = 0;
-  uint64_t ts_ns = 0;
-  // True for the failure point appended from the crash report. Everything in
-  // a failure snapshot retired before the snapshot was taken, so every other
-  // event executes-before this one.
-  bool at_failure = false;
+// What a dynamic instance did to memory, derived from its static opcode.
+// Packed beside the at_failure bit so pattern computation can classify
+// read/write without a module lookup per instance.
+enum class AccessKind : uint8_t {
+  kOther = 0,
+  kLoad = 1,
+  kStore = 2,
 };
 
 struct TraceOptions {
@@ -50,6 +52,10 @@ struct TraceOptions {
 
 class ProcessedTrace {
  public:
+  // Sentinel for "no such instance" (e.g. failing_instance() of a trace
+  // without a usable failure record).
+  static constexpr uint32_t kNoInstance = UINT32_MAX;
+
   ProcessedTrace(const ir::Module* module, const pt::PtTraceBundle& bundle,
                  TraceOptions options = {});
 
@@ -58,16 +64,37 @@ class ProcessedTrace {
   bool WasExecuted(ir::InstId inst) const { return executed_.find(inst) != executed_.end(); }
 
   // --- Step 3: partially-ordered dynamic trace --------------------------------
-  // All dynamic instances, sorted by (timestamp, thread, seq).
-  const std::vector<DynInst>& instances() const { return instances_; }
-  // Dynamic instances of one static instruction.
-  std::vector<const DynInst*> InstancesOf(ir::InstId inst) const;
+  // Instances are addressed by their position in the sorted trace order
+  // (at_failure last, then timestamp, thread, seq). Each accessor reads one
+  // column.
+  size_t size() const { return col_inst_.size(); }
+  ir::InstId inst(uint32_t i) const { return col_inst_[i]; }
+  rt::ThreadId thread(uint32_t i) const { return col_thread_[i]; }
+  // Per-thread program-order sequence number.
+  uint32_t seq(uint32_t i) const { return col_seq_[i]; }
+  // Retirement window: the instruction retired somewhere in [ts_lo_ns, ts_ns].
+  uint64_t ts_lo_ns(uint32_t i) const { return col_ts_lo_[i]; }
+  uint64_t ts_ns(uint32_t i) const { return col_ts_[i]; }
+  // True for the failure point appended from the crash report. Everything in
+  // a failure snapshot retired before the snapshot was taken, so every other
+  // event executes-before this one.
+  bool at_failure(uint32_t i) const { return (col_flags_[i] & kAtFailureBit) != 0; }
+  AccessKind access_kind(uint32_t i) const {
+    return static_cast<AccessKind>(col_flags_[i] >> kAccessShift);
+  }
 
-  // The partial order: true iff `a` is known to execute before `b`.
-  bool ExecutesBefore(const DynInst& a, const DynInst& b) const;
+  // Positions (in trace order) of the dynamic instances of one static
+  // instruction. A view into the shared postings array: free to call in a
+  // loop, valid for the lifetime of the trace.
+  std::span<const uint32_t> InstancesOf(ir::InstId inst) const;
+
+  // The partial order: true iff instance `a` is known to execute before `b`.
+  bool ExecutesBefore(uint32_t a, uint32_t b) const;
   // True iff the order of `a` and `b` cannot be established (cross-thread
   // events closer than the granularity).
-  bool Unordered(const DynInst& a, const DynInst& b) const;
+  bool Unordered(uint32_t a, uint32_t b) const {
+    return !ExecutesBefore(a, b) && !ExecutesBefore(b, a);
+  }
 
   // Highest per-thread sequence number in the trace (the thread's final
   // event); 0 if the thread has no events.
@@ -78,11 +105,10 @@ class ProcessedTrace {
 
   // --- Provenance -------------------------------------------------------------
   const rt::FailureInfo& failure() const { return failure_; }
-  // The failing instruction's dynamic instance (appended from the crash
-  // report, since the trace ends at the last packet before the failure).
-  const DynInst* failing_instance() const {
-    return failing_index_ < instances_.size() ? &instances_[failing_index_] : nullptr;
-  }
+  // Position of the failing instruction's dynamic instance (appended from the
+  // crash report, since the trace ends at the last packet before the
+  // failure); kNoInstance when the record was unusable.
+  uint32_t failing_instance() const { return failing_index_; }
 
   bool lost_prefix() const { return lost_prefix_; }
   const std::vector<std::string>& decode_errors() const { return decode_errors_; }
@@ -105,17 +131,39 @@ class ProcessedTrace {
     return clock_suspect_threads_.count(thread) > 0;
   }
   // True when the surviving buffers yielded at least one event to analyze.
-  bool HasEvidence() const { return !instances_.empty(); }
+  bool HasEvidence() const { return !col_inst_.empty(); }
 
  private:
+  static constexpr uint8_t kAtFailureBit = 0x1;
+  static constexpr uint8_t kAccessShift = 1;
+
+  void AppendInstance(ir::InstId inst, rt::ThreadId thread, uint32_t seq, uint64_t ts_lo_ns,
+                      uint64_t ts_ns, bool at_failure);
+  void SortAndIndex();
+
   const ir::Module* module_;
   TraceOptions options_;
   std::unordered_set<ir::InstId> executed_;
-  std::vector<DynInst> instances_;
-  std::unordered_map<ir::InstId, std::vector<uint32_t>> instances_by_inst_;
+
+  // Columns, parallel by instance position.
+  std::vector<ir::InstId> col_inst_;
+  std::vector<rt::ThreadId> col_thread_;
+  std::vector<uint32_t> col_seq_;
+  std::vector<uint64_t> col_ts_lo_;
+  std::vector<uint64_t> col_ts_;
+  std::vector<uint8_t> col_flags_;  // bit 0: at_failure; bits 1..2: AccessKind
+
+  // Flat instance index: postings_ holds every position, grouped by
+  // instruction id (positions ascending within a group); index_inst_ holds
+  // the distinct instruction ids in ascending order and index_offset_[k] the
+  // start of id k's group (index_offset_ has one trailing end sentinel).
+  std::vector<uint32_t> postings_;
+  std::vector<ir::InstId> index_inst_;
+  std::vector<uint32_t> index_offset_;
+
   std::unordered_map<rt::ThreadId, uint32_t> last_seq_;
   rt::FailureInfo failure_;
-  size_t failing_index_ = SIZE_MAX;
+  uint32_t failing_index_ = kNoInstance;
   bool lost_prefix_ = false;
   std::vector<std::string> decode_errors_;
   size_t threads_in_trace_ = 0;

@@ -67,7 +67,7 @@ void EncodeHello(const HelloPayload& hello, std::vector<uint8_t>* out) {
   AppendU64(out, hello.agent_id);
 }
 
-support::Status DecodeHello(const std::vector<uint8_t>& payload, HelloPayload* out) {
+support::Status DecodeHello(std::span<const uint8_t> payload, HelloPayload* out) {
   ByteReader r(payload);
   out->protocol_version = r.U32();
   out->agent_id = r.U64();
@@ -79,7 +79,7 @@ void EncodeHelloAck(const HelloAckPayload& ack, std::vector<uint8_t>* out) {
   AppendU64(out, ack.last_acked_seq);
 }
 
-support::Status DecodeHelloAck(const std::vector<uint8_t>& payload, HelloAckPayload* out) {
+support::Status DecodeHelloAck(std::span<const uint8_t> payload, HelloAckPayload* out) {
   ByteReader r(payload);
   out->protocol_version = r.U32();
   out->last_acked_seq = r.U64();
@@ -91,7 +91,7 @@ void EncodeStatusPayload(const support::Status& status, std::vector<uint8_t>* ou
   AppendString(out, status.message());
 }
 
-support::Status DecodeStatusPayload(const std::vector<uint8_t>& payload,
+support::Status DecodeStatusPayload(std::span<const uint8_t> payload,
                                     support::Status* out) {
   ByteReader r(payload);
   const uint8_t code = r.U8();
@@ -112,12 +112,28 @@ void EncodeBundlePayload(const BundlePayload& payload, std::vector<uint8_t>* out
   AppendBytes(out, payload.bundle_bytes);
 }
 
-support::Status DecodeBundlePayload(const std::vector<uint8_t>& payload,
+support::Status DecodeBundlePayload(std::span<const uint8_t> payload,
                                     BundlePayload* out) {
   ByteReader r(payload);
   const uint8_t kind = r.U8();
   out->target_site = r.U32();
   out->bundle_bytes = r.Bytes();
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (kind > static_cast<uint8_t>(BundleKind::kSuccess)) {
+    return Status::Error(StatusCode::kCorruptData, "bundle kind out of range");
+  }
+  out->kind = static_cast<BundleKind>(kind);
+  return r.ExpectExhausted();
+}
+
+support::Status DecodeBundlePayload(std::span<const uint8_t> payload,
+                                    BundlePayloadView* out) {
+  ByteReader r(payload);
+  const uint8_t kind = r.U8();
+  out->target_site = r.U32();
+  out->bundle_bytes = r.BytesView();
   if (!r.ok()) {
     return r.status();
   }
@@ -134,7 +150,7 @@ void EncodeBundleAck(const BundleAckPayload& ack, std::vector<uint8_t>* out) {
   EncodeStatusPayload(ack.status, out);
 }
 
-support::Status DecodeBundleAck(const std::vector<uint8_t>& payload,
+support::Status DecodeBundleAck(std::span<const uint8_t> payload,
                                 BundleAckPayload* out) {
   ByteReader r(payload);
   out->bundle_seq = r.U64();
@@ -158,7 +174,7 @@ void EncodeReportPayload(const ReportPayload& payload, std::vector<uint8_t>* out
   AppendBytes(out, payload.report_bytes);
 }
 
-support::Status DecodeReportPayload(const std::vector<uint8_t>& payload,
+support::Status DecodeReportPayload(std::span<const uint8_t> payload,
                                     ReportPayload* out) {
   ByteReader r(payload);
   out->module_fingerprint = r.U64();
@@ -167,12 +183,21 @@ support::Status DecodeReportPayload(const std::vector<uint8_t>& payload,
   return r.ok() ? r.ExpectExhausted() : r.status();
 }
 
+support::Status DecodeReportPayload(std::span<const uint8_t> payload,
+                                    ReportPayloadView* out) {
+  ByteReader r(payload);
+  out->module_fingerprint = r.U64();
+  out->failing_inst = r.U32();
+  out->report_bytes = r.BytesView();
+  return r.ok() ? r.ExpectExhausted() : r.status();
+}
+
 void EncodeShed(const ShedPayload& shed, std::vector<uint8_t>* out) {
   AppendU64(out, shed.dropped_frames);
   AppendString(out, shed.note);
 }
 
-support::Status DecodeShed(const std::vector<uint8_t>& payload, ShedPayload* out) {
+support::Status DecodeShed(std::span<const uint8_t> payload, ShedPayload* out) {
   ByteReader r(payload);
   out->dropped_frames = r.U64();
   out->note = r.String();
@@ -248,6 +273,18 @@ bool FrameAssembler::AlignToFrame() {
 }
 
 bool FrameAssembler::Next(Frame* out) {
+  FrameView view;
+  if (!Next(&view)) {
+    return false;
+  }
+  // The view stays valid until the next Feed()/Next(); copy it out now.
+  out->type = view.type;
+  out->seq = view.seq;
+  out->payload.assign(view.payload.begin(), view.payload.end());
+  return true;
+}
+
+bool FrameAssembler::Next(FrameView* out) {
   while (AlignToFrame()) {
     const uint8_t* h = buffer_.data() + start_;
     uint32_t payload_len = 0;
@@ -277,7 +314,9 @@ bool FrameAssembler::Next(Frame* out) {
       seq = (seq << 8) | h[6 + i];
     }
     out->seq = seq;
-    out->payload.assign(h + kFrameHeaderBytes, h + total);
+    // Hand out a view into the buffer; only the cursor advances, so the bytes
+    // stay put until the next Feed() compaction or buffer growth.
+    out->payload = {h + kFrameHeaderBytes, payload_len};
     start_ += total;
     ++frames_ok_;
     return true;

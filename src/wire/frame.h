@@ -28,6 +28,7 @@
 #define SNORLAX_WIRE_FRAME_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,9 +37,13 @@
 
 namespace snorlax::wire {
 
-// Protocol version exchanged in the handshake. Bump on any frame-level or
-// message-flow change; payload layout changes bump kPayloadFormatVersion.
-inline constexpr uint32_t kProtocolVersion = 1;
+// Protocol version exchanged in the handshake. Bump on any frame-level,
+// message-flow, or payload-format change. Both sides advertise the newest
+// version they speak and the connection runs at the minimum of the two
+// (DESIGN.md section 13): version >= 2 means the peer accepts compressed v2
+// payloads; a v1 peer keeps getting the v1 layout, so fleets upgrade one
+// process at a time.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 inline constexpr uint8_t kFrameMagic[4] = {0x53, 0x4e, 0x4c, 0x58};  // "SNLX"
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 8 + 4 + 4;
@@ -64,6 +69,17 @@ struct Frame {
   std::vector<uint8_t> payload;
 };
 
+// Zero-copy variant: `payload` is a view into the assembler's buffer, valid
+// only until the next Feed() or Next() call on that assembler. The receive
+// path decodes straight out of the connection buffer through this; anything
+// that must outlive the frame (a queued bundle, a report body) is copied
+// explicitly at the point the lifetime actually extends.
+struct FrameView {
+  FrameType type = FrameType::kHello;
+  uint64_t seq = 0;
+  std::span<const uint8_t> payload;
+};
+
 // Appends the complete wire encoding of one frame to `out`.
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
 
@@ -74,7 +90,7 @@ struct HelloPayload {
   uint64_t agent_id = 0;
 };
 void EncodeHello(const HelloPayload& hello, std::vector<uint8_t>* out);
-support::Status DecodeHello(const std::vector<uint8_t>& payload, HelloPayload* out);
+support::Status DecodeHello(std::span<const uint8_t> payload, HelloPayload* out);
 
 struct HelloAckPayload {
   uint32_t protocol_version = kProtocolVersion;
@@ -83,11 +99,11 @@ struct HelloAckPayload {
   uint64_t last_acked_seq = 0;
 };
 void EncodeHelloAck(const HelloAckPayload& ack, std::vector<uint8_t>* out);
-support::Status DecodeHelloAck(const std::vector<uint8_t>& payload, HelloAckPayload* out);
+support::Status DecodeHelloAck(std::span<const uint8_t> payload, HelloAckPayload* out);
 
 // Reject and BundleAck both carry a Status verbatim.
 void EncodeStatusPayload(const support::Status& status, std::vector<uint8_t>* out);
-support::Status DecodeStatusPayload(const std::vector<uint8_t>& payload,
+support::Status DecodeStatusPayload(std::span<const uint8_t> payload,
                                     support::Status* out);
 
 enum class BundleKind : uint8_t { kFailing = 0, kSuccess = 1 };
@@ -100,8 +116,19 @@ struct BundlePayload {
   std::vector<uint8_t> bundle_bytes;  // EncodeBundle output
 };
 void EncodeBundlePayload(const BundlePayload& payload, std::vector<uint8_t>* out);
-support::Status DecodeBundlePayload(const std::vector<uint8_t>& payload,
+support::Status DecodeBundlePayload(std::span<const uint8_t> payload,
                                     BundlePayload* out);
+
+// Zero-copy variant: `bundle_bytes` views the frame payload it was decoded
+// from (same lifetime rules as FrameView). The daemon decodes the bundle out
+// of this view directly -- the serialized bytes are never copied.
+struct BundlePayloadView {
+  BundleKind kind = BundleKind::kFailing;
+  uint32_t target_site = 0;
+  std::span<const uint8_t> bundle_bytes;
+};
+support::Status DecodeBundlePayload(std::span<const uint8_t> payload,
+                                    BundlePayloadView* out);
 
 struct BundleAckPayload {
   uint64_t bundle_seq = 0;
@@ -109,7 +136,7 @@ struct BundleAckPayload {
   support::Status status;  // the pool's ingest verdict
 };
 void EncodeBundleAck(const BundleAckPayload& ack, std::vector<uint8_t>* out);
-support::Status DecodeBundleAck(const std::vector<uint8_t>& payload,
+support::Status DecodeBundleAck(std::span<const uint8_t> payload,
                                 BundleAckPayload* out);
 
 struct ReportPayload {
@@ -118,15 +145,24 @@ struct ReportPayload {
   std::vector<uint8_t> report_bytes;  // EncodeReport output
 };
 void EncodeReportPayload(const ReportPayload& payload, std::vector<uint8_t>* out);
-support::Status DecodeReportPayload(const std::vector<uint8_t>& payload,
+support::Status DecodeReportPayload(std::span<const uint8_t> payload,
                                     ReportPayload* out);
+
+// Zero-copy variant (same lifetime rules as BundlePayloadView).
+struct ReportPayloadView {
+  uint64_t module_fingerprint = 0;
+  uint32_t failing_inst = 0;
+  std::span<const uint8_t> report_bytes;
+};
+support::Status DecodeReportPayload(std::span<const uint8_t> payload,
+                                    ReportPayloadView* out);
 
 struct ShedPayload {
   uint64_t dropped_frames = 0;
   std::string note;
 };
 void EncodeShed(const ShedPayload& shed, std::vector<uint8_t>* out);
-support::Status DecodeShed(const std::vector<uint8_t>& payload, ShedPayload* out);
+support::Status DecodeShed(std::span<const uint8_t> payload, ShedPayload* out);
 
 // --- reassembly --------------------------------------------------------------
 
@@ -145,6 +181,9 @@ class FrameAssembler {
   bool Feed(const uint8_t* data, size_t size);
   // Returns true and fills `out` when a complete valid frame is available.
   bool Next(Frame* out);
+  // Zero-copy pop: `out->payload` views this assembler's buffer and is valid
+  // until the next Feed() or Next() call (both may move or reuse the bytes).
+  bool Next(FrameView* out);
 
   size_t buffered_bytes() const { return buffer_.size() - start_; }
   size_t frames_ok() const { return frames_ok_; }

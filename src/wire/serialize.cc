@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "pt/packets.h"
+#include "support/check.h"
 #include "support/str.h"
 
 namespace snorlax::wire {
@@ -84,6 +86,14 @@ void AppendBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b) {
   out->insert(out->end(), b.begin(), b.end());
 }
 
+void AppendVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
 // --- ByteReader --------------------------------------------------------------
 
 bool ByteReader::Take(size_t n, const uint8_t** at) {
@@ -152,6 +162,28 @@ double ByteReader::F64() {
   return v;
 }
 
+uint64_t ByteReader::Varint() {
+  uint64_t v = 0;
+  for (int i = 0; i < 10; ++i) {
+    const uint8_t b = U8();
+    if (!status_.ok()) {
+      return 0;
+    }
+    // The 10th byte can only carry bit 63: anything else overflows u64 (and
+    // catches non-canonical 10-byte encodings of small values).
+    if (i == 9 && b > 1) {
+      Fail("varint overflow");
+      return 0;
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << (7 * i);
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+  }
+  Fail("varint too long");
+  return 0;
+}
+
 std::string ByteReader::String() {
   const uint32_t len = U32();
   if (!status_.ok()) {
@@ -184,6 +216,26 @@ std::vector<uint8_t> ByteReader::Bytes() {
   return std::vector<uint8_t>(at, at + len);
 }
 
+std::span<const uint8_t> ByteReader::View(size_t n) {
+  const uint8_t* at = nullptr;
+  if (!Take(n, &at)) {
+    return {};
+  }
+  return {at, n};
+}
+
+std::span<const uint8_t> ByteReader::BytesView() {
+  const uint32_t len = U32();
+  if (!status_.ok()) {
+    return {};
+  }
+  if (len > kMaxByteBlob) {
+    Fail("byte blob over cap");
+    return {};
+  }
+  return View(len);
+}
+
 size_t ByteReader::Count(size_t max) {
   const uint32_t n = U32();
   if (!status_.ok()) {
@@ -213,24 +265,383 @@ support::Status ByteReader::ExpectExhausted() {
   return Status::Ok();
 }
 
+// --- format-aware field access -----------------------------------------------
+//
+// Every record codec below is written once against these wrappers. In v1
+// (packed == false) they produce the original fixed-width layout byte for
+// byte; in v2 integers become varints (zigzag for signed) and lengths/counts
+// shrink with them. F64 stays as raw IEEE bits in both: timing floats are
+// high-entropy, and bit-exactness is what the digest checks rely on.
+
+namespace {
+
+struct Writer {
+  std::vector<uint8_t>* out;
+  bool packed;
+
+  void U8(uint8_t v) const { AppendU8(out, v); }
+  void U32(uint32_t v) const {
+    if (packed) {
+      AppendVarint(out, v);
+    } else {
+      AppendU32(out, v);
+    }
+  }
+  void U64(uint64_t v) const {
+    if (packed) {
+      AppendVarint(out, v);
+    } else {
+      AppendU64(out, v);
+    }
+  }
+  void I64(int64_t v) const {
+    if (packed) {
+      AppendVarint(out, ZigzagEncode(v));
+    } else {
+      AppendI64(out, v);
+    }
+  }
+  void F64(double v) const { AppendF64(out, v); }
+  void Str(const std::string& s) const {
+    if (packed) {
+      AppendVarint(out, s.size());
+      out->insert(out->end(), s.begin(), s.end());
+    } else {
+      AppendString(out, s);
+    }
+  }
+  void Count(size_t n) const { U32(static_cast<uint32_t>(n)); }
+};
+
+struct Reader {
+  ByteReader* r;
+  bool packed;
+
+  uint8_t U8() const { return r->U8(); }
+  uint32_t U32() const {
+    if (!packed) {
+      return r->U32();
+    }
+    const uint64_t v = r->Varint();
+    if (r->ok() && v > UINT32_MAX) {
+      r->MarkCorrupt("u32 varint out of range");
+      return 0;
+    }
+    return static_cast<uint32_t>(v);
+  }
+  uint64_t U64() const { return packed ? r->Varint() : r->U64(); }
+  int64_t I64() const { return packed ? ZigzagDecode(r->Varint()) : r->I64(); }
+  double F64() const { return r->F64(); }
+  std::string Str() const {
+    if (!packed) {
+      return r->String();
+    }
+    const uint64_t len = r->Varint();
+    if (!r->ok()) {
+      return {};
+    }
+    if (len > kMaxStringBytes) {
+      r->MarkCorrupt("string length over cap");
+      return {};
+    }
+    const std::span<const uint8_t> v = r->View(static_cast<size_t>(len));
+    if (v.empty()) {
+      return {};
+    }
+    return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+  }
+  size_t Count(size_t max = kMaxVectorElements) const {
+    if (!packed) {
+      return r->Count(max);
+    }
+    const uint64_t n = r->Varint();
+    if (!r->ok()) {
+      return 0;
+    }
+    if (n > max) {
+      r->MarkCorrupt("element count over cap");
+      return 0;
+    }
+    if (n > r->remaining()) {
+      r->MarkCorrupt("element count exceeds remaining bytes");
+      return 0;
+    }
+    return static_cast<size_t>(n);
+  }
+  bool ok() const { return r->ok(); }
+};
+
+}  // namespace
+
+// --- PT packet stream transcoding (format v2) --------------------------------
+//
+// Token byte: low 3 bits = tag, high 5 bits = arg (31 = "escape", the real
+// value follows). Delta context persists across the whole stream: PSB/TIP
+// share prev_block (a TIP target is usually near the last sync point), PSB
+// owns prev_tsc, MTC deltas its 8-bit ctc, and CYC is delta-of-delta -- loop
+// iterations take near-identical time, so the second-order delta is ~0 and a
+// 3-byte CYC becomes one byte. Undecodable bytes travel as raw escape runs.
+
+namespace {
+
+constexpr uint8_t kTokRaw = 0;
+constexpr uint8_t kTokPsb = 1;
+constexpr uint8_t kTokTnt = 2;
+constexpr uint8_t kTokTip = 3;
+constexpr uint8_t kTokMtc = 4;
+constexpr uint8_t kTokCyc = 5;
+constexpr uint8_t kArgEscape = 31;
+
+void EmitToken(std::vector<uint8_t>* out, uint8_t tag, uint8_t arg) {
+  out->push_back(static_cast<uint8_t>(tag | (arg << 3)));
+}
+
+void FlushRawRun(const std::vector<uint8_t>& raw, size_t begin, size_t end,
+                 std::vector<uint8_t>* out) {
+  if (begin >= end) {
+    return;
+  }
+  const size_t len = end - begin;
+  if (len <= 30) {
+    EmitToken(out, kTokRaw, static_cast<uint8_t>(len));
+  } else {
+    EmitToken(out, kTokRaw, kArgEscape);
+    AppendVarint(out, len - 31);
+  }
+  out->insert(out->end(), raw.begin() + static_cast<ptrdiff_t>(begin),
+              raw.begin() + static_cast<ptrdiff_t>(end));
+}
+
+}  // namespace
+
+void CompressPtStream(const std::vector<uint8_t>& raw, std::vector<uint8_t>* out) {
+  uint64_t prev_tsc = 0;
+  uint32_t prev_block = 0;
+  uint8_t prev_ctc = 0;
+  int64_t prev_cyc = 0;
+  size_t pos = 0;
+  size_t raw_begin = 0;  // start of the pending undecodable run
+  while (pos < raw.size()) {
+    size_t next = pos;
+    const std::optional<pt::Packet> p = pt::DecodePacket(raw, &next);
+    if (!p.has_value()) {
+      // Not a packet here; retry one byte later (the decoder's own resync
+      // discipline), accumulating the skipped bytes into a raw run.
+      ++pos;
+      continue;
+    }
+    FlushRawRun(raw, raw_begin, pos, out);
+    switch (p->kind) {
+      case pt::PacketKind::kPsb:
+        EmitToken(out, kTokPsb, 0);
+        AppendVarint(out, ZigzagEncode(static_cast<int64_t>(p->tsc - prev_tsc)));
+        AppendVarint(out, ZigzagEncode(static_cast<int64_t>(p->block) -
+                                       static_cast<int64_t>(prev_block)));
+        AppendVarint(out, p->index);
+        prev_tsc = p->tsc;
+        prev_block = p->block;
+        break;
+      case pt::PacketKind::kTnt:
+        EmitToken(out, kTokTnt, p->tnt_count);
+        out->push_back(p->tnt_bits);
+        break;
+      case pt::PacketKind::kTip:
+        EmitToken(out, kTokTip, 0);
+        AppendVarint(out, ZigzagEncode(static_cast<int64_t>(p->block) -
+                                       static_cast<int64_t>(prev_block)));
+        AppendVarint(out, p->index);
+        prev_block = p->block;
+        break;
+      case pt::PacketKind::kMtc: {
+        const uint8_t delta = static_cast<uint8_t>(p->ctc - prev_ctc);
+        if (delta < kArgEscape) {
+          EmitToken(out, kTokMtc, delta);
+        } else {
+          EmitToken(out, kTokMtc, kArgEscape);
+          out->push_back(p->ctc);
+        }
+        prev_ctc = p->ctc;
+        break;
+      }
+      case pt::PacketKind::kCyc: {
+        const uint64_t zz =
+            ZigzagEncode(static_cast<int64_t>(p->cyc_delta) - prev_cyc);
+        if (zz < kArgEscape) {
+          EmitToken(out, kTokCyc, static_cast<uint8_t>(zz));
+        } else {
+          EmitToken(out, kTokCyc, kArgEscape);
+          AppendVarint(out, p->cyc_delta);
+        }
+        prev_cyc = static_cast<int64_t>(p->cyc_delta);
+        break;
+      }
+    }
+    pos = next;
+    raw_begin = pos;
+  }
+  FlushRawRun(raw, raw_begin, raw.size(), out);
+}
+
+support::Status DecompressPtStream(ByteReader* r, size_t raw_size,
+                                   std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(raw_size);
+  uint64_t prev_tsc = 0;
+  uint32_t prev_block = 0;
+  uint8_t prev_ctc = 0;
+  int64_t prev_cyc = 0;
+  const auto corrupt = [](const char* what) {
+    return Status::Error(StatusCode::kCorruptData, what);
+  };
+  while (out->size() < raw_size) {
+    const uint8_t token = r->U8();
+    if (!r->ok()) {
+      return r->status();
+    }
+    const uint8_t tag = token & 0x7;
+    const uint8_t arg = token >> 3;
+    // Field validation happens here, before EncodePacket: its own invariant
+    // checks abort the process, which a hostile token must never reach.
+    switch (tag) {
+      case kTokRaw: {
+        uint64_t len = arg;
+        if (arg == kArgEscape) {
+          len = 31 + r->Varint();
+          if (!r->ok()) {
+            return r->status();
+          }
+        }
+        if (len == 0 || len > raw_size - out->size()) {
+          return corrupt("raw run out of bounds");
+        }
+        const std::span<const uint8_t> bytes = r->View(static_cast<size_t>(len));
+        if (!r->ok()) {
+          return r->status();
+        }
+        out->insert(out->end(), bytes.begin(), bytes.end());
+        break;
+      }
+      case kTokPsb: {
+        pt::Packet p;
+        p.kind = pt::PacketKind::kPsb;
+        p.tsc = prev_tsc + static_cast<uint64_t>(ZigzagDecode(r->Varint()));
+        const int64_t block =
+            static_cast<int64_t>(prev_block) + ZigzagDecode(r->Varint());
+        const uint64_t index = r->Varint();
+        if (!r->ok()) {
+          return r->status();
+        }
+        if (block < 0 || block > 0xffffffffll || index > 0xffff) {
+          return corrupt("psb fields out of range");
+        }
+        p.block = static_cast<uint32_t>(block);
+        p.index = static_cast<uint16_t>(index);
+        pt::EncodePacket(p, out);
+        prev_tsc = p.tsc;
+        prev_block = p.block;
+        break;
+      }
+      case kTokTnt: {
+        if (arg < 1 || arg > 6) {
+          return corrupt("tnt count out of range");
+        }
+        pt::Packet p;
+        p.kind = pt::PacketKind::kTnt;
+        p.tnt_count = arg;
+        p.tnt_bits = r->U8();
+        if (!r->ok()) {
+          return r->status();
+        }
+        pt::EncodePacket(p, out);
+        break;
+      }
+      case kTokTip: {
+        pt::Packet p;
+        p.kind = pt::PacketKind::kTip;
+        const int64_t block =
+            static_cast<int64_t>(prev_block) + ZigzagDecode(r->Varint());
+        const uint64_t index = r->Varint();
+        if (!r->ok()) {
+          return r->status();
+        }
+        if (block < 0 || block > 0xffffffffll || index > 0xffff) {
+          return corrupt("tip fields out of range");
+        }
+        p.block = static_cast<uint32_t>(block);
+        p.index = static_cast<uint16_t>(index);
+        pt::EncodePacket(p, out);
+        prev_block = p.block;
+        break;
+      }
+      case kTokMtc: {
+        pt::Packet p;
+        p.kind = pt::PacketKind::kMtc;
+        if (arg == kArgEscape) {
+          p.ctc = r->U8();
+          if (!r->ok()) {
+            return r->status();
+          }
+        } else {
+          p.ctc = static_cast<uint8_t>(prev_ctc + arg);
+        }
+        pt::EncodePacket(p, out);
+        prev_ctc = p.ctc;
+        break;
+      }
+      case kTokCyc: {
+        int64_t cyc = 0;
+        if (arg == kArgEscape) {
+          const uint64_t v = r->Varint();
+          if (!r->ok()) {
+            return r->status();
+          }
+          if (v > 0xffff) {
+            return corrupt("cyc delta out of range");
+          }
+          cyc = static_cast<int64_t>(v);
+        } else {
+          cyc = prev_cyc + ZigzagDecode(arg);
+          if (cyc < 0 || cyc > 0xffff) {
+            return corrupt("cyc delta out of range");
+          }
+        }
+        pt::Packet p;
+        p.kind = pt::PacketKind::kCyc;
+        p.cyc_delta = static_cast<uint16_t>(cyc);
+        pt::EncodePacket(p, out);
+        prev_cyc = cyc;
+        break;
+      }
+      default:
+        return corrupt("unknown pt stream token");
+    }
+    // A packet token near the declared end can overshoot (a PSB appends 22
+    // bytes); the compressor never produces that, so it is hostile input.
+    if (out->size() > raw_size) {
+      return corrupt("pt stream overruns declared size");
+    }
+  }
+  return Status::Ok();
+}
+
 // --- shared sub-records ------------------------------------------------------
 
 namespace {
 
-void EncodeValue(const rt::Value& v, std::vector<uint8_t>* out) {
-  AppendU8(out, static_cast<uint8_t>(v.kind));
-  AppendI64(out, v.ival);
-  AppendU32(out, v.obj);
-  AppendU32(out, v.off);
+void EncodeValueRec(const rt::Value& v, const Writer& w) {
+  w.U8(static_cast<uint8_t>(v.kind));
+  w.I64(v.ival);
+  w.U32(v.obj);
+  w.U32(v.off);
 }
 
-Status DecodeValue(ByteReader* r, rt::Value* out) {
-  const uint8_t kind = r->U8();
-  out->ival = r->I64();
-  out->obj = r->U32();
-  out->off = r->U32();
-  if (!r->ok()) {
-    return r->status();
+Status DecodeValueRec(const Reader& r, rt::Value* out) {
+  const uint8_t kind = r.U8();
+  out->ival = r.I64();
+  out->obj = r.U32();
+  out->off = r.U32();
+  if (!r.ok()) {
+    return r.r->status();
   }
   if (kind > static_cast<uint8_t>(rt::Value::Kind::kFunc)) {
     return Status::Error(StatusCode::kCorruptData, "value kind out of range");
@@ -239,135 +650,131 @@ Status DecodeValue(ByteReader* r, rt::Value* out) {
   return Status::Ok();
 }
 
-void EncodePtConfig(const pt::PtConfig& c, std::vector<uint8_t>* out) {
-  AppendU64(out, c.buffer_bytes);
-  AppendU64(out, c.mtc_period_ns);
-  AppendU64(out, c.cyc_unit_ns);
-  AppendU64(out, c.psb_period_bytes);
-  AppendU8(out, c.enable_timing ? 1 : 0);
-  AppendU64(out, c.bytes_per_ns);
-  AppendU64(out, c.work_trace_bytes_per_us);
-  AppendU8(out, c.persist_to_storage ? 1 : 0);
-  AppendU64(out, c.storage_flush_ns_per_kb);
+void EncodePtConfig(const pt::PtConfig& c, const Writer& w) {
+  w.U64(c.buffer_bytes);
+  w.U64(c.mtc_period_ns);
+  w.U64(c.cyc_unit_ns);
+  w.U64(c.psb_period_bytes);
+  w.U8(c.enable_timing ? 1 : 0);
+  w.U64(c.bytes_per_ns);
+  w.U64(c.work_trace_bytes_per_us);
+  w.U8(c.persist_to_storage ? 1 : 0);
+  w.U64(c.storage_flush_ns_per_kb);
 }
 
-void DecodePtConfig(ByteReader* r, pt::PtConfig* c) {
-  c->buffer_bytes = r->U64();
-  c->mtc_period_ns = r->U64();
-  c->cyc_unit_ns = r->U64();
-  c->psb_period_bytes = r->U64();
-  c->enable_timing = r->U8() != 0;
-  c->bytes_per_ns = r->U64();
-  c->work_trace_bytes_per_us = r->U64();
-  c->persist_to_storage = r->U8() != 0;
-  c->storage_flush_ns_per_kb = r->U64();
+void DecodePtConfig(const Reader& r, pt::PtConfig* c) {
+  c->buffer_bytes = r.U64();
+  c->mtc_period_ns = r.U64();
+  c->cyc_unit_ns = r.U64();
+  c->psb_period_bytes = r.U64();
+  c->enable_timing = r.U8() != 0;
+  c->bytes_per_ns = r.U64();
+  c->work_trace_bytes_per_us = r.U64();
+  c->persist_to_storage = r.U8() != 0;
+  c->storage_flush_ns_per_kb = r.U64();
 }
 
-void EncodePtStats(const pt::PtStats& s, std::vector<uint8_t>* out) {
-  AppendU64(out, s.total_bytes);
-  AppendU64(out, s.shadow_bytes);
-  AppendU64(out, s.timing_bytes);
-  AppendU64(out, s.control_packets);
-  AppendU64(out, s.timing_packets);
-  AppendU64(out, s.psb_packets);
-  AppendU64(out, s.branch_events);
-  AppendU64(out, s.storage_bytes);
-  AppendU64(out, s.storage_flushes);
+void EncodePtStats(const pt::PtStats& s, const Writer& w) {
+  w.U64(s.total_bytes);
+  w.U64(s.shadow_bytes);
+  w.U64(s.timing_bytes);
+  w.U64(s.control_packets);
+  w.U64(s.timing_packets);
+  w.U64(s.psb_packets);
+  w.U64(s.branch_events);
+  w.U64(s.storage_bytes);
+  w.U64(s.storage_flushes);
 }
 
-void DecodePtStats(ByteReader* r, pt::PtStats* s) {
-  s->total_bytes = r->U64();
-  s->shadow_bytes = r->U64();
-  s->timing_bytes = r->U64();
-  s->control_packets = r->U64();
-  s->timing_packets = r->U64();
-  s->psb_packets = r->U64();
-  s->branch_events = r->U64();
-  s->storage_bytes = r->U64();
-  s->storage_flushes = r->U64();
+void DecodePtStats(const Reader& r, pt::PtStats* s) {
+  s->total_bytes = r.U64();
+  s->shadow_bytes = r.U64();
+  s->timing_bytes = r.U64();
+  s->control_packets = r.U64();
+  s->timing_packets = r.U64();
+  s->psb_packets = r.U64();
+  s->branch_events = r.U64();
+  s->storage_bytes = r.U64();
+  s->storage_flushes = r.U64();
 }
 
-void EncodeDegradation(const trace::DegradationReport& d, std::vector<uint8_t>* out) {
-  AppendU64(out, d.threads_total);
-  AppendU64(out, d.threads_dropped);
-  AppendU64(out, d.decode_errors);
-  AppendU64(out, d.stream_resyncs);
-  AppendU64(out, d.clock_anomalies);
-  AppendU64(out, d.sanitized_failure_fields);
-  AppendU64(out, d.rejected_bundles);
-  AppendU8(out, d.lost_prefix ? 1 : 0);
-  AppendU8(out, d.timestamps_unreliable ? 1 : 0);
-  AppendU8(out, d.hypothesis_fallback ? 1 : 0);
-  AppendU8(out, d.slice_fallback ? 1 : 0);
-  AppendU8(out, d.failure_record_unusable ? 1 : 0);
-  AppendU32(out, static_cast<uint32_t>(d.notes.size()));
+void EncodeDegradation(const trace::DegradationReport& d, const Writer& w) {
+  w.U64(d.threads_total);
+  w.U64(d.threads_dropped);
+  w.U64(d.decode_errors);
+  w.U64(d.stream_resyncs);
+  w.U64(d.clock_anomalies);
+  w.U64(d.sanitized_failure_fields);
+  w.U64(d.rejected_bundles);
+  w.U8(d.lost_prefix ? 1 : 0);
+  w.U8(d.timestamps_unreliable ? 1 : 0);
+  w.U8(d.hypothesis_fallback ? 1 : 0);
+  w.U8(d.slice_fallback ? 1 : 0);
+  w.U8(d.failure_record_unusable ? 1 : 0);
+  w.Count(d.notes.size());
   for (const std::string& note : d.notes) {
-    AppendString(out, note);
+    w.Str(note);
   }
 }
 
-void DecodeDegradation(ByteReader* r, trace::DegradationReport* d) {
-  d->threads_total = r->U64();
-  d->threads_dropped = r->U64();
-  d->decode_errors = r->U64();
-  d->stream_resyncs = r->U64();
-  d->clock_anomalies = r->U64();
-  d->sanitized_failure_fields = r->U64();
-  d->rejected_bundles = r->U64();
-  d->lost_prefix = r->U8() != 0;
-  d->timestamps_unreliable = r->U8() != 0;
-  d->hypothesis_fallback = r->U8() != 0;
-  d->slice_fallback = r->U8() != 0;
-  d->failure_record_unusable = r->U8() != 0;
-  const size_t notes = r->Count();
+void DecodeDegradation(const Reader& r, trace::DegradationReport* d) {
+  d->threads_total = r.U64();
+  d->threads_dropped = r.U64();
+  d->decode_errors = r.U64();
+  d->stream_resyncs = r.U64();
+  d->clock_anomalies = r.U64();
+  d->sanitized_failure_fields = r.U64();
+  d->rejected_bundles = r.U64();
+  d->lost_prefix = r.U8() != 0;
+  d->timestamps_unreliable = r.U8() != 0;
+  d->hypothesis_fallback = r.U8() != 0;
+  d->slice_fallback = r.U8() != 0;
+  d->failure_record_unusable = r.U8() != 0;
+  const size_t notes = r.Count();
   d->notes.clear();
   d->notes.reserve(notes);
-  for (size_t i = 0; i < notes && r->ok(); ++i) {
-    d->notes.push_back(r->String());
+  for (size_t i = 0; i < notes && r.ok(); ++i) {
+    d->notes.push_back(r.Str());
   }
 }
 
-}  // namespace
-
-// --- FailureInfo -------------------------------------------------------------
-
-void EncodeFailureInfo(const rt::FailureInfo& failure, std::vector<uint8_t>* out) {
-  AppendU8(out, static_cast<uint8_t>(failure.kind));
-  AppendU32(out, failure.failing_inst);
-  AppendU32(out, failure.thread);
-  EncodeValue(failure.operand, out);
-  AppendU64(out, failure.time_ns);
-  AppendU32(out, static_cast<uint32_t>(failure.deadlock_cycle.size()));
-  for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
-    AppendU32(out, w.thread);
-    AppendU32(out, w.inst);
-    AppendU64(out, w.block_time_ns);
+void EncodeFailureInfoRec(const rt::FailureInfo& failure, const Writer& w) {
+  w.U8(static_cast<uint8_t>(failure.kind));
+  w.U32(failure.failing_inst);
+  w.U32(failure.thread);
+  EncodeValueRec(failure.operand, w);
+  w.U64(failure.time_ns);
+  w.Count(failure.deadlock_cycle.size());
+  for (const rt::FailureInfo::DeadlockWaiter& waiter : failure.deadlock_cycle) {
+    w.U32(waiter.thread);
+    w.U32(waiter.inst);
+    w.U64(waiter.block_time_ns);
   }
-  AppendString(out, failure.description);
+  w.Str(failure.description);
 }
 
-support::Status DecodeFailureInfo(ByteReader* r, rt::FailureInfo* out) {
-  const uint8_t kind = r->U8();
-  out->failing_inst = r->U32();
-  out->thread = r->U32();
-  Status status = DecodeValue(r, &out->operand);
+Status DecodeFailureInfoRec(const Reader& r, rt::FailureInfo* out) {
+  const uint8_t kind = r.U8();
+  out->failing_inst = r.U32();
+  out->thread = r.U32();
+  Status status = DecodeValueRec(r, &out->operand);
   if (!status.ok()) {
     return status;
   }
-  out->time_ns = r->U64();
-  const size_t waiters = r->Count();
+  out->time_ns = r.U64();
+  const size_t waiters = r.Count();
   out->deadlock_cycle.clear();
   out->deadlock_cycle.reserve(waiters);
-  for (size_t i = 0; i < waiters && r->ok(); ++i) {
+  for (size_t i = 0; i < waiters && r.ok(); ++i) {
     rt::FailureInfo::DeadlockWaiter w;
-    w.thread = r->U32();
-    w.inst = r->U32();
-    w.block_time_ns = r->U64();
+    w.thread = r.U32();
+    w.inst = r.U32();
+    w.block_time_ns = r.U64();
     out->deadlock_cycle.push_back(w);
   }
-  out->description = r->String();
-  if (!r->ok()) {
-    return r->status();
+  out->description = r.Str();
+  if (!r.ok()) {
+    return r.r->status();
   }
   if (kind > static_cast<uint8_t>(rt::FailureKind::kTimeout)) {
     return Status::Error(StatusCode::kCorruptData, "failure kind out of range");
@@ -376,51 +783,91 @@ support::Status DecodeFailureInfo(ByteReader* r, rt::FailureInfo* out) {
   return Status::Ok();
 }
 
-// --- PtTraceBundle -----------------------------------------------------------
+}  // namespace
 
-void EncodeBundle(const pt::PtTraceBundle& bundle, std::vector<uint8_t>* out) {
-  AppendU8(out, kPayloadFormatVersion);
-  AppendU32(out, bundle.trace_version);
-  AppendU64(out, bundle.module_fingerprint);
-  EncodePtConfig(bundle.config, out);
-  AppendU32(out, static_cast<uint32_t>(bundle.threads.size()));
-  for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
-    AppendU32(out, per.thread);
-    AppendBytes(out, per.bytes);
-    AppendU64(out, per.total_written);
-    AppendU32(out, per.last_retired);
-  }
-  AppendU64(out, bundle.snapshot_time_ns);
-  EncodePtStats(bundle.stats, out);
-  EncodeFailureInfo(bundle.failure, out);
+// --- FailureInfo -------------------------------------------------------------
+//
+// The standalone FailureInfo codec (crash-dump sidecar files) stays in the v1
+// fixed-width layout: those records have no format byte of their own.
+
+void EncodeFailureInfo(const rt::FailureInfo& failure, std::vector<uint8_t>* out) {
+  EncodeFailureInfoRec(failure, Writer{out, /*packed=*/false});
 }
 
-support::Result<pt::PtTraceBundle> DecodeBundle(const std::vector<uint8_t>& bytes) {
+support::Status DecodeFailureInfo(ByteReader* r, rt::FailureInfo* out) {
+  return DecodeFailureInfoRec(Reader{r, /*packed=*/false}, out);
+}
+
+// --- PtTraceBundle -----------------------------------------------------------
+
+void EncodeBundle(const pt::PtTraceBundle& bundle, std::vector<uint8_t>* out,
+                  uint8_t format) {
+  SNORLAX_CHECK(format == kPayloadFormatV1 || format == kPayloadFormatV2);
+  AppendU8(out, format);
+  const Writer w{out, format >= kPayloadFormatV2};
+  w.U32(bundle.trace_version);
+  w.U64(bundle.module_fingerprint);
+  EncodePtConfig(bundle.config, w);
+  w.Count(bundle.threads.size());
+  for (const pt::PtTraceBundle::PerThread& per : bundle.threads) {
+    w.U32(per.thread);
+    if (w.packed) {
+      AppendVarint(out, per.bytes.size());
+      CompressPtStream(per.bytes, out);
+    } else {
+      AppendBytes(out, per.bytes);
+    }
+    w.U64(per.total_written);
+    w.U32(per.last_retired);
+  }
+  w.U64(bundle.snapshot_time_ns);
+  EncodePtStats(bundle.stats, w);
+  EncodeFailureInfoRec(bundle.failure, w);
+}
+
+support::Result<pt::PtTraceBundle> DecodeBundle(std::span<const uint8_t> bytes) {
   ByteReader r(bytes);
   const uint8_t format = r.U8();
-  if (r.ok() && format != kPayloadFormatVersion) {
+  if (r.ok() && format != kPayloadFormatV1 && format != kPayloadFormatV2) {
     return Status::Error(StatusCode::kVersionMismatch,
-                         StrFormat("bundle payload format %u, this build speaks %u",
+                         StrFormat("bundle payload format %u, this build speaks <=%u",
                                    format, kPayloadFormatVersion));
   }
+  const Reader rd{&r, format >= kPayloadFormatV2};
   pt::PtTraceBundle bundle;
-  bundle.trace_version = r.U32();
-  bundle.module_fingerprint = r.U64();
-  DecodePtConfig(&r, &bundle.config);
-  const size_t threads = r.Count(4096);
+  bundle.trace_version = rd.U32();
+  bundle.module_fingerprint = rd.U64();
+  DecodePtConfig(rd, &bundle.config);
+  const size_t threads = rd.Count(4096);
   bundle.threads.clear();
   bundle.threads.reserve(threads);
   for (size_t i = 0; i < threads && r.ok(); ++i) {
     pt::PtTraceBundle::PerThread per;
-    per.thread = r.U32();
-    per.bytes = r.Bytes();
-    per.total_written = r.U64();
-    per.last_retired = r.U32();
+    per.thread = rd.U32();
+    if (rd.packed) {
+      const uint64_t raw_size = r.Varint();
+      if (!r.ok()) {
+        break;
+      }
+      if (raw_size > kMaxByteBlob) {
+        r.MarkCorrupt("thread stream over cap");
+        break;
+      }
+      Status status =
+          DecompressPtStream(&r, static_cast<size_t>(raw_size), &per.bytes);
+      if (!status.ok()) {
+        return status;
+      }
+    } else {
+      per.bytes = r.Bytes();
+    }
+    per.total_written = rd.U64();
+    per.last_retired = rd.U32();
     bundle.threads.push_back(std::move(per));
   }
-  bundle.snapshot_time_ns = r.U64();
-  DecodePtStats(&r, &bundle.stats);
-  Status status = DecodeFailureInfo(&r, &bundle.failure);
+  bundle.snapshot_time_ns = rd.U64();
+  DecodePtStats(rd, &bundle.stats);
+  Status status = DecodeFailureInfoRec(rd, &bundle.failure);
   if (!status.ok()) {
     return status;
   }
@@ -435,44 +882,44 @@ support::Result<pt::PtTraceBundle> DecodeBundle(const std::vector<uint8_t>& byte
 
 namespace {
 
-void EncodePattern(const core::DiagnosedPattern& p, std::vector<uint8_t>* out) {
-  AppendU8(out, static_cast<uint8_t>(p.pattern.kind));
-  AppendU8(out, p.pattern.ordered ? 1 : 0);
-  AppendU32(out, static_cast<uint32_t>(p.pattern.events.size()));
+void EncodePattern(const core::DiagnosedPattern& p, const Writer& w) {
+  w.U8(static_cast<uint8_t>(p.pattern.kind));
+  w.U8(p.pattern.ordered ? 1 : 0);
+  w.Count(p.pattern.events.size());
   for (const core::PatternEvent& e : p.pattern.events) {
-    AppendU32(out, e.inst);
-    AppendU8(out, e.thread_slot);
-    AppendU8(out, e.thread_final ? 1 : 0);
+    w.U32(e.inst);
+    w.U8(e.thread_slot);
+    w.U8(e.thread_final ? 1 : 0);
   }
-  AppendF64(out, p.precision);
-  AppendF64(out, p.recall);
-  AppendF64(out, p.f1);
-  AppendU64(out, p.counts.true_positive);
-  AppendU64(out, p.counts.false_positive);
-  AppendU64(out, p.counts.false_negative);
+  w.F64(p.precision);
+  w.F64(p.recall);
+  w.F64(p.f1);
+  w.U64(p.counts.true_positive);
+  w.U64(p.counts.false_positive);
+  w.U64(p.counts.false_negative);
 }
 
-Status DecodePattern(ByteReader* r, core::DiagnosedPattern* p) {
-  const uint8_t kind = r->U8();
-  p->pattern.ordered = r->U8() != 0;
-  const size_t events = r->Count();
+Status DecodePattern(const Reader& r, core::DiagnosedPattern* p) {
+  const uint8_t kind = r.U8();
+  p->pattern.ordered = r.U8() != 0;
+  const size_t events = r.Count();
   p->pattern.events.clear();
   p->pattern.events.reserve(events);
-  for (size_t i = 0; i < events && r->ok(); ++i) {
+  for (size_t i = 0; i < events && r.ok(); ++i) {
     core::PatternEvent e;
-    e.inst = r->U32();
-    e.thread_slot = r->U8();
-    e.thread_final = r->U8() != 0;
+    e.inst = r.U32();
+    e.thread_slot = r.U8();
+    e.thread_final = r.U8() != 0;
     p->pattern.events.push_back(e);
   }
-  p->precision = r->F64();
-  p->recall = r->F64();
-  p->f1 = r->F64();
-  p->counts.true_positive = r->U64();
-  p->counts.false_positive = r->U64();
-  p->counts.false_negative = r->U64();
-  if (!r->ok()) {
-    return r->status();
+  p->precision = r.F64();
+  p->recall = r.F64();
+  p->f1 = r.F64();
+  p->counts.true_positive = r.U64();
+  p->counts.false_positive = r.U64();
+  p->counts.false_negative = r.U64();
+  if (!r.ok()) {
+    return r.r->status();
   }
   if (kind > static_cast<uint8_t>(core::PatternKind::kAtomicityWRW)) {
     return Status::Error(StatusCode::kCorruptData, "pattern kind out of range");
@@ -483,74 +930,78 @@ Status DecodePattern(ByteReader* r, core::DiagnosedPattern* p) {
 
 }  // namespace
 
-void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out) {
-  AppendU8(out, kPayloadFormatVersion);
-  EncodeFailureInfo(report.failure, out);
-  AppendU32(out, static_cast<uint32_t>(report.patterns.size()));
+void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out,
+                  uint8_t format) {
+  SNORLAX_CHECK(format == kPayloadFormatV1 || format == kPayloadFormatV2);
+  AppendU8(out, format);
+  const Writer w{out, format >= kPayloadFormatV2};
+  EncodeFailureInfoRec(report.failure, w);
+  w.Count(report.patterns.size());
   for (const core::DiagnosedPattern& p : report.patterns) {
-    EncodePattern(p, out);
+    EncodePattern(p, w);
   }
-  AppendU8(out, report.hypothesis_violated ? 1 : 0);
-  EncodeDegradation(report.degradation, out);
-  AppendU8(out, static_cast<uint8_t>(report.confidence));
-  AppendU64(out, report.stages.module_instructions);
-  AppendU64(out, report.stages.executed_instructions);
-  AppendU64(out, report.stages.candidate_instructions);
-  AppendU64(out, report.stages.rank1_candidates);
-  AppendU64(out, report.stages.patterns_generated);
-  AppendU64(out, report.stages.top_f1_patterns);
-  AppendF64(out, report.stages.trace_seconds);
-  AppendF64(out, report.stages.points_to_seconds);
-  AppendF64(out, report.stages.rank_seconds);
-  AppendF64(out, report.stages.pattern_seconds);
-  AppendF64(out, report.stages.score_seconds);
-  AppendF64(out, report.analysis_seconds);
-  AppendF64(out, report.total_analysis_seconds);
-  AppendU64(out, report.failing_traces);
-  AppendU64(out, report.success_traces);
+  w.U8(report.hypothesis_violated ? 1 : 0);
+  EncodeDegradation(report.degradation, w);
+  w.U8(static_cast<uint8_t>(report.confidence));
+  w.U64(report.stages.module_instructions);
+  w.U64(report.stages.executed_instructions);
+  w.U64(report.stages.candidate_instructions);
+  w.U64(report.stages.rank1_candidates);
+  w.U64(report.stages.patterns_generated);
+  w.U64(report.stages.top_f1_patterns);
+  w.F64(report.stages.trace_seconds);
+  w.F64(report.stages.points_to_seconds);
+  w.F64(report.stages.rank_seconds);
+  w.F64(report.stages.pattern_seconds);
+  w.F64(report.stages.score_seconds);
+  w.F64(report.analysis_seconds);
+  w.F64(report.total_analysis_seconds);
+  w.U64(report.failing_traces);
+  w.U64(report.success_traces);
 }
 
-support::Result<core::DiagnosisReport> DecodeReport(const std::vector<uint8_t>& bytes) {
+support::Result<core::DiagnosisReport> DecodeReport(std::span<const uint8_t> bytes) {
   ByteReader r(bytes);
   const uint8_t format = r.U8();
-  if (r.ok() && format != kPayloadFormatVersion) {
+  if (r.ok() && format != kPayloadFormatV1 && format != kPayloadFormatV2) {
     return Status::Error(StatusCode::kVersionMismatch,
-                         StrFormat("report payload format %u, this build speaks %u",
+                         StrFormat("report payload format %u, this build speaks <=%u",
                                    format, kPayloadFormatVersion));
   }
+  const Reader rd{&r, format >= kPayloadFormatV2};
   core::DiagnosisReport report;
-  Status status = DecodeFailureInfo(&r, &report.failure);
+  Status status = DecodeFailureInfoRec(rd, &report.failure);
   if (!status.ok()) {
     return status;
   }
-  const size_t patterns = r.Count();
+  const size_t patterns = rd.Count();
   report.patterns.reserve(patterns);
   for (size_t i = 0; i < patterns && r.ok(); ++i) {
     core::DiagnosedPattern p;
-    status = DecodePattern(&r, &p);
+    status = DecodePattern(rd, &p);
     if (!status.ok()) {
       return status;
     }
     report.patterns.push_back(std::move(p));
   }
-  report.hypothesis_violated = r.U8() != 0;
-  DecodeDegradation(&r, &report.degradation);
-  const uint8_t confidence = r.U8();
-  report.stages.module_instructions = r.U64();
-  report.stages.executed_instructions = r.U64();
-  report.stages.candidate_instructions = r.U64();
-  report.stages.rank1_candidates = r.U64();
-  report.stages.patterns_generated = r.U64();
-  report.stages.top_f1_patterns = r.U64();
-  report.stages.trace_seconds = r.F64();
-  report.stages.points_to_seconds = r.F64();
-  report.stages.rank_seconds = r.F64();
-  report.stages.pattern_seconds = r.F64();
-  report.stages.score_seconds = r.F64();
-  report.analysis_seconds = r.F64();
-  report.total_analysis_seconds = r.F64();
-  report.failing_traces = r.U64();
-  report.success_traces = r.U64();
+  report.hypothesis_violated = rd.U8() != 0;
+  DecodeDegradation(rd, &report.degradation);
+  const uint8_t confidence = rd.U8();
+  report.stages.module_instructions = rd.U64();
+  report.stages.executed_instructions = rd.U64();
+  report.stages.candidate_instructions = rd.U64();
+  report.stages.rank1_candidates = rd.U64();
+  report.stages.patterns_generated = rd.U64();
+  report.stages.top_f1_patterns = rd.U64();
+  report.stages.trace_seconds = rd.F64();
+  report.stages.points_to_seconds = rd.F64();
+  report.stages.rank_seconds = rd.F64();
+  report.stages.pattern_seconds = rd.F64();
+  report.stages.score_seconds = rd.F64();
+  report.analysis_seconds = rd.F64();
+  report.total_analysis_seconds = rd.F64();
+  report.failing_traces = rd.U64();
+  report.success_traces = rd.U64();
   status = r.ExpectExhausted();
   if (!status.ok()) {
     return status;

@@ -14,10 +14,22 @@
 // the frame-level protocol version: a frame can be perfectly framed yet carry
 // a payload encoded by a newer build, and that skew must be a kVersionMismatch
 // rejection, not a misdecode.
+//
+// Two payload formats are spoken (DESIGN.md section 13):
+//   v1: fixed-width little-endian fields, PT streams shipped verbatim.
+//   v2: LEB128 varints for integer fields (zigzag for signed), and the PT
+//       packet streams transcoded into a delta-compressed token stream --
+//       timestamps and block ids are monotone/clustered (the coarse
+//       interleaving regime), so deltas are small and varints short.
+// Decoders dispatch on the leading format byte and accept both; encoders take
+// the format as a parameter (default v2). v2 transcoding is lossless to the
+// byte: decode(encode_v2(b)) == decode(encode_v1(b)) == b, including streams
+// with corrupt/undecodable regions (shipped as raw escape runs).
 #ifndef SNORLAX_WIRE_SERIALIZE_H_
 #define SNORLAX_WIRE_SERIALIZE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,8 +40,11 @@
 
 namespace snorlax::wire {
 
-// Format version of the payload encodings below. Bump on any layout change.
-inline constexpr uint8_t kPayloadFormatVersion = 1;
+// Payload format generations. kPayloadFormatVersion is the preferred (newest)
+// format this build writes; both are accepted on decode.
+inline constexpr uint8_t kPayloadFormatV1 = 1;
+inline constexpr uint8_t kPayloadFormatV2 = 2;
+inline constexpr uint8_t kPayloadFormatVersion = kPayloadFormatV2;
 
 // Decode-side sanity caps (hostile length fields are clamped against these
 // before any allocation).
@@ -51,6 +66,17 @@ void AppendI64(std::vector<uint8_t>* out, int64_t v);
 void AppendF64(std::vector<uint8_t>* out, double v);  // IEEE-754 bits, LE
 void AppendString(std::vector<uint8_t>* out, const std::string& s);  // u32 len
 void AppendBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b);
+// LEB128 varint (7 bits per byte, high bit = continue); <= 10 bytes.
+void AppendVarint(std::vector<uint8_t>* out, uint64_t v);
+
+// Zigzag mapping for signed deltas: small magnitudes (either sign) become
+// small varints.
+inline constexpr uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline constexpr int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
 
 // --- bounds-checked reader ---------------------------------------------------
 
@@ -60,6 +86,8 @@ void AppendBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b);
 class ByteReader {
  public:
   ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::span<const uint8_t> data)
+      : ByteReader(data.data(), data.size()) {}
   explicit ByteReader(const std::vector<uint8_t>& data)
       : ByteReader(data.data(), data.size()) {}
 
@@ -69,8 +97,13 @@ class ByteReader {
   uint64_t U64();
   int64_t I64();
   double F64();
+  uint64_t Varint();  // LEB128; overlong/overflowing encodings are corrupt
   std::string String();
   std::vector<uint8_t> Bytes();
+  // Zero-copy variants: views into the underlying buffer, valid only while
+  // the buffer the reader was constructed over is alive and unmodified.
+  std::span<const uint8_t> View(size_t n);
+  std::span<const uint8_t> BytesView();  // u32 length prefix, like Bytes()
   // Element count for a vector about to be decoded; fails the reader when it
   // exceeds `max` (default kMaxVectorElements).
   size_t Count(size_t max = kMaxVectorElements);
@@ -78,6 +111,9 @@ class ByteReader {
   bool ok() const { return status_.ok(); }
   const support::Status& status() const { return status_; }
   size_t remaining() const { return size_ - pos_; }
+  // Lets a caller fail the reader on a semantic violation (value out of
+  // range) so the usual sticky-error flow handles it.
+  void MarkCorrupt(const char* what) { Fail(what); }
   // Decoders call this last: trailing bytes mean the sender wrote a layout
   // this build does not fully understand.
   support::Status ExpectExhausted();
@@ -92,18 +128,36 @@ class ByteReader {
   support::Status status_;
 };
 
+// --- PT packet stream transcoding (format v2) --------------------------------
+
+// Re-encodes a raw PT packet stream as a delta-compressed token stream:
+// packets are parsed with the canonical codec, their fields delta-encoded
+// against the previous packet of the same family (PSB tsc, PSB/TIP block,
+// MTC ctc, CYC delta), and undecodable byte ranges shipped verbatim as raw
+// escape runs -- corruption survives transcoding byte-exactly.
+void CompressPtStream(const std::vector<uint8_t>& raw, std::vector<uint8_t>* out);
+
+// Inverse: reconstructs exactly `raw_size` original bytes from the token
+// stream at `r`. Hostile tokens (bad TNT count, oversized fields, runs past
+// the declared size) are a clean kCorruptData rejection.
+support::Status DecompressPtStream(ByteReader* r, size_t raw_size,
+                                   std::vector<uint8_t>* out);
+
 // --- payload codecs ----------------------------------------------------------
 
 void EncodeFailureInfo(const rt::FailureInfo& failure, std::vector<uint8_t>* out);
 support::Status DecodeFailureInfo(ByteReader* r, rt::FailureInfo* out);
 
-// The full client->server evidence payload.
-void EncodeBundle(const pt::PtTraceBundle& bundle, std::vector<uint8_t>* out);
-support::Result<pt::PtTraceBundle> DecodeBundle(const std::vector<uint8_t>& bytes);
+// The full client->server evidence payload. Encoders write `format` (v1 or
+// v2); decoders dispatch on the payload's own leading format byte.
+void EncodeBundle(const pt::PtTraceBundle& bundle, std::vector<uint8_t>* out,
+                  uint8_t format = kPayloadFormatVersion);
+support::Result<pt::PtTraceBundle> DecodeBundle(std::span<const uint8_t> bytes);
 
 // The server->client diagnosis payload.
-void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out);
-support::Result<core::DiagnosisReport> DecodeReport(const std::vector<uint8_t>& bytes);
+void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out,
+                  uint8_t format = kPayloadFormatVersion);
+support::Result<core::DiagnosisReport> DecodeReport(std::span<const uint8_t> bytes);
 
 }  // namespace snorlax::wire
 

@@ -1,9 +1,12 @@
 // Tests for keyed trace anonymization (paper section 7 privacy discussion).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/client.h"
 #include "core/server.h"
 #include "pt/anonymize.h"
+#include "pt/packets.h"
 #include "workloads/workload.h"
 
 namespace snorlax::pt {
@@ -98,6 +101,58 @@ TEST(Anonymize, ServerDiagnosesDeanonymizedTrace) {
     EXPECT_EQ(got.patterns[i].pattern.Key(), expected.patterns[i].pattern.Key());
     EXPECT_EQ(got.patterns[i].f1, expected.patterns[i].f1);
   }
+}
+
+TEST(Anonymize, WrappedSnapshotPrefixAndTailTravelVerbatim) {
+  // A ring-buffer snapshot that wrapped mid-packet starts with the severed
+  // packet's remnants and can end in a packet cut short by the failure
+  // snapshot. Anonymization must copy both regions verbatim (they decode as
+  // nothing, so there is nothing to remap) and still round-trip under the key.
+  const workloads::Workload w = workloads::Build("pbzip2_main");
+
+  std::vector<uint8_t> bytes = {0x99, 0x07, 0x55};  // severed-packet remnant
+  const size_t prefix_len = bytes.size();
+  Packet psb;
+  psb.kind = PacketKind::kPsb;
+  psb.block = 3;
+  psb.index = 1;
+  psb.tsc = 5000;
+  EncodePacket(psb, &bytes);
+  Packet tip;
+  tip.kind = PacketKind::kTip;
+  tip.block = 5;
+  tip.index = 2;
+  EncodePacket(tip, &bytes);
+  Packet tnt;
+  tnt.kind = PacketKind::kTnt;
+  tnt.tnt_bits = 0b101;
+  tnt.tnt_count = 3;
+  EncodePacket(tnt, &bytes);
+  std::vector<uint8_t> cut;  // a TIP truncated two bytes short
+  EncodePacket(tip, &cut);
+  cut.resize(cut.size() - 2);
+  bytes.insert(bytes.end(), cut.begin(), cut.end());
+
+  PtTraceBundle bundle;
+  PtTraceBundle::PerThread per;
+  per.thread = 1;
+  per.bytes = bytes;
+  bundle.threads.push_back(std::move(per));
+
+  const AnonymizeKey key{0xabc};
+  const PtTraceBundle anon = AnonymizeBundle(bundle, *w.module, key);
+  ASSERT_EQ(anon.threads.size(), 1u);
+  const std::vector<uint8_t>& got = anon.threads[0].bytes;
+  // The intact packets were remapped...
+  EXPECT_NE(got, bytes);
+  // ...but the severed prefix and the truncated tail are byte-identical.
+  ASSERT_GE(got.size(), prefix_len + cut.size());
+  EXPECT_TRUE(std::equal(bytes.begin(),
+                         bytes.begin() + static_cast<long>(prefix_len), got.begin()));
+  EXPECT_TRUE(std::equal(cut.begin(), cut.end(), got.end() - static_cast<long>(cut.size())));
+  // And the whole thing still round-trips.
+  const PtTraceBundle back = DeanonymizeBundle(anon, *w.module, key);
+  EXPECT_EQ(back.threads[0].bytes, bytes);
 }
 
 }  // namespace

@@ -136,9 +136,9 @@ TEST_P(FaultRoundTrip, DecoderSurvivesEveryRateAndSeed) {
       // Trace processing over the same corrupt bundle must also hold up and
       // account for what it lost.
       trace::ProcessedTrace processed(w.module.get(), bundle, {});
-      for (const trace::DynInst& inst : processed.instances()) {
-        ASSERT_TRUE(inst.inst < w.module->NumInstructions() ||
-                    inst.inst == ir::kInvalidInstId);
+      for (uint32_t i = 0; i < processed.size(); ++i) {
+        ASSERT_TRUE(processed.inst(i) < w.module->NumInstructions() ||
+                    processed.inst(i) == ir::kInvalidInstId);
       }
       const trace::DegradationReport& deg = processed.degradation();
       EXPECT_EQ(deg.threads_total, bundle.threads.size());

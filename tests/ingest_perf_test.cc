@@ -1,0 +1,110 @@
+// Perf-smoke acceptance for the compact trace-ingest path (runs under the
+// perf-smoke ctest label):
+//   - v2 (varint/delta-compressed) bundles are at least 2x smaller than the
+//     v1 fixed-width encoding on real workload traces,
+//   - diagnosis is digest-identical whether bundles travel as v1 or v2, and
+//     whether the receive side decodes them through the copying or the
+//     zero-copy (FrameView / BundlePayloadView) path.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "bench/throughput_harness.h"
+#include "core/server_pool.h"
+#include "wire/frame.h"
+#include "wire/serialize.h"
+
+namespace snorlax {
+namespace {
+
+const std::vector<bench::CapturedSite>& Sites() {
+  static const auto* sites = new std::vector<bench::CapturedSite>(
+      bench::CaptureSites({"pbzip2_main", "memcached_127"}));
+  return *sites;
+}
+
+// Ships one bundle through the full wire stack (payload encode -> frame ->
+// assembler -> payload decode -> bundle decode) in the given format, using
+// either the copying Frame path or the zero-copy view path.
+pt::PtTraceBundle WireRoundTrip(const pt::PtTraceBundle& bundle, uint8_t format,
+                                bool zero_copy) {
+  wire::Frame frame;
+  frame.type = wire::FrameType::kBundle;
+  frame.seq = 1;
+  wire::BundlePayload payload;
+  payload.kind = wire::BundleKind::kFailing;
+  wire::EncodeBundle(bundle, &payload.bundle_bytes, format);
+  wire::EncodeBundlePayload(payload, &frame.payload);
+  std::vector<uint8_t> stream;
+  wire::EncodeFrame(frame, &stream);
+
+  wire::FrameAssembler assembler;
+  EXPECT_TRUE(assembler.Feed(stream.data(), stream.size()));
+  if (zero_copy) {
+    wire::FrameView view;
+    EXPECT_TRUE(assembler.Next(&view));
+    wire::BundlePayloadView decoded_payload;
+    EXPECT_TRUE(wire::DecodeBundlePayload(view.payload, &decoded_payload).ok());
+    auto decoded = wire::DecodeBundle(decoded_payload.bundle_bytes);
+    EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+    return decoded.take();
+  }
+  wire::Frame copied;
+  EXPECT_TRUE(assembler.Next(&copied));
+  wire::BundlePayload decoded_payload;
+  EXPECT_TRUE(wire::DecodeBundlePayload(copied.payload, &decoded_payload).ok());
+  auto decoded = wire::DecodeBundle(decoded_payload.bundle_bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return decoded.take();
+}
+
+std::string DigestVia(
+    const std::function<pt::PtTraceBundle(const pt::PtTraceBundle&)>& transform) {
+  core::ServerPool pool;
+  for (const bench::CapturedSite& site : Sites()) {
+    pool.RegisterModule(site.workload.module.get());
+  }
+  for (const bench::CapturedSite& site : Sites()) {
+    pool.SubmitFailingTrace(transform(site.failing));
+    for (const pt::PtTraceBundle& success : site.successes) {
+      pool.SubmitSuccessTrace(site.failing.failure.failing_inst, transform(success));
+    }
+  }
+  return bench::DigestReports(pool.DiagnoseAll());
+}
+
+TEST(IngestPerfSmoke, CompressedBundlesAreAtLeastTwiceAsSmall) {
+  const auto& sites = Sites();
+  ASSERT_FALSE(sites.empty());
+  const bench::IngestProfile profile = bench::ProfileIngest(sites);
+  ASSERT_GT(profile.bundles, 0u);
+  EXPECT_GE(profile.compression_ratio, 2.0)
+      << profile.v1_bytes_per_bundle << " B/bundle (v1) vs "
+      << profile.v2_bytes_per_bundle << " B/bundle (v2)";
+  EXPECT_GT(profile.decode_events_per_sec, 0.0);
+}
+
+TEST(IngestPerfSmoke, DigestsIdenticalAcrossFormatsAndDecodePaths) {
+  ASSERT_FALSE(Sites().empty());
+  const std::string direct = DigestVia([](const pt::PtTraceBundle& b) { return b; });
+  ASSERT_FALSE(direct.empty());
+  const std::string v1_copy = DigestVia([](const pt::PtTraceBundle& b) {
+    return WireRoundTrip(b, wire::kPayloadFormatV1, /*zero_copy=*/false);
+  });
+  const std::string v2_copy = DigestVia([](const pt::PtTraceBundle& b) {
+    return WireRoundTrip(b, wire::kPayloadFormatV2, /*zero_copy=*/false);
+  });
+  const std::string v1_view = DigestVia([](const pt::PtTraceBundle& b) {
+    return WireRoundTrip(b, wire::kPayloadFormatV1, /*zero_copy=*/true);
+  });
+  const std::string v2_view = DigestVia([](const pt::PtTraceBundle& b) {
+    return WireRoundTrip(b, wire::kPayloadFormatV2, /*zero_copy=*/true);
+  });
+  EXPECT_EQ(direct, v1_copy);
+  EXPECT_EQ(direct, v2_copy);
+  EXPECT_EQ(direct, v1_view);
+  EXPECT_EQ(direct, v2_view);
+}
+
+}  // namespace
+}  // namespace snorlax

@@ -130,6 +130,83 @@ TEST(NetTest, VersionSkewIsRejectedWithoutCollateralDamage) {
   EXPECT_EQ(daemon.stats().bundles_ingested, 2u);
 }
 
+std::string InProcessDigest(const bench::CapturedSite& site) {
+  core::ServerPool pool;
+  pool.RegisterModule(site.workload.module.get());
+  EXPECT_TRUE(pool.SubmitFailingTrace(site.failing).ok());
+  for (const pt::PtTraceBundle& success : site.successes) {
+    EXPECT_TRUE(
+        pool.SubmitSuccessTrace(site.failing.failure.failing_inst, success).ok());
+  }
+  return bench::DigestReports(pool.DiagnoseAll());
+}
+
+TEST(NetTest, V1AgentInteroperatesWithV2Daemon) {
+  // An un-upgraded agent advertises protocol 1; the connection settles on v1
+  // payloads in both directions and diagnosis stays digest-identical.
+  const bench::CapturedSite& site = Site();
+  net::DiagnosisDaemon daemon;  // speaks kProtocolVersion = 2
+  daemon.RegisterModule(site.workload.module.get());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::AgentOptions aopts;
+  aopts.port = daemon.port();
+  aopts.agent_id = 11;
+  aopts.protocol_version = 1;
+  net::DiagnosisAgent agent(aopts);
+  agent.EnqueueFailing(site.failing);
+  ASSERT_TRUE(agent.Flush().ok());
+  for (const pt::PtTraceBundle& success : site.successes) {
+    agent.EnqueueSuccess(site.failing.failure.failing_inst, success);
+  }
+  ASSERT_TRUE(agent.Flush().ok());
+  EXPECT_EQ(agent.negotiated_version(), 1u);
+  EXPECT_EQ(agent.stats().bundles_acked, 1 + site.successes.size());
+  EXPECT_EQ(agent.stats().bundles_rejected, 0u);
+  EXPECT_EQ(daemon.stats().handshakes_rejected, 0u);
+
+  auto remote = agent.Diagnose();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_EQ(remote.value().size(), 1u);
+  EXPECT_EQ(bench::DigestReports(ToShardReports(remote.take())),
+            InProcessDigest(site));
+  EXPECT_EQ(daemon.transport_degradation().decode_errors, 0u);
+}
+
+TEST(NetTest, V2AgentDowngradesToV1Daemon) {
+  // The other direction of the skew: an old daemon rejects the agent's v2
+  // hello, the agent re-handshakes at v1, and everything still works.
+  const bench::CapturedSite& site = Site();
+  net::DaemonOptions dopts;
+  dopts.protocol_version = 1;  // simulates an un-upgraded daemon
+  net::DiagnosisDaemon daemon(dopts);
+  daemon.RegisterModule(site.workload.module.get());
+  ASSERT_TRUE(daemon.Start().ok());
+
+  net::AgentOptions aopts;
+  aopts.port = daemon.port();
+  aopts.agent_id = 12;
+  net::DiagnosisAgent agent(aopts);
+  agent.EnqueueFailing(site.failing);
+  ASSERT_TRUE(agent.Flush().ok());
+  for (const pt::PtTraceBundle& success : site.successes) {
+    agent.EnqueueSuccess(site.failing.failure.failing_inst, success);
+  }
+  ASSERT_TRUE(agent.Flush().ok());
+  EXPECT_EQ(agent.negotiated_version(), 1u);
+  EXPECT_EQ(agent.stats().bundles_acked, 1 + site.successes.size());
+  EXPECT_EQ(agent.stats().bundles_rejected, 0u);
+  // The v2 hello cost one clean rejection before the downgrade retry.
+  EXPECT_EQ(daemon.stats().handshakes_rejected, 1u);
+
+  auto remote = agent.Diagnose();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_EQ(remote.value().size(), 1u);
+  EXPECT_EQ(bench::DigestReports(ToShardReports(remote.take())),
+            InProcessDigest(site));
+  EXPECT_EQ(daemon.transport_degradation().decode_errors, 0u);
+}
+
 TEST(NetTest, ReconnectingAgentIsDeduplicatedBySequence) {
   const bench::CapturedSite& site = Site();
   net::DiagnosisDaemon daemon;

@@ -1,6 +1,8 @@
 // Unit tests for the PT packet wire format and the ring buffer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "pt/packets.h"
 #include "pt/ring_buffer.h"
 #include "support/rng.h"
@@ -204,6 +206,76 @@ TEST(RingBuffer, ExactCapacityBoundary) {
   EXPECT_TRUE(rb.wrapped());
   const std::vector<uint8_t> expected = {11, 12, 13, 10};
   EXPECT_EQ(rb.Snapshot(), expected);
+}
+
+TEST(RingBuffer, WrappedSnapshotDecodesFromFirstIntactPsb) {
+  // A buffer that wraps mid-packet leaves the severed packet's bytes at the
+  // front of the snapshot. The decoder's resync discipline -- scan to the
+  // first intact PSB -- must recover every packet from that point on, exactly
+  // as they were written.
+  Rng rng(77);
+  std::vector<Packet> stream;
+  std::vector<size_t> offsets;  // byte offset where each packet starts
+  std::vector<uint8_t> bytes;
+  const auto push = [&](const Packet& p) {
+    offsets.push_back(bytes.size());
+    stream.push_back(p);
+    EncodePacket(p, &bytes);
+  };
+  for (uint32_t g = 0; g < 30; ++g) {
+    push(Psb(g, static_cast<uint16_t>(g % 5), 1000 + g));
+    const size_t n = 3 + rng.NextBelow(5);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.NextBelow(4)) {
+        case 0:
+          push(Tnt(static_cast<uint8_t>(rng.NextBelow(64)),
+                   static_cast<uint8_t>(1 + rng.NextBelow(6))));
+          break;
+        case 1:
+          push(Tip(g, static_cast<uint16_t>(i)));
+          break;
+        case 2:
+          push(Mtc(static_cast<uint8_t>(g)));
+          break;
+        default:
+          push(Cyc(static_cast<uint16_t>(100 + i)));
+          break;
+      }
+    }
+  }
+  // Pick a capacity that places the oldest surviving byte strictly inside a
+  // packet (not on a boundary), so the wrap genuinely severs one.
+  size_t capacity = bytes.size() / 2;
+  while (std::find(offsets.begin(), offsets.end(), bytes.size() - capacity) !=
+         offsets.end()) {
+    ++capacity;
+  }
+  RingBuffer rb(capacity);
+  rb.Append(bytes);
+  ASSERT_TRUE(rb.wrapped());
+  const std::vector<uint8_t> snap = rb.Snapshot();
+  ASSERT_EQ(snap.size(), capacity);
+  const size_t lost = bytes.size() - capacity;
+
+  const size_t first_psb = FindPsb(snap, 0);
+  ASSERT_LT(first_psb, snap.size());
+  EXPECT_GT(first_psb, 0u);  // remnants of the severed packet precede it
+  // The resync point must be a real PSB boundary of the original stream.
+  const auto it = std::find(offsets.begin(), offsets.end(), lost + first_psb);
+  ASSERT_NE(it, offsets.end());
+  size_t idx = static_cast<size_t>(it - offsets.begin());
+  ASSERT_EQ(static_cast<int>(stream[idx].kind), static_cast<int>(PacketKind::kPsb));
+  // From the first intact PSB to the end: bit-exact recovery, no resync loss.
+  size_t pos = first_psb;
+  while (pos < snap.size()) {
+    const auto decoded = DecodePacket(snap, &pos);
+    ASSERT_TRUE(decoded.has_value()) << "undecodable at snapshot offset " << pos;
+    ASSERT_LT(idx, stream.size());
+    ExpectEqual(*decoded, stream[idx]);
+    ++idx;
+  }
+  EXPECT_EQ(idx, stream.size());
+  EXPECT_EQ(pos, snap.size());
 }
 
 }  // namespace

@@ -116,20 +116,20 @@ TEST(ProcessedTrace, FailingInstanceAppendedAsFailurePoint) {
   const CrashProgram prog = BuildCrashProgram();
   const pt::PtTraceBundle bundle = CaptureFailure(prog);
   ProcessedTrace trace(prog.module.get(), bundle);
-  const DynInst* failing = trace.failing_instance();
-  ASSERT_NE(failing, nullptr);
-  EXPECT_EQ(failing->inst, bundle.failure.failing_inst);
-  EXPECT_TRUE(failing->at_failure);
-  EXPECT_EQ(failing->thread, bundle.failure.thread);
+  const uint32_t failing = trace.failing_instance();
+  ASSERT_NE(failing, ProcessedTrace::kNoInstance);
+  EXPECT_EQ(trace.inst(failing), bundle.failure.failing_inst);
+  EXPECT_TRUE(trace.at_failure(failing));
+  EXPECT_EQ(trace.thread(failing), bundle.failure.thread);
   // Everything else executes-before the failure point.
   int checked = 0;
-  for (const DynInst& d : trace.instances()) {
-    if (&d == failing) {
+  for (uint32_t i = 0; i < trace.size(); ++i) {
+    if (i == failing) {
       continue;
     }
-    if (d.thread != failing->thread) {
-      EXPECT_TRUE(trace.ExecutesBefore(d, *failing));
-      EXPECT_FALSE(trace.ExecutesBefore(*failing, d));
+    if (trace.thread(i) != trace.thread(failing)) {
+      EXPECT_TRUE(trace.ExecutesBefore(i, failing));
+      EXPECT_FALSE(trace.ExecutesBefore(failing, i));
       if (++checked > 200) {
         break;
       }
@@ -145,8 +145,13 @@ TEST(ProcessedTrace, SameThreadUsesProgramOrder) {
   // Two instances of the racy load in the worker: earlier seq before later.
   const auto loads = trace.InstancesOf(prog.racy_load);
   ASSERT_GE(loads.size(), 2u);
-  EXPECT_TRUE(trace.ExecutesBefore(*loads.front(), *loads.back()));
-  EXPECT_FALSE(trace.ExecutesBefore(*loads.back(), *loads.front()));
+  EXPECT_TRUE(trace.ExecutesBefore(loads.front(), loads.back()));
+  EXPECT_FALSE(trace.ExecutesBefore(loads.back(), loads.front()));
+  // The index hands out positions in trace order and classifies the access.
+  for (size_t i = 1; i < loads.size(); ++i) {
+    EXPECT_LT(loads[i - 1], loads[i]);
+  }
+  EXPECT_EQ(trace.access_kind(loads.front()), AccessKind::kLoad);
 }
 
 TEST(ProcessedTrace, CrossThreadNeedsSeparatedWindows) {
@@ -159,21 +164,31 @@ TEST(ProcessedTrace, CrossThreadNeedsSeparatedWindows) {
   ASSERT_EQ(stores.size(), 1u);
   const auto loads = trace.InstancesOf(prog.racy_load);
   ASSERT_GE(loads.size(), 2u);
-  EXPECT_TRUE(trace.ExecutesBefore(*loads.front(), *stores.front()));
-  EXPECT_FALSE(trace.ExecutesBefore(*stores.front(), *loads.front()));
+  EXPECT_TRUE(trace.ExecutesBefore(loads.front(), stores.front()));
+  EXPECT_FALSE(trace.ExecutesBefore(stores.front(), loads.front()));
+  EXPECT_EQ(trace.access_kind(stores.front()), AccessKind::kStore);
 }
 
-TEST(ProcessedTrace, UnorderedWhenWindowsOverlap) {
-  DynInst a{1, 0, 0, 1000, 2000, false};
-  DynInst b{2, 1, 0, 1500, 2500, false};
+TEST(ProcessedTrace, IntervalRuleMatchesTimestampColumns) {
+  // Cross-thread, non-failure ordering is exactly the interval rule over the
+  // timestamp columns: a's window must end a granularity before b's begins.
+  // (Overlapping windows are therefore mutually unordered.)
   const CrashProgram prog = BuildCrashProgram();
   const pt::PtTraceBundle bundle = CaptureFailure(prog);
   ProcessedTrace trace(prog.module.get(), bundle);
-  EXPECT_TRUE(trace.Unordered(a, b));
-  // Disjoint windows separated by more than the granularity: ordered.
-  DynInst c{3, 1, 1, 3000, 3100, false};
-  EXPECT_TRUE(trace.ExecutesBefore(a, c));
-  EXPECT_FALSE(trace.ExecutesBefore(c, a));
+  ASSERT_FALSE(trace.timestamps_unreliable());
+  const uint64_t g = trace.options().order_granularity_ns;
+  int checked = 0;
+  for (uint32_t a = 0; a < trace.size() && checked < 2000; ++a) {
+    for (uint32_t b = 0; b < trace.size() && checked < 2000; ++b) {
+      if (trace.thread(a) == trace.thread(b) || trace.at_failure(a) || trace.at_failure(b)) {
+        continue;
+      }
+      EXPECT_EQ(trace.ExecutesBefore(a, b), trace.ts_ns(a) + g <= trace.ts_lo_ns(b));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
 }
 
 TEST(ProcessedTrace, GranularityOptionControlsOrdering) {
@@ -186,16 +201,16 @@ TEST(ProcessedTrace, GranularityOptionControlsOrdering) {
   const auto loads = trace.InstancesOf(prog.racy_load);
   ASSERT_FALSE(stores.empty());
   ASSERT_FALSE(loads.empty());
-  EXPECT_TRUE(trace.Unordered(*loads.front(), *stores.front()));
+  EXPECT_TRUE(trace.Unordered(loads.front(), stores.front()));
 }
 
 TEST(ProcessedTrace, LastSeqOfTracksThreadFinals) {
   const CrashProgram prog = BuildCrashProgram();
   const pt::PtTraceBundle bundle = CaptureFailure(prog);
   ProcessedTrace trace(prog.module.get(), bundle);
-  const DynInst* failing = trace.failing_instance();
-  ASSERT_NE(failing, nullptr);
-  EXPECT_EQ(trace.LastSeqOf(failing->thread), failing->seq);
+  const uint32_t failing = trace.failing_instance();
+  ASSERT_NE(failing, ProcessedTrace::kNoInstance);
+  EXPECT_EQ(trace.LastSeqOf(trace.thread(failing)), trace.seq(failing));
   EXPECT_EQ(trace.LastSeqOf(9999), 0u);  // unknown thread
 }
 
@@ -240,14 +255,15 @@ TEST(ProcessedTrace, DeadlockWaitersAppended) {
   for (const auto& waiter : r.failure.deadlock_cycle) {
     const auto instances = trace.InstancesOf(waiter.inst);
     bool found = false;
-    for (const DynInst* d : instances) {
-      found |= (d->thread == waiter.thread && d->ts_ns == waiter.block_time_ns);
+    for (uint32_t d : instances) {
+      found |= (trace.thread(d) == waiter.thread && trace.ts_ns(d) == waiter.block_time_ns);
     }
     EXPECT_TRUE(found) << "waiter attempt missing from trace";
     // The blocked attempt is its thread's final event.
     bool is_final = false;
-    for (const DynInst* d : instances) {
-      is_final |= (d->thread == waiter.thread && d->seq == trace.LastSeqOf(waiter.thread));
+    for (uint32_t d : instances) {
+      is_final |= (trace.thread(d) == waiter.thread &&
+                   trace.seq(d) == trace.LastSeqOf(waiter.thread));
     }
     EXPECT_TRUE(is_final);
   }

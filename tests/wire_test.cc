@@ -9,6 +9,7 @@
 //   - hostile length fields are clean rejections, not allocations.
 #include <gtest/gtest.h>
 
+#include "pt/packets.h"
 #include "support/rng.h"
 #include "wire/frame.h"
 #include "wire/serialize.h"
@@ -175,9 +176,10 @@ TEST(WireSerializeTest, TruncatedBundleNeverDecodes) {
 
 TEST(WireSerializeTest, ForgedCountIsCleanRejection) {
   // A bundle whose thread count claims 4 billion entries must be rejected
-  // before any allocation happens (count > remaining bytes).
+  // before any allocation happens (count > remaining bytes). The hand-built
+  // layout below is the fixed-width one, so pin the v1 format byte.
   std::vector<uint8_t> bytes;
-  wire::AppendU8(&bytes, wire::kPayloadFormatVersion);
+  wire::AppendU8(&bytes, wire::kPayloadFormatV1);
   wire::AppendU32(&bytes, 1);        // trace_version
   wire::AppendU64(&bytes, 42);       // fingerprint
   for (int i = 0; i < 7; ++i) {
@@ -189,6 +191,198 @@ TEST(WireSerializeTest, ForgedCountIsCleanRejection) {
   auto decoded = wire::DecodeBundle(bytes);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), support::StatusCode::kCorruptData);
+}
+
+// A packet stream shaped like the encoder's real output: PSB sync points
+// followed by MTC/CYC timing pairs interleaved with TNT runs and occasional
+// TIPs, timestamps advancing smoothly. This is the delta-friendly shape the
+// v2 token transcoder is built for.
+std::vector<uint8_t> RealisticPtStream(Rng& rng, size_t target_bytes) {
+  std::vector<uint8_t> raw;
+  uint64_t tsc = 1000000 + rng.NextBelow(1u << 20);
+  uint8_t ctc = static_cast<uint8_t>(rng.NextBelow(256));
+  uint32_t block = 100;
+  while (raw.size() < target_bytes) {
+    pt::Packet psb;
+    psb.kind = pt::PacketKind::kPsb;
+    psb.block = block;
+    psb.index = static_cast<uint16_t>(rng.NextBelow(48));
+    psb.tsc = tsc;
+    pt::EncodePacket(psb, &raw);
+    for (int i = 0; i < 48 && raw.size() < target_bytes; ++i) {
+      pt::Packet mtc;
+      mtc.kind = pt::PacketKind::kMtc;
+      mtc.ctc = ++ctc;
+      pt::EncodePacket(mtc, &raw);
+      pt::Packet cyc;
+      cyc.kind = pt::PacketKind::kCyc;
+      cyc.cyc_delta = static_cast<uint16_t>(620 + rng.NextBelow(12));
+      pt::EncodePacket(cyc, &raw);
+      pt::Packet tnt;
+      tnt.kind = pt::PacketKind::kTnt;
+      tnt.tnt_count = static_cast<uint8_t>(1 + rng.NextBelow(6));
+      tnt.tnt_bits = static_cast<uint8_t>(rng.NextBelow(1ull << tnt.tnt_count));
+      pt::EncodePacket(tnt, &raw);
+      if (i % 5 == 0) {
+        pt::Packet tip;
+        tip.kind = pt::PacketKind::kTip;
+        tip.block = block + static_cast<uint32_t>(rng.NextBelow(8));
+        tip.index = static_cast<uint16_t>(rng.NextBelow(48));
+        pt::EncodePacket(tip, &raw);
+      }
+      tsc += 1000 + rng.NextBelow(64);
+    }
+    block += static_cast<uint32_t>(1 + rng.NextBelow(16));
+  }
+  return raw;
+}
+
+TEST(WireSerializeTest, PtStreamTranscodeIsLossless) {
+  Rng rng(23);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<uint8_t> raw = RealisticPtStream(rng, 512 + rng.NextBelow(2048));
+    // Scatter corruption so raw escape runs are exercised alongside packets.
+    const size_t flips = rng.NextBelow(8);
+    for (size_t f = 0; f < flips && !raw.empty(); ++f) {
+      raw[rng.NextBelow(raw.size())] ^= 0xff;
+    }
+    std::vector<uint8_t> compressed;
+    wire::CompressPtStream(raw, &compressed);
+    wire::ByteReader r(compressed);
+    std::vector<uint8_t> restored;
+    ASSERT_TRUE(wire::DecompressPtStream(&r, raw.size(), &restored).ok())
+        << "iteration " << iter;
+    ASSERT_TRUE(r.ExpectExhausted().ok());
+    ASSERT_EQ(restored, raw) << "transcode not lossless at iteration " << iter;
+  }
+  // Pure byte soup must round-trip too (travels as raw escape runs, modulo
+  // whatever accidentally decodes as packets -- still deterministic).
+  std::vector<uint8_t> soup;
+  for (int i = 0; i < 4096; ++i) {
+    soup.push_back(static_cast<uint8_t>(rng.NextBelow(256)));
+  }
+  std::vector<uint8_t> compressed;
+  wire::CompressPtStream(soup, &compressed);
+  wire::ByteReader r(compressed);
+  std::vector<uint8_t> restored;
+  ASSERT_TRUE(wire::DecompressPtStream(&r, soup.size(), &restored).ok());
+  EXPECT_EQ(restored, soup);
+}
+
+TEST(WireSerializeTest, RealisticPtStreamCompressesAtLeastTwofold) {
+  Rng rng(29);
+  const std::vector<uint8_t> raw = RealisticPtStream(rng, 64u << 10);
+  std::vector<uint8_t> compressed;
+  wire::CompressPtStream(raw, &compressed);
+  EXPECT_LE(compressed.size() * 2, raw.size())
+      << "only " << raw.size() << " -> " << compressed.size();
+}
+
+TEST(WireSerializeTest, BundleFormatsAreInteroperable) {
+  // The same bundle encoded as v1 and as v2 must decode to the same value:
+  // re-encoding both decodes in a common format is byte-identical, and each
+  // format round-trips bit-stably through its own layout.
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    const pt::PtTraceBundle bundle = RandomBundle(rng);
+    std::vector<uint8_t> v1, v2;
+    wire::EncodeBundle(bundle, &v1, wire::kPayloadFormatV1);
+    wire::EncodeBundle(bundle, &v2, wire::kPayloadFormatV2);
+    ASSERT_EQ(v1[0], wire::kPayloadFormatV1);
+    ASSERT_EQ(v2[0], wire::kPayloadFormatV2);
+    auto d1 = wire::DecodeBundle(v1);
+    auto d2 = wire::DecodeBundle(v2);
+    ASSERT_TRUE(d1.ok()) << d1.status().ToString();
+    ASSERT_TRUE(d2.ok()) << d2.status().ToString();
+    std::vector<uint8_t> c1, c2, r1;
+    wire::EncodeBundle(d1.value(), &c1, wire::kPayloadFormatV2);
+    wire::EncodeBundle(d2.value(), &c2, wire::kPayloadFormatV2);
+    EXPECT_EQ(c1, c2) << "formats decoded differently at iteration " << i;
+    wire::EncodeBundle(d1.value(), &r1, wire::kPayloadFormatV1);
+    EXPECT_EQ(r1, v1) << "v1 round trip not bit-stable at iteration " << i;
+  }
+}
+
+TEST(WireSerializeTest, ReportFormatsAreInteroperable) {
+  Rng rng(37);
+  for (int i = 0; i < 20; ++i) {
+    const core::DiagnosisReport report = RandomReport(rng);
+    std::vector<uint8_t> v1, v2;
+    wire::EncodeReport(report, &v1, wire::kPayloadFormatV1);
+    wire::EncodeReport(report, &v2, wire::kPayloadFormatV2);
+    auto d1 = wire::DecodeReport(v1);
+    auto d2 = wire::DecodeReport(v2);
+    ASSERT_TRUE(d1.ok()) << d1.status().ToString();
+    ASSERT_TRUE(d2.ok()) << d2.status().ToString();
+    std::vector<uint8_t> c1, c2, r1;
+    wire::EncodeReport(d1.value(), &c1, wire::kPayloadFormatV2);
+    wire::EncodeReport(d2.value(), &c2, wire::kPayloadFormatV2);
+    EXPECT_EQ(c1, c2) << "formats decoded differently at iteration " << i;
+    wire::EncodeReport(d1.value(), &r1, wire::kPayloadFormatV1);
+    EXPECT_EQ(r1, v1) << "v1 round trip not bit-stable at iteration " << i;
+  }
+}
+
+TEST(WireSerializeTest, HostilePtTokenStreamsAreCleanRejections) {
+  // Token byte = tag (low 3 bits) | arg << 3. Every forged stream below must
+  // come back as a clean error -- never an abort (the decompressor validates
+  // all fields before handing them to EncodePacket's invariant checks).
+  const auto reject = [](std::vector<uint8_t> tokens, size_t raw_size) {
+    wire::ByteReader r(tokens);
+    std::vector<uint8_t> out;
+    const support::Status status = wire::DecompressPtStream(&r, raw_size, &out);
+    EXPECT_FALSE(status.ok());
+  };
+  reject({0x06}, 64);                          // unknown tag 6
+  reject({0x07}, 64);                          // unknown tag 7
+  reject({0x02}, 64);                          // TNT count 0
+  reject({0x02 | (7u << 3), 0xff}, 64);        // TNT count 7
+  reject({0x00}, 64);                          // raw run of length 0
+  reject({0x00 | (8u << 3), 1, 2, 3}, 4);      // raw run past declared size
+  reject({0x00 | (5u << 3), 1, 2}, 64);        // raw run truncated mid-bytes
+  reject({0x01, 0x00, 0x00, 0x80, 0x80, 0x04}, 64);  // PSB index 65536
+  reject({0x01, 0x00, 0x01, 0x00}, 64);        // PSB block -1 (zigzag)
+  reject({0x03, 0x01, 0x00}, 64);              // TIP block -1
+  reject({0x03, 0x00, 0x80, 0x80, 0x04}, 64);  // TIP index 65536
+  reject({0x05 | (1u << 3)}, 64);              // CYC delta -1 (zigzag arg)
+  reject({0x05 | (31u << 3), 0x80, 0x80, 0x04}, 64);  // CYC escape 65536
+  reject({0x01, 0x00, 0x00, 0x00}, 4);         // PSB overruns declared size
+  reject({}, 1);                               // empty stream, bytes promised
+  // Ten varint continuation bytes: overlong encodings must not spin forever.
+  reject({0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 64);
+}
+
+TEST(WireSerializeTest, FlippedCompressedStreamNeverAborts) {
+  // Single-byte corruption of a valid compressed stream must always come back
+  // as a clean status (ok or error, the frame CRC is the integrity layer) --
+  // never a crash or runaway allocation.
+  Rng rng(41);
+  const std::vector<uint8_t> raw = RealisticPtStream(rng, 2048);
+  std::vector<uint8_t> compressed;
+  wire::CompressPtStream(raw, &compressed);
+  for (size_t at = 0; at < compressed.size(); ++at) {
+    std::vector<uint8_t> bad = compressed;
+    bad[at] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    wire::ByteReader r(bad);
+    std::vector<uint8_t> restored;
+    (void)wire::DecompressPtStream(&r, raw.size(), &restored);
+    EXPECT_LE(restored.size(), raw.size() + pt::kPsbBytes);
+  }
+}
+
+TEST(WireSerializeTest, FlippedBundleBytesNeverAbort) {
+  // Same property one layer up: DecodeBundle over every single-byte flip of a
+  // v2 encoding returns cleanly. (A flip may still decode -- payload-level
+  // integrity is the frame CRC's job -- but it must never trap or hang.)
+  Rng rng(43);
+  const pt::PtTraceBundle bundle = RandomBundle(rng);
+  std::vector<uint8_t> encoded;
+  wire::EncodeBundle(bundle, &encoded, wire::kPayloadFormatV2);
+  for (size_t at = 0; at < encoded.size(); ++at) {
+    std::vector<uint8_t> bad = encoded;
+    bad[at] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    (void)wire::DecodeBundle(bad);
+  }
 }
 
 TEST(WireFrameTest, FrameRoundTripThroughAssembler) {
@@ -268,6 +462,48 @@ TEST(WireFrameTest, EverySingleByteFlipIsDetected) {
     // so the sentinel may be swallowed -- but the corrupted frame itself must
     // never be delivered.
     EXPECT_LE(delivered, 1u) << "flip at byte " << at;
+  }
+}
+
+TEST(WireFrameTest, EveryByteFlipIsDetectedOnCompressedBundles) {
+  // Re-run of the flip sweep with a real v2 (compressed) bundle payload: the
+  // end-to-end guarantee is that a corrupted compressed bundle either fails
+  // the frame CRC or is dropped -- whatever the assembler delivers must be
+  // the pristine original, and must still decompress to the original bundle.
+  Rng rng(19);
+  pt::PtTraceBundle bundle = RandomBundle(rng);
+  bundle.threads.resize(1);
+  bundle.threads[0].bytes = RealisticPtStream(rng, 512);
+
+  wire::Frame frame;
+  frame.type = wire::FrameType::kBundle;
+  frame.seq = 7;
+  wire::BundlePayload payload;
+  wire::EncodeBundle(bundle, &payload.bundle_bytes, wire::kPayloadFormatV2);
+  wire::EncodeBundlePayload(payload, &frame.payload);
+  std::vector<uint8_t> clean;
+  wire::EncodeFrame(frame, &clean);
+
+  std::vector<uint8_t> canonical;
+  wire::EncodeBundle(bundle, &canonical, wire::kPayloadFormatV2);
+
+  for (size_t at = 0; at < clean.size(); ++at) {
+    wire::FrameAssembler assembler;
+    std::vector<uint8_t> corrupted = clean;
+    corrupted[at] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    ASSERT_TRUE(assembler.Feed(corrupted.data(), corrupted.size()));
+    ASSERT_TRUE(assembler.Feed(clean.data(), clean.size()));
+    wire::FrameView got;
+    while (assembler.Next(&got)) {
+      wire::BundlePayloadView view;
+      ASSERT_TRUE(wire::DecodeBundlePayload(got.payload, &view).ok())
+          << "flip at byte " << at;
+      auto decoded = wire::DecodeBundle(view.bundle_bytes);
+      ASSERT_TRUE(decoded.ok()) << "flip at byte " << at;
+      std::vector<uint8_t> re;
+      wire::EncodeBundle(decoded.value(), &re, wire::kPayloadFormatV2);
+      EXPECT_EQ(re, canonical) << "corrupted bundle surfaced, flip at byte " << at;
+    }
   }
 }
 

@@ -58,13 +58,15 @@ int Usage() {
       "           truncate, drop, dup, clockregress, threadloss, forgefailure,\n"
       "           versionskew\n"
       "  bench-throughput measure concurrent vs serial ingest on the built-in\n"
-      "           workload mix (--clients=N, --threads=M, --rounds=R, --json)\n"
+      "           workload mix (--clients=N, --threads=M, --rounds=R, --json,\n"
+      "           --json=<path> to also write the JSON line to a file)\n"
       "  serve    run the TCP diagnosis daemon (--port=P, --pool-threads=N,\n"
       "           --workloads=a,b,c; default port 7433, Ctrl-C to stop)\n"
       "  send     capture a workload's failing + success traces and ship them\n"
       "           to a daemon (<workload>, --port=P, --agent-id=N, --diagnose)\n"
       "  bench-fleet measure loopback-TCP fleet ingest (--agents=M, --rounds=K,\n"
-      "           --pool-threads=P, --faults=kind@rate[,...], --json)\n");
+      "           --pool-threads=P, --faults=kind@rate[,...], --json,\n"
+      "           --json=<path>)\n");
   return 2;
 }
 
@@ -342,7 +344,16 @@ int CmdBenchThroughput(int argc, char** argv) {
   serial.pool_threads = 0;
   const bench::ThroughputResult s = bench::RunThroughput(sites, serial);
   const bench::ThroughputResult p = bench::RunThroughput(sites, config);
-  std::printf("%s\n", bench::ThroughputJson(config, sites.size(), s, p).c_str());
+  const bench::IngestProfile profile = bench::ProfileIngest(sites);
+  const std::string json = bench::ThroughputJson(config, sites.size(), s, p, profile);
+  if (!flags.json_path.empty()) {
+    const support::Status written = bench::WriteJsonFile(flags.json_path, json);
+    if (!written.ok()) {
+      std::printf("%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", json.c_str());
   if (!json_only) {
     std::printf("speedup scales with available cores; diagnoses identical: %s\n",
                 s.report_digest == p.report_digest ? "yes" : "NO");
@@ -525,7 +536,15 @@ int CmdBenchFleet(int argc, char** argv) {
     return 1;
   }
   const bench::FleetResult result = bench::RunFleet(sites, config);
-  std::printf("%s\n", bench::FleetJson(config, sites.size(), result).c_str());
+  const std::string json = bench::FleetJson(config, sites.size(), result);
+  if (!flags.json_path.empty()) {
+    const support::Status written = bench::WriteJsonFile(flags.json_path, json);
+    if (!written.ok()) {
+      std::printf("%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", json.c_str());
   if (!flags.json_only) {
     std::printf("wire == in-process digests: %s\n", result.digests_match ? "yes" : "NO");
   }
