@@ -53,16 +53,7 @@ int main(int argc, char** argv) {
 
   const bench::FleetResult result = bench::RunFleet(sites, config);
   const std::string json = bench::FleetJson(config, sites.size(), result);
-  if (!flags.json_path.empty()) {
-    const support::Status written = bench::WriteJsonFile(flags.json_path, json);
-    if (!written.ok()) {
-      std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 2;
-    }
-  }
-  if (flags.json_only) {
-    std::printf("%s\n", json.c_str());
-  } else {
+  const support::Status emitted = bench::EmitBenchJson(flags, json, [&] {
     bench::PrintHeader(StrFormat(
         "Fleet ingestion over loopback TCP: %zu sites, %zu agents x %zu rounds%s",
         sites.size(), config.agents, config.rounds,
@@ -83,7 +74,9 @@ int main(int argc, char** argv) {
     if (!result.status.ok()) {
       std::printf("fleet status: %s\n", result.status.ToString().c_str());
     }
-    std::printf("%s\n", json.c_str());
+  });
+  if (!emitted.ok()) {
+    return 2;
   }
   return result.digests_match && result.status.ok() ? 0 : 1;
 }

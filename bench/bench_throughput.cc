@@ -6,9 +6,9 @@
 // Flags: --clients=N --threads=M --pool-threads=P --rounds=R --json
 // --json=<path> (--json restricts stdout to the single-line JSON object;
 // --json=<path> additionally writes it to <path>, e.g. BENCH_ingest.json).
+// Parsed by the shared ParseHarnessFlags, so this binary and the
+// snorlax_cli bench subcommands cannot drift apart.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -18,29 +18,14 @@
 using namespace snorlax;
 
 int main(int argc, char** argv) {
-  bench::ThroughputConfig config;
-  bool json_only = false;
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag.rfind("--clients=", 0) == 0) {
-      config.clients = std::strtoull(flag.c_str() + 10, nullptr, 10);
-      config.threads = config.clients;
-    } else if (flag.rfind("--threads=", 0) == 0) {
-      config.threads = std::strtoull(flag.c_str() + 10, nullptr, 10);
-    } else if (flag.rfind("--pool-threads=", 0) == 0) {
-      config.pool_threads = std::strtoull(flag.c_str() + 15, nullptr, 10);
-    } else if (flag.rfind("--rounds=", 0) == 0) {
-      config.rounds = std::strtoull(flag.c_str() + 9, nullptr, 10);
-    } else if (flag.rfind("--json=", 0) == 0) {
-      json_path = flag.substr(7);
-    } else if (flag == "--json") {
-      json_only = true;
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
-      return 2;
-    }
+  bench::HarnessFlags flags;
+  flags.config.rounds = 4;
+  const support::Status parsed = bench::ParseHarnessFlags(argc, argv, 1, &flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
   }
+  const bench::ThroughputConfig& config = flags.config;
 
   // Chaos-free mix spanning the catalogue's failure kinds and module sizes.
   const std::vector<std::string> mix = {"pbzip2_main", "sqlite_1672", "mysql_169",
@@ -58,17 +43,7 @@ int main(int argc, char** argv) {
   const bench::ThroughputResult parallel = bench::RunThroughput(sites, config);
   const bench::IngestProfile profile = bench::ProfileIngest(sites);
   const std::string json = bench::ThroughputJson(config, sites.size(), serial, parallel, profile);
-  if (!json_path.empty()) {
-    const support::Status written = bench::WriteJsonFile(json_path, json);
-    if (!written.ok()) {
-      std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 2;
-    }
-  }
-
-  if (json_only) {
-    std::printf("%s\n", json.c_str());
-  } else {
+  const support::Status emitted = bench::EmitBenchJson(flags, json, [&] {
     bench::PrintHeader(StrFormat(
         "Ingest throughput: %zu sites, %zu client streams x %zu rounds\n"
         "(serial = 1 thread, no pool; concurrent = %zu threads + %zu pool workers)",
@@ -92,7 +67,9 @@ int main(int argc, char** argv) {
         "%.2fx smaller; decode %.0f events/s\n",
         profile.v1_bytes_per_bundle, profile.v2_bytes_per_bundle,
         profile.compression_ratio, profile.decode_events_per_sec);
-    std::printf("%s\n", json.c_str());
+  });
+  if (!emitted.ok()) {
+    return 2;
   }
   return serial.report_digest == parallel.report_digest ? 0 : 1;
 }

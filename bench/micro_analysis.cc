@@ -6,7 +6,7 @@
 #include "analysis/points_to.h"
 #include "analysis/slicer.h"
 #include "bench/bench_util.h"
-#include "core/pattern.h"
+#include "engine/pattern.h"
 #include "core/client.h"
 #include "core/server.h"
 #include "support/str.h"

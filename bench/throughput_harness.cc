@@ -278,6 +278,22 @@ support::Status WriteJsonFile(const std::string& path, const std::string& json) 
   return support::Status::Ok();
 }
 
+support::Status EmitBenchJson(const HarnessFlags& flags, const std::string& json,
+                              const std::function<void()>& print_human) {
+  if (!flags.json_path.empty()) {
+    const support::Status written = WriteJsonFile(flags.json_path, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return written;
+    }
+  }
+  if (!flags.json_only && print_human != nullptr) {
+    print_human();
+  }
+  std::printf("%s\n", json.c_str());
+  return support::Status::Ok();
+}
+
 std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
                            const ThroughputResult& serial, const ThroughputResult& parallel,
                            const IngestProfile& profile) {

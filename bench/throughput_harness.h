@@ -11,6 +11,7 @@
 #ifndef SNORLAX_BENCH_THROUGHPUT_HARNESS_H_
 #define SNORLAX_BENCH_THROUGHPUT_HARNESS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -120,6 +121,13 @@ struct HarnessFlags {
 // --clients=N also sets threads=N (a stream per thread unless --threads says
 // otherwise). Unknown flags yield kInvalidArgument naming the flag.
 support::Status ParseHarnessFlags(int argc, char** argv, int first, HarnessFlags* flags);
+
+// The shared tail of every bench front-end, honoring the --json/--json=<path>
+// flags in one place: writes `json` to flags.json_path when set (error status
+// on failure, already printed to stderr), runs `print_human` unless --json
+// restricted output to the machine-readable line, then prints the JSON line.
+support::Status EmitBenchJson(const HarnessFlags& flags, const std::string& json,
+                              const std::function<void()>& print_human);
 
 }  // namespace snorlax::bench
 

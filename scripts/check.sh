@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Repo-wide check: configure, build, and run the full test suite, then the
+# labeled suites the acceptance gates care about. This is what CI runs; run
+# it locally before pushing.
+#
+# Usage: scripts/check.sh [build-dir]       (default: build)
+#   SNORLAX_CHECK_TSAN=1 scripts/check.sh   additionally builds with
+#                                           -DSNORLAX_SANITIZE=thread and runs
+#                                           the concurrency label under TSan.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure + build (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== tier-1: full test suite =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# The labeled suites run as part of the full suite above; re-running them
+# by label keeps their pass/fail visible as separate CI steps.
+for label in chaos net concurrency perf-smoke; do
+  echo "== label: ${label} =="
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -L "${label}"
+done
+
+if [[ "${SNORLAX_CHECK_TSAN:-0}" == "1" ]]; then
+  echo "== TSan: concurrency label =="
+  cmake -B "${BUILD_DIR}-tsan" -S . -DSNORLAX_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}-tsan" -j "${JOBS}"
+  ctest --test-dir "${BUILD_DIR}-tsan" --output-on-failure -L concurrency
+fi
+
+echo "== all checks passed =="

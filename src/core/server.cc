@@ -1,11 +1,8 @@
 #include "core/server.h"
 
-#include <algorithm>
 #include <chrono>
 #include <exception>
 
-#include "analysis/deref_chain.h"
-#include "analysis/slicer.h"
 #include "ir/cfg.h"
 #include "pt/encoder.h"
 #include "support/check.h"
@@ -22,25 +19,24 @@ double SecondsSince(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-uint64_t Mix64(uint64_t x) {
-  // splitmix64 finalizer: cheap, well-distributed.
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-uint64_t HashCombine(uint64_t seed, uint64_t v) {
-  return Mix64(seed ^ Mix64(v));
-}
-
 }  // namespace
+
+engine::EngineOptions DiagnosisServer::MakeEngineOptions(const Options& options) {
+  engine::EngineOptions eopts;
+  eopts.patterns = options.patterns;
+  eopts.use_scope_restriction = options.use_scope_restriction;
+  eopts.use_type_ranking = options.use_type_ranking;
+  eopts.use_slice_fallback = options.use_slice_fallback;
+  eopts.use_artifact_store = options.use_analysis_cache;
+  eopts.pool = options.pool;
+  return eopts;
+}
 
 DiagnosisServer::DiagnosisServer(const ir::Module* module)
     : DiagnosisServer(module, Options()) {}
 
 DiagnosisServer::DiagnosisServer(const ir::Module* module, Options options)
-    : module_(module), options_(options) {
+    : module_(module), options_(options), engine_(module, MakeEngineOptions(options)) {
   SNORLAX_CHECK(module != nullptr);
   module_fingerprint_ = pt::ModuleFingerprint(*module);
 }
@@ -81,12 +77,67 @@ support::Result<std::unique_ptr<trace::ProcessedTrace>> DiagnosisServer::IngestB
   }
 }
 
+uint64_t DiagnosisServer::BundleContentKey(const pt::PtTraceBundle& bundle) {
+  uint64_t h = engine::Mix64(bundle.trace_version);
+  h = engine::HashCombine(h, bundle.module_fingerprint);
+  h = engine::HashCombine(h, bundle.snapshot_time_ns);
+  h = engine::HashCombine(h, static_cast<uint64_t>(bundle.failure.kind));
+  h = engine::HashCombine(h, bundle.failure.failing_inst);
+  h = engine::HashCombine(h, bundle.failure.thread);
+  for (const pt::PtTraceBundle::PerThread& thread : bundle.threads) {
+    h = engine::HashCombine(h, thread.thread);
+    h = engine::HashCombine(h, thread.total_written);
+    h = engine::HashCombine(h, thread.last_retired);
+    h = engine::HashCombine(h, thread.bytes.size());
+    // FNV-1a over the raw ring-buffer bytes, folded in 8 bytes at a time via
+    // the same mixer as every other artifact key.
+    uint64_t bytes_hash = 1469598103934665603ull;
+    for (uint8_t b : thread.bytes) {
+      bytes_hash = (bytes_hash ^ b) * 1099511628211ull;
+    }
+    h = engine::HashCombine(h, bytes_hash);
+  }
+  return h;
+}
+
+support::Result<std::unique_ptr<trace::ProcessedTrace>> DiagnosisServer::DecodeBundle(
+    const pt::PtTraceBundle& bundle, double* decode_seconds, bool* cache_hit) {
+  const auto start = std::chrono::steady_clock::now();
+  *cache_hit = false;
+  uint64_t key = 0;
+  if (options_.use_analysis_cache) {
+    key = BundleContentKey(bundle);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto* memo = decode_cache_.Find<engine::ProcessedTraceArtifact>(
+            engine::ArtifactKind::kProcessedTrace, key)) {
+      // Copy the memoized trace out: each submission still appends its own
+      // evidence; only the packet decoding is skipped.
+      auto copy = std::make_unique<trace::ProcessedTrace>(*memo->trace);
+      *decode_seconds = SecondsSince(start);
+      *cache_hit = true;
+      return copy;
+    }
+  }
+  auto ingested = IngestBundle(bundle);
+  if (ingested.ok() && options_.use_analysis_cache) {
+    std::lock_guard<std::mutex> lock(mu_);
+    decode_cache_.Put(engine::ArtifactKind::kProcessedTrace, key,
+                      engine::ProcessedTraceArtifact{
+                          std::make_shared<const trace::ProcessedTrace>(*ingested.value())});
+  }
+  *decode_seconds = SecondsSince(start);
+  return ingested;
+}
+
 void DiagnosisServer::RecordRejectionLocked(const char* what, const Status& status) {
   ++degradation_.rejected_bundles;
   degradation_.notes.push_back(StrFormat("%s: %s", what, status.ToString().c_str()));
 }
 
 Status DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
+  // The analysis budget covers the whole submit, decode included.
+  const engine::CancelToken cancel =
+      engine::CancelToken::AfterSeconds(options_.analysis_deadline_seconds);
   Status valid = ValidateBundle(bundle, /*failing=*/true);
   if (!valid.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -95,16 +146,18 @@ Status DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
   }
   // Decode outside the lock: this is the bulk of per-bundle work and is pure
   // (module + bundle in, ProcessedTrace out), so client threads overlap here.
+  // Byte-identical repeats are served from the decode memo instead.
   const auto start = std::chrono::steady_clock::now();
-  auto ingested = IngestBundle(bundle);
-  const double decode_seconds = SecondsSince(start);
+  double decode_seconds = 0.0;
+  bool decode_hit = false;
+  auto ingested = DecodeBundle(bundle, &decode_seconds, &decode_hit);
   std::lock_guard<std::mutex> lock(mu_);
   if (!ingested.ok()) {
     RecordRejectionLocked("failing bundle rejected", ingested.status());
     return ingested.status();
   }
   std::unique_ptr<trace::ProcessedTrace> processed = ingested.take();
-  stages_.trace_seconds += decode_seconds;
+  engine_.RecordTraceProcess(decode_seconds, decode_hit);
   // Degradation accrues even for bundles rejected below: a decoded-but-empty
   // bundle still tells the operator what corruption ate it.
   degradation_.MergeFrom(processed->degradation());
@@ -114,26 +167,35 @@ Status DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
     RecordRejectionLocked("failing bundle rejected", err);
     return err;
   }
+  Status pipeline;
   try {
-    RunPipeline(*processed);
+    pipeline = engine_.AddFailingTrace(std::move(processed), cancel);
   } catch (const std::exception& e) {
     RecordRejectionLocked("pipeline crash barrier",
                           Status::Error(StatusCode::kInternal, e.what()));
     return Status::Error(StatusCode::kInternal,
                          StrFormat("analysis failed: %s", e.what()));
   }
-  failing_traces_.push_back(std::move(processed));
+  degradation_.hypothesis_fallback =
+      degradation_.hypothesis_fallback || engine_.hypothesis_violated();
+  degradation_.slice_fallback = degradation_.slice_fallback || engine_.used_slice_fallback();
+  if (!pipeline.ok()) {
+    // Deadline hit at a pass boundary: the trace stays as scoring evidence
+    // and every completed artifact remains valid, but the operator should
+    // know this site ran out of budget mid-pipeline.
+    degradation_.notes.push_back(pipeline.ToString());
+  }
   last_analysis_seconds_ = SecondsSince(start);
   total_analysis_seconds_ += last_analysis_seconds_;
-  return Status::Ok();
+  return pipeline;
 }
 
 Status DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!failing_traces_.empty() &&
-        success_traces_.size() >=
-            options_.success_trace_multiplier * failing_traces_.size()) {
+    if (!engine_.failing_traces().empty() &&
+        engine_.success_traces().size() >=
+            options_.success_trace_multiplier * engine_.failing_traces().size()) {
       return Status::Ok();  // the paper's empirically-sufficient 10x cap
     }
   }
@@ -143,9 +205,9 @@ Status DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
     RecordRejectionLocked("success bundle rejected", valid);
     return valid;
   }
-  const auto start = std::chrono::steady_clock::now();
-  auto ingested = IngestBundle(bundle);
-  const double decode_seconds = SecondsSince(start);
+  double decode_seconds = 0.0;
+  bool decode_hit = false;
+  auto ingested = DecodeBundle(bundle, &decode_seconds, &decode_hit);
   std::lock_guard<std::mutex> lock(mu_);
   if (!ingested.ok()) {
     RecordRejectionLocked("success bundle rejected", ingested.status());
@@ -154,13 +216,13 @@ Status DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
   // Re-check the cap: another thread may have filled it while we decoded.
   // Dropped bundles contribute nothing -- not even degradation -- matching a
   // serial server, where the pre-check would have turned them away undecoded.
-  if (!failing_traces_.empty() &&
-      success_traces_.size() >=
-          options_.success_trace_multiplier * failing_traces_.size()) {
+  if (!engine_.failing_traces().empty() &&
+      engine_.success_traces().size() >=
+          options_.success_trace_multiplier * engine_.failing_traces().size()) {
     return Status::Ok();
   }
   std::unique_ptr<trace::ProcessedTrace> processed = ingested.take();
-  stages_.trace_seconds += decode_seconds;
+  engine_.RecordTraceProcess(decode_seconds, decode_hit);
   degradation_.MergeFrom(processed->degradation());
   if (!processed->HasEvidence()) {
     Status err = Status::Error(StatusCode::kCorruptData,
@@ -168,288 +230,17 @@ Status DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
     RecordRejectionLocked("success bundle rejected", err);
     return err;
   }
-  success_traces_.push_back(std::move(processed));
+  engine_.AddSuccessTrace(std::move(processed));
   return Status::Ok();
-}
-
-uint64_t DiagnosisServer::SiteKey(const trace::ProcessedTrace& failing) const {
-  const rt::FailureInfo& failure = failing.failure();
-  uint64_t h = Mix64(module_fingerprint_);
-  h = HashCombine(h, failure.failing_inst);
-  h = HashCombine(h, static_cast<uint64_t>(failure.kind));
-  for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
-    h = HashCombine(h, (static_cast<uint64_t>(w.thread) << 32) | w.inst);
-  }
-  // Executed set: commutative (sum of mixes) -- unordered_set iteration order
-  // is not deterministic across processes, the key must be.
-  uint64_t executed_hash = Mix64(failing.executed().size());
-  for (ir::InstId id : failing.executed()) {
-    executed_hash += Mix64(id);
-  }
-  h = HashCombine(h, executed_hash);
-  // Scope restriction changes what the solver sees; keep ablation runs apart.
-  h = HashCombine(h, options_.use_scope_restriction ? 1 : 0);
-  return h;
-}
-
-uint64_t DiagnosisServer::TraceContentKey(const trace::ProcessedTrace& failing) {
-  // Pattern computation consumes the partially-ordered dynamic trace, so the
-  // sub-key must cover the exact instance sequence and every per-thread clock
-  // verdict that alters the partial order.
-  uint64_t h = Mix64(failing.size());
-  for (uint32_t i = 0; i < failing.size(); ++i) {
-    h = HashCombine(h, (static_cast<uint64_t>(failing.inst(i)) << 32) | failing.thread(i));
-    h = HashCombine(h,
-                    (static_cast<uint64_t>(failing.seq(i)) << 1) | (failing.at_failure(i) ? 1 : 0));
-    h = HashCombine(h, failing.ts_lo_ns(i));
-    h = HashCombine(h, failing.ts_ns(i));
-  }
-  uint64_t suspects = 0;
-  std::unordered_set<rt::ThreadId> threads_seen;
-  for (uint32_t i = 0; i < failing.size(); ++i) {
-    if (threads_seen.insert(failing.thread(i)).second && failing.ClockSuspect(failing.thread(i))) {
-      suspects += Mix64(failing.thread(i));
-    }
-  }
-  h = HashCombine(h, suspects);
-  h = HashCombine(h, failing.timestamps_unreliable() ? 1 : 0);
-  return h;
-}
-
-void DiagnosisServer::RunPipeline(const trace::ProcessedTrace& failing) {
-  const rt::FailureInfo& failure = failing.failure();
-  stages_.module_instructions = module_->NumInstructions();
-  stages_.executed_instructions = failing.executed().size();
-
-  SiteCacheEntry* cached = nullptr;
-  uint64_t site_key = 0;
-  if (options_.use_analysis_cache) {
-    site_key = SiteKey(failing);
-    auto it = site_cache_.find(site_key);
-    if (it != site_cache_.end()) {
-      cached = &it->second;
-    }
-  }
-
-  analysis::ObjectSet seed;
-  if (cached != nullptr) {
-    // Steps 4-5 cache hit: same failure site, same executed set, same solver
-    // scope => identical points-to result, chain, and ranking. Skip them.
-    points_to_ = cached->points_to;
-    failure_chain_ = cached->failure_chain;
-    seed = cached->seed;
-    ranked_ = cached->ranked;
-    stages_.candidate_instructions = cached->candidate_instructions;
-    stages_.rank1_candidates = cached->rank1_candidates;
-  } else {
-    // Step 4: hybrid points-to analysis, scoped to the executed set.
-    const auto pt_start = std::chrono::steady_clock::now();
-    analysis::PointsToOptions pto;
-    if (options_.use_scope_restriction) {
-      pto.scope = analysis::PointsToOptions::Scope::kExecutedOnly;
-      pto.executed = &failing.executed();
-    } else {
-      pto.scope = analysis::PointsToOptions::Scope::kWholeProgram;
-    }
-    points_to_ =
-        std::make_shared<const analysis::PointsToResult>(RunPointsTo(*module_, pto));
-    ++solver_runs_;
-    stages_.points_to_seconds += SecondsSince(pt_start);
-
-    // The failing operand's may-point-to set, seeded from the RETracer-style
-    // access chain (the faulting dereference plus the loads that produced the
-    // corrupt value). For a deadlock, union over every blocked acquisition in
-    // the cycle (each holds a different lock).
-    const auto rank_start = std::chrono::steady_clock::now();
-    if (chain_index_ == nullptr) {
-      chain_index_ = std::make_unique<analysis::FailureChainIndex>(*module_);
-    }
-    failure_chain_ =
-        analysis::FailureAccessChain(*chain_index_, *module_, failure.failing_inst);
-    for (const ir::Instruction* access : failure_chain_) {
-      seed.UnionWith(points_to_->PointerOperandPointsTo(*access));
-    }
-    for (const rt::FailureInfo::DeadlockWaiter& w : failure.deadlock_cycle) {
-      if (w.inst != ir::kInvalidInstId) {
-        seed.UnionWith(points_to_->PointerOperandPointsTo(*module_->instruction(w.inst)));
-      }
-    }
-
-    // Candidate target events: executed instructions whose pointer operand may
-    // alias the failing operand.
-    std::vector<const ir::Instruction*> candidates = points_to_->AccessorsOf(seed);
-    // Restrict to instructions the trace proves executed (AccessorsOf already
-    // respects points-to scope, but whole-program mode needs the filter).
-    std::vector<const ir::Instruction*> executed_candidates;
-    executed_candidates.reserve(candidates.size());
-    for (const ir::Instruction* c : candidates) {
-      if (failing.WasExecuted(c->id())) {
-        executed_candidates.push_back(c);
-      }
-    }
-    stages_.candidate_instructions = executed_candidates.size();
-
-    // Step 5: type-based ranking. The reference type is the type of the value
-    // involved in the corruption: the type produced by the load that fed the
-    // faulting dereference (Figure 4's Queue*), falling back to the failing
-    // instruction's own operated type.
-    const ir::Type* rank_type = nullptr;
-    if (failure_chain_.size() >= 2) {
-      rank_type = failure_chain_[1]->type();
-    } else if (!failure_chain_.empty()) {
-      rank_type = failure_chain_[0]->type();
-    }
-    analysis::TypeRankStats rank_stats;
-    if (options_.use_type_ranking && rank_type != nullptr) {
-      ranked_ = analysis::RankByType(rank_type, executed_candidates, &rank_stats);
-    } else {
-      ranked_.clear();
-      for (const ir::Instruction* c : executed_candidates) {
-        ranked_.push_back(analysis::RankedInstruction{c, 1});
-      }
-      rank_stats.candidates = ranked_.size();
-      rank_stats.rank1 = ranked_.size();
-    }
-    stages_.rank1_candidates = rank_stats.rank1;
-    stages_.rank_seconds += SecondsSince(rank_start);
-
-    if (options_.use_analysis_cache) {
-      SiteCacheEntry entry;
-      entry.points_to = points_to_;
-      entry.failure_chain = failure_chain_;
-      entry.seed = seed;
-      entry.ranked = ranked_;
-      entry.candidate_instructions = stages_.candidate_instructions;
-      entry.rank1_candidates = stages_.rank1_candidates;
-      cached = &site_cache_.emplace(site_key, std::move(entry)).first->second;
-    }
-  }
-
-  // Step 6: pattern computation under partial flow sensitivity. Unlike steps
-  // 4-5 this reads the dynamic interleaving, so reuse requires the trace
-  // content itself to match, not just the executed set.
-  bool pipeline_used_fallback = false;
-  std::vector<BugPattern> computed_patterns;
-  bool computed_hypothesis_violated = false;
-  uint64_t trace_key = 0;
-  PatternCacheEntry* pattern_hit = nullptr;
-  if (cached != nullptr) {
-    trace_key = TraceContentKey(failing);
-    auto it = cached->by_trace.find(trace_key);
-    if (it != cached->by_trace.end()) {
-      pattern_hit = &it->second;
-    }
-  }
-  if (pattern_hit != nullptr) {
-    computed_patterns = pattern_hit->patterns;
-    computed_hypothesis_violated = pattern_hit->hypothesis_violated;
-    pipeline_used_fallback = pattern_hit->used_slice_fallback;
-    ranked_ = pattern_hit->ranked;
-    stages_.candidate_instructions = pattern_hit->candidate_instructions;
-    stages_.rank1_candidates = pattern_hit->rank1_candidates;
-  } else {
-    const auto pattern_start = std::chrono::steady_clock::now();
-    const ir::Type* rank_type = nullptr;
-    if (failure_chain_.size() >= 2) {
-      rank_type = failure_chain_[1]->type();
-    } else if (!failure_chain_.empty()) {
-      rank_type = failure_chain_[0]->type();
-    }
-    PatternComputeResult computed =
-        ComputePatterns(*module_, failing, ranked_, failure, failure_chain_, options_.patterns);
-
-    // Fallback (paper section 7): if the alias-derived candidates yielded no
-    // pattern, widen to the instructions with control/data dependences to the
-    // failing instruction -- the backward slice -- and retry. This recovers
-    // bugs where the corrupt value flowed through memory the operand walk
-    // cannot follow (e.g. a stale pointer cached in a private cell).
-    if (computed.patterns.empty() && options_.use_slice_fallback &&
-        failure.failing_inst != ir::kInvalidInstId &&
-        failure.kind != rt::FailureKind::kDeadlock) {
-      pipeline_used_fallback = true;
-      const std::unordered_set<ir::InstId> slice =
-          analysis::BackwardSlice(*module_, *points_to_, failure.failing_inst);
-      analysis::ObjectSet widened = seed;
-      std::vector<const ir::Instruction*> slice_candidates;
-      for (ir::InstId id : slice) {
-        const ir::Instruction* inst = module_->instruction(id);
-        if (inst->IsMemoryAccess() && failing.WasExecuted(id)) {
-          slice_candidates.push_back(inst);
-          widened.UnionWith(points_to_->PointerOperandPointsTo(*inst));
-        }
-      }
-      // Also admit every executed access aliasing the widened set (the racing
-      // write shares cells with the sliced loads, not with the failing operand).
-      for (const ir::Instruction* inst : points_to_->AccessorsOf(widened)) {
-        if (failing.WasExecuted(inst->id())) {
-          slice_candidates.push_back(inst);
-        }
-      }
-      std::sort(slice_candidates.begin(), slice_candidates.end(),
-                [](const ir::Instruction* a, const ir::Instruction* b) {
-                  return a->id() < b->id();
-                });
-      slice_candidates.erase(std::unique(slice_candidates.begin(), slice_candidates.end()),
-                             slice_candidates.end());
-      analysis::TypeRankStats fallback_stats;
-      ranked_ = options_.use_type_ranking && rank_type != nullptr
-                    ? analysis::RankByType(rank_type, slice_candidates, &fallback_stats)
-                    : [&] {
-                        std::vector<analysis::RankedInstruction> all;
-                        for (const ir::Instruction* c : slice_candidates) {
-                          all.push_back(analysis::RankedInstruction{c, 1});
-                        }
-                        return all;
-                      }();
-      stages_.candidate_instructions = slice_candidates.size();
-      stages_.rank1_candidates =
-          options_.use_type_ranking ? fallback_stats.rank1 : slice_candidates.size();
-      computed =
-          ComputePatterns(*module_, failing, ranked_, failure, failure_chain_, options_.patterns);
-    }
-    stages_.pattern_seconds += SecondsSince(pattern_start);
-    computed_patterns = std::move(computed.patterns);
-    computed_hypothesis_violated = computed.hypothesis_violated;
-
-    if (cached != nullptr) {
-      PatternCacheEntry entry;
-      entry.patterns = computed_patterns;
-      entry.ranked = ranked_;
-      entry.hypothesis_violated = computed_hypothesis_violated;
-      entry.used_slice_fallback = pipeline_used_fallback;
-      entry.candidate_instructions = stages_.candidate_instructions;
-      entry.rank1_candidates = stages_.rank1_candidates;
-      cached->by_trace.emplace(trace_key, std::move(entry));
-    }
-  }
-
-  used_slice_fallback_ = pipeline_used_fallback;
-  hypothesis_violated_ = hypothesis_violated_ || computed_hypothesis_violated;
-  degradation_.hypothesis_fallback = degradation_.hypothesis_fallback || hypothesis_violated_;
-  degradation_.slice_fallback = degradation_.slice_fallback || used_slice_fallback_;
-  // Merge with patterns from earlier failing traces (same bug recurring).
-  for (BugPattern& p : computed_patterns) {
-    bool duplicate = false;
-    for (const BugPattern& existing : patterns_) {
-      if (existing.Key() == p.Key()) {
-        duplicate = true;
-        break;
-      }
-    }
-    if (!duplicate) {
-      patterns_.push_back(std::move(p));
-    }
-  }
-  stages_.patterns_generated = patterns_.size();
 }
 
 std::vector<std::pair<ir::InstId, int>> DiagnosisServer::RequestedDumpPoints() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<ir::InstId, int>> out;
-  if (failing_traces_.empty()) {
+  if (engine_.failing_traces().empty()) {
     return out;
   }
-  const rt::FailureInfo& failure = failing_traces_.front()->failure();
+  const rt::FailureInfo& failure = engine_.failing_traces().front()->failure();
   if (failure.failing_inst == ir::kInvalidInstId) {
     return out;
   }
@@ -466,12 +257,45 @@ std::vector<std::pair<ir::InstId, int>> DiagnosisServer::RequestedDumpPoints() c
   return out;
 }
 
+StageStats DiagnosisServer::BuildStageStatsLocked() const {
+  StageStats s;
+  s.module_instructions = module_->NumInstructions();
+  const engine::StageCounts& counts = engine_.stage_counts();
+  s.executed_instructions = counts.executed_instructions;
+  s.candidate_instructions = counts.candidate_instructions;
+  s.rank1_candidates = counts.rank1_candidates;
+  s.patterns_generated = counts.patterns_generated;
+  // Wire-stable stage seconds are a view over the pass table: ranking covers
+  // the chain walk plus the type ranking proper, matching the pre-pipeline
+  // accounting.
+  const engine::PassStatsTable& passes = engine_.pass_stats();
+  s.trace_seconds = StatsFor(passes, engine::PassId::kTraceProcess).seconds;
+  s.points_to_seconds = StatsFor(passes, engine::PassId::kPointsTo).seconds;
+  s.rank_seconds = StatsFor(passes, engine::PassId::kDerefChains).seconds +
+                   StatsFor(passes, engine::PassId::kTypeRank).seconds;
+  s.pattern_seconds = StatsFor(passes, engine::PassId::kPatterns).seconds;
+  s.passes = passes;
+  s.artifacts = CombinedStoreStatsLocked();
+  return s;
+}
+
+engine::ArtifactStore::Stats DiagnosisServer::CombinedStoreStatsLocked() const {
+  engine::ArtifactStore::Stats s = engine_.store_stats();
+  const engine::ArtifactStore::Stats& memo = decode_cache_.stats();
+  s.hits += memo.hits;
+  s.misses += memo.misses;
+  s.insertions += memo.insertions;
+  s.evictions += memo.evictions;
+  s.entries += memo.entries;
+  return s;
+}
+
 DiagnosisReport DiagnosisServer::Diagnose() const {
   // Held across scoring: appending a trace mid-score would make the counts
   // depend on scheduling. The pool workers only read trace/pattern state.
   std::lock_guard<std::mutex> lock(mu_);
   DiagnosisReport report;
-  if (failing_traces_.empty()) {
+  if (engine_.failing_traces().empty()) {
     // Nothing was diagnosable -- but if bundles were rejected on the way
     // here, the operator should see why instead of a silent empty report.
     report.degradation = degradation_;
@@ -479,41 +303,21 @@ DiagnosisReport DiagnosisServer::Diagnose() const {
                                                 : trace::ConfidenceTier::kFull;
     return report;
   }
-  const auto start = std::chrono::steady_clock::now();
-  report.failure = failing_traces_.front()->failure();
-  report.hypothesis_violated = hypothesis_violated_;
+  report.failure = engine_.failing_traces().front()->failure();
+  report.hypothesis_violated = engine_.hypothesis_violated();
   report.degradation = degradation_;
   report.confidence = degradation_.tier();
-  report.stages = stages_;
-  report.failing_traces = failing_traces_.size();
-  report.success_traces = success_traces_.size();
+  report.failing_traces = engine_.failing_traces().size();
+  report.success_traces = engine_.success_traces().size();
 
-  std::vector<const trace::ProcessedTrace*> failing;
-  failing.reserve(failing_traces_.size());
-  for (const auto& t : failing_traces_) {
-    failing.push_back(t.get());
-  }
-  std::vector<const trace::ProcessedTrace*> success;
-  success.reserve(success_traces_.size());
-  for (const auto& t : success_traces_) {
-    success.push_back(t.get());
-  }
-  report.patterns = ScorePatterns(patterns_, failing, success, options_.pool);
+  engine::ScoreOutcome scored = engine_.Score();
+  report.patterns = scored.scores.scored;
 
-  size_t top = 0;
-  if (!report.patterns.empty()) {
-    const double best = report.patterns.front().f1;
-    for (const DiagnosedPattern& p : report.patterns) {
-      if (p.f1 == best) {
-        ++top;
-      }
-    }
-  }
-  report.stages.top_f1_patterns = top;
-  const double score_seconds = SecondsSince(start);
-  report.stages.score_seconds += score_seconds;
-  report.analysis_seconds = last_analysis_seconds_ + score_seconds;
-  report.total_analysis_seconds = total_analysis_seconds_ + score_seconds;
+  report.stages = BuildStageStatsLocked();
+  report.stages.top_f1_patterns = scored.scores.top_f1_patterns;
+  report.stages.score_seconds = scored.seconds;
+  report.analysis_seconds = last_analysis_seconds_ + scored.seconds;
+  report.total_analysis_seconds = total_analysis_seconds_ + scored.seconds;
   return report;
 }
 

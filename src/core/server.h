@@ -11,6 +11,11 @@
 // clients to trace successful executions at (step 8). Diagnose() finally runs
 // step 7, statistical diagnosis, over everything received.
 //
+// Layering: this class is *policy* -- bundle validation, the success-trace
+// cap, degradation bookkeeping, locking, deadlines. The analysis mechanism
+// (the pass pipeline, typed artifacts, the incremental scorer) lives in
+// engine::SiteEngine; the server never calls into analysis/ directly.
+//
 // Concurrency: Submit*/Diagnose are safe to call from any thread. The
 // expensive part of ingest -- decoding the bundle into a ProcessedTrace --
 // runs outside the server lock, so N client threads decode concurrently;
@@ -23,14 +28,9 @@
 
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
-#include "analysis/deref_chain.h"
-#include "analysis/points_to.h"
-#include "analysis/type_rank.h"
-#include "core/pattern_compute.h"
-#include "core/statistical.h"
+#include "engine/site_engine.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 #include "trace/degradation.h"
@@ -56,6 +56,13 @@ struct StageStats {
   double rank_seconds = 0.0;       // step 5: chain walk + candidates + ranking
   double pattern_seconds = 0.0;    // step 6 (including the slice fallback retry)
   double score_seconds = 0.0;      // step 7
+
+  // Node-local pass telemetry: per-pass run / cache-hit / seconds counters
+  // and the artifact-store population behind them. NOT serialized by the wire
+  // codec (the fields above keep their exact encoding); a decoded report
+  // carries zeroes here.
+  engine::PassStatsTable passes{};
+  engine::ArtifactStore::Stats artifacts;
 
   double TraceReduction() const {
     return executed_instructions == 0
@@ -110,12 +117,19 @@ class DiagnosisServer {
     // cannot follow, or the failing instruction is not part of the pattern),
     // retry with candidates drawn from the backward slice of the failure.
     bool use_slice_fallback = true;
-    // Reuse analysis results across repeated failures at the same site
-    // (keyed by failing PC + failure shape + executed set): a cache hit skips
-    // the points-to solve and ranking, and -- when the dynamic trace content
-    // also matches -- pattern computation. Off for benches that time the
-    // analysis itself by resubmitting one bundle.
+    // Reuse pass artifacts across repeated failures at the same site via the
+    // content-hash keyed artifact store: a pass whose declared inputs are
+    // unchanged takes a cache hit instead of re-running (points-to re-runs
+    // only when the executed set changes; pattern computation only when the
+    // dynamic trace content changes; byte-identical bundle repeats skip
+    // decoding via the decode memo). Off for benches that time the analysis
+    // itself by resubmitting one bundle.
     bool use_analysis_cache = true;
+    // Per-failing-bundle analysis budget, measured from SubmitFailingTrace
+    // entry and checked at pass boundaries. On expiry the remaining passes
+    // are skipped, the bundle still counts as scoring evidence, and the
+    // submit returns kDeadlineExceeded with a degradation note. 0 = off.
+    double analysis_deadline_seconds = 0.0;
     // When set, Diagnose() scores patterns in parallel on this pool (results
     // identical to serial scoring). Not owned; must outlive the server.
     support::ThreadPool* pool = nullptr;
@@ -139,61 +153,61 @@ class DiagnosisServer {
 
   bool HasFailure() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return !failing_traces_.empty();
+    return !engine_.failing_traces().empty();
   }
   size_t NumSuccessTraces() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return success_traces_.size();
+    return engine_.success_traces().size();
   }
   size_t SuccessTraceCap() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return options_.success_trace_multiplier * failing_traces_.size();
+    return options_.success_trace_multiplier * engine_.failing_traces().size();
   }
 
-  // Step 7: scores the computed patterns over all received traces.
+  // Step 7: scores the computed patterns over all received traces. The
+  // scorer is incremental -- repeated calls with unchanged evidence are a
+  // kScore cache hit, and new evidence costs only its own folds -- with a
+  // report digest-identical to recomputing from scratch.
   DiagnosisReport Diagnose() const;
+
+  // -- Pass telemetry (the one counter interface; snapshots under the lock) --
+  // Per-pass run / cache-hit / seconds counters.
+  engine::PassStatsTable pass_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.pass_stats();
+  }
+  engine::PassStats pass_stats(engine::PassId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.pass_stats(id);
+  }
+  // Engine artifact store + the server's decode memo, summed.
+  engine::ArtifactStore::Stats artifact_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return CombinedStoreStatsLocked();
+  }
+  // Pass-boundary log of the most recent pipeline run + scoring, for
+  // `snorlax_cli diagnose --explain`: ran vs cache hit, duration, artifact
+  // key, and why the pass was dirty.
+  std::vector<engine::PassTrace> explain() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.last_run();
+  }
 
   // Introspection for tests and benches. Not synchronized against concurrent
   // Submit* calls -- quiesce first.
-  const analysis::PointsToResult* points_to() const { return points_to_.get(); }
+  const analysis::PointsToResult* points_to() const { return engine_.points_to(); }
   const std::vector<analysis::RankedInstruction>& ranked_candidates() const {
-    return ranked_;
+    return engine_.ranked_candidates();
   }
-  const std::vector<const ir::Instruction*>& failure_chain() const { return failure_chain_; }
+  const std::vector<const ir::Instruction*>& failure_chain() const {
+    return engine_.failure_chain();
+  }
   // True when the last pipeline run needed the backward-slice fallback.
-  bool used_slice_fallback() const { return used_slice_fallback_; }
+  bool used_slice_fallback() const { return engine_.used_slice_fallback(); }
   // Degradation accumulated across every submitted bundle so far.
   const trace::DegradationReport& degradation() const { return degradation_; }
-  // Times the points-to solver actually ran (a cache hit does not count) --
-  // the observable the analysis-cache tests assert on.
-  size_t solver_runs() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return solver_runs_;
-  }
 
  private:
-  // Step-6 output for one exact dynamic trace at a cached site.
-  struct PatternCacheEntry {
-    std::vector<BugPattern> patterns;
-    std::vector<analysis::RankedInstruction> ranked;
-    bool hypothesis_violated = false;
-    bool used_slice_fallback = false;
-    size_t candidate_instructions = 0;
-    size_t rank1_candidates = 0;
-  };
-  // Steps 4-5 output for one failure site + executed set. Pattern computation
-  // cannot key on the executed set alone -- it reads the dynamic interleaving
-  // -- so step 6 results nest under a trace-content sub-key.
-  struct SiteCacheEntry {
-    std::shared_ptr<const analysis::PointsToResult> points_to;
-    std::vector<const ir::Instruction*> failure_chain;
-    analysis::ObjectSet seed;
-    std::vector<analysis::RankedInstruction> ranked;
-    size_t candidate_instructions = 0;
-    size_t rank1_candidates = 0;
-    std::unordered_map<uint64_t, PatternCacheEntry> by_trace;
-  };
-
   // Structural screening before any decoding work is spent on a bundle.
   support::Status ValidateBundle(const pt::PtTraceBundle& bundle, bool failing) const;
   // Decodes `bundle` behind a crash barrier: any exception a hardening gap
@@ -201,10 +215,19 @@ class DiagnosisServer {
   // lock-free; the caller merges the trace's degradation under the lock.
   support::Result<std::unique_ptr<trace::ProcessedTrace>> IngestBundle(
       const pt::PtTraceBundle& bundle) const;
-  void RunPipeline(const trace::ProcessedTrace& failing);
   void RecordRejectionLocked(const char* what, const support::Status& status);
-  uint64_t SiteKey(const trace::ProcessedTrace& failing) const;
-  static uint64_t TraceContentKey(const trace::ProcessedTrace& failing);
+  // Maps engine stage counts + the pass table into the wire-stable StageStats.
+  StageStats BuildStageStatsLocked() const;
+  engine::ArtifactStore::Stats CombinedStoreStatsLocked() const;
+  static engine::EngineOptions MakeEngineOptions(const Options& options);
+  // Content hash of the raw bundle (thread byte streams + failure record):
+  // the decode-memo key. Two bundles with equal keys decode to equal traces.
+  static uint64_t BundleContentKey(const pt::PtTraceBundle& bundle);
+  // Returns the decoded trace for `bundle`, serving byte-identical repeats
+  // from the decode memo (a kTraceProcess cache hit) when caching is on.
+  // Sets *decode_seconds to the wall time spent and *cache_hit accordingly.
+  support::Result<std::unique_ptr<trace::ProcessedTrace>> DecodeBundle(
+      const pt::PtTraceBundle& bundle, double* decode_seconds, bool* cache_hit);
 
   const ir::Module* module_;
   uint64_t module_fingerprint_ = 0;
@@ -212,24 +235,17 @@ class DiagnosisServer {
 
   // Everything below mu_ is guarded by it (Submit*/Diagnose); the lock-free
   // introspection accessors above are documented as post-quiesce only.
+  // Mutable because Diagnose() is conceptually const but drives the engine's
+  // incremental scorer, which memoizes.
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<trace::ProcessedTrace>> failing_traces_;
-  std::vector<std::unique_ptr<trace::ProcessedTrace>> success_traces_;
-  // Shared with the analysis cache, which can outlive the current pipeline.
-  std::shared_ptr<const analysis::PointsToResult> points_to_;
-  // Module pre-processing shared across traces (built on first use).
-  std::unique_ptr<analysis::FailureChainIndex> chain_index_;
-  std::vector<const ir::Instruction*> failure_chain_;
-  std::vector<analysis::RankedInstruction> ranked_;
-  std::vector<BugPattern> patterns_;
-  bool hypothesis_violated_ = false;
-  bool used_slice_fallback_ = false;
-  StageStats stages_;
+  mutable engine::SiteEngine engine_;
+  // Decode memo (kProcessedTrace only), guarded by mu_: a fleet replaying
+  // the same interleaving skips packet decoding, the dominant per-bundle
+  // cost in the steady state. Decoding on a miss happens outside the lock.
+  engine::ArtifactStore decode_cache_;
   trace::DegradationReport degradation_;
   double last_analysis_seconds_ = 0.0;
   double total_analysis_seconds_ = 0.0;
-  size_t solver_runs_ = 0;
-  std::unordered_map<uint64_t, SiteCacheEntry> site_cache_;
 };
 
 }  // namespace snorlax::core

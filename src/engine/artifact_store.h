@@ -1,0 +1,97 @@
+// Per-failure-site artifact store: content-hash keyed, budgeted, observable.
+//
+// Mechanism only -- the store neither knows what a pass is nor when to
+// invalidate. Invalidation is implicit in the keys: a pass whose inputs
+// changed computes a different content hash, misses, recomputes, and inserts;
+// the stale entry ages out under the per-kind FIFO budget. Policy (how big
+// the budget is, whether caching is on at all) lives with the caller.
+#ifndef SNORLAX_ENGINE_ARTIFACT_STORE_H_
+#define SNORLAX_ENGINE_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/artifact.h"
+
+namespace snorlax::engine {
+
+class ArtifactStore {
+ public:
+  struct Options {
+    // Per-kind entry budget (eviction is FIFO by insertion). A diagnosis
+    // site rarely sees more than a handful of distinct executed sets, so a
+    // small budget holds the steady state while bounding a hostile client
+    // that ships a new interleaving with every bundle.
+    size_t max_entries_per_kind = 64;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;  // current population across kinds
+  };
+
+  ArtifactStore() = default;
+  explicit ArtifactStore(Options options) : options_(options) {}
+
+  // Typed lookup. Returns nullptr (and counts a miss) when no artifact of
+  // this kind was stored under `key`.
+  template <typename T>
+  const T* Find(ArtifactKind kind, uint64_t key) {
+    Slot& slot = slots_[static_cast<size_t>(kind)];
+    auto it = slot.by_key.find(key);
+    if (it == slot.by_key.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    return static_cast<const T*>(it->second.get());
+  }
+
+  // Inserts (or replaces) and returns the stored artifact. Evicts the oldest
+  // entry of the same kind when over budget.
+  template <typename T>
+  const T* Put(ArtifactKind kind, uint64_t key, T value) {
+    Slot& slot = slots_[static_cast<size_t>(kind)];
+    auto holder = std::shared_ptr<void>(std::make_shared<T>(std::move(value)));
+    auto it = slot.by_key.find(key);
+    if (it != slot.by_key.end()) {
+      it->second = std::move(holder);
+    } else {
+      it = slot.by_key.emplace(key, std::move(holder)).first;
+      slot.order.push_back(key);
+      ++stats_.entries;
+    }
+    ++stats_.insertions;
+    while (slot.by_key.size() > options_.max_entries_per_kind && !slot.order.empty()) {
+      const uint64_t victim = slot.order.front();
+      slot.order.pop_front();
+      if (slot.by_key.erase(victim) > 0) {
+        ++stats_.evictions;
+        --stats_.entries;
+      }
+    }
+    return static_cast<const T*>(it->second.get());
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::unordered_map<uint64_t, std::shared_ptr<void>> by_key;
+    std::deque<uint64_t> order;  // insertion order, for FIFO eviction
+  };
+
+  Options options_{};
+  Slot slots_[kNumArtifactKinds];
+  Stats stats_;
+};
+
+}  // namespace snorlax::engine
+
+#endif  // SNORLAX_ENGINE_ARTIFACT_STORE_H_

@@ -1,0 +1,41 @@
+#include "engine/pass.h"
+
+namespace snorlax::engine {
+
+const char* PassName(PassId id) {
+  switch (id) {
+    case PassId::kTraceProcess:
+      return "trace-process";
+    case PassId::kDerefChains:
+      return "deref-chains";
+    case PassId::kPointsTo:
+      return "points-to";
+    case PassId::kTypeRank:
+      return "type-rank";
+    case PassId::kPatterns:
+      return "patterns";
+    case PassId::kScore:
+      return "score";
+  }
+  return "unknown";
+}
+
+CancelToken CancelToken::AfterSeconds(double seconds) {
+  CancelToken token;
+  if (seconds > 0) {
+    token.has_deadline_ = true;
+    token.deadline_ = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(seconds));
+  }
+  return token;
+}
+
+bool CancelToken::Expired() const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+}  // namespace snorlax::engine

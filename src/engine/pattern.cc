@@ -1,4 +1,4 @@
-#include "core/pattern.h"
+#include "engine/pattern.h"
 
 #include <algorithm>
 #include <span>
@@ -6,7 +6,7 @@
 #include "support/check.h"
 #include "support/str.h"
 
-namespace snorlax::core {
+namespace snorlax::engine {
 
 const char* PatternKindName(PatternKind kind) {
   switch (kind) {
@@ -219,4 +219,4 @@ bool TraceContainsPattern(const trace::ProcessedTrace& trace, const BugPattern& 
   return Embed(s, 0);
 }
 
-}  // namespace snorlax::core
+}  // namespace snorlax::engine

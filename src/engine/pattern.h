@@ -5,15 +5,15 @@
 // diagnosis asks, for every execution trace, "does this trace contain the
 // pattern?" -- an embedding of the pattern's events into the trace's dynamic
 // instances that respects the partial order and the thread constraints.
-#ifndef SNORLAX_CORE_PATTERN_H_
-#define SNORLAX_CORE_PATTERN_H_
+#ifndef SNORLAX_ENGINE_PATTERN_H_
+#define SNORLAX_ENGINE_PATTERN_H_
 
 #include <string>
 #include <vector>
 
 #include "trace/processed_trace.h"
 
-namespace snorlax::core {
+namespace snorlax::engine {
 
 enum class PatternKind : uint8_t {
   kDeadlock,
@@ -62,6 +62,19 @@ struct BugPattern {
 // (when pattern.ordered) pairwise ordered by the trace's partial order.
 bool TraceContainsPattern(const trace::ProcessedTrace& trace, const BugPattern& pattern);
 
+}  // namespace snorlax::engine
+
+// Compatibility aliases: the pattern types began life in core:: and the whole
+// evaluation surface (tests, benches, workloads) names them there. The
+// mechanism now lives in the engine layer; core re-exports the names.
+namespace snorlax::core {
+using engine::BugPattern;
+using engine::IsAtomicityViolation;
+using engine::IsOrderViolation;
+using engine::PatternEvent;
+using engine::PatternKind;
+using engine::PatternKindName;
+using engine::TraceContainsPattern;
 }  // namespace snorlax::core
 
-#endif  // SNORLAX_CORE_PATTERN_H_
+#endif  // SNORLAX_ENGINE_PATTERN_H_

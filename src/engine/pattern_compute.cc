@@ -1,4 +1,4 @@
-#include "core/pattern_compute.h"
+#include "engine/pattern_compute.h"
 
 #include <algorithm>
 #include <optional>
@@ -6,7 +6,7 @@
 
 #include "support/check.h"
 
-namespace snorlax::core {
+namespace snorlax::engine {
 
 namespace {
 
@@ -424,4 +424,4 @@ PatternComputeResult ComputePatterns(const ir::Module& module,
   return result;
 }
 
-}  // namespace snorlax::core
+}  // namespace snorlax::engine

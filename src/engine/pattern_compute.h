@@ -13,16 +13,16 @@
 // candidate events are closer than the timing granularity), patterns are
 // still emitted but flagged unordered -- Lazy Diagnosis degrades gracefully
 // instead of fabricating an order.
-#ifndef SNORLAX_CORE_PATTERN_COMPUTE_H_
-#define SNORLAX_CORE_PATTERN_COMPUTE_H_
+#ifndef SNORLAX_ENGINE_PATTERN_COMPUTE_H_
+#define SNORLAX_ENGINE_PATTERN_COMPUTE_H_
 
 #include <vector>
 
 #include "analysis/type_rank.h"
-#include "core/pattern.h"
+#include "engine/pattern.h"
 #include "runtime/failure.h"
 
-namespace snorlax::core {
+namespace snorlax::engine {
 
 struct PatternComputeOptions {
   // Generation caps; candidates are consumed in rank order, so these bound
@@ -51,6 +51,12 @@ PatternComputeResult ComputePatterns(const ir::Module& module,
                                      const std::vector<const ir::Instruction*>& failure_chain,
                                      const PatternComputeOptions& options = {});
 
+}  // namespace snorlax::engine
+
+namespace snorlax::core {
+using engine::ComputePatterns;
+using engine::PatternComputeOptions;
+using engine::PatternComputeResult;
 }  // namespace snorlax::core
 
-#endif  // SNORLAX_CORE_PATTERN_COMPUTE_H_
+#endif  // SNORLAX_ENGINE_PATTERN_COMPUTE_H_

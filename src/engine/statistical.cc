@@ -1,8 +1,37 @@
-#include "core/statistical.h"
+#include "engine/statistical.h"
 
 #include <algorithm>
 
-namespace snorlax::core {
+namespace snorlax::engine {
+
+void AccumulatePatternCounts(const BugPattern& pattern, const trace::ProcessedTrace& trace,
+                             bool trace_failed, ConfusionCounts* counts) {
+  const bool present = TraceContainsPattern(trace, pattern);
+  if (trace_failed) {
+    if (present) {
+      ++counts->true_positive;
+    } else {
+      ++counts->false_negative;
+    }
+  } else if (present) {
+    ++counts->false_positive;
+  }
+}
+
+bool DiagnosedPatternBetter(const DiagnosedPattern& a, const DiagnosedPattern& b) {
+  if (a.f1 != b.f1) {
+    return a.f1 > b.f1;
+  }
+  // At equal F1, an order-confirmed pattern is stronger evidence than an
+  // unordered event set salvaged from degraded clocks.
+  if (a.pattern.ordered != b.pattern.ordered) {
+    return a.pattern.ordered;
+  }
+  if (a.pattern.events.size() != b.pattern.events.size()) {
+    return a.pattern.events.size() > b.pattern.events.size();
+  }
+  return a.pattern.Key() < b.pattern.Key();
+}
 
 namespace {
 
@@ -14,18 +43,13 @@ DiagnosedPattern ScoreOne(const BugPattern& pattern,
   // Degraded ingests can leave gaps in the trace lists; score over the
   // survivors rather than trusting the caller to have filtered.
   for (const trace::ProcessedTrace* t : failing_traces) {
-    if (t == nullptr) {
-      continue;
-    }
-    if (TraceContainsPattern(*t, pattern)) {
-      ++d.counts.true_positive;
-    } else {
-      ++d.counts.false_negative;
+    if (t != nullptr) {
+      AccumulatePatternCounts(pattern, *t, /*trace_failed=*/true, &d.counts);
     }
   }
   for (const trace::ProcessedTrace* t : success_traces) {
-    if (t != nullptr && TraceContainsPattern(*t, pattern)) {
-      ++d.counts.false_positive;
+    if (t != nullptr) {
+      AccumulatePatternCounts(pattern, *t, /*trace_failed=*/false, &d.counts);
     }
   }
   d.precision = d.counts.Precision();
@@ -51,21 +75,8 @@ std::vector<DiagnosedPattern> ScorePatterns(
       out[i] = ScoreOne(patterns[i], failing_traces, success_traces);
     }
   }
-  std::sort(out.begin(), out.end(), [](const DiagnosedPattern& a, const DiagnosedPattern& b) {
-    if (a.f1 != b.f1) {
-      return a.f1 > b.f1;
-    }
-    // At equal F1, an order-confirmed pattern is stronger evidence than an
-    // unordered event set salvaged from degraded clocks.
-    if (a.pattern.ordered != b.pattern.ordered) {
-      return a.pattern.ordered;
-    }
-    if (a.pattern.events.size() != b.pattern.events.size()) {
-      return a.pattern.events.size() > b.pattern.events.size();
-    }
-    return a.pattern.Key() < b.pattern.Key();
-  });
+  std::sort(out.begin(), out.end(), DiagnosedPatternBetter);
   return out;
 }
 
-}  // namespace snorlax::core
+}  // namespace snorlax::engine

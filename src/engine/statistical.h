@@ -7,16 +7,16 @@
 // The highest-F1 pattern is reported as the root cause. Snorlax caps the
 // successful traces at 10x the failing ones -- empirically sufficient for
 // full accuracy in the paper and reproduced by our integration tests.
-#ifndef SNORLAX_CORE_STATISTICAL_H_
-#define SNORLAX_CORE_STATISTICAL_H_
+#ifndef SNORLAX_ENGINE_STATISTICAL_H_
+#define SNORLAX_ENGINE_STATISTICAL_H_
 
 #include <vector>
 
-#include "core/pattern.h"
+#include "engine/pattern.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
 
-namespace snorlax::core {
+namespace snorlax::engine {
 
 struct DiagnosedPattern {
   BugPattern pattern;
@@ -40,6 +40,23 @@ std::vector<DiagnosedPattern> ScorePatterns(
     const std::vector<const trace::ProcessedTrace*>& success_traces,
     support::ThreadPool* pool = nullptr);
 
+// The total order ScorePatterns sorts by, exposed so the incremental scorer
+// (engine/site_engine.cc) provably produces the same report order as a full
+// recompute: best F1 first, then ordered over unordered, then larger event
+// set, then key.
+bool DiagnosedPatternBetter(const DiagnosedPattern& a, const DiagnosedPattern& b);
+
+// Folds one trace into a pattern's confusion counts. Confusion counts commute
+// over traces, which is what makes incremental re-scoring digest-identical to
+// scoring from scratch; both paths go through this one function.
+void AccumulatePatternCounts(const BugPattern& pattern, const trace::ProcessedTrace& trace,
+                             bool trace_failed, ConfusionCounts* counts);
+
+}  // namespace snorlax::engine
+
+namespace snorlax::core {
+using engine::DiagnosedPattern;
+using engine::ScorePatterns;
 }  // namespace snorlax::core
 
-#endif  // SNORLAX_CORE_STATISTICAL_H_
+#endif  // SNORLAX_ENGINE_STATISTICAL_H_

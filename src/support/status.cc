@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition, // operation not valid in the current server state
   kResourceExhausted,  // caps hit (e.g. success-trace budget)
   kInternal,           // unexpected error absorbed by a crash barrier
+  kDeadlineExceeded,   // per-site analysis budget expired at a pass boundary
 };
 
 const char* StatusCodeName(StatusCode code);

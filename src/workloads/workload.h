@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/pattern.h"
+#include "engine/pattern.h"
 #include "ir/module.h"
 #include "runtime/interpreter.h"
 

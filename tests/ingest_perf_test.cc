@@ -7,10 +7,12 @@
 //     zero-copy (FrameView / BundlePayloadView) path.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <functional>
 
 #include "bench/throughput_harness.h"
 #include "core/server_pool.h"
+#include "engine/pass.h"
 #include "wire/frame.h"
 #include "wire/serialize.h"
 
@@ -104,6 +106,53 @@ TEST(IngestPerfSmoke, DigestsIdenticalAcrossFormatsAndDecodePaths) {
   EXPECT_EQ(direct, v2_copy);
   EXPECT_EQ(direct, v1_view);
   EXPECT_EQ(direct, v2_view);
+}
+
+// Steady-state re-diagnosis gate for the pass-pipeline engine: once a site
+// has seen its first failing bundle, every repeat of the same interleaving
+// must be served from the artifact store. The per-bundle analysis latency
+// (submit + re-diagnose, the time the server itself charges, bundle decode
+// included) must drop at least 2x against recomputing every pass from
+// scratch.
+TEST(IngestPerfSmoke, IncrementalRediagnosisAtLeastTwiceFaster) {
+  const auto& sites = Sites();
+  ASSERT_FALSE(sites.empty());
+  constexpr size_t kSteadyRounds = 12;
+
+  auto steady_analysis_seconds = [&](bool use_cache) {
+    double total = 0.0;
+    for (const bench::CapturedSite& site : sites) {
+      core::DiagnosisServer::Options options;
+      options.use_analysis_cache = use_cache;
+      core::DiagnosisServer server(site.workload.module.get(), options);
+      // Warm-up: first failing bundle plus success evidence, then one full
+      // diagnosis. Nothing here is charged to the steady state.
+      EXPECT_TRUE(server.SubmitFailingTrace(site.failing).ok());
+      for (const pt::PtTraceBundle& success : site.successes) {
+        (void)server.SubmitSuccessTrace(success);
+      }
+      const double warmup = server.Diagnose().total_analysis_seconds;
+      for (size_t round = 0; round < kSteadyRounds; ++round) {
+        EXPECT_TRUE(server.SubmitFailingTrace(site.failing).ok());
+        (void)server.Diagnose();
+      }
+      total += server.Diagnose().total_analysis_seconds - warmup;
+      if (use_cache) {
+        // The speedup must come from the store, not from doing less work.
+        EXPECT_EQ(server.pass_stats(engine::PassId::kPointsTo).runs, 1u);
+        EXPECT_EQ(server.pass_stats(engine::PassId::kPointsTo).cache_hits,
+                  kSteadyRounds);
+      }
+    }
+    return total;
+  };
+
+  const double scratch = steady_analysis_seconds(/*use_cache=*/false);
+  const double incremental = steady_analysis_seconds(/*use_cache=*/true);
+  ASSERT_GT(incremental, 0.0);
+  EXPECT_GE(scratch / incremental, 2.0)
+      << "recompute-from-scratch " << scratch * 1e3 << " ms vs incremental "
+      << incremental * 1e3 << " ms over " << kSteadyRounds << " rounds/site";
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/deref_chain.h"
-#include "core/pattern_compute.h"
+#include "engine/pattern_compute.h"
 #include "ir/builder.h"
 #include "pt/driver.h"
 #include "runtime/interpreter.h"

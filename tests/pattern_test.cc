@@ -3,8 +3,8 @@
 // events, unordered fallback).
 #include <gtest/gtest.h>
 
-#include "core/pattern.h"
-#include "core/statistical.h"
+#include "engine/pattern.h"
+#include "engine/statistical.h"
 #include "ir/builder.h"
 #include "pt/driver.h"
 #include "runtime/interpreter.h"

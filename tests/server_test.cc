@@ -187,13 +187,14 @@ TEST(DiagnosisServer, AnalysisCacheSkipsSolverOnRepeatedSite) {
   Captured cap = CaptureFailingTrace("pbzip2_main");
   DiagnosisServer server(cap.workload.module.get());
   ASSERT_TRUE(server.SubmitFailingTrace(cap.bundle).ok());
-  EXPECT_EQ(server.solver_runs(), 1u);
+  EXPECT_EQ(server.pass_stats(engine::PassId::kPointsTo).runs, 1u);
   const DiagnosisReport first = server.Diagnose();
 
   // Same site, same executed set, same trace content: steps 4-6 are served
   // from the analysis cache, so the solver must not run again.
   ASSERT_TRUE(server.SubmitFailingTrace(cap.bundle).ok());
-  EXPECT_EQ(server.solver_runs(), 1u);
+  EXPECT_EQ(server.pass_stats(engine::PassId::kPointsTo).runs, 1u);
+  EXPECT_EQ(server.pass_stats(engine::PassId::kPointsTo).cache_hits, 1u);
   const DiagnosisReport second = server.Diagnose();
   EXPECT_EQ(second.failing_traces, 2u);
   ASSERT_EQ(second.patterns.size(), first.patterns.size());
@@ -207,7 +208,7 @@ TEST(DiagnosisServer, AnalysisCacheSkipsSolverOnRepeatedSite) {
   DiagnosisServer uncached(cap.workload.module.get(), options);
   ASSERT_TRUE(uncached.SubmitFailingTrace(cap.bundle).ok());
   ASSERT_TRUE(uncached.SubmitFailingTrace(cap.bundle).ok());
-  EXPECT_EQ(uncached.solver_runs(), 2u);
+  EXPECT_EQ(uncached.pass_stats(engine::PassId::kPointsTo).runs, 2u);
 }
 
 TEST(DiagnosisServer, AnalysisCacheMissesOnDifferentExecutedSet) {
@@ -227,9 +228,9 @@ TEST(DiagnosisServer, AnalysisCacheMissesOnDifferentExecutedSet) {
 
   DiagnosisServer server(cap.workload.module.get());
   ASSERT_TRUE(server.SubmitFailingTrace(cap.bundle).ok());
-  EXPECT_EQ(server.solver_runs(), 1u);
+  EXPECT_EQ(server.pass_stats(engine::PassId::kPointsTo).runs, 1u);
   ASSERT_TRUE(server.SubmitFailingTrace(reduced).ok());
-  EXPECT_EQ(server.solver_runs(), 2u);
+  EXPECT_EQ(server.pass_stats(engine::PassId::kPointsTo).runs, 2u);
 }
 
 TEST(DiagnosisServer, AblationScopeRestrictionOff) {

@@ -5,7 +5,7 @@
 
 #include <set>
 
-#include "core/pattern.h"
+#include "engine/pattern.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
 #include "runtime/interpreter.h"

@@ -3,7 +3,9 @@
 //   snorlax_cli parse    prog.sir              verify + summarize a module
 //   snorlax_cli run      prog.sir [seed]       execute once, report outcome
 //   snorlax_cli trace    prog.sir [seed]       execute under PT, show stats
-//   snorlax_cli diagnose prog.sir [failing]    full Snorlax workflow
+//   snorlax_cli diagnose prog.sir [failing] [--explain]
+//                                              full Snorlax workflow; --explain
+//                                              prints the per-pass pipeline log
 //   snorlax_cli fuzz-trace prog.sir --faults=kind@rate[,...] [--seed=N]
 //                                              corrupt a captured trace, then
 //                                              diagnose from the wreckage
@@ -51,7 +53,9 @@ int Usage() {
       "  parse    verify the module and print a summary\n"
       "  run      execute once (arg = seed, default 1)\n"
       "  trace    execute under simulated Intel PT (arg = seed)\n"
-      "  diagnose run the Lazy Diagnosis workflow (arg = failing traces, default 1)\n"
+      "  diagnose run the Lazy Diagnosis workflow (arg = failing traces, default 1;\n"
+      "           --explain prints the per-pass pipeline log: ran vs cache hit,\n"
+      "           timings, artifact keys, dirty reasons)\n"
       "  generate emit a randomized bug-injected program as text\n"
       "  fuzz-trace corrupt a captured failing trace (--faults=kind@rate[,...],\n"
       "           --seed=N) and diagnose from the wreckage; kinds: bitflip,\n"
@@ -61,7 +65,8 @@ int Usage() {
       "           workload mix (--clients=N, --threads=M, --rounds=R, --json,\n"
       "           --json=<path> to also write the JSON line to a file)\n"
       "  serve    run the TCP diagnosis daemon (--port=P, --pool-threads=N,\n"
-      "           --workloads=a,b,c; default port 7433, Ctrl-C to stop)\n"
+      "           --deadline-ms=D per-site analysis deadline, --workloads=a,b,c;\n"
+      "           default port 7433, Ctrl-C to stop)\n"
       "  send     capture a workload's failing + success traces and ship them\n"
       "           to a daemon (<workload>, --port=P, --agent-id=N, --diagnose)\n"
       "  bench-fleet measure loopback-TCP fleet ingest (--agents=M, --rounds=K,\n"
@@ -171,7 +176,31 @@ int CmdTrace(const std::string& path, uint64_t seed) {
   return 0;
 }
 
-int CmdDiagnose(const std::string& path, size_t failing_traces) {
+// Renders the server's pass-boundary log: one row per pass of the most
+// recent pipeline run + scoring, with cache-hit/ran/skipped status, wall
+// time, the content-hash artifact key, and the dirty reason.
+void PrintExplain(const core::DiagnosisServer& server) {
+  const std::vector<engine::PassTrace> log = server.explain();
+  if (log.empty()) {
+    std::printf("\npass pipeline: no runs recorded\n");
+    return;
+  }
+  std::printf("\npass pipeline (most recent bundle + scoring):\n");
+  std::printf("  %-14s %-9s %10s  %-16s  %s\n", "pass", "status", "ms", "artifact key",
+              "reason");
+  for (const engine::PassTrace& t : log) {
+    const char* status = t.cache_hit ? "cache-hit" : (t.ran ? "ran" : "skipped");
+    std::printf("  %-14s %-9s %10.3f  %016llx  %s\n", engine::PassName(t.id), status,
+                t.seconds * 1000.0, static_cast<unsigned long long>(t.artifact_key),
+                t.reason.c_str());
+  }
+  const engine::ArtifactStore::Stats store = server.artifact_stats();
+  std::printf("  artifact store: %llu hits, %llu misses, %zu live entries\n",
+              static_cast<unsigned long long>(store.hits),
+              static_cast<unsigned long long>(store.misses), store.entries);
+}
+
+int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain) {
   auto module = LoadModule(path);
   if (module == nullptr) {
     return 1;
@@ -205,6 +234,9 @@ int CmdDiagnose(const std::string& path, size_t failing_traces) {
                   e.thread_final ? "  [blocked]" : "",
                   p.pattern.ordered ? "" : "  (order unknown)");
     }
+  }
+  if (explain) {
+    PrintExplain(snorlax.server());
   }
   return 0;
 }
@@ -346,17 +378,12 @@ int CmdBenchThroughput(int argc, char** argv) {
   const bench::ThroughputResult p = bench::RunThroughput(sites, config);
   const bench::IngestProfile profile = bench::ProfileIngest(sites);
   const std::string json = bench::ThroughputJson(config, sites.size(), s, p, profile);
-  if (!flags.json_path.empty()) {
-    const support::Status written = bench::WriteJsonFile(flags.json_path, json);
-    if (!written.ok()) {
-      std::printf("%s\n", written.ToString().c_str());
-      return 1;
-    }
-  }
-  std::printf("%s\n", json.c_str());
-  if (!json_only) {
+  const support::Status emitted = bench::EmitBenchJson(flags, json, [&] {
     std::printf("speedup scales with available cores; diagnoses identical: %s\n",
                 s.report_digest == p.report_digest ? "yes" : "NO");
+  });
+  if (!emitted.ok()) {
+    return 2;
   }
   return s.report_digest == p.report_digest ? 0 : 1;
 }
@@ -388,6 +415,9 @@ int CmdServe(int argc, char** argv) {
       dopts.port = static_cast<uint16_t>(std::strtoul(flag.c_str() + 7, nullptr, 10));
     } else if (flag.rfind("--pool-threads=", 0) == 0) {
       pool_threads = std::strtoull(flag.c_str() + 15, nullptr, 10);
+    } else if (flag.rfind("--deadline-ms=", 0) == 0) {
+      dopts.pool.server.analysis_deadline_seconds =
+          static_cast<double>(std::strtoull(flag.c_str() + 14, nullptr, 10)) / 1000.0;
     } else if (flag.rfind("--workloads=", 0) == 0) {
       names = SplitCommas(flag.substr(12));
     } else {
@@ -537,16 +567,11 @@ int CmdBenchFleet(int argc, char** argv) {
   }
   const bench::FleetResult result = bench::RunFleet(sites, config);
   const std::string json = bench::FleetJson(config, sites.size(), result);
-  if (!flags.json_path.empty()) {
-    const support::Status written = bench::WriteJsonFile(flags.json_path, json);
-    if (!written.ok()) {
-      std::printf("%s\n", written.ToString().c_str());
-      return 1;
-    }
-  }
-  std::printf("%s\n", json.c_str());
-  if (!flags.json_only) {
+  const support::Status emitted = bench::EmitBenchJson(flags, json, [&] {
     std::printf("wire == in-process digests: %s\n", result.digests_match ? "yes" : "NO");
+  });
+  if (!emitted.ok()) {
+    return 2;
   }
   return result.digests_match && result.status.ok() ? 0 : 1;
 }
@@ -585,7 +610,21 @@ int main(int argc, char** argv) {
     return CmdTrace(path, arg);
   }
   if (cmd == "diagnose") {
-    return CmdDiagnose(path, arg == 0 ? 1 : static_cast<size_t>(arg));
+    size_t failing_traces = 1;
+    bool explain = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--explain") {
+        explain = true;
+      } else if (!flag.empty() && flag[0] != '-') {
+        const uint64_t n = std::strtoull(flag.c_str(), nullptr, 10);
+        failing_traces = n == 0 ? 1 : static_cast<size_t>(n);
+      } else {
+        std::printf("unknown flag '%s'\n", flag.c_str());
+        return Usage();
+      }
+    }
+    return CmdDiagnose(path, failing_traces, explain);
   }
   if (cmd == "generate" && argc >= 4) {
     const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
