@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <thread>
 
 #include "net/agent.h"
+#include "net/cluster_agent.h"
 #include "net/daemon.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
@@ -183,6 +185,218 @@ FleetResult RunFleet(const std::vector<CapturedSite>& sites, const FleetConfig& 
   result.digests_match =
       !result.wire_digest.empty() && result.wire_digest == result.inprocess_digest;
   return result;
+}
+
+namespace {
+
+// Grabs a kernel-assigned loopback port and releases it; SO_REUSEADDR lets
+// the daemon re-bind it immediately. Racy in principle, single-process in
+// practice (nothing else in the bench binds ports between reserve and use).
+uint16_t ReservePort() {
+  auto listener = net::Socket::Listen(0);
+  if (!listener.ok()) {
+    return 0;
+  }
+  net::Socket sock = listener.take();
+  const uint16_t port = sock.local_port();
+  sock.Close();
+  return port;
+}
+
+std::string WireDigest(std::vector<net::RemoteReport>&& reports) {
+  std::vector<core::ServerPool::ShardReport> shards;
+  shards.reserve(reports.size());
+  for (net::RemoteReport& remote : reports) {
+    core::ServerPool::ShardReport sr;
+    sr.key.module_fingerprint = remote.module_fingerprint;
+    sr.key.failing_inst = remote.failing_inst;
+    sr.report = std::move(remote.report);
+    shards.push_back(std::move(sr));
+  }
+  std::sort(shards.begin(), shards.end(), [](const auto& a, const auto& b) {
+    return a.key.module_fingerprint != b.key.module_fingerprint
+               ? a.key.module_fingerprint < b.key.module_fingerprint
+               : a.key.failing_inst < b.key.failing_inst;
+  });
+  return DigestReports(shards);
+}
+
+}  // namespace
+
+ClusterResult RunCluster(const std::vector<CapturedSite>& sites,
+                         const ClusterConfig& config) {
+  ClusterResult result;
+  if (sites.empty() || config.daemons == 0) {
+    result.status = support::Status::Error(support::StatusCode::kInvalidArgument,
+                                           "no sites or no daemons");
+    return result;
+  }
+  if (config.kill_restart && config.data_dir.empty()) {
+    result.status = support::Status::Error(support::StatusCode::kInvalidArgument,
+                                           "kill_restart needs a data_dir");
+    return result;
+  }
+  if (!config.data_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(config.data_dir, ec);  // fresh run, fresh logs
+  }
+
+  std::unique_ptr<support::ThreadPool> analysis_pool;
+  if (config.pool_threads > 0) {
+    analysis_pool = std::make_unique<support::ThreadPool>(config.pool_threads);
+  }
+
+  // Ring membership must be known before any daemon starts, so ports are
+  // reserved up front and every member gets the full roster.
+  std::vector<uint16_t> ports(config.daemons);
+  std::vector<wire::RingMember> members(config.daemons);
+  for (size_t i = 0; i < config.daemons; ++i) {
+    ports[i] = ReservePort();
+    if (ports[i] == 0) {
+      result.status = support::Status::Error(support::StatusCode::kInternal,
+                                             "cannot reserve a loopback port");
+      return result;
+    }
+    members[i] = wire::RingMember{i + 1, "127.0.0.1", ports[i]};
+  }
+  auto daemon_options = [&](size_t i) {
+    net::DaemonOptions dopts;
+    dopts.port = ports[i];
+    dopts.node_id = i + 1;
+    dopts.members = members;
+    if (analysis_pool != nullptr) {
+      dopts.pool.server.pool = analysis_pool.get();
+    }
+    if (!config.data_dir.empty()) {
+      dopts.data_dir = StrFormat("%s/node-%zu", config.data_dir.c_str(), i + 1);
+      dopts.fsync_each_append = true;  // a killed daemon must lose nothing
+    }
+    return dopts;
+  };
+  std::vector<std::unique_ptr<net::DiagnosisDaemon>> daemons;
+  for (size_t i = 0; i < config.daemons; ++i) {
+    daemons.push_back(std::make_unique<net::DiagnosisDaemon>(daemon_options(i)));
+    for (const CapturedSite& site : sites) {
+      daemons[i]->RegisterModule(site.workload.module.get());
+    }
+    result.status = daemons[i]->Start();
+    if (!result.status.ok()) {
+      return result;
+    }
+  }
+
+  net::ClusterAgentOptions copts;
+  copts.seed_ports = ports;
+  copts.agent.agent_id = 1;
+  copts.agent.io_timeout_ms = config.io_timeout_ms;
+  copts.agent.max_attempts = config.max_attempts;
+  net::ClusterAgent cagent(copts);
+
+  std::vector<size_t> ingested_base(config.daemons, 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t round = 0; round < config.rounds && result.status.ok(); ++round) {
+    for (const CapturedSite& site : sites) {
+      support::Status status = cagent.SendFailing(site.failing);
+      if (status.ok() && round == 0) {
+        for (const pt::PtTraceBundle& success : site.successes) {
+          status = cagent.SendSuccess(site.failing.failure.failing_inst, success);
+          if (!status.ok()) {
+            break;
+          }
+        }
+      }
+      if (!status.ok()) {
+        result.status = status;
+        break;
+      }
+    }
+    if (config.kill_restart && round == 0 && result.status.ok()) {
+      // Kill the busiest member (the most interesting recovery) and restart
+      // it on the same port: Start() replays the durable log before serving,
+      // so the timed window covers the full cold-start.
+      size_t victim = 0;
+      for (size_t i = 1; i < config.daemons; ++i) {
+        if (daemons[i]->stats().bundles_ingested >
+            daemons[victim]->stats().bundles_ingested) {
+          victim = i;
+        }
+      }
+      ingested_base[victim] = daemons[victim]->stats().bundles_ingested;
+      daemons[victim].reset();  // Stop(): close sockets, sync + close the log
+      const auto restart_begin = std::chrono::steady_clock::now();
+      daemons[victim] = std::make_unique<net::DiagnosisDaemon>(daemon_options(victim));
+      for (const CapturedSite& site : sites) {
+        daemons[victim]->RegisterModule(site.workload.module.get());
+      }
+      result.status = daemons[victim]->Start();
+      result.recovery_seconds = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - restart_begin)
+                                    .count();
+      if (!result.status.ok()) {
+        break;
+      }
+      result.recovered_sites = daemons[victim]->recovery().sites_recovered;
+      result.recovered_records = daemons[victim]->recovery().records_applied;
+    }
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  result.bundles_sent = cagent.stats().bundles_routed;
+  result.bundles_rerouted = cagent.stats().bundles_rerouted;
+  result.reconnects = cagent.total_reconnects();
+  result.bundles_by_daemon.resize(config.daemons);
+  for (size_t i = 0; i < config.daemons; ++i) {
+    const net::DaemonStats stats = daemons[i]->stats();
+    result.bundles_by_daemon[i] = ingested_base[i] + stats.bundles_ingested;
+    result.wrong_shard_bounces += stats.bundles_wrong_shard;
+  }
+  result.bundles_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.bundles_sent) / result.seconds : 0.0;
+
+  if (result.status.ok()) {
+    auto reports = cagent.DiagnoseAll();
+    if (!reports.ok()) {
+      result.status = reports.status();
+    } else {
+      result.reports_received = reports.value().size();
+      result.wire_digest = WireDigest(std::move(reports.value()));
+    }
+  }
+  for (auto& daemon : daemons) {
+    daemon->Stop();
+  }
+
+  FleetConfig reference;
+  reference.agents = 1;
+  reference.rounds = config.rounds;
+  result.inprocess_digest = InProcessDigest(sites, reference);
+  result.digests_match =
+      !result.wire_digest.empty() && result.wire_digest == result.inprocess_digest;
+  return result;
+}
+
+std::string ClusterJson(const ClusterConfig& config, size_t sites,
+                        const ClusterResult& result) {
+  std::string spread;
+  for (size_t i = 0; i < result.bundles_by_daemon.size(); ++i) {
+    spread += StrFormat("%s%zu", i == 0 ? "" : ", ", result.bundles_by_daemon[i]);
+  }
+  return StrFormat(
+      "{\"daemons\": %zu, \"rounds\": %zu, \"pool_threads\": %zu, \"sites\": %zu, "
+      "\"kill_restart\": %s, \"bundles\": %zu, \"rerouted\": %zu, "
+      "\"wrong_shard_bounces\": %zu, \"reconnects\": %zu, "
+      "\"bundles_per_sec\": %.1f, \"seconds\": %.4f, "
+      "\"recovery_seconds\": %.4f, \"recovered_sites\": %zu, "
+      "\"recovered_records\": %zu, \"ingest_spread\": [%s], \"reports\": %zu, "
+      "\"identical_reports\": %s, \"status\": \"%s\"}",
+      config.daemons, config.rounds, config.pool_threads, sites,
+      config.kill_restart ? "true" : "false", result.bundles_sent,
+      result.bundles_rerouted, result.wrong_shard_bounces, result.reconnects,
+      result.bundles_per_sec, result.seconds, result.recovery_seconds, result.recovered_sites,
+      result.recovered_records, spread.c_str(), result.reports_received,
+      result.digests_match ? "true" : "false",
+      result.status.ok() ? "ok" : result.status.ToString().c_str());
 }
 
 std::string FleetJson(const FleetConfig& config, size_t sites, const FleetResult& result) {

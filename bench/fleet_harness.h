@@ -75,6 +75,56 @@ FleetResult RunFleet(const std::vector<CapturedSite>& sites, const FleetConfig& 
 // shape).
 std::string FleetJson(const FleetConfig& config, size_t sites, const FleetResult& result);
 
+// -- Cluster mode -------------------------------------------------------------
+
+struct ClusterConfig {
+  // Ring members; each is one DiagnosisDaemon on its own loopback port with
+  // its own durable-log directory under data_dir.
+  size_t daemons = 3;
+  // Times the (single, ring-aware) cluster agent replays the per-site script.
+  size_t rounds = 2;
+  size_t pool_threads = 0;
+  int io_timeout_ms = 5000;
+  size_t max_attempts = 10;
+  // Kill one daemon (no drain) after the first round and restart it on the
+  // same port from its durable log, timing the recovery. Requires data_dir.
+  bool kill_restart = false;
+  // Durable-log root (one subdirectory per daemon); wiped at the start of the
+  // run. Empty = in-memory daemons (kill_restart unavailable).
+  std::string data_dir;
+};
+
+struct ClusterResult {
+  size_t bundles_sent = 0;
+  size_t bundles_rerouted = 0;     // agent-side wrong-shard re-enqueues
+  size_t wrong_shard_bounces = 0;  // daemon-side bounces (no seq consumed)
+  size_t reconnects = 0;
+  double seconds = 0.0;
+  double bundles_per_sec = 0.0;
+  // Kill/restart chaos: wall seconds from restart begin to a serving daemon
+  // (durable-log replay included) and what the replay rebuilt.
+  double recovery_seconds = 0.0;
+  size_t recovered_sites = 0;
+  size_t recovered_records = 0;
+  // Per-daemon ingest counts: the consistent-hash spread.
+  std::vector<size_t> bundles_by_daemon;
+  size_t reports_received = 0;
+  std::string wire_digest;       // fleet-wide DiagnoseAll over the wire
+  std::string inprocess_digest;  // same multiset fed to one in-process pool
+  bool digests_match = false;
+  support::Status status;
+};
+
+// Runs the same per-site traffic through `daemons` ring members routed by
+// consistent hash, optionally kill/restarting one member mid-run, and checks
+// that the fleet-wide diagnosis is digest-identical to a single in-process
+// pool fed the same multiset.
+ClusterResult RunCluster(const std::vector<CapturedSite>& sites,
+                         const ClusterConfig& config);
+
+std::string ClusterJson(const ClusterConfig& config, size_t sites,
+                        const ClusterResult& result);
+
 }  // namespace snorlax::bench
 
 #endif  // SNORLAX_BENCH_FLEET_HARNESS_H_

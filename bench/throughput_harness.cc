@@ -67,6 +67,12 @@ support::Status ParseHarnessFlags(int argc, char** argv, int first, HarnessFlags
       flags->faults = flag.substr(9);
     } else if (flag.rfind("--fault-seed=", 0) == 0) {
       flags->fault_seed = std::strtoull(flag.c_str() + 13, nullptr, 10);
+    } else if (flag.rfind("--daemons=", 0) == 0) {
+      flags->daemons = std::strtoull(flag.c_str() + 10, nullptr, 10);
+    } else if (flag == "--kill-restart") {
+      flags->kill_restart = true;
+    } else if (flag.rfind("--data-dir=", 0) == 0) {
+      flags->data_dir = flag.substr(11);
     } else if (flag.rfind("--json=", 0) == 0) {
       flags->json_path = flag.substr(7);
     } else if (flag == "--json") {

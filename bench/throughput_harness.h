@@ -113,6 +113,10 @@ struct HarnessFlags {
   size_t agents = 4;          // --agents=M: concurrent TCP agents
   std::string faults;         // --faults=kind@rate[,...]: chaos plan spec
   uint64_t fault_seed = 1;    // --fault-seed=N
+  // Cluster mode (bench_fleet only): 0 = single-daemon fleet mode.
+  size_t daemons = 0;         // --daemons=N: ring of N daemons
+  bool kill_restart = false;  // --kill-restart: chaos-kill one member mid-run
+  std::string data_dir;       // --data-dir=<path>: durable-log root
   bool json_only = false;     // --json: restrict stdout to the JSON line
   std::string json_path;      // --json=<path>: also write the JSON line there
 };

@@ -135,6 +135,9 @@ class PointsToResult {
 
  private:
   friend class AndersenSolver;
+  // Binary serialization (engine/artifact_codec.cc): cluster hand-off and the
+  // durable artifact log ship PointsToResult values between processes.
+  friend struct PointsToSerDes;
   const ir::Module* module_ = nullptr;
   std::vector<AbstractObject> objects_;
   // Variable points-to sets, stored once per union-find representative;

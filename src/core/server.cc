@@ -29,6 +29,8 @@ engine::EngineOptions DiagnosisServer::MakeEngineOptions(const Options& options)
   eopts.use_slice_fallback = options.use_slice_fallback;
   eopts.use_artifact_store = options.use_analysis_cache;
   eopts.pool = options.pool;
+  eopts.durable_log = options.durable_log;
+  eopts.durable_site = options.durable_site;
   return eopts;
 }
 
@@ -101,12 +103,18 @@ uint64_t DiagnosisServer::BundleContentKey(const pt::PtTraceBundle& bundle) {
 }
 
 support::Result<std::unique_ptr<trace::ProcessedTrace>> DiagnosisServer::DecodeBundle(
-    const pt::PtTraceBundle& bundle, double* decode_seconds, bool* cache_hit) {
+    const pt::PtTraceBundle& bundle, double* decode_seconds, bool* cache_hit,
+    uint64_t* content_key) {
   const auto start = std::chrono::steady_clock::now();
   *cache_hit = false;
   uint64_t key = 0;
-  if (options_.use_analysis_cache) {
+  // The content key doubles as the durable evidence record's key, so a
+  // restored decode memo serves byte-identical re-sends post-restart.
+  if (options_.use_analysis_cache || options_.durable_log != nullptr) {
     key = BundleContentKey(bundle);
+  }
+  *content_key = key;
+  if (options_.use_analysis_cache) {
     std::lock_guard<std::mutex> lock(mu_);
     if (const auto* memo = decode_cache_.Find<engine::ProcessedTraceArtifact>(
             engine::ArtifactKind::kProcessedTrace, key)) {
@@ -131,7 +139,33 @@ support::Result<std::unique_ptr<trace::ProcessedTrace>> DiagnosisServer::DecodeB
 
 void DiagnosisServer::RecordRejectionLocked(const char* what, const Status& status) {
   ++degradation_.rejected_bundles;
-  degradation_.notes.push_back(StrFormat("%s: %s", what, status.ToString().c_str()));
+  std::string note = StrFormat("%s: %s", what, status.ToString().c_str());
+  rejection_notes_.push_back(note);
+  site_log_.push_back(EvidenceRef{engine::SiteRecord::Type::kRejection, 0});
+  if (!restoring_ && options_.durable_log != nullptr) {
+    engine::SiteRecord record;
+    record.type = engine::SiteRecord::Type::kRejection;
+    record.bytes.assign(note.begin(), note.end());
+    if (!options_.durable_log->Append(options_.durable_site, record).ok()) {
+      ++persist_failures_;
+    }
+  }
+  degradation_.notes.push_back(std::move(note));
+}
+
+void DiagnosisServer::PersistEvidenceLocked(engine::SiteRecord::Type type, uint64_t key,
+                                            const trace::ProcessedTrace& t) {
+  site_log_.push_back(EvidenceRef{type, key});
+  if (options_.durable_log == nullptr) {
+    return;
+  }
+  engine::SiteRecord record;
+  record.type = type;
+  record.key = key;
+  engine::EncodeProcessedTrace(t, &record.bytes);
+  if (!options_.durable_log->Append(options_.durable_site, record).ok()) {
+    ++persist_failures_;
+  }
 }
 
 Status DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
@@ -150,7 +184,8 @@ Status DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
   const auto start = std::chrono::steady_clock::now();
   double decode_seconds = 0.0;
   bool decode_hit = false;
-  auto ingested = DecodeBundle(bundle, &decode_seconds, &decode_hit);
+  uint64_t content_key = 0;
+  auto ingested = DecodeBundle(bundle, &decode_seconds, &decode_hit, &content_key);
   std::lock_guard<std::mutex> lock(mu_);
   if (!ingested.ok()) {
     RecordRejectionLocked("failing bundle rejected", ingested.status());
@@ -185,6 +220,9 @@ Status DiagnosisServer::SubmitFailingTrace(const pt::PtTraceBundle& bundle) {
     // know this site ran out of budget mid-pipeline.
     degradation_.notes.push_back(pipeline.ToString());
   }
+  // The trace was retained as evidence (even on deadline): make it durable.
+  PersistEvidenceLocked(engine::SiteRecord::Type::kFailingEvidence, content_key,
+                        *engine_.failing_traces().back());
   last_analysis_seconds_ = SecondsSince(start);
   total_analysis_seconds_ += last_analysis_seconds_;
   return pipeline;
@@ -207,7 +245,8 @@ Status DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
   }
   double decode_seconds = 0.0;
   bool decode_hit = false;
-  auto ingested = DecodeBundle(bundle, &decode_seconds, &decode_hit);
+  uint64_t content_key = 0;
+  auto ingested = DecodeBundle(bundle, &decode_seconds, &decode_hit, &content_key);
   std::lock_guard<std::mutex> lock(mu_);
   if (!ingested.ok()) {
     RecordRejectionLocked("success bundle rejected", ingested.status());
@@ -231,7 +270,179 @@ Status DiagnosisServer::SubmitSuccessTrace(const pt::PtTraceBundle& bundle) {
     return err;
   }
   engine_.AddSuccessTrace(std::move(processed));
+  PersistEvidenceLocked(engine::SiteRecord::Type::kSuccessEvidence, content_key,
+                        *engine_.success_traces().back());
   return Status::Ok();
+}
+
+void DiagnosisServer::ApplyRecordLocked(engine::SiteRecord&& record, bool persist) {
+  using Type = engine::SiteRecord::Type;
+  persist = persist && options_.durable_log != nullptr;
+  switch (record.type) {
+    case Type::kArtifact: {
+      Status imported = engine_.ImportArtifact(record.kind, record.key, record.bytes);
+      if (!imported.ok()) {
+        // Version skew or a record for a different module build: the pass
+        // recomputes from evidence instead; recovery stays lossless.
+        ++persist_failures_;
+        return;
+      }
+      if (persist &&
+          !options_.durable_log->Append(options_.durable_site, record).ok()) {
+        ++persist_failures_;
+      }
+      return;
+    }
+    case Type::kFailingEvidence:
+    case Type::kSuccessEvidence: {
+      auto decoded = engine::DecodeProcessedTrace(record.bytes, module_);
+      if (!decoded.ok()) {
+        ++persist_failures_;
+        RecordRejectionLocked("durable evidence undecodable", decoded.status());
+        return;
+      }
+      std::shared_ptr<const trace::ProcessedTrace> t = decoded.take();
+      const bool failing = record.type == Type::kFailingEvidence;
+      if (!failing && !engine_.failing_traces().empty() &&
+          engine_.success_traces().size() >=
+              options_.success_trace_multiplier * engine_.failing_traces().size()) {
+        // Invariant guard only: a logged success record was accepted when it
+        // was written, and in-order replay re-derives the same cap decision.
+        return;
+      }
+      if (options_.use_analysis_cache && record.key != 0) {
+        // Re-prime the decode memo so a fleet client re-sending the
+        // byte-identical bundle post-restart skips decoding, as before.
+        decode_cache_.Put(engine::ArtifactKind::kProcessedTrace, record.key,
+                          engine::ProcessedTraceArtifact{t});
+      }
+      // Served from disk, not re-decoded: a kTraceProcess cache hit.
+      engine_.RecordTraceProcess(0.0, /*cache_hit=*/true);
+      degradation_.MergeFrom(t->degradation());
+      auto copy = std::make_unique<trace::ProcessedTrace>(*t);
+      if (failing) {
+        try {
+          // Restore runs without a deadline: with the artifacts imported
+          // above every pass is a cache hit, so this is bounded work.
+          (void)engine_.AddFailingTrace(std::move(copy), engine::CancelToken());
+        } catch (const std::exception& e) {
+          RecordRejectionLocked("restore pipeline crash barrier",
+                                Status::Error(StatusCode::kInternal, e.what()));
+          return;
+        }
+        degradation_.hypothesis_fallback =
+            degradation_.hypothesis_fallback || engine_.hypothesis_violated();
+        degradation_.slice_fallback =
+            degradation_.slice_fallback || engine_.used_slice_fallback();
+      } else {
+        engine_.AddSuccessTrace(std::move(copy));
+      }
+      site_log_.push_back(EvidenceRef{record.type, record.key});
+      if (persist &&
+          !options_.durable_log->Append(options_.durable_site, record).ok()) {
+        ++persist_failures_;
+      }
+      return;
+    }
+    case Type::kRejection: {
+      std::string note(record.bytes.begin(), record.bytes.end());
+      ++degradation_.rejected_bundles;
+      rejection_notes_.push_back(note);
+      site_log_.push_back(EvidenceRef{Type::kRejection, 0});
+      degradation_.notes.push_back(std::move(note));
+      if (persist &&
+          !options_.durable_log->Append(options_.durable_site, record).ok()) {
+        ++persist_failures_;
+      }
+      return;
+    }
+  }
+  ++persist_failures_;  // unknown record type from a newer build
+}
+
+void DiagnosisServer::RestoreSiteRecords(std::vector<engine::SiteRecord>&& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  restoring_ = true;
+  for (engine::SiteRecord& record : records) {
+    ApplyRecordLocked(std::move(record), /*persist=*/false);
+  }
+  restoring_ = false;
+}
+
+Status DiagnosisServer::ImportSiteRecords(std::vector<engine::SiteRecord>&& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t failures_before = persist_failures_;
+  for (engine::SiteRecord& record : records) {
+    ApplyRecordLocked(std::move(record), /*persist=*/true);
+  }
+  if (persist_failures_ != failures_before) {
+    return Status::Error(StatusCode::kInternal,
+                         StrFormat("%llu hand-off records failed to apply or persist",
+                                   static_cast<unsigned long long>(persist_failures_ -
+                                                                   failures_before)));
+  }
+  return Status::Ok();
+}
+
+void DiagnosisServer::ExportSiteRecords(
+    const std::function<void(engine::SiteRecord&&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Artifacts first: the importer's evidence replay then cache-hits every
+  // pass, exactly like a durable-log restore.
+  engine_.ExportArtifacts(
+      [&](engine::ArtifactKind kind, uint64_t key, std::vector<uint8_t>&& bytes) {
+        engine::SiteRecord record;
+        record.type = engine::SiteRecord::Type::kArtifact;
+        record.kind = kind;
+        record.key = key;
+        record.bytes = std::move(bytes);
+        fn(std::move(record));
+      });
+  size_t failing_i = 0;
+  size_t success_i = 0;
+  size_t rejection_i = 0;
+  for (const EvidenceRef& ref : site_log_) {
+    engine::SiteRecord record;
+    record.type = ref.type;
+    record.key = ref.key;
+    bool have = false;
+    switch (ref.type) {
+      case engine::SiteRecord::Type::kFailingEvidence:
+        if (failing_i < engine_.failing_traces().size() &&
+            engine_.failing_traces()[failing_i] != nullptr) {
+          engine::EncodeProcessedTrace(*engine_.failing_traces()[failing_i], &record.bytes);
+          have = true;
+        }
+        ++failing_i;
+        break;
+      case engine::SiteRecord::Type::kSuccessEvidence:
+        if (success_i < engine_.success_traces().size() &&
+            engine_.success_traces()[success_i] != nullptr) {
+          engine::EncodeProcessedTrace(*engine_.success_traces()[success_i], &record.bytes);
+          have = true;
+        }
+        ++success_i;
+        break;
+      case engine::SiteRecord::Type::kRejection:
+        if (rejection_i < rejection_notes_.size()) {
+          const std::string& note = rejection_notes_[rejection_i];
+          record.bytes.assign(note.begin(), note.end());
+          have = true;
+        }
+        ++rejection_i;
+        break;
+      case engine::SiteRecord::Type::kArtifact:
+        break;  // never in site_log_
+    }
+    if (have) {
+      fn(std::move(record));
+    }
+  }
+}
+
+uint64_t DiagnosisServer::durable_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persist_failures_ + engine_.durable_append_failures();
 }
 
 std::vector<std::pair<ir::InstId, int>> DiagnosisServer::RequestedDumpPoints() const {

@@ -26,10 +26,13 @@
 #ifndef SNORLAX_CORE_SERVER_H_
 #define SNORLAX_CORE_SERVER_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "engine/durable_log.h"
 #include "engine/site_engine.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
@@ -133,6 +136,12 @@ class DiagnosisServer {
     // When set, Diagnose() scores patterns in parallel on this pool (results
     // identical to serial scoring). Not owned; must outlive the server.
     support::ThreadPool* pool = nullptr;
+    // Cluster durability: when set, accepted evidence, rejections, and every
+    // newly computed engine artifact are appended to this log under
+    // `durable_site`, and RestoreSiteRecords() rebuilds the server from a
+    // replay of those records. Not owned; shared by every shard of a daemon.
+    engine::DurableLog* durable_log = nullptr;
+    engine::DurableSiteKey durable_site{};
   };
 
   explicit DiagnosisServer(const ir::Module* module);
@@ -169,6 +178,28 @@ class DiagnosisServer {
   // kScore cache hit, and new evidence costs only its own folds -- with a
   // report digest-identical to recomputing from scratch.
   DiagnosisReport Diagnose() const;
+
+  // -- Cluster durability and hand-off --
+  // Rebuilds a freshly constructed server from `records` in original write
+  // order: artifacts re-populate the store (subsequent passes cache-hit),
+  // evidence re-enters through the normal add paths (each counted as a
+  // kTraceProcess cache hit -- it was served from disk, not re-decoded), and
+  // rejection records restore the degradation ledger, so the next Diagnose()
+  // is digest-identical to the pre-restart server's. Nothing is re-appended
+  // to the durable log except artifacts the replay was missing (healing a
+  // salvaged prefix). Undecodable records are skipped and counted.
+  void RestoreSiteRecords(std::vector<engine::SiteRecord>&& records);
+  // Applies hand-off records from this site's previous owner, appending each
+  // accepted record to this daemon's own durable log first so the new owner
+  // can itself restart. Same application semantics as RestoreSiteRecords.
+  support::Status ImportSiteRecords(std::vector<engine::SiteRecord>&& records);
+  // Streams this site's full state for hand-off: every resident artifact,
+  // then evidence and rejections in original arrival order (the order is
+  // load-bearing -- the success-trace cap decisions replay identically).
+  void ExportSiteRecords(const std::function<void(engine::SiteRecord&&)>& fn) const;
+  // Records that failed to persist or restore (encode/decode errors, log
+  // I/O); nonzero means a restart would recover this site incompletely.
+  uint64_t durable_failures() const;
 
   // -- Pass telemetry (the one counter interface; snapshots under the lock) --
   // Per-pass run / cache-hit / seconds counters.
@@ -227,7 +258,15 @@ class DiagnosisServer {
   // from the decode memo (a kTraceProcess cache hit) when caching is on.
   // Sets *decode_seconds to the wall time spent and *cache_hit accordingly.
   support::Result<std::unique_ptr<trace::ProcessedTrace>> DecodeBundle(
-      const pt::PtTraceBundle& bundle, double* decode_seconds, bool* cache_hit);
+      const pt::PtTraceBundle& bundle, double* decode_seconds, bool* cache_hit,
+      uint64_t* content_key);
+  // Appends one piece of accepted evidence to the durable log (and the
+  // in-memory site log that preserves arrival order for export).
+  void PersistEvidenceLocked(engine::SiteRecord::Type type, uint64_t key,
+                             const trace::ProcessedTrace& t);
+  // Applies one restored/imported record; when `persist` is set the record is
+  // appended to this server's own durable log on acceptance (hand-off).
+  void ApplyRecordLocked(engine::SiteRecord&& record, bool persist);
 
   const ir::Module* module_;
   uint64_t module_fingerprint_ = 0;
@@ -246,6 +285,18 @@ class DiagnosisServer {
   trace::DegradationReport degradation_;
   double last_analysis_seconds_ = 0.0;
   double total_analysis_seconds_ = 0.0;
+
+  // Arrival-order ledger of durable records (evidence keys + rejections),
+  // walked by ExportSiteRecords; evidence bytes live in the engine's trace
+  // vectors, rejection notes in rejection_notes_.
+  struct EvidenceRef {
+    engine::SiteRecord::Type type;
+    uint64_t key;
+  };
+  std::vector<EvidenceRef> site_log_;
+  std::vector<std::string> rejection_notes_;
+  bool restoring_ = false;  // suppresses re-persistence during replay
+  uint64_t persist_failures_ = 0;
 };
 
 }  // namespace snorlax::core

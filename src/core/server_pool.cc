@@ -48,7 +48,11 @@ DiagnosisServer* ServerPool::ShardFor(const ir::Module* module, ir::InstId faili
   if (it == shards_.end()) {
     Shard shard;
     shard.key = ShardKey{fp, failing_inst};
-    shard.server = std::make_unique<DiagnosisServer>(module, options_.server);
+    DiagnosisServer::Options server_options = options_.server;
+    server_options.durable_log = options_.durable_log;
+    server_options.durable_site =
+        engine::DurableSiteKey{fp, static_cast<uint32_t>(failing_inst)};
+    shard.server = std::make_unique<DiagnosisServer>(module, server_options);
     it = shards_.emplace(key, std::move(shard)).first;
   }
   return it->second.server.get();
@@ -143,6 +147,106 @@ std::vector<ServerPool::ShardReport> ServerPool::DiagnoseAll() const {
     }
   }
   return out;
+}
+
+support::Result<ServerPool::RecoveryStats> ServerPool::RecoverFromLog(
+    const std::function<bool(const engine::DurableSiteKey&)>& owns) {
+  if (options_.durable_log == nullptr) {
+    return Status::Error(StatusCode::kFailedPrecondition,
+                         "pool has no durable log to recover from");
+  }
+  // Two-phase by design: Replay() holds the log's lock while delivering
+  // records, and applying evidence can append healing records right back to
+  // the log -- bucketing first keeps the two from deadlocking.
+  struct SiteBucket {
+    engine::DurableSiteKey site;
+    std::vector<engine::SiteRecord> records;
+  };
+  std::vector<SiteBucket> buckets;  // first-seen order
+  std::unordered_map<uint64_t, size_t> bucket_index;
+  Status replayed = options_.durable_log->Replay(
+      [&](const engine::DurableSiteKey& site, engine::SiteRecord&& record) {
+        const uint64_t key = Key(site.module_fingerprint, site.failing_inst);
+        auto [it, fresh] = bucket_index.emplace(key, buckets.size());
+        if (fresh) {
+          buckets.push_back(SiteBucket{site, {}});
+        }
+        buckets[it->second].records.push_back(std::move(record));
+      });
+  if (!replayed.ok()) {
+    return replayed;
+  }
+  RecoveryStats stats;
+  for (SiteBucket& bucket : buckets) {
+    if (owns != nullptr && !owns(bucket.site)) {
+      stats.records_skipped += bucket.records.size();
+      continue;
+    }
+    DiagnosisServer* shard = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = modules_.find(bucket.site.module_fingerprint);
+      if (it == modules_.end()) {
+        stats.records_skipped += bucket.records.size();
+        continue;
+      }
+      shard = ShardFor(it->second, bucket.site.failing_inst);
+    }
+    stats.records_applied += bucket.records.size();
+    ++stats.sites_recovered;
+    shard->RestoreSiteRecords(std::move(bucket.records));
+  }
+  stats.log = options_.durable_log->stats();
+  return stats;
+}
+
+bool ServerPool::ExportSite(uint64_t module_fingerprint, ir::InstId failing_inst,
+                            std::vector<engine::SiteRecord>* out) const {
+  const DiagnosisServer* s = shard(module_fingerprint, failing_inst);
+  if (s == nullptr) {
+    return false;
+  }
+  s->ExportSiteRecords(
+      [out](engine::SiteRecord&& record) { out->push_back(std::move(record)); });
+  return true;
+}
+
+Status ServerPool::ImportSite(uint64_t module_fingerprint, ir::InstId failing_inst,
+                              std::vector<engine::SiteRecord>&& records) {
+  DiagnosisServer* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = modules_.find(module_fingerprint);
+    if (it == modules_.end()) {
+      return Status::Error(StatusCode::kFailedPrecondition,
+                           "hand-off for an unregistered module fingerprint");
+    }
+    shard = ShardFor(it->second, failing_inst);
+  }
+  return shard->ImportSiteRecords(std::move(records));
+}
+
+bool ServerPool::DropSite(uint64_t module_fingerprint, ir::InstId failing_inst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.erase(Key(module_fingerprint, failing_inst)) > 0;
+}
+
+std::vector<ServerPool::ShardKey> ServerPool::SiteKeys() const {
+  std::vector<ShardKey> keys;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys.reserve(shards_.size());
+    for (const auto& [key, shard] : shards_) {
+      keys.push_back(shard.key);
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [](const ShardKey& a, const ShardKey& b) {
+    if (a.module_fingerprint != b.module_fingerprint) {
+      return a.module_fingerprint < b.module_fingerprint;
+    }
+    return a.failing_inst < b.failing_inst;
+  });
+  return keys;
 }
 
 const DiagnosisServer* ServerPool::shard(uint64_t module_fingerprint,

@@ -13,12 +13,14 @@
 #ifndef SNORLAX_CORE_SERVER_POOL_H_
 #define SNORLAX_CORE_SERVER_POOL_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/server.h"
+#include "engine/durable_log.h"
 
 namespace snorlax::core {
 
@@ -27,6 +29,11 @@ struct ServerPoolOptions {
   // any) is shared by all shards for parallel scoring, and also drives
   // DiagnoseAll's fan-out.
   DiagnosisServer::Options server;
+  // One durable log per daemon, shared by every shard (records carry the site
+  // key). When set, each shard persists its state as it accumulates and
+  // RecoverFromLog() rebuilds the pool after a restart. Not owned; must be
+  // Open()ed by the caller and outlive the pool.
+  engine::DurableLog* durable_log = nullptr;
 };
 
 class ServerPool {
@@ -68,6 +75,39 @@ class ServerPool {
   // pool) and returns the reports sorted by (fingerprint, failing PC) so the
   // output is deterministic regardless of shard-creation order.
   std::vector<ShardReport> DiagnoseAll() const;
+
+  // -- Cluster durability and hand-off --
+  struct RecoveryStats {
+    size_t sites_recovered = 0;
+    size_t records_applied = 0;
+    size_t records_skipped = 0;  // unregistered module or filtered-out site
+    engine::DurableLog::Stats log;
+  };
+  // Rebuilds every site from the durable log: replays all segments into
+  // per-site buckets (write order preserved), then applies each bucket
+  // through DiagnosisServer::RestoreSiteRecords. Call after RegisterModule
+  // and before serving traffic. `owns` filters sites by ownership (a cluster
+  // daemon restarting after the ring moved on must not resurrect sites it
+  // handed off); null accepts everything. Sites whose module is no longer
+  // registered are skipped and counted.
+  support::Result<RecoveryStats> RecoverFromLog(
+      const std::function<bool(const engine::DurableSiteKey&)>& owns = nullptr);
+
+  // Streams one site's full state (artifacts, then evidence + rejections in
+  // arrival order) for hand-off. False when no shard exists for the site.
+  bool ExportSite(uint64_t module_fingerprint, ir::InstId failing_inst,
+                  std::vector<engine::SiteRecord>* out) const;
+  // Builds (or extends) the site's shard from hand-off records, persisting
+  // them into this daemon's own durable log so the new owner can itself
+  // restart. Fails when the module fingerprint is not registered.
+  support::Status ImportSite(uint64_t module_fingerprint, ir::InstId failing_inst,
+                             std::vector<engine::SiteRecord>&& records);
+  // Forgets a site after a successful hand-off. Its records remain in the
+  // local log; the `owns` filter at the next recovery discards them.
+  bool DropSite(uint64_t module_fingerprint, ir::InstId failing_inst);
+  // Every live site, sorted by (fingerprint, failing PC), for drain-time
+  // hand-off enumeration.
+  std::vector<ShardKey> SiteKeys() const;
 
   // The shard for a site, or nullptr. For tests and benches.
   const DiagnosisServer* shard(uint64_t module_fingerprint, ir::InstId failing_inst) const;

@@ -309,7 +309,7 @@ Status SiteEngine::AddFailingTrace(std::unique_ptr<trace::ProcessedTrace> failin
     ++stats.runs;
     stats.seconds += seconds;
     if (options_.use_artifact_store) {
-      store_.Put<T>(kind, key, result);
+      store_.Put<T>(kind, key, result, PersistArtifact(kind, key, &result));
     }
     last_run_.push_back(PassTrace{id, true, false, seconds, key, dirty_reason});
     return result;
@@ -324,8 +324,10 @@ Status SiteEngine::AddFailingTrace(std::unique_ptr<trace::ProcessedTrace> failin
 
   const uint64_t executed_key = ExecutedSetKey(t);
   if (options_.use_artifact_store) {
-    store_.Put<ExecutedSetArtifact>(ArtifactKind::kExecutedSet, executed_key,
-                                    ExecutedSetArtifact{executed_key, t.executed().size()});
+    const ExecutedSetArtifact executed_set{executed_key, t.executed().size()};
+    store_.Put<ExecutedSetArtifact>(ArtifactKind::kExecutedSet, executed_key, executed_set,
+                                    PersistArtifact(ArtifactKind::kExecutedSet, executed_key,
+                                                    &executed_set));
   }
   const std::string store_off = "artifact store disabled";
   const std::string site_reason =
@@ -485,6 +487,55 @@ ScoreOutcome SiteEngine::Score() {
   last_score_ = ScoreOutcome{std::move(scores), seconds, false};
   scores_dirty_ = false;
   return last_score_;
+}
+
+size_t SiteEngine::PersistArtifact(ArtifactKind kind, uint64_t key, const void* value) {
+  const bool want_log = options_.durable_log != nullptr;
+  const bool want_bytes = options_.store.max_total_bytes > 0;
+  if (!want_log && !want_bytes) {
+    return 0;
+  }
+  std::vector<uint8_t> encoded;
+  if (!EncodeArtifactValue(kind, value, &encoded).ok()) {
+    ++durable_append_failures_;
+    return 0;
+  }
+  const size_t bytes = ApproxArtifactBytes(encoded.size());
+  if (want_log &&
+      logged_artifacts_.insert(HashCombine(static_cast<uint64_t>(kind), key)).second) {
+    SiteRecord record;
+    record.type = SiteRecord::Type::kArtifact;
+    record.kind = kind;
+    record.key = key;
+    record.bytes = std::move(encoded);
+    if (!options_.durable_log->Append(options_.durable_site, record).ok()) {
+      ++durable_append_failures_;
+    }
+  }
+  return bytes;
+}
+
+Status SiteEngine::ImportArtifact(ArtifactKind kind, uint64_t key,
+                                  std::span<const uint8_t> bytes) {
+  std::shared_ptr<void> value;
+  Status decoded = DecodeArtifactValue(kind, bytes, module_, &value);
+  if (!decoded.ok()) {
+    return decoded;
+  }
+  logged_artifacts_.insert(HashCombine(static_cast<uint64_t>(kind), key));
+  store_.PutShared(kind, key, std::move(value), ApproxArtifactBytes(bytes.size()));
+  return Status::Ok();
+}
+
+void SiteEngine::ExportArtifacts(
+    const std::function<void(ArtifactKind, uint64_t, std::vector<uint8_t>&&)>& fn) const {
+  store_.ForEach([&](ArtifactKind kind, uint64_t key, const std::shared_ptr<void>& value,
+                     size_t /*bytes*/) {
+    std::vector<uint8_t> encoded;
+    if (EncodeArtifactValue(kind, value.get(), &encoded).ok()) {
+      fn(kind, key, std::move(encoded));
+    }
+  });
 }
 
 const char* ArtifactKindName(ArtifactKind kind) {

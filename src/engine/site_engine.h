@@ -24,14 +24,19 @@
 #ifndef SNORLAX_ENGINE_SITE_ENGINE_H_
 #define SNORLAX_ENGINE_SITE_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/deref_chain.h"
 #include "analysis/points_to.h"
 #include "analysis/type_rank.h"
 #include "engine/artifact.h"
+#include "engine/artifact_codec.h"
 #include "engine/artifact_store.h"
+#include "engine/durable_log.h"
 #include "engine/pass.h"
 #include "engine/pattern_compute.h"
 #include "engine/statistical.h"
@@ -55,6 +60,14 @@ struct EngineOptions {
   // When set, scoring runs per-pattern on this pool (results identical to
   // serial). Not owned; must outlive the engine.
   support::ThreadPool* pool = nullptr;
+  // Durability: when set (and the artifact store is on), every newly computed
+  // artifact is appended to this log under `durable_site` the moment the
+  // store accepts it, so a restarted daemon replays it instead of recomputing.
+  // Shared by every site of a daemon (the log is internally synchronized);
+  // not owned, must outlive the engine. Imported artifacts (ImportArtifact)
+  // are treated as already persisted and never re-appended.
+  DurableLog* durable_log = nullptr;
+  DurableSiteKey durable_site{};
 };
 
 // Aggregate sizes of the last pipeline run, for core::StageStats / Figure 7.
@@ -93,6 +106,19 @@ class SiteEngine {
   // confusion counts and rebuilds the ranked report; returns the cached
   // report (kScore cache hit) when nothing changed.
   ScoreOutcome Score();
+
+  // -- Cluster durability (durable-log replay and site hand-off) --
+  // Decodes one serialized artifact and inserts it into the store so the
+  // pipeline cache-hits instead of recomputing it. Marked as persisted: it
+  // will not be re-appended to the durable log.
+  support::Status ImportArtifact(ArtifactKind kind, uint64_t key,
+                                 std::span<const uint8_t> bytes);
+  // Streams every resident artifact, encoded, for hand-off to a new owner.
+  void ExportArtifacts(const std::function<void(ArtifactKind, uint64_t,
+                                                std::vector<uint8_t>&&)>& fn) const;
+  // Durable-log appends that failed (encode error or I/O); nonzero means the
+  // site would recover incompletely and recompute the missing passes.
+  uint64_t durable_append_failures() const { return durable_append_failures_; }
 
   // -- Introspection (same serialization caveats as the calls above) --
   const std::vector<std::unique_ptr<trace::ProcessedTrace>>& failing_traces() const {
@@ -139,6 +165,11 @@ class SiteEngine {
                                  const RankedCandidatesArtifact& ranked);
   const ir::Type* RankType(const DerefChainsArtifact& chains) const;
   void MergePatterns(const PatternSetArtifact& computed);
+  // Encodes `value` once, appends it to the durable log (deduped: a key is
+  // written at most once per engine lifetime) and returns the byte estimate
+  // the store should charge. Encoding is skipped entirely when neither the
+  // log nor the byte budget needs it.
+  size_t PersistArtifact(ArtifactKind kind, uint64_t key, const void* value);
 
   const ir::Module* module_;
   uint64_t module_fingerprint_ = 0;
@@ -177,6 +208,12 @@ class SiteEngine {
   size_t last_executed_size_ = 0;
   double last_trace_process_seconds_ = 0.0;
   bool last_trace_process_hit_ = false;
+
+  // (kind, key) pairs already appended to the durable log (or imported from
+  // it): the write-once guard that keeps the unconditional executed-set Put
+  // from duplicating records on every bundle.
+  std::unordered_set<uint64_t> logged_artifacts_;
+  uint64_t durable_append_failures_ = 0;
 
   PassStatsTable pass_stats_{};
   std::vector<PassTrace> last_run_;

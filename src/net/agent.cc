@@ -132,6 +132,11 @@ support::Status DiagnosisAgent::ConnectOnce() {
   // The connection speaks the lower of the two advertisements (never below
   // 1, even against a daemon that acks nonsense).
   negotiated_version_ = std::max(1u, std::min(ack.protocol_version, hello_version_));
+  // A fresh handshake is the authoritative ring view: adopt it even when the
+  // epoch regressed (this daemon may be a different fleet than the last one).
+  if (ack.has_topology) {
+    topology_ = ack.topology;
+  }
   // Everything the daemon already ingested needs no retransmission.
   while (!pending_.empty() && pending_.front().seq <= ack.last_acked_seq) {
     ++stats_.bundles_acked;
@@ -186,6 +191,16 @@ support::Status DiagnosisAgent::ReadFrame(wire::Frame* frame) {
                         std::chrono::milliseconds(options_.io_timeout_ms);
   for (;;) {
     if (assembler_.Next(frame)) {
+      if (frame->type == wire::FrameType::kTopology) {
+        // Routing metadata, not a reply: absorb it here so every read path
+        // (flush acks, report streams) stays topology-aware for free.
+        wire::RingTopology pushed;
+        if (wire::DecodeTopology(frame->payload, &pushed).ok() &&
+            (topology_.empty() || pushed.epoch > topology_.epoch)) {
+          topology_ = std::move(pushed);
+        }
+        continue;
+      }
       return Status::Ok();
     }
     const auto now = std::chrono::steady_clock::now();
@@ -298,6 +313,12 @@ support::Status DiagnosisAgent::FlushOnce() {
     ++stats_.bundles_acked;
     if (ack.duplicate) {
       ++stats_.bundles_duplicate;
+    } else if (ack.status.code() == StatusCode::kWrongShard) {
+      // Not a settled verdict: the daemon did not consume the sequence, and
+      // the bundle must reach the owning member. Park it for the re-router.
+      ++stats_.bundles_wrong_shard;
+      wrong_shard_.push_back(
+          WrongShardBundle{it->kind, it->site, std::move(it->bundle)});
     } else if (!ack.status.ok()) {
       ++stats_.bundles_rejected;
     }
@@ -306,10 +327,25 @@ support::Status DiagnosisAgent::FlushOnce() {
   return Status::Ok();
 }
 
+std::vector<DiagnosisAgent::WrongShardBundle> DiagnosisAgent::TakeWrongShard() {
+  std::vector<WrongShardBundle> taken;
+  taken.swap(wrong_shard_);
+  return taken;
+}
+
 support::Status DiagnosisAgent::Flush() {
   Status status;
+  size_t reconnect_attempts = 0;
   for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
+      if (options_.max_reconnect_attempts > 0 &&
+          reconnect_attempts >= options_.max_reconnect_attempts) {
+        return Status::Error(
+            StatusCode::kUnavailable,
+            StrFormat("daemon unreachable after %zu reconnect attempt(s): %s",
+                      reconnect_attempts, status.message().c_str()));
+      }
+      ++reconnect_attempts;
       BackoffSleep(attempt - 1);
     }
     status = EnsureConnected();
@@ -326,6 +362,12 @@ support::Status DiagnosisAgent::Flush() {
       return status;
     }
     Disconnect();  // retransmit everything unacked on the next attempt
+  }
+  if (options_.max_reconnect_attempts > 0) {
+    return Status::Error(
+        StatusCode::kUnavailable,
+        StrFormat("daemon unreachable after %zu reconnect attempt(s): %s",
+                  reconnect_attempts, status.message().c_str()));
   }
   return status;
 }

@@ -36,6 +36,12 @@ struct AgentOptions {
   // Connect/flush retry budget: attempts are spaced backoff_initial_ms * 2^n
   // plus uniform jitter in [0, backoff), capped at backoff_max_ms.
   size_t max_attempts = 8;
+  // Hard reconnect bound within one Flush/Diagnose: once this many retry
+  // rounds have reconnected without settling the queue, the agent stops and
+  // surfaces kUnavailable (distinguishable from a daemon verdict, so callers
+  // can fail over to another ring member). 0 = bounded by max_attempts alone,
+  // which reports the last transient error instead.
+  size_t max_reconnect_attempts = 0;
   uint64_t backoff_initial_ms = 5;
   uint64_t backoff_max_ms = 500;
   uint64_t jitter_seed = 1;
@@ -51,6 +57,7 @@ struct AgentStats {
   size_t bundles_acked = 0;      // ingest verdict received (ok or rejected)
   size_t bundles_duplicate = 0;  // daemon had already seen the sequence
   size_t bundles_rejected = 0;   // daemon's ingest said no
+  size_t bundles_wrong_shard = 0;  // bounced: another ring member owns the site
   size_t connects = 0;
   size_t reconnects = 0;         // connects after the first
   size_t retries = 0;            // backoff sleeps taken
@@ -104,6 +111,21 @@ class DiagnosisAgent {
   // advertisements); meaningful after the first successful handshake.
   uint32_t negotiated_version() const { return negotiated_version_; }
 
+  // Newest ring view heard from the daemon (HelloAck trailing block or a
+  // kTopology push). Empty against a v2 daemon or a single-daemon fleet --
+  // then everything routes to the dialed port.
+  const wire::RingTopology& topology() const { return topology_; }
+
+  // Bundles the daemon bounced with kWrongShard. Unlike rejections these are
+  // not settled verdicts: the site belongs to another ring member, and the
+  // caller (ClusterAgent) re-enqueues them there. Take clears.
+  struct WrongShardBundle {
+    wire::BundleKind kind = wire::BundleKind::kFailing;
+    ir::InstId site = ir::kInvalidInstId;
+    pt::PtTraceBundle bundle;
+  };
+  std::vector<WrongShardBundle> TakeWrongShard();
+
  private:
   // A queued bundle keeps its structured form; the wire encoding is produced
   // lazily at flush time in the *negotiated* payload format and re-encoded if
@@ -150,6 +172,8 @@ class DiagnosisAgent {
   AgentStats stats_;
   std::vector<double> ack_latencies_ms_;
   std::vector<std::string> shed_notices_;
+  wire::RingTopology topology_;
+  std::vector<WrongShardBundle> wrong_shard_;
 };
 
 }  // namespace snorlax::net

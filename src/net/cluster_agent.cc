@@ -1,0 +1,197 @@
+#include "net/cluster_agent.h"
+
+#include <algorithm>
+
+#include "support/str.h"
+
+namespace snorlax::net {
+
+using support::Status;
+using support::StatusCode;
+
+ClusterAgent::ClusterAgent(ClusterAgentOptions options) : options_(std::move(options)) {}
+
+DiagnosisAgent* ClusterAgent::agent_for_port(uint16_t port) {
+  auto it = agents_.find(port);
+  if (it == agents_.end()) {
+    AgentOptions agent_options = options_.agent;
+    agent_options.port = port;
+    // Decorrelate the per-member backoff jitter; same seed on every member
+    // would re-synchronize a fleet-wide reconnect stampede.
+    agent_options.jitter_seed = options_.agent.jitter_seed ^ port;
+    it = agents_.emplace(port, std::make_unique<DiagnosisAgent>(agent_options)).first;
+  }
+  return it->second.get();
+}
+
+size_t ClusterAgent::total_reconnects() const {
+  size_t total = 0;
+  for (const auto& [port, agent] : agents_) {
+    total += agent->stats().reconnects;
+  }
+  return total;
+}
+
+void ClusterAgent::AdoptNewest() {
+  for (const auto& [port, agent] : agents_) {
+    const wire::RingTopology& heard = agent->topology();
+    if (!heard.empty() && (topology_.empty() || heard.epoch > topology_.epoch)) {
+      topology_ = heard;
+    }
+  }
+}
+
+uint16_t ClusterAgent::RoutePort(uint64_t module_fingerprint, ir::InstId site) const {
+  // No ring, no fingerprint, or no site: the seed daemon decides (it accepts
+  // everything it cannot hash deterministically).
+  const uint16_t fallback = options_.seed_ports.empty() ? 0 : options_.seed_ports.front();
+  if (topology_.empty() || module_fingerprint == 0 || site == ir::kInvalidInstId) {
+    return fallback;
+  }
+  const uint64_t owner = wire::RingOwnerOf(
+      topology_, wire::RingSiteHash(module_fingerprint, static_cast<uint32_t>(site)));
+  const wire::RingMember* member = wire::RingFindMember(topology_, owner);
+  return member == nullptr ? fallback : member->port;
+}
+
+support::Status ClusterAgent::RefreshTopology() {
+  // Try every known port -- seeds first, then ring members we have heard of
+  // -- until one handshake lands. An empty Flush() is exactly a handshake.
+  std::vector<uint16_t> ports = options_.seed_ports;
+  for (const wire::RingMember& m : topology_.members) {
+    if (std::find(ports.begin(), ports.end(), m.port) == ports.end()) {
+      ports.push_back(m.port);
+    }
+  }
+  Status last = Status::Error(StatusCode::kUnavailable, "no seed ports configured");
+  for (const uint16_t port : ports) {
+    DiagnosisAgent* agent = agent_for_port(port);
+    agent->Disconnect();  // force a fresh handshake (and a fresh ring view)
+    last = agent->Flush();
+    if (last.ok()) {
+      AdoptNewest();
+      return Status::Ok();
+    }
+    ++stats_.failovers;
+  }
+  return last;
+}
+
+support::Status ClusterAgent::Send(wire::BundleKind kind, ir::InstId site,
+                                   const pt::PtTraceBundle& bundle) {
+  struct Item {
+    wire::BundleKind kind;
+    ir::InstId site;  // explicit target for success bundles
+    pt::PtTraceBundle bundle;
+  };
+  if (topology_.empty() && !options_.seed_ports.empty()) {
+    // First contact: learn the ring before routing, so the common case ships
+    // straight to the owner instead of bouncing off the seed.
+    (void)RefreshTopology();
+  }
+  std::vector<Item> pending;
+  pending.push_back(Item{kind, site, bundle});
+  ++stats_.bundles_routed;
+  for (size_t round = 0; round <= options_.max_reroute_rounds && !pending.empty();
+       ++round) {
+    // Group this round's bundles by owner and flush each member once.
+    std::map<uint16_t, std::vector<size_t>> by_port;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const Item& item = pending[i];
+      const ir::InstId hash_site =
+          item.kind == wire::BundleKind::kFailing
+              ? (item.bundle.failure.IsFailure() ? item.bundle.failure.failing_inst
+                                                 : ir::kInvalidInstId)
+              : item.site;
+      by_port[RoutePort(item.bundle.module_fingerprint, hash_site)].push_back(i);
+    }
+    std::vector<Item> bounced;
+    for (const auto& [port, indices] : by_port) {
+      DiagnosisAgent* agent = agent_for_port(port);
+      for (const size_t i : indices) {
+        Item& item = pending[i];
+        if (item.kind == wire::BundleKind::kFailing) {
+          agent->EnqueueFailing(item.bundle);
+        } else {
+          agent->EnqueueSuccess(item.site, item.bundle);
+        }
+      }
+      const Status status = agent->Flush();
+      if (!status.ok()) {
+        return status;
+      }
+      for (DiagnosisAgent::WrongShardBundle& wrong : agent->TakeWrongShard()) {
+        bounced.push_back(Item{wrong.kind, wrong.site, std::move(wrong.bundle)});
+      }
+    }
+    // The bounce rode along with a topology push; adopt it before re-routing.
+    AdoptNewest();
+    stats_.bundles_rerouted += bounced.size();
+    pending = std::move(bounced);
+  }
+  if (!pending.empty()) {
+    return Status::Error(
+        StatusCode::kUnavailable,
+        StrFormat("ring never converged: %zu bundle(s) still bouncing after %zu rounds",
+                  pending.size(), options_.max_reroute_rounds));
+  }
+  return Status::Ok();
+}
+
+support::Status ClusterAgent::SendFailing(const pt::PtTraceBundle& bundle) {
+  return Send(wire::BundleKind::kFailing, ir::kInvalidInstId, bundle);
+}
+
+support::Status ClusterAgent::SendSuccess(ir::InstId site,
+                                          const pt::PtTraceBundle& bundle) {
+  return Send(wire::BundleKind::kSuccess, site, bundle);
+}
+
+support::Result<std::vector<RemoteReport>> ClusterAgent::DiagnoseAll() {
+  std::vector<uint16_t> ports;
+  for (const wire::RingMember& m : topology_.members) {
+    ports.push_back(m.port);
+  }
+  if (ports.empty()) {
+    ports = options_.seed_ports;
+  }
+  if (ports.empty()) {
+    return Status::Error(StatusCode::kFailedPrecondition, "no daemons to diagnose");
+  }
+  std::vector<RemoteReport> merged;
+  Status last_error = Status::Ok();
+  size_t reachable = 0;
+  for (const uint16_t port : ports) {
+    auto reports = agent_for_port(port)->Diagnose();
+    if (!reports.ok()) {
+      last_error = reports.status();
+      ++stats_.failovers;
+      continue;  // a dead member's sites were handed off or will recover
+    }
+    ++reachable;
+    for (RemoteReport& r : reports.value()) {
+      merged.push_back(std::move(r));
+    }
+  }
+  if (reachable == 0) {
+    return last_error;
+  }
+  // Deterministic fleet-wide view: sort by site, and when two members both
+  // answer for one site (a hand-off race), the lower port's answer wins.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const RemoteReport& a, const RemoteReport& b) {
+                     if (a.module_fingerprint != b.module_fingerprint) {
+                       return a.module_fingerprint < b.module_fingerprint;
+                     }
+                     return a.failing_inst < b.failing_inst;
+                   });
+  merged.erase(std::unique(merged.begin(), merged.end(),
+                           [](const RemoteReport& a, const RemoteReport& b) {
+                             return a.module_fingerprint == b.module_fingerprint &&
+                                    a.failing_inst == b.failing_inst;
+                           }),
+               merged.end());
+  return merged;
+}
+
+}  // namespace snorlax::net

@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
 
 #include "support/str.h"
 #include "wire/serialize.h"
@@ -14,8 +16,92 @@ namespace snorlax::net {
 using support::Status;
 using support::StatusCode;
 
+namespace {
+
+// Blocking frame I/O for the drain-time hand-off client (sockets from
+// ConnectLoopback stay blocking; poll only bounds the ack wait).
+Status SendFrameBlocking(Socket& sock, wire::FrameType type, uint64_t seq,
+                         std::vector<uint8_t> payload) {
+  wire::Frame frame;
+  frame.type = type;
+  frame.seq = seq;
+  frame.payload = std::move(payload);
+  std::vector<uint8_t> bytes;
+  wire::EncodeFrame(frame, &bytes);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    bool would_block = false;
+    const ssize_t n = sock.Write(bytes.data() + written, bytes.size() - written,
+                                 &would_block);
+    if (n < 0) {
+      if (would_block) {
+        pollfd pfd{sock.fd(), POLLOUT, 0};
+        if (::poll(&pfd, 1, /*timeout_ms=*/30000) <= 0) {
+          return Status::Error(StatusCode::kInternal, "hand-off write timed out");
+        }
+        continue;
+      }
+      return Status::Error(StatusCode::kInternal, "hand-off connection lost mid-write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadFrameBlocking(Socket& sock, wire::FrameAssembler& assembler,
+                         wire::Frame* frame, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (assembler.Next(frame)) {
+      return Status::Ok();
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::Error(StatusCode::kInternal, "timed out waiting for a hand-off reply");
+    }
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count());
+    pollfd pfd{sock.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, std::max(1, wait_ms));
+    if (ready < 0) {
+      continue;  // EINTR
+    }
+    if (ready == 0) {
+      return Status::Error(StatusCode::kInternal, "timed out waiting for a hand-off reply");
+    }
+    uint8_t buf[64 * 1024];
+    bool would_block = false;
+    const ssize_t n = sock.Read(buf, sizeof(buf), &would_block);
+    if (n < 0 && would_block) {
+      continue;
+    }
+    if (n <= 0) {
+      return Status::Error(StatusCode::kInternal, "hand-off peer closed the connection");
+    }
+    if (!assembler.Feed(buf, static_cast<size_t>(n))) {
+      return Status::Error(StatusCode::kInternal, "hand-off reply overran the buffer");
+    }
+  }
+}
+
+}  // namespace
+
+core::ServerPoolOptions DiagnosisDaemon::PoolOptions() {
+  core::ServerPoolOptions pool = options_.pool;
+  if (!options_.data_dir.empty()) {
+    pool.durable_log = &log_;
+  }
+  return pool;
+}
+
 DiagnosisDaemon::DiagnosisDaemon(DaemonOptions options)
-    : options_(options), pool_(options.pool) {}
+    : options_(std::move(options)), pool_(PoolOptions()) {
+  topology_.epoch = options_.ring_epoch;
+  topology_.virtual_nodes = options_.virtual_nodes;
+  topology_.members = options_.members;
+  wire::CanonicalizeTopology(&topology_);
+}
 
 DiagnosisDaemon::~DiagnosisDaemon() { Stop(); }
 
@@ -23,9 +109,52 @@ void DiagnosisDaemon::RegisterModule(const ir::Module* module) {
   pool_.RegisterModule(module);
 }
 
+wire::RingTopology DiagnosisDaemon::topology() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topology_;
+}
+
+uint64_t DiagnosisDaemon::OwnerOf(uint64_t fingerprint, uint32_t inst,
+                                  uint64_t* epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != nullptr) {
+    *epoch = topology_.epoch;
+  }
+  return wire::RingOwnerOf(topology_, wire::RingSiteHash(fingerprint, inst));
+}
+
 support::Status DiagnosisDaemon::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::Error(StatusCode::kFailedPrecondition, "daemon already running");
+  }
+  if (!options_.data_dir.empty()) {
+    engine::DurableLog::Options log_options;
+    log_options.directory = options_.data_dir;
+    log_options.max_segment_bytes = options_.max_segment_bytes;
+    log_options.fsync_each_append = options_.fsync_each_append;
+    Status status = log_.Open(log_options);
+    if (!status.ok()) {
+      return status;
+    }
+    // Cold-start from local disk. A cluster daemon only resurrects sites it
+    // still owns: anything the ring reassigned while it was down stays in
+    // the log but is not served (the new owner already has it).
+    std::function<bool(const engine::DurableSiteKey&)> owns;
+    if (cluster_mode()) {
+      const wire::RingTopology ring = topology_;
+      const uint64_t self = options_.node_id;
+      owns = [ring, self](const engine::DurableSiteKey& site) {
+        return wire::RingOwnerOf(
+                   ring, wire::RingSiteHash(site.module_fingerprint, site.failing_inst)) ==
+               self;
+      };
+    }
+    auto recovered = pool_.RecoverFromLog(owns);
+    if (!recovered.ok()) {
+      return recovered.status();
+    }
+    recovery_ = recovered.value();
+    recovered_ = true;
   }
   auto listener = Socket::Listen(options_.port);
   if (!listener.ok()) {
@@ -62,6 +191,67 @@ void DiagnosisDaemon::Stop() {
       fd = -1;
     }
   }
+  if (log_.is_open()) {
+    (void)log_.Sync();
+    log_.Close();
+  }
+}
+
+support::Status DiagnosisDaemon::Drain(
+    std::vector<core::ServerPool::ShardReport>* final_reports) {
+  draining_.store(true, std::memory_order_release);
+  // The final word on every site this daemon still owns, before any of them
+  // move away. The poll thread keeps serving existing connections meanwhile.
+  if (final_reports != nullptr) {
+    *final_reports = pool_.DiagnoseAll();
+  }
+  Status first_error = Status::Ok();
+  if (cluster_mode()) {
+    wire::RingTopology remaining = topology();
+    remaining.members.erase(
+        std::remove_if(remaining.members.begin(), remaining.members.end(),
+                       [&](const wire::RingMember& m) {
+                         return m.node_id == options_.node_id;
+                       }),
+        remaining.members.end());
+    remaining.epoch += 1;
+    if (!remaining.members.empty()) {
+      for (const core::ServerPool::ShardKey& key : pool_.SiteKeys()) {
+        const uint64_t owner = wire::RingOwnerOf(
+            remaining, wire::RingSiteHash(key.module_fingerprint,
+                                          static_cast<uint32_t>(key.failing_inst)));
+        const wire::RingMember* target = wire::RingFindMember(remaining, owner);
+        if (target == nullptr) {
+          continue;
+        }
+        Status status = HandoffSite(*target, key, remaining);
+        if (status.ok()) {
+          pool_.DropSite(key.module_fingerprint, key.failing_inst);
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.handoff_sites_sent;
+        } else {
+          NoteTransportLoss(
+              StrFormat("net: hand-off of site (%llx, %u) to node %llu failed: %s",
+                        static_cast<unsigned long long>(key.module_fingerprint),
+                        static_cast<uint32_t>(key.failing_inst),
+                        static_cast<unsigned long long>(owner),
+                        status.message().c_str()),
+              /*decode_errors=*/0);
+          if (first_error.ok()) {
+            first_error = status;
+          }
+        }
+      }
+    }
+  }
+  if (log_.is_open()) {
+    Status synced = log_.Sync();
+    if (!synced.ok() && first_error.ok()) {
+      first_error = synced;
+    }
+  }
+  Stop();
+  return first_error;
 }
 
 DaemonStats DiagnosisDaemon::stats() const {
@@ -136,6 +326,13 @@ void DiagnosisDaemon::AcceptPending() {
       return;  // no pending connection (or transient error); poll again
     }
     Socket sock = accepted.take();
+    if (draining_.load(std::memory_order_acquire)) {
+      Connection tmp(std::move(sock), options_.max_inflight_bytes);
+      RejectAndClose(tmp, Status::Error(StatusCode::kUnavailable,
+                                        "daemon is draining; re-route to the ring"));
+      (void)WriteTo(tmp);
+      continue;
+    }
     if (connections_.size() >= options_.max_connections) {
       // Over capacity: a Reject frame is the polite form of backpressure.
       Connection tmp(std::move(sock), options_.max_inflight_bytes);
@@ -274,6 +471,18 @@ void DiagnosisDaemon::HandleFrame(Connection& c, const wire::FrameView& frame) {
     case wire::FrameType::kDiagnose:
       HandleDiagnose(c);
       break;
+    case wire::FrameType::kTopology:
+      HandleTopology(c, frame);
+      break;
+    case wire::FrameType::kHandoffBegin:
+      HandleHandoffBegin(c, frame);
+      break;
+    case wire::FrameType::kHandoffRecord:
+      HandleHandoffRecord(c, frame);
+      break;
+    case wire::FrameType::kHandoffEnd:
+      HandleHandoffEnd(c, frame);
+      break;
     default:
       // Server-to-client frame types arriving at the server: protocol abuse.
       RejectAndClose(c, Status::Error(StatusCode::kInvalidArgument,
@@ -312,6 +521,13 @@ void DiagnosisDaemon::HandleHello(Connection& c, const wire::FrameView& frame) {
   wire::HelloAckPayload ack;
   ack.protocol_version = c.negotiated_version;
   ack.last_acked_seq = agents_[hello.agent_id].max_contiguous;
+  // Topology only goes to peers whose Hello advertised v3: older decoders
+  // reject trailing HelloAck bytes.
+  if (cluster_mode() && hello.protocol_version >= 3) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ack.has_topology = true;
+    ack.topology = topology_;
+  }
   std::vector<uint8_t> payload;
   wire::EncodeHelloAck(ack, &payload);
   QueueFrame(c, wire::FrameType::kHelloAck, std::move(payload), /*sheddable=*/false);
@@ -332,6 +548,56 @@ void DiagnosisDaemon::HandleBundle(Connection& c, const wire::FrameView& frame) 
     if (status.ok()) {
       auto bundle = wire::DecodeBundle(payload.bundle_bytes);
       if (bundle.ok()) {
+        if (cluster_mode() && bundle.value().module_fingerprint != 0) {
+          // Ring routing needs a site: the failure record's PC for failing
+          // bundles, the explicit target for success bundles. Unstamped
+          // bundles bypass the ring (their fingerprint resolves pool-side)
+          // and stay wherever the agent sent them.
+          const ir::InstId site_inst =
+              payload.kind == wire::BundleKind::kFailing
+                  ? (bundle.value().failure.IsFailure()
+                         ? bundle.value().failure.failing_inst
+                         : ir::kInvalidInstId)
+                  : static_cast<ir::InstId>(payload.target_site);
+          if (site_inst != ir::kInvalidInstId) {
+            uint64_t epoch = 0;
+            const uint64_t owner =
+                OwnerOf(bundle.value().module_fingerprint,
+                        static_cast<uint32_t>(site_inst), &epoch);
+            if (owner != options_.node_id) {
+              // Bounce WITHOUT consuming the sequence number: unlike an
+              // ingest rejection, this verdict is a function of the ring, and
+              // the same bundle must remain ingestable here if a later
+              // topology makes this daemon the owner.
+              ack.status = Status::Error(
+                  StatusCode::kWrongShard,
+                  StrFormat("site owned by node %llu under ring epoch %llu",
+                            static_cast<unsigned long long>(owner),
+                            static_cast<unsigned long long>(epoch)));
+              {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.bundles_wrong_shard;
+              }
+              std::vector<uint8_t> ack_bytes;
+              wire::EncodeBundleAck(ack, &ack_bytes);
+              QueueFrame(c, wire::FrameType::kBundleAck, std::move(ack_bytes),
+                         /*sheddable=*/false);
+              // Tell the agent where to go: the current ring rides along so
+              // the re-route needs no second round trip.
+              if (c.negotiated_version >= 3) {
+                std::vector<uint8_t> ring_bytes;
+                {
+                  std::lock_guard<std::mutex> lock(mu_);
+                  wire::EncodeTopology(topology_, &ring_bytes);
+                  ++stats_.topology_pushes;
+                }
+                QueueFrame(c, wire::FrameType::kTopology, std::move(ring_bytes),
+                           /*sheddable=*/false);
+              }
+              return;
+            }
+          }
+        }
         status = payload.kind == wire::BundleKind::kFailing
                      ? pool_.SubmitFailingTrace(bundle.value())
                      : pool_.SubmitSuccessTrace(payload.target_site, bundle.value());
@@ -408,6 +674,260 @@ void DiagnosisDaemon::HandleDiagnose(Connection& c) {
   wire::AppendU32(&end_payload, static_cast<uint32_t>(reports.size()));
   QueueFrame(c, wire::FrameType::kReportEnd, std::move(end_payload),
              /*sheddable=*/false);
+}
+
+void DiagnosisDaemon::BroadcastTopology() {
+  std::vector<uint8_t> ring_bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wire::EncodeTopology(topology_, &ring_bytes);
+  }
+  for (const auto& peer : connections_) {
+    if (!peer->handshaken || peer->closing || peer->negotiated_version < 3) {
+      continue;
+    }
+    QueueFrame(*peer, wire::FrameType::kTopology, ring_bytes, /*sheddable=*/false);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.topology_pushes;
+  }
+}
+
+void DiagnosisDaemon::HandleTopology(Connection& c, const wire::FrameView& frame) {
+  // Nominally a server->client frame, but a draining peer daemon (acting as
+  // a client) pushes its post-departure ring here ahead of a hand-off.
+  if (!cluster_mode() || c.negotiated_version < 3) {
+    RejectAndClose(c, Status::Error(StatusCode::kInvalidArgument,
+                                    "topology push outside cluster mode"));
+    return;
+  }
+  wire::RingTopology proposed;
+  const Status status = wire::DecodeTopology(frame.payload, &proposed);
+  if (!status.ok()) {
+    RejectAndClose(c, status);
+    return;
+  }
+  bool adopted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Epochs order competing views; an equal or older epoch is stale noise.
+    if (proposed.epoch > topology_.epoch) {
+      topology_ = proposed;
+      adopted = true;
+    }
+  }
+  if (adopted) {
+    BroadcastTopology();
+  }
+}
+
+void DiagnosisDaemon::SendHandoffAck(Connection& c, uint64_t fingerprint,
+                                     uint32_t inst, const support::Status& status) {
+  wire::HandoffAckPayload ack;
+  ack.module_fingerprint = fingerprint;
+  ack.failing_inst = inst;
+  ack.status = status;
+  std::vector<uint8_t> payload;
+  wire::EncodeHandoffAck(ack, &payload);
+  QueueFrame(c, wire::FrameType::kHandoffAck, std::move(payload), /*sheddable=*/false);
+}
+
+void DiagnosisDaemon::HandleHandoffBegin(Connection& c, const wire::FrameView& frame) {
+  wire::HandoffBeginPayload begin;
+  Status status = wire::DecodeHandoffBegin(frame.payload, &begin);
+  if (!status.ok()) {
+    RejectAndClose(c, status);
+    return;
+  }
+  if (!cluster_mode() || c.negotiated_version < 3) {
+    SendHandoffAck(c, begin.module_fingerprint, begin.failing_inst,
+                   Status::Error(StatusCode::kFailedPrecondition,
+                                 "hand-off to a daemon outside cluster mode"));
+    return;
+  }
+  if (c.handoff_active) {
+    RejectAndClose(c, Status::Error(StatusCode::kFailedPrecondition,
+                                    "overlapping hand-off on one connection"));
+    return;
+  }
+  uint64_t epoch = 0;
+  const uint64_t owner = OwnerOf(begin.module_fingerprint, begin.failing_inst, &epoch);
+  if (owner != options_.node_id && epoch >= begin.epoch) {
+    // Under a ring at least as new as the sender's, this site belongs to
+    // someone else: the sender is routing from a stale view.
+    SendHandoffAck(c, begin.module_fingerprint, begin.failing_inst,
+                   Status::Error(StatusCode::kWrongShard,
+                                 StrFormat("site owned by node %llu under ring epoch %llu",
+                                           static_cast<unsigned long long>(owner),
+                                           static_cast<unsigned long long>(epoch))));
+    return;
+  }
+  c.handoff_active = true;
+  c.handoff = begin;
+  c.handoff_records.clear();
+  c.handoff_records.reserve(begin.record_count);
+  c.handoff_status = Status::Ok();
+}
+
+void DiagnosisDaemon::HandleHandoffRecord(Connection& c, const wire::FrameView& frame) {
+  if (!c.handoff_active) {
+    RejectAndClose(c, Status::Error(StatusCode::kFailedPrecondition,
+                                    "hand-off record without a hand-off begin"));
+    return;
+  }
+  wire::HandoffRecordPayloadView payload;
+  Status status = wire::DecodeHandoffRecord(frame.payload, &payload);
+  if (status.ok() && (payload.module_fingerprint != c.handoff.module_fingerprint ||
+                      payload.failing_inst != c.handoff.failing_inst)) {
+    status = Status::Error(StatusCode::kInvalidArgument,
+                           "hand-off record for a different site");
+  }
+  engine::SiteRecord record;
+  if (status.ok()) {
+    status = engine::DecodeSiteRecord(payload.record_bytes, &record);
+  }
+  if (!status.ok()) {
+    // Remember the first casualty; the verdict travels in the final ack so
+    // the sender keeps its copy of the site.
+    if (c.handoff_status.ok()) {
+      c.handoff_status = status;
+    }
+    return;
+  }
+  c.handoff_records.push_back(std::move(record));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.handoff_records_received;
+}
+
+void DiagnosisDaemon::HandleHandoffEnd(Connection& c, const wire::FrameView& frame) {
+  if (!c.handoff_active) {
+    RejectAndClose(c, Status::Error(StatusCode::kFailedPrecondition,
+                                    "hand-off end without a hand-off begin"));
+    return;
+  }
+  wire::HandoffBeginPayload end;  // kHandoffEnd reuses the begin layout
+  Status status = wire::DecodeHandoffBegin(frame.payload, &end);
+  c.handoff_active = false;
+  if (status.ok() && !c.handoff_status.ok()) {
+    status = c.handoff_status;
+  }
+  if (status.ok() && end.record_count != c.handoff_records.size()) {
+    status = Status::Error(
+        StatusCode::kInvalidArgument,
+        StrFormat("hand-off announced %llu records, %zu arrived",
+                  static_cast<unsigned long long>(end.record_count),
+                  c.handoff_records.size()));
+  }
+  if (status.ok()) {
+    status = pool_.ImportSite(c.handoff.module_fingerprint,
+                              static_cast<ir::InstId>(c.handoff.failing_inst),
+                              std::move(c.handoff_records));
+  }
+  c.handoff_records.clear();
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.handoff_sites_imported;
+  }
+  SendHandoffAck(c, c.handoff.module_fingerprint, c.handoff.failing_inst, status);
+}
+
+support::Status DiagnosisDaemon::HandoffSite(const wire::RingMember& target,
+                                             const core::ServerPool::ShardKey& key,
+                                             const wire::RingTopology& ring) {
+  std::vector<engine::SiteRecord> records;
+  if (!pool_.ExportSite(key.module_fingerprint, key.failing_inst, &records)) {
+    return Status::Error(StatusCode::kFailedPrecondition, "site vanished before hand-off");
+  }
+  auto connected = Socket::ConnectLoopback(target.port);
+  if (!connected.ok()) {
+    return connected.status();
+  }
+  Socket sock = connected.take();
+  wire::FrameAssembler assembler;
+  uint64_t seq = 1;
+
+  wire::HelloPayload hello;
+  hello.protocol_version = 3;
+  hello.agent_id = options_.node_id;
+  std::vector<uint8_t> payload;
+  wire::EncodeHello(hello, &payload);
+  Status status = SendFrameBlocking(sock, wire::FrameType::kHello, seq++, std::move(payload));
+  if (!status.ok()) {
+    return status;
+  }
+  wire::Frame reply;
+  status = ReadFrameBlocking(sock, assembler, &reply, /*timeout_ms=*/30000);
+  if (!status.ok()) {
+    return status;
+  }
+  if (reply.type == wire::FrameType::kReject) {
+    Status verdict;
+    if (!wire::DecodeStatusPayload(reply.payload, &verdict).ok() || verdict.ok()) {
+      verdict = Status::Error(StatusCode::kInternal, "hand-off peer sent a malformed reject");
+    }
+    return verdict;
+  }
+  if (reply.type != wire::FrameType::kHelloAck) {
+    return Status::Error(StatusCode::kInternal, "hand-off peer skipped the handshake");
+  }
+
+  // The receiver must judge ownership under the post-departure ring, so the
+  // ring travels first.
+  payload.clear();
+  wire::EncodeTopology(ring, &payload);
+  status = SendFrameBlocking(sock, wire::FrameType::kTopology, seq++, std::move(payload));
+  if (!status.ok()) {
+    return status;
+  }
+
+  wire::HandoffBeginPayload begin;
+  begin.module_fingerprint = key.module_fingerprint;
+  begin.failing_inst = static_cast<uint32_t>(key.failing_inst);
+  begin.epoch = ring.epoch;
+  begin.record_count = records.size();
+  payload.clear();
+  wire::EncodeHandoffBegin(begin, &payload);
+  status = SendFrameBlocking(sock, wire::FrameType::kHandoffBegin, seq++, std::move(payload));
+  if (!status.ok()) {
+    return status;
+  }
+  for (const engine::SiteRecord& record : records) {
+    wire::HandoffRecordPayload rp;
+    rp.module_fingerprint = begin.module_fingerprint;
+    rp.failing_inst = begin.failing_inst;
+    engine::EncodeSiteRecord(record, &rp.record_bytes);
+    payload.clear();
+    wire::EncodeHandoffRecord(rp, &payload);
+    status = SendFrameBlocking(sock, wire::FrameType::kHandoffRecord, seq++, std::move(payload));
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  payload.clear();
+  wire::EncodeHandoffBegin(begin, &payload);  // end frames reuse the begin layout
+  status = SendFrameBlocking(sock, wire::FrameType::kHandoffEnd, seq++, std::move(payload));
+  if (!status.ok()) {
+    return status;
+  }
+
+  for (;;) {
+    status = ReadFrameBlocking(sock, assembler, &reply, /*timeout_ms=*/30000);
+    if (!status.ok()) {
+      return status;
+    }
+    if (reply.type == wire::FrameType::kHandoffAck) {
+      wire::HandoffAckPayload ack;
+      status = wire::DecodeHandoffAck(reply.payload, &ack);
+      return status.ok() ? ack.status : status;
+    }
+    if (reply.type == wire::FrameType::kReject) {
+      Status verdict;
+      if (!wire::DecodeStatusPayload(reply.payload, &verdict).ok() || verdict.ok()) {
+        verdict = Status::Error(StatusCode::kInternal, "hand-off peer sent a malformed reject");
+      }
+      return verdict;
+    }
+    // Anything else (a topology echo) is skipped.
+  }
 }
 
 }  // namespace snorlax::net

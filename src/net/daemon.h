@@ -55,6 +55,24 @@ struct DaemonOptions {
   uint32_t protocol_version = wire::kProtocolVersion;
   // Options for the shared ServerPool the daemon ingests into.
   core::ServerPoolOptions pool;
+
+  // -- Cluster mode --
+  // Stable ring identity of this daemon. Cluster mode is on when node_id != 0
+  // and `members` (which must include this daemon) is non-empty: the v3
+  // handshake then advertises the ring, bundles for sites another member owns
+  // bounce with kWrongShard, and hand-off frames are accepted from peers.
+  uint64_t node_id = 0;
+  std::vector<wire::RingMember> members;
+  uint64_t ring_epoch = 1;
+  uint32_t virtual_nodes = 64;
+
+  // -- Durability --
+  // Durable log directory; empty = no persistence. When set, Start() opens
+  // (or creates) the log and replays it before serving, so modules must be
+  // registered before Start() for their sites to recover.
+  std::string data_dir;
+  size_t max_segment_bytes = 8u << 20;
+  bool fsync_each_append = false;
 };
 
 struct DaemonStats {
@@ -69,6 +87,12 @@ struct DaemonStats {
   size_t diagnose_requests = 0;
   size_t reports_streamed = 0;
   size_t report_frames_shed = 0;  // dropped on slow readers
+  // Cluster-mode accounting.
+  size_t bundles_wrong_shard = 0;      // bounced to the owning member, seq not consumed
+  size_t topology_pushes = 0;          // kTopology frames sent to peers
+  size_t handoff_records_received = 0; // inbound hand-off records accepted
+  size_t handoff_sites_imported = 0;   // inbound hand-offs completed
+  size_t handoff_sites_sent = 0;       // outbound hand-offs acked by the new owner
 };
 
 class DiagnosisDaemon {
@@ -79,14 +103,33 @@ class DiagnosisDaemon {
   // Makes a module routable (forwards to the pool; callable any time).
   void RegisterModule(const ir::Module* module);
 
-  // Binds the listen socket and spawns the poll thread.
+  // Binds the listen socket, opens + replays the durable log (when data_dir
+  // is set), and spawns the poll thread.
   support::Status Start();
-  // Stops the poll thread and closes every connection. Idempotent.
+  // Stops the poll thread, closes every connection, and syncs + closes the
+  // durable log. Idempotent.
   void Stop();
+
+  // Graceful shutdown (the SIGTERM path): stops accepting new connections,
+  // diagnoses everything still owned into `final_reports` (when non-null),
+  // hands each site off to its owner under the ring without this daemon,
+  // fsyncs the durable log, then Stop()s. A failed hand-off leaves the site
+  // local -- its records stay in the durable log -- and the drain keeps
+  // going; the first failure is returned after everything else completes.
+  support::Status Drain(std::vector<core::ServerPool::ShardReport>* final_reports = nullptr);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   // Valid after Start() succeeded.
   uint16_t port() const { return port_; }
+
+  bool cluster_mode() const {
+    return options_.node_id != 0 && !options_.members.empty();
+  }
+  // Current ring view (copied: the poll thread adopts newer epochs it hears).
+  wire::RingTopology topology() const;
+  // Durable-log replay outcome; meaningful when recovered() is true.
+  bool recovered() const { return recovered_; }
+  const core::ServerPool::RecoveryStats& recovery() const { return recovery_; }
 
   // The shared ingest target. Thread-safe itself; also used by tests to
   // compare against direct in-process submission.
@@ -113,6 +156,12 @@ class DiagnosisDaemon {
     std::vector<uint8_t> outbound;
     size_t outbound_start = 0;
     size_t sheds_this_stream = 0;
+    // In-progress inbound site hand-off (peer daemon -> this daemon). Records
+    // accumulate here and apply atomically at kHandoffEnd.
+    bool handoff_active = false;
+    wire::HandoffBeginPayload handoff;
+    std::vector<engine::SiteRecord> handoff_records;
+    support::Status handoff_status;  // first per-record failure, acked at the end
 
     explicit Connection(Socket s, size_t max_inflight)
         : sock(std::move(s)), assembler(max_inflight) {}
@@ -131,6 +180,24 @@ class DiagnosisDaemon {
   void HandleHello(Connection& c, const wire::FrameView& frame);
   void HandleBundle(Connection& c, const wire::FrameView& frame);
   void HandleDiagnose(Connection& c);
+  // Cluster handlers (poll thread). A topology push with a newer epoch is
+  // adopted and re-broadcast to every connected v3 peer.
+  void HandleTopology(Connection& c, const wire::FrameView& frame);
+  void HandleHandoffBegin(Connection& c, const wire::FrameView& frame);
+  void HandleHandoffRecord(Connection& c, const wire::FrameView& frame);
+  void HandleHandoffEnd(Connection& c, const wire::FrameView& frame);
+  void SendHandoffAck(Connection& c, uint64_t fingerprint, uint32_t inst,
+                      const support::Status& status);
+  void BroadcastTopology();
+  // Owner of (fingerprint, inst) under the current ring, plus that ring's
+  // epoch (for the bounce message).
+  uint64_t OwnerOf(uint64_t fingerprint, uint32_t inst, uint64_t* epoch) const;
+  // Drain-side sender: ships one site's records to `target` over a fresh
+  // blocking connection (hello, topology push, begin/record*/end, ack).
+  support::Status HandoffSite(const wire::RingMember& target,
+                              const core::ServerPool::ShardKey& key,
+                              const wire::RingTopology& ring);
+  core::ServerPoolOptions PoolOptions();
   // Queues a frame for writing. Sheddable frames are dropped (and counted)
   // when the peer's backlog exceeds max_outbound_bytes.
   void QueueFrame(Connection& c, wire::FrameType type, std::vector<uint8_t> payload,
@@ -139,12 +206,18 @@ class DiagnosisDaemon {
   void NoteTransportLoss(const std::string& note, size_t decode_errors);
 
   DaemonOptions options_;
+  // Declared before pool_: PoolOptions() hands the pool a pointer to this
+  // log (its address is stable even before construction completes).
+  engine::DurableLog log_;
   core::ServerPool pool_;
   Socket listener_;
   uint16_t port_ = 0;
   int wake_pipe_[2] = {-1, -1};
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  bool recovered_ = false;  // written before the poll thread starts
+  core::ServerPool::RecoveryStats recovery_;
 
   // Poll-thread-only state (no lock needed).
   std::vector<std::unique_ptr<Connection>> connections_;
@@ -154,10 +227,13 @@ class DiagnosisDaemon {
   };
   std::unordered_map<uint64_t, AgentHistory> agents_;
 
-  // Shared with accessor threads.
+  // Shared with accessor threads. `topology_` is read at handshake and for
+  // routing on the poll thread, adopted on kTopology pushes, and copied by
+  // Drain() on the caller thread.
   mutable std::mutex mu_;
   DaemonStats stats_;
   trace::DegradationReport transport_degradation_;
+  wire::RingTopology topology_;
 };
 
 }  // namespace snorlax::net

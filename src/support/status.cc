@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kWrongShard:
+      return "WRONG_SHARD";
   }
   return "UNKNOWN";
 }

@@ -26,7 +26,15 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,  // caps hit (e.g. success-trace budget)
   kInternal,           // unexpected error absorbed by a crash barrier
   kDeadlineExceeded,   // per-site analysis budget expired at a pass boundary
+  kUnavailable,        // peer unreachable after the bounded retry budget
+  kWrongShard,         // site is owned by another cluster member; re-route
 };
+
+// Highest StatusCode value this build knows. Wire decoders range-check
+// received codes against this (a code from the future is corrupt data, not a
+// new behavior), so it must track the last enum entry above.
+inline constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kWrongShard);
 
 const char* StatusCodeName(StatusCode code);
 

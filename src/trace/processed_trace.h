@@ -134,6 +134,13 @@ class ProcessedTrace {
   bool HasEvidence() const { return !col_inst_.empty(); }
 
  private:
+  // Binary serialization (engine/artifact_codec.cc): cluster hand-off and the
+  // durable artifact log ship processed traces between daemon processes so a
+  // receiver never re-decodes the raw bundle. The serializer constructs an
+  // empty trace and fills every column directly.
+  friend struct TraceSerDes;
+  ProcessedTrace() : module_(nullptr) {}
+
   static constexpr uint8_t kAtFailureBit = 0x1;
   static constexpr uint8_t kAccessShift = 1;
 

@@ -29,6 +29,16 @@ const char* FrameTypeName(FrameType type) {
       return "report-end";
     case FrameType::kShed:
       return "shed";
+    case FrameType::kTopology:
+      return "topology";
+    case FrameType::kHandoffBegin:
+      return "handoff-begin";
+    case FrameType::kHandoffRecord:
+      return "handoff-record";
+    case FrameType::kHandoffEnd:
+      return "handoff-end";
+    case FrameType::kHandoffAck:
+      return "handoff-ack";
   }
   return "unknown";
 }
@@ -39,7 +49,7 @@ constexpr size_t kCrcOffset = 18;  // within the header
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kShed);
+         type <= static_cast<uint8_t>(FrameType::kHandoffAck);
 }
 
 }  // namespace
@@ -77,12 +87,25 @@ support::Status DecodeHello(std::span<const uint8_t> payload, HelloPayload* out)
 void EncodeHelloAck(const HelloAckPayload& ack, std::vector<uint8_t>* out) {
   AppendU32(out, ack.protocol_version);
   AppendU64(out, ack.last_acked_seq);
+  // Trailing v3 block -- the caller must only set this for peers that spoke
+  // version >= 3 in their Hello (older decoders reject trailing bytes).
+  if (ack.has_topology) {
+    AppendTopology(out, ack.topology);
+  }
 }
 
 support::Status DecodeHelloAck(std::span<const uint8_t> payload, HelloAckPayload* out) {
   ByteReader r(payload);
   out->protocol_version = r.U32();
   out->last_acked_seq = r.U64();
+  out->has_topology = false;
+  if (r.ok() && r.remaining() > 0) {
+    Status topo = ReadTopology(&r, &out->topology);
+    if (!topo.ok()) {
+      return topo;
+    }
+    out->has_topology = true;
+  }
   return r.ok() ? r.ExpectExhausted() : r.status();
 }
 
@@ -99,7 +122,7 @@ support::Status DecodeStatusPayload(std::span<const uint8_t> payload,
   if (!r.ok()) {
     return r.status();
   }
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > support::kMaxStatusCode) {
     return Status::Error(StatusCode::kCorruptData, "status code out of range");
   }
   *out = code == 0 ? Status::Ok() : Status::Error(static_cast<StatusCode>(code), message);
@@ -160,7 +183,7 @@ support::Status DecodeBundleAck(std::span<const uint8_t> payload,
   if (!r.ok()) {
     return r.status();
   }
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > support::kMaxStatusCode) {
     return Status::Error(StatusCode::kCorruptData, "status code out of range");
   }
   out->status =
@@ -202,6 +225,73 @@ support::Status DecodeShed(std::span<const uint8_t> payload, ShedPayload* out) {
   out->dropped_frames = r.U64();
   out->note = r.String();
   return r.ok() ? r.ExpectExhausted() : r.status();
+}
+
+// --- v3 cluster payloads -----------------------------------------------------
+
+void EncodeHandoffBegin(const HandoffBeginPayload& payload, std::vector<uint8_t>* out) {
+  AppendU64(out, payload.module_fingerprint);
+  AppendU32(out, payload.failing_inst);
+  AppendU64(out, payload.epoch);
+  AppendU64(out, payload.record_count);
+}
+
+support::Status DecodeHandoffBegin(std::span<const uint8_t> payload,
+                                   HandoffBeginPayload* out) {
+  ByteReader r(payload);
+  out->module_fingerprint = r.U64();
+  out->failing_inst = r.U32();
+  out->epoch = r.U64();
+  out->record_count = r.U64();
+  return r.ok() ? r.ExpectExhausted() : r.status();
+}
+
+void EncodeHandoffRecord(const HandoffRecordPayload& payload, std::vector<uint8_t>* out) {
+  AppendU64(out, payload.module_fingerprint);
+  AppendU32(out, payload.failing_inst);
+  AppendBytes(out, payload.record_bytes);
+}
+
+support::Status DecodeHandoffRecord(std::span<const uint8_t> payload,
+                                    HandoffRecordPayload* out) {
+  ByteReader r(payload);
+  out->module_fingerprint = r.U64();
+  out->failing_inst = r.U32();
+  out->record_bytes = r.Bytes();
+  return r.ok() ? r.ExpectExhausted() : r.status();
+}
+
+support::Status DecodeHandoffRecord(std::span<const uint8_t> payload,
+                                    HandoffRecordPayloadView* out) {
+  ByteReader r(payload);
+  out->module_fingerprint = r.U64();
+  out->failing_inst = r.U32();
+  out->record_bytes = r.BytesView();
+  return r.ok() ? r.ExpectExhausted() : r.status();
+}
+
+void EncodeHandoffAck(const HandoffAckPayload& payload, std::vector<uint8_t>* out) {
+  AppendU64(out, payload.module_fingerprint);
+  AppendU32(out, payload.failing_inst);
+  EncodeStatusPayload(payload.status, out);
+}
+
+support::Status DecodeHandoffAck(std::span<const uint8_t> payload,
+                                 HandoffAckPayload* out) {
+  ByteReader r(payload);
+  out->module_fingerprint = r.U64();
+  out->failing_inst = r.U32();
+  const uint8_t code = r.U8();
+  const std::string message = r.String();
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (code > support::kMaxStatusCode) {
+    return Status::Error(StatusCode::kCorruptData, "status code out of range");
+  }
+  out->status =
+      code == 0 ? Status::Ok() : Status::Error(static_cast<StatusCode>(code), message);
+  return r.ExpectExhausted();
 }
 
 // --- FrameAssembler ----------------------------------------------------------

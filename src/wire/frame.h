@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "support/status.h"
+#include "wire/ring.h"
 #include "wire/serialize.h"
 
 namespace snorlax::wire {
@@ -41,9 +42,10 @@ namespace snorlax::wire {
 // message-flow, or payload-format change. Both sides advertise the newest
 // version they speak and the connection runs at the minimum of the two
 // (DESIGN.md section 13): version >= 2 means the peer accepts compressed v2
-// payloads; a v1 peer keeps getting the v1 layout, so fleets upgrade one
-// process at a time.
-inline constexpr uint32_t kProtocolVersion = 2;
+// payloads; version >= 3 adds the cluster extension (ring topology in the
+// HelloAck, kTopology pushes, site hand-off frames). A v1/v2 peer keeps
+// getting its layout, so fleets upgrade one process at a time.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 inline constexpr uint8_t kFrameMagic[4] = {0x53, 0x4e, 0x4c, 0x58};  // "SNLX"
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 8 + 4 + 4;
@@ -59,6 +61,12 @@ enum class FrameType : uint8_t {
   kReport = 7,     // server->client: one shard's serialized DiagnosisReport
   kReportEnd = 8,  // server->client: report stream complete
   kShed = 9,       // server->client: backpressure dropped report frames
+  // -- v3 cluster extension --
+  kTopology = 10,       // server->client: ring changed; re-route future bundles
+  kHandoffBegin = 11,   // daemon->daemon: site transfer starts (site + count)
+  kHandoffRecord = 12,  // daemon->daemon: one serialized SiteRecord
+  kHandoffEnd = 13,     // daemon->daemon: site transfer complete
+  kHandoffAck = 14,     // receiver->sender: per-site hand-off verdict
 };
 
 const char* FrameTypeName(FrameType type);
@@ -97,6 +105,14 @@ struct HelloAckPayload {
   // Highest bundle sequence the server has already ingested for this agent;
   // the agent drops pending retransmissions at or below it.
   uint64_t last_acked_seq = 0;
+  // v3 cluster extension, appended only when `has_topology` is set AND the
+  // peer's Hello advertised version >= 3 (older decoders reject trailing
+  // bytes) -- the encode side trusts the caller to have checked. On decode,
+  // `has_topology` reflects whether the block was present: absent means a
+  // v2 daemon or single-daemon mode, and the agent routes everything to the
+  // daemon it dialed.
+  bool has_topology = false;
+  RingTopology topology;
 };
 void EncodeHelloAck(const HelloAckPayload& ack, std::vector<uint8_t>* out);
 support::Status DecodeHelloAck(std::span<const uint8_t> payload, HelloAckPayload* out);
@@ -163,6 +179,55 @@ struct ShedPayload {
 };
 void EncodeShed(const ShedPayload& shed, std::vector<uint8_t>* out);
 support::Status DecodeShed(std::span<const uint8_t> payload, ShedPayload* out);
+
+// --- v3 cluster payloads -----------------------------------------------------
+// Site hand-off: when the ring reassigns a failure site, the old owner
+// streams the site's serialized state -- kHandoffBegin, then one
+// kHandoffRecord per engine::SiteRecord (opaque bytes at this layer; the net
+// daemon encodes/decodes them with the engine codec), then kHandoffEnd -- and
+// the receiver answers one kHandoffAck. Records are content-hash keyed, so a
+// transfer is verifiable by construction: re-encoding a decoded artifact
+// yields the key it was shipped under.
+
+struct HandoffBeginPayload {
+  uint64_t module_fingerprint = 0;
+  uint32_t failing_inst = 0;
+  // The sender's ring epoch; the receiver rejects a hand-off for a site it
+  // does not own under an epoch >= this one (stale sender).
+  uint64_t epoch = 0;
+  uint64_t record_count = 0;  // records that follow (receiver sanity check)
+};
+void EncodeHandoffBegin(const HandoffBeginPayload& payload, std::vector<uint8_t>* out);
+support::Status DecodeHandoffBegin(std::span<const uint8_t> payload,
+                                   HandoffBeginPayload* out);
+
+struct HandoffRecordPayload {
+  uint64_t module_fingerprint = 0;
+  uint32_t failing_inst = 0;
+  std::vector<uint8_t> record_bytes;  // engine EncodeSiteRecord output
+};
+void EncodeHandoffRecord(const HandoffRecordPayload& payload, std::vector<uint8_t>* out);
+support::Status DecodeHandoffRecord(std::span<const uint8_t> payload,
+                                    HandoffRecordPayload* out);
+// Zero-copy variant (same lifetime rules as BundlePayloadView).
+struct HandoffRecordPayloadView {
+  uint64_t module_fingerprint = 0;
+  uint32_t failing_inst = 0;
+  std::span<const uint8_t> record_bytes;
+};
+support::Status DecodeHandoffRecord(std::span<const uint8_t> payload,
+                                    HandoffRecordPayloadView* out);
+
+// kHandoffEnd reuses HandoffBeginPayload (record_count = records actually
+// sent); kHandoffAck carries the receiver's verdict for one site.
+struct HandoffAckPayload {
+  uint64_t module_fingerprint = 0;
+  uint32_t failing_inst = 0;
+  support::Status status;
+};
+void EncodeHandoffAck(const HandoffAckPayload& payload, std::vector<uint8_t>* out);
+support::Status DecodeHandoffAck(std::span<const uint8_t> payload,
+                                 HandoffAckPayload* out);
 
 // --- reassembly --------------------------------------------------------------
 

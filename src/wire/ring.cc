@@ -1,0 +1,141 @@
+#include "wire/ring.h"
+
+#include <algorithm>
+
+namespace snorlax::wire {
+
+using support::Status;
+using support::StatusCode;
+
+namespace {
+
+// A fleet runs a handful of daemons; anything bigger in a decoded topology is
+// corruption, not scale.
+constexpr uint64_t kMaxRingMembers = 1024;
+
+// splitmix64 finalizer (same construction as the engine's content-hash mixer,
+// re-stated here so the wire layer stays self-contained).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t MixPair(uint64_t a, uint64_t b) { return Mix(a ^ Mix(b)); }
+
+}  // namespace
+
+void CanonicalizeTopology(RingTopology* topology) {
+  std::stable_sort(topology->members.begin(), topology->members.end(),
+                   [](const RingMember& a, const RingMember& b) { return a.node_id < b.node_id; });
+  topology->members.erase(
+      std::unique(topology->members.begin(), topology->members.end(),
+                  [](const RingMember& a, const RingMember& b) { return a.node_id == b.node_id; }),
+      topology->members.end());
+}
+
+void AppendTopology(std::vector<uint8_t>* out, const RingTopology& topology) {
+  AppendU64(out, topology.epoch);
+  AppendU32(out, topology.virtual_nodes);
+  AppendVarint(out, topology.members.size());
+  for (const RingMember& m : topology.members) {
+    AppendU64(out, m.node_id);
+    AppendString(out, m.host);
+    AppendU16(out, m.port);
+  }
+}
+
+support::Status ReadTopology(ByteReader* r, RingTopology* out) {
+  out->epoch = r->U64();
+  out->virtual_nodes = r->U32();
+  const uint64_t count = r->Varint();
+  if (r->ok() && count > kMaxRingMembers) {
+    r->MarkCorrupt("ring member count exceeds cap");
+  }
+  if (r->ok() && out->virtual_nodes == 0) {
+    r->MarkCorrupt("ring with zero virtual nodes");
+  }
+  if (!r->ok()) {
+    return r->status();
+  }
+  out->members.clear();
+  out->members.reserve(count);
+  uint64_t prev_id = 0;
+  for (uint64_t i = 0; i < count && r->ok(); ++i) {
+    RingMember m;
+    m.node_id = r->U64();
+    m.host = r->String();
+    m.port = r->U16();
+    // Canonical form is sorted strictly ascending; anything else means the
+    // bytes were not produced by AppendTopology.
+    if (r->ok() && i > 0 && m.node_id <= prev_id) {
+      r->MarkCorrupt("ring members not sorted by node id");
+    }
+    prev_id = m.node_id;
+    out->members.push_back(std::move(m));
+  }
+  return r->status();
+}
+
+void EncodeTopology(const RingTopology& topology, std::vector<uint8_t>* out) {
+  AppendTopology(out, topology);
+}
+
+support::Status DecodeTopology(std::span<const uint8_t> payload, RingTopology* out) {
+  ByteReader r(payload);
+  Status status = ReadTopology(&r, out);
+  if (!status.ok()) {
+    return status;
+  }
+  return r.ExpectExhausted();
+}
+
+uint64_t RingSiteHash(uint64_t module_fingerprint, uint32_t failing_inst) {
+  return MixPair(module_fingerprint, failing_inst);
+}
+
+uint64_t RingOwnerOf(const RingTopology& topology, uint64_t site_hash) {
+  if (topology.members.empty()) {
+    return 0;
+  }
+  // First virtual point clockwise of the site hash; ties broken by node id
+  // (the points are distinct with overwhelming probability, but the route
+  // must be deterministic even on a collision).
+  uint64_t best_point = 0;
+  uint64_t best_node = 0;
+  bool have_wrap = false;     // smallest point overall (wrap-around target)
+  uint64_t wrap_point = 0;
+  uint64_t wrap_node = 0;
+  bool have_best = false;
+  for (const RingMember& m : topology.members) {
+    for (uint32_t v = 0; v < topology.virtual_nodes; ++v) {
+      const uint64_t point = MixPair(m.node_id, v);
+      if (!have_wrap || point < wrap_point ||
+          (point == wrap_point && m.node_id < wrap_node)) {
+        have_wrap = true;
+        wrap_point = point;
+        wrap_node = m.node_id;
+      }
+      if (point >= site_hash &&
+          (!have_best || point < best_point ||
+           (point == best_point && m.node_id < best_node))) {
+        have_best = true;
+        best_point = point;
+        best_node = m.node_id;
+      }
+    }
+  }
+  return have_best ? best_node : wrap_node;
+}
+
+const RingMember* RingFindMember(const RingTopology& topology, uint64_t node_id) {
+  for (const RingMember& m : topology.members) {
+    if (m.node_id == node_id) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace snorlax::wire

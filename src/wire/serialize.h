@@ -36,6 +36,7 @@
 #include "core/server.h"
 #include "pt/encoder.h"
 #include "runtime/failure.h"
+#include "support/binio.h"
 #include "support/status.h"
 
 namespace snorlax::wire {
@@ -46,87 +47,26 @@ inline constexpr uint8_t kPayloadFormatV1 = 1;
 inline constexpr uint8_t kPayloadFormatV2 = 2;
 inline constexpr uint8_t kPayloadFormatVersion = kPayloadFormatV2;
 
-// Decode-side sanity caps (hostile length fields are clamped against these
-// before any allocation).
-inline constexpr size_t kMaxStringBytes = 1 << 20;        // 1 MB
-inline constexpr size_t kMaxByteBlob = 256u << 20;        // 256 MB per blob
-inline constexpr size_t kMaxVectorElements = 1 << 20;     // any element count
-
-// CRC-32 (IEEE 802.3, reflected 0xEDB88320), the per-frame checksum. `seed`
-// chains incremental computations: pass a previous return value to continue.
-uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
-
-// --- primitive writers -------------------------------------------------------
-
-void AppendU8(std::vector<uint8_t>* out, uint8_t v);
-void AppendU16(std::vector<uint8_t>* out, uint16_t v);
-void AppendU32(std::vector<uint8_t>* out, uint32_t v);
-void AppendU64(std::vector<uint8_t>* out, uint64_t v);
-void AppendI64(std::vector<uint8_t>* out, int64_t v);
-void AppendF64(std::vector<uint8_t>* out, double v);  // IEEE-754 bits, LE
-void AppendString(std::vector<uint8_t>* out, const std::string& s);  // u32 len
-void AppendBytes(std::vector<uint8_t>* out, const std::vector<uint8_t>& b);
-// LEB128 varint (7 bits per byte, high bit = continue); <= 10 bytes.
-void AppendVarint(std::vector<uint8_t>* out, uint64_t v);
-
-// Zigzag mapping for signed deltas: small magnitudes (either sign) become
-// small varints.
-inline constexpr uint64_t ZigzagEncode(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
-}
-inline constexpr int64_t ZigzagDecode(uint64_t v) {
-  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
-}
-
-// --- bounds-checked reader ---------------------------------------------------
-
-// Reads primitives off a byte span. The first overrun (or cap violation) sets
-// a sticky kCorruptData status; every later read returns a zero value, so
-// decoders can read a whole record unconditionally and test status() once.
-class ByteReader {
- public:
-  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-  explicit ByteReader(std::span<const uint8_t> data)
-      : ByteReader(data.data(), data.size()) {}
-  explicit ByteReader(const std::vector<uint8_t>& data)
-      : ByteReader(data.data(), data.size()) {}
-
-  uint8_t U8();
-  uint16_t U16();
-  uint32_t U32();
-  uint64_t U64();
-  int64_t I64();
-  double F64();
-  uint64_t Varint();  // LEB128; overlong/overflowing encodings are corrupt
-  std::string String();
-  std::vector<uint8_t> Bytes();
-  // Zero-copy variants: views into the underlying buffer, valid only while
-  // the buffer the reader was constructed over is alive and unmodified.
-  std::span<const uint8_t> View(size_t n);
-  std::span<const uint8_t> BytesView();  // u32 length prefix, like Bytes()
-  // Element count for a vector about to be decoded; fails the reader when it
-  // exceeds `max` (default kMaxVectorElements).
-  size_t Count(size_t max = kMaxVectorElements);
-
-  bool ok() const { return status_.ok(); }
-  const support::Status& status() const { return status_; }
-  size_t remaining() const { return size_ - pos_; }
-  // Lets a caller fail the reader on a semantic violation (value out of
-  // range) so the usual sticky-error flow handles it.
-  void MarkCorrupt(const char* what) { Fail(what); }
-  // Decoders call this last: trailing bytes mean the sender wrote a layout
-  // this build does not fully understand.
-  support::Status ExpectExhausted();
-
- private:
-  bool Take(size_t n, const uint8_t** at);
-  void Fail(const char* what);
-
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-  support::Status status_;
-};
+// The byte-level primitives (Crc32, Append*, Zigzag, ByteReader, decode caps)
+// moved to support/binio.h so the engine-side codecs and the durable segment
+// log can share them without depending on the wire layer. Re-exported here
+// under the original names: wire code keeps saying wire::ByteReader.
+using support::kMaxStringBytes;
+using support::kMaxByteBlob;
+using support::kMaxVectorElements;
+using support::Crc32;
+using support::AppendU8;
+using support::AppendU16;
+using support::AppendU32;
+using support::AppendU64;
+using support::AppendI64;
+using support::AppendF64;
+using support::AppendString;
+using support::AppendBytes;
+using support::AppendVarint;
+using support::ZigzagEncode;
+using support::ZigzagDecode;
+using support::ByteReader;
 
 // --- PT packet stream transcoding (format v2) --------------------------------
 

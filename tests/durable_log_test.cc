@@ -1,0 +1,279 @@
+// Chaos tests for the durable artifact log: a daemon's on-disk state must
+// survive exactly the failures the design section promises -- a torn tail
+// write salvages the valid prefix, a flipped bit costs one record (not the
+// log), and duplicate artifact hashes from a crash-loop are deduplicated on
+// replay because equal key means equal content by construction.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/artifact_codec.h"
+#include "engine/durable_log.h"
+#include "support/binio.h"
+
+namespace snorlax {
+namespace {
+
+using engine::DurableLog;
+using engine::DurableSiteKey;
+using engine::SiteRecord;
+
+// A self-deleting temp directory per test.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/snorlax-durable-log-test-XXXXXX";
+    path = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+DurableSiteKey SiteA() { return DurableSiteKey{0x1122334455667788ull, 42}; }
+DurableSiteKey SiteB() { return DurableSiteKey{0x99aabbccddeeff00ull, 7}; }
+
+// An artifact record whose payload needs no module to decode.
+SiteRecord ArtifactRecord(uint64_t key, uint64_t content_hash) {
+  engine::ExecutedSetArtifact artifact;
+  artifact.content_hash = content_hash;
+  artifact.size = 3;
+  SiteRecord record;
+  record.type = SiteRecord::Type::kArtifact;
+  record.kind = engine::ArtifactKind::kExecutedSet;
+  record.key = key;
+  EXPECT_TRUE(
+      engine::EncodeArtifactValue(record.kind, &artifact, &record.bytes).ok());
+  return record;
+}
+
+SiteRecord RejectionRecord(const std::string& note) {
+  SiteRecord record;
+  record.type = SiteRecord::Type::kRejection;
+  record.bytes.assign(note.begin(), note.end());
+  return record;
+}
+
+std::vector<std::string> SegmentPaths(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+struct Replayed {
+  DurableSiteKey site;
+  SiteRecord record;
+};
+
+std::vector<Replayed> ReplayAll(DurableLog& log) {
+  std::vector<Replayed> out;
+  EXPECT_TRUE(log.Replay([&](const DurableSiteKey& site, SiteRecord&& record) {
+                out.push_back(Replayed{site, std::move(record)});
+              }).ok());
+  return out;
+}
+
+TEST(DurableLogTest, AppendThenReplayRoundTripsAcrossReopen) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.directory = dir.path;
+  {
+    DurableLog log;
+    ASSERT_TRUE(log.Open(options).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(11, 0xaa)).ok());
+    ASSERT_TRUE(log.Append(SiteB(), ArtifactRecord(22, 0xbb)).ok());
+    ASSERT_TRUE(log.Append(SiteA(), RejectionRecord("undecodable bundle")).ok());
+    ASSERT_TRUE(log.Sync().ok());
+    EXPECT_EQ(log.stats().records_appended, 3u);
+    log.Close();
+  }
+
+  DurableLog log;
+  ASSERT_TRUE(log.Open(options).ok());
+  const std::vector<Replayed> replayed = ReplayAll(log);
+  ASSERT_EQ(replayed.size(), 3u);  // write order preserved
+  EXPECT_EQ(replayed[0].site, SiteA());
+  EXPECT_EQ(replayed[0].record.key, 11u);
+  EXPECT_EQ(replayed[1].site, SiteB());
+  EXPECT_EQ(replayed[1].record.key, 22u);
+  EXPECT_EQ(replayed[2].record.type, SiteRecord::Type::kRejection);
+  EXPECT_EQ(std::string(replayed[2].record.bytes.begin(), replayed[2].record.bytes.end()),
+            "undecodable bundle");
+  const DurableLog::Stats stats = log.stats();
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_EQ(stats.records_corrupt, 0u);
+  EXPECT_EQ(stats.truncated_tails, 0u);
+
+  // A new incarnation appends after the replayed records, not over them.
+  ASSERT_TRUE(log.Append(SiteB(), ArtifactRecord(33, 0xcc)).ok());
+  log.Close();
+  DurableLog again;
+  ASSERT_TRUE(again.Open(options).ok());
+  EXPECT_EQ(ReplayAll(again).size(), 4u);
+}
+
+TEST(DurableLogTest, TornTailWriteSalvagesThePrefix) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.directory = dir.path;
+  {
+    DurableLog log;
+    ASSERT_TRUE(log.Open(options).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(1, 0x1)).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(2, 0x2)).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(3, 0x3)).ok());
+    log.Close();
+  }
+  // Crash mid-append: the final record is cut short.
+  const std::vector<std::string> segments = SegmentPaths(dir.path);
+  ASSERT_EQ(segments.size(), 1u);
+  std::vector<uint8_t> bytes = ReadFile(segments[0]);
+  ASSERT_GT(bytes.size(), 5u);
+  bytes.resize(bytes.size() - 5);
+  WriteFile(segments[0], bytes);
+
+  DurableLog log;
+  ASSERT_TRUE(log.Open(options).ok());
+  const std::vector<Replayed> replayed = ReplayAll(log);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].record.key, 1u);
+  EXPECT_EQ(replayed[1].record.key, 2u);
+  const DurableLog::Stats stats = log.stats();
+  EXPECT_EQ(stats.truncated_tails, 1u);
+  EXPECT_GT(stats.bytes_discarded, 0u);
+}
+
+TEST(DurableLogTest, FlippedBitCostsOneRecordNotTheLog) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.directory = dir.path;
+  {
+    DurableLog log;
+    ASSERT_TRUE(log.Open(options).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(1, 0x1)).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(2, 0x2)).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(3, 0x3)).ok());
+    log.Close();
+  }
+  // Flip one bit inside the middle record's payload: its CRC check must fail
+  // and the magic-scan resync must land on the third record's header.
+  std::vector<uint8_t> encoded;
+  engine::EncodeSiteRecord(ArtifactRecord(1, 0x1), &encoded);
+  const size_t payload_bytes = 8 + 4 + encoded.size();  // fp + inst + record
+  const size_t record_bytes = DurableLog::kRecordHeaderBytes + payload_bytes;
+  const std::vector<std::string> segments = SegmentPaths(dir.path);
+  ASSERT_EQ(segments.size(), 1u);
+  std::vector<uint8_t> bytes = ReadFile(segments[0]);
+  ASSERT_EQ(bytes.size(), 3 * record_bytes);  // all three records equal-sized
+  bytes[record_bytes + DurableLog::kRecordHeaderBytes + payload_bytes / 2] ^= 0x10;
+  WriteFile(segments[0], bytes);
+
+  DurableLog log;
+  ASSERT_TRUE(log.Open(options).ok());
+  const std::vector<Replayed> replayed = ReplayAll(log);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].record.key, 1u);
+  EXPECT_EQ(replayed[1].record.key, 3u);  // resync skipped only the victim
+  const DurableLog::Stats stats = log.stats();
+  EXPECT_GE(stats.records_corrupt, 1u);
+  EXPECT_GT(stats.bytes_discarded, 0u);
+}
+
+TEST(DurableLogTest, DuplicateArtifactHashesAreDroppedOnReplay) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.directory = dir.path;
+  {
+    DurableLog log;
+    ASSERT_TRUE(log.Open(options).ok());
+    // A crash between store insert and evidence append, then a re-run: the
+    // same artifact (same site, kind, content-hash key) lands twice.
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(11, 0xaa)).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(11, 0xaa)).ok());
+    ASSERT_TRUE(log.Append(SiteA(), RejectionRecord("note")).ok());
+    // Same key under a different site is a different artifact; kept.
+    ASSERT_TRUE(log.Append(SiteB(), ArtifactRecord(11, 0xaa)).ok());
+    log.Close();
+  }
+
+  DurableLog log;
+  ASSERT_TRUE(log.Open(options).ok());
+  const std::vector<Replayed> replayed = ReplayAll(log);
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed[0].site, SiteA());
+  EXPECT_EQ(replayed[1].record.type, SiteRecord::Type::kRejection);
+  EXPECT_EQ(replayed[2].site, SiteB());
+  EXPECT_EQ(log.stats().records_duplicate, 1u);
+}
+
+TEST(DurableLogTest, SegmentsRotateAndReplayInWriteOrder) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.directory = dir.path;
+  options.max_segment_bytes = 1;  // every append rotates
+  DurableLog log;
+  ASSERT_TRUE(log.Open(options).ok());
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(i, i)).ok());
+  }
+  EXPECT_GE(log.stats().segments_created, 4u);
+  EXPECT_GE(SegmentPaths(dir.path).size(), 4u);
+  log.Close();
+
+  DurableLog replay;
+  ASSERT_TRUE(replay.Open(options).ok());
+  const std::vector<Replayed> replayed = ReplayAll(replay);
+  ASSERT_EQ(replayed.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(replayed[i].record.key, i);
+  }
+}
+
+TEST(DurableLogTest, GarbagePrefixResyncsToFirstRecord) {
+  TempDir dir;
+  DurableLog::Options options;
+  options.directory = dir.path;
+  {
+    DurableLog log;
+    ASSERT_TRUE(log.Open(options).ok());
+    ASSERT_TRUE(log.Append(SiteA(), ArtifactRecord(9, 0x9)).ok());
+    log.Close();
+  }
+  const std::vector<std::string> segments = SegmentPaths(dir.path);
+  ASSERT_EQ(segments.size(), 1u);
+  std::vector<uint8_t> bytes = ReadFile(segments[0]);
+  std::vector<uint8_t> garbled = {0xde, 0xad, 0xbe, 0xef, 0x00};
+  garbled.insert(garbled.end(), bytes.begin(), bytes.end());
+  WriteFile(segments[0], garbled);
+
+  DurableLog log;
+  ASSERT_TRUE(log.Open(options).ok());
+  const std::vector<Replayed> replayed = ReplayAll(log);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].record.key, 9u);
+  EXPECT_EQ(log.stats().bytes_discarded, 5u);
+}
+
+}  // namespace
+}  // namespace snorlax

@@ -10,6 +10,7 @@
 
 #include "bench/throughput_harness.h"
 #include "core/server_pool.h"
+#include "engine/artifact_codec.h"
 #include "engine/artifact_store.h"
 #include "engine/pass.h"
 #include "faults/injector.h"
@@ -258,6 +259,143 @@ TEST(ArtifactStore, FifoEvictionUnderBudget) {
   store.Put(engine::ArtifactKind::kDerefChains, 1, engine::DerefChainsArtifact{});
   EXPECT_NE(store.Find<engine::DerefChainsArtifact>(engine::ArtifactKind::kDerefChains, 1),
             nullptr);
+}
+
+TEST(ArtifactStore, ByteBudgetEvictsOldestRecomputableOnly) {
+  engine::ArtifactStore::Options options;
+  options.max_total_bytes = 100;
+  engine::ArtifactStore store(options);
+  // Pinned input first (kExecutedSet is not in the recomputable mask), then
+  // recomputable artifacts until the budget overflows.
+  store.Put(engine::ArtifactKind::kExecutedSet, 1, engine::ExecutedSetArtifact{1, 1}, 40);
+  store.Put(engine::ArtifactKind::kF1Scores, 10, engine::F1ScoresArtifact{}, 30);
+  store.Put(engine::ArtifactKind::kF1Scores, 11, engine::F1ScoresArtifact{}, 30);
+  EXPECT_EQ(store.stats().byte_evictions, 0u);
+  EXPECT_EQ(store.stats().bytes, 100u);
+
+  // 40 over budget: the two oldest recomputable entries go; the pinned input
+  // -- older than both -- survives.
+  store.Put(engine::ArtifactKind::kF1Scores, 12, engine::F1ScoresArtifact{}, 40);
+  EXPECT_EQ(store.stats().byte_evictions, 2u);
+  EXPECT_EQ(store.stats().evictions, 0u);  // counted separately from FIFO caps
+  EXPECT_EQ(store.stats().bytes, 80u);
+  EXPECT_NE(store.Find<engine::ExecutedSetArtifact>(engine::ArtifactKind::kExecutedSet, 1),
+            nullptr);
+  EXPECT_EQ(store.Find<engine::F1ScoresArtifact>(engine::ArtifactKind::kF1Scores, 10),
+            nullptr);
+  EXPECT_EQ(store.Find<engine::F1ScoresArtifact>(engine::ArtifactKind::kF1Scores, 11),
+            nullptr);
+  EXPECT_NE(store.Find<engine::F1ScoresArtifact>(engine::ArtifactKind::kF1Scores, 12),
+            nullptr);
+}
+
+TEST(ArtifactStore, ByteBudgetNeverEvictsPinnedInputsOrTheJustInserted) {
+  engine::ArtifactStore::Options options;
+  options.max_total_bytes = 50;
+  engine::ArtifactStore store(options);
+  // Only pinned kinds over budget: the store stays over budget rather than
+  // dropping an input every downstream key derives from.
+  store.Put(engine::ArtifactKind::kExecutedSet, 1, engine::ExecutedSetArtifact{1, 1}, 40);
+  store.Put(engine::ArtifactKind::kDerefChains, 2, engine::DerefChainsArtifact{}, 40);
+  EXPECT_EQ(store.stats().byte_evictions, 0u);
+  EXPECT_EQ(store.stats().bytes, 80u);
+
+  // A recomputable entry bigger than the whole budget: older recomputable
+  // state is evicted, but the entry itself survives -- Put's return pointer
+  // must never dangle.
+  store.Put(engine::ArtifactKind::kF1Scores, 3, engine::F1ScoresArtifact{}, 10);
+  const auto* huge =
+      store.Put(engine::ArtifactKind::kF1Scores, 4, engine::F1ScoresArtifact{}, 70);
+  ASSERT_NE(huge, nullptr);
+  EXPECT_EQ(store.Find<engine::F1ScoresArtifact>(engine::ArtifactKind::kF1Scores, 3),
+            nullptr);
+  EXPECT_NE(store.Find<engine::F1ScoresArtifact>(engine::ArtifactKind::kF1Scores, 4),
+            nullptr);
+  EXPECT_EQ(store.stats().byte_evictions, 1u);
+}
+
+TEST(ArtifactCodec, SiteRecordAndArtifactValuesRoundTrip) {
+  // ExecutedSet: the no-module scalar case.
+  engine::ExecutedSetArtifact executed;
+  executed.content_hash = 0xdeadbeefcafef00dull;
+  executed.size = 123;
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(engine::EncodeArtifactValue(engine::ArtifactKind::kExecutedSet, &executed,
+                                          &bytes)
+                  .ok());
+  std::shared_ptr<void> decoded;
+  ASSERT_TRUE(engine::DecodeArtifactValue(engine::ArtifactKind::kExecutedSet, bytes,
+                                          /*module=*/nullptr, &decoded)
+                  .ok());
+  const auto* round = static_cast<const engine::ExecutedSetArtifact*>(decoded.get());
+  EXPECT_EQ(round->content_hash, executed.content_hash);
+  EXPECT_EQ(round->size, executed.size);
+
+  // Determinism: equal values encode byte-identically (content-hash keys
+  // identify transfers byte-for-byte).
+  std::vector<uint8_t> again;
+  ASSERT_TRUE(engine::EncodeArtifactValue(engine::ArtifactKind::kExecutedSet, &executed,
+                                          &again)
+                  .ok());
+  EXPECT_EQ(bytes, again);
+
+  // A version-skewed record is a clean kVersionMismatch, never a misparse.
+  std::vector<uint8_t> skewed = bytes;
+  skewed[0] = engine::kArtifactCodecVersion + 1;
+  EXPECT_EQ(engine::DecodeArtifactValue(engine::ArtifactKind::kExecutedSet, skewed,
+                                        nullptr, &decoded)
+                .code(),
+            support::StatusCode::kVersionMismatch);
+
+  // SiteRecord framing round-trips type, kind, key, and payload bytes.
+  engine::SiteRecord record;
+  record.type = engine::SiteRecord::Type::kArtifact;
+  record.kind = engine::ArtifactKind::kExecutedSet;
+  record.key = 0x1122334455667788ull;
+  record.bytes = bytes;
+  std::vector<uint8_t> framed;
+  engine::EncodeSiteRecord(record, &framed);
+  engine::SiteRecord out;
+  ASSERT_TRUE(engine::DecodeSiteRecord(framed, &out).ok());
+  EXPECT_EQ(out.type, record.type);
+  EXPECT_EQ(out.kind, record.kind);
+  EXPECT_EQ(out.key, record.key);
+  EXPECT_EQ(out.bytes, record.bytes);
+
+  // Truncations never decode.
+  for (size_t cut = 0; cut < framed.size(); ++cut) {
+    engine::SiteRecord ignored;
+    EXPECT_FALSE(
+        engine::DecodeSiteRecord({framed.data(), cut}, &ignored).ok())
+        << "decoded from " << cut << " of " << framed.size() << " bytes";
+  }
+}
+
+TEST(ArtifactCodec, ExportedSiteStateRoundTripsThroughImport) {
+  // End-to-end over real diagnosis state: export every record from an
+  // ingested site, re-import into a fresh pool, and require digest-identical
+  // reports -- the property both the durable log and the cluster hand-off
+  // lean on.
+  const bench::CapturedSite& site = Sites().front();
+  auto source = MakePool(/*use_cache=*/true);
+  ASSERT_TRUE(source->SubmitFailingTrace(site.failing).ok());
+  for (const pt::PtTraceBundle& success : site.successes) {
+    ASSERT_TRUE(
+        source->SubmitSuccessTrace(site.failing.failure.failing_inst, success).ok());
+  }
+  const std::string source_digest = bench::DigestReports(source->DiagnoseAll());
+
+  std::vector<engine::SiteRecord> records;
+  ASSERT_TRUE(source->ExportSite(site.failing.module_fingerprint,
+                                 site.failing.failure.failing_inst, &records));
+  ASSERT_FALSE(records.empty());
+
+  auto target = MakePool(/*use_cache=*/true);
+  ASSERT_TRUE(target
+                  ->ImportSite(site.failing.module_fingerprint,
+                               site.failing.failure.failing_inst, std::move(records))
+                  .ok());
+  EXPECT_EQ(bench::DigestReports(target->DiagnoseAll()), source_digest);
 }
 
 }  // namespace

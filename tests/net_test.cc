@@ -248,6 +248,35 @@ TEST(NetTest, ReconnectingAgentIsDeduplicatedBySequence) {
   EXPECT_EQ(daemon.stats().bundles_ingested, 4u);
 }
 
+TEST(NetTest, DeadDaemonSurfacesUnavailableAfterBoundedReconnects) {
+  const bench::CapturedSite& site = Site();
+  // Reserve a port, then close it: nothing listens there.
+  uint16_t dead_port = 0;
+  {
+    auto listener = net::Socket::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    net::Socket sock = listener.take();
+    dead_port = sock.local_port();
+    sock.Close();
+  }
+
+  net::AgentOptions aopts;
+  aopts.port = dead_port;
+  aopts.max_attempts = 100;  // the reconnect bound must bite first
+  aopts.max_reconnect_attempts = 2;
+  aopts.io_timeout_ms = 200;
+  net::DiagnosisAgent agent(aopts);
+  agent.EnqueueFailing(site.failing);
+  const auto start = std::chrono::steady_clock::now();
+  const support::Status status = agent.Flush();
+  ASSERT_FALSE(status.ok());
+  // The bound surfaces kUnavailable -- an error, not a hang -- so a cluster
+  // caller can fail over to another ring member.
+  EXPECT_EQ(status.code(), support::StatusCode::kUnavailable);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 30s);
+  EXPECT_EQ(agent.stats().bundles_acked, 0u);
+}
+
 // Raw-socket helper: handshake as `agent_id` and return the connected socket.
 net::Socket RawHandshake(uint16_t port, uint64_t agent_id) {
   auto sock = net::Socket::ConnectLoopback(port);

@@ -12,6 +12,7 @@
 #include "pt/packets.h"
 #include "support/rng.h"
 #include "wire/frame.h"
+#include "wire/ring.h"
 #include "wire/serialize.h"
 
 namespace snorlax {
@@ -620,6 +621,153 @@ TEST(WireFrameTest, Crc32MatchesKnownVector) {
   // Chained computation must equal one-shot.
   const uint32_t head = wire::Crc32(check, 4);
   EXPECT_EQ(wire::Crc32(check + 4, 5, head), 0xcbf43926u);
+}
+
+wire::RingTopology ThreeMemberRing() {
+  wire::RingTopology topology;
+  topology.epoch = 5;
+  topology.members = {{1, "127.0.0.1", 9001},
+                      {2, "127.0.0.1", 9002},
+                      {3, "127.0.0.1", 9003}};
+  return topology;
+}
+
+TEST(WireRingTest, TopologyEncodingIsCanonical) {
+  wire::RingTopology a = ThreeMemberRing();
+  // The same membership assembled in a different order -- with a duplicate
+  // node id thrown in -- must encode byte-identically after canonicalization.
+  wire::RingTopology b;
+  b.epoch = 5;
+  b.members = {{3, "127.0.0.1", 9003},
+               {1, "127.0.0.1", 9001},
+               {1, "ignored-duplicate", 1},
+               {2, "127.0.0.1", 9002}};
+  wire::CanonicalizeTopology(&a);
+  wire::CanonicalizeTopology(&b);
+  std::vector<uint8_t> bytes_a, bytes_b;
+  wire::EncodeTopology(a, &bytes_a);
+  wire::EncodeTopology(b, &bytes_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+
+  wire::RingTopology out;
+  ASSERT_TRUE(wire::DecodeTopology(bytes_a, &out).ok());
+  EXPECT_EQ(out, a);
+  EXPECT_EQ(out.epoch, 5u);
+  ASSERT_EQ(out.members.size(), 3u);
+  EXPECT_EQ(out.members[1].port, 9002);
+}
+
+TEST(WireRingTest, HelloAckCarriesTopologyOnlyWhenAsked) {
+  wire::HelloAckPayload ack;
+  ack.protocol_version = 3;
+  ack.last_acked_seq = 17;
+  ack.has_topology = true;
+  ack.topology = ThreeMemberRing();
+  std::vector<uint8_t> with_block;
+  wire::EncodeHelloAck(ack, &with_block);
+  wire::HelloAckPayload out;
+  ASSERT_TRUE(wire::DecodeHelloAck(with_block, &out).ok());
+  ASSERT_TRUE(out.has_topology);
+  EXPECT_EQ(out.topology, ack.topology);
+  EXPECT_EQ(out.last_acked_seq, 17u);
+
+  // A v2-style ack (no trailing block) decodes with has_topology false: the
+  // agent then routes everything to the daemon it dialed.
+  ack.has_topology = false;
+  std::vector<uint8_t> without_block;
+  wire::EncodeHelloAck(ack, &without_block);
+  EXPECT_LT(without_block.size(), with_block.size());
+  wire::HelloAckPayload v2;
+  ASSERT_TRUE(wire::DecodeHelloAck(without_block, &v2).ok());
+  EXPECT_FALSE(v2.has_topology);
+  EXPECT_TRUE(v2.topology.empty());
+}
+
+TEST(WireRingTest, OwnershipIsDeterministicBalancedAndStable) {
+  const wire::RingTopology ring = ThreeMemberRing();
+  constexpr size_t kSites = 3000;
+  size_t owned[4] = {0, 0, 0, 0};
+  std::vector<uint64_t> owners(kSites);
+  for (size_t i = 0; i < kSites; ++i) {
+    const uint64_t hash = wire::RingSiteHash(0x1234 + i, static_cast<uint32_t>(i * 7));
+    owners[i] = wire::RingOwnerOf(ring, hash);
+    ASSERT_GE(owners[i], 1u);
+    ASSERT_LE(owners[i], 3u);
+    // Deterministic: the same site hashes to the same owner every time.
+    EXPECT_EQ(wire::RingOwnerOf(ring, hash), owners[i]);
+    ++owned[owners[i]];
+  }
+  // With 64 virtual nodes each, no member owns less than ~1/6 of the sites.
+  for (uint64_t node = 1; node <= 3; ++node) {
+    EXPECT_GT(owned[node], kSites / 6) << "node " << node << " starved";
+  }
+
+  // Consistent hashing: removing node 3 moves only node 3's sites.
+  wire::RingTopology smaller = ring;
+  smaller.members.pop_back();
+  size_t moved = 0;
+  for (size_t i = 0; i < kSites; ++i) {
+    const uint64_t hash = wire::RingSiteHash(0x1234 + i, static_cast<uint32_t>(i * 7));
+    const uint64_t owner = wire::RingOwnerOf(smaller, hash);
+    if (owners[i] == 3) {
+      ++moved;
+      EXPECT_NE(owner, 3u);
+    } else {
+      EXPECT_EQ(owner, owners[i]) << "site " << i << " moved without cause";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+
+  EXPECT_EQ(wire::RingOwnerOf(wire::RingTopology{}, 42), 0u);
+  EXPECT_EQ(wire::RingFindMember(ring, 2)->port, 9002);
+  EXPECT_EQ(wire::RingFindMember(ring, 9), nullptr);
+}
+
+TEST(WireRingTest, HandoffPayloadsRoundTrip) {
+  {
+    wire::HandoffBeginPayload begin;
+    begin.module_fingerprint = 0xfeedface;
+    begin.failing_inst = 99;
+    begin.epoch = 7;
+    begin.record_count = 12;
+    std::vector<uint8_t> bytes;
+    wire::EncodeHandoffBegin(begin, &bytes);
+    wire::HandoffBeginPayload out;
+    ASSERT_TRUE(wire::DecodeHandoffBegin(bytes, &out).ok());
+    EXPECT_EQ(out.module_fingerprint, 0xfeedfaceull);
+    EXPECT_EQ(out.failing_inst, 99u);
+    EXPECT_EQ(out.epoch, 7u);
+    EXPECT_EQ(out.record_count, 12u);
+  }
+  {
+    wire::HandoffRecordPayload record;
+    record.module_fingerprint = 0xfeedface;
+    record.failing_inst = 99;
+    record.record_bytes = {1, 2, 3, 4, 5};
+    std::vector<uint8_t> bytes;
+    wire::EncodeHandoffRecord(record, &bytes);
+    wire::HandoffRecordPayload out;
+    ASSERT_TRUE(wire::DecodeHandoffRecord(bytes, &out).ok());
+    EXPECT_EQ(out.record_bytes, record.record_bytes);
+    // The zero-copy view sees the same bytes without owning them.
+    wire::HandoffRecordPayloadView view;
+    ASSERT_TRUE(wire::DecodeHandoffRecord(bytes, &view).ok());
+    ASSERT_EQ(view.record_bytes.size(), 5u);
+    EXPECT_EQ(view.record_bytes[4], 5u);
+  }
+  {
+    wire::HandoffAckPayload ack;
+    ack.module_fingerprint = 0xfeedface;
+    ack.failing_inst = 99;
+    ack.status = support::Status::Error(support::StatusCode::kWrongShard, "not mine");
+    std::vector<uint8_t> bytes;
+    wire::EncodeHandoffAck(ack, &bytes);
+    wire::HandoffAckPayload out;
+    ASSERT_TRUE(wire::DecodeHandoffAck(bytes, &out).ok());
+    EXPECT_EQ(out.failing_inst, 99u);
+    EXPECT_EQ(out.status.code(), support::StatusCode::kWrongShard);
+    EXPECT_EQ(out.status.message(), "not mine");
+  }
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 //                                              loopback-TCP ingest throughput
 //
 // Sample programs live in examples/programs/.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -66,7 +67,10 @@ int Usage() {
       "           --json=<path> to also write the JSON line to a file)\n"
       "  serve    run the TCP diagnosis daemon (--port=P, --pool-threads=N,\n"
       "           --deadline-ms=D per-site analysis deadline, --workloads=a,b,c;\n"
-      "           default port 7433, Ctrl-C to stop)\n"
+      "           cluster mode: --node-id=N --peers=id@port[,id@port...];\n"
+      "           durability: --data-dir=DIR [--fsync]; default port 7433,\n"
+      "           SIGTERM/Ctrl-C drains: hands sites to the remaining ring,\n"
+      "           fsyncs the log, prints final reports)\n"
       "  send     capture a workload's failing + success traces and ship them\n"
       "           to a daemon (<workload>, --port=P, --agent-id=N, --diagnose)\n"
       "  bench-fleet measure loopback-TCP fleet ingest (--agents=M, --rounds=K,\n"
@@ -404,11 +408,17 @@ std::vector<std::string> SplitCommas(const std::string& spec) {
   return parts;
 }
 
+// SIGTERM/SIGINT set this; the serve loop notices and drains gracefully.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void RequestDrain(int) { g_drain_requested = 1; }
+
 int CmdServe(int argc, char** argv) {
   net::DaemonOptions dopts;
   dopts.port = 7433;
   size_t pool_threads = 0;
   std::vector<std::string> names = {"pbzip2_main", "sqlite_1672", "memcached_127"};
+  std::vector<std::string> peer_specs;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag.rfind("--port=", 0) == 0) {
@@ -420,10 +430,41 @@ int CmdServe(int argc, char** argv) {
           static_cast<double>(std::strtoull(flag.c_str() + 14, nullptr, 10)) / 1000.0;
     } else if (flag.rfind("--workloads=", 0) == 0) {
       names = SplitCommas(flag.substr(12));
+    } else if (flag.rfind("--node-id=", 0) == 0) {
+      dopts.node_id = std::strtoull(flag.c_str() + 10, nullptr, 10);
+    } else if (flag.rfind("--peers=", 0) == 0) {
+      peer_specs = SplitCommas(flag.substr(8));
+    } else if (flag.rfind("--data-dir=", 0) == 0) {
+      dopts.data_dir = flag.substr(11);
+    } else if (flag == "--fsync") {
+      dopts.fsync_each_append = true;
+    } else if (flag.rfind("--epoch=", 0) == 0) {
+      dopts.ring_epoch = std::strtoull(flag.c_str() + 8, nullptr, 10);
     } else {
       std::printf("unknown flag '%s'\n", flag.c_str());
       return Usage();
     }
+  }
+  // Ring membership: this daemon plus every --peers entry ("id@port").
+  if (dopts.node_id != 0) {
+    dopts.members.push_back(
+        wire::RingMember{dopts.node_id, "127.0.0.1", dopts.port});
+    for (const std::string& spec : peer_specs) {
+      const size_t at = spec.find('@');
+      if (at == std::string::npos) {
+        std::printf("bad --peers entry '%s' (want id@port)\n", spec.c_str());
+        return Usage();
+      }
+      wire::RingMember peer;
+      peer.node_id = std::strtoull(spec.substr(0, at).c_str(), nullptr, 10);
+      peer.host = "127.0.0.1";
+      peer.port =
+          static_cast<uint16_t>(std::strtoul(spec.c_str() + at + 1, nullptr, 10));
+      dopts.members.push_back(peer);
+    }
+  } else if (!peer_specs.empty()) {
+    std::printf("--peers requires --node-id\n");
+    return Usage();
   }
 
   // The daemon routes bundles by module fingerprint, so it must hold the
@@ -448,14 +489,50 @@ int CmdServe(int argc, char** argv) {
     return 1;
   }
   std::printf("diagnosis daemon listening on 127.0.0.1:%u\n", daemon.port());
+  if (daemon.cluster_mode()) {
+    std::printf("cluster node %llu, %zu ring member(s), epoch %llu\n",
+                static_cast<unsigned long long>(dopts.node_id),
+                daemon.topology().members.size(),
+                static_cast<unsigned long long>(daemon.topology().epoch));
+  }
+  if (daemon.recovered()) {
+    const core::ServerPool::RecoveryStats& r = daemon.recovery();
+    std::printf(
+        "durable log %s: %zu site(s) recovered, %zu record(s) applied, "
+        "%zu skipped (%llu corrupt, %llu duplicate)\n",
+        dopts.data_dir.c_str(), r.sites_recovered, r.records_applied,
+        r.records_skipped, static_cast<unsigned long long>(r.log.records_corrupt),
+        static_cast<unsigned long long>(r.log.records_duplicate));
+  }
   for (size_t i = 0; i < catalogue.size(); ++i) {
     std::printf("  module %-16s fingerprint %016llx\n", names[i].c_str(),
                 static_cast<unsigned long long>(
                     pt::ModuleFingerprint(*catalogue[i].module)));
   }
-  std::printf("Ctrl-C to stop\n");
-  while (daemon.running()) {
-    std::this_thread::sleep_for(std::chrono::seconds(1));
+  std::printf("SIGTERM or Ctrl-C to drain and stop\n");
+  g_drain_requested = 0;
+  std::signal(SIGTERM, RequestDrain);
+  std::signal(SIGINT, RequestDrain);
+  while (daemon.running() && g_drain_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  if (g_drain_requested != 0 && daemon.running()) {
+    std::printf("draining: finishing in-flight work, handing off sites, syncing log\n");
+    std::vector<core::ServerPool::ShardReport> final_reports;
+    const support::Status drained = daemon.Drain(&final_reports);
+    for (const core::ServerPool::ShardReport& sr : final_reports) {
+      std::printf("final report: module %016llx site %u: %zu pattern(s), "
+                  "%zu failing / %zu success trace(s), confidence %s\n",
+                  static_cast<unsigned long long>(sr.key.module_fingerprint),
+                  static_cast<uint32_t>(sr.key.failing_inst), sr.report.patterns.size(),
+                  sr.report.failing_traces, sr.report.success_traces,
+                  trace::ConfidenceTierName(sr.report.confidence));
+    }
+    if (!drained.ok()) {
+      std::printf("drain finished with degradation: %s\n", drained.ToString().c_str());
+      return 1;
+    }
+    std::printf("drained cleanly\n");
   }
   return 0;
 }
