@@ -22,7 +22,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 # The labeled suites run as part of the full suite above; re-running them
 # by label keeps their pass/fail visible as separate CI steps.
-for label in chaos net cluster concurrency perf-smoke; do
+for label in chaos net cluster concurrency perf-smoke fuzz; do
   echo "== label: ${label} =="
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L "${label}"
 done

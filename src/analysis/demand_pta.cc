@@ -1,0 +1,305 @@
+#include "analysis/demand_pta.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace snorlax::analysis {
+
+DemandSolver::DemandSolver(const ir::Module& module, const ConstraintGraph& graph,
+                           size_t node_budget)
+    : module_(module), graph_(graph), budget_(node_budget) {
+  for (const auto& [var, obj] : graph_.bases) {
+    base_objs_[var].push_back(obj);
+  }
+  for (const auto& [from, to] : graph_.copies) {
+    rev_copy_[to].push_back(from);
+    fwd_copy_[from].push_back(to);
+  }
+  for (const auto& [ptr, result_var] : graph_.loads) {
+    rev_load_[result_var].push_back(ptr);
+    loads_by_ptr_[ptr].push_back(result_var);
+  }
+  for (const auto& [ptr, value_var] : graph_.stores) {
+    store_ptrs_.insert(ptr);
+    (void)value_var;
+  }
+  for (uint32_t i = 0; i < graph_.indirect_sites.size(); ++i) {
+    indirect_by_fp_[graph_.indirect_sites[i].fp_var].push_back(i);
+  }
+}
+
+const ObjectSet& DemandSolver::Pts(uint32_t v) const {
+  const auto it = pts_.find(v);
+  return it == pts_.end() ? empty_ : it->second;
+}
+
+const ObjectSet& DemandSolver::PointsTo(uint32_t var) const { return Pts(var); }
+
+void DemandSolver::Activate(uint32_t v) {
+  if (active_.insert(v).second) {
+    Enqueue(v);
+  }
+}
+
+void DemandSolver::Enqueue(uint32_t v) {
+  if (in_worklist_.insert(v).second) {
+    worklist_.push_back(v);
+  }
+}
+
+void DemandSolver::AddDynEdge(uint32_t from, uint32_t to) {
+  const uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  if (!dyn_edge_seen_.insert(key).second) {
+    return;
+  }
+  rev_dyn_[to].push_back(from);
+  fwd_dyn_[from].push_back(to);
+  if (active_.count(to) != 0) {
+    Enqueue(to);
+  }
+}
+
+void DemandSolver::MaterializeBinding(uint32_t site_index, ir::FuncId callee_id) {
+  const uint64_t key = (static_cast<uint64_t>(site_index) << 32) | callee_id;
+  if (!binding_done_.insert(key).second) {
+    return;
+  }
+  const ConstraintGraph::IndirectSite& site = graph_.indirect_sites[site_index];
+  const ir::Function& callee = *module_.function(callee_id);
+  // Operand 0 is the function pointer; parameters bind from operand 1.
+  for (size_t i = 1; i < site.call->num_operands(); ++i) {
+    const size_t param = i - 1;
+    if (param >= callee.num_params()) {
+      break;
+    }
+    if (site.call->operand(i).IsReg()) {
+      AddDynEdge(graph_.Var(site.caller->id(), site.call->operand(i).reg),
+                 graph_.Var(callee.id(), static_cast<ir::Reg>(param)));
+    }
+  }
+  if (site.call->HasResult()) {
+    AddDynEdge(graph_.RetVar(callee.id()),
+               graph_.Var(site.caller->id(), site.call->result()));
+  }
+}
+
+void DemandSolver::Process(uint32_t v) {
+  ++nodes_visited_;
+  // Node-based map: this reference stays valid across inserts below.
+  ObjectSet& mine = pts_[v];
+  bool changed = false;
+
+  // (1) Address-of sources assigned directly to v.
+  if (const auto it = base_objs_.find(v); it != base_objs_.end()) {
+    for (const uint32_t obj : it->second) {
+      changed = mine.Set(obj) || changed;
+    }
+  }
+
+  // (2) Backward copy edges, static and materialized: pull each source's
+  // current set, demanding the source itself.
+  const auto pull_rev = [&](const std::unordered_map<uint32_t, std::vector<uint32_t>>& rev) {
+    const auto it = rev.find(v);
+    if (it == rev.end()) {
+      return;
+    }
+    for (const uint32_t u : it->second) {
+      if (u == v) {
+        continue;
+      }
+      Activate(u);
+      changed = mine.UnionWith(Pts(u)) || changed;
+    }
+  };
+  pull_rev(rev_copy_);
+  pull_rev(rev_dyn_);
+
+  // (3) v = *p: demand p, and match each object flowing into p against v
+  // (the CFL load parenthesis) via a materialized content-variable edge.
+  if (const auto it = rev_load_.find(v); it != rev_load_.end()) {
+    for (const uint32_t p : it->second) {
+      Activate(p);
+      Pts(p).ForEach([&](uint32_t obj) {
+        const uint32_t ov = graph_.ObjVar(obj);
+        AddDynEdge(ov, v);
+        Activate(ov);
+        changed = mine.UnionWith(Pts(ov)) || changed;
+      });
+    }
+  }
+
+  // (4) v is an object-content variable: match every store *p = w whose
+  // pointer may reference this object (the CFL store parenthesis). The scan
+  // demands each store's pointer var; re-runs are triggered whenever any
+  // store pointer's set grows (see the notification below).
+  if (v >= graph_.obj_var_base) {
+    const uint32_t obj = v - graph_.obj_var_base;
+    for (const auto& [ptr, value_var] : graph_.stores) {
+      Activate(ptr);
+      if (Pts(ptr).Test(obj)) {
+        AddDynEdge(value_var, v);
+        Activate(value_var);
+        changed = mine.UnionWith(Pts(value_var)) || changed;
+      }
+    }
+  }
+
+  // (5) Indirect calls through v: bind arguments/result once per resolved
+  // (site, callee) pair. Runs against the final set of this invocation, and
+  // again on every later re-process, so late-arriving function objects bind.
+  if (const auto it = indirect_by_fp_.find(v); it != indirect_by_fp_.end()) {
+    mine.ForEach([&](uint32_t obj) {
+      const AbstractObject& o = graph_.objects[obj];
+      if (o.kind != AbstractObject::Kind::kFunction) {
+        return;
+      }
+      for (const uint32_t site_index : it->second) {
+        MaterializeBinding(site_index, o.id);
+      }
+    });
+  }
+
+  if (!changed) {
+    return;
+  }
+
+  // (6) The set grew: re-enqueue every *demanded* dependent. Un-demanded
+  // dependents cost nothing -- if they are activated later, their first
+  // Process pulls the then-current sets.
+  const auto notify_fwd = [&](const std::unordered_map<uint32_t, std::vector<uint32_t>>& fwd) {
+    const auto it = fwd.find(v);
+    if (it == fwd.end()) {
+      return;
+    }
+    for (const uint32_t t : it->second) {
+      if (active_.count(t) != 0) {
+        Enqueue(t);
+      }
+    }
+  };
+  notify_fwd(fwd_copy_);
+  notify_fwd(fwd_dyn_);
+  if (const auto it = loads_by_ptr_.find(v); it != loads_by_ptr_.end()) {
+    for (const uint32_t result_var : it->second) {
+      if (active_.count(result_var) != 0) {
+        Enqueue(result_var);
+      }
+    }
+  }
+  if (store_ptrs_.count(v) != 0) {
+    // New objects may now be store targets: rescan their content variables.
+    mine.ForEach([&](uint32_t obj) {
+      const uint32_t ov = graph_.ObjVar(obj);
+      if (active_.count(ov) != 0) {
+        Enqueue(ov);
+      }
+    });
+  }
+}
+
+bool DemandSolver::Drain() {
+  while (!worklist_.empty()) {
+    if (budget_ != 0 && nodes_visited_ >= budget_) {
+      budget_exhausted_ = true;
+      return false;
+    }
+    const uint32_t v = worklist_.front();
+    worklist_.pop_front();
+    in_worklist_.erase(v);
+    Process(v);
+  }
+  return true;
+}
+
+bool DemandSolver::Query(uint32_t var) {
+  ++queries_;
+  if (budget_exhausted_) {
+    return false;
+  }
+  if (!fp_vars_activated_ && !graph_.indirect_sites.empty()) {
+    // Any demanded variable may depend on a parameter or return value bound
+    // at an indirect call site, so function-pointer resolution joins every
+    // query's cone the first time.
+    fp_vars_activated_ = true;
+    for (const ConstraintGraph::IndirectSite& site : graph_.indirect_sites) {
+      Activate(site.fp_var);
+    }
+  }
+  Activate(var);
+  return Drain();
+}
+
+PointsToResult RunDemandPointsTo(const ir::Module& module, const PointsToOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const ConstraintGraph graph = BuildConstraintGraph(module, options);
+
+  size_t budget = options.demand_node_budget;
+  if (budget == 0 && options.tier == PointsToOptions::Tier::kAuto) {
+    // Auto tier: a generous graph-scaled budget. Healthy demanded cones cost
+    // a small multiple of their constraint count; only sites whose cone
+    // approaches whole-graph size hit this and take the exhaustive path.
+    budget = 16 * (graph.constraints + graph.accesses.size()) + 1024;
+  }
+
+  DemandSolver solver(module, graph, budget);
+
+  // Query set: every in-scope memory access's pointer variable (the universe
+  // AccessorsOf answers over) plus any explicitly requested instructions.
+  std::vector<uint32_t> queries;
+  queries.reserve(graph.accesses.size() + options.query_insts.size());
+  for (const auto& [inst, var] : graph.accesses) {
+    (void)inst;
+    queries.push_back(var);
+  }
+  for (const ir::Instruction* inst : options.query_insts) {
+    uint32_t var = 0;
+    if (inst != nullptr && PointerOperandVar(graph, *inst, &var)) {
+      queries.push_back(var);
+    }
+  }
+  std::sort(queries.begin(), queries.end());
+  queries.erase(std::unique(queries.begin(), queries.end()), queries.end());
+
+  bool complete = true;
+  for (const uint32_t var : queries) {
+    if (!solver.Query(var)) {
+      complete = false;
+      break;
+    }
+  }
+
+  const auto elapsed = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  if (!complete) {
+    PointsToResult result = RunExhaustiveOnGraph(module, options, graph);
+    result.stats_.demand_queries = solver.queries();
+    result.stats_.demand_nodes_visited = solver.nodes_visited();
+    result.stats_.demand_budget_fallback = true;
+    result.stats_.solve_seconds = elapsed();  // include the abandoned attempt
+    return result;
+  }
+
+  PointsToResult result;
+  result.module_ = &module;
+  result.objects_ = graph.objects;
+  result.func_reg_base_ = graph.func_reg_base;
+  result.accesses_ = graph.accesses;
+  result.sparse_ = true;
+  for (const uint32_t var : queries) {
+    result.sparse_pts_.emplace(var, solver.PointsTo(var));
+  }
+  result.stats_.instructions_analyzed = graph.instructions_analyzed;
+  result.stats_.constraints = graph.constraints;
+  result.stats_.variables = graph.num_vars;
+  result.stats_.objects = graph.objects.size();
+  result.stats_.answered_by_demand = true;
+  result.stats_.demand_queries = solver.queries();
+  result.stats_.demand_nodes_visited = solver.nodes_visited();
+  result.BuildAccessorIndex();
+  result.stats_.solve_seconds = elapsed();
+  return result;
+}
+
+}  // namespace snorlax::analysis

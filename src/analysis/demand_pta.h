@@ -1,0 +1,104 @@
+// Demand-driven points-to: the second solver tier (ROADMAP item 2).
+//
+// The exhaustive AndersenSolver computes the full fixpoint over every
+// variable in the (scoped) constraint graph, paying dense O(num_vars) state
+// and propagation even for code no query ever touches. Lazy Diagnosis asks
+// one narrow question per failure site -- "which accesses may alias the
+// failing operand's deref chain?" -- so this tier instead answers
+// PointsTo(query_var) by CFL-reachability in the Heintze-Tardieu style
+// (Graspan/AserPTA lineage): starting from the query variable, copy edges
+// are traversed *backward* toward address-of sources, and the matched
+// load/store parentheses of the CFL grammar are expanded lazily by
+// materializing object-variable edges only for objects that actually flow
+// into a demanded dereference. Per-variable results are memoized in the
+// solver, so chained queries (one per deref-chain link, one per candidate
+// access) share all reachability work.
+//
+// The demanded closure is solved to its least fixpoint, which provably
+// equals the restriction of the exhaustive solution to the demanded
+// variables (the differential fuzz suite in tests/demand_pta_test.cc checks
+// exactly this). A nodes-visited budget bounds the worst case: when the
+// demanded cone approaches whole-graph size, RunDemandPointsTo abandons the
+// partial run and falls back to the exhaustive tier over the same graph.
+#ifndef SNORLAX_ANALYSIS_DEMAND_PTA_H_
+#define SNORLAX_ANALYSIS_DEMAND_PTA_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/constraint_graph.h"
+#include "analysis/points_to.h"
+
+namespace snorlax::analysis {
+
+class DemandSolver {
+ public:
+  // `graph` must outlive the solver. node_budget 0 = unlimited.
+  DemandSolver(const ir::Module& module, const ConstraintGraph& graph, size_t node_budget);
+
+  // Makes `var`'s points-to set available via PointsTo. Returns false when
+  // the node budget ran out -- results are then incomplete and the caller
+  // must fall back to the exhaustive tier.
+  bool Query(uint32_t var);
+
+  // Fixpoint set of a previously queried variable (empty if un-demanded).
+  const ObjectSet& PointsTo(uint32_t var) const;
+
+  size_t queries() const { return queries_; }
+  size_t nodes_visited() const { return nodes_visited_; }
+  bool budget_exhausted() const { return budget_exhausted_; }
+
+ private:
+  void Activate(uint32_t v);
+  void Enqueue(uint32_t v);
+  bool Drain();  // false on budget exhaustion
+  void Process(uint32_t v);
+  void AddDynEdge(uint32_t from, uint32_t to);
+  void MaterializeBinding(uint32_t site_index, ir::FuncId callee_id);
+  const ObjectSet& Pts(uint32_t v) const;
+
+  const ir::Module& module_;
+  const ConstraintGraph& graph_;
+  const size_t budget_;
+
+  // Static-graph adjacency, keyed by variable (built once in the ctor).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> base_objs_;      // v -> object indices
+  std::unordered_map<uint32_t, std::vector<uint32_t>> rev_copy_;       // to -> froms
+  std::unordered_map<uint32_t, std::vector<uint32_t>> fwd_copy_;       // from -> tos
+  std::unordered_map<uint32_t, std::vector<uint32_t>> rev_load_;       // result -> pointer vars
+  std::unordered_map<uint32_t, std::vector<uint32_t>> loads_by_ptr_;   // pointer -> result vars
+  std::unordered_set<uint32_t> store_ptrs_;                            // store pointer vars
+  std::unordered_map<uint32_t, std::vector<uint32_t>> indirect_by_fp_; // fp var -> site indices
+
+  // Lazily materialized edges: load/store matching and indirect-call
+  // argument/result bindings, deduped so each is added once.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> rev_dyn_;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> fwd_dyn_;
+  std::unordered_set<uint64_t> dyn_edge_seen_;
+  std::unordered_set<uint64_t> binding_done_;  // (site index << 32) | callee id
+
+  // Sparse per-variable state over the demanded closure only.
+  std::unordered_map<uint32_t, ObjectSet> pts_;
+  std::unordered_set<uint32_t> active_;
+  std::unordered_set<uint32_t> in_worklist_;
+  std::deque<uint32_t> worklist_;
+  ObjectSet empty_;
+  size_t queries_ = 0;
+  size_t nodes_visited_ = 0;
+  bool budget_exhausted_ = false;
+  bool fp_vars_activated_ = false;
+};
+
+// Demand-tier entry point, called by RunPointsTo for Tier::kDemand/kAuto:
+// builds the scoped graph, queries every in-scope memory access's pointer
+// variable plus options.query_insts, and returns a sparse PointsToResult.
+// On budget exhaustion it falls back to RunExhaustiveOnGraph over the same
+// graph; the stats record the abandoned attempt either way.
+PointsToResult RunDemandPointsTo(const ir::Module& module, const PointsToOptions& options);
+
+}  // namespace snorlax::analysis
+
+#endif  // SNORLAX_ANALYSIS_DEMAND_PTA_H_

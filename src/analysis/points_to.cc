@@ -4,6 +4,8 @@
 #include <chrono>
 #include <deque>
 
+#include "analysis/constraint_graph.h"
+#include "analysis/demand_pta.h"
 #include "support/check.h"
 #include "support/str.h"
 
@@ -119,14 +121,44 @@ const ObjectSet& PointsToResult::PointerOperandPointsTo(const ir::Instruction& i
   return PointsTo(inst.parent()->parent()->id(), op.reg);
 }
 
+const ObjectSet& PointsToResult::VarSet(uint32_t var) const {
+  if (sparse_) {
+    const auto it = sparse_pts_.find(var);
+    return it == sparse_pts_.end() ? empty_ : it->second;
+  }
+  return var_pts_[rep_[var]];
+}
+
 std::vector<const ir::Instruction*> PointsToResult::AccessorsOf(const ObjectSet& objs) const {
-  std::vector<const ir::Instruction*> out;
-  for (const auto& [inst, var] : accesses_) {
-    if (VarSet(var).Intersects(objs)) {
-      out.push_back(inst);
+  // Gather candidate access indices through the inverted index, then dedupe
+  // and emit in accesses_ (program) order -- the order the old linear
+  // intersect-scan produced.
+  std::vector<uint32_t> hits;
+  objs.ForEach([&](uint32_t obj) {
+    if (obj < accessors_by_object_.size()) {
+      const std::vector<uint32_t>& v = accessors_by_object_[obj];
+      hits.insert(hits.end(), v.begin(), v.end());
     }
+  });
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  std::vector<const ir::Instruction*> out;
+  out.reserve(hits.size());
+  for (const uint32_t i : hits) {
+    out.push_back(accesses_[i].first);
   }
   return out;
+}
+
+void PointsToResult::BuildAccessorIndex() {
+  accessors_by_object_.assign(objects_.size(), {});
+  for (uint32_t i = 0; i < accesses_.size(); ++i) {
+    VarSet(accesses_[i].second).ForEach([&](uint32_t obj) {
+      if (obj < accessors_by_object_.size()) {
+        accessors_by_object_[obj].push_back(i);
+      }
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -152,39 +184,21 @@ std::vector<const ir::Instruction*> PointsToResult::AccessorsOf(const ObjectSet&
 
 class AndersenSolver {
  public:
-  AndersenSolver(const ir::Module& module, const PointsToOptions& options)
-      : module_(module), options_(options) {}
+  // `graph` must outlive Run() (not the result).
+  AndersenSolver(const ir::Module& module, const PointsToOptions& options,
+                 const ConstraintGraph& graph)
+      : module_(module), options_(options), graph_(graph) {}
 
   PointsToResult Run();
 
  private:
-  struct IndirectSite {
-    const ir::Instruction* call = nullptr;
-    const ir::Function* caller = nullptr;
-  };
-
-  bool InScope(const ir::Instruction& inst) const {
-    if (options_.scope == PointsToOptions::Scope::kWholeProgram) {
-      return true;
-    }
-    return options_.executed->find(inst.id()) != options_.executed->end();
-  }
+  using IndirectSite = ConstraintGraph::IndirectSite;
 
   uint32_t Var(ir::FuncId func, ir::Reg reg) const {
     return result_.func_reg_base_[func] + reg;
   }
   uint32_t RetVar(ir::FuncId func) const { return ret_var_base_ + func; }
   uint32_t ObjVar(uint32_t obj_index) const { return obj_var_base_ + obj_index; }
-
-  static uint64_t ObjectKey(const AbstractObject& obj) {
-    return (static_cast<uint64_t>(obj.kind) << 32) | obj.id;
-  }
-
-  uint32_t ObjectIndex(AbstractObject obj) const {
-    auto it = object_index_.find(ObjectKey(obj));
-    SNORLAX_CHECK_MSG(it != object_index_.end(), "unregistered abstract object");
-    return it->second;
-  }
 
   // --- union-find ------------------------------------------------------------
   uint32_t Find(uint32_t v) {
@@ -199,9 +213,8 @@ class AndersenSolver {
   void Unite(uint32_t a, uint32_t b);
 
   // --- constraint recording --------------------------------------------------
-  // Generation-time copy edge: recorded only. No propagation is needed
-  // because nothing has been drained yet -- every variable's full points-to
-  // set still sits in its delta, so the first Solve() drain flows it.
+  // Pre-solve copy edge (legacy indirect-call expansion): recorded only, the
+  // caller pulls the source set across explicitly.
   void AddCopyEdge(uint32_t from, uint32_t to) {
     copy_out_[from].push_back(to);
     ++result_.stats_.constraints;
@@ -223,10 +236,6 @@ class AndersenSolver {
     ++dynamic_edges_since_collapse_;
     AddSetToVar(to, pts_[from]);
   }
-  void AddBaseConstraint(uint32_t var, uint32_t obj_index) {
-    AddObjToVar(Find(var), obj_index);
-    ++result_.stats_.constraints;
-  }
 
   // --- propagation primitives (v must be a representative) -------------------
   void AddObjToVar(uint32_t v, uint32_t obj) {
@@ -247,9 +256,6 @@ class AndersenSolver {
     }
   }
 
-  void CollectObjects();
-  void GenerateConstraints();
-  void GenerateForInstruction(const ir::Function& func, const ir::Instruction& inst);
   void BindCallArguments(const ir::Function& caller, const ir::Instruction& call,
                          const ir::Function& callee, size_t first_arg_operand,
                          bool dynamic);
@@ -259,6 +265,7 @@ class AndersenSolver {
 
   const ir::Module& module_;
   const PointsToOptions& options_;
+  const ConstraintGraph& graph_;
   PointsToResult result_;
 
   uint32_t ret_var_base_ = 0;
@@ -274,32 +281,12 @@ class AndersenSolver {
   std::unordered_map<uint32_t, std::vector<uint32_t>> load_edges_;   // p -> result var
   std::unordered_map<uint32_t, std::vector<uint32_t>> store_edges_;  // p -> value var
   std::unordered_map<uint32_t, std::vector<IndirectSite>> indirect_sites_;
-  std::unordered_map<uint64_t, uint32_t> object_index_;
   std::unordered_set<uint64_t> dynamic_edge_seen_;
   std::deque<uint32_t> worklist_;
   std::vector<bool> in_worklist_;
   size_t dynamic_edges_since_collapse_ = 0;
   size_t recollapse_threshold_ = 0;
 };
-
-void AndersenSolver::CollectObjects() {
-  auto add = [this](AbstractObject obj) {
-    object_index_[ObjectKey(obj)] = static_cast<uint32_t>(result_.objects_.size());
-    result_.objects_.push_back(obj);
-  };
-  // Globals and functions are always objects; alloca sites only when in scope.
-  for (const ir::GlobalVar& g : module_.globals()) {
-    add({AbstractObject::Kind::kGlobal, g.id});
-  }
-  for (const auto& func : module_.functions()) {
-    add({AbstractObject::Kind::kFunction, func->id()});
-  }
-  for (const ir::Instruction* inst : module_.AllInstructions()) {
-    if (inst->opcode() == ir::Opcode::kAlloca && InScope(*inst)) {
-      add({AbstractObject::Kind::kAllocaSite, inst->id()});
-    }
-  }
-}
 
 void AndersenSolver::BindCallArguments(const ir::Function& caller, const ir::Instruction& call,
                                        const ir::Function& callee, size_t first_arg_operand,
@@ -319,85 +306,6 @@ void AndersenSolver::BindCallArguments(const ir::Function& caller, const ir::Ins
     const uint32_t from = RetVar(callee.id());
     const uint32_t to = Var(caller.id(), call.result());
     dynamic ? AddCopyEdgeDynamic(from, to) : AddCopyEdge(from, to);
-  }
-}
-
-void AndersenSolver::GenerateForInstruction(const ir::Function& func,
-                                            const ir::Instruction& inst) {
-  const ir::FuncId f = func.id();
-  switch (inst.opcode()) {
-    case ir::Opcode::kAlloca:
-      AddBaseConstraint(Var(f, inst.result()),
-                        ObjectIndex({AbstractObject::Kind::kAllocaSite, inst.id()}));
-      break;
-    case ir::Opcode::kAddrOfGlobal:
-      AddBaseConstraint(Var(f, inst.result()),
-                        ObjectIndex({AbstractObject::Kind::kGlobal, inst.global()}));
-      break;
-    case ir::Opcode::kFuncAddr:
-      AddBaseConstraint(Var(f, inst.result()),
-                        ObjectIndex({AbstractObject::Kind::kFunction, inst.callee()}));
-      break;
-    case ir::Opcode::kCopy:
-    case ir::Opcode::kCast:
-    case ir::Opcode::kGep:  // field-insensitive: the field pointer aliases its base
-      if (inst.operand(0).IsReg()) {
-        AddCopyEdge(Var(f, inst.operand(0).reg), Var(f, inst.result()));
-      }
-      break;
-    case ir::Opcode::kLoad:
-      if (inst.operand(0).IsReg()) {
-        load_edges_[Var(f, inst.operand(0).reg)].push_back(Var(f, inst.result()));
-        ++result_.stats_.constraints;
-        result_.accesses_.emplace_back(&inst, Var(f, inst.operand(0).reg));
-      }
-      break;
-    case ir::Opcode::kStore:
-      if (inst.operand(1).IsReg()) {
-        if (inst.operand(0).IsReg()) {
-          store_edges_[Var(f, inst.operand(1).reg)].push_back(Var(f, inst.operand(0).reg));
-          ++result_.stats_.constraints;
-        }
-        result_.accesses_.emplace_back(&inst, Var(f, inst.operand(1).reg));
-      }
-      break;
-    case ir::Opcode::kLockAcquire:
-    case ir::Opcode::kLockRelease:
-      if (inst.operand(0).IsReg()) {
-        result_.accesses_.emplace_back(&inst, Var(f, inst.operand(0).reg));
-      }
-      break;
-    case ir::Opcode::kCall:
-    case ir::Opcode::kThreadCreate:
-      BindCallArguments(func, inst, *module_.function(inst.callee()), 0, /*dynamic=*/false);
-      break;
-    case ir::Opcode::kCallIndirect:
-      if (inst.operand(0).IsReg()) {
-        indirect_sites_[Var(f, inst.operand(0).reg)].push_back(IndirectSite{&inst, &func});
-        ++result_.stats_.constraints;
-      }
-      break;
-    case ir::Opcode::kRet:
-      if (inst.num_operands() == 1 && inst.operand(0).IsReg()) {
-        AddCopyEdge(Var(f, inst.operand(0).reg), RetVar(f));
-      }
-      break;
-    default:
-      break;
-  }
-}
-
-void AndersenSolver::GenerateConstraints() {
-  for (const auto& func : module_.functions()) {
-    for (const auto& bb : func->blocks()) {
-      for (const auto& inst : bb->instructions()) {
-        if (!InScope(*inst)) {
-          continue;
-        }
-        ++result_.stats_.instructions_analyzed;
-        GenerateForInstruction(*func, *inst);
-      }
-    }
   }
 }
 
@@ -555,10 +463,13 @@ void AndersenSolver::SolveLegacy() {
     in_worklist_[v] = false;
     ++result_.stats_.solver_iterations;
 
-    // Expand complex constraints for objects newly seen at v.
-    for (uint32_t obj : pts_[v].Elements()) {
+    // Expand complex constraints for objects newly seen at v. Allocation-free
+    // ForEach: bits added to pts_[v] mid-iteration (a pull whose target is v)
+    // may be skipped by the word snapshot, but every such pull re-enqueues v,
+    // and the `processed` gate expands them on that later pop.
+    pts_[v].ForEach([&](uint32_t obj) {
       if (!processed[v].Set(obj)) {
-        continue;
+        return;
       }
       const uint32_t ov = ObjVar(obj);
       auto lit = load_edges_.find(v);
@@ -597,7 +508,7 @@ void AndersenSolver::SolveLegacy() {
           }
         }
       }
-    }
+    });
 
     // Propagate the full set along copy edges (no appends happen here).
     for (const uint32_t to : copy_out_[v]) {
@@ -674,25 +585,19 @@ void AndersenSolver::Solve() {
 
 PointsToResult AndersenSolver::Run() {
   const auto start = std::chrono::steady_clock::now();
-  SNORLAX_CHECK(options_.scope == PointsToOptions::Scope::kWholeProgram ||
-                options_.executed != nullptr);
   result_.module_ = &module_;
 
-  // Variable layout: register vars per function, then return vars, then
-  // object-content vars.
-  result_.func_reg_base_.resize(module_.functions().size());
-  uint32_t next = 0;
-  for (const auto& func : module_.functions()) {
-    result_.func_reg_base_[func->id()] = next;
-    next += func->num_regs();
-  }
-  ret_var_base_ = next;
-  next += static_cast<uint32_t>(module_.functions().size());
-
-  CollectObjects();
-  obj_var_base_ = next;
-  next += static_cast<uint32_t>(result_.objects_.size());
-  num_vars_ = next;
+  // Adopt the shared graph's layout, objects, and tallies.
+  result_.func_reg_base_ = graph_.func_reg_base;
+  ret_var_base_ = graph_.ret_var_base;
+  obj_var_base_ = graph_.obj_var_base;
+  num_vars_ = graph_.num_vars;
+  result_.objects_ = graph_.objects;
+  result_.accesses_ = graph_.accesses;
+  result_.stats_.instructions_analyzed = graph_.instructions_analyzed;
+  result_.stats_.constraints = graph_.constraints;
+  result_.stats_.variables = num_vars_;
+  result_.stats_.objects = result_.objects_.size();
 
   parent_.resize(num_vars_);
   for (uint32_t v = 0; v < num_vars_; ++v) {
@@ -703,10 +608,27 @@ PointsToResult AndersenSolver::Run() {
   copy_out_.resize(num_vars_);
   in_worklist_.assign(num_vars_, false);
   recollapse_threshold_ = std::max<size_t>(512, num_vars_ / 8);
-  result_.stats_.variables = num_vars_;
-  result_.stats_.objects = result_.objects_.size();
 
-  GenerateConstraints();
+  // Replay the graph into dense solver state. Copy edges are recorded only
+  // (nothing has been drained yet, so every variable's full set still sits in
+  // its delta and the first Solve() drain flows it); base constraints seed
+  // the deltas and worklist in the graph's program order.
+  for (const auto& [from, to] : graph_.copies) {
+    copy_out_[from].push_back(to);
+  }
+  for (const auto& [ptr, result_var] : graph_.loads) {
+    load_edges_[ptr].push_back(result_var);
+  }
+  for (const auto& [ptr, value_var] : graph_.stores) {
+    store_edges_[ptr].push_back(value_var);
+  }
+  for (const IndirectSite& site : graph_.indirect_sites) {
+    indirect_sites_[site.fp_var].push_back(site);
+  }
+  for (const auto& [var, obj] : graph_.bases) {
+    AddObjToVar(var, obj);
+  }
+
   Solve();
 
   result_.rep_.resize(num_vars_);
@@ -714,14 +636,24 @@ PointsToResult AndersenSolver::Run() {
     result_.rep_[v] = Find(v);
   }
   result_.var_pts_ = std::move(pts_);
+  result_.BuildAccessorIndex();
   const auto end = std::chrono::steady_clock::now();
   result_.stats_.solve_seconds = std::chrono::duration<double>(end - start).count();
   return std::move(result_);
 }
 
-PointsToResult RunPointsTo(const ir::Module& module, const PointsToOptions& options) {
-  AndersenSolver solver(module, options);
+PointsToResult RunExhaustiveOnGraph(const ir::Module& module, const PointsToOptions& options,
+                                    const ConstraintGraph& graph) {
+  AndersenSolver solver(module, options, graph);
   return solver.Run();
+}
+
+PointsToResult RunPointsTo(const ir::Module& module, const PointsToOptions& options) {
+  if (options.tier != PointsToOptions::Tier::kExhaustive) {
+    return RunDemandPointsTo(module, options);
+  }
+  const ConstraintGraph graph = BuildConstraintGraph(module, options);
+  return RunExhaustiveOnGraph(module, options, graph);
 }
 
 }  // namespace snorlax::analysis

@@ -50,6 +50,12 @@ class ObjectSet {
   bool Set(uint32_t i) {
     const size_t w = i / 64;
     if (w >= words_.size()) {
+      // Geometric capacity growth: a sparse ascending insert sequence would
+      // otherwise reallocate-and-copy once per word (quadratic overall).
+      if (w >= words_.capacity()) {
+        const size_t doubled = words_.capacity() * 2;
+        words_.reserve(doubled > w + 1 ? doubled : w + 1);
+      }
       words_.resize(w + 1, 0);
     }
     const uint64_t mask = 1ull << (i % 64);
@@ -102,6 +108,24 @@ struct PointsToOptions {
   // and a materialized element vector per worklist pop. Identical results;
   // micro_analysis uses it for the solver before/after table.
   bool legacy_solver = false;
+
+  // Solver tier. kExhaustive computes the full fixpoint over every variable
+  // in the scoped graph. kDemand answers only the demanded cone (every
+  // in-scope access's pointer variable plus `query_insts`) by backward
+  // CFL-reachability, producing a sparse result; see demand_pta.h. kAuto is
+  // kDemand with a graph-scaled node budget, so pathological sites fall back
+  // to the exhaustive tier automatically.
+  enum class Tier { kExhaustive, kDemand, kAuto };
+  Tier tier = Tier::kExhaustive;
+  // Demand tiers: worklist nodes visited before the partial run is abandoned
+  // and the exhaustive solver takes over. 0 = unlimited for kDemand, a
+  // graph-scaled default for kAuto.
+  size_t demand_node_budget = 0;
+  // Extra instructions whose pointer-operand variable the demand tier must
+  // answer (e.g. the failing deref chain's links). Every in-scope memory
+  // access is always queried; this only matters for instructions outside
+  // that set. Pointers must outlive the call (not the result).
+  std::vector<const ir::Instruction*> query_insts;
 };
 
 struct PointsToStats {
@@ -115,6 +139,15 @@ struct PointsToStats {
   // Delta-set propagations along copy edges (the hot-loop work unit).
   size_t delta_propagations = 0;
   double solve_seconds = 0.0;
+  // Demand tier (PointsToOptions::Tier). answered_by_demand is set when the
+  // demand solver produced the final (sparse) result; when it attempted and
+  // exceeded its budget, demand_budget_fallback is set instead and the
+  // exhaustive solver's output is returned (queries/nodes still record the
+  // abandoned attempt, solve_seconds includes it).
+  bool answered_by_demand = false;
+  size_t demand_queries = 0;
+  size_t demand_nodes_visited = 0;
+  bool demand_budget_fallback = false;
 };
 
 class PointsToResult {
@@ -133,8 +166,17 @@ class PointsToResult {
   size_t num_objects() const { return objects_.size(); }
   const PointsToStats& stats() const { return stats_; }
 
+  // True when the demand tier produced this result: points-to sets are
+  // stored sparsely and only the demanded variables are answered (any other
+  // variable reads as the empty set). Consumers that query arbitrary module
+  // variables -- e.g. the slicer's every-store alias probe -- must use an
+  // exhaustive result instead; the engine enforces this.
+  bool demand_tier() const { return sparse_; }
+
  private:
   friend class AndersenSolver;
+  friend class DemandSolver;
+  friend PointsToResult RunDemandPointsTo(const ir::Module&, const PointsToOptions&);
   // Binary serialization (engine/artifact_codec.cc): cluster hand-off and the
   // durable artifact log ship PointsToResult values between processes.
   friend struct PointsToSerDes;
@@ -149,15 +191,34 @@ class PointsToResult {
   std::vector<uint32_t> func_reg_base_;
   // Memory-access instructions in scope, with their pointer-operand variable.
   std::vector<std::pair<const ir::Instruction*, uint32_t>> accesses_;
+  // Demand-tier storage: sets keyed by variable for just the demanded
+  // variables (var_pts_/rep_ stay empty). See demand_tier().
+  bool sparse_ = false;
+  std::unordered_map<uint32_t, ObjectSet> sparse_pts_;
+  // Object index -> ascending indices into accesses_ whose pointer operand
+  // may reference that object. Built once post-solve (and post-decode);
+  // makes AccessorsOf proportional to its answer instead of a scan over
+  // every in-scope access.
+  std::vector<std::vector<uint32_t>> accessors_by_object_;
   ObjectSet empty_;
   PointsToStats stats_;
 
   uint32_t VarIndex(ir::FuncId func, ir::Reg reg) const;
-  const ObjectSet& VarSet(uint32_t var) const { return var_pts_[rep_[var]]; }
+  const ObjectSet& VarSet(uint32_t var) const;
+  void BuildAccessorIndex();
 };
 
 // Runs the analysis. `executed` must outlive the call (not the result).
+// Dispatches on options.tier; the demand tiers are implemented in
+// demand_pta.cc and fall back to the exhaustive solver on budget exhaustion.
 PointsToResult RunPointsTo(const ir::Module& module, const PointsToOptions& options);
+
+// Internal: exhaustive Andersen over a prebuilt constraint graph. Shared by
+// RunPointsTo and the demand tier's budget-fallback path (demand_pta.cc) so
+// both build from the identical scoped graph.
+struct ConstraintGraph;
+PointsToResult RunExhaustiveOnGraph(const ir::Module& module, const PointsToOptions& options,
+                                    const ConstraintGraph& graph);
 
 }  // namespace snorlax::analysis
 

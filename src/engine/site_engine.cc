@@ -44,6 +44,18 @@ uint64_t TraceContentKey(const trace::ProcessedTrace& failing) {
   return h;
 }
 
+// Order-sensitive digest of a ranked-candidate list: the A/B mode's equality
+// check between the demand and exhaustive solver tiers.
+uint64_t RankedDigest(const RankedCandidatesArtifact& a) {
+  uint64_t h = Mix64(a.ranked.size());
+  for (const analysis::RankedInstruction& ri : a.ranked) {
+    h = HashCombine(h, (static_cast<uint64_t>(ri.inst->id()) << 8) ^
+                           static_cast<uint64_t>(ri.rank));
+  }
+  h = HashCombine(h, a.candidate_instructions);
+  return HashCombine(h, a.rank1_candidates);
+}
+
 }  // namespace
 
 SiteEngine::SiteEngine(const ir::Module* module, EngineOptions options)
@@ -74,9 +86,13 @@ uint64_t SiteEngine::DerefChainsKey(const rt::FailureInfo& failure) const {
 
 uint64_t SiteEngine::PointsToKey(uint64_t chain_key, uint64_t executed_key) const {
   // The seed reads the failure chain and the deadlock cycle, both covered by
-  // chain_key; the solver reads the executed set and the scope knob.
+  // chain_key; the solver reads the executed set, the scope knob, and the
+  // tier (a sparse demand artifact and a dense exhaustive one answer
+  // different variable universes, so they must never share a key).
   uint64_t h = HashCombine(chain_key, executed_key);
-  return HashCombine(h, options_.use_scope_restriction ? 1 : 0);
+  h = HashCombine(h, options_.use_scope_restriction ? 1 : 0);
+  h = HashCombine(h, static_cast<uint64_t>(options_.pta_tier));
+  return HashCombine(h, options_.pta_node_budget);
 }
 
 uint64_t SiteEngine::TypeRankKey(uint64_t points_to_key) const {
@@ -133,6 +149,13 @@ DerefChainsArtifact SiteEngine::RunDerefChains(const rt::FailureInfo& failure) {
 
 PointsToArtifact SiteEngine::RunPointsTo(const trace::ProcessedTrace& failing,
                                          const DerefChainsArtifact& chains) {
+  return RunPointsToTier(failing, chains, options_.pta_tier, options_.pta_node_budget);
+}
+
+PointsToArtifact SiteEngine::RunPointsToTier(const trace::ProcessedTrace& failing,
+                                             const DerefChainsArtifact& chains,
+                                             analysis::PointsToOptions::Tier tier,
+                                             size_t node_budget) {
   // Step 4: hybrid points-to analysis, scoped to the executed set.
   analysis::PointsToOptions pto;
   if (options_.use_scope_restriction) {
@@ -140,6 +163,21 @@ PointsToArtifact SiteEngine::RunPointsTo(const trace::ProcessedTrace& failing,
     pto.executed = &failing.executed();
   } else {
     pto.scope = analysis::PointsToOptions::Scope::kWholeProgram;
+  }
+  pto.tier = tier;
+  pto.demand_node_budget = node_budget;
+  if (tier != analysis::PointsToOptions::Tier::kExhaustive) {
+    // The demand tier must answer exactly the variables the seed below reads:
+    // each deref-chain link and each blocked acquisition in a deadlock cycle
+    // (in-scope accesses are always queried; this covers any link outside).
+    for (const ir::Instruction* access : chains.chain) {
+      pto.query_insts.push_back(access);
+    }
+    for (const rt::FailureInfo::DeadlockWaiter& w : failing.failure().deadlock_cycle) {
+      if (w.inst != ir::kInvalidInstId) {
+        pto.query_insts.push_back(module_->instruction(w.inst));
+      }
+    }
   }
   PointsToArtifact out;
   out.result =
@@ -208,20 +246,29 @@ PatternSetArtifact SiteEngine::RunPatterns(const trace::ProcessedTrace& failing,
       failure.failing_inst != ir::kInvalidInstId &&
       failure.kind != rt::FailureKind::kDeadlock) {
     out.used_slice_fallback = true;
+    // The backward slice probes the points-to set of *every* module store; a
+    // demand-tier result only answers the demanded cone, so this (rare) path
+    // first recomputes the exhaustive result over the same scope.
+    std::shared_ptr<const analysis::PointsToResult> full = points_to.result;
+    if (full->demand_tier()) {
+      full = RunPointsToTier(failing, chains, analysis::PointsToOptions::Tier::kExhaustive,
+                             /*node_budget=*/0)
+                 .result;
+    }
     const std::unordered_set<ir::InstId> slice =
-        analysis::BackwardSlice(*module_, *points_to.result, failure.failing_inst);
+        analysis::BackwardSlice(*module_, *full, failure.failing_inst);
     analysis::ObjectSet widened = points_to.seed;
     std::vector<const ir::Instruction*> slice_candidates;
     for (ir::InstId id : slice) {
       const ir::Instruction* inst = module_->instruction(id);
       if (inst->IsMemoryAccess() && failing.WasExecuted(id)) {
         slice_candidates.push_back(inst);
-        widened.UnionWith(points_to.result->PointerOperandPointsTo(*inst));
+        widened.UnionWith(full->PointerOperandPointsTo(*inst));
       }
     }
     // Also admit every executed access aliasing the widened set (the racing
     // write shares cells with the sliced loads, not with the failing operand).
-    for (const ir::Instruction* inst : points_to.result->AccessorsOf(widened)) {
+    for (const ir::Instruction* inst : full->AccessorsOf(widened)) {
       if (failing.WasExecuted(inst->id())) {
         slice_candidates.push_back(inst);
       }
@@ -371,6 +418,15 @@ Status SiteEngine::AddFailingTrace(std::unique_ptr<trace::ProcessedTrace> failin
     points_to_ = points_to.result;
     last_executed_key_ = executed_key;
     last_executed_size_ = t.executed().size();
+    if (points_to.result != nullptr) {
+      // Tier detail for --explain; the stats travel in the artifact, so cache
+      // hits report the tier that originally answered.
+      const analysis::PointsToStats& pstats = points_to.result->stats();
+      last_run_.back().reason += StrFormat(
+          " [tier=%s queries=%zu nodes=%zu%s]",
+          pstats.answered_by_demand ? "demand" : "exhaustive", pstats.demand_queries,
+          pstats.demand_nodes_visited, pstats.demand_budget_fallback ? " budget-fallback" : "");
+    }
 
     if (cancel.Expired()) {
       return deadline(PassId::kTypeRank);
@@ -399,6 +455,31 @@ Status SiteEngine::AddFailingTrace(std::unique_ptr<trace::ProcessedTrace> failin
     hypothesis_violated_ = hypothesis_violated_ || pattern_set.hypothesis_violated;
     MergePatterns(pattern_set);
     stage_counts_.patterns_generated = patterns_.size();
+
+    if (options_.pta_ab_check &&
+        options_.pta_tier != analysis::PointsToOptions::Tier::kExhaustive &&
+        !cancel.Expired()) {
+      // A/B validation: replay points-to -> type-rank -> patterns under the
+      // exhaustive tier (out-of-band: no store, no pass stats) and compare
+      // the effective ranked candidates by digest.
+      const auto ab_start = std::chrono::steady_clock::now();
+      PointsToArtifact ex_points_to =
+          RunPointsToTier(t, chains, analysis::PointsToOptions::Tier::kExhaustive,
+                          /*node_budget=*/0);
+      RankedCandidatesArtifact ex_ranked = RunTypeRank(t, chains, ex_points_to);
+      PatternSetArtifact ex_patterns = RunPatterns(t, chains, ex_points_to, ex_ranked);
+      ++pta_ab_checks_;
+      const uint64_t got = RankedDigest(pattern_set.effective_ranked);
+      const uint64_t want = RankedDigest(ex_patterns.effective_ranked);
+      if (got != want) {
+        ++pta_ab_mismatches_;
+      }
+      last_run_.push_back(PassTrace{PassId::kTypeRank, true, false, SecondsSince(ab_start),
+                                    want,
+                                    got == want
+                                        ? "A/B vs exhaustive tier: ranked digests match"
+                                        : "A/B vs exhaustive tier: RANKED DIGEST MISMATCH"});
+    }
   } catch (...) {
     // Crash barrier contract: an analysis exception rejects the bundle, so
     // the trace must not linger as evidence either.

@@ -1,0 +1,293 @@
+// Differential fuzz for the demand-driven points-to tier (demand_pta.h): on
+// randomized generated modules under randomized executed-set scopes, the
+// demand solver's answer for every queried variable must equal the
+// exhaustive Andersen fixpoint restricted to that variable -- the least-
+// fixpoint-on-the-demanded-closure property the tier's correctness rests on.
+// Also covers the budget-fallback path (forced with a 1-node budget), the
+// auto tier, the sparse artifact codec round-trip, and ObjectSet growth.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/points_to.h"
+#include "engine/artifact.h"
+#include "engine/artifact_codec.h"
+#include "ir/builder.h"
+#include "workloads/generator.h"
+
+namespace snorlax::analysis {
+namespace {
+
+using ir::IrBuilder;
+using ir::Operand;
+using workloads::GeneratedBug;
+using workloads::GeneratorOptions;
+
+// Deterministic LCG for executed-set sampling (test-local; no global RNG).
+struct Lcg {
+  uint64_t state;
+  uint32_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(state >> 33);
+  }
+};
+
+std::unordered_set<ir::InstId> RandomExecuted(const ir::Module& m, uint64_t seed,
+                                              uint32_t density_pct) {
+  std::unordered_set<ir::InstId> executed;
+  Lcg rng{seed * 0x9e3779b97f4a7c15ull + 1};
+  for (ir::InstId id = 0; id < m.NumInstructions(); ++id) {
+    if (rng.Next() % 100 < density_pct) {
+      executed.insert(id);
+    }
+  }
+  return executed;
+}
+
+// Every memory access in scope, via the exhaustive result's accessor list
+// (AccessorsOf over the full object universe returns all of them).
+ObjectSet AllObjects(const PointsToResult& r) {
+  ObjectSet all;
+  for (uint32_t i = 0; i < r.num_objects(); ++i) {
+    all.Set(i);
+  }
+  return all;
+}
+
+// Core differential check: for one module + scope, demand (unlimited budget)
+// must agree with exhaustive on every access's pointer points-to set and on
+// AccessorsOf for every single-object seed.
+void CheckDifferential(const ir::Module& m, const PointsToOptions& base) {
+  PointsToOptions ex_opts = base;
+  ex_opts.tier = PointsToOptions::Tier::kExhaustive;
+  const PointsToResult exhaustive = RunPointsTo(m, ex_opts);
+
+  PointsToOptions de_opts = base;
+  de_opts.tier = PointsToOptions::Tier::kDemand;
+  const PointsToResult demand = RunPointsTo(m, de_opts);
+
+  ASSERT_TRUE(demand.demand_tier());
+  ASSERT_TRUE(demand.stats().answered_by_demand);
+  ASSERT_FALSE(demand.stats().demand_budget_fallback);
+  // (constraint tallies are not compared: the exhaustive solver counts the
+  // dynamic load/store edges it materializes, the demand tier by design
+  // materializes fewer.)
+  ASSERT_EQ(demand.stats().instructions_analyzed, exhaustive.stats().instructions_analyzed);
+
+  const std::vector<const ir::Instruction*> accesses =
+      exhaustive.AccessorsOf(AllObjects(exhaustive));
+  for (const ir::Instruction* inst : accesses) {
+    EXPECT_EQ(demand.PointerOperandPointsTo(*inst).Elements(),
+              exhaustive.PointerOperandPointsTo(*inst).Elements())
+        << "access #" << inst->id();
+  }
+  // The inverted accessor index must agree object-by-object: candidate
+  // discovery (AccessorsOf) is what the engine actually consumes.
+  for (uint32_t obj = 0; obj < exhaustive.num_objects(); ++obj) {
+    ObjectSet one;
+    one.Set(obj);
+    EXPECT_EQ(demand.AccessorsOf(one), exhaustive.AccessorsOf(one)) << "object " << obj;
+  }
+}
+
+TEST(DemandPtaFuzz, MatchesExhaustiveOnGeneratedModulesUnderRandomScopes) {
+  // 4 bug classes x 9 seeds x 3 executed-set densities = 108 cases.
+  const GeneratedBug kBugs[] = {GeneratedBug::kInvalidationRace, GeneratedBug::kCheckThenUse,
+                                GeneratedBug::kStoreThroughStale, GeneratedBug::kLockInversion};
+  const uint32_t kDensities[] = {25, 60, 95};
+  size_t cases = 0;
+  for (const GeneratedBug bug : kBugs) {
+    for (uint64_t seed = 1; seed <= 9; ++seed) {
+      GeneratorOptions gopts;
+      gopts.seed = seed;
+      gopts.bug = bug;
+      gopts.benign_threads = static_cast<int>(seed % 3);
+      gopts.helper_depth = static_cast<int>(seed % 4);
+      const workloads::Workload w = workloads::GenerateWorkload(gopts);
+      for (const uint32_t density : kDensities) {
+        const std::unordered_set<ir::InstId> executed =
+            RandomExecuted(*w.module, seed * 100 + density, density);
+        PointsToOptions base;
+        base.scope = PointsToOptions::Scope::kExecutedOnly;
+        base.executed = &executed;
+        CheckDifferential(*w.module, base);
+        ++cases;
+      }
+    }
+  }
+  EXPECT_GE(cases, 100u);
+}
+
+TEST(DemandPtaFuzz, MatchesExhaustiveWholeProgram) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    GeneratorOptions gopts;
+    gopts.seed = seed;
+    gopts.bug = seed % 2 == 0 ? GeneratedBug::kCheckThenUse : GeneratedBug::kInvalidationRace;
+    gopts.helper_depth = 3;
+    const workloads::Workload w = workloads::GenerateWorkload(gopts);
+    PointsToOptions base;
+    base.scope = PointsToOptions::Scope::kWholeProgram;
+    CheckDifferential(*w.module, base);
+  }
+}
+
+// Function pointers stored through memory and called indirectly: the CFL
+// store/load parentheses and the lazy call-binding path in one module.
+TEST(DemandPta, IndirectCallThroughMemoryMatchesExhaustive) {
+  ir::Module m;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* p64 = m.types().PointerTo(i64);
+  b.CreateGlobal("slot", p64);
+
+  const ir::FuncId callee_a = b.BeginFunction("callee_a", p64, {p64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Load(b.Param(0), i64);
+  b.Ret(b.Param(0));
+  b.EndFunction();
+
+  const ir::FuncId callee_b = b.BeginFunction("callee_b", p64, {p64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Load(b.Param(0), i64);
+  b.Ret(b.Param(0));
+  b.EndFunction();
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const ir::Reg cell = b.Alloca(i64);
+  const ir::Reg fp_cell = b.Alloca(p64);
+  b.Store(b.FuncAddr(callee_a), fp_cell, p64);
+  b.Store(b.FuncAddr(callee_b), fp_cell, p64);
+  const ir::Reg fp = b.Load(fp_cell, p64);
+  const ir::Reg ret = b.CallIndirect(fp, {cell}, p64);
+  b.Store(ret, b.AddrOfGlobal("slot"), p64);
+  b.RetVoid();
+  b.EndFunction();
+
+  PointsToOptions base;
+  base.scope = PointsToOptions::Scope::kWholeProgram;
+  CheckDifferential(m, base);
+
+  // Both callees' parameters must see main's alloca through the lazy
+  // (site, callee) binding the demand solver materializes.
+  PointsToOptions de;
+  de.scope = PointsToOptions::Scope::kWholeProgram;
+  de.tier = PointsToOptions::Tier::kDemand;
+  const PointsToResult r = RunPointsTo(m, de);
+  EXPECT_EQ(r.PointsTo(callee_a, 0).Count(), 1u);
+  EXPECT_EQ(r.PointsTo(callee_b, 0).Count(), 1u);
+}
+
+TEST(DemandPta, OneNodeBudgetForcesExhaustiveFallbackWithIdenticalAnswers) {
+  GeneratorOptions gopts;
+  gopts.seed = 11;
+  gopts.bug = GeneratedBug::kCheckThenUse;
+  gopts.helper_depth = 2;
+  const workloads::Workload w = workloads::GenerateWorkload(gopts);
+
+  PointsToOptions opts;
+  opts.scope = PointsToOptions::Scope::kWholeProgram;
+  opts.tier = PointsToOptions::Tier::kDemand;
+  opts.demand_node_budget = 1;
+  const PointsToResult fallen = RunPointsTo(*w.module, opts);
+  EXPECT_TRUE(fallen.stats().demand_budget_fallback);
+  EXPECT_FALSE(fallen.stats().answered_by_demand);
+  EXPECT_FALSE(fallen.demand_tier());  // the dense exhaustive result came back
+  EXPECT_GT(fallen.stats().demand_queries, 0u);
+
+  opts.tier = PointsToOptions::Tier::kExhaustive;
+  opts.demand_node_budget = 0;
+  const PointsToResult exhaustive = RunPointsTo(*w.module, opts);
+  const std::vector<const ir::Instruction*> accesses =
+      exhaustive.AccessorsOf(AllObjects(exhaustive));
+  ASSERT_FALSE(accesses.empty());
+  for (const ir::Instruction* inst : accesses) {
+    EXPECT_EQ(fallen.PointerOperandPointsTo(*inst).Elements(),
+              exhaustive.PointerOperandPointsTo(*inst).Elements());
+  }
+}
+
+TEST(DemandPta, AutoTierAnswersByDemandWithinDefaultBudget) {
+  GeneratorOptions gopts;
+  gopts.seed = 5;
+  const workloads::Workload w = workloads::GenerateWorkload(gopts);
+  PointsToOptions opts;
+  opts.scope = PointsToOptions::Scope::kWholeProgram;
+  opts.tier = PointsToOptions::Tier::kAuto;
+  const PointsToResult r = RunPointsTo(*w.module, opts);
+  EXPECT_TRUE(r.stats().answered_by_demand);
+  EXPECT_FALSE(r.stats().demand_budget_fallback);
+  EXPECT_GT(r.stats().demand_queries, 0u);
+  EXPECT_GT(r.stats().demand_nodes_visited, 0u);
+}
+
+TEST(DemandPta, SparseResultRoundTripsThroughArtifactCodec) {
+  GeneratorOptions gopts;
+  gopts.seed = 3;
+  gopts.bug = GeneratedBug::kStoreThroughStale;
+  const workloads::Workload w = workloads::GenerateWorkload(gopts);
+
+  PointsToOptions opts;
+  opts.scope = PointsToOptions::Scope::kWholeProgram;
+  opts.tier = PointsToOptions::Tier::kDemand;
+  auto result = std::make_shared<PointsToResult>(RunPointsTo(*w.module, opts));
+  ASSERT_TRUE(result->demand_tier());
+
+  engine::PointsToArtifact artifact;
+  artifact.result = result;
+  const std::vector<const ir::Instruction*> accesses = result->AccessorsOf(AllObjects(*result));
+  ASSERT_FALSE(accesses.empty());
+  artifact.seed = result->PointerOperandPointsTo(*accesses.front());
+
+  std::vector<uint8_t> bytes;
+  engine::EncodePointsTo(artifact, &bytes);
+  engine::PointsToArtifact decoded;
+  ASSERT_TRUE(engine::DecodePointsTo(bytes, w.module.get(), &decoded).ok());
+  ASSERT_NE(decoded.result, nullptr);
+
+  EXPECT_TRUE(decoded.result->demand_tier());
+  EXPECT_EQ(decoded.result->stats().answered_by_demand, true);
+  EXPECT_EQ(decoded.result->stats().demand_queries, result->stats().demand_queries);
+  EXPECT_EQ(decoded.result->stats().demand_nodes_visited,
+            result->stats().demand_nodes_visited);
+  EXPECT_EQ(decoded.result->num_objects(), result->num_objects());
+  EXPECT_EQ(decoded.seed.Elements(), artifact.seed.Elements());
+  for (const ir::Instruction* inst : accesses) {
+    EXPECT_EQ(decoded.result->PointerOperandPointsTo(*inst).Elements(),
+              result->PointerOperandPointsTo(*inst).Elements());
+  }
+  // AccessorsOf must survive the trip (the index is rebuilt post-decode).
+  for (uint32_t obj = 0; obj < result->num_objects(); ++obj) {
+    ObjectSet one;
+    one.Set(obj);
+    EXPECT_EQ(decoded.result->AccessorsOf(one), result->AccessorsOf(one));
+  }
+  // Encoding the decoded value again must give identical bytes (the
+  // determinism the artifact digest machinery assumes).
+  std::vector<uint8_t> bytes2;
+  engine::EncodePointsTo(decoded, &bytes2);
+  EXPECT_EQ(bytes, bytes2);
+}
+
+TEST(ObjectSetGrowth, SparseAscendingInsertsStayCorrect) {
+  // Satellite: Set() grows capacity geometrically; a sparse ascending insert
+  // sequence must stay correct across every internal reallocation.
+  ObjectSet s;
+  std::vector<uint32_t> expect;
+  for (uint32_t i = 0; i < 40; ++i) {
+    const uint32_t bit = i * 131 + (i % 7);
+    EXPECT_TRUE(s.Set(bit));
+    EXPECT_FALSE(s.Set(bit));
+    expect.push_back(bit);
+  }
+  EXPECT_EQ(s.Count(), expect.size());
+  EXPECT_EQ(s.Elements(), expect);
+  for (const uint32_t bit : expect) {
+    EXPECT_TRUE(s.Test(bit));
+  }
+  EXPECT_FALSE(s.Test(39 * 131 + 4 + 1));
+}
+
+}  // namespace
+}  // namespace snorlax::analysis

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/points_to.h"
 #include "bench/throughput_harness.h"
 #include "core/server_pool.h"
 #include "engine/artifact_codec.h"
@@ -100,6 +101,59 @@ TEST(EngineStreaming, SolverRunsStrictlyFewerTimesThanFailingSubmissions) {
     EXPECT_LT(pt.runs, kRounds) << site.workload.name;
     EXPECT_EQ(pt.runs, 1u) << site.workload.name;
     EXPECT_EQ(pt.cache_hits, kRounds - 1) << site.workload.name;
+  }
+}
+
+std::unique_ptr<core::ServerPool> MakeTierPool(analysis::PointsToOptions::Tier tier,
+                                               bool ab_check, size_t node_budget = 0) {
+  core::ServerPoolOptions options;
+  options.server.pta_tier = tier;
+  options.server.pta_ab_check = ab_check;
+  options.server.pta_node_budget = node_budget;
+  auto pool = std::make_unique<core::ServerPool>(options);
+  for (const bench::CapturedSite& site : Sites()) {
+    pool->RegisterModule(site.workload.module.get());
+  }
+  return pool;
+}
+
+TEST(EngineTiers, DemandTierDiagnosesDigestIdenticallyAndABChecksPass) {
+  ASSERT_FALSE(Sites().empty());
+  auto exhaustive = MakePool(/*use_cache=*/true);
+  auto demand = MakeTierPool(analysis::PointsToOptions::Tier::kAuto, /*ab_check=*/true);
+  const std::string ex_digest = Drive(exhaustive.get(), /*diagnose_each=*/false);
+  const std::string de_digest = Drive(demand.get(), /*diagnose_each=*/false);
+  ASSERT_FALSE(ex_digest.empty());
+  // The solver tier is a pure mechanism change: the diagnosis must not move.
+  EXPECT_EQ(de_digest, ex_digest);
+  uint64_t checks = 0;
+  uint64_t mismatches = 0;
+  for (const bench::CapturedSite& site : Sites()) {
+    const core::DiagnosisServer* shard = ShardFor(*demand, site);
+    ASSERT_NE(shard, nullptr) << site.workload.name;
+    checks += shard->pta_ab_checks();
+    mismatches += shard->pta_ab_mismatches();
+  }
+  EXPECT_GT(checks, 0u);
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(EngineTiers, OneNodeBudgetFallsBackAndStillDiagnosesIdentically) {
+  ASSERT_FALSE(Sites().empty());
+  auto exhaustive = MakePool(/*use_cache=*/true);
+  auto strangled = MakeTierPool(analysis::PointsToOptions::Tier::kDemand,
+                                /*ab_check=*/true, /*node_budget=*/1);
+  const std::string ex_digest = Drive(exhaustive.get(), /*diagnose_each=*/false);
+  const std::string fb_digest = Drive(strangled.get(), /*diagnose_each=*/false);
+  EXPECT_EQ(fb_digest, ex_digest);
+  for (const bench::CapturedSite& site : Sites()) {
+    const core::DiagnosisServer* shard = ShardFor(*strangled, site);
+    ASSERT_NE(shard, nullptr);
+    // The budget fallback produced an exhaustive (dense) result.
+    ASSERT_NE(shard->points_to(), nullptr);
+    EXPECT_TRUE(shard->points_to()->stats().demand_budget_fallback);
+    EXPECT_FALSE(shard->points_to()->demand_tier());
+    EXPECT_EQ(shard->pta_ab_mismatches(), 0u);
   }
 }
 

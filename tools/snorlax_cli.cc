@@ -56,7 +56,10 @@ int Usage() {
       "  trace    execute under simulated Intel PT (arg = seed)\n"
       "  diagnose run the Lazy Diagnosis workflow (arg = failing traces, default 1;\n"
       "           --explain prints the per-pass pipeline log: ran vs cache hit,\n"
-      "           timings, artifact keys, dirty reasons)\n"
+      "           timings, artifact keys, dirty reasons;\n"
+      "           --pta-tier=exhaustive|demand|auto picks the step-4 solver,\n"
+      "           --pta-budget=N caps demand nodes visited before fallback,\n"
+      "           --pta-ab digest-checks demand results against exhaustive)\n"
       "  generate emit a randomized bug-injected program as text\n"
       "  fuzz-trace corrupt a captured failing trace (--faults=kind@rate[,...],\n"
       "           --seed=N) and diagnose from the wreckage; kinds: bitflip,\n"
@@ -66,7 +69,8 @@ int Usage() {
       "           workload mix (--clients=N, --threads=M, --rounds=R, --json,\n"
       "           --json=<path> to also write the JSON line to a file)\n"
       "  serve    run the TCP diagnosis daemon (--port=P, --pool-threads=N,\n"
-      "           --deadline-ms=D per-site analysis deadline, --workloads=a,b,c;\n"
+      "           --deadline-ms=D per-site analysis deadline, --workloads=a,b,c,\n"
+      "           --pta-tier=exhaustive|demand|auto, --pta-budget=N, --pta-ab;\n"
       "           cluster mode: --node-id=N --peers=id@port[,id@port...];\n"
       "           durability: --data-dir=DIR [--fsync]; default port 7433,\n"
       "           SIGTERM/Ctrl-C drains: hands sites to the remaining ring,\n"
@@ -204,7 +208,28 @@ void PrintExplain(const core::DiagnosisServer& server) {
               static_cast<unsigned long long>(store.misses), store.entries);
 }
 
-int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain) {
+// --pta-tier= values; returns false (leaving *out alone) on unknown names.
+bool ParsePtaTier(const std::string& value, analysis::PointsToOptions::Tier* out) {
+  if (value == "exhaustive") {
+    *out = analysis::PointsToOptions::Tier::kExhaustive;
+  } else if (value == "demand") {
+    *out = analysis::PointsToOptions::Tier::kDemand;
+  } else if (value == "auto") {
+    *out = analysis::PointsToOptions::Tier::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+struct PtaFlags {
+  analysis::PointsToOptions::Tier tier = analysis::PointsToOptions::Tier::kExhaustive;
+  size_t node_budget = 0;
+  bool ab_check = false;
+};
+
+int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain,
+                const PtaFlags& pta) {
   auto module = LoadModule(path);
   if (module == nullptr) {
     return 1;
@@ -212,6 +237,9 @@ int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain) {
   core::SnorlaxOptions opts;
   opts.client.interp.work_jitter = 0.04;
   opts.failing_traces = failing_traces;
+  opts.server.pta_tier = pta.tier;
+  opts.server.pta_node_budget = pta.node_budget;
+  opts.server.pta_ab_check = pta.ab_check;
   core::Snorlax snorlax(module.get(), opts);
   std::printf("running until %zu failure(s)...\n", failing_traces);
   const auto outcome = snorlax.DiagnoseFirstFailure(1);
@@ -241,6 +269,11 @@ int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain) {
   }
   if (explain) {
     PrintExplain(snorlax.server());
+  }
+  if (pta.ab_check) {
+    std::printf("pta A/B: %llu check(s), %llu mismatch(es)\n",
+                static_cast<unsigned long long>(snorlax.server().pta_ab_checks()),
+                static_cast<unsigned long long>(snorlax.server().pta_ab_mismatches()));
   }
   return 0;
 }
@@ -430,6 +463,16 @@ int CmdServe(int argc, char** argv) {
           static_cast<double>(std::strtoull(flag.c_str() + 14, nullptr, 10)) / 1000.0;
     } else if (flag.rfind("--workloads=", 0) == 0) {
       names = SplitCommas(flag.substr(12));
+    } else if (flag.rfind("--pta-tier=", 0) == 0) {
+      if (!ParsePtaTier(flag.substr(11), &dopts.pool.server.pta_tier)) {
+        std::printf("bad --pta-tier '%s' (want exhaustive|demand|auto)\n",
+                    flag.c_str() + 11);
+        return Usage();
+      }
+    } else if (flag.rfind("--pta-budget=", 0) == 0) {
+      dopts.pool.server.pta_node_budget = std::strtoull(flag.c_str() + 13, nullptr, 10);
+    } else if (flag == "--pta-ab") {
+      dopts.pool.server.pta_ab_check = true;
     } else if (flag.rfind("--node-id=", 0) == 0) {
       dopts.node_id = std::strtoull(flag.c_str() + 10, nullptr, 10);
     } else if (flag.rfind("--peers=", 0) == 0) {
@@ -689,10 +732,21 @@ int main(int argc, char** argv) {
   if (cmd == "diagnose") {
     size_t failing_traces = 1;
     bool explain = false;
+    PtaFlags pta;
     for (int i = 3; i < argc; ++i) {
       const std::string flag = argv[i];
       if (flag == "--explain") {
         explain = true;
+      } else if (flag.rfind("--pta-tier=", 0) == 0) {
+        if (!ParsePtaTier(flag.substr(11), &pta.tier)) {
+          std::printf("bad --pta-tier '%s' (want exhaustive|demand|auto)\n",
+                      flag.c_str() + 11);
+          return Usage();
+        }
+      } else if (flag.rfind("--pta-budget=", 0) == 0) {
+        pta.node_budget = std::strtoull(flag.c_str() + 13, nullptr, 10);
+      } else if (flag == "--pta-ab") {
+        pta.ab_check = true;
       } else if (!flag.empty() && flag[0] != '-') {
         const uint64_t n = std::strtoull(flag.c_str(), nullptr, 10);
         failing_traces = n == 0 ? 1 : static_cast<size_t>(n);
@@ -701,7 +755,7 @@ int main(int argc, char** argv) {
         return Usage();
       }
     }
-    return CmdDiagnose(path, failing_traces, explain);
+    return CmdDiagnose(path, failing_traces, explain, pta);
   }
   if (cmd == "generate" && argc >= 4) {
     const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
