@@ -27,6 +27,9 @@ for label in chaos net cluster concurrency perf-smoke fuzz; do
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -L "${label}"
 done
 
+echo "== accuracy sweep (64-scenario CI subset) =="
+"${BUILD_DIR}/bench/bench_accuracy_sweep" --scenarios=64 --json=BENCH_accuracy.json
+
 if [[ "${SNORLAX_CHECK_TSAN:-0}" == "1" ]]; then
   echo "== TSan: concurrency label =="
   cmake -B "${BUILD_DIR}-tsan" -S . -DSNORLAX_SANITIZE=thread \

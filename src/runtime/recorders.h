@@ -7,6 +7,7 @@
 #ifndef SNORLAX_RUNTIME_RECORDERS_H_
 #define SNORLAX_RUNTIME_RECORDERS_H_
 
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -79,6 +80,44 @@ class EventCounter : public ExecutionObserver {
   uint64_t instructions_ = 0;
   uint64_t branches_ = 0;
   uint64_t memory_accesses_ = 0;
+};
+
+// Counts retirements of marker instructions (e.g. the OLTP workloads' kNop
+// transaction-outcome markers). Workloads announce benign control-flow events
+// -- commits, wait-die aborts, restart-budget giveups -- through markers
+// precisely so they are NOT shared-memory traffic (a cross-thread counter
+// would itself race) and NOT failures: the interpreter's failure model never
+// sees them, and tests read the counts from here instead.
+class MarkerCounter : public ExecutionObserver {
+ public:
+  explicit MarkerCounter(std::unordered_set<ir::InstId> markers)
+      : markers_(std::move(markers)) {}
+
+  uint64_t OnInstructionRetired(ThreadId, const ir::Instruction* inst,
+                                uint64_t) override {
+    if (markers_.find(inst->id()) != markers_.end()) {
+      ++counts_[inst->id()];
+    }
+    return 0;
+  }
+
+  // Dynamic retirements of one marker instruction.
+  uint64_t CountOf(ir::InstId inst) const {
+    const auto it = counts_.find(inst);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  // Total retirements across a marker group (e.g. all commit markers).
+  uint64_t TotalOf(const std::vector<ir::InstId>& group) const {
+    uint64_t total = 0;
+    for (ir::InstId inst : group) {
+      total += CountOf(inst);
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_set<ir::InstId> markers_;
+  std::unordered_map<ir::InstId, uint64_t> counts_;
 };
 
 }  // namespace snorlax::rt

@@ -7,8 +7,10 @@ namespace snorlax::workloads {
 void EmitBranchyWork(ir::IrBuilder& b, int64_t iterations, int64_t per_iter_ns) {
   ir::Module& m = *b.module();
   const ir::Type* i64 = m.types().IntType(64);
-  static int counter = 0;
-  const std::string tag = StrFormat("bw%d", counter++);
+  // Label tags derive from the module's own block count, not a process-global
+  // counter: equal generator options must print byte-identical modules no
+  // matter what was generated earlier in the process.
+  const std::string tag = StrFormat("bw%zu", m.NumBlocks());
 
   const ir::Reg cnt = b.Alloca(i64);
   b.Store(ir::Operand::MakeImm(0), cnt, i64);
@@ -29,8 +31,7 @@ void EmitBranchyWork(ir::IrBuilder& b, int64_t iterations, int64_t per_iter_ns) 
 void EmitBranchyWorkDyn(ir::IrBuilder& b, ir::Reg iterations, int64_t per_iter_ns) {
   ir::Module& m = *b.module();
   const ir::Type* i64 = m.types().IntType(64);
-  static int counter = 0;
-  const std::string tag = StrFormat("bwd%d", counter++);
+  const std::string tag = StrFormat("bwd%zu", m.NumBlocks());
 
   const ir::Reg cnt = b.Alloca(i64);
   b.Store(ir::Operand::MakeImm(0), cnt, i64);
@@ -52,8 +53,7 @@ void EmitPhasedWork(ir::IrBuilder& b, int64_t phases, int64_t big_work_ns,
                     int64_t small_iters, int64_t small_work_ns) {
   ir::Module& m = *b.module();
   const ir::Type* i64 = m.types().IntType(64);
-  static int counter = 0;
-  const std::string tag = StrFormat("ph%d", counter++);
+  const std::string tag = StrFormat("ph%zu", m.NumBlocks());
 
   const ir::Reg cnt = b.Alloca(i64);
   b.Store(ir::Operand::MakeImm(0), cnt, i64);

@@ -6,6 +6,7 @@
 #include "support/rng.h"
 #include "support/str.h"
 #include "workloads/common.h"
+#include "workloads/oltp/oltp.h"
 
 namespace snorlax::workloads {
 
@@ -360,18 +361,76 @@ void GenerateLockInversion(Gen& g, const GeneratorOptions& options) {
 core::PatternKind ExpectedKind(GeneratedBug bug) {
   switch (bug) {
     case GeneratedBug::kInvalidationRace:
+    case GeneratedBug::kOltpRace:
       return core::PatternKind::kOrderViolationWR;
     case GeneratedBug::kCheckThenUse:
+    case GeneratedBug::kOltpAtomicity:
       return core::PatternKind::kAtomicityRWR;
     case GeneratedBug::kStoreThroughStale:
+    case GeneratedBug::kOltpOrder:
       return core::PatternKind::kOrderViolationWW;
     case GeneratedBug::kLockInversion:
+    case GeneratedBug::kOltpAbba:
       return core::PatternKind::kDeadlock;
   }
   return core::PatternKind::kOrderViolationWR;
 }
 
+bool IsOltpBug(GeneratedBug bug) {
+  switch (bug) {
+    case GeneratedBug::kOltpRace:
+    case GeneratedBug::kOltpAtomicity:
+    case GeneratedBug::kOltpOrder:
+    case GeneratedBug::kOltpAbba:
+      return true;
+    case GeneratedBug::kInvalidationRace:
+    case GeneratedBug::kCheckThenUse:
+    case GeneratedBug::kStoreThroughStale:
+    case GeneratedBug::kLockInversion:
+      return false;
+  }
+  return false;
+}
+
+const char* GeneratedBugName(GeneratedBug bug) {
+  switch (bug) {
+    case GeneratedBug::kInvalidationRace:
+      return "invalidation";
+    case GeneratedBug::kCheckThenUse:
+      return "check-use";
+    case GeneratedBug::kStoreThroughStale:
+      return "stale-store";
+    case GeneratedBug::kLockInversion:
+      return "deadlock";
+    case GeneratedBug::kOltpRace:
+      return "oltp-race";
+    case GeneratedBug::kOltpAtomicity:
+      return "oltp-atomicity";
+    case GeneratedBug::kOltpOrder:
+      return "oltp-order";
+    case GeneratedBug::kOltpAbba:
+      return "oltp-abba";
+  }
+  return "unknown";
+}
+
+std::optional<GeneratedBug> ParseGeneratedBug(const std::string& name) {
+  for (GeneratedBug bug :
+       {GeneratedBug::kInvalidationRace, GeneratedBug::kCheckThenUse,
+        GeneratedBug::kStoreThroughStale, GeneratedBug::kLockInversion,
+        GeneratedBug::kOltpRace, GeneratedBug::kOltpAtomicity,
+        GeneratedBug::kOltpOrder, GeneratedBug::kOltpAbba}) {
+    if (name == GeneratedBugName(bug)) {
+      return bug;
+    }
+  }
+  return std::nullopt;
+}
+
 Workload GenerateWorkload(const GeneratorOptions& options) {
+  if (IsOltpBug(options.bug)) {
+    return oltp::GenerateOltpScenario(options).workload;
+  }
   Workload w;
   w.name = StrFormat("generated_%llu", (unsigned long long)options.seed);
   w.system = "generated";
@@ -397,6 +456,12 @@ Workload GenerateWorkload(const GeneratorOptions& options) {
     case GeneratedBug::kLockInversion:
       w.description = "generated lock-order inversion";
       GenerateLockInversion(g, options);
+      break;
+    case GeneratedBug::kOltpRace:
+    case GeneratedBug::kOltpAtomicity:
+    case GeneratedBug::kOltpOrder:
+    case GeneratedBug::kOltpAbba:
+      SNORLAX_CHECK(false);  // dispatched to GenerateOltpScenario above
       break;
   }
   return w;

@@ -8,8 +8,17 @@
 // and timing parameters drawn from the calibrated bands that make the bug
 // intermittent and its inter-event gaps coarse. Property tests sweep seeds
 // and assert end-to-end diagnosis on every generated program.
+//
+// Two families share this entry point:
+//   - the standalone templates of generator.cc (box + payload + victim), and
+//   - the OLTP transactional suite of workloads/oltp/ (record store, wait-die
+//     lock manager, YCSB/TPC-C transaction mixes), whose classes plant the
+//     same defect shapes inside generated transaction bodies.
 #ifndef SNORLAX_WORKLOADS_GENERATOR_H_
 #define SNORLAX_WORKLOADS_GENERATOR_H_
+
+#include <optional>
+#include <string>
 
 #include "workloads/workload.h"
 
@@ -21,6 +30,32 @@ enum class GeneratedBug {
   kCheckThenUse,       // RWR atomicity: remote swap lands between check and use
   kStoreThroughStale,  // WW order violation: store through a re-read handle
   kLockInversion,      // deadlock: ABBA between two workers
+  // OLTP transactional classes (workloads/oltp/): the same defect shapes
+  // planted into generated wait-die transaction mixes.
+  kOltpRace,           // WR: unlocked payload invalidation under a reader loop
+  kOltpAtomicity,      // RWR: check-then-use across a null-swap window
+  kOltpOrder,          // WW: store through a stale payload handle
+  kOltpAbba,           // deadlock: partition-latch inversion between txn threads
+};
+
+// Transaction mixes for the OLTP classes.
+enum class TxnMix {
+  kYcsb,   // point read / RMW transactions over skewed keys
+  kTpcc,   // TPC-C-like multi-row new-order / payment transactions
+  kMixed,  // threads draw from both
+};
+
+// Contention and shape knobs for the OLTP classes (ignored by the standalone
+// templates).
+struct OltpOptions {
+  int threads = 4;              // transaction worker threads
+  int txns_per_thread = 4;      // baked schedule length per thread
+  int keyspace = 8;             // rows in the record store (>= 3)
+  double hot_key_skew = 0.5;    // probability an op targets the hot row
+  double long_txn_ratio = 0.25; // fraction of wide, slow transactions
+  TxnMix mix = TxnMix::kMixed;
+  double injection_rate = 1.0;  // probability the defect is actually planted
+  int max_restarts = 8;         // wait-die restart budget per transaction
 };
 
 struct GeneratorOptions {
@@ -30,12 +65,23 @@ struct GeneratorOptions {
   int benign_threads = 1;
   // Wrap the racy accesses in helper functions up to this depth.
   int helper_depth = 1;
+  OltpOptions oltp;
 };
 
 Workload GenerateWorkload(const GeneratorOptions& options);
 
-// The bug class a generated workload's kind corresponds to.
+// The bug class a generated workload's kind corresponds to. The switch is
+// exhaustive: adding a GeneratedBug value without extending this mapping (and
+// the sweep/table taxonomy built on it) fails to compile.
 core::PatternKind ExpectedKind(GeneratedBug bug);
+
+// True for the transactional classes routed to workloads/oltp/.
+bool IsOltpBug(GeneratedBug bug);
+
+// Stable CLI/report names ("invalidation", ..., "oltp-race", ...), and the
+// inverse used by snorlax_cli and the sweep harness.
+const char* GeneratedBugName(GeneratedBug bug);
+std::optional<GeneratedBug> ParseGeneratedBug(const std::string& name);
 
 }  // namespace snorlax::workloads
 

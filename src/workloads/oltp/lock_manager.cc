@@ -1,0 +1,212 @@
+#include "workloads/oltp/lock_manager.h"
+
+namespace snorlax::workloads::oltp {
+
+namespace {
+
+using ir::BinOpKind;
+using ir::CmpKind;
+using ir::IrBuilder;
+using ir::Operand;
+
+// RowLock field indices.
+constexpr int kFieldMode = 0;
+constexpr int kFieldOwnerTs = 1;
+constexpr int kFieldHolders = 2;
+
+// func lm_begin() -> i64
+// Latch-protected fetch-add on the global timestamp counter. Timestamps
+// start at 1 and strictly increase, so earlier-beginning transactions are
+// strictly older (smaller ts) -- the wait-die priority order.
+ir::FuncId EmitBegin(IrBuilder& b, const LockManager& lm) {
+  ir::Module& m = *b.module();
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::FuncId f = b.BeginFunction("lm_begin", i64, {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const ir::Reg latch = b.AddrOfGlobal(lm.latch);
+  b.LockAcquire(latch);
+  const ir::Reg counter = b.AddrOfGlobal(lm.ts_counter);
+  const ir::Reg v = b.Load(counter, i64);
+  const ir::Reg ts = b.Add(v, 1, i64);
+  b.Store(ts, counter, i64);
+  b.LockRelease(latch);
+  b.Ret(ts);
+  b.EndFunction();
+  return f;
+}
+
+// func lm_acquire(RowLock* row, i64 ts, i64 mode) -> i64 (kGranted/kDenied)
+//
+// One latch-protected attempt per loop iteration:
+//   free row            -> install (mode, ts, 1 holder), grant
+//   shared + want S     -> bump holders, owner_ts := min(owner_ts, ts), grant
+//   otherwise conflict  -> older than the oldest holder: backoff + retry
+//                          (bounded); younger: die immediately
+// The latch is released before any Work/branch-out, so it is never held
+// across blocking time and latch sections never nest.
+ir::FuncId EmitAcquire(IrBuilder& b, const LockManager& lm,
+                       const LockManagerOptions& options) {
+  ir::Module& m = *b.module();
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::FuncId f =
+      b.BeginFunction("lm_acquire", i64, {lm.rowlock_ptr, i64, i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const ir::Reg row = b.Param(0);
+  const ir::Reg ts = b.Param(1);
+  const ir::Reg mode = b.Param(2);
+  const ir::Reg tries = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), tries, i64);
+  const ir::Reg latch = b.AddrOfGlobal(lm.latch);
+  const ir::Reg mode_slot = b.Gep(row, lm.rowlock_ty, kFieldMode);
+  const ir::Reg ts_slot = b.Gep(row, lm.rowlock_ty, kFieldOwnerTs);
+  const ir::Reg holders_slot = b.Gep(row, lm.rowlock_ty, kFieldHolders);
+
+  const ir::BlockId try_b = b.CreateBlock("lm_try");
+  const ir::BlockId grant_new = b.CreateBlock("lm_grant_new");
+  const ir::BlockId held = b.CreateBlock("lm_held");
+  const ir::BlockId held_shared = b.CreateBlock("lm_held_shared");
+  const ir::BlockId grant_share = b.CreateBlock("lm_grant_share");
+  const ir::BlockId adopt_ts = b.CreateBlock("lm_adopt_ts");
+  const ir::BlockId share_done = b.CreateBlock("lm_share_done");
+  const ir::BlockId conflict = b.CreateBlock("lm_conflict");
+  const ir::BlockId wait_b = b.CreateBlock("lm_wait");
+  const ir::BlockId backoff = b.CreateBlock("lm_backoff");
+  const ir::BlockId die = b.CreateBlock("lm_die");
+  b.Br(try_b);
+
+  b.SetInsertPoint(try_b);
+  b.LockAcquire(latch);
+  const ir::Reg cur_mode = b.Load(mode_slot, i64);
+  const ir::Reg is_free =
+      b.Cmp(CmpKind::kEq, Operand::MakeReg(cur_mode), Operand::MakeImm(kLockFree));
+  b.CondBr(is_free, grant_new, held);
+
+  b.SetInsertPoint(grant_new);
+  b.Store(mode, mode_slot, i64);
+  b.Store(ts, ts_slot, i64);
+  b.Store(Operand::MakeImm(1), holders_slot, i64);
+  b.LockRelease(latch);
+  const ir::Reg granted = b.Const(i64, kGranted);
+  b.Ret(granted);
+
+  // Held: the only compatible case is S requested on an S-held row. (No And
+  // on i1 values -- the two conditions are checked with nested branches.)
+  b.SetInsertPoint(held);
+  const ir::Reg want_shared =
+      b.Cmp(CmpKind::kEq, Operand::MakeReg(mode), Operand::MakeImm(kLockShared));
+  b.CondBr(want_shared, held_shared, conflict);
+
+  b.SetInsertPoint(held_shared);
+  const ir::Reg is_shared = b.Cmp(CmpKind::kEq, Operand::MakeReg(cur_mode),
+                                  Operand::MakeImm(kLockShared));
+  b.CondBr(is_shared, grant_share, conflict);
+
+  b.SetInsertPoint(grant_share);
+  const ir::Reg h = b.Load(holders_slot, i64);
+  b.Store(b.Add(h, 1, i64), holders_slot, i64);
+  // owner_ts tracks the *oldest* holder so a conflicting requester compares
+  // against the strictest holder; adopt our ts when we are older.
+  const ir::Reg owner_ts = b.Load(ts_slot, i64);
+  const ir::Reg we_are_older =
+      b.Cmp(CmpKind::kLt, Operand::MakeReg(ts), Operand::MakeReg(owner_ts));
+  b.CondBr(we_are_older, adopt_ts, share_done);
+
+  b.SetInsertPoint(adopt_ts);
+  b.Store(ts, ts_slot, i64);
+  b.Br(share_done);
+
+  b.SetInsertPoint(share_done);
+  b.LockRelease(latch);
+  const ir::Reg granted2 = b.Const(i64, kGranted);
+  b.Ret(granted2);
+
+  // Conflict: wait-die decision against the oldest current holder.
+  b.SetInsertPoint(conflict);
+  const ir::Reg holder_ts = b.Load(ts_slot, i64);
+  b.LockRelease(latch);
+  const ir::Reg older =
+      b.Cmp(CmpKind::kLt, Operand::MakeReg(ts), Operand::MakeReg(holder_ts));
+  b.CondBr(older, wait_b, die);
+
+  b.SetInsertPoint(wait_b);
+  const ir::Reg t = b.Load(tries, i64);
+  const ir::Reg t2 = b.Add(t, 1, i64);
+  b.Store(t2, tries, i64);
+  const ir::Reg exhausted = b.Cmp(CmpKind::kGe, Operand::MakeReg(t2),
+                                  Operand::MakeImm(options.max_wait_tries));
+  b.CondBr(exhausted, die, backoff);
+
+  b.SetInsertPoint(backoff);
+  b.Work(options.backoff_ns);
+  b.Br(try_b);
+
+  b.SetInsertPoint(die);
+  const ir::Reg denied = b.Const(i64, kDenied);
+  b.Ret(denied);
+  b.EndFunction();
+  return f;
+}
+
+// func lm_release(RowLock* row, i64 mode) -> void
+ir::FuncId EmitRelease(IrBuilder& b, const LockManager& lm) {
+  ir::Module& m = *b.module();
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::FuncId f =
+      b.BeginFunction("lm_release", m.types().VoidType(), {lm.rowlock_ptr, i64});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const ir::Reg row = b.Param(0);
+  const ir::Reg mode = b.Param(1);
+  const ir::Reg latch = b.AddrOfGlobal(lm.latch);
+  const ir::Reg mode_slot = b.Gep(row, lm.rowlock_ty, kFieldMode);
+  const ir::Reg holders_slot = b.Gep(row, lm.rowlock_ty, kFieldHolders);
+
+  const ir::BlockId rel_shared = b.CreateBlock("lm_rel_shared");
+  const ir::BlockId clear = b.CreateBlock("lm_rel_clear");
+  const ir::BlockId done = b.CreateBlock("lm_rel_done");
+
+  b.LockAcquire(latch);
+  const ir::Reg was_shared =
+      b.Cmp(CmpKind::kEq, Operand::MakeReg(mode), Operand::MakeImm(kLockShared));
+  b.CondBr(was_shared, rel_shared, clear);
+
+  b.SetInsertPoint(rel_shared);
+  const ir::Reg h = b.Load(holders_slot, i64);
+  const ir::Reg h2 =
+      b.BinOp(BinOpKind::kSub, Operand::MakeReg(h), Operand::MakeImm(1), i64);
+  b.Store(h2, holders_slot, i64);
+  const ir::Reg empty =
+      b.Cmp(CmpKind::kLe, Operand::MakeReg(h2), Operand::MakeImm(0));
+  b.CondBr(empty, clear, done);
+
+  // Exclusive release, or last shared holder: the row is free again. The
+  // stale owner_ts left behind is harmless -- a conflicting requester can
+  // only see it while some holder exists, and then it is kept current.
+  b.SetInsertPoint(clear);
+  b.Store(Operand::MakeImm(kLockFree), mode_slot, i64);
+  b.Store(Operand::MakeImm(0), holders_slot, i64);
+  b.Br(done);
+
+  b.SetInsertPoint(done);
+  b.LockRelease(latch);
+  b.RetVoid();
+  b.EndFunction();
+  return f;
+}
+
+}  // namespace
+
+LockManager EmitLockManager(ir::IrBuilder& b, const LockManagerOptions& options) {
+  ir::Module& m = *b.module();
+  const ir::Type* i64 = m.types().IntType(64);
+  LockManager lm;
+  lm.rowlock_ty = m.types().StructType("RowLock", {i64, i64, i64});
+  lm.rowlock_ptr = m.types().PointerTo(lm.rowlock_ty);
+  lm.latch = b.CreateLockGlobal("lm_latch");
+  lm.ts_counter = b.CreateGlobal("lm_ts_counter", i64);
+  lm.begin = EmitBegin(b, lm);
+  lm.acquire = EmitAcquire(b, lm, options);
+  lm.release = EmitRelease(b, lm);
+  return lm;
+}
+
+}  // namespace snorlax::workloads::oltp

@@ -1,0 +1,71 @@
+// Wait-die transactional lock manager, emitted as MiniIR.
+//
+// The OLTP workload family (oltp.h) needs row locks with shared/exclusive
+// modes and deadlock-free conflict resolution, and the whole point of this
+// suite is that every synchronization step is *visible to diagnosis*: the
+// manager is therefore not a C++ runtime service but a set of MiniIR
+// functions generated into the workload module, so every latch acquire, lock
+// table load, and timestamp compare flows through the interpreter, the PT
+// tracer, and the analysis passes like any other program code.
+//
+// Protocol (classic wait-die, as in the starpos/oltp-cc-bench wait_die lock):
+//   - every transaction draws a unique timestamp at begin; smaller = older,
+//   - a conflicting requester *waits* (bounded backoff-and-retry) when it is
+//     older than the oldest current holder, and *dies* (returns denied, the
+//     caller aborts and restarts with its original timestamp) when younger.
+// Older transactions never abort and every wait is on a strictly older
+// holder, so the wait-for relation cannot cycle: benign mixes are
+// deadlock-free by construction (oltp_test asserts this over seed sweeps).
+//
+// Lock-table state lives in per-row RowLock structs guarded by one global
+// latch (a real MiniIR lock). Latch critical sections are short and never
+// nest, so the manager itself adds no lock-order hazards; the only MiniIR
+// lock cycles an OLTP module can contain are deliberately injected ones
+// (the ABBA bug class).
+#ifndef SNORLAX_WORKLOADS_OLTP_LOCK_MANAGER_H_
+#define SNORLAX_WORKLOADS_OLTP_LOCK_MANAGER_H_
+
+#include "ir/builder.h"
+
+namespace snorlax::workloads::oltp {
+
+// RowLock.mode values (field 0 of the lock-state struct).
+inline constexpr int64_t kLockFree = 0;
+inline constexpr int64_t kLockShared = 1;
+inline constexpr int64_t kLockExclusive = 2;
+
+// Acquire() results.
+inline constexpr int64_t kDenied = 0;   // wait-die says die: abort + restart
+inline constexpr int64_t kGranted = 1;
+
+struct LockManagerOptions {
+  // Backoff burned between conflict retries of an older (waiting) requester.
+  int64_t backoff_ns = 30'000;
+  // Retry bound before a waiter gives up and reports kDenied anyway; a
+  // safety valve only -- wait-die waits terminate because the holder is
+  // always strictly older straight-line code that commits.
+  int64_t max_wait_tries = 96;
+};
+
+// Handles to the emitted manager: the types, globals, and functions the
+// transaction generator calls into.
+struct LockManager {
+  const ir::Type* rowlock_ty = nullptr;   // struct { mode, owner_ts, holders }
+  const ir::Type* rowlock_ptr = nullptr;  // RowLock*
+  ir::GlobalId latch = 0;                 // global lock guarding the table
+  ir::GlobalId ts_counter = 0;            // monotone transaction timestamps
+  // func begin() -> i64: draws this transaction's wait-die timestamp.
+  ir::FuncId begin = ir::kInvalidFuncId;
+  // func acquire(RowLock*, i64 ts, i64 mode) -> i64: kGranted or kDenied.
+  ir::FuncId acquire = ir::kInvalidFuncId;
+  // func release(RowLock*, i64 mode) -> void.
+  ir::FuncId release = ir::kInvalidFuncId;
+};
+
+// Emits the lock-manager globals and the begin/acquire/release functions into
+// the builder's module. Call once per module, outside any open function.
+LockManager EmitLockManager(ir::IrBuilder& b, const LockManagerOptions& options = {});
+
+}  // namespace snorlax::workloads::oltp
+
+#endif  // SNORLAX_WORKLOADS_OLTP_LOCK_MANAGER_H_

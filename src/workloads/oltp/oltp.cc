@@ -1,0 +1,575 @@
+#include "workloads/oltp/oltp.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/str.h"
+#include "workloads/common.h"
+#include "workloads/oltp/lock_manager.h"
+
+namespace snorlax::workloads::oltp {
+
+namespace {
+
+using ir::CmpKind;
+using ir::IrBuilder;
+using ir::Operand;
+
+// One row operation of a baked transaction schedule. Keys, modes, and work
+// sizes are chosen at generation time -- MiniIR has no arrays, so the record
+// store is a set of per-row struct globals and every schedule is static.
+struct Op {
+  int key = 0;
+  bool exclusive = false;  // RMW (X row lock) vs point read (S row lock)
+  int field = 1;           // counter field the op touches (1 or 2)
+  int64_t work_ns = 20'000;
+};
+
+struct Txn {
+  std::vector<Op> ops;  // deduplicated, sorted by key; locked in this order
+};
+
+struct OltpGen {
+  Rng rng;
+  const GeneratorOptions& opt;
+  OltpScenario* s;
+  IrBuilder b;
+  const ir::Type* i64;
+  const ir::Type* payload_ty;
+  const ir::Type* payload_ptr;
+  const ir::Type* row_ty;  // struct Row { Payload*, i64 c1, i64 c2 }
+  LockManager lm;
+  int keyspace;
+  int threads;
+  std::vector<ir::GlobalId> rows;
+  std::vector<ir::GlobalId> row_locks;
+  ir::GlobalId g_pay0;         // the hot row's initial payload
+  ir::GlobalId g_spare;        // republish source (atomicity class)
+  ir::GlobalId g_victim_stat;  // victim-private stats (never shared: no race)
+  ir::GlobalId g_maint;        // maintenance counter under both partition latches
+  ir::GlobalId part_a = 0, part_b = 0;  // partition latches (ABBA class)
+
+  // Ground-truth bookkeeping filled by the injected prologues.
+  ir::InstId racy_load = ir::kInvalidInstId;   // the fetch helper's load
+  ir::InstId root_store = ir::kInvalidInstId;  // the unlocked invalidation
+  ir::InstId victim_access = ir::kInvalidInstId;
+  std::vector<ir::InstId> abba_acquires;  // t0 first, t0 second, t1 first, t1 second
+
+  OltpGen(const GeneratorOptions& options, OltpScenario* scenario)
+      : rng(options.seed),
+        opt(options),
+        s(scenario),
+        b(scenario->workload.module.get()) {
+    ir::Module& m = *s->workload.module;
+    i64 = m.types().IntType(64);
+    const int payload_fields = static_cast<int>(2 + rng.NextBelow(3));
+    std::vector<const ir::Type*> pfields(static_cast<size_t>(payload_fields), i64);
+    payload_ty = m.types().StructType(
+        StrFormat("Payload%llu", (unsigned long long)opt.seed), pfields);
+    payload_ptr = m.types().PointerTo(payload_ty);
+    row_ty = m.types().StructType(
+        StrFormat("Row%llu", (unsigned long long)opt.seed), {payload_ptr, i64, i64});
+    lm = EmitLockManager(b);
+    keyspace = std::max(3, opt.oltp.keyspace);
+    threads = std::max(2, opt.oltp.threads);
+    for (int k = 0; k < keyspace; ++k) {
+      rows.push_back(b.CreateGlobal(StrFormat("g_row_%d", k), row_ty));
+      row_locks.push_back(b.CreateGlobal(StrFormat("g_rowlock_%d", k), lm.rowlock_ty));
+    }
+    g_pay0 = b.CreateGlobal("g_pay0", payload_ty);
+    g_spare = b.CreateGlobal("g_spare", payload_ty);
+    g_victim_stat = b.CreateGlobal("g_victim_stat", i64);
+    g_maint = b.CreateGlobal("g_maint", i64);
+    if (opt.bug == GeneratedBug::kOltpAbba) {
+      part_a = b.CreateLockGlobal("g_part_a");
+      part_b = b.CreateLockGlobal("g_part_b");
+    }
+  }
+
+  void Prework(int64_t min_us, int64_t max_us) {
+    const ir::Reg iters = b.Random(i64, min_us / 4, max_us / 4);
+    EmitBranchyWorkDyn(b, iters, 4'000);
+  }
+  void FixedWork(int64_t span_us) { EmitBranchyWork(b, span_us / 4, 4'000); }
+
+  // Bump of a victim-/maintenance-private global (both parties of the
+  // maintenance bump hold both partition latches, so none of these races).
+  void PrivateBump(ir::GlobalId global) {
+    const ir::Reg p = b.AddrOfGlobal(global);
+    const ir::Reg v = b.Load(p, i64);
+    b.Store(b.Add(v, 1, i64), p, i64);
+  }
+
+  // --- schedule construction ----------------------------------------------
+
+  int PickKey() {
+    if (rng.NextBool(opt.oltp.hot_key_skew)) {
+      return 0;  // the hot row
+    }
+    return 1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(keyspace - 1)));
+  }
+  int PickItemKey() {  // non-hot rows only ("item"/"customer" tables)
+    return 2 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(keyspace - 2)));
+  }
+  int64_t OpWork(bool long_txn) {
+    return long_txn ? 40'000 + static_cast<int64_t>(rng.NextBelow(80)) * 1'000
+                    : 10'000 + static_cast<int64_t>(rng.NextBelow(30)) * 1'000;
+  }
+  Op MakeOp(int key, bool exclusive, bool long_txn) {
+    return Op{key, exclusive, 1 + static_cast<int>(rng.NextBelow(2)), OpWork(long_txn)};
+  }
+
+  Txn MakeYcsbTxn(bool long_txn) {
+    const int nops = long_txn ? 5 + static_cast<int>(rng.NextBelow(3))
+                              : 2 + static_cast<int>(rng.NextBelow(3));
+    std::vector<Op> raw;
+    for (int i = 0; i < nops; ++i) {
+      raw.push_back(MakeOp(PickKey(), rng.NextBool(), long_txn));
+    }
+    return Canonicalize(raw);
+  }
+
+  // TPC-C-like shapes: rows 0/1 stand in for the hot warehouse/district rows,
+  // the rest for item/customer rows.
+  Txn MakeTpccTxn(bool long_txn) {
+    std::vector<Op> raw;
+    if (rng.NextBool()) {  // new-order
+      raw.push_back(MakeOp(0, false, long_txn));
+      raw.push_back(MakeOp(1, true, long_txn));
+      const int items = 2 + static_cast<int>(rng.NextBelow(2)) + (long_txn ? 2 : 0);
+      for (int i = 0; i < items; ++i) {
+        raw.push_back(MakeOp(PickItemKey(), true, long_txn));
+      }
+    } else {  // payment
+      raw.push_back(MakeOp(0, true, long_txn));
+      raw.push_back(MakeOp(1, true, long_txn));
+      raw.push_back(MakeOp(PickItemKey(), false, long_txn));
+    }
+    return Canonicalize(raw);
+  }
+
+  // Deduplicates by key (X wins over S -- a transaction re-requesting a row
+  // it holds would wait-die against itself) and sorts by key.
+  Txn Canonicalize(const std::vector<Op>& raw) {
+    std::map<int, Op> by_key;
+    for (const Op& op : raw) {
+      auto [it, inserted] = by_key.emplace(op.key, op);
+      if (!inserted && op.exclusive && !it->second.exclusive) {
+        it->second.exclusive = true;
+      }
+    }
+    Txn txn;
+    for (const auto& [key, op] : by_key) {
+      txn.ops.push_back(op);
+    }
+    return txn;
+  }
+
+  Txn MakeTxn() {
+    const bool long_txn = rng.NextBool(opt.oltp.long_txn_ratio);
+    TxnMix mix = opt.oltp.mix;
+    if (mix == TxnMix::kMixed) {
+      mix = rng.NextBool() ? TxnMix::kYcsb : TxnMix::kTpcc;
+    }
+    return mix == TxnMix::kYcsb ? MakeYcsbTxn(long_txn) : MakeTpccTxn(long_txn);
+  }
+
+  // --- IR emission ---------------------------------------------------------
+
+  // Wraps "load the hot row's payload pointer" in `depth` helper functions
+  // (candidates must be found interprocedurally); records the racy load.
+  ir::FuncId EmitFetchHelper(int depth) {
+    ir::FuncId inner = ir::kInvalidFuncId;
+    if (depth > 1) {
+      inner = EmitFetchHelper(depth - 1);
+    }
+    const ir::Type* row_ptr = b.module()->types().PointerTo(row_ty);
+    const ir::FuncId f =
+        b.BeginFunction(StrFormat("oltp_fetch_d%d", depth), payload_ptr, {row_ptr});
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    if (inner != ir::kInvalidFuncId) {
+      b.Ret(b.Call(inner, std::vector<ir::Reg>{b.Param(0)}, payload_ptr));
+    } else {
+      const ir::Reg slot = b.Gep(b.Param(0), row_ty, 0);
+      const ir::Reg loaded = b.Load(slot, payload_ptr);
+      racy_load = b.last_inst();
+      b.Ret(loaded);
+    }
+    b.EndFunction();
+    return f;
+  }
+
+  // One wait-die transaction: lock rows in key order (aborting and releasing
+  // the held prefix when lm_acquire says die), touch each row's counter under
+  // its lock, release in reverse, and restart dead transactions with their
+  // original timestamp up to the restart budget.
+  void EmitTxnBody(const Txn& txn, const std::string& tag) {
+    const int n = static_cast<int>(txn.ops.size());
+    const ir::Reg ts = b.Call(lm.begin, std::vector<ir::Reg>{}, i64);
+    const ir::Reg restarts = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), restarts, i64);
+    const ir::BlockId start = b.CreateBlock(tag + "_start");
+    std::vector<ir::BlockId> use_blocks, fail_blocks;
+    for (int i = 0; i < n; ++i) {
+      use_blocks.push_back(b.CreateBlock(StrFormat("%s_use%d", tag.c_str(), i)));
+      fail_blocks.push_back(b.CreateBlock(StrFormat("%s_fail%d", tag.c_str(), i)));
+    }
+    const ir::BlockId commit = b.CreateBlock(tag + "_commit");
+    const ir::BlockId abort_b = b.CreateBlock(tag + "_abort");
+    const ir::BlockId backoff = b.CreateBlock(tag + "_backoff");
+    const ir::BlockId giveup = b.CreateBlock(tag + "_giveup");
+    const ir::BlockId done = b.CreateBlock(tag + "_done");
+    b.Br(start);
+    b.SetInsertPoint(start);
+
+    std::vector<ir::Reg> lock_ptrs(static_cast<size_t>(n));
+    auto release_op = [&](int i) {
+      b.Call(lm.release,
+             std::vector<Operand>{
+                 Operand::MakeReg(lock_ptrs[static_cast<size_t>(i)]),
+                 Operand::MakeImm(txn.ops[static_cast<size_t>(i)].exclusive
+                                      ? kLockExclusive
+                                      : kLockShared)},
+             b.module()->types().VoidType());
+    };
+
+    // Growing phase: acquire op i, touch its row, burn its work (holding the
+    // locks taken so far -- that overlap is what exercises wait-die).
+    for (int i = 0; i < n; ++i) {
+      const Op& op = txn.ops[static_cast<size_t>(i)];
+      lock_ptrs[static_cast<size_t>(i)] = b.AddrOfGlobal(row_locks[static_cast<size_t>(op.key)]);
+      const ir::Reg ok =
+          b.Call(lm.acquire,
+                 std::vector<Operand>{
+                     Operand::MakeReg(lock_ptrs[static_cast<size_t>(i)]),
+                     Operand::MakeReg(ts),
+                     Operand::MakeImm(op.exclusive ? kLockExclusive : kLockShared)},
+                 i64);
+      const ir::Reg granted =
+          b.Cmp(CmpKind::kEq, Operand::MakeReg(ok), Operand::MakeImm(kGranted));
+      b.CondBr(granted, use_blocks[static_cast<size_t>(i)],
+               fail_blocks[static_cast<size_t>(i)]);
+      b.SetInsertPoint(use_blocks[static_cast<size_t>(i)]);
+      const ir::Reg row = b.AddrOfGlobal(rows[static_cast<size_t>(op.key)]);
+      if (op.exclusive) {
+        EmitFieldBump(b, row, row_ty, op.field);
+      } else {
+        const ir::Reg cslot = b.Gep(row, row_ty, op.field);
+        (void)b.Load(cslot, i64);
+      }
+      b.Work(op.work_ns);
+    }
+    b.Br(commit);
+
+    b.SetInsertPoint(commit);
+    for (int i = n - 1; i >= 0; --i) {
+      release_op(i);
+    }
+    b.Nop();
+    s->markers.commits.push_back(b.last_inst());
+    b.Br(done);
+
+    // Death at op i: release the held prefix, then abort-and-restart.
+    for (int i = 0; i < n; ++i) {
+      b.SetInsertPoint(fail_blocks[static_cast<size_t>(i)]);
+      for (int j = i - 1; j >= 0; --j) {
+        release_op(j);
+      }
+      b.Br(abort_b);
+    }
+
+    b.SetInsertPoint(abort_b);
+    b.Nop();
+    s->markers.aborts.push_back(b.last_inst());
+    const ir::Reg r = b.Load(restarts, i64);
+    const ir::Reg r2 = b.Add(r, 1, i64);
+    b.Store(r2, restarts, i64);
+    const ir::Reg retry = b.Cmp(CmpKind::kLt, Operand::MakeReg(r2),
+                                Operand::MakeImm(std::max(0, opt.oltp.max_restarts)));
+    b.CondBr(retry, backoff, giveup);
+
+    b.SetInsertPoint(backoff);
+    b.Work(80'000);
+    b.Br(start);
+
+    b.SetInsertPoint(giveup);
+    b.Nop();
+    s->markers.giveups.push_back(b.last_inst());
+    b.Br(done);
+
+    b.SetInsertPoint(done);
+  }
+
+  // --- injected defect prologues (threads 0 and 1) -------------------------
+  //
+  // Timing windows transplant the calibrated bands of generator.cc: those
+  // values are what make the bugs intermittent with coarse inter-event gaps.
+
+  // kOltpRace / kOltpOrder victim: loop fetch + access over the hot row's
+  // payload, unlocked ("lock-free read path" defect).
+  void EmitReaderLoopVictim(ir::FuncId fetch, int64_t iters, int64_t iter_us,
+                            bool store_through) {
+    const ir::Reg row = b.AddrOfGlobal(rows[0]);
+    const ir::Reg cnt = b.Alloca(i64);
+    const ir::Reg sink = b.Alloca(i64);
+    b.Store(Operand::MakeImm(0), cnt, i64);
+    const ir::BlockId loop = b.CreateBlock("scan");
+    const ir::BlockId done = b.CreateBlock("scanned");
+    b.Br(loop);
+    b.SetInsertPoint(loop);
+    FixedWork(iter_us);
+    PrivateBump(g_victim_stat);
+    const ir::Reg payload = b.Call(fetch, std::vector<ir::Reg>{row}, payload_ptr);
+    if (store_through) {
+      const ir::Reg field = b.Gep(payload, payload_ty, 0);
+      b.Store(Operand::MakeImm(1), field, i64);  // the failing write
+      victim_access = b.last_inst();
+    } else {
+      const ir::Reg field = b.Gep(payload, payload_ty, 0);
+      const ir::Reg v = b.Load(field, i64);  // crashes after the invalidation
+      victim_access = b.last_inst();
+      b.Store(v, sink, i64);
+    }
+    const ir::Reg c = b.Load(cnt, i64);
+    const ir::Reg c2 = b.Add(c, 1, i64);
+    b.Store(c2, cnt, i64);
+    const ir::Reg more = b.Cmp(CmpKind::kLt, Operand::MakeReg(c2), Operand::MakeImm(iters));
+    b.CondBr(more, loop, done);
+    b.SetInsertPoint(done);
+  }
+
+  // kOltpRace / kOltpOrder mutator: after input-sized prework sized to land
+  // inside the victim's scan, invalidate the payload pointer without taking
+  // the row lock.
+  void EmitInvalidatorMutator(int64_t victim_total_us) {
+    Prework(victim_total_us * 93 / 100, victim_total_us * 108 / 100);
+    const ir::Reg row = b.AddrOfGlobal(rows[0]);
+    const ir::Reg slot = b.Gep(row, row_ty, 0);
+    b.Store(Operand::MakeImm(0), slot, payload_ptr);
+    root_store = b.last_inst();
+  }
+
+  // kOltpAtomicity victim: single-shot check-then-use of the hot payload.
+  void EmitCheckThenUseVictim(ir::FuncId fetch, int64_t gap_us) {
+    const ir::Reg row = b.AddrOfGlobal(rows[0]);
+    Prework(900, 3600);
+    PrivateBump(g_victim_stat);
+    const ir::Reg p1 = b.Call(fetch, std::vector<ir::Reg>{row}, payload_ptr);
+    const ir::Reg ok = b.Cmp(CmpKind::kNe, Operand::MakeReg(p1), Operand::MakeImm(0));
+    const ir::BlockId use_b = b.CreateBlock("use");
+    const ir::BlockId skip = b.CreateBlock("skip");
+    b.CondBr(ok, use_b, skip);
+    b.SetInsertPoint(use_b);
+    FixedWork(gap_us);
+    const ir::Reg p2 = b.Call(fetch, std::vector<ir::Reg>{row}, payload_ptr);
+    const ir::Reg field = b.Gep(p2, payload_ty, 0);
+    const ir::Reg v = b.Load(field, i64);
+    const ir::Reg sink = b.Alloca(i64);
+    b.Store(v, sink, i64);
+    b.Br(skip);
+    b.SetInsertPoint(skip);
+    FixedWork(200);
+  }
+
+  // kOltpAtomicity mutator: null -> window -> republish (from a global, so
+  // the republished payload outlives the mutator unconditionally).
+  void EmitSwapMutator(int64_t window_us) {
+    const ir::Reg row = b.AddrOfGlobal(rows[0]);
+    const ir::Reg slot = b.Gep(row, row_ty, 0);
+    Prework(900, 3600);
+    b.Store(Operand::MakeImm(0), slot, payload_ptr);
+    root_store = b.last_inst();
+    FixedWork(window_us);
+    const ir::Reg spare = b.AddrOfGlobal(g_spare);
+    b.Store(spare, slot, payload_ptr);
+  }
+
+  // kOltpAbba party: take the two partition latches in the given order around
+  // a maintenance bump (properly locked -- the only defect is the order).
+  void EmitAbbaParty(ir::GlobalId first, ir::GlobalId second, int64_t cs_us,
+                     int64_t pre_lo, int64_t pre_hi) {
+    Prework(pre_lo, pre_hi);
+    const ir::Reg l1 = b.AddrOfGlobal(first);
+    b.LockAcquire(l1);
+    abba_acquires.push_back(b.last_inst());
+    FixedWork(cs_us);
+    const ir::Reg l2 = b.AddrOfGlobal(second);
+    b.LockAcquire(l2);
+    abba_acquires.push_back(b.last_inst());
+    PrivateBump(g_maint);
+    b.LockRelease(l2);
+    b.LockRelease(l1);
+  }
+};
+
+}  // namespace
+
+OltpScenario GenerateOltpScenario(const GeneratorOptions& options) {
+  SNORLAX_CHECK(IsOltpBug(options.bug));
+  OltpScenario s;
+  Workload& w = s.workload;
+  w.name = StrFormat("oltp_%s_%llu", GeneratedBugName(options.bug),
+                     (unsigned long long)options.seed);
+  w.system = "oltp";
+  w.bug_id = StrFormat("seed-%llu", (unsigned long long)options.seed);
+  w.description = StrFormat("oltp %s scenario", GeneratedBugName(options.bug));
+  w.module = std::make_unique<ir::Module>();
+  w.interp.work_jitter = 0.04;
+  w.recommended_failing_traces = 2;  // randomized windows: be conservative
+  w.bug_kind = ExpectedKind(options.bug);
+
+  OltpGen g(options, &s);
+  IrBuilder& b = g.b;
+  const double rate = options.oltp.injection_rate;
+  const bool injected = rate > 0.0 && (rate >= 1.0 || g.rng.NextBool(rate));
+  s.truth.injected = injected;
+  s.truth.kind = w.bug_kind;
+
+  // Defect timing parameters, transplanting the calibrated bands of the
+  // legacy templates (generator.cc).
+  ir::FuncId fetch = ir::kInvalidFuncId;
+  int64_t iters = 0, iter_us = 0, gap_us = 0, window_us = 0;
+  int64_t cs_us = 0, pre_lo = 0, pre_hi = 0;
+  if (injected) {
+    switch (options.bug) {
+      case GeneratedBug::kOltpRace:
+        fetch = g.EmitFetchHelper(std::max(1, options.helper_depth));
+        iters = static_cast<int64_t>(25 + g.rng.NextBelow(20));
+        iter_us = static_cast<int64_t>(360 + g.rng.NextBelow(200));
+        break;
+      case GeneratedBug::kOltpOrder:
+        fetch = g.EmitFetchHelper(std::max(1, options.helper_depth));
+        iters = static_cast<int64_t>(25 + g.rng.NextBelow(20));
+        iter_us = static_cast<int64_t>(340 + g.rng.NextBelow(200));
+        break;
+      case GeneratedBug::kOltpAtomicity:
+        fetch = g.EmitFetchHelper(std::max(1, options.helper_depth));
+        gap_us = static_cast<int64_t>(180 + g.rng.NextBelow(160));
+        window_us = gap_us + 260 + static_cast<int64_t>(g.rng.NextBelow(240));
+        break;
+      case GeneratedBug::kOltpAbba:
+        cs_us = static_cast<int64_t>(320 + g.rng.NextBelow(400));
+        pre_lo = static_cast<int64_t>(900 + g.rng.NextBelow(400));
+        pre_hi = pre_lo + 2600 + static_cast<int64_t>(g.rng.NextBelow(1800));
+        break;
+      default:
+        SNORLAX_CHECK(false);
+    }
+  }
+
+  // Baked transaction schedules for every worker.
+  std::vector<std::vector<Txn>> schedules(static_cast<size_t>(g.threads));
+  for (int t = 0; t < g.threads; ++t) {
+    for (int j = 0; j < std::max(1, options.oltp.txns_per_thread); ++j) {
+      schedules[static_cast<size_t>(t)].push_back(g.MakeTxn());
+    }
+  }
+
+  // Worker threads. Threads 0 and 1 carry the injected defect pair as a
+  // prologue before their transaction schedule.
+  std::vector<ir::FuncId> workers;
+  for (int t = 0; t < g.threads; ++t) {
+    const ir::FuncId f = b.BeginFunction(StrFormat("txn_worker_%d", t),
+                                         w.module->types().VoidType(), {g.i64});
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    if (injected && t == 0) {
+      switch (options.bug) {
+        case GeneratedBug::kOltpRace:
+          g.EmitReaderLoopVictim(fetch, iters, iter_us, /*store_through=*/false);
+          break;
+        case GeneratedBug::kOltpOrder:
+          g.EmitReaderLoopVictim(fetch, iters, iter_us, /*store_through=*/true);
+          break;
+        case GeneratedBug::kOltpAtomicity:
+          g.EmitCheckThenUseVictim(fetch, gap_us);
+          break;
+        case GeneratedBug::kOltpAbba:
+          g.EmitAbbaParty(g.part_a, g.part_b, cs_us, pre_lo, pre_hi);
+          break;
+        default:
+          break;
+      }
+    }
+    if (injected && t == 1) {
+      switch (options.bug) {
+        case GeneratedBug::kOltpRace:
+        case GeneratedBug::kOltpOrder:
+          g.EmitInvalidatorMutator(iters * iter_us);
+          break;
+        case GeneratedBug::kOltpAtomicity:
+          g.EmitSwapMutator(window_us);
+          break;
+        case GeneratedBug::kOltpAbba:
+          g.EmitAbbaParty(g.part_b, g.part_a, cs_us, pre_lo, pre_hi);
+          break;
+        default:
+          break;
+      }
+    }
+    for (size_t j = 0; j < schedules[static_cast<size_t>(t)].size(); ++j) {
+      g.EmitTxnBody(schedules[static_cast<size_t>(t)][j],
+                    StrFormat("t%d_x%zu", t, j));
+    }
+    b.RetVoid();
+    b.EndFunction();
+    workers.push_back(f);
+  }
+
+  // main: initialize the payloads, publish the hot row's payload, spawn the
+  // workers, join.
+  b.BeginFunction("main", w.module->types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const ir::Reg pay = b.AddrOfGlobal(g.g_pay0);
+  b.Store(Operand::MakeImm(static_cast<int64_t>(g.rng.NextBelow(100))),
+          b.Gep(pay, g.payload_ty, 0), g.i64);
+  const ir::Reg spare = b.AddrOfGlobal(g.g_spare);
+  b.Store(Operand::MakeImm(static_cast<int64_t>(g.rng.NextBelow(100))),
+          b.Gep(spare, g.payload_ty, 0), g.i64);
+  const ir::Reg row0 = b.AddrOfGlobal(g.rows[0]);
+  b.Store(pay, b.Gep(row0, g.row_ty, 0), g.payload_ptr);
+  std::vector<ir::Reg> handles;
+  for (size_t t = 0; t < workers.size(); ++t) {
+    handles.push_back(
+        b.ThreadCreate(workers[t], Operand::MakeImm(static_cast<int64_t>(t))));
+  }
+  for (ir::Reg h : handles) {
+    b.ThreadJoin(h);
+  }
+  b.RetVoid();
+  b.EndFunction();
+
+  // Assemble ground truth (root-cause order) and the hypothesis-study timing
+  // targets, mirroring the legacy templates.
+  if (injected) {
+    switch (options.bug) {
+      case GeneratedBug::kOltpRace:
+      case GeneratedBug::kOltpOrder:
+        w.truth_events = {g.root_store, g.victim_access};
+        w.timing_targets = {g.root_store, g.racy_load};
+        w.expected_failure = rt::FailureKind::kCrash;
+        break;
+      case GeneratedBug::kOltpAtomicity:
+        w.truth_events = {g.racy_load, g.root_store, g.racy_load};
+        w.timing_targets = {g.racy_load, g.root_store, g.racy_load};
+        w.expected_failure = rt::FailureKind::kCrash;
+        break;
+      case GeneratedBug::kOltpAbba:
+        w.truth_events = g.abba_acquires;
+        w.timing_targets = {g.abba_acquires[1], g.abba_acquires[3]};
+        w.expected_failure = rt::FailureKind::kDeadlock;
+        break;
+      default:
+        break;
+    }
+    s.truth.root_inst = w.truth_events.empty() ? ir::kInvalidInstId : w.truth_events[0];
+    s.truth.racy_insts = w.truth_events;
+  } else {
+    w.expected_failure = rt::FailureKind::kNone;
+  }
+  return s;
+}
+
+}  // namespace snorlax::workloads::oltp

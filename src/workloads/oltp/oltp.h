@@ -1,0 +1,71 @@
+// OLTP transactional workload family: generated MiniIR programs in the style
+// of the felis YCSB/TPC-C benches, built on the wait-die lock manager of
+// lock_manager.h.
+//
+// Each scenario is a keyed record store (per-row struct globals: a payload
+// pointer plus integer counters), a set of transaction worker threads running
+// a baked schedule of point-read / RMW / multi-row transactions under strict
+// two-phase locking, and -- at a controlled rate -- one injected defect pair
+// whose shape and timing calibration transplant the proven templates of
+// workloads/generator.cc into transactional surroundings:
+//
+//   kOltpRace       a maintenance path invalidates a row's payload pointer
+//                   without taking the row lock while a reader loops over it
+//                   (WR order violation, crash),
+//   kOltpAtomicity  a reader's check-then-use of the payload straddles a
+//                   remote null-swap-republish window (RWR atomicity, crash),
+//   kOltpOrder      the reader *writes* through the stale payload handle
+//                   (WW order violation, crash),
+//   kOltpAbba       two threads take the store's two partition latches in
+//                   opposite orders (deadlock).
+//
+// Ground truth is machine-readable: the root-cause instruction, the full racy
+// instruction set, and the expected pattern kind, so sweeps can score rank-k
+// accuracy over thousands of scenarios. Transaction aborts and restarts are
+// normal wait-die control flow, not failures; they are announced through
+// marker instructions (kNop) whose retirements tests count with
+// rt::MarkerCounter instead of shared-memory counters that would themselves
+// race.
+#ifndef SNORLAX_WORKLOADS_OLTP_OLTP_H_
+#define SNORLAX_WORKLOADS_OLTP_OLTP_H_
+
+#include "workloads/generator.h"
+
+namespace snorlax::workloads::oltp {
+
+// Machine-readable bug label for one generated scenario.
+struct GroundTruth {
+  // False when the injection-rate draw skipped the defect: the scenario is a
+  // benign transaction mix and must never fail.
+  bool injected = false;
+  core::PatternKind kind = core::PatternKind::kOrderViolationWR;
+  // The root-cause instruction: the first event of the pattern in root-cause
+  // order (the unlocked invalidation store; the first acquire of the cycle).
+  ir::InstId root_inst = ir::kInvalidInstId;
+  // Every instruction participating in the race, in root-cause order
+  // (mirrors Workload::truth_events).
+  std::vector<ir::InstId> racy_insts;
+};
+
+// Marker instructions (kNop) planted at transaction outcomes; count their
+// retirements with rt::MarkerCounter.
+struct TxnMarkers {
+  std::vector<ir::InstId> commits;
+  std::vector<ir::InstId> aborts;    // one wait-die death (restart follows)
+  std::vector<ir::InstId> giveups;   // restart budget exhausted, txn dropped
+};
+
+struct OltpScenario {
+  Workload workload;
+  GroundTruth truth;
+  TxnMarkers markers;
+};
+
+// Generates one scenario from `options` (options.bug must be an OLTP class;
+// shape knobs come from options.oltp). Deterministic: equal options produce
+// byte-identical modules.
+OltpScenario GenerateOltpScenario(const GeneratorOptions& options);
+
+}  // namespace snorlax::workloads::oltp
+
+#endif  // SNORLAX_WORKLOADS_OLTP_OLTP_H_

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "core/snorlax.h"
+#include "ir/text_format.h"
 #include "ir/verifier.h"
 #include "workloads/generator.h"
 
@@ -120,6 +121,37 @@ TEST_P(GeneratedSuite, DiagnosesInjectedRootCause) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, GeneratedSuite, ::testing::ValuesIn(Cases()), CaseName);
+
+// Equal options must produce byte-identical printed modules and identical
+// ground truth no matter what was generated earlier in the process: all
+// generator state lives in the per-call RNG, never in globals or statics.
+// (This regressed once: block-label tags came from process-global counters,
+// so a second generation printed different labels.) Generating another
+// workload in between is exactly what would re-advance such hidden state.
+TEST(GeneratorDeterminism, EqualOptionsPrintIdentically) {
+  const std::vector<GeneratedBug> bugs = {
+      GeneratedBug::kInvalidationRace, GeneratedBug::kCheckThenUse,
+      GeneratedBug::kStoreThroughStale, GeneratedBug::kLockInversion,
+      GeneratedBug::kOltpRace,          GeneratedBug::kOltpAtomicity,
+      GeneratedBug::kOltpOrder,         GeneratedBug::kOltpAbba,
+  };
+  for (GeneratedBug bug : bugs) {
+    GeneratorOptions options;
+    options.seed = 17;
+    options.bug = bug;
+    options.helper_depth = 2;
+    const Workload first = GenerateWorkload(options);
+    // Interleave an unrelated generation between the two equal ones.
+    GeneratorOptions other = options;
+    other.seed = 23;
+    (void)GenerateWorkload(other);
+    const Workload second = GenerateWorkload(options);
+    EXPECT_EQ(ir::WriteModuleText(*first.module), ir::WriteModuleText(*second.module))
+        << "hidden global state for " << GeneratedBugName(bug);
+    EXPECT_EQ(first.truth_events, second.truth_events) << GeneratedBugName(bug);
+    EXPECT_EQ(first.timing_targets, second.timing_targets) << GeneratedBugName(bug);
+  }
+}
 
 }  // namespace
 }  // namespace snorlax::workloads
