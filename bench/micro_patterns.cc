@@ -1,0 +1,274 @@
+// Step-5/6 engine comparison: the timestamp-indexed pattern engine vs the
+// pre-index nested-rescan baseline (engine/pattern_compute.h,
+// options.legacy_engine) on the full server pipeline, per workload.
+//
+// The legacy engine re-scans dynamic instance pairs per hypothesis, so its
+// cost grows with instances^2 on hot instructions; the indexed engine
+// answers the same hypotheses as existence queries over per-instruction
+// interval summaries and per-thread spans. The workload set therefore spans
+// both regimes: the catalogue (modest instance counts, the paper's Tables
+// 1-3 systems) plus generated OLTP scenarios at hot-key skew 0.8 whose hot
+// rows execute the racy accesses hundreds of times.
+//
+// Doubles as the perf-smoke gate (exit code 1 = failure): both engines must
+// produce byte-identical diagnosis reports on every workload, and the
+// indexed engine must win step-5/6 latency on the highest-instance-count
+// workload. Emits one JSON line (--json / --json=<path>) with per-workload
+// p50/p99 and speedups -- the BENCH_patterns.json shape. The built-in
+// profiler (support/profiler.h) is live for the indexed phase; the human
+// output ends with its hottest rows, demonstrating the per-phase breakdown.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/throughput_harness.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "support/profiler.h"
+#include "support/stats.h"
+#include "support/str.h"
+#include "trace/processed_trace.h"
+#include "workloads/generator.h"
+
+using namespace snorlax;
+
+namespace {
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+// Order-stable content digest of one server's diagnosis: pattern keys, F1,
+// confusion counts, trace counts -- no wall times. Equal digests mean the
+// two engines diagnosed bit-for-bit identically (the DigestReports model,
+// minus the multi-site framing).
+std::string DigestReport(const core::DiagnosisReport& report) {
+  std::string digest =
+      StrFormat("failing=%zu success=%zu hyp=%d\n", report.failing_traces,
+                report.success_traces, report.hypothesis_violated ? 1 : 0);
+  for (const core::DiagnosedPattern& p : report.patterns) {
+    digest += StrFormat("  %s f1=%.9f tp=%zu fp=%zu fn=%zu\n", p.pattern.Key().c_str(), p.f1,
+                        p.counts.true_positive, p.counts.false_positive,
+                        p.counts.false_negative);
+  }
+  return digest;
+}
+
+struct EngineRun {
+  std::vector<double> step56_ms;  // per-submission kTypeRank+kPatterns, ms
+  std::string digest;
+};
+
+// Resubmits one failing bundle `reps` times with the artifact store off, so
+// every submission re-runs the full pipeline, and reads the step-5/6 cost
+// off the pass table (kTypeRank + kPatterns deltas).
+EngineRun RunEngine(const workloads::Workload& w, const pt::PtTraceBundle& bundle,
+                    bool legacy, int reps) {
+  core::DiagnosisServer::Options sopts;
+  sopts.use_analysis_cache = false;
+  sopts.patterns.legacy_engine = legacy;
+  // The default max_patterns=96 saturates the builder after ~100 hypothesis
+  // tests on these workloads -- both engines early-exit before doing any real
+  // work and the bench would measure anchor setup, not the engines. 512 runs
+  // the full candidate sweep (identically for both, so digests still match).
+  sopts.patterns.max_patterns = 512;
+  core::DiagnosisServer server(w.module.get(), sopts);
+  server.SubmitFailingTrace(bundle);  // warm-up: builds the module indexes
+  EngineRun out;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double before = server.pass_stats(engine::PassId::kTypeRank).seconds +
+                          server.pass_stats(engine::PassId::kPatterns).seconds;
+    server.SubmitFailingTrace(bundle);
+    const double after = server.pass_stats(engine::PassId::kTypeRank).seconds +
+                         server.pass_stats(engine::PassId::kPatterns).seconds;
+    out.step56_ms.push_back((after - before) * 1000.0);
+  }
+  out.digest = DigestReport(server.Diagnose());
+  return out;
+}
+
+struct BenchCase {
+  std::string name;
+  workloads::Workload workload;
+};
+
+// The catalogue plus OLTP scenarios at hot-key skew 0.8: long per-thread
+// schedules over a tiny keyspace maximize dynamic instances per racy
+// instruction, the regime the index targets.
+std::vector<BenchCase> BuildCases() {
+  std::vector<BenchCase> cases;
+  for (const workloads::WorkloadInfo& info : workloads::AllWorkloads()) {
+    cases.push_back(BenchCase{info.name, workloads::Build(info.name)});
+  }
+  const workloads::GeneratedBug oltp_bugs[] = {workloads::GeneratedBug::kOltpRace,
+                                               workloads::GeneratedBug::kOltpAtomicity,
+                                               workloads::GeneratedBug::kOltpOrder};
+  for (const workloads::GeneratedBug bug : oltp_bugs) {
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+      workloads::GeneratorOptions gopts;
+      gopts.seed = seed;
+      gopts.bug = bug;
+      gopts.oltp.threads = 8;
+      gopts.oltp.txns_per_thread = 32;
+      gopts.oltp.keyspace = 4;
+      gopts.oltp.hot_key_skew = 0.8;
+      gopts.oltp.long_txn_ratio = 0.4;
+      gopts.oltp.max_restarts = 16;
+      cases.push_back(BenchCase{StrFormat("%s/s%llu@skew0.8", workloads::GeneratedBugName(bug),
+                                          (unsigned long long)seed),
+                                workloads::GenerateWorkload(gopts)});
+    }
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessFlags flags;
+  flags.config.rounds = 3;
+  if (const auto st = bench::ParseHarnessFlags(argc, argv, 1, &flags); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  const int reps = static_cast<int>(std::max<size_t>(flags.config.rounds * 3, 3));
+
+  struct Row {
+    std::string name;
+    size_t instances = 0;  // dynamic instances in the failing trace
+    double legacy_p50 = 0, legacy_p99 = 0, idx_p50 = 0, idx_p99 = 0;
+    double speedup = 0;
+    bool digest_match = false;
+  };
+  std::vector<Row> rows;
+  bool all_match = true;
+  support::Profiler& prof = support::Profiler::Global();
+
+  for (const BenchCase& c : BuildCases()) {
+    const workloads::Workload& w = c.workload;
+    core::ClientOptions copts;
+    copts.interp = w.interp;
+    core::DiagnosisClient client(w.module.get(), copts);
+    std::optional<pt::PtTraceBundle> bundle;
+    for (uint64_t seed = 1; seed <= 3000 && !bundle.has_value(); ++seed) {
+      core::ClientRun run = client.RunOnce(seed);
+      if (run.result.failure.IsFailure()) {
+        bundle = run.trace;
+      }
+    }
+    if (!bundle.has_value()) {
+      continue;
+    }
+    const trace::ProcessedTrace decoded(w.module.get(), *bundle, trace::TraceOptions{});
+
+    prof.Disable();
+    const EngineRun legacy = RunEngine(w, *bundle, /*legacy=*/true, reps);
+    // Profile only the indexed phase: the dump then reads as one engine's
+    // per-phase breakdown instead of a blend of both.
+    prof.Reset();
+    prof.Enable();
+    const EngineRun indexed = RunEngine(w, *bundle, /*legacy=*/false, reps);
+    prof.Disable();
+
+    Row row;
+    row.name = c.name;
+    row.instances = decoded.size();
+    row.legacy_p50 = Percentile(legacy.step56_ms, 0.5);
+    row.legacy_p99 = Percentile(legacy.step56_ms, 0.99);
+    row.idx_p50 = Percentile(indexed.step56_ms, 0.5);
+    row.idx_p99 = Percentile(indexed.step56_ms, 0.99);
+    row.speedup = row.idx_p50 > 0 ? row.legacy_p50 / row.idx_p50 : 0.0;
+    row.digest_match = legacy.digest == indexed.digest;
+    all_match = all_match && row.digest_match;
+    rows.push_back(row);
+  }
+
+  if (rows.empty()) {
+    std::fprintf(stderr, "no workload reproduced a failure\n");
+    return 2;
+  }
+
+  // The gate compares on the trace with the most dynamic instances: that is
+  // where the legacy instance^2 rescans dominate and the index win must be
+  // unambiguous.
+  const Row* largest = &rows[0];
+  for (const Row& r : rows) {
+    if (r.instances > largest->instances) {
+      largest = &r;
+    }
+  }
+
+  std::string json =
+      "{\"bench\":\"patterns\",\"reps\":" + StrFormat("%d", reps) + ",\"workloads\":[";
+  std::vector<double> speedups;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    speedups.push_back(r.speedup);
+    json += StrFormat(
+        "%s{\"workload\":\"%s\",\"instances\":%zu,"
+        "\"legacy_p50_ms\":%.3f,\"legacy_p99_ms\":%.3f,"
+        "\"indexed_p50_ms\":%.3f,\"indexed_p99_ms\":%.3f,\"speedup_p50\":%.2f,"
+        "\"digest_match\":%s}",
+        i == 0 ? "" : ",", r.name.c_str(), r.instances, r.legacy_p50, r.legacy_p99, r.idx_p50,
+        r.idx_p99, r.speedup, r.digest_match ? "true" : "false");
+  }
+  json += StrFormat(
+      "],\"largest\":\"%s\",\"largest_instances\":%zu,\"largest_speedup_p50\":%.2f,"
+      "\"geomean_speedup_p50\":%.2f,\"digests_match\":%s}",
+      largest->name.c_str(), largest->instances, largest->speedup, GeoMean(speedups),
+      all_match ? "true" : "false");
+
+  const auto print_human = [&] {
+    bench::PrintHeader(
+        "Step-5/6 pattern engines: timestamp-indexed existence queries vs\n"
+        "the pre-index nested rescan, full pipeline per failing bundle");
+    const std::vector<int> widths = {22, 10, 13, 13, 13, 13, 9, 7};
+    bench::PrintRow({"workload", "instances", "leg p50[ms]", "leg p99[ms]", "idx p50[ms]",
+                     "idx p99[ms]", "speedup", "match"},
+                    widths);
+    for (const Row& r : rows) {
+      bench::PrintRow({r.name, StrFormat("%zu", r.instances), FormatDouble(r.legacy_p50, 3),
+                       FormatDouble(r.legacy_p99, 3), FormatDouble(r.idx_p50, 3),
+                       FormatDouble(r.idx_p99, 3), FormatDouble(r.speedup, 1) + "x",
+                       r.digest_match ? "yes" : "NO"},
+                      widths);
+    }
+    std::printf("\ngeomean speedup %.1fx; most instances (%s, %zu) %.1fx\n", GeoMean(speedups),
+                largest->name.c_str(), largest->instances, largest->speedup);
+    std::printf("\nindexed-engine profile (hottest rows):\n");
+    int shown = 0;
+    for (const support::Profiler::Row& r : prof.Snapshot()) {
+      if (r.calls == 0 || shown++ == 8) {
+        continue;
+      }
+      std::printf("  %-28s calls=%-8llu total=%.3fms max=%.1fus\n", r.label.c_str(),
+                  (unsigned long long)r.calls, static_cast<double>(r.total_ns) / 1e6,
+                  static_cast<double>(r.max_ns) / 1e3);
+    }
+  };
+  if (const auto st = bench::EmitBenchJson(flags, json, print_human); !st.ok()) {
+    return 2;
+  }
+
+  if (!all_match) {
+    std::fprintf(stderr, "FAIL: engines produced different diagnosis reports\n");
+    return 1;
+  }
+  // Acceptance target is >= 3x step-5/6 on the highest-instance-count
+  // workload (typically far higher there); the gate asserts exactly that.
+  if (largest->speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: indexed engine below 3x on most-instances workload (%.2fx)\n",
+                 largest->speedup);
+    return 1;
+  }
+  return 0;
+}

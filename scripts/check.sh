@@ -30,6 +30,9 @@ done
 echo "== accuracy sweep (64-scenario CI subset) =="
 "${BUILD_DIR}/bench/bench_accuracy_sweep" --scenarios=64 --json=BENCH_accuracy.json
 
+echo "== pattern engine bench (indexed vs legacy, digest + speedup gate) =="
+"${BUILD_DIR}/bench/micro_patterns" --rounds=1 --json=BENCH_patterns.json
+
 if [[ "${SNORLAX_CHECK_TSAN:-0}" == "1" ]]; then
   echo "== TSan: concurrency label =="
   cmake -B "${BUILD_DIR}-tsan" -S . -DSNORLAX_SANITIZE=thread \

@@ -121,6 +121,16 @@ const ObjectSet& PointsToResult::PointerOperandPointsTo(const ir::Instruction& i
   return PointsTo(inst.parent()->parent()->id(), op.reg);
 }
 
+bool PointsToResult::MayAliasAccess(const ir::Instruction& a,
+                                    const ir::Instruction& b) const {
+  const ObjectSet& pa = PointerOperandPointsTo(a);
+  const ObjectSet& pb = PointerOperandPointsTo(b);
+  if (pa.Empty() || pb.Empty()) {
+    return true;
+  }
+  return pa.Intersects(pb);
+}
+
 const ObjectSet& PointsToResult::VarSet(uint32_t var) const {
   if (sparse_) {
     const auto it = sparse_pts_.find(var);

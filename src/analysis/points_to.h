@@ -162,6 +162,14 @@ class PointsToResult {
   // in `objs` -- the candidate target events handed to type-based ranking.
   std::vector<const ir::Instruction*> AccessorsOf(const ObjectSet& objs) const;
 
+  // Conservative may-alias for the pointer operands of two memory accesses:
+  // false only when both operands have non-empty points-to sets that do not
+  // intersect. Unknown (empty) sets -- non-memory instructions, or variables
+  // a demand-tier result was never asked about -- stay "may alias", so the
+  // pattern engine's pair prefilter can never drop a pair the exhaustive
+  // analysis would keep.
+  bool MayAliasAccess(const ir::Instruction& a, const ir::Instruction& b) const;
+
   const AbstractObject& object(uint32_t idx) const { return objects_[idx]; }
   size_t num_objects() const { return objects_.size(); }
   const PointsToStats& stats() const { return stats_; }

@@ -24,6 +24,8 @@
 
 namespace snorlax::engine {
 
+class PatternVerdictCache;
+
 enum class ArtifactKind : uint8_t {
   kExecutedSet = 0,     // steps 2-3 output identity (the set lives in the trace)
   kDerefChains,         // failure access chain (RETracer-style walk)
@@ -74,6 +76,16 @@ struct PatternSetArtifact {
   // The slice fallback re-derives candidates and re-ranks; the stage counts
   // the report shows come from the ranking that actually produced patterns.
   RankedCandidatesArtifact effective_ranked;
+  // Derived state, never serialized: the hypothesis-verdict memo built while
+  // computing this set (valid only for the trace content it was keyed by --
+  // the engine owns a registry keyed the same way) plus the hot-path counters
+  // surfaced through --explain. A decoded artifact has a null cache and zero
+  // counters; both are observability-only, the pattern set itself is
+  // byte-identical either way.
+  std::shared_ptr<PatternVerdictCache> verdicts;
+  size_t pair_tests = 0;
+  size_t alias_skips = 0;
+  size_t verdict_hits = 0;
 };
 
 struct F1ScoresArtifact {

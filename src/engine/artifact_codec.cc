@@ -638,6 +638,12 @@ struct TraceSerDes {
     if (!r->ok()) {
       return r->status();
     }
+    // The wire format deliberately omits the timestamp index (summaries,
+    // spans, prefix/suffix extrema, thread cursors): it is derived state,
+    // rebuilt here so a deserialized trace is indistinguishable from a
+    // constructed one. Runs after clock_suspect_threads_ is filled -- the
+    // spans cache per-thread suspicion.
+    t->FinalizeIndex();
     return std::shared_ptr<const ProcessedTrace>(std::move(t));
   }
 };

@@ -108,14 +108,28 @@ bool AtomicityAdjacencyHolds(const EmbedState& s) {
   if (t.thread(first) != t.thread(last)) {
     return true;  // malformed slots; let it pass
   }
+  // Per pattern instruction: does the failing thread run another instance
+  // strictly between the chosen endpoints? The per-(instruction, thread)
+  // spans are seq-ascending, so one upper_bound answers it; the endpoints
+  // exclude themselves because their seqs sit exactly on the strict bounds
+  // (seqs are unique within a thread).
   for (const PatternEvent& ev : events) {
-    for (uint32_t inst : t.InstancesOf(ev.inst)) {
-      if (t.thread(inst) != t.thread(first) || inst == first || inst == last) {
+    const trace::InstanceSummary* summary = t.SummaryOf(ev.inst);
+    if (summary == nullptr) {
+      continue;
+    }
+    for (const trace::ThreadSpan& span : t.ThreadSpansOf(*summary)) {
+      if (span.thread != t.thread(first)) {
         continue;
       }
-      if (t.seq(inst) > t.seq(first) && t.seq(inst) < t.seq(last)) {
+      const std::span<const uint32_t> instances = t.SpanInstances(span);
+      const auto it = std::upper_bound(
+          instances.begin(), instances.end(), t.seq(first),
+          [&](uint64_t seq, uint32_t pos) { return seq < t.seq(pos); });
+      if (it != instances.end() && t.seq(*it) < t.seq(last)) {
         return false;
       }
+      break;  // one span per (instruction, thread)
     }
   }
   return true;

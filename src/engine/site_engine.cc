@@ -7,6 +7,7 @@
 #include "analysis/slicer.h"
 #include "pt/encoder.h"
 #include "support/check.h"
+#include "support/profiler.h"
 #include "support/str.h"
 
 namespace snorlax::engine {
@@ -99,9 +100,14 @@ uint64_t SiteEngine::TypeRankKey(uint64_t points_to_key) const {
   return HashCombine(points_to_key, options_.use_type_ranking ? 1 : 0);
 }
 
-uint64_t SiteEngine::PatternsKey(uint64_t rank_key, const trace::ProcessedTrace& failing) const {
-  uint64_t h = HashCombine(rank_key, TraceContentKey(failing));
-  return HashCombine(h, options_.use_slice_fallback ? 1 : 0);
+uint64_t SiteEngine::PatternsKey(uint64_t rank_key, uint64_t trace_key) const {
+  uint64_t h = HashCombine(rank_key, trace_key);
+  h = HashCombine(h, options_.use_slice_fallback ? 1 : 0);
+  // Both engines emit byte-identical pattern sets and the alias prefilter is
+  // shared semantics, but the artifact also carries the hot-path counters --
+  // differential runs must not serve each other's numbers from the store.
+  h = HashCombine(h, options_.patterns.legacy_engine ? 1 : 0);
+  return HashCombine(h, options_.patterns.pair_alias_filter ? 1 : 0);
 }
 
 void SiteEngine::RecordTraceProcess(double seconds, bool cache_hit) {
@@ -230,12 +236,31 @@ RankedCandidatesArtifact SiteEngine::RunTypeRank(const trace::ProcessedTrace& fa
 PatternSetArtifact SiteEngine::RunPatterns(const trace::ProcessedTrace& failing,
                                            const DerefChainsArtifact& chains,
                                            const PointsToArtifact& points_to,
-                                           const RankedCandidatesArtifact& ranked) {
+                                           const RankedCandidatesArtifact& ranked,
+                                           uint64_t trace_key) {
   const rt::FailureInfo& failure = failing.failure();
   PatternSetArtifact out;
   out.effective_ranked = ranked;
+  // The verdict memo rides the artifact-store knob: with the store off the
+  // caller asked every pass to recompute from scratch (the benches time the
+  // engine itself), and a memo would quietly turn the second run into a
+  // table lookup.
+  if (options_.use_artifact_store) {
+    if (verdict_caches_.size() >= kMaxVerdictCaches &&
+        verdict_caches_.find(trace_key) == verdict_caches_.end()) {
+      verdict_caches_.clear();
+    }
+    std::shared_ptr<PatternVerdictCache>& slot = verdict_caches_[trace_key];
+    if (slot == nullptr) {
+      slot = std::make_shared<PatternVerdictCache>();
+    }
+    out.verdicts = slot;
+  }
+  PatternComputeContext context;
+  context.points_to = points_to.result.get();
+  context.verdicts = out.verdicts.get();
   PatternComputeResult computed = ComputePatterns(*module_, failing, ranked.ranked, failure,
-                                                  chains.chain, options_.patterns);
+                                                  chains.chain, options_.patterns, context);
 
   // Fallback (paper section 7): if the alias-derived candidates yielded no
   // pattern, widen to the instructions with control/data dependences to the
@@ -293,11 +318,25 @@ PatternSetArtifact SiteEngine::RunPatterns(const trace::ProcessedTrace& failing,
       out.effective_ranked.rank1_candidates = slice_candidates.size();
     }
     out.effective_ranked.candidate_instructions = slice_candidates.size();
-    computed = ComputePatterns(*module_, failing, out.effective_ranked.ranked, failure,
-                               chains.chain, options_.patterns);
+    // No points-to for the retry: the slice fallback exists precisely to
+    // admit candidates beyond alias reach of the failure chain (the corrupt
+    // value flowed through memory the operand walk cannot follow), so the
+    // alias prefilter would undo the widening it just performed.
+    PatternComputeContext fallback_context;
+    fallback_context.verdicts = out.verdicts.get();
+    PatternComputeResult retry =
+        ComputePatterns(*module_, failing, out.effective_ranked.ranked, failure, chains.chain,
+                        options_.patterns, fallback_context);
+    retry.pair_tests += computed.pair_tests;
+    retry.alias_skips += computed.alias_skips;
+    retry.verdict_hits += computed.verdict_hits;
+    computed = std::move(retry);
   }
   out.patterns = std::move(computed.patterns);
   out.hypothesis_violated = computed.hypothesis_violated;
+  out.pair_tests = computed.pair_tests;
+  out.alias_skips = computed.alias_skips;
+  out.verdict_hits = computed.verdict_hits;
   return out;
 }
 
@@ -351,7 +390,15 @@ Status SiteEngine::AddFailingTrace(std::unique_ptr<trace::ProcessedTrace> failin
       }
     }
     const auto start = std::chrono::steady_clock::now();
-    T result = compute();
+    support::Profiler& prof = support::Profiler::Global();
+    T result = [&] {
+      // Per-pass profiler row (engine.pass.<name>); registration is memoized
+      // by label inside the profiler, and passes run at most a handful of
+      // times per bundle, so the dynamic label lookup is off the hot path.
+      support::Profiler::Scope scope(prof,
+                                     prof.Register(StrFormat("engine.pass.%s", PassName(id))));
+      return compute();
+    }();
     const double seconds = SecondsSince(start);
     ++stats.runs;
     stats.seconds += seconds;
@@ -442,10 +489,17 @@ Status SiteEngine::AddFailingTrace(std::unique_ptr<trace::ProcessedTrace> failin
     if (cancel.Expired()) {
       return deadline(PassId::kPatterns);
     }
-    const uint64_t patterns_key = PatternsKey(rank_key, t);
+    const uint64_t trace_key = TraceContentKey(t);
+    const uint64_t patterns_key = PatternsKey(rank_key, trace_key);
     PatternSetArtifact pattern_set =
-        execute(PassId::kPatterns, ArtifactKind::kPatternSet, patterns_key,
-                patterns_reason, [&] { return RunPatterns(t, chains, points_to, ranked); });
+        execute(PassId::kPatterns, ArtifactKind::kPatternSet, patterns_key, patterns_reason,
+                [&] { return RunPatterns(t, chains, points_to, ranked, trace_key); });
+    // Engine detail for --explain; counters travel in the artifact, so cache
+    // hits report the run that originally computed the set.
+    last_run_.back().reason += StrFormat(
+        " [engine=%s pairs=%zu alias-pruned=%zu memo-hits=%zu]",
+        options_.patterns.legacy_engine ? "legacy" : "indexed", pattern_set.pair_tests,
+        pattern_set.alias_skips, pattern_set.verdict_hits);
     // The slice fallback re-ranks; the counts the report shows come from the
     // ranking that actually produced patterns.
     ranked_ = pattern_set.effective_ranked.ranked;
@@ -467,7 +521,7 @@ Status SiteEngine::AddFailingTrace(std::unique_ptr<trace::ProcessedTrace> failin
           RunPointsToTier(t, chains, analysis::PointsToOptions::Tier::kExhaustive,
                           /*node_budget=*/0);
       RankedCandidatesArtifact ex_ranked = RunTypeRank(t, chains, ex_points_to);
-      PatternSetArtifact ex_patterns = RunPatterns(t, chains, ex_points_to, ex_ranked);
+      PatternSetArtifact ex_patterns = RunPatterns(t, chains, ex_points_to, ex_ranked, trace_key);
       ++pta_ab_checks_;
       const uint64_t got = RankedDigest(pattern_set.effective_ranked);
       const uint64_t want = RankedDigest(ex_patterns.effective_ranked);
@@ -504,6 +558,7 @@ ScoreOutcome SiteEngine::Score() {
     out.seconds = 0.0;
     return out;
   }
+  SNORLAX_PROFILE("engine.pass.score");
   const auto start = std::chrono::steady_clock::now();
   const size_t prev_failing = score_states_.empty() ? 0 : score_states_[0].failing_seen;
   const size_t prev_success = score_states_.empty() ? 0 : score_states_[0].success_seen;

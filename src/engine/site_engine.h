@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -165,7 +166,7 @@ class SiteEngine {
   uint64_t DerefChainsKey(const rt::FailureInfo& failure) const;
   uint64_t PointsToKey(uint64_t chain_key, uint64_t executed_key) const;
   uint64_t TypeRankKey(uint64_t points_to_key) const;
-  uint64_t PatternsKey(uint64_t rank_key, const trace::ProcessedTrace& failing) const;
+  uint64_t PatternsKey(uint64_t rank_key, uint64_t trace_key) const;
 
   DerefChainsArtifact RunDerefChains(const rt::FailureInfo& failure);
   PointsToArtifact RunPointsTo(const trace::ProcessedTrace& failing,
@@ -179,10 +180,13 @@ class SiteEngine {
   RankedCandidatesArtifact RunTypeRank(const trace::ProcessedTrace& failing,
                                        const DerefChainsArtifact& chains,
                                        const PointsToArtifact& points_to);
+  // `trace_key` is the failing trace's content hash: it selects the verdict
+  // cache (memoized hypothesis answers are only valid against the exact
+  // instance sequence they were computed over).
   PatternSetArtifact RunPatterns(const trace::ProcessedTrace& failing,
                                  const DerefChainsArtifact& chains,
                                  const PointsToArtifact& points_to,
-                                 const RankedCandidatesArtifact& ranked);
+                                 const RankedCandidatesArtifact& ranked, uint64_t trace_key);
   const ir::Type* RankType(const DerefChainsArtifact& chains) const;
   void MergePatterns(const PatternSetArtifact& computed);
   // Encodes `value` once, appends it to the durable log (deduped: a key is
@@ -236,6 +240,14 @@ class SiteEngine {
   // from duplicating records on every bundle.
   std::unordered_set<uint64_t> logged_artifacts_;
   uint64_t durable_append_failures_ = 0;
+
+  // Hypothesis-verdict memos, one per distinct failing-trace content hash:
+  // re-diagnosis of the same interleaving (A/B replays, slice-fallback
+  // retries, resubmitted bundles with the store off upstream) reuses the
+  // verdicts instead of re-querying the index. Bounded: cleared wholesale
+  // when the registry would exceed kMaxVerdictCaches distinct traces.
+  static constexpr size_t kMaxVerdictCaches = 32;
+  std::unordered_map<uint64_t, std::shared_ptr<PatternVerdictCache>> verdict_caches_;
 
   PassStatsTable pass_stats_{};
   std::vector<PassTrace> last_run_;

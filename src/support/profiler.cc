@@ -1,0 +1,89 @@
+#include "support/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/str.h"
+
+namespace snorlax::support {
+
+Profiler& Profiler::Global() {
+  static Profiler* instance = new Profiler();  // never destroyed: probes may
+  return *instance;                            // fire during static teardown
+}
+
+Profiler::Entry& Profiler::Register(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->label == label) {
+      return *e;
+    }
+  }
+  entries_.push_back(std::make_unique<Entry>(label));
+  return *entries_.back();
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    e->calls.store(0, std::memory_order_relaxed);
+    e->total_ns.store(0, std::memory_order_relaxed);
+    e->max_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Profiler::Row> Profiler::Snapshot() const {
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      Row row;
+      row.label = e->label;
+      row.calls = e->calls.load(std::memory_order_relaxed);
+      row.total_ns = e->total_ns.load(std::memory_order_relaxed);
+      row.max_ns = e->max_ns.load(std::memory_order_relaxed);
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.total_ns != b.total_ns) {
+      return a.total_ns > b.total_ns;
+    }
+    return a.label < b.label;
+  });
+  return rows;
+}
+
+std::string Profiler::ToJson() const {
+  std::string json = "{\"entries\":[";
+  bool first = true;
+  for (const Row& row : Snapshot()) {
+    if (row.calls == 0) {
+      continue;  // probes that never fired would only add noise to the dump
+    }
+    if (!first) {
+      json += ",";
+    }
+    first = false;
+    json += StrFormat(
+        "{\"label\":\"%s\",\"calls\":%llu,\"total_ms\":%.3f,\"mean_us\":%.3f,"
+        "\"max_us\":%.3f}",
+        row.label.c_str(), (unsigned long long)row.calls, row.total_ns / 1e6,
+        row.total_ns / 1e3 / static_cast<double>(row.calls), row.max_ns / 1e3);
+  }
+  json += "]}";
+  return json;
+}
+
+bool Profiler::DumpJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToJson() + "\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace snorlax::support

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "support/check.h"
+#include "support/profiler.h"
 #include "support/str.h"
 
 namespace snorlax::trace {
@@ -218,6 +219,118 @@ void ProcessedTrace::SortAndIndex() {
     }
   }
   index_offset_.push_back(n);
+
+  FinalizeIndex();
+}
+
+void ProcessedTrace::FinalizeIndex() {
+  SNORLAX_PROFILE("trace.finalize_index");
+  const uint32_t n = static_cast<uint32_t>(col_inst_.size());
+
+  // Establish the documented InstancesOf order: within each instruction's
+  // postings group, ascending ts_ns with ties broken by trace position. The
+  // groups arrive position-sorted (trace order = ts order except the
+  // at-failure instance, which sorts last globally), so the stable sort is
+  // near-linear and idempotent -- decoding a trace serialized after
+  // FinalizeIndex leaves the postings unchanged.
+  for (size_t k = 0; k + 1 < index_offset_.size(); ++k) {
+    auto begin = postings_.begin() + index_offset_[k];
+    auto end = postings_.begin() + index_offset_[k + 1];
+    std::stable_sort(begin, end,
+                     [&](uint32_t a, uint32_t b) { return col_ts_[a] < col_ts_[b]; });
+  }
+
+  // Second copy of the postings grouped by (instruction, thread), seq-sorted
+  // within each group. Seq order within one (instruction, thread) group is
+  // also position order for clean threads, but a clock-suspect thread can
+  // interleave, so sort by seq explicitly.
+  thread_postings_ = postings_;
+  summaries_.clear();
+  summaries_.reserve(index_inst_.size());
+  thread_spans_.clear();
+  for (size_t k = 0; k + 1 < index_offset_.size(); ++k) {
+    auto begin = thread_postings_.begin() + index_offset_[k];
+    auto end = thread_postings_.begin() + index_offset_[k + 1];
+    std::sort(begin, end, [&](uint32_t a, uint32_t b) {
+      if (col_thread_[a] != col_thread_[b]) {
+        return col_thread_[a] < col_thread_[b];
+      }
+      return col_seq_[a] < col_seq_[b];
+    });
+    InstanceSummary summary;
+    summary.count = static_cast<uint32_t>(end - begin);
+    summary.spans_begin = static_cast<uint32_t>(thread_spans_.size());
+    summary.min_ts_ns = UINT64_MAX;
+    summary.min_ts_lo_ns = UINT64_MAX;
+    for (auto it = begin; it != end; ++it) {
+      const uint32_t pos = *it;
+      const uint32_t off = static_cast<uint32_t>(it - thread_postings_.begin());
+      summary.min_ts_ns = std::min(summary.min_ts_ns, col_ts_[pos]);
+      summary.max_ts_ns = std::max(summary.max_ts_ns, col_ts_[pos]);
+      summary.min_ts_lo_ns = std::min(summary.min_ts_lo_ns, col_ts_lo_[pos]);
+      summary.max_ts_lo_ns = std::max(summary.max_ts_lo_ns, col_ts_lo_[pos]);
+      if (thread_spans_.size() == summary.spans_begin ||
+          thread_spans_.back().thread != col_thread_[pos]) {
+        ThreadSpan span;
+        span.thread = col_thread_[pos];
+        span.begin = off;
+        span.end = off;
+        span.min_ts_ns = UINT64_MAX;
+        span.min_ts_lo_ns = UINT64_MAX;
+        span.ts_sorted = true;
+        span.clock_suspect = ClockSuspect(span.thread);
+        thread_spans_.push_back(span);
+      }
+      ThreadSpan& span = thread_spans_.back();
+      if (span.end != off && col_ts_[thread_postings_[off - 1]] > col_ts_[pos]) {
+        span.ts_sorted = false;
+      }
+      span.end = off + 1;
+      span.min_ts_ns = std::min(span.min_ts_ns, col_ts_[pos]);
+      span.max_ts_ns = std::max(span.max_ts_ns, col_ts_[pos]);
+      span.min_ts_lo_ns = std::min(span.min_ts_lo_ns, col_ts_lo_[pos]);
+      span.max_ts_lo_ns = std::max(span.max_ts_lo_ns, col_ts_lo_[pos]);
+      span.has_at_failure = span.has_at_failure || (col_flags_[pos] & kAtFailureBit) != 0;
+    }
+    summary.spans_end = static_cast<uint32_t>(thread_spans_.size());
+    summaries_.push_back(summary);
+  }
+
+  // Running ts_lo extrema, parallel to thread_postings_, restarted per span.
+  prefix_max_ts_lo_.assign(n, 0);
+  suffix_min_ts_lo_.assign(n, UINT64_MAX);
+  for (const ThreadSpan& span : thread_spans_) {
+    uint64_t run_max = 0;
+    for (uint32_t i = span.begin; i < span.end; ++i) {
+      run_max = std::max(run_max, col_ts_lo_[thread_postings_[i]]);
+      prefix_max_ts_lo_[i] = run_max;
+    }
+    uint64_t run_min = UINT64_MAX;
+    for (uint32_t i = span.end; i-- > span.begin;) {
+      run_min = std::min(run_min, col_ts_lo_[thread_postings_[i]]);
+      suffix_min_ts_lo_[i] = run_min;
+    }
+  }
+
+  // Per-thread event cursors: every position grouped by thread, seq-sorted.
+  thread_events_.resize(n);
+  std::iota(thread_events_.begin(), thread_events_.end(), 0u);
+  std::sort(thread_events_.begin(), thread_events_.end(), [&](uint32_t a, uint32_t b) {
+    if (col_thread_[a] != col_thread_[b]) {
+      return col_thread_[a] < col_thread_[b];
+    }
+    return col_seq_[a] < col_seq_[b];
+  });
+  thread_event_ids_.clear();
+  thread_event_offsets_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    const rt::ThreadId t = col_thread_[thread_events_[i]];
+    if (thread_event_ids_.empty() || thread_event_ids_.back() != t) {
+      thread_event_ids_.push_back(t);
+      thread_event_offsets_.push_back(i);
+    }
+  }
+  thread_event_offsets_.push_back(n);
 }
 
 std::span<const uint32_t> ProcessedTrace::InstancesOf(ir::InstId inst) const {
@@ -228,6 +341,24 @@ std::span<const uint32_t> ProcessedTrace::InstancesOf(ir::InstId inst) const {
   const size_t k = static_cast<size_t>(it - index_inst_.begin());
   return std::span<const uint32_t>(postings_.data() + index_offset_[k],
                                    index_offset_[k + 1] - index_offset_[k]);
+}
+
+const InstanceSummary* ProcessedTrace::SummaryOf(ir::InstId inst) const {
+  auto it = std::lower_bound(index_inst_.begin(), index_inst_.end(), inst);
+  if (it == index_inst_.end() || *it != inst) {
+    return nullptr;
+  }
+  return &summaries_[static_cast<size_t>(it - index_inst_.begin())];
+}
+
+std::span<const uint32_t> ProcessedTrace::ThreadEventsOf(rt::ThreadId thread) const {
+  auto it = std::lower_bound(thread_event_ids_.begin(), thread_event_ids_.end(), thread);
+  if (it == thread_event_ids_.end() || *it != thread) {
+    return {};
+  }
+  const size_t k = static_cast<size_t>(it - thread_event_ids_.begin());
+  return std::span<const uint32_t>(thread_events_.data() + thread_event_offsets_[k],
+                                   thread_event_offsets_[k + 1] - thread_event_offsets_[k]);
 }
 
 bool ProcessedTrace::ExecutesBefore(uint32_t a, uint32_t b) const {

@@ -50,6 +50,48 @@ struct TraceOptions {
   uint64_t order_granularity_ns = 512;
 };
 
+// O(1) interval summary over all dynamic instances of one static
+// instruction: pattern computation rejects most hypothesis pairs from these
+// five numbers without touching a single instance (disjoint [min,max]
+// retirement windows decide the executes-before test wholesale).
+struct InstanceSummary {
+  uint32_t count = 0;
+  uint64_t min_ts_ns = 0;
+  uint64_t max_ts_ns = 0;
+  uint64_t min_ts_lo_ns = 0;
+  uint64_t max_ts_lo_ns = 0;
+  // This instruction's per-thread spans: [spans_begin, spans_end) into the
+  // trace's thread-span table, ascending by thread id (so two instructions'
+  // span lists merge-join in one linear pass).
+  uint32_t spans_begin = 0;
+  uint32_t spans_end = 0;
+};
+
+// The dynamic instances of one (static instruction, thread) pair: a slice of
+// the trace's thread-postings array, in per-thread program order (ascending
+// seq), with the same interval summary as above.
+struct ThreadSpan {
+  rt::ThreadId thread = 0;
+  uint32_t begin = 0;  // [begin, end) into thread_postings_
+  uint32_t end = 0;
+  uint64_t min_ts_ns = 0;
+  uint64_t max_ts_ns = 0;
+  uint64_t min_ts_lo_ns = 0;
+  uint64_t max_ts_lo_ns = 0;
+  // ts_ns is non-decreasing across the span (true for every clean thread,
+  // where retirement time is monotone in program order). When false -- a
+  // clock-suspect thread, or a failure record whose snapshot time precedes
+  // decoded events -- binary searches by timestamp degrade to linear scans.
+  bool ts_sorted = false;
+  // The span's thread had clock anomalies (== ClockSuspect(thread), cached
+  // here so the hot loops skip the hash lookup).
+  bool clock_suspect = false;
+  // The span contains the appended at-failure instance.
+  bool has_at_failure = false;
+
+  uint32_t size() const { return end - begin; }
+};
+
 class ProcessedTrace {
  public:
   // Sentinel for "no such instance" (e.g. failing_instance() of a trace
@@ -86,7 +128,42 @@ class ProcessedTrace {
   // Positions (in trace order) of the dynamic instances of one static
   // instruction. A view into the shared postings array: free to call in a
   // loop, valid for the lifetime of the trace.
+  //
+  // Order guarantee: instances are sorted by ascending ts_ns, ties by trace
+  // position (which itself sorts the failure point last). The sorted order is
+  // established at index-build time -- both for traces built from a bundle
+  // and for deserialized ones -- so merge-joins and binary searches over
+  // these spans are always valid.
   std::span<const uint32_t> InstancesOf(ir::InstId inst) const;
+
+  // --- Timestamp index (pattern-engine acceleration structures) --------------
+  // Interval summary of one instruction's instances; nullptr when the
+  // instruction has no instance in this trace. O(log #instructions).
+  const InstanceSummary* SummaryOf(ir::InstId inst) const;
+  // The per-thread spans of a summary, ascending by thread id.
+  std::span<const ThreadSpan> ThreadSpansOf(const InstanceSummary& summary) const {
+    return std::span<const ThreadSpan>(thread_spans_.data() + summary.spans_begin,
+                                       summary.spans_end - summary.spans_begin);
+  }
+  // Positions of one span's instances, ascending by seq (program order).
+  std::span<const uint32_t> SpanInstances(const ThreadSpan& span) const {
+    return std::span<const uint32_t>(thread_postings_.data() + span.begin, span.size());
+  }
+  // Running ts_lo extrema within a span, both indexed by the same absolute
+  // offset into thread_postings_ as SpanInstances: PrefixMaxTsLo(i) is the
+  // max ts_lo over [span.begin, i], SuffixMinTsLo(i) the min over
+  // [i, span.end). With ts_sorted spans these answer "is there an instance
+  // with ts <= C whose window starts late enough" (and the mirrored suffix
+  // question) in O(log span) -- the merge-join primitive of the indexed
+  // pattern engine.
+  uint64_t PrefixMaxTsLo(uint32_t thread_posting_index) const {
+    return prefix_max_ts_lo_[thread_posting_index];
+  }
+  uint64_t SuffixMinTsLo(uint32_t thread_posting_index) const {
+    return suffix_min_ts_lo_[thread_posting_index];
+  }
+  // Per-thread event cursor: every position of `thread`, ascending by seq.
+  std::span<const uint32_t> ThreadEventsOf(rt::ThreadId thread) const;
 
   // The partial order: true iff instance `a` is known to execute before `b`.
   bool ExecutesBefore(uint32_t a, uint32_t b) const;
@@ -147,6 +224,12 @@ class ProcessedTrace {
   void AppendInstance(ir::InstId inst, rt::ThreadId thread, uint32_t seq, uint64_t ts_lo_ns,
                       uint64_t ts_ns, bool at_failure);
   void SortAndIndex();
+  // Establishes the documented InstancesOf sort order and builds the
+  // timestamp index (summaries, thread spans, prefix/suffix extrema, thread
+  // cursors) from the columns + postings. Called at the end of SortAndIndex
+  // and after TraceSerDes::Decode fills the columns directly, so every trace
+  // -- constructed or deserialized -- carries the index.
+  void FinalizeIndex();
 
   const ir::Module* module_;
   TraceOptions options_;
@@ -167,6 +250,21 @@ class ProcessedTrace {
   std::vector<uint32_t> postings_;
   std::vector<ir::InstId> index_inst_;
   std::vector<uint32_t> index_offset_;
+
+  // Timestamp index (FinalizeIndex; never serialized -- rebuilt on decode).
+  // summaries_ is parallel to index_inst_; thread_postings_ is a second copy
+  // of the positions, grouped by (instruction, thread) and seq-sorted within
+  // each group; prefix/suffix arrays are parallel to thread_postings_.
+  std::vector<InstanceSummary> summaries_;
+  std::vector<ThreadSpan> thread_spans_;
+  std::vector<uint32_t> thread_postings_;
+  std::vector<uint64_t> prefix_max_ts_lo_;
+  std::vector<uint64_t> suffix_min_ts_lo_;
+  // Per-thread cursors: positions grouped by thread (seq-sorted), with the
+  // distinct threads and their group offsets beside them.
+  std::vector<uint32_t> thread_events_;
+  std::vector<rt::ThreadId> thread_event_ids_;
+  std::vector<uint32_t> thread_event_offsets_;
 
   std::unordered_map<rt::ThreadId, uint32_t> last_seq_;
   rt::FailureInfo failure_;

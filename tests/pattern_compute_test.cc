@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/deref_chain.h"
+#include "analysis/points_to.h"
 #include "engine/pattern_compute.h"
 #include "ir/builder.h"
 #include "pt/driver.h"
@@ -139,6 +140,189 @@ TEST(PatternCompute, MaxPatternsCapIsHonored) {
   const PatternComputeResult result =
       ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, {}, options);
   EXPECT_EQ(result.patterns.size(), 1u);
+}
+
+// Two-thread crash capture for the crash-pattern paths: worker loops over a
+// shared slot main eventually nulls, plus an unrelated global only the
+// worker touches (an alias-disjoint candidate for the prefilter test).
+struct CrashCapture {
+  std::unique_ptr<ir::Module> module;
+  ir::InstId null_store = 0, racy_load = 0, deref = 0, unrelated_store = 0;
+  std::unique_ptr<trace::ProcessedTrace> trace;
+  rt::FailureInfo failure;
+};
+
+CrashCapture CaptureCrash() {
+  CrashCapture cap;
+  cap.module = std::make_unique<ir::Module>();
+  ir::Module& m = *cap.module;
+  IrBuilder b(&m);
+  const ir::Type* i64 = m.types().IntType(64);
+  const ir::Type* ptr = m.types().PointerTo(i64);
+  const GlobalId slot_g = b.CreateGlobal("slot", ptr);
+  const GlobalId other_g = b.CreateGlobal("other", i64);
+
+  const ir::FuncId worker = b.BeginFunction("worker", m.types().VoidType(), {i64});
+  const ir::BlockId entry = b.CreateBlock("entry");
+  const ir::BlockId head = b.CreateBlock("head");
+  const ir::BlockId exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  const Reg i = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), i, i64);
+  b.Br(head);
+  b.SetInsertPoint(head);
+  b.Work(40'000);
+  const Reg other = b.AddrOfGlobal(other_g);
+  b.Store(Operand::MakeImm(7), other, i64);
+  cap.unrelated_store = b.last_inst();
+  const Reg slot = b.AddrOfGlobal(slot_g);
+  const Reg p = b.Load(slot, ptr);
+  cap.racy_load = b.last_inst();
+  b.Load(p, i64);
+  cap.deref = b.last_inst();
+  const Reg iv = b.Load(i, i64);
+  const Reg iv2 = b.Add(iv, 1, i64);
+  b.Store(iv2, i, i64);
+  const Reg more = b.Cmp(ir::CmpKind::kLt, Operand::MakeReg(iv2), Operand::MakeImm(200));
+  b.CondBr(more, head, exit);
+  b.SetInsertPoint(exit);
+  b.RetVoid();
+  b.EndFunction();
+
+  b.BeginFunction("main", m.types().VoidType(), {});
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  const Reg mslot = b.AddrOfGlobal(slot_g);
+  const Reg value = b.Alloca(i64);
+  b.Store(Operand::MakeImm(5), value, i64);
+  b.Store(value, mslot, ptr);
+  const Reg t = b.ThreadCreate(worker, Operand::MakeImm(0));
+  const ir::BlockId mhead = b.CreateBlock("mhead");
+  const ir::BlockId mexit = b.CreateBlock("mexit");
+  const Reg mi = b.Alloca(i64);
+  b.Store(Operand::MakeImm(0), mi, i64);
+  b.Br(mhead);
+  b.SetInsertPoint(mhead);
+  b.Work(40'000);
+  const Reg miv = b.Load(mi, i64);
+  const Reg miv2 = b.Add(miv, 1, i64);
+  b.Store(miv2, mi, i64);
+  const Reg mmore = b.Cmp(ir::CmpKind::kLt, Operand::MakeReg(miv2), Operand::MakeImm(50));
+  b.CondBr(mmore, mhead, mexit);
+  b.SetInsertPoint(mexit);
+  b.Store(Operand::MakeImm(0), mslot, ptr);
+  cap.null_store = b.last_inst();
+  b.ThreadJoin(t);
+  b.RetVoid();
+  b.EndFunction();
+
+  rt::InterpOptions opts;
+  opts.work_jitter = 0.0;
+  rt::Interpreter interp(cap.module.get(), opts);
+  pt::PtDriver driver(cap.module.get());
+  driver.Attach(&interp);
+  const rt::RunResult r = interp.Run("main");
+  EXPECT_EQ(r.failure.kind, rt::FailureKind::kCrash);
+  cap.failure = r.failure;
+  cap.trace = std::make_unique<trace::ProcessedTrace>(cap.module.get(), *driver.captured());
+  return cap;
+}
+
+std::vector<std::string> Keys(const PatternComputeResult& result) {
+  std::vector<std::string> keys;
+  for (const BugPattern& p : result.patterns) {
+    keys.push_back(p.Key());
+  }
+  return keys;
+}
+
+TEST(PatternCompute, EnginesAgreeOnCrashPatterns) {
+  CrashCapture cap = CaptureCrash();
+  const auto ranked =
+      RankAll(*cap.module, {cap.null_store, cap.racy_load, cap.deref, cap.unrelated_store});
+  const std::vector<const ir::Instruction*> chain = {cap.module->instruction(cap.deref),
+                                                     cap.module->instruction(cap.racy_load)};
+  PatternComputeOptions legacy_opts;
+  legacy_opts.legacy_engine = true;
+  PatternComputeOptions indexed_opts;
+  const PatternComputeResult legacy =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, chain, legacy_opts);
+  const PatternComputeResult indexed =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, chain, indexed_opts);
+  EXPECT_FALSE(indexed.patterns.empty());
+  EXPECT_EQ(Keys(legacy), Keys(indexed));
+  EXPECT_EQ(legacy.hypothesis_violated, indexed.hypothesis_violated);
+}
+
+TEST(PatternCompute, EnginesAgreeOnDeadlockPatterns) {
+  DeadlockCapture cap = CaptureDeadlock();
+  const auto ranked =
+      RankAll(*cap.module, {cap.hold_a, cap.hold_b, cap.attempt_a, cap.attempt_b});
+  PatternComputeOptions legacy_opts;
+  legacy_opts.legacy_engine = true;
+  const PatternComputeResult legacy =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, {}, legacy_opts);
+  const PatternComputeResult indexed =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, {});
+  EXPECT_FALSE(indexed.patterns.empty());
+  EXPECT_EQ(Keys(legacy), Keys(indexed));
+}
+
+TEST(PatternCompute, VerdictCacheServesRepeatQueries) {
+  CrashCapture cap = CaptureCrash();
+  const auto ranked = RankAll(*cap.module, {cap.null_store, cap.racy_load, cap.deref});
+  const std::vector<const ir::Instruction*> chain = {cap.module->instruction(cap.deref)};
+  PatternVerdictCache cache;
+  PatternComputeContext context;
+  context.verdicts = &cache;
+  const PatternComputeResult first =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, chain, {}, context);
+  EXPECT_EQ(first.verdict_hits, 0u);
+  EXPECT_GT(cache.size(), 0u);
+  const PatternComputeResult second =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, chain, {}, context);
+  EXPECT_GT(second.verdict_hits, 0u);
+  EXPECT_EQ(Keys(first), Keys(second));
+}
+
+TEST(PatternCompute, AliasPrefilterMasksDisjointCandidates) {
+  CrashCapture cap = CaptureCrash();
+  const analysis::PointsToResult points_to =
+      analysis::RunPointsTo(*cap.module, analysis::PointsToOptions{});
+  // An arbitrary (non-pipeline) candidate list including a store whose
+  // points-to set is disjoint from everything the failure chain touches.
+  const auto ranked =
+      RankAll(*cap.module, {cap.null_store, cap.racy_load, cap.deref, cap.unrelated_store});
+  const std::vector<const ir::Instruction*> chain = {cap.module->instruction(cap.deref),
+                                                     cap.module->instruction(cap.racy_load)};
+  PatternComputeContext context;
+  context.points_to = &points_to;
+
+  PatternComputeOptions indexed_opts;  // prefilter on by default
+  PatternComputeOptions legacy_opts;
+  legacy_opts.legacy_engine = true;
+  const PatternComputeResult indexed =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, chain, indexed_opts, context);
+  const PatternComputeResult legacy =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, chain, legacy_opts, context);
+  EXPECT_GT(indexed.alias_skips, 0u) << "disjoint candidate should be masked";
+  EXPECT_EQ(indexed.alias_skips, legacy.alias_skips);
+  // Both engines apply the identical mask, so outputs still agree.
+  EXPECT_EQ(Keys(legacy), Keys(indexed));
+  // The masked candidate never appears in any pattern.
+  for (const BugPattern& p : indexed.patterns) {
+    for (const PatternEvent& e : p.events) {
+      EXPECT_NE(e.inst, cap.unrelated_store);
+    }
+  }
+  // With the filter off, the unrelated store forms order patterns with the
+  // anchor (it races by timing even though it cannot alias) -- the filter is
+  // doing real pruning here, not vacuously passing.
+  PatternComputeOptions off;
+  off.pair_alias_filter = false;
+  const PatternComputeResult unfiltered =
+      ComputePatterns(*cap.module, *cap.trace, ranked, cap.failure, chain, off, context);
+  EXPECT_EQ(unfiltered.alias_skips, 0u);
+  EXPECT_GE(unfiltered.patterns.size(), indexed.patterns.size());
 }
 
 TEST(PatternCompute, TimeoutFailuresProduceNoPatterns) {

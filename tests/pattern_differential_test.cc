@@ -1,0 +1,138 @@
+// Differential fuzz for the step-5/6 engine overhaul: the timestamp-indexed
+// pattern engine and the legacy nested-rescan engine must produce
+// byte-identical diagnosis reports on every generated scenario -- every
+// GeneratedBug class, randomized seeds, including the OLTP high-skew regime
+// whose hot rows stress the interval summaries hardest. The digest covers
+// pattern keys, F1 scores, and confusion counts, so a divergence anywhere in
+// anchor selection, hypothesis evaluation, or dedup order fails loudly.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "support/str.h"
+#include "workloads/generator.h"
+
+namespace snorlax {
+namespace {
+
+struct Case {
+  workloads::GeneratedBug bug;
+  uint64_t seed;
+  double skew = 0.5;  // OLTP classes only
+};
+
+// 8 bug classes x 13 seeds = 104 scenarios. OLTP classes alternate between
+// the default mix and the high-skew tiny-keyspace regime (hot rows, many
+// dynamic instances per racy instruction).
+std::vector<Case> Cases() {
+  const workloads::GeneratedBug bugs[] = {
+      workloads::GeneratedBug::kInvalidationRace, workloads::GeneratedBug::kCheckThenUse,
+      workloads::GeneratedBug::kStoreThroughStale, workloads::GeneratedBug::kLockInversion,
+      workloads::GeneratedBug::kOltpRace,          workloads::GeneratedBug::kOltpAtomicity,
+      workloads::GeneratedBug::kOltpOrder,         workloads::GeneratedBug::kOltpAbba,
+  };
+  std::vector<Case> cases;
+  for (const workloads::GeneratedBug bug : bugs) {
+    for (uint64_t seed = 1; seed <= 13; ++seed) {
+      Case c{bug, seed};
+      if (workloads::IsOltpBug(bug) && seed % 2 == 0) {
+        c.skew = 0.8;
+      }
+      cases.push_back(c);
+    }
+  }
+  return cases;
+}
+
+// Order-stable content digest of a diagnosis report (pattern keys, F1,
+// confusion counts -- no wall times).
+std::string Digest(const core::DiagnosisReport& report) {
+  std::string digest =
+      StrFormat("failing=%zu success=%zu hyp=%d\n", report.failing_traces,
+                report.success_traces, report.hypothesis_violated ? 1 : 0);
+  for (const core::DiagnosedPattern& p : report.patterns) {
+    digest += StrFormat("  %s f1=%.9f tp=%zu fp=%zu fn=%zu\n", p.pattern.Key().c_str(), p.f1,
+                        p.counts.true_positive, p.counts.false_positive,
+                        p.counts.false_negative);
+  }
+  return digest;
+}
+
+std::string Diagnose(const workloads::Workload& w, const pt::PtTraceBundle& failing,
+                     const std::vector<pt::PtTraceBundle>& successes, bool legacy) {
+  core::DiagnosisServer::Options sopts;
+  sopts.patterns.legacy_engine = legacy;
+  core::DiagnosisServer server(w.module.get(), sopts);
+  server.SubmitFailingTrace(failing);
+  for (const pt::PtTraceBundle& s : successes) {
+    server.SubmitSuccessTrace(s);
+  }
+  return Digest(server.Diagnose());
+}
+
+class PatternDifferential : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PatternDifferential, EnginesDiagnoseIdentically) {
+  const Case& c = GetParam();
+  workloads::GeneratorOptions options;
+  options.seed = c.seed;
+  options.bug = c.bug;
+  if (workloads::IsOltpBug(c.bug)) {
+    options.oltp.threads = 4;
+    options.oltp.txns_per_thread = 6;
+    options.oltp.keyspace = 4;
+    options.oltp.hot_key_skew = c.skew;
+  }
+  const workloads::Workload w = workloads::GenerateWorkload(options);
+
+  core::ClientOptions copts;
+  copts.interp = w.interp;
+  core::DiagnosisClient client(w.module.get(), copts);
+  std::optional<pt::PtTraceBundle> failing;
+  std::vector<pt::PtTraceBundle> successes;
+  for (uint64_t run_seed = 1; run_seed <= 400; ++run_seed) {
+    core::ClientRun run = client.RunOnce(run_seed);
+    if (!run.trace.has_value()) {
+      continue;
+    }
+    if (run.result.failure.IsFailure()) {
+      if (!failing.has_value()) {
+        failing = *run.trace;
+      }
+    } else if (successes.size() < 4) {
+      successes.push_back(*run.trace);
+    }
+    if (failing.has_value() && successes.size() >= 4) {
+      break;
+    }
+  }
+  if (!failing.has_value()) {
+    GTEST_SKIP() << "scenario produced no failing run in 400 seeds";
+  }
+
+  const std::string legacy = Diagnose(w, *failing, successes, /*legacy=*/true);
+  const std::string indexed = Diagnose(w, *failing, successes, /*legacy=*/false);
+  EXPECT_EQ(legacy, indexed) << "engines diverged on "
+                             << workloads::GeneratedBugName(c.bug) << " seed " << c.seed;
+  EXPECT_FALSE(legacy.empty());
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = StrFormat("%s_s%llu_k%d", workloads::GeneratedBugName(info.param.bug),
+                               (unsigned long long)info.param.seed,
+                               static_cast<int>(info.param.skew * 10));
+  for (char& ch : name) {
+    if (ch == '-') {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PatternDifferential, ::testing::ValuesIn(Cases()), CaseName);
+
+}  // namespace
+}  // namespace snorlax

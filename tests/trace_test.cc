@@ -2,6 +2,9 @@
 // partially-ordered dynamic trace, failure-point handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "ir/builder.h"
 #include "pt/driver.h"
 #include "runtime/interpreter.h"
@@ -267,6 +270,146 @@ TEST(ProcessedTrace, DeadlockWaitersAppended) {
     }
     EXPECT_TRUE(is_final);
   }
+}
+
+// --- Timestamp index invariants ---------------------------------------------
+
+TEST(ProcessedTraceIndex, InstancesOfSortedByTimestamp) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  size_t multi = 0;
+  for (ir::InstId inst : trace.executed()) {
+    const auto instances = trace.InstancesOf(inst);
+    if (instances.size() >= 2) {
+      ++multi;
+    }
+    for (size_t k = 1; k < instances.size(); ++k) {
+      const uint32_t prev = instances[k - 1];
+      const uint32_t cur = instances[k];
+      // Documented order: ascending ts_ns, ties by trace position.
+      EXPECT_LE(trace.ts_ns(prev), trace.ts_ns(cur));
+      if (trace.ts_ns(prev) == trace.ts_ns(cur)) {
+        EXPECT_LT(prev, cur);
+      }
+    }
+    // The at-failure instance sorts after every other instance of its
+    // instruction (trace order puts the failure point last).
+    for (size_t k = 0; k + 1 < instances.size(); ++k) {
+      EXPECT_FALSE(trace.at_failure(instances[k]) && !trace.at_failure(instances[k + 1]));
+    }
+  }
+  EXPECT_GT(multi, 0u) << "loop body should execute more than once";
+}
+
+TEST(ProcessedTraceIndex, SummariesAndSpansMatchBruteForce) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  size_t instances_covered = 0;
+  for (ir::InstId inst : trace.executed()) {
+    const auto instances = trace.InstancesOf(inst);
+    const InstanceSummary* summary = trace.SummaryOf(inst);
+    if (instances.empty()) {
+      EXPECT_EQ(summary, nullptr);
+      continue;
+    }
+    ASSERT_NE(summary, nullptr);
+    EXPECT_EQ(summary->count, instances.size());
+
+    uint64_t min_ts = UINT64_MAX, max_ts = 0, min_lo = UINT64_MAX, max_lo = 0;
+    for (uint32_t d : instances) {
+      min_ts = std::min(min_ts, trace.ts_ns(d));
+      max_ts = std::max(max_ts, trace.ts_ns(d));
+      min_lo = std::min(min_lo, trace.ts_lo_ns(d));
+      max_lo = std::max(max_lo, trace.ts_lo_ns(d));
+    }
+    EXPECT_EQ(summary->min_ts_ns, min_ts);
+    EXPECT_EQ(summary->max_ts_ns, max_ts);
+    EXPECT_EQ(summary->min_ts_lo_ns, min_lo);
+    EXPECT_EQ(summary->max_ts_lo_ns, max_lo);
+
+    size_t span_total = 0;
+    rt::ThreadId prev_thread = 0;
+    bool first_span = true;
+    for (const ThreadSpan& span : trace.ThreadSpansOf(*summary)) {
+      if (!first_span) {
+        EXPECT_LT(prev_thread, span.thread) << "spans must ascend by thread id";
+      }
+      first_span = false;
+      prev_thread = span.thread;
+      const auto span_instances = trace.SpanInstances(span);
+      ASSERT_GT(span_instances.size(), 0u);
+      span_total += span_instances.size();
+      uint64_t s_min_ts = UINT64_MAX, s_max_ts = 0, s_min_lo = UINT64_MAX, s_max_lo = 0;
+      bool sorted = true;
+      bool has_failure = false;
+      for (size_t k = 0; k < span_instances.size(); ++k) {
+        const uint32_t d = span_instances[k];
+        EXPECT_EQ(trace.thread(d), span.thread);
+        EXPECT_EQ(trace.inst(d), inst);
+        if (k > 0) {
+          // Program order within the span.
+          EXPECT_LT(trace.seq(span_instances[k - 1]), trace.seq(d));
+          sorted = sorted && trace.ts_ns(span_instances[k - 1]) <= trace.ts_ns(d);
+        }
+        s_min_ts = std::min(s_min_ts, trace.ts_ns(d));
+        s_max_ts = std::max(s_max_ts, trace.ts_ns(d));
+        s_min_lo = std::min(s_min_lo, trace.ts_lo_ns(d));
+        s_max_lo = std::max(s_max_lo, trace.ts_lo_ns(d));
+        has_failure = has_failure || trace.at_failure(d);
+      }
+      EXPECT_EQ(span.min_ts_ns, s_min_ts);
+      EXPECT_EQ(span.max_ts_ns, s_max_ts);
+      EXPECT_EQ(span.min_ts_lo_ns, s_min_lo);
+      EXPECT_EQ(span.max_ts_lo_ns, s_max_lo);
+      EXPECT_EQ(span.has_at_failure, has_failure);
+      EXPECT_EQ(span.clock_suspect, trace.ClockSuspect(span.thread));
+      if (span.ts_sorted) {
+        EXPECT_TRUE(sorted) << "ts_sorted span with decreasing timestamps";
+      }
+      // Prefix/suffix ts_lo extrema against brute force, at every offset.
+      uint64_t run_max = 0;
+      for (uint32_t abs = span.begin; abs < span.end; ++abs) {
+        run_max = std::max(run_max, trace.ts_lo_ns(span_instances[abs - span.begin]));
+        EXPECT_EQ(trace.PrefixMaxTsLo(abs), run_max);
+      }
+      uint64_t run_min = UINT64_MAX;
+      for (uint32_t abs = span.end; abs-- > span.begin;) {
+        run_min = std::min(run_min, trace.ts_lo_ns(span_instances[abs - span.begin]));
+        EXPECT_EQ(trace.SuffixMinTsLo(abs), run_min);
+      }
+    }
+    EXPECT_EQ(span_total, instances.size()) << "spans must partition the instances";
+    instances_covered += span_total;
+  }
+  EXPECT_EQ(instances_covered, trace.size());
+}
+
+TEST(ProcessedTraceIndex, ThreadEventsAscendBySeqAndCoverTrace) {
+  const CrashProgram prog = BuildCrashProgram();
+  const pt::PtTraceBundle bundle = CaptureFailure(prog);
+  ProcessedTrace trace(prog.module.get(), bundle);
+  std::unordered_set<rt::ThreadId> threads;
+  for (uint32_t i = 0; i < trace.size(); ++i) {
+    threads.insert(trace.thread(i));
+  }
+  ASSERT_GE(threads.size(), 2u);
+  // Each thread's cursor ascends by seq; together the cursors cover every
+  // instance exactly once.
+  size_t total = 0;
+  for (const rt::ThreadId t : threads) {
+    const auto events = trace.ThreadEventsOf(t);
+    ASSERT_GT(events.size(), 0u);
+    for (size_t k = 0; k < events.size(); ++k) {
+      EXPECT_EQ(trace.thread(events[k]), t);
+      if (k > 0) {
+        EXPECT_LT(trace.seq(events[k - 1]), trace.seq(events[k]));
+      }
+    }
+    total += events.size();
+  }
+  EXPECT_EQ(total, trace.size());
 }
 
 }  // namespace

@@ -40,6 +40,7 @@
 #include "ir/verifier.h"
 #include "pt/driver.h"
 #include "runtime/interpreter.h"
+#include "support/profiler.h"
 #include "workloads/generator.h"
 
 using namespace snorlax;
@@ -63,7 +64,9 @@ int Usage() {
       "           timings, artifact keys, dirty reasons;\n"
       "           --pta-tier=exhaustive|demand|auto picks the step-4 solver,\n"
       "           --pta-budget=N caps demand nodes visited before fallback,\n"
-      "           --pta-ab digest-checks demand results against exhaustive)\n"
+      "           --pta-ab digest-checks demand results against exhaustive,\n"
+      "           --legacy-patterns runs the pre-index step-6 engine,\n"
+      "           --profile=<path> dumps the hot-path profiler table as JSON)\n"
       "  generate emit a randomized bug-injected program as text\n"
       "  fuzz-trace corrupt a captured failing trace (--faults=kind@rate[,...],\n"
       "           --seed=N) and diagnose from the wreckage; kinds: bitflip,\n"
@@ -233,10 +236,15 @@ struct PtaFlags {
 };
 
 int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain,
-                const PtaFlags& pta) {
+                const PtaFlags& pta, bool legacy_patterns, const std::string& profile_path) {
   auto module = LoadModule(path);
   if (module == nullptr) {
     return 1;
+  }
+  if (!profile_path.empty()) {
+    // Switch the always-compiled probes on for this whole diagnosis (the
+    // workload replays and the pipeline both report into the same table).
+    support::Profiler::Global().Enable();
   }
   core::SnorlaxOptions opts;
   opts.client.interp.work_jitter = 0.04;
@@ -244,6 +252,7 @@ int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain,
   opts.server.pta_tier = pta.tier;
   opts.server.pta_node_budget = pta.node_budget;
   opts.server.pta_ab_check = pta.ab_check;
+  opts.server.patterns.legacy_engine = legacy_patterns;
   core::Snorlax snorlax(module.get(), opts);
   std::printf("running until %zu failure(s)...\n", failing_traces);
   const auto outcome = snorlax.DiagnoseFirstFailure(1);
@@ -278,6 +287,14 @@ int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain,
     std::printf("pta A/B: %llu check(s), %llu mismatch(es)\n",
                 static_cast<unsigned long long>(snorlax.server().pta_ab_checks()),
                 static_cast<unsigned long long>(snorlax.server().pta_ab_mismatches()));
+  }
+  if (!profile_path.empty()) {
+    if (support::Profiler::Global().DumpJson(profile_path)) {
+      std::printf("profile written to %s\n", profile_path.c_str());
+    } else {
+      std::printf("error: cannot write profile to %s\n", profile_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }
@@ -792,11 +809,21 @@ int main(int argc, char** argv) {
   if (cmd == "diagnose") {
     size_t failing_traces = 1;
     bool explain = false;
+    bool legacy_patterns = false;
+    std::string profile_path;
     PtaFlags pta;
     for (int i = 3; i < argc; ++i) {
       const std::string flag = argv[i];
       if (flag == "--explain") {
         explain = true;
+      } else if (flag == "--legacy-patterns") {
+        legacy_patterns = true;
+      } else if (flag.rfind("--profile=", 0) == 0) {
+        profile_path = flag.substr(10);
+        if (profile_path.empty()) {
+          std::printf("bad --profile: empty path\n");
+          return Usage();
+        }
       } else if (flag.rfind("--pta-tier=", 0) == 0) {
         if (!ParsePtaTier(flag.substr(11), &pta.tier)) {
           std::printf("bad --pta-tier '%s' (want exhaustive|demand|auto)\n",
@@ -815,7 +842,7 @@ int main(int argc, char** argv) {
         return Usage();
       }
     }
-    return CmdDiagnose(path, failing_traces, explain, pta);
+    return CmdDiagnose(path, failing_traces, explain, pta, legacy_patterns, profile_path);
   }
   if (cmd == "generate") {
     return CmdGenerate(argc, argv);
