@@ -28,6 +28,7 @@
 #include "core/server_pool.h"
 #include "ir/verifier.h"
 #include "pt/encoder.h"
+#include "support/json.h"
 #include "support/str.h"
 #include "workloads/oltp/oltp.h"
 
@@ -307,28 +308,40 @@ int main(int argc, char** argv) {
       rank5_acc >= sweep.min_rank5 && timeouts == 0 && wrong_failures == 0 &&
       verifier_rejects == 0 && total == sweep.scenarios;
 
-  std::string classes_json;
+  support::JsonWriter jw;
+  jw.BeginObject();
+  jw.Field("bench", "accuracy_sweep");
+  jw.Field("scenarios", static_cast<uint64_t>(total));
+  jw.Field("reproduced", static_cast<uint64_t>(reproduced));
+  jw.Field("unreproduced", static_cast<uint64_t>(total - reproduced));
+  jw.Field("timeouts", static_cast<uint64_t>(timeouts));
+  jw.Field("wrong_failures", static_cast<uint64_t>(wrong_failures));
+  jw.Field("rank1", rank1_acc, 4);
+  jw.Field("rank5", rank5_acc, 4);
+  jw.Field("min_rank5", sweep.min_rank5, 4);
+  jw.Key("latency_ms").BeginObject();
+  jw.Field("p50", Percentile(latencies_ms, 0.5), 3);
+  jw.Field("p90", Percentile(latencies_ms, 0.9), 3);
+  jw.Field("p99", Percentile(latencies_ms, 0.99), 3);
+  jw.EndObject();
+  jw.Key("runs_until_failure").BeginObject();
+  jw.Field("p50", Percentile(runs_to_failure, 0.5), 1);
+  jw.Field("p99", Percentile(runs_to_failure, 0.99), 1);
+  jw.EndObject();
+  jw.Key("classes").BeginArray();
   for (const auto& [bug, cs] : per_class) {
-    classes_json += StrFormat(
-        "%s{\"bug\":\"%s\",\"scenarios\":%zu,\"reproduced\":%zu,"
-        "\"rank1\":%.4f,\"rank5\":%.4f}",
-        classes_json.empty() ? "" : ",", workloads::GeneratedBugName(bug),
-        cs.total, cs.reproduced,
-        cs.total ? static_cast<double>(cs.rank1) / cs.total : 0.0,
-        cs.total ? static_cast<double>(cs.rank5) / cs.total : 0.0);
+    jw.BeginObject();
+    jw.Field("bug", workloads::GeneratedBugName(bug));
+    jw.Field("scenarios", static_cast<uint64_t>(cs.total));
+    jw.Field("reproduced", static_cast<uint64_t>(cs.reproduced));
+    jw.Field("rank1", cs.total ? static_cast<double>(cs.rank1) / cs.total : 0.0, 4);
+    jw.Field("rank5", cs.total ? static_cast<double>(cs.rank5) / cs.total : 0.0, 4);
+    jw.EndObject();
   }
-  const std::string json = StrFormat(
-      "{\"bench\":\"accuracy_sweep\",\"scenarios\":%zu,\"reproduced\":%zu,"
-      "\"unreproduced\":%zu,\"timeouts\":%zu,\"wrong_failures\":%zu,"
-      "\"rank1\":%.4f,\"rank5\":%.4f,\"min_rank5\":%.4f,"
-      "\"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f},"
-      "\"runs_until_failure\":{\"p50\":%.1f,\"p99\":%.1f},"
-      "\"classes\":[%s],\"pass\":%s}",
-      total, reproduced, total - reproduced, timeouts, wrong_failures,
-      rank1_acc, rank5_acc, sweep.min_rank5, Percentile(latencies_ms, 0.5),
-      Percentile(latencies_ms, 0.9), Percentile(latencies_ms, 0.99),
-      Percentile(runs_to_failure, 0.5), Percentile(runs_to_failure, 0.99),
-      classes_json.c_str(), pass ? "true" : "false");
+  jw.EndArray();
+  jw.Field("pass", pass);
+  jw.EndObject();
+  const std::string json = jw.Take();
 
   const auto print_human = [&] {
     bench::PrintHeader(

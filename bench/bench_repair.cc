@@ -1,0 +1,316 @@
+// Repair sweep: runs the full Snorlax loop with the kRepair pass enabled and
+// measures how often the suggested patch actually survives interpreter
+// validation (no recurrence, no new failure mode, bounded slowdown across
+// timing bands).
+//
+// Two populations:
+//   - the workload catalogue (every Table 1-3 bug): the headline gate --
+//     validated fixes / diagnosed sites must reach --min-validated,
+//   - a randomized generated-OLTP cohort (--scenarios=N over the accuracy
+//     sweep's class x contention grid): regression coverage that the patch
+//     builder keeps up with module shapes nobody hand-tuned it for.
+//
+// Exit code 1 = gate failure: catalogue validated-fix rate below the floor,
+// any catalogue bug that fails to reproduce, or a generated scenario whose
+// diagnosis crashes the patch builder (surfaces as a missing plan).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/throughput_harness.h"
+#include "core/snorlax.h"
+#include "engine/repair.h"
+#include "ir/verifier.h"
+#include "support/json.h"
+#include "support/str.h"
+#include "workloads/oltp/oltp.h"
+#include "workloads/workload.h"
+
+using namespace snorlax;
+
+namespace {
+
+struct RepairFlags {
+  size_t scenarios = 64;          // generated-cohort size
+  double min_validated = 0.8;     // catalogue validated/diagnosed floor
+  uint64_t base_seed = 5000;      // generated-cohort seed origin
+  uint64_t max_runs = 5000;       // reproduction budget per site
+};
+
+// One diagnosed site's repair outcome (a catalogue workload or one generated
+// scenario).
+struct SiteResult {
+  std::string name;
+  std::string kind;               // pattern-kind name of the modeled bug
+  bool reproduced = false;
+  bool has_plan = false;          // >= 1 confirmed pattern reached kRepair
+  bool validated = false;         // plan.HasValidatedFix()
+  size_t candidates = 0;
+  size_t validated_count = 0;
+  size_t rejected = 0;
+  size_t unsupported = 0;
+  double best_overhead = 0.0;     // overhead ratio of the best candidate
+  std::string best_status = "-";
+  std::string note;               // first rejection/unsupported note, if any
+};
+
+// Tally of candidate statuses across a population.
+struct CandidateTally {
+  size_t built = 0;
+  size_t validated = 0;
+  size_t rejected = 0;
+  size_t unsupported = 0;
+};
+
+// Runs the end-to-end loop (reproduce -> diagnose -> repair -> validate) on
+// one workload and scores the resulting plan.
+SiteResult RunSite(const workloads::Workload& w, const RepairFlags& flags) {
+  SiteResult r;
+  r.name = w.name;
+  r.kind = core::PatternKindName(w.bug_kind);
+
+  core::SnorlaxOptions opts;
+  opts.client.interp = w.interp;
+  opts.failing_traces = w.recommended_failing_traces;
+  opts.max_runs = flags.max_runs;
+  opts.server.repair.enabled = true;
+  opts.server.repair.entry = w.entry;
+  opts.server.repair.interp = w.interp;
+  core::Snorlax snorlax(w.module.get(), opts);
+  const std::optional<core::SnorlaxOutcome> outcome = snorlax.DiagnoseFirstFailure();
+  if (!outcome.has_value()) {
+    return r;  // unreproduced: stays in the denominator as a miss
+  }
+  r.reproduced = true;
+  const engine::RepairPlan* plan = outcome->report.repair.get();
+  if (plan == nullptr || plan->confirmed_patterns == 0) {
+    return r;
+  }
+  r.has_plan = true;
+  r.candidates = plan->candidates.size();
+  r.validated_count = plan->ValidatedCount();
+  r.validated = plan->HasValidatedFix();
+  for (const engine::RepairCandidate& c : plan->candidates) {
+    r.rejected += c.status == engine::RepairStatus::kRejected ? 1 : 0;
+    r.unsupported += c.status == engine::RepairStatus::kUnsupported ? 1 : 0;
+    if (r.note.empty() && !c.note.empty()) {
+      r.note = c.note;
+    }
+  }
+  if (const engine::RepairCandidate* best = plan->best()) {
+    r.best_status = engine::RepairStatusName(best->status);
+    r.best_overhead = best->overhead_ratio;
+  }
+  return r;
+}
+
+void Tally(const std::vector<SiteResult>& sites, CandidateTally* tally) {
+  for (const SiteResult& r : sites) {
+    tally->validated += r.validated_count;
+    tally->rejected += r.rejected;
+    tally->unsupported += r.unsupported;
+    tally->built += r.candidates - r.validated_count - r.rejected - r.unsupported;
+  }
+}
+
+// Mirrors the accuracy sweep's generation grid so the two benches sample the
+// same scenario space.
+struct Contention {
+  int keyspace;
+  double skew;
+};
+constexpr Contention kContention[] = {{16, 0.2}, {8, 0.5}, {4, 0.8}};
+
+constexpr workloads::GeneratedBug kClasses[] = {
+    workloads::GeneratedBug::kOltpRace,
+    workloads::GeneratedBug::kOltpAtomicity,
+    workloads::GeneratedBug::kOltpOrder,
+    workloads::GeneratedBug::kOltpAbba,
+};
+
+void WritePopulationJson(support::JsonWriter& jw, const std::vector<SiteResult>& sites) {
+  size_t reproduced = 0, with_plan = 0, validated = 0;
+  for (const SiteResult& r : sites) {
+    reproduced += r.reproduced ? 1 : 0;
+    with_plan += r.has_plan ? 1 : 0;
+    validated += r.validated ? 1 : 0;
+  }
+  jw.Field("sites", static_cast<uint64_t>(sites.size()));
+  jw.Field("reproduced", static_cast<uint64_t>(reproduced));
+  jw.Field("with_plan", static_cast<uint64_t>(with_plan));
+  jw.Field("validated", static_cast<uint64_t>(validated));
+  jw.Field("validated_rate",
+           reproduced ? static_cast<double>(validated) / reproduced : 0.0, 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RepairFlags repair;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scenarios=", 0) == 0) {
+      repair.scenarios = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--min-validated=", 0) == 0) {
+      repair.min_validated = std::atof(arg.c_str() + 16);
+    } else if (arg.rfind("--base-seed=", 0) == 0) {
+      repair.base_seed = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--max-runs=", 0) == 0) {
+      repair.max_runs = std::strtoull(arg.c_str() + 11, nullptr, 10);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  bench::HarnessFlags flags;
+  const support::Status parse =
+      bench::ParseHarnessFlags(static_cast<int>(rest.size()), rest.data(), 1, &flags);
+  if (!parse.ok()) {
+    std::fprintf(stderr, "bench_repair: %s\n", parse.message().c_str());
+    return 2;
+  }
+
+  // Catalogue population: every Table 1-3 bug, end to end.
+  std::vector<SiteResult> catalogue;
+  for (const workloads::WorkloadInfo& info : workloads::AllWorkloads()) {
+    const workloads::Workload w = workloads::Build(info.name);
+    catalogue.push_back(RunSite(w, repair));
+  }
+
+  // Generated population: the accuracy sweep's grid, repair loop enabled.
+  std::vector<SiteResult> generated;
+  std::map<workloads::GeneratedBug, std::pair<size_t, size_t>> per_class;  // diagnosed, validated
+  for (size_t i = 0; i < repair.scenarios; ++i) {
+    workloads::GeneratorOptions options;
+    options.bug = kClasses[i % 4];
+    options.seed = repair.base_seed + i;
+    options.helper_depth = 1 + static_cast<int>(i % 3);
+    const Contention& c = kContention[(i / 4) % 3];
+    options.oltp.keyspace = c.keyspace;
+    options.oltp.hot_key_skew = c.skew;
+    workloads::oltp::OltpScenario scenario = workloads::oltp::GenerateOltpScenario(options);
+    if (!ir::VerifyModule(*scenario.workload.module).empty()) {
+      generated.push_back({});  // counted as a miss; never expected
+      continue;
+    }
+    SiteResult r = RunSite(scenario.workload, repair);
+    auto& [diagnosed, validated] = per_class[options.bug];
+    diagnosed += r.has_plan ? 1 : 0;
+    validated += r.validated ? 1 : 0;
+    generated.push_back(std::move(r));
+  }
+
+  size_t cat_reproduced = 0, cat_validated = 0;
+  for (const SiteResult& r : catalogue) {
+    cat_reproduced += r.reproduced ? 1 : 0;
+    cat_validated += r.validated ? 1 : 0;
+  }
+  const double cat_rate =
+      cat_reproduced ? static_cast<double>(cat_validated) / cat_reproduced : 0.0;
+  size_t gen_reproduced = 0, gen_validated = 0;
+  for (const SiteResult& r : generated) {
+    gen_reproduced += r.reproduced ? 1 : 0;
+    gen_validated += r.validated ? 1 : 0;
+  }
+  const bool pass = cat_rate >= repair.min_validated &&
+                    cat_reproduced == catalogue.size();
+
+  CandidateTally tally;
+  Tally(catalogue, &tally);
+  Tally(generated, &tally);
+
+  support::JsonWriter jw;
+  jw.BeginObject();
+  jw.Field("bench", "repair");
+  jw.Field("min_validated", repair.min_validated, 4);
+  jw.Key("catalogue").BeginObject();
+  WritePopulationJson(jw, catalogue);
+  jw.Key("workloads").BeginArray();
+  for (const SiteResult& r : catalogue) {
+    jw.BeginObject();
+    jw.Field("name", r.name);
+    jw.Field("kind", r.kind);
+    jw.Field("reproduced", r.reproduced);
+    jw.Field("candidates", static_cast<uint64_t>(r.candidates));
+    jw.Field("validated", static_cast<uint64_t>(r.validated_count));
+    jw.Field("best", r.best_status);
+    jw.Field("overhead", r.best_overhead, 2);
+    if (!r.note.empty()) {
+      jw.Field("note", r.note);
+    }
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.EndObject();
+  jw.Key("generated").BeginObject();
+  WritePopulationJson(jw, generated);
+  // First few unvalidated scenarios with the validator's reason: enough to
+  // see *why* a cohort regressed without dumping all N sites.
+  jw.Key("unvalidated_sample").BeginArray();
+  size_t sampled = 0;
+  for (const SiteResult& r : generated) {
+    if (r.validated || sampled >= 8) {
+      continue;
+    }
+    ++sampled;
+    jw.BeginObject();
+    jw.Field("name", r.name);
+    jw.Field("candidates", static_cast<uint64_t>(r.candidates));
+    jw.Field("note", r.note);
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.Key("classes").BeginArray();
+  for (const auto& [bug, counts] : per_class) {
+    jw.BeginObject();
+    jw.Field("bug", workloads::GeneratedBugName(bug));
+    jw.Field("with_plan", static_cast<uint64_t>(counts.first));
+    jw.Field("validated", static_cast<uint64_t>(counts.second));
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.EndObject();
+  jw.Key("candidates").BeginObject();
+  jw.Field("validated", static_cast<uint64_t>(tally.validated));
+  jw.Field("rejected", static_cast<uint64_t>(tally.rejected));
+  jw.Field("unsupported", static_cast<uint64_t>(tally.unsupported));
+  jw.Field("built", static_cast<uint64_t>(tally.built));
+  jw.EndObject();
+  jw.Field("pass", pass);
+  jw.EndObject();
+  const std::string json = jw.Take();
+
+  const auto print_human = [&] {
+    bench::PrintHeader(
+        "Repair sweep: kRepair patches validated under the interpreter\n"
+        "(no recurrence, no new failure, bounded slowdown across timing bands)");
+    const std::vector<int> widths = {22, 18, 11, 10, 13, 9};
+    bench::PrintRow({"workload", "bug kind", "candidates", "validated",
+                     "best status", "overhead"},
+                    widths);
+    for (const SiteResult& r : catalogue) {
+      bench::PrintRow({r.name, r.kind, StrFormat("%zu", r.candidates),
+                       StrFormat("%zu", r.validated_count), r.best_status,
+                       r.reproduced ? FormatDouble(r.best_overhead, 2) : "unrepro"},
+                      widths);
+    }
+    std::printf(
+        "\ncatalogue: %zu/%zu sites with a validated fix (%.1f%%, floor %.0f%%)\n"
+        "generated: %zu/%zu scenarios with a validated fix over %zu-scenario "
+        "cohort\n%s\n",
+        cat_validated, cat_reproduced, 100.0 * cat_rate,
+        100.0 * repair.min_validated, gen_validated, gen_reproduced,
+        generated.size(), pass ? "PASS" : "FAIL");
+  };
+  const support::Status emit = bench::EmitBenchJson(flags, json, print_human);
+  if (!emit.ok()) {
+    return 2;
+  }
+  return pass ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include "net/agent.h"
 #include "net/cluster_agent.h"
 #include "net/daemon.h"
+#include "support/json.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
 
@@ -378,44 +379,60 @@ ClusterResult RunCluster(const std::vector<CapturedSite>& sites,
 
 std::string ClusterJson(const ClusterConfig& config, size_t sites,
                         const ClusterResult& result) {
-  std::string spread;
-  for (size_t i = 0; i < result.bundles_by_daemon.size(); ++i) {
-    spread += StrFormat("%s%zu", i == 0 ? "" : ", ", result.bundles_by_daemon[i]);
+  support::JsonWriter w;
+  w.BeginObject();
+  w.Field("daemons", static_cast<uint64_t>(config.daemons));
+  w.Field("rounds", static_cast<uint64_t>(config.rounds));
+  w.Field("pool_threads", static_cast<uint64_t>(config.pool_threads));
+  w.Field("sites", static_cast<uint64_t>(sites));
+  w.Field("kill_restart", config.kill_restart);
+  w.Field("bundles", static_cast<uint64_t>(result.bundles_sent));
+  w.Field("rerouted", static_cast<uint64_t>(result.bundles_rerouted));
+  w.Field("wrong_shard_bounces", static_cast<uint64_t>(result.wrong_shard_bounces));
+  w.Field("reconnects", static_cast<uint64_t>(result.reconnects));
+  w.Field("bundles_per_sec", result.bundles_per_sec, 1);
+  w.Field("seconds", result.seconds, 4);
+  w.Field("recovery_seconds", result.recovery_seconds, 4);
+  w.Field("recovered_sites", static_cast<uint64_t>(result.recovered_sites));
+  w.Field("recovered_records", static_cast<uint64_t>(result.recovered_records));
+  w.Key("ingest_spread").BeginArray();
+  for (const size_t n : result.bundles_by_daemon) {
+    w.UInt(n);
   }
-  return StrFormat(
-      "{\"daemons\": %zu, \"rounds\": %zu, \"pool_threads\": %zu, \"sites\": %zu, "
-      "\"kill_restart\": %s, \"bundles\": %zu, \"rerouted\": %zu, "
-      "\"wrong_shard_bounces\": %zu, \"reconnects\": %zu, "
-      "\"bundles_per_sec\": %.1f, \"seconds\": %.4f, "
-      "\"recovery_seconds\": %.4f, \"recovered_sites\": %zu, "
-      "\"recovered_records\": %zu, \"ingest_spread\": [%s], \"reports\": %zu, "
-      "\"identical_reports\": %s, \"status\": \"%s\"}",
-      config.daemons, config.rounds, config.pool_threads, sites,
-      config.kill_restart ? "true" : "false", result.bundles_sent,
-      result.bundles_rerouted, result.wrong_shard_bounces, result.reconnects,
-      result.bundles_per_sec, result.seconds, result.recovery_seconds, result.recovered_sites,
-      result.recovered_records, spread.c_str(), result.reports_received,
-      result.digests_match ? "true" : "false",
-      result.status.ok() ? "ok" : result.status.ToString().c_str());
+  w.EndArray();
+  w.Field("reports", static_cast<uint64_t>(result.reports_received));
+  w.Field("identical_reports", result.digests_match);
+  w.Field("status", result.status.ok() ? "ok" : result.status.ToString());
+  w.EndObject();
+  return w.Take();
 }
 
 std::string FleetJson(const FleetConfig& config, size_t sites, const FleetResult& result) {
-  return StrFormat(
-      "{\"agents\": %zu, \"rounds\": %zu, \"pool_threads\": %zu, \"sites\": %zu, "
-      "\"chaos\": \"%s\", "
-      "\"bundles\": %zu, \"acked\": %zu, \"duplicates\": %zu, "
-      "\"chaos_frames\": %zu, \"daemon_corrupt_frames\": %zu, \"reconnects\": %zu, "
-      "\"seconds\": %.4f, \"bundles_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
-      "\"wire_bytes\": %zu, \"bytes_per_bundle\": %.1f, \"negotiated_version\": %u, "
-      "\"reports\": %zu, \"identical_reports\": %s, \"status\": \"%s\"}",
-      config.agents, config.rounds, config.pool_threads, sites,
-      config.chaos.faults.empty() ? "" : config.chaos.ToString().c_str(),
-      result.bundles_sent, result.bundles_acked, result.bundles_duplicate,
-      result.frames_chaos_corrupted, result.daemon_frames_corrupt, result.reconnects,
-      result.seconds, result.bundles_per_sec, result.p50_ms, result.p99_ms,
-      result.wire_bytes_sent, result.bytes_per_bundle, result.negotiated_version,
-      result.reports_received, result.digests_match ? "true" : "false",
-      result.status.ok() ? "ok" : result.status.ToString().c_str());
+  support::JsonWriter w;
+  w.BeginObject();
+  w.Field("agents", static_cast<uint64_t>(config.agents));
+  w.Field("rounds", static_cast<uint64_t>(config.rounds));
+  w.Field("pool_threads", static_cast<uint64_t>(config.pool_threads));
+  w.Field("sites", static_cast<uint64_t>(sites));
+  w.Field("chaos", config.chaos.faults.empty() ? std::string() : config.chaos.ToString());
+  w.Field("bundles", static_cast<uint64_t>(result.bundles_sent));
+  w.Field("acked", static_cast<uint64_t>(result.bundles_acked));
+  w.Field("duplicates", static_cast<uint64_t>(result.bundles_duplicate));
+  w.Field("chaos_frames", static_cast<uint64_t>(result.frames_chaos_corrupted));
+  w.Field("daemon_corrupt_frames", static_cast<uint64_t>(result.daemon_frames_corrupt));
+  w.Field("reconnects", static_cast<uint64_t>(result.reconnects));
+  w.Field("seconds", result.seconds, 4);
+  w.Field("bundles_per_sec", result.bundles_per_sec, 1);
+  w.Field("p50_ms", result.p50_ms, 3);
+  w.Field("p99_ms", result.p99_ms, 3);
+  w.Field("wire_bytes", static_cast<uint64_t>(result.wire_bytes_sent));
+  w.Field("bytes_per_bundle", result.bytes_per_bundle, 1);
+  w.Field("negotiated_version", result.negotiated_version);
+  w.Field("reports", static_cast<uint64_t>(result.reports_received));
+  w.Field("identical_reports", result.digests_match);
+  w.Field("status", result.status.ok() ? "ok" : result.status.ToString());
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace snorlax::bench

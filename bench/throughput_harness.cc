@@ -9,6 +9,7 @@
 
 #include "core/client.h"
 #include "pt/decoder.h"
+#include "support/json.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
 #include "wire/serialize.h"
@@ -300,30 +301,46 @@ support::Status EmitBenchJson(const HarnessFlags& flags, const std::string& json
   return support::Status::Ok();
 }
 
+namespace {
+
+void WriteRunJson(support::JsonWriter* w, std::string_view key,
+                  const ThroughputResult& r) {
+  w->Key(key).BeginObject();
+  w->Field("bundles", static_cast<uint64_t>(r.bundles_submitted));
+  w->Field("seconds", r.seconds, 4);
+  w->Field("bundles_per_sec", r.bundles_per_sec, 1);
+  w->Field("p50_ms", r.p50_ms, 3);
+  w->Field("p99_ms", r.p99_ms, 3);
+  w->EndObject();
+}
+
+}  // namespace
+
 std::string ThroughputJson(const ThroughputConfig& config, size_t sites,
                            const ThroughputResult& serial, const ThroughputResult& parallel,
                            const IngestProfile& profile) {
   const double speedup =
       serial.bundles_per_sec > 0 ? parallel.bundles_per_sec / serial.bundles_per_sec : 0.0;
-  return StrFormat(
-      "{\"clients\": %zu, \"threads\": %zu, \"pool_threads\": %zu, \"rounds\": %zu, "
-      "\"sites\": %zu, "
-      "\"serial\": {\"bundles\": %zu, \"seconds\": %.4f, \"bundles_per_sec\": %.1f, "
-      "\"p50_ms\": %.3f, \"p99_ms\": %.3f}, "
-      "\"parallel\": {\"bundles\": %zu, \"seconds\": %.4f, \"bundles_per_sec\": %.1f, "
-      "\"p50_ms\": %.3f, \"p99_ms\": %.3f}, "
-      "\"speedup\": %.2f, \"identical_reports\": %s, "
-      "\"wire\": {\"bundles\": %zu, \"v1_bytes_per_bundle\": %.1f, "
-      "\"v2_bytes_per_bundle\": %.1f, \"compression_ratio\": %.2f, "
-      "\"decode_events_per_sec\": %.0f}}",
-      config.clients, config.threads, config.pool_threads, config.rounds, sites,
-      serial.bundles_submitted,
-      serial.seconds, serial.bundles_per_sec, serial.p50_ms, serial.p99_ms,
-      parallel.bundles_submitted, parallel.seconds, parallel.bundles_per_sec, parallel.p50_ms,
-      parallel.p99_ms, speedup,
-      serial.report_digest == parallel.report_digest ? "true" : "false",
-      profile.bundles, profile.v1_bytes_per_bundle, profile.v2_bytes_per_bundle,
-      profile.compression_ratio, profile.decode_events_per_sec);
+  support::JsonWriter w;
+  w.BeginObject();
+  w.Field("clients", static_cast<uint64_t>(config.clients));
+  w.Field("threads", static_cast<uint64_t>(config.threads));
+  w.Field("pool_threads", static_cast<uint64_t>(config.pool_threads));
+  w.Field("rounds", static_cast<uint64_t>(config.rounds));
+  w.Field("sites", static_cast<uint64_t>(sites));
+  WriteRunJson(&w, "serial", serial);
+  WriteRunJson(&w, "parallel", parallel);
+  w.Field("speedup", speedup, 2);
+  w.Field("identical_reports", serial.report_digest == parallel.report_digest);
+  w.Key("wire").BeginObject();
+  w.Field("bundles", static_cast<uint64_t>(profile.bundles));
+  w.Field("v1_bytes_per_bundle", profile.v1_bytes_per_bundle, 1);
+  w.Field("v2_bytes_per_bundle", profile.v2_bytes_per_bundle, 1);
+  w.Field("compression_ratio", profile.compression_ratio, 2);
+  w.Field("decode_events_per_sec", profile.decode_events_per_sec, 0);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace snorlax::bench

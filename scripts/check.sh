@@ -33,6 +33,17 @@ echo "== accuracy sweep (64-scenario CI subset) =="
 echo "== pattern engine bench (indexed vs legacy, digest + speedup gate) =="
 "${BUILD_DIR}/bench/micro_patterns" --rounds=1 --json=BENCH_patterns.json
 
+echo "== repair loop (catalogue + 64-scenario cohort, validated-fix gate) =="
+"${BUILD_DIR}/bench/bench_repair" --scenarios=64 --json=BENCH_repair.json
+
+echo "== SARIF render sanity (jq, 2.1.0 shape) =="
+"${BUILD_DIR}/snorlax_cli" generate --bug=oltp-atomicity --seed=9 --out=sample_bug.sir
+"${BUILD_DIR}/snorlax_cli" diagnose sample_bug.sir --suggest-fix --report=sarif \
+    > sample_report.sarif
+jq -e '.version == "2.1.0" and (.runs | length) >= 1
+       and (.runs[0].results | length) >= 1
+       and (.runs[0].tool.driver.name == "snorlax")' sample_report.sarif > /dev/null
+
 if [[ "${SNORLAX_CHECK_TSAN:-0}" == "1" ]]; then
   echo "== TSan: concurrency label =="
   cmake -B "${BUILD_DIR}-tsan" -S . -DSNORLAX_SANITIZE=thread \

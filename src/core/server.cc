@@ -34,6 +34,7 @@ engine::EngineOptions DiagnosisServer::MakeEngineOptions(const Options& options)
   eopts.pool = options.pool;
   eopts.durable_log = options.durable_log;
   eopts.durable_site = options.durable_site;
+  eopts.repair = options.repair;
   return eopts;
 }
 
@@ -526,6 +527,9 @@ DiagnosisReport DiagnosisServer::Diagnose() const {
 
   engine::ScoreOutcome scored = engine_.Score();
   report.patterns = scored.scores.scored;
+  if (options_.repair.enabled) {
+    report.repair = engine_.Repair();
+  }
 
   report.stages = BuildStageStatsLocked();
   report.stages.top_f1_patterns = scored.scores.top_f1_patterns;

@@ -101,6 +101,9 @@ struct DiagnosisReport {
   double total_analysis_seconds = 0.0;
   size_t failing_traces = 0;
   size_t success_traces = 0;
+  // kRepair output: set only when Options::repair.enabled (the plan requires
+  // running the interpreter, so it is opt-in per server).
+  std::shared_ptr<const engine::RepairPlan> repair;
 
   const DiagnosedPattern* best() const { return patterns.empty() ? nullptr : &patterns[0]; }
 };
@@ -151,6 +154,12 @@ class DiagnosisServer {
     // replay of those records. Not owned; shared by every shard of a daemon.
     engine::DurableLog* durable_log = nullptr;
     engine::DurableSiteKey durable_site{};
+    // kRepair: when enabled, Diagnose() maps each confirmed pattern to a
+    // candidate patch (validated in the interpreter per these options) and
+    // attaches the plan to the report. Off by default -- validation
+    // re-executes the failing scenario, which only explicit diagnose paths
+    // (CLI --suggest-fix, bench_repair) should pay.
+    engine::RepairOptions repair;
   };
 
   explicit DiagnosisServer(const ir::Module* module);
@@ -231,6 +240,12 @@ class DiagnosisServer {
   std::vector<engine::PassTrace> explain() const {
     std::lock_guard<std::mutex> lock(mu_);
     return engine_.last_run();
+  }
+  // Residency verdict for the artifact a pass produced under `key`
+  // (--explain's "artifact" column: resident / pinned / evicted / absent).
+  engine::ResidencyState artifact_state(engine::PassId id, uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.ArtifactState(id, key);
   }
   // A/B digest checks performed / failed (Options::pta_ab_check).
   uint64_t pta_ab_checks() const {

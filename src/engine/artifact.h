@@ -34,8 +34,9 @@ enum class ArtifactKind : uint8_t {
   kPatternSet,          // step 6 output for one failing trace
   kF1Scores,            // step 7 output over the full evidence set
   kProcessedTrace,      // steps 2-3: decoded bundle, keyed by raw content
+  kRepairPlan,          // kRepair output: patches + validation verdicts
 };
-inline constexpr size_t kNumArtifactKinds = 7;
+inline constexpr size_t kNumArtifactKinds = 8;
 
 const char* ArtifactKindName(ArtifactKind kind);
 

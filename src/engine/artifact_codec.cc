@@ -819,6 +819,110 @@ support::Status DecodeF1Scores(std::span<const uint8_t> bytes,
   return r.ExpectExhausted();
 }
 
+void EncodeRepairPlan(const RepairPlan& a, std::vector<uint8_t>* out) {
+  AppendU8(out, kArtifactCodecVersion);
+  AppendU8(out, static_cast<uint8_t>(a.target));
+  AppendVarint(out, a.confirmed_patterns);
+  AppendVarint(out, a.candidates.size());
+  for (const RepairCandidate& c : a.candidates) {
+    EncodePattern(c.pattern, out);
+    AppendF64(out, c.f1);
+    AppendVarint(out, c.patch.globals.size());
+    for (const ir::PatchGlobal& g : c.patch.globals) {
+      AppendU8(out, static_cast<uint8_t>(g.kind));
+      AppendString(out, g.name);
+    }
+    AppendVarint(out, c.patch.edits.size());
+    for (const ir::PatchEdit& e : c.patch.edits) {
+      AppendU8(out, static_cast<uint8_t>(e.kind));
+      AppendU32(out, e.anchor);
+      AppendVarint(out, e.global);
+      AppendVarint(out, static_cast<uint64_t>(e.spin_bound));
+    }
+    AppendU8(out, static_cast<uint8_t>(c.status));
+    AppendVarint(out, c.runs_per_module);
+    AppendVarint(out, c.baseline_failures);
+    AppendVarint(out, c.recurrences);
+    AppendVarint(out, c.new_failures);
+    AppendF64(out, c.overhead_ratio);
+    AppendString(out, c.note);
+  }
+}
+
+support::Status DecodeRepairPlan(std::span<const uint8_t> bytes,
+                                 const ir::Module* module, RepairPlan* out) {
+  ByteReader r(bytes);
+  Status bad;
+  if (!ReadVersion(&r, &bad)) {
+    return bad;
+  }
+  const uint8_t target = r.U8();
+  if (r.ok() && target > static_cast<uint8_t>(rt::FailureKind::kTimeout)) {
+    r.MarkCorrupt("failure kind out of range");
+  }
+  out->target = static_cast<rt::FailureKind>(target);
+  out->confirmed_patterns = static_cast<size_t>(r.Varint());
+  const size_t n = ReadCount(&r);
+  out->candidates.clear();
+  out->candidates.reserve(n);
+  for (size_t i = 0; i < n && r.ok(); ++i) {
+    RepairCandidate c;
+    DecodePattern(&r, &c.pattern);
+    c.f1 = r.F64();
+    const size_t num_globals = ReadCount(&r);
+    for (size_t g = 0; g < num_globals && r.ok(); ++g) {
+      ir::PatchGlobal pg;
+      const uint8_t kind = r.U8();
+      if (r.ok() && kind > static_cast<uint8_t>(ir::PatchGlobal::Kind::kFlag)) {
+        r.MarkCorrupt("patch global kind out of range");
+        break;
+      }
+      pg.kind = static_cast<ir::PatchGlobal::Kind>(kind);
+      pg.name = r.String();
+      c.patch.globals.push_back(std::move(pg));
+    }
+    const size_t num_edits = ReadCount(&r);
+    for (size_t e = 0; e < num_edits && r.ok(); ++e) {
+      ir::PatchEdit pe;
+      const uint8_t kind = r.U8();
+      if (r.ok() && kind > static_cast<uint8_t>(ir::PatchEdit::Kind::kWaitBefore)) {
+        r.MarkCorrupt("patch edit kind out of range");
+        break;
+      }
+      pe.kind = static_cast<ir::PatchEdit::Kind>(kind);
+      pe.anchor = r.U32();
+      if (r.ok() && module != nullptr && pe.anchor >= module->NumInstructions()) {
+        r.MarkCorrupt("patch anchor out of range for module");
+        break;
+      }
+      const uint64_t global = r.Varint();
+      if (r.ok() && global >= c.patch.globals.size()) {
+        r.MarkCorrupt("patch edit global out of range");
+        break;
+      }
+      pe.global = static_cast<uint32_t>(global);
+      pe.spin_bound = static_cast<int64_t>(r.Varint());
+      c.patch.edits.push_back(pe);
+    }
+    const uint8_t status = r.U8();
+    if (r.ok() && status > static_cast<uint8_t>(RepairStatus::kRejected)) {
+      r.MarkCorrupt("repair status out of range");
+    }
+    c.status = static_cast<RepairStatus>(status);
+    c.runs_per_module = static_cast<uint32_t>(r.Varint());
+    c.baseline_failures = static_cast<uint32_t>(r.Varint());
+    c.recurrences = static_cast<uint32_t>(r.Varint());
+    c.new_failures = static_cast<uint32_t>(r.Varint());
+    c.overhead_ratio = r.F64();
+    c.note = r.String();
+    if (!r.ok()) {
+      break;
+    }
+    out->candidates.push_back(std::move(c));
+  }
+  return r.ExpectExhausted();
+}
+
 void EncodeProcessedTrace(const trace::ProcessedTrace& t,
                           std::vector<uint8_t>* out) {
   AppendU8(out, kArtifactCodecVersion);
@@ -873,6 +977,9 @@ support::Status EncodeArtifactValue(ArtifactKind kind, const void* value,
       EncodeProcessedTrace(*a->trace, out);
       return Status::Ok();
     }
+    case ArtifactKind::kRepairPlan:
+      EncodeRepairPlan(*static_cast<const RepairPlan*>(value), out);
+      return Status::Ok();
   }
   return Status::Error(StatusCode::kInvalidArgument, "unknown artifact kind");
 }
@@ -929,6 +1036,13 @@ support::Status DecodeArtifactValue(ArtifactKind kind,
       if (!decoded.ok()) return decoded.status();
       auto a = std::make_shared<ProcessedTraceArtifact>();
       a->trace = decoded.take();
+      *out = std::move(a);
+      return Status::Ok();
+    }
+    case ArtifactKind::kRepairPlan: {
+      auto a = std::make_shared<RepairPlan>();
+      const Status s = DecodeRepairPlan(bytes, module, a.get());
+      if (!s.ok()) return s;
       *out = std::move(a);
       return Status::Ok();
     }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "engine/artifact.h"
+#include "engine/repair.h"
 #include "support/binio.h"
 #include "support/status.h"
 
@@ -68,6 +69,10 @@ support::Status DecodePatternSet(std::span<const uint8_t> bytes,
 void EncodeF1Scores(const F1ScoresArtifact& a, std::vector<uint8_t>* out);
 support::Status DecodeF1Scores(std::span<const uint8_t> bytes,
                                F1ScoresArtifact* out);
+
+void EncodeRepairPlan(const RepairPlan& a, std::vector<uint8_t>* out);
+support::Status DecodeRepairPlan(std::span<const uint8_t> bytes,
+                                 const ir::Module* module, RepairPlan* out);
 
 void EncodeProcessedTrace(const trace::ProcessedTrace& t,
                           std::vector<uint8_t>* out);

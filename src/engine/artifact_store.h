@@ -42,7 +42,31 @@ inline constexpr uint32_t kRecomputableArtifactKinds =
     ArtifactKindBit(ArtifactKind::kRankedCandidates) |
     ArtifactKindBit(ArtifactKind::kPatternSet) |
     ArtifactKindBit(ArtifactKind::kF1Scores) |
-    ArtifactKindBit(ArtifactKind::kProcessedTrace);
+    ArtifactKindBit(ArtifactKind::kProcessedTrace) |
+    ArtifactKindBit(ArtifactKind::kRepairPlan);
+
+// Where a (kind, key) pair stands relative to the store -- the distinction
+// `--explain` needs between "never computed" and "computed but evicted".
+enum class ResidencyState : uint8_t {
+  kAbsent,    // never inserted (as far as the bounded memory recalls)
+  kResident,  // in the store now, eligible for byte-budget eviction
+  kPinned,    // in the store now and its kind is never byte-evicted
+  kEvicted,   // was inserted, has since been evicted (FIFO cap or bytes)
+};
+
+inline const char* ResidencyStateName(ResidencyState state) {
+  switch (state) {
+    case ResidencyState::kAbsent:
+      return "absent";
+    case ResidencyState::kResident:
+      return "resident";
+    case ResidencyState::kPinned:
+      return "pinned";
+    case ResidencyState::kEvicted:
+      return "evicted";
+  }
+  return "?";
+}
 
 class ArtifactStore {
  public:
@@ -119,14 +143,36 @@ class ArtifactStore {
 
   const Stats& stats() const { return stats_; }
 
+  // Residency probe for --explain. Does not touch the hit/miss counters (it
+  // is observation, not a lookup). Eviction memory is bounded: the store
+  // remembers the last kEvictedMemory evicted keys per kind, after which an
+  // old eviction reads as kAbsent again.
+  ResidencyState StateOf(ArtifactKind kind, uint64_t key) const {
+    const Slot& slot = slots_[static_cast<size_t>(kind)];
+    if (slot.by_key.count(key) != 0) {
+      return (options_.evictable_kinds & ArtifactKindBit(kind)) != 0
+                 ? ResidencyState::kResident
+                 : ResidencyState::kPinned;
+    }
+    for (const uint64_t k : slot.evicted) {
+      if (k == key) {
+        return ResidencyState::kEvicted;
+      }
+    }
+    return ResidencyState::kAbsent;
+  }
+
  private:
+  static constexpr size_t kEvictedMemory = 256;  // per kind
+
   struct Entry {
     std::shared_ptr<void> value;
     size_t bytes = 0;
   };
   struct Slot {
     std::unordered_map<uint64_t, Entry> by_key;
-    std::deque<uint64_t> order;  // insertion order, for FIFO eviction
+    std::deque<uint64_t> order;    // insertion order, for FIFO eviction
+    std::deque<uint64_t> evicted;  // recently evicted keys, bounded
   };
 
   const void* Insert(ArtifactKind kind, uint64_t key, std::shared_ptr<void> value, size_t bytes) {
@@ -162,6 +208,10 @@ class ArtifactStore {
     slot.by_key.erase(it);
     --stats_.entries;
     byte_budget ? ++stats_.byte_evictions : ++stats_.evictions;
+    slot.evicted.push_back(key);
+    while (slot.evicted.size() > kEvictedMemory) {
+      slot.evicted.pop_front();
+    }
   }
 
   // Oldest-first over the global insertion order, skipping pinned kinds and

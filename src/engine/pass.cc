@@ -16,6 +16,8 @@ const char* PassName(PassId id) {
       return "patterns";
     case PassId::kScore:
       return "score";
+    case PassId::kRepair:
+      return "repair";
   }
   return "unknown";
 }

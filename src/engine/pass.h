@@ -31,8 +31,9 @@ enum class PassId : uint8_t {
   kTypeRank,          // step 5: type-based candidate ranking
   kPatterns,          // step 6: bug pattern computation
   kScore,             // step 7: statistical confirmation (F1)
+  kRepair,            // closing the loop: patch synthesis + validation
 };
-inline constexpr size_t kNumPasses = 6;
+inline constexpr size_t kNumPasses = 7;
 
 const char* PassName(PassId id);
 

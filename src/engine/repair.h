@@ -1,0 +1,129 @@
+// kRepair: the final pipeline pass -- map each confirmed bug pattern to a
+// candidate MiniIR patch and validate it under the interpreter.
+//
+// The mapping is mechanical because a BugPattern already names the exact
+// instructions and thread roles involved (in the spirit of RaceFixer, which
+// builds fixes directly from race reports):
+//   - atomicity violations: wrap each thread's event span in a fresh lock
+//     (spans that overlap in one function merge, so two threads running the
+//     same code get one critical section, not a nested self-deadlock),
+//   - ABBA deadlocks: the same wrap with a fresh *gate* lock serializes both
+//     lock-acquisition sequences; no thread blocks while holding the gate, so
+//     the cycle cannot close,
+//   - order violations: delay the too-early event (the pattern's first) with
+//     a bounded flag-wait; the flag is signaled when the victim function (the
+//     one containing the pattern's last event) returns.
+// Every candidate is then executed: runtime/validate.h re-runs the scenario
+// on the original and the patched module across timing bands and accepts the
+// patch only if the failure disappears without new failure modes or
+// unbounded slowdown.
+#ifndef SNORLAX_ENGINE_REPAIR_H_
+#define SNORLAX_ENGINE_REPAIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/statistical.h"
+#include "ir/patch.h"
+#include "runtime/validate.h"
+#include "support/status.h"
+
+namespace snorlax::engine {
+
+struct RepairOptions {
+  // Off by default: the pass runs the interpreter, which only makes sense
+  // when the diagnosing process can execute the module (CLI --suggest-fix,
+  // bench_repair, tests) -- not on every daemon ingest.
+  bool enabled = false;
+  // Scenario under which candidates are validated.
+  std::string entry = "main";
+  rt::InterpOptions interp;
+  // Timing bands swept during validation; empty = {interp.work_jitter}.
+  std::vector<double> jitter_bands;
+  uint64_t seeds_per_band = 16;
+  uint64_t first_seed = 1;
+  // Adaptive baseline budget (see rt::RepairTrialOptions): bands grow past
+  // seeds_per_band until the failure reproduced this often, up to the cap.
+  uint64_t min_baseline_failures = 3;
+  uint64_t max_seeds_per_band = 1024;
+  double max_overhead_ratio = 8.0;
+  // Confirmed tier: patterns tied (within epsilon) at the best F1, at least
+  // min_f1, at most max_patterns of them (0 = the whole tie tier). F1 ties
+  // are broken by pattern size, which says nothing about causality, so a
+  // small cap can cut the causally-right pattern out of the tier before
+  // repair ever tries it.
+  size_t max_patterns = 0;
+  double min_f1 = 0.10;
+  // Validate candidates best-first and stop at the first validated fix;
+  // later candidates stay kBuilt. Validation is the expensive step (two
+  // interpreter sweeps per candidate) and one proven fix closes the loop.
+  bool stop_on_validated = true;
+  // False: build patches without running the interpreter (candidates stay
+  // kBuilt). Wire-imported sites use this; the paper's loop closes locally.
+  bool validate = true;
+};
+
+enum class RepairStatus : uint8_t {
+  kUnsupported = 0,  // no mapping for this pattern (e.g. unordered order bug)
+  kBuilt,            // patch constructed, not validated
+  kValidated,        // patched module: no recurrence, no new failure, bounded cost
+  kRejected,         // validation ran and failed
+};
+const char* RepairStatusName(RepairStatus status);
+
+struct RepairCandidate {
+  BugPattern pattern;
+  double f1 = 0.0;
+  ir::Patch patch;  // empty when status == kUnsupported
+  RepairStatus status = RepairStatus::kUnsupported;
+  // Validation trial record (zeros when validation did not run).
+  uint32_t runs_per_module = 0;
+  uint32_t baseline_failures = 0;
+  uint32_t recurrences = 0;
+  uint32_t new_failures = 0;
+  double overhead_ratio = 1.0;
+  std::string note;  // why unsupported / rejected
+};
+
+// The kRepair pass output: one or more candidates per confirmed pattern
+// (a pattern's patch variants are adjacent), best-F1 first (the order of
+// the scored report they came from).
+struct RepairPlan {
+  rt::FailureKind target = rt::FailureKind::kNone;
+  size_t confirmed_patterns = 0;  // patterns that reached the pass
+  std::vector<RepairCandidate> candidates;
+
+  size_t ValidatedCount() const;
+  bool HasValidatedFix() const { return ValidatedCount() > 0; }
+  // The candidate to show first: best validated one, else best built one,
+  // else nullptr.
+  const RepairCandidate* best() const;
+};
+
+// The confirmed tier of a scored report under `options` (indices into
+// `scored`, which is sorted best-first).
+std::vector<size_t> ConfirmedPatternIndices(const std::vector<DiagnosedPattern>& scored,
+                                            const RepairOptions& options);
+
+// Maps one pattern to a patch. Errors (kUnimplemented-style, never aborts)
+// when the pattern kind or shape has no mapping.
+support::Result<ir::Patch> BuildPatchForPattern(const ir::Module& module,
+                                                const BugPattern& pattern);
+
+// All candidate patches for one pattern, primary mapping first. Lock-wrap
+// kinds add caller-region variants when the pattern's anchors collapse to a
+// single instruction inside a shared helper (the validator picks the caller
+// whose wrap actually kills the bug). Errors only when no variant can be
+// built.
+support::Result<std::vector<ir::Patch>> BuildPatchVariants(const ir::Module& module,
+                                                           const BugPattern& pattern);
+
+// The full pass: select confirmed patterns, build patches, validate each.
+RepairPlan BuildRepairPlan(const ir::Module& module,
+                           const std::vector<DiagnosedPattern>& scored,
+                           rt::FailureKind target, const RepairOptions& options);
+
+}  // namespace snorlax::engine
+
+#endif  // SNORLAX_ENGINE_REPAIR_H_

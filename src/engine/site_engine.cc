@@ -1,6 +1,7 @@
 #include "engine/site_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <unordered_set>
 
@@ -625,6 +626,123 @@ ScoreOutcome SiteEngine::Score() {
   return last_score_;
 }
 
+// Covers everything the pass reads: the scored report content (pattern
+// identities and their F1s -- the confirmed-tier selection depends on both),
+// the module the patches are built against, and every knob that changes what
+// BuildRepairPlan produces.
+uint64_t SiteEngine::RepairKey(const F1ScoresArtifact& scores) const {
+  uint64_t h = Mix64(module_fingerprint_ ^ 0x9e3779b97f4a7c15ull);
+  for (const DiagnosedPattern& d : scores.scored) {
+    h = HashCombine(h, static_cast<uint64_t>(d.pattern.kind));
+    h = HashCombine(h, d.pattern.ordered ? 1 : 0);
+    for (const PatternEvent& e : d.pattern.events) {
+      h = HashCombine(h, (static_cast<uint64_t>(e.inst) << 16) |
+                             (static_cast<uint64_t>(e.thread_slot) << 1) |
+                             (e.thread_final ? 1 : 0));
+    }
+    h = HashCombine(h, std::bit_cast<uint64_t>(d.f1));
+  }
+  const RepairOptions& r = options_.repair;
+  h = HashCombine(h, r.max_patterns);
+  h = HashCombine(h, std::bit_cast<uint64_t>(r.min_f1));
+  h = HashCombine(h, r.validate ? 1 : 0);
+  h = HashCombine(h, r.seeds_per_band);
+  h = HashCombine(h, r.first_seed);
+  h = HashCombine(h, std::bit_cast<uint64_t>(r.max_overhead_ratio));
+  h = HashCombine(h, std::bit_cast<uint64_t>(r.interp.work_jitter));
+  for (const double band : r.jitter_bands) {
+    h = HashCombine(h, std::bit_cast<uint64_t>(band));
+  }
+  for (const char c : r.entry) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+std::shared_ptr<const RepairPlan> SiteEngine::Repair() {
+  if (!options_.repair.enabled) {
+    return nullptr;
+  }
+  const trace::ProcessedTrace* first_failing = nullptr;
+  for (const auto& t : failing_traces_) {
+    if (t != nullptr) {
+      first_failing = t.get();
+      break;
+    }
+  }
+  if (first_failing == nullptr) {
+    return nullptr;
+  }
+  const ScoreOutcome outcome = Score();  // plan always follows current evidence
+  const uint64_t key = RepairKey(outcome.scores);
+  PassStats& stats = StatsFor(pass_stats_, PassId::kRepair);
+  last_run_.erase(std::remove_if(last_run_.begin(), last_run_.end(),
+                                 [](const PassTrace& p) { return p.id == PassId::kRepair; }),
+                  last_run_.end());
+  if (options_.use_artifact_store) {
+    if (const RepairPlan* hit = store_.Find<RepairPlan>(ArtifactKind::kRepairPlan, key)) {
+      ++stats.cache_hits;
+      last_run_.push_back(
+          PassTrace{PassId::kRepair, false, true, 0.0, key, "artifact reused"});
+      if (repair_plan_.get() != hit) {
+        repair_plan_ = std::make_shared<const RepairPlan>(*hit);
+      }
+      return repair_plan_;
+    }
+  }
+  SNORLAX_PROFILE("engine.pass.repair");
+  const auto start = std::chrono::steady_clock::now();
+  const rt::FailureKind target = first_failing->failure().kind;
+  auto plan = std::make_shared<RepairPlan>(
+      BuildRepairPlan(*module_, outcome.scores.scored, target, options_.repair));
+  const double seconds = SecondsSince(start);
+  ++stats.runs;
+  stats.seconds += seconds;
+  last_run_.push_back(PassTrace{
+      PassId::kRepair, true, false, seconds, key,
+      StrFormat("%zu confirmed patterns, %zu validated", plan->candidates.size(),
+                plan->ValidatedCount())});
+  if (options_.use_artifact_store) {
+    const size_t bytes = PersistArtifact(ArtifactKind::kRepairPlan, key, plan.get());
+    store_.PutShared(ArtifactKind::kRepairPlan, key, plan, bytes);
+  }
+  repair_plan_ = std::move(plan);
+  return repair_plan_;
+}
+
+ResidencyState SiteEngine::ArtifactState(PassId id, uint64_t key) const {
+  if (key == 0) {
+    return ResidencyState::kAbsent;
+  }
+  ArtifactKind kind;
+  switch (id) {
+    case PassId::kTraceProcess:
+      kind = ArtifactKind::kProcessedTrace;
+      break;
+    case PassId::kDerefChains:
+      kind = ArtifactKind::kDerefChains;
+      break;
+    case PassId::kPointsTo:
+      kind = ArtifactKind::kPointsTo;
+      break;
+    case PassId::kTypeRank:
+      kind = ArtifactKind::kRankedCandidates;
+      break;
+    case PassId::kPatterns:
+      kind = ArtifactKind::kPatternSet;
+      break;
+    case PassId::kScore:
+      kind = ArtifactKind::kF1Scores;
+      break;
+    case PassId::kRepair:
+      kind = ArtifactKind::kRepairPlan;
+      break;
+    default:
+      return ResidencyState::kAbsent;
+  }
+  return store_.StateOf(kind, key);
+}
+
 size_t SiteEngine::PersistArtifact(ArtifactKind kind, uint64_t key, const void* value) {
   const bool want_log = options_.durable_log != nullptr;
   const bool want_bytes = options_.store.max_total_bytes > 0;
@@ -690,6 +808,8 @@ const char* ArtifactKindName(ArtifactKind kind) {
       return "f1-scores";
     case ArtifactKind::kProcessedTrace:
       return "processed-trace";
+    case ArtifactKind::kRepairPlan:
+      return "repair-plan";
   }
   return "unknown";
 }

@@ -40,6 +40,7 @@
 #include "engine/durable_log.h"
 #include "engine/pass.h"
 #include "engine/pattern_compute.h"
+#include "engine/repair.h"
 #include "engine/statistical.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
@@ -69,6 +70,10 @@ struct EngineOptions {
   // either way -- it is an algorithm, not a cache.
   bool use_artifact_store = true;
   ArtifactStore::Options store;
+  // kRepair (the closing-the-loop pass): off by default -- patch synthesis is
+  // cheap but interpreter validation re-executes the failing scenario across
+  // timing bands, which only the diagnose-with---suggest-fix path should pay.
+  RepairOptions repair;
   // When set, scoring runs per-pattern on this pool (results identical to
   // serial). Not owned; must outlive the engine.
   support::ThreadPool* pool = nullptr;
@@ -119,6 +124,17 @@ class SiteEngine {
   // report (kScore cache hit) when nothing changed.
   ScoreOutcome Score();
 
+  // kRepair: maps each confirmed pattern of the current report (the top-F1
+  // tier, see ConfirmedPatternIndices) to a candidate patch and validates it
+  // in the interpreter per RepairOptions. Calls Score() first so the plan is
+  // always built against current evidence; the plan is a store artifact keyed
+  // by (scores content, module, options), so re-diagnosing unchanged evidence
+  // is a kRepair cache hit. Returns nullptr when options_.repair.enabled is
+  // false or there is no failing evidence yet.
+  std::shared_ptr<const RepairPlan> Repair();
+  // The most recent plan (nullptr before the first Repair() call).
+  std::shared_ptr<const RepairPlan> repair_plan() const { return repair_plan_; }
+
   // -- Cluster durability (durable-log replay and site hand-off) --
   // Decodes one serialized artifact and inserts it into the store so the
   // pipeline cache-hits instead of recomputing it. Marked as persisted: it
@@ -158,6 +174,11 @@ class SiteEngine {
   // Pass-boundary log of the most recent AddFailingTrace + Score, for
   // `snorlax_cli diagnose --explain`.
   const std::vector<PassTrace>& last_run() const { return last_run_; }
+  // Residency of the artifact a pass produced under `key` (--explain's
+  // "artifact" column): distinguishes computed-and-resident, pinned,
+  // computed-but-evicted under the byte budget, and never-stored. A pure
+  // probe -- does not touch the store's hit/miss counters.
+  ResidencyState ArtifactState(PassId id, uint64_t key) const;
 
  private:
   // Content-hash keys: each covers every input its pass reads, so equal key
@@ -167,6 +188,7 @@ class SiteEngine {
   uint64_t PointsToKey(uint64_t chain_key, uint64_t executed_key) const;
   uint64_t TypeRankKey(uint64_t points_to_key) const;
   uint64_t PatternsKey(uint64_t rank_key, uint64_t trace_key) const;
+  uint64_t RepairKey(const F1ScoresArtifact& scores) const;
 
   DerefChainsArtifact RunDerefChains(const rt::FailureInfo& failure);
   PointsToArtifact RunPointsTo(const trace::ProcessedTrace& failing,
@@ -228,6 +250,7 @@ class SiteEngine {
   std::vector<ScoreState> score_states_;
   bool scores_dirty_ = true;
   ScoreOutcome last_score_;
+  std::shared_ptr<const RepairPlan> repair_plan_;
 
   // Dirty-reason bookkeeping for --explain (what changed since the last run).
   uint64_t last_executed_key_ = 0;

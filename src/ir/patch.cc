@@ -1,0 +1,474 @@
+#include "ir/patch.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "ir/builder.h"
+#include "support/check.h"
+#include "support/str.h"
+
+namespace snorlax::ir {
+
+using support::Result;
+using support::Status;
+using support::StatusCode;
+
+const char* PatchGlobalKindName(PatchGlobal::Kind kind) {
+  switch (kind) {
+    case PatchGlobal::Kind::kLock:
+      return "lock";
+    case PatchGlobal::Kind::kFlag:
+      return "flag";
+  }
+  return "?";
+}
+
+const char* PatchEditKindName(PatchEdit::Kind kind) {
+  switch (kind) {
+    case PatchEdit::Kind::kAcquireBefore:
+      return "acquire-before";
+    case PatchEdit::Kind::kReleaseAfter:
+      return "release-after";
+    case PatchEdit::Kind::kSignalBefore:
+      return "signal-before";
+    case PatchEdit::Kind::kSignalAfter:
+      return "signal-after";
+    case PatchEdit::Kind::kWaitBefore:
+      return "wait-before";
+  }
+  return "?";
+}
+
+std::string Patch::ToString(const Module* module) const {
+  std::string out;
+  for (const PatchEdit& e : edits) {
+    const std::string& name =
+        e.global < globals.size() ? globals[e.global].name : std::string("?");
+    out += StrFormat("%s inst %u (%s)", PatchEditKindName(e.kind), e.anchor, name.c_str());
+    if (module != nullptr && e.anchor < module->NumInstructions()) {
+      const Instruction* inst = module->instruction(e.anchor);
+      if (!inst->debug_location().empty()) {
+        out += StrFormat(" at %s", inst->debug_location().c_str());
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Recursively re-interns `t` (a type of the source module) into `table`.
+const Type* MapType(const Type* t, TypeTable& table,
+                    std::map<const Type*, const Type*>& memo) {
+  if (t == nullptr) {
+    return nullptr;
+  }
+  auto it = memo.find(t);
+  if (it != memo.end()) {
+    return it->second;
+  }
+  const Type* mapped = nullptr;
+  switch (t->kind()) {
+    case TypeKind::kVoid:
+      mapped = table.VoidType();
+      break;
+    case TypeKind::kLock:
+      mapped = table.LockType();
+      break;
+    case TypeKind::kInt:
+      mapped = table.IntType(t->bit_width());
+      break;
+    case TypeKind::kPointer:
+      mapped = table.PointerTo(MapType(t->pointee(), table, memo));
+      break;
+    case TypeKind::kStruct: {
+      // Intern an opaque reference first so recursive field types (a struct
+      // holding a pointer to itself) terminate.
+      const Type* existing = table.FindStruct(t->name());
+      if (existing != nullptr) {
+        mapped = existing;
+      } else {
+        std::vector<const Type*> fields;
+        fields.reserve(t->fields().size());
+        for (const Type* f : t->fields()) {
+          fields.push_back(MapType(f, table, memo));
+        }
+        mapped = table.StructType(t->name(), fields);
+      }
+      break;
+    }
+  }
+  memo[t] = mapped;
+  return mapped;
+}
+
+Status ValidatePatch(const Module& original, const Patch& patch) {
+  for (size_t i = 0; i < patch.globals.size(); ++i) {
+    const PatchGlobal& g = patch.globals[i];
+    if (g.name.empty()) {
+      return Status::Error(StatusCode::kInvalidArgument, "patch global with empty name");
+    }
+    if (original.FindGlobal(g.name) != nullptr) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           StrFormat("patch global '%s' collides with a module global",
+                                     g.name.c_str()));
+    }
+    for (size_t j = i + 1; j < patch.globals.size(); ++j) {
+      if (patch.globals[j].name == g.name) {
+        return Status::Error(StatusCode::kInvalidArgument,
+                             StrFormat("duplicate patch global '%s'", g.name.c_str()));
+      }
+    }
+  }
+  for (const PatchEdit& e : patch.edits) {
+    if (e.anchor >= original.NumInstructions()) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           StrFormat("patch anchor %u out of range", e.anchor));
+    }
+    if (e.global >= patch.globals.size()) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           StrFormat("patch edit references global %u of %zu", e.global,
+                                     patch.globals.size()));
+    }
+    const PatchGlobal::Kind gk = patch.globals[e.global].kind;
+    const bool wants_lock = e.kind == PatchEdit::Kind::kAcquireBefore ||
+                            e.kind == PatchEdit::Kind::kReleaseAfter;
+    if (wants_lock != (gk == PatchGlobal::Kind::kLock)) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           StrFormat("%s edit at inst %u needs a %s global",
+                                     PatchEditKindName(e.kind), e.anchor,
+                                     wants_lock ? "lock" : "flag"));
+    }
+    const Instruction* anchor = original.instruction(e.anchor);
+    const bool after = e.kind == PatchEdit::Kind::kReleaseAfter ||
+                       e.kind == PatchEdit::Kind::kSignalAfter;
+    if (after && anchor->IsTerminator()) {
+      return Status::Error(StatusCode::kInvalidArgument,
+                           StrFormat("cannot insert after terminator inst %u", e.anchor));
+    }
+    if (e.kind == PatchEdit::Kind::kWaitBefore && e.spin_bound <= 0) {
+      return Status::Error(StatusCode::kInvalidArgument, "wait-before with non-positive bound");
+    }
+  }
+  return Status::Ok();
+}
+
+// Clones one module and splices the patch edits in around their anchors.
+class Cloner {
+ public:
+  Cloner(const Module& original, const Patch& patch, Module* out)
+      : original_(original), patch_(patch), builder_(out) {}
+
+  Status Run() {
+    CloneGlobals();
+    // Pass 1: register every function signature so call/spawn sites can
+    // reference callees by their (preserved) FuncId regardless of order.
+    for (const auto& f : original_.functions()) {
+      std::vector<const Type*> params;
+      params.reserve(f->param_types().size());
+      for (const Type* t : f->param_types()) {
+        params.push_back(Map(t));
+      }
+      const FuncId id = builder_.BeginFunction(f->name(), Map(f->return_type()), params);
+      SNORLAX_CHECK(id == f->id());
+      builder_.EndFunctionForParser();
+    }
+    IndexEdits();
+    // Pass 2: clone bodies in original construction order (InstId order
+    // within each function), splicing edits in at their anchors.
+    for (const auto& f : original_.functions()) {
+      if (const Status st = CloneBody(*f); !st.ok()) {
+        return st;
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void CloneGlobals() {
+    for (const GlobalVar& g : original_.globals()) {
+      const GlobalId id = builder_.CreateGlobal(g.name, Map(g.type));
+      SNORLAX_CHECK(id == g.id);
+    }
+    for (const PatchGlobal& g : patch_.globals) {
+      const Type* type = g.kind == PatchGlobal::Kind::kLock
+                             ? builder_.module()->types().LockType()
+                             : builder_.module()->types().IntType(64);
+      patch_global_ids_.push_back(builder_.CreateGlobal(g.name, type));
+    }
+  }
+
+  void IndexEdits() {
+    for (const PatchEdit& e : patch_.edits) {
+      const bool after = e.kind == PatchEdit::Kind::kReleaseAfter ||
+                         e.kind == PatchEdit::Kind::kSignalAfter;
+      (after ? after_ : before_)[e.anchor].push_back(&e);
+    }
+  }
+
+  const Type* Map(const Type* t) {
+    return MapType(t, builder_.module()->types(), type_memo_);
+  }
+
+  Reg MapReg(Reg old) const {
+    SNORLAX_CHECK_MSG(old < reg_map_.size() && reg_map_[old] != kInvalidReg,
+                      "patch clone: use of register before its definition");
+    return reg_map_[old];
+  }
+
+  Operand MapOperand(const Operand& op) const {
+    return op.IsReg() ? Operand::MakeReg(MapReg(op.reg)) : op;
+  }
+
+  Status CloneBody(const Function& f) {
+    if (f.blocks().empty()) {
+      return Status::Ok();  // signature-only function: nothing to clone
+    }
+    builder_.ReopenFunctionForParser(f.id());
+    entry_of_.clear();
+    append_to_.clear();
+    for (const auto& bb : f.blocks()) {
+      const BlockId clone = builder_.CreateBlock(bb->label());
+      entry_of_[bb->id()] = clone;
+      append_to_[bb->id()] = clone;
+    }
+    reg_map_.assign(f.num_regs(), kInvalidReg);
+    for (uint32_t i = 0; i < f.num_params(); ++i) {
+      reg_map_[i] = i;  // parameters occupy the same leading registers
+    }
+    // Intra-function creation order == InstId order: replaying it guarantees
+    // every register a clone reads was already defined by an earlier clone.
+    std::vector<const Instruction*> order;
+    order.reserve(f.NumInstructions());
+    for (const auto& bb : f.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        order.push_back(inst.get());
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Instruction* a, const Instruction* b) { return a->id() < b->id(); });
+    for (const Instruction* inst : order) {
+      const BlockId home = inst->parent()->id();
+      builder_.SetInsertPoint(append_to_[home]);
+      if (auto it = before_.find(inst->id()); it != before_.end()) {
+        for (const PatchEdit* e : it->second) {
+          EmitBeforeEdit(*e, home);
+        }
+      }
+      builder_.SetDebugLocation(inst->debug_location());
+      if (const Status st = CloneInst(*inst); !st.ok()) {
+        return st;
+      }
+      if (auto it = after_.find(inst->id()); it != after_.end()) {
+        for (const PatchEdit* e : it->second) {
+          EmitAfterEdit(*e);
+        }
+      }
+    }
+    builder_.EndFunction();
+    return Status::Ok();
+  }
+
+  void EmitBeforeEdit(const PatchEdit& e, BlockId home) {
+    builder_.SetDebugLocation("snorlax:fix");
+    const Type* i64 = builder_.module()->types().IntType(64);
+    switch (e.kind) {
+      case PatchEdit::Kind::kAcquireBefore:
+        builder_.LockAcquire(builder_.AddrOfGlobal(patch_global_ids_[e.global]));
+        break;
+      case PatchEdit::Kind::kSignalBefore:
+        builder_.Store(Operand::MakeImm(1), builder_.AddrOfGlobal(patch_global_ids_[e.global]),
+                       i64);
+        break;
+      case PatchEdit::Kind::kWaitBefore: {
+        // Bounded spin: wait for the flag, give up after spin_bound
+        // iterations of ~1us so a wrong fix degrades to the original racy
+        // ordering instead of hanging.
+        const Reg flag_addr = builder_.AddrOfGlobal(patch_global_ids_[e.global]);
+        const Reg counter = builder_.Alloca(i64);
+        builder_.Store(Operand::MakeImm(0), counter, i64);
+        const BlockId head = builder_.CreateBlock(StrFormat("fix_wait%u_head", e.anchor));
+        const BlockId check = builder_.CreateBlock(StrFormat("fix_wait%u_check", e.anchor));
+        const BlockId body = builder_.CreateBlock(StrFormat("fix_wait%u_body", e.anchor));
+        const BlockId cont = builder_.CreateBlock(StrFormat("fix_wait%u_cont", e.anchor));
+        builder_.Br(head);
+        builder_.SetInsertPoint(head);
+        const Reg flag = builder_.Load(flag_addr, i64);
+        const Reg signaled =
+            builder_.Cmp(CmpKind::kNe, Operand::MakeReg(flag), Operand::MakeImm(0));
+        builder_.CondBr(signaled, cont, check);
+        builder_.SetInsertPoint(check);
+        const Reg spins = builder_.Load(counter, i64);
+        const Reg give_up =
+            builder_.Cmp(CmpKind::kGe, Operand::MakeReg(spins), Operand::MakeImm(e.spin_bound));
+        builder_.CondBr(give_up, cont, body);
+        builder_.SetInsertPoint(body);
+        const Reg next = builder_.Add(spins, 1, i64);
+        builder_.Store(next, counter, i64);
+        builder_.Work(1000);
+        builder_.Br(head);
+        // The anchor and everything after it in this block now lands in the
+        // continuation block.
+        builder_.SetInsertPoint(cont);
+        append_to_[home] = cont;
+        break;
+      }
+      case PatchEdit::Kind::kReleaseAfter:
+      case PatchEdit::Kind::kSignalAfter:
+        SNORLAX_CHECK_MSG(false, "after-edit routed to EmitBeforeEdit");
+    }
+  }
+
+  void EmitAfterEdit(const PatchEdit& e) {
+    builder_.SetDebugLocation("snorlax:fix");
+    switch (e.kind) {
+      case PatchEdit::Kind::kReleaseAfter:
+        builder_.LockRelease(builder_.AddrOfGlobal(patch_global_ids_[e.global]));
+        break;
+      case PatchEdit::Kind::kSignalAfter:
+        builder_.Store(Operand::MakeImm(1), builder_.AddrOfGlobal(patch_global_ids_[e.global]),
+                       builder_.module()->types().IntType(64));
+        break;
+      default:
+        SNORLAX_CHECK_MSG(false, "before-edit routed to EmitAfterEdit");
+    }
+  }
+
+  Status CloneInst(const Instruction& inst) {
+    Reg result = kInvalidReg;
+    switch (inst.opcode()) {
+      case Opcode::kAlloca:
+        result = builder_.Alloca(Map(inst.pointee_type()));
+        break;
+      case Opcode::kAddrOfGlobal:
+        result = builder_.AddrOfGlobal(inst.global());
+        break;
+      case Opcode::kCopy:
+        result = builder_.Copy(MapReg(inst.operand(0).reg), Map(inst.type()));
+        break;
+      case Opcode::kCast:
+        result = builder_.Cast(MapReg(inst.operand(0).reg), Map(inst.type()));
+        break;
+      case Opcode::kLoad:
+        result = builder_.Load(MapReg(inst.operand(0).reg), Map(inst.type()));
+        break;
+      case Opcode::kStore:
+        builder_.Store(MapOperand(inst.operand(0)), MapReg(inst.operand(1).reg),
+                       Map(inst.type()));
+        break;
+      case Opcode::kGep:
+        result = builder_.Gep(MapReg(inst.operand(0).reg), Map(inst.pointee_type()),
+                              static_cast<int>(inst.imm()));
+        break;
+      case Opcode::kFree:
+        builder_.Free(MapReg(inst.operand(0).reg));
+        break;
+      case Opcode::kConst:
+        result = builder_.Const(Map(inst.type()), inst.imm());
+        break;
+      case Opcode::kRandom:
+        result = builder_.Random(Map(inst.type()), inst.operand(0).imm, inst.operand(1).imm);
+        break;
+      case Opcode::kFuncAddr:
+        result = builder_.FuncAddr(inst.callee());
+        break;
+      case Opcode::kBinOp:
+        result = builder_.BinOp(inst.binop(), MapOperand(inst.operand(0)),
+                                MapOperand(inst.operand(1)), Map(inst.type()));
+        break;
+      case Opcode::kCmp:
+        result = builder_.Cmp(inst.cmp(), MapOperand(inst.operand(0)),
+                              MapOperand(inst.operand(1)));
+        break;
+      case Opcode::kBr:
+        builder_.Br(entry_of_.at(inst.then_block()));
+        break;
+      case Opcode::kCondBr:
+        builder_.CondBr(MapReg(inst.operand(0).reg), entry_of_.at(inst.then_block()),
+                        entry_of_.at(inst.else_block()));
+        break;
+      case Opcode::kCall: {
+        std::vector<Operand> args;
+        args.reserve(inst.num_operands());
+        for (const Operand& op : inst.operands()) {
+          args.push_back(MapOperand(op));
+        }
+        result = builder_.Call(inst.callee(), args, Map(inst.type()));
+        break;
+      }
+      case Opcode::kCallIndirect: {
+        std::vector<Reg> args;
+        for (size_t i = 1; i < inst.num_operands(); ++i) {
+          args.push_back(MapReg(inst.operand(i).reg));
+        }
+        result = builder_.CallIndirect(MapReg(inst.operand(0).reg), args, Map(inst.type()));
+        break;
+      }
+      case Opcode::kRet:
+        if (inst.num_operands() == 0) {
+          builder_.RetVoid();
+        } else {
+          builder_.Ret(MapReg(inst.operand(0).reg));
+        }
+        break;
+      case Opcode::kLockAcquire:
+        builder_.LockAcquire(MapReg(inst.operand(0).reg));
+        break;
+      case Opcode::kLockRelease:
+        builder_.LockRelease(MapReg(inst.operand(0).reg));
+        break;
+      case Opcode::kThreadCreate:
+        result = builder_.ThreadCreate(inst.callee(), MapOperand(inst.operand(0)));
+        break;
+      case Opcode::kThreadJoin:
+        builder_.ThreadJoin(MapReg(inst.operand(0).reg));
+        break;
+      case Opcode::kYield:
+        builder_.Yield();
+        break;
+      case Opcode::kAssert:
+        builder_.Assert(MapReg(inst.operand(0).reg));
+        break;
+      case Opcode::kWork:
+        builder_.Work(inst.imm());
+        break;
+      case Opcode::kNop:
+        builder_.Nop();
+        break;
+    }
+    if (inst.HasResult()) {
+      SNORLAX_CHECK_MSG(result != kInvalidReg, "clone dropped a result register");
+      reg_map_[inst.result()] = result;
+    }
+    return Status::Ok();
+  }
+
+  const Module& original_;
+  const Patch& patch_;
+  IrBuilder builder_;
+  std::map<const Type*, const Type*> type_memo_;
+  std::vector<GlobalId> patch_global_ids_;
+  std::unordered_map<InstId, std::vector<const PatchEdit*>> before_;
+  std::unordered_map<InstId, std::vector<const PatchEdit*>> after_;
+  std::unordered_map<BlockId, BlockId> entry_of_;
+  std::unordered_map<BlockId, BlockId> append_to_;
+  std::vector<Reg> reg_map_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Module>> ApplyPatch(const Module& original, const Patch& patch) {
+  if (const Status st = ValidatePatch(original, patch); !st.ok()) {
+    return st;
+  }
+  auto out = std::make_unique<Module>();
+  Cloner cloner(original, patch, out.get());
+  if (const Status st = cloner.Run(); !st.ok()) {
+    return st;
+  }
+  return out;
+}
+
+}  // namespace snorlax::ir

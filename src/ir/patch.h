@@ -1,0 +1,88 @@
+// First-class MiniIR patches: the repair pass's output representation.
+//
+// A Patch is a set of synchronization edits keyed by the *original* module's
+// dense InstIds -- "acquire fix-lock L before inst 41", "signal flag F after
+// inst 97" -- plus the fresh globals (locks, flags) those edits reference.
+// Keeping the representation anchored to InstIds makes a patch a plain value:
+// it serializes like any other artifact, diffs trivially, and can be applied
+// to any structurally identical copy of the module.
+//
+// ApplyPatch() materializes a patched *clone* of the module (modules are
+// append-only and the diagnosed original must stay byte-stable for artifact
+// keys), which the runtime then executes to validate the repair.
+#ifndef SNORLAX_IR_PATCH_H_
+#define SNORLAX_IR_PATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "support/status.h"
+
+namespace snorlax::ir {
+
+// A fresh module-level variable introduced by a patch.
+struct PatchGlobal {
+  enum class Kind : uint8_t {
+    kLock,  // an opaque mutex (lock-insertion fixes)
+    kFlag,  // an i64 condition flag, 0 until signaled (order fixes)
+  };
+  Kind kind = Kind::kLock;
+  std::string name;
+
+  bool operator==(const PatchGlobal& o) const { return kind == o.kind && name == o.name; }
+};
+
+// One edit, anchored at an instruction of the unpatched module.
+struct PatchEdit {
+  enum class Kind : uint8_t {
+    kAcquireBefore,  // lock(globals[global]) immediately before `anchor`
+    kReleaseAfter,   // unlock(globals[global]) immediately after `anchor`
+    kSignalBefore,   // globals[global] = 1 immediately before `anchor`
+    kSignalAfter,    // globals[global] = 1 immediately after `anchor`
+    kWaitBefore,     // spin until globals[global] != 0 (or `spin_bound`
+                     // iterations of ~1us) immediately before `anchor`
+  };
+  Kind kind = Kind::kAcquireBefore;
+  InstId anchor = kInvalidInstId;
+  // Index into Patch::globals (kLock for acquire/release, kFlag otherwise).
+  uint32_t global = 0;
+  // kWaitBefore only: iterations before the wait gives up and proceeds
+  // un-ordered (the original racy behavior). The bound keeps a wrong or
+  // unlucky fix from hanging the program -- validation decides whether the
+  // patched run still fails. 200k iterations of Work(1000ns) ~= 200ms of
+  // virtual time, orders of magnitude under the interpreter's 60s guard.
+  int64_t spin_bound = 200'000;
+
+  bool operator==(const PatchEdit& o) const {
+    return kind == o.kind && anchor == o.anchor && global == o.global &&
+           spin_bound == o.spin_bound;
+  }
+};
+
+const char* PatchGlobalKindName(PatchGlobal::Kind kind);
+const char* PatchEditKindName(PatchEdit::Kind kind);
+
+struct Patch {
+  std::vector<PatchGlobal> globals;
+  std::vector<PatchEdit> edits;
+
+  bool empty() const { return edits.empty(); }
+  bool operator==(const Patch& o) const { return globals == o.globals && edits == o.edits; }
+
+  // One edit per line, e.g. "acquire-before inst 41 (snorlax_fix_lock0)".
+  std::string ToString(const Module* module = nullptr) const;
+};
+
+// Clones `original` and applies `patch`. The clone preserves function ids,
+// global ids, and per-function register numbering for unpatched code, so the
+// patched program behaves identically to the original except at the edit
+// sites. Errors (never aborts) on out-of-range anchors, edits after a
+// terminator, kind-mismatched globals, or name collisions.
+support::Result<std::unique_ptr<Module>> ApplyPatch(const Module& original, const Patch& patch);
+
+}  // namespace snorlax::ir
+
+#endif  // SNORLAX_IR_PATCH_H_

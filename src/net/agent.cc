@@ -405,14 +405,28 @@ support::Result<std::vector<RemoteReport>> DiagnosisAgent::Diagnose() {
         if (!status.ok()) {
           return status;
         }
-        auto report = wire::DecodeReport(payload.report_bytes);
-        if (!report.ok()) {
-          return report.status();
-        }
         RemoteReport remote;
         remote.module_fingerprint = payload.module_fingerprint;
         remote.failing_inst = payload.failing_inst;
-        remote.report = report.take();
+        if (!payload.report_bytes.empty() &&
+            payload.report_bytes[0] == wire::kPayloadFormatV3) {
+          // Full typed aggregate (protocol >= 4 daemon): keep it, and project
+          // the legacy shape out of it so existing call sites see no change.
+          auto full = wire::DecodeFullReport(payload.report_bytes);
+          if (!full.ok()) {
+            return full.status();
+          }
+          auto owned = std::make_shared<report::Report>(full.take());
+          owned->transport.reconnects = stats_.reconnects;
+          remote.report = owned->diagnosis;
+          remote.full = std::move(owned);
+        } else {
+          auto report = wire::DecodeReport(payload.report_bytes);
+          if (!report.ok()) {
+            return report.status();
+          }
+          remote.report = report.take();
+        }
         reports.push_back(std::move(remote));
         break;
       }

@@ -16,12 +16,14 @@
 
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/server.h"
 #include "faults/injector.h"
 #include "net/socket.h"
 #include "pt/encoder.h"
+#include "report/report.h"
 #include "wire/frame.h"
 
 namespace snorlax::net {
@@ -67,11 +69,15 @@ struct AgentStats {
   size_t bundle_bytes_sent = 0;
 };
 
-// One shard's diagnosis as received over the wire.
+// One shard's diagnosis as received over the wire. `report` is always
+// populated; `full` is the typed aggregate and is set only when the daemon
+// spoke payload format v3 (protocol >= 4) -- against an older daemon it is
+// null and only the legacy projection is available.
 struct RemoteReport {
   uint64_t module_fingerprint = 0;
   ir::InstId failing_inst = ir::kInvalidInstId;
   core::DiagnosisReport report;
+  std::shared_ptr<const report::Report> full;
 };
 
 class DiagnosisAgent {

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <functional>
 
+#include "report/report.h"
 #include "support/str.h"
 #include "wire/serialize.h"
 
@@ -645,9 +646,26 @@ void DiagnosisDaemon::HandleDiagnose(Connection& c) {
     wire::ReportPayload rp;
     rp.module_fingerprint = sr.key.module_fingerprint;
     rp.failing_inst = sr.key.failing_inst;
-    const uint8_t format = c.negotiated_version >= 2 ? wire::kPayloadFormatV2
-                                                     : wire::kPayloadFormatV1;
-    wire::EncodeReport(sr.report, &rp.report_bytes, format);
+    if (c.negotiated_version >= 4) {
+      // Protocol >= 4 peers get the full typed aggregate (payload format v3):
+      // pass/artifact telemetry, transport stats, and the repair plan survive
+      // the wire instead of being stripped to the legacy projection.
+      report::Report full =
+          report::MakeReport(sr.report, sr.key.module_fingerprint, std::string());
+      full.transport.remote = true;
+      full.transport.negotiated_version = c.negotiated_version;
+      full.transport.payload_format = wire::kPayloadFormatV3;
+      full.transport.bundles_acked = agents_[c.agent_id].max_contiguous;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        full.transport.bundles_duplicate = stats_.bundles_duplicate;
+      }
+      wire::EncodeFullReport(full, &rp.report_bytes);
+    } else {
+      const uint8_t format = c.negotiated_version >= 2 ? wire::kPayloadFormatV2
+                                                       : wire::kPayloadFormatV1;
+      wire::EncodeReport(sr.report, &rp.report_bytes, format);
+    }
     std::vector<uint8_t> payload;
     wire::EncodeReportPayload(rp, &payload);
     const size_t sheds_before = c.sheds_this_stream;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "support/str.h"
+#include "support/json.h"
 
 namespace snorlax::support {
 
@@ -56,24 +56,22 @@ std::vector<Profiler::Row> Profiler::Snapshot() const {
 }
 
 std::string Profiler::ToJson() const {
-  std::string json = "{\"entries\":[";
-  bool first = true;
+  JsonWriter w;
+  w.BeginObject().Key("entries").BeginArray();
   for (const Row& row : Snapshot()) {
     if (row.calls == 0) {
       continue;  // probes that never fired would only add noise to the dump
     }
-    if (!first) {
-      json += ",";
-    }
-    first = false;
-    json += StrFormat(
-        "{\"label\":\"%s\",\"calls\":%llu,\"total_ms\":%.3f,\"mean_us\":%.3f,"
-        "\"max_us\":%.3f}",
-        row.label.c_str(), (unsigned long long)row.calls, row.total_ns / 1e6,
-        row.total_ns / 1e3 / static_cast<double>(row.calls), row.max_ns / 1e3);
+    w.BeginObject()
+        .Field("label", row.label)
+        .Field("calls", row.calls)
+        .Field("total_ms", row.total_ns / 1e6, 3)
+        .Field("mean_us", row.total_ns / 1e3 / static_cast<double>(row.calls), 3)
+        .Field("max_us", row.max_ns / 1e3, 3)
+        .EndObject();
   }
-  json += "]}";
-  return json;
+  w.EndArray().EndObject();
+  return w.Take();
 }
 
 bool Profiler::DumpJson(const std::string& path) const {

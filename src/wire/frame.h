@@ -43,9 +43,11 @@ namespace snorlax::wire {
 // version they speak and the connection runs at the minimum of the two
 // (DESIGN.md section 13): version >= 2 means the peer accepts compressed v2
 // payloads; version >= 3 adds the cluster extension (ring topology in the
-// HelloAck, kTopology pushes, site hand-off frames). A v1/v2 peer keeps
-// getting its layout, so fleets upgrade one process at a time.
-inline constexpr uint32_t kProtocolVersion = 3;
+// HelloAck, kTopology pushes, site hand-off frames); version >= 4 means the
+// peer accepts full typed reports (payload format v3: pass telemetry,
+// transport stats, repair plan). A v1/v2/v3 peer keeps getting its layout,
+// so fleets upgrade one process at a time.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 inline constexpr uint8_t kFrameMagic[4] = {0x53, 0x4e, 0x4c, 0x58};  // "SNLX"
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 1 + 8 + 4 + 4;

@@ -710,12 +710,21 @@ void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out
 }
 
 support::Result<core::DiagnosisReport> DecodeReport(std::span<const uint8_t> bytes) {
+  if (!bytes.empty() && bytes[0] == kPayloadFormatV3) {
+    // A full typed report from a protocol >= 4 peer; down-convert to the
+    // legacy projection this call site asked for.
+    support::Result<report::Report> full = DecodeFullReport(bytes);
+    if (!full.ok()) {
+      return full.status();
+    }
+    return std::move(full.value().diagnosis);
+  }
   ByteReader r(bytes);
   const uint8_t format = r.U8();
   if (r.ok() && format != kPayloadFormatV1 && format != kPayloadFormatV2) {
     return Status::Error(StatusCode::kVersionMismatch,
                          StrFormat("report payload format %u, this build speaks <=%u",
-                                   format, kPayloadFormatVersion));
+                                   format, kPayloadFormatV3));
   }
   const Reader rd{&r, format >= kPayloadFormatV2};
   core::DiagnosisReport report;
@@ -760,6 +769,31 @@ support::Result<core::DiagnosisReport> DecodeReport(std::span<const uint8_t> byt
   }
   report.confidence = static_cast<trace::ConfidenceTier>(confidence);
   return report;
+}
+
+void EncodeFullReport(const report::Report& report, std::vector<uint8_t>* out) {
+  AppendU8(out, kPayloadFormatV3);
+  report::EncodeReport(report, out);
+}
+
+support::Result<report::Report> DecodeFullReport(std::span<const uint8_t> bytes,
+                                                 const ir::Module* module) {
+  ByteReader r(bytes);
+  const uint8_t format = r.U8();
+  if (!r.ok()) {
+    return r.status();
+  }
+  if (format != kPayloadFormatV3) {
+    return Status::Error(StatusCode::kVersionMismatch,
+                         StrFormat("full report wants payload format %u, got %u",
+                                   kPayloadFormatV3, format));
+  }
+  report::Report out;
+  const Status status = report::DecodeReport(bytes.subspan(1), module, &out);
+  if (!status.ok()) {
+    return status;
+  }
+  return out;
 }
 
 }  // namespace snorlax::wire

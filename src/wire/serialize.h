@@ -35,6 +35,7 @@
 
 #include "core/server.h"
 #include "pt/encoder.h"
+#include "report/report.h"
 #include "runtime/failure.h"
 #include "support/binio.h"
 #include "support/status.h"
@@ -42,9 +43,15 @@
 namespace snorlax::wire {
 
 // Payload format generations. kPayloadFormatVersion is the preferred (newest)
-// format this build writes; both are accepted on decode.
+// format this build writes for *bundles*; all are accepted on decode.
+// v3 exists only for report payloads: it carries the full typed
+// report::Report aggregate (canonical report codec) instead of the stripped
+// v1/v2 DiagnosisReport projection, adding pass/artifact telemetry, transport
+// stats, and the optional repair plan. Spoken only when the frame-level
+// handshake negotiated protocol >= 4; legacy peers keep the v1/v2 shape.
 inline constexpr uint8_t kPayloadFormatV1 = 1;
 inline constexpr uint8_t kPayloadFormatV2 = 2;
+inline constexpr uint8_t kPayloadFormatV3 = 3;
 inline constexpr uint8_t kPayloadFormatVersion = kPayloadFormatV2;
 
 // The byte-level primitives (Crc32, Append*, Zigzag, ByteReader, decode caps)
@@ -94,10 +101,20 @@ void EncodeBundle(const pt::PtTraceBundle& bundle, std::vector<uint8_t>* out,
                   uint8_t format = kPayloadFormatVersion);
 support::Result<pt::PtTraceBundle> DecodeBundle(std::span<const uint8_t> bytes);
 
-// The server->client diagnosis payload.
+// The server->client diagnosis payload (legacy v1/v2 projection). A v3
+// payload is accepted too: it is decoded through the report codec and
+// down-converted to its embedded DiagnosisReport, so call sites that only
+// want the legacy shape keep working against new peers.
 void EncodeReport(const core::DiagnosisReport& report, std::vector<uint8_t>* out,
                   uint8_t format = kPayloadFormatVersion);
 support::Result<core::DiagnosisReport> DecodeReport(std::span<const uint8_t> bytes);
+
+// Format v3: the full typed aggregate, encoded with the canonical report
+// codec behind the usual leading format byte. `module` (optional) lets the
+// decoder bounds-check repair-plan instruction anchors.
+void EncodeFullReport(const report::Report& report, std::vector<uint8_t>* out);
+support::Result<report::Report> DecodeFullReport(std::span<const uint8_t> bytes,
+                                                 const ir::Module* module = nullptr);
 
 }  // namespace snorlax::wire
 

@@ -39,6 +39,7 @@
 #include "ir/text_format.h"
 #include "ir/verifier.h"
 #include "pt/driver.h"
+#include "report/render.h"
 #include "runtime/interpreter.h"
 #include "support/profiler.h"
 #include "workloads/generator.h"
@@ -66,7 +67,10 @@ int Usage() {
       "           --pta-budget=N caps demand nodes visited before fallback,\n"
       "           --pta-ab digest-checks demand results against exhaustive,\n"
       "           --legacy-patterns runs the pre-index step-6 engine,\n"
-      "           --profile=<path> dumps the hot-path profiler table as JSON)\n"
+      "           --profile=<path> dumps the hot-path profiler table as JSON,\n"
+      "           --report=text|json|sarif picks the output rendering,\n"
+      "           --suggest-fix runs the repair pass: patch synthesis per\n"
+      "           confirmed pattern + interpreter validation across timing bands)\n"
       "  generate emit a randomized bug-injected program as text\n"
       "  fuzz-trace corrupt a captured failing trace (--faults=kind@rate[,...],\n"
       "           --seed=N) and diagnose from the wreckage; kinds: bitflip,\n"
@@ -191,28 +195,18 @@ int CmdTrace(const std::string& path, uint64_t seed) {
   return 0;
 }
 
-// Renders the server's pass-boundary log: one row per pass of the most
-// recent pipeline run + scoring, with cache-hit/ran/skipped status, wall
-// time, the content-hash artifact key, and the dirty reason.
+// Renders the server's pass-boundary log through the report layer: one row
+// per pass of the most recent pipeline run + scoring, each joined with the
+// artifact store's residency verdict for the pass's output.
 void PrintExplain(const core::DiagnosisServer& server) {
-  const std::vector<engine::PassTrace> log = server.explain();
-  if (log.empty()) {
-    std::printf("\npass pipeline: no runs recorded\n");
-    return;
+  std::vector<report::PassRow> rows;
+  for (const engine::PassTrace& t : server.explain()) {
+    report::PassRow row;
+    row.residency = server.artifact_state(t.id, t.artifact_key);
+    row.trace = t;
+    rows.push_back(std::move(row));
   }
-  std::printf("\npass pipeline (most recent bundle + scoring):\n");
-  std::printf("  %-14s %-9s %10s  %-16s  %s\n", "pass", "status", "ms", "artifact key",
-              "reason");
-  for (const engine::PassTrace& t : log) {
-    const char* status = t.cache_hit ? "cache-hit" : (t.ran ? "ran" : "skipped");
-    std::printf("  %-14s %-9s %10.3f  %016llx  %s\n", engine::PassName(t.id), status,
-                t.seconds * 1000.0, static_cast<unsigned long long>(t.artifact_key),
-                t.reason.c_str());
-  }
-  const engine::ArtifactStore::Stats store = server.artifact_stats();
-  std::printf("  artifact store: %llu hits, %llu misses, %zu live entries\n",
-              static_cast<unsigned long long>(store.hits),
-              static_cast<unsigned long long>(store.misses), store.entries);
+  std::fputs(report::RenderExplainTable(rows, server.artifact_stats()).c_str(), stdout);
 }
 
 // --pta-tier= values; returns false (leaving *out alone) on unknown names.
@@ -235,54 +229,65 @@ struct PtaFlags {
   bool ab_check = false;
 };
 
-int CmdDiagnose(const std::string& path, size_t failing_traces, bool explain,
-                const PtaFlags& pta, bool legacy_patterns, const std::string& profile_path) {
+struct DiagnoseFlags {
+  size_t failing_traces = 1;
+  bool explain = false;
+  bool legacy_patterns = false;
+  bool suggest_fix = false;
+  report::Format format = report::Format::kText;
+  std::string profile_path;
+  PtaFlags pta;
+};
+
+int CmdDiagnose(const std::string& path, const DiagnoseFlags& flags) {
   auto module = LoadModule(path);
   if (module == nullptr) {
     return 1;
   }
-  if (!profile_path.empty()) {
+  if (!flags.profile_path.empty()) {
     // Switch the always-compiled probes on for this whole diagnosis (the
     // workload replays and the pipeline both report into the same table).
     support::Profiler::Global().Enable();
   }
   core::SnorlaxOptions opts;
   opts.client.interp.work_jitter = 0.04;
-  opts.failing_traces = failing_traces;
-  opts.server.pta_tier = pta.tier;
-  opts.server.pta_node_budget = pta.node_budget;
-  opts.server.pta_ab_check = pta.ab_check;
-  opts.server.patterns.legacy_engine = legacy_patterns;
+  opts.failing_traces = flags.failing_traces;
+  opts.server.pta_tier = flags.pta.tier;
+  opts.server.pta_node_budget = flags.pta.node_budget;
+  opts.server.pta_ab_check = flags.pta.ab_check;
+  opts.server.patterns.legacy_engine = flags.legacy_patterns;
+  if (flags.suggest_fix) {
+    // The repair pass validates patches by re-running the scenario, so it
+    // inherits the client's timing model.
+    opts.server.repair.enabled = true;
+    opts.server.repair.interp = opts.client.interp;
+  }
   core::Snorlax snorlax(module.get(), opts);
-  std::printf("running until %zu failure(s)...\n", failing_traces);
+  const bool machine = flags.format != report::Format::kText;
+  if (!machine) {
+    std::printf("running until %zu failure(s)...\n", flags.failing_traces);
+  }
   const auto outcome = snorlax.DiagnoseFirstFailure(1);
   if (!outcome.has_value()) {
     std::printf("no failure within the run budget; nothing to diagnose\n");
     return 1;
   }
   const core::DiagnosisReport& report = outcome->report;
-  std::printf("failure after %llu executions: %s at #%u\n",
-              static_cast<unsigned long long>(outcome->runs_until_failure),
-              rt::FailureKindName(report.failure.kind), report.failure.failing_inst);
-  std::printf("evidence: %zu failing + %zu successful traces; analysis %.1f ms\n\n",
-              report.failing_traces, report.success_traces,
-              report.analysis_seconds * 1000.0);
-  int shown = 0;
-  for (const core::DiagnosedPattern& p : report.patterns) {
-    if (shown++ == 6) {
-      break;
-    }
-    std::printf("F1=%.2f  %s\n", p.f1, core::PatternKindName(p.pattern.kind));
-    for (const core::PatternEvent& e : p.pattern.events) {
-      const ir::Instruction* inst = module->instruction(e.inst);
-      std::printf("    slot %u  %s%s%s\n", e.thread_slot, inst->ToString().c_str(),
-                  e.thread_final ? "  [blocked]" : "",
-                  p.pattern.ordered ? "" : "  (order unknown)");
-    }
+  const report::Report aggregate =
+      report::MakeReport(report, pt::ModuleFingerprint(*module), path);
+  if (!machine) {
+    std::printf("failure after %llu executions\n",
+                static_cast<unsigned long long>(outcome->runs_until_failure));
   }
-  if (explain) {
+  std::fputs(report::Render(aggregate, flags.format, module.get()).c_str(), stdout);
+  if (machine) {
+    std::printf("\n");
+  }
+  if (flags.explain && !machine) {
     PrintExplain(snorlax.server());
   }
+  const PtaFlags& pta = flags.pta;
+  const std::string& profile_path = flags.profile_path;
   if (pta.ab_check) {
     std::printf("pta A/B: %llu check(s), %llu mismatch(es)\n",
                 static_cast<unsigned long long>(snorlax.server().pta_ab_checks()),
@@ -807,42 +812,45 @@ int main(int argc, char** argv) {
     return CmdTrace(path, arg);
   }
   if (cmd == "diagnose") {
-    size_t failing_traces = 1;
-    bool explain = false;
-    bool legacy_patterns = false;
-    std::string profile_path;
-    PtaFlags pta;
+    DiagnoseFlags flags;
     for (int i = 3; i < argc; ++i) {
       const std::string flag = argv[i];
       if (flag == "--explain") {
-        explain = true;
+        flags.explain = true;
       } else if (flag == "--legacy-patterns") {
-        legacy_patterns = true;
+        flags.legacy_patterns = true;
+      } else if (flag == "--suggest-fix") {
+        flags.suggest_fix = true;
+      } else if (flag.rfind("--report=", 0) == 0) {
+        if (!report::ParseFormat(flag.substr(9), &flags.format)) {
+          std::printf("bad --report '%s' (want text|json|sarif)\n", flag.c_str() + 9);
+          return Usage();
+        }
       } else if (flag.rfind("--profile=", 0) == 0) {
-        profile_path = flag.substr(10);
-        if (profile_path.empty()) {
+        flags.profile_path = flag.substr(10);
+        if (flags.profile_path.empty()) {
           std::printf("bad --profile: empty path\n");
           return Usage();
         }
       } else if (flag.rfind("--pta-tier=", 0) == 0) {
-        if (!ParsePtaTier(flag.substr(11), &pta.tier)) {
+        if (!ParsePtaTier(flag.substr(11), &flags.pta.tier)) {
           std::printf("bad --pta-tier '%s' (want exhaustive|demand|auto)\n",
                       flag.c_str() + 11);
           return Usage();
         }
       } else if (flag.rfind("--pta-budget=", 0) == 0) {
-        pta.node_budget = std::strtoull(flag.c_str() + 13, nullptr, 10);
+        flags.pta.node_budget = std::strtoull(flag.c_str() + 13, nullptr, 10);
       } else if (flag == "--pta-ab") {
-        pta.ab_check = true;
+        flags.pta.ab_check = true;
       } else if (!flag.empty() && flag[0] != '-') {
         const uint64_t n = std::strtoull(flag.c_str(), nullptr, 10);
-        failing_traces = n == 0 ? 1 : static_cast<size_t>(n);
+        flags.failing_traces = n == 0 ? 1 : static_cast<size_t>(n);
       } else {
         std::printf("unknown flag '%s'\n", flag.c_str());
         return Usage();
       }
     }
-    return CmdDiagnose(path, failing_traces, explain, pta, legacy_patterns, profile_path);
+    return CmdDiagnose(path, flags);
   }
   if (cmd == "generate") {
     return CmdGenerate(argc, argv);
